@@ -1,0 +1,110 @@
+// E5: microbenchmark of the atomicity methods (Section III). Quantifies the
+// per-access cost ordering behind Figure 3's policy gap:
+//
+//   aligned (plain 8-byte access)  ≈  relaxed atomic   <   seq_cst   <<  locked
+//
+// Two granularities: raw read/write streams over an edge array, and one full
+// nondeterministic PageRank iteration per policy (the end-to-end cost).
+// Built on google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/pagerank.hpp"
+#include "atomics/access_policy.hpp"
+#include "engine/nondeterministic.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+constexpr EdgeId kEdges = 1 << 16;
+
+template <typename Policy>
+void bm_read_stream(benchmark::State& state, Policy policy) {
+  EdgeDataArray<float> arr(kEdges, 1.0f);
+  for (auto _ : state) {
+    float sum = 0.0f;
+    for (EdgeId e = 0; e < kEdges; ++e) sum += policy.read(arr, e);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kEdges);
+}
+
+template <typename Policy>
+void bm_write_stream(benchmark::State& state, Policy policy) {
+  EdgeDataArray<float> arr(kEdges, 0.0f);
+  for (auto _ : state) {
+    for (EdgeId e = 0; e < kEdges; ++e) policy.write(arr, e, 2.0f);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kEdges);
+}
+
+void BM_ReadAligned(benchmark::State& s) { bm_read_stream(s, AlignedAccess{}); }
+void BM_ReadRelaxed(benchmark::State& s) {
+  bm_read_stream(s, RelaxedAtomicAccess{});
+}
+void BM_ReadSeqCst(benchmark::State& s) { bm_read_stream(s, SeqCstAccess{}); }
+void BM_ReadLocked(benchmark::State& s) {
+  EdgeLockTable locks(kEdges);
+  bm_read_stream(s, LockedAccess{&locks});
+}
+
+void BM_WriteAligned(benchmark::State& s) { bm_write_stream(s, AlignedAccess{}); }
+void BM_WriteRelaxed(benchmark::State& s) {
+  bm_write_stream(s, RelaxedAtomicAccess{});
+}
+void BM_WriteSeqCst(benchmark::State& s) { bm_write_stream(s, SeqCstAccess{}); }
+void BM_WriteLocked(benchmark::State& s) {
+  EdgeLockTable locks(kEdges);
+  bm_write_stream(s, LockedAccess{&locks});
+}
+
+BENCHMARK(BM_ReadAligned);
+BENCHMARK(BM_ReadRelaxed);
+BENCHMARK(BM_ReadSeqCst);
+BENCHMARK(BM_ReadLocked);
+BENCHMARK(BM_WriteAligned);
+BENCHMARK(BM_WriteRelaxed);
+BENCHMARK(BM_WriteSeqCst);
+BENCHMARK(BM_WriteLocked);
+
+/// End-to-end: a complete nondeterministic PageRank run per atomicity mode.
+void bm_pagerank(benchmark::State& state, AtomicityMode mode) {
+  static const Graph g = Graph::build(4096, gen::rmat(4096, 32768, 13));
+  EngineOptions opts;
+  opts.mode = mode;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t updates = 0;
+  for (auto _ : state) {
+    PageRankProgram prog(1e-3f);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_nondeterministic(g, prog, edges, opts);
+    updates += r.updates;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(updates));
+}
+
+void BM_PageRankLocked(benchmark::State& s) {
+  bm_pagerank(s, AtomicityMode::kLocked);
+}
+void BM_PageRankAligned(benchmark::State& s) {
+  bm_pagerank(s, AtomicityMode::kAligned);
+}
+void BM_PageRankRelaxed(benchmark::State& s) {
+  bm_pagerank(s, AtomicityMode::kRelaxed);
+}
+void BM_PageRankSeqCst(benchmark::State& s) {
+  bm_pagerank(s, AtomicityMode::kSeqCst);
+}
+
+BENCHMARK(BM_PageRankLocked)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankAligned)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankRelaxed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PageRankSeqCst)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ndg
+
+BENCHMARK_MAIN();

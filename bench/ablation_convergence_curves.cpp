@@ -1,0 +1,112 @@
+// Ablation: per-iteration frontier sizes — the convergence curves behind the
+// iteration-count contrast of Section I. For WCC and PageRank on
+// web-google-sim it prints |S_n| per iteration for the synchronous (BSP),
+// deterministic asynchronous (DE) and nondeterministic (simulator, P=8)
+// schedules.
+//
+// Shape targets: BSP's curve is long and fat (the label/rank information
+// crosses one hop per iteration, so vertices keep re-activating); the
+// asynchronous curves collapse within a few iterations; the nondeterministic
+// curve tracks DE's closely, stretched slightly by stale reads.
+//
+// Flags: --scale=256 --procs=8 --delay=4 --eps=1e-3 --max-rows=24.
+
+#include <iostream>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/simulator.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+struct Curves {
+  std::vector<std::uint32_t> bsp;
+  std::vector<std::uint32_t> de;
+  std::vector<std::uint32_t> ne;
+};
+
+template <typename MakeProgram>
+Curves collect(const Graph& g, MakeProgram make_prog, std::size_t procs,
+               std::size_t delay) {
+  using Program = decltype(make_prog());
+  using ED = typename Program::EdgeData;
+  Curves c;
+  {
+    Program prog = make_prog();
+    EdgeDataArray<ED> edges(g.num_edges());
+    prog.init(g, edges);
+    c.bsp = run_bsp(g, prog, edges, 100000).frontier_sizes;
+  }
+  {
+    Program prog = make_prog();
+    EdgeDataArray<ED> edges(g.num_edges());
+    prog.init(g, edges);
+    c.de = run_deterministic(g, prog, edges).frontier_sizes;
+  }
+  {
+    Program prog = make_prog();
+    EdgeDataArray<ED> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = procs;
+    opts.delay = delay;
+    c.ne = run_simulated(g, prog, edges, opts).frontier_sizes;
+  }
+  return c;
+}
+
+std::string cell(const std::vector<std::uint32_t>& v, std::size_t i) {
+  return i < v.size() ? std::to_string(v[i]) : "-";
+}
+
+void print_curves(const char* algo, const Curves& c, std::size_t max_rows) {
+  std::cout << "\n--- " << algo << " (|S_n| per iteration) ---\n";
+  TextTable table({"iter", "BSP", "DE", "NE (sim)"});
+  const std::size_t rows =
+      std::min(max_rows, std::max({c.bsp.size(), c.de.size(), c.ne.size()}));
+  for (std::size_t i = 0; i < rows; ++i) {
+    table.add_row({std::to_string(i), cell(c.bsp, i), cell(c.de, i),
+                   cell(c.ne, i)});
+  }
+  table.print(std::cout);
+  if (c.bsp.size() > max_rows) {
+    std::cout << "(BSP continues for " << c.bsp.size() << " iterations total)\n";
+  }
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto procs = static_cast<std::size_t>(args.get_int("procs", 8));
+  const auto delay = static_cast<std::size_t>(args.get_int("delay", 4));
+  const auto eps = static_cast<float>(args.get_double("eps", 1e-3));
+  const auto max_rows = static_cast<std::size_t>(args.get_int("max-rows", 24));
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 256));
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  std::cout << "=== Convergence curves: synchronous vs asynchronous vs "
+               "nondeterministic ===\n"
+            << "(" << d.name << ", |V|=" << d.graph.num_vertices()
+            << ", |E|=" << d.graph.num_edges() << ", NE = simulator P=" << procs
+            << " d=" << delay << ")\n";
+
+  print_curves("wcc", collect(d.graph, [] { return WccProgram(); }, procs, delay),
+               max_rows);
+  print_curves("pagerank",
+               collect(d.graph, [eps] { return PageRankProgram(eps); }, procs,
+                       delay),
+               max_rows);
+  std::cout << "\nreading: asynchronous frontiers collapse within a few "
+               "iterations; the synchronous frontier persists for "
+               "chain-depth-many rounds (Section I's iteration-count "
+               "argument).\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation (§VII future work): "theoretical analyses of the convergence
+// speed (e.g., in amount of iterations) of graph algorithms by
+// nondeterministic executions" — measured iterations vs the chain-depth
+// bounds of core/convergence_bound.hpp, across topologies, logical core
+// counts and propagation delays.
+//
+// Shape targets: measured <= bound everywhere; nondeterministic iteration
+// counts sit close to the deterministic ones (the asynchronous advantage
+// survives the races), growing mildly with d.
+//
+// Flags: --procs=2,8 --delays=1,8 --seeds=5.
+
+#include <iostream>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "core/convergence_bound.hpp"
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/simulator.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+struct Topo {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<Topo> topologies() {
+  std::vector<Topo> t;
+  t.push_back({"chain-256", Graph::build(256, gen::chain(256))});
+  t.push_back({"cycle-256", Graph::build(256, gen::cycle(256))});
+  t.push_back({"grid-32x32", Graph::build(1024, gen::grid2d(32, 32))});
+  t.push_back({"rmat-4k", Graph::build(4096, gen::rmat(4096, 24576, 7))});
+  t.push_back(
+      {"smallworld-4k",
+       Graph::build(4096, symmetrize(gen::small_world(4096, 3, 0.05, 7)))});
+  return t;
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto procs = bench::parse_list(args.get("procs", "2,8"));
+  const auto delays = bench::parse_list(args.get("delays", "1,8"));
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", 5));
+
+  std::cout << "=== WCC convergence speed: measured iterations vs chain-depth "
+               "bounds ===\n\n";
+  TextTable table({"graph", "depth", "DE iters", "BSP iters", "rw-bound",
+                   "config", "NE iters (max over seeds)", "ww-bound", "ok"});
+
+  for (const auto& t : topologies()) {
+    const ConvergenceBound b = wcc_convergence_bound(t.graph);
+
+    WccProgram de;
+    EdgeDataArray<WccProgram::EdgeData> edges(t.graph.num_edges());
+    de.init(t.graph, edges);
+    const std::size_t de_iters =
+        run_deterministic(t.graph, de, edges).iterations;
+
+    WccProgram bsp;
+    bsp.init(t.graph, edges);
+    const std::size_t bsp_iters = run_bsp(t.graph, bsp, edges).iterations;
+
+    for (const std::size_t p : procs) {
+      for (const std::size_t d : delays) {
+        std::size_t worst = 0;
+        bool all_converged = true;
+        for (std::uint64_t s = 1; s <= seeds; ++s) {
+          WccProgram prog;
+          prog.init(t.graph, edges);
+          SimOptions opts;
+          opts.num_procs = p;
+          opts.delay = d;
+          opts.seed = s;
+          const SimResult r = run_simulated(t.graph, prog, edges, opts);
+          worst = std::max(worst, r.iterations);
+          all_converged = all_converged && r.converged;
+        }
+        table.add_row(
+            {t.name, std::to_string(b.chain_depth), std::to_string(de_iters),
+             std::to_string(bsp_iters), std::to_string(b.rw_bound),
+             "P=" + std::to_string(p) + ",d=" + std::to_string(d),
+             std::to_string(worst), std::to_string(b.ww_bound),
+             (all_converged && worst <= b.ww_bound) ? "yes" : "VIOLATION"});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: BSP pays ~chain-depth iterations; asynchronous "
+               "schedules (DE and NE) finish in far fewer on high-diameter "
+               "graphs, and the write-write recovery slack never exceeds the "
+               "3*depth+4 bound.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation (§VII future work): the paper's results carried to a
+// distributed-memory setting. Sweeps machine count x network delay for WCC
+// (monotonic, both-endpoint writers => replica divergence and recovery) and
+// PageRank (fixed point) on web-google-sim, reporting rounds to convergence,
+// messages, and observed replica divergences.
+//
+// Shape targets: everything converges (the theorems' recovery argument
+// survives message delay); WCC's final labels are exact regardless of
+// machines/delay; rounds grow with the network delay (the distributed
+// analogue of the simulator's d); message volume tracks cut edges.
+//
+// Flags: --scale=256 --machines=1,2,4,8 --delays=1,2,4 --eps=1e-3.
+
+#include <iostream>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "engine/distributed.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+template <typename MakeProgram, typename Verify>
+void sweep(const Dataset& d, const char* algo, MakeProgram make_prog,
+           Verify verify, const std::vector<std::size_t>& machines,
+           const std::vector<std::size_t>& delays, TextTable& table) {
+  using Program = decltype(make_prog());
+  using ED = typename Program::EdgeData;
+  for (const std::size_t m : machines) {
+    for (const std::size_t delay : delays) {
+      Program prog = make_prog();
+      EdgeDataArray<ED> edges(d.graph.num_edges());
+      prog.init(d.graph, edges);
+      DistOptions opts;
+      opts.num_machines = m;
+      opts.network_delay = delay;
+      const DistResult r = run_distributed(d.graph, prog, edges, opts);
+      table.add_row({algo, std::to_string(m), std::to_string(delay),
+                     std::to_string(r.rounds), std::to_string(r.updates),
+                     std::to_string(r.messages),
+                     std::to_string(r.replica_divergences),
+                     r.converged ? verify(prog) : "NO-CONVERGENCE"});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto machines = bench::parse_list(args.get("machines", "1,2,4,8"));
+  const auto delays = bench::parse_list(args.get("delays", "1,2,4"));
+  const auto eps = static_cast<float>(args.get_double("eps", 1e-3));
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 256));
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  std::cout << "=== Distributed execution sweep (machines x network delay) ==="
+            << "\n(" << d.name << ", |V|=" << d.graph.num_vertices()
+            << ", |E|=" << d.graph.num_edges() << ", block partition)\n\n";
+
+  const auto expected_wcc = ref::wcc(d.graph);
+
+  TextTable table({"algorithm", "machines", "delay", "rounds", "updates",
+                   "messages", "divergences", "verdict"});
+  sweep(d, "wcc", [] { return WccProgram(); },
+        [&](const WccProgram& p) {
+          return std::string(p.labels() == expected_wcc ? "exact" : "MISMATCH");
+        },
+        machines, delays, table);
+  sweep(d, "pagerank", [eps] { return PageRankProgram(eps); },
+        [](const PageRankProgram&) { return std::string("converged"); },
+        machines, delays, table);
+  table.print(std::cout);
+
+  std::cout << "\nreading: monotone algorithms stay exact under replica "
+               "divergence (the distributed Theorem 2); rounds grow with the "
+               "network delay — the price of asynchrony stretched across "
+               "machines.\n";
+  return 0;
+}

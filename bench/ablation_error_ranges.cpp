@@ -1,0 +1,79 @@
+// Ablation (§VII future work): "more discussions (e.g., on precision, range
+// of errors) on the variations in the results of fixed point iteration
+// algorithms by nondeterministic executions."
+//
+// For PageRank on web-google-sim, across ε and logical core counts, this
+// reports the pooled absolute/relative error percentiles of nondeterministic
+// runs against the deterministic fixed point, the worst per-vertex spread,
+// and where in the ranking the error lives (head / torso / tail bands).
+//
+// Shape targets: p99 relative error scales with ε; errors concentrate in the
+// ranking's tail (the quantitative backbone of Section V-C's "variation
+// happens in the pages of less significance").
+//
+// Flags: --scale=64 --runs=5 --delay=4 --seed=7.
+
+#include <iostream>
+
+#include "algorithms/pagerank.hpp"
+#include "bench_common.hpp"
+#include "core/error_analysis.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/simulator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const auto delay = static_cast<std::size_t>(args.get_int("delay", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 64));
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  std::cout << "=== PageRank nondeterministic error ranges ===\n"
+            << "(" << d.name << ", |V|=" << d.graph.num_vertices()
+            << ", |E|=" << d.graph.num_edges() << ", " << runs
+            << " NE runs per cell, delay=" << delay << "±" << delay << ")\n\n";
+
+  TextTable table({"eps", "P", "abs p50", "abs p99", "rel p99", "max spread",
+                   "head err", "torso err", "tail err"});
+
+  for (const float eps : {1e-2f, 1e-3f, 1e-4f}) {
+    PageRankProgram de(eps);
+    EdgeDataArray<float> de_edges(d.graph.num_edges());
+    de.init(d.graph, de_edges);
+    run_deterministic(d.graph, de, de_edges);
+    const auto baseline = de.values();
+
+    for (const std::size_t procs : {4u, 16u}) {
+      std::vector<std::vector<double>> ne_runs;
+      for (int i = 0; i < runs; ++i) {
+        PageRankProgram ne(eps);
+        EdgeDataArray<float> ne_edges(d.graph.num_edges());
+        ne.init(d.graph, ne_edges);
+        SimOptions opts;
+        opts.num_procs = procs;
+        opts.delay = delay;
+        opts.delay_jitter = delay;
+        opts.seed = seed + 7919ULL * static_cast<std::uint64_t>(i) + procs;
+        run_simulated(d.graph, ne, ne_edges, opts);
+        ne_runs.push_back(ne.values());
+      }
+      const ErrorAnalysis a = analyze_errors(baseline, ne_runs);
+      table.add_row({TextTable::num(eps, 4), std::to_string(procs),
+                     TextTable::num(a.abs_error.p50, 6),
+                     TextTable::num(a.abs_error.p99, 6),
+                     TextTable::num(a.rel_error.p99, 6),
+                     TextTable::num(a.max_spread, 6),
+                     TextTable::num(a.head_mean_abs, 6),
+                     TextTable::num(a.torso_mean_abs, 6),
+                     TextTable::num(a.tail_mean_abs, 6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: error percentiles track eps (the convergence "
+               "threshold bounds the admissible staleness);\nhead/torso/tail "
+               "columns show WHERE the ranking absorbs the error.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation: the out-of-core substrate's I/O profile — GraphChi's core
+// trade-off measured. For WCC and BFS on web-google-sim, sweeps the shard
+// count and reports bytes read/written per iteration, interval skip rate
+// (selective scheduling), and wall time, verifying the results stay
+// bit-faithful to the in-memory engine.
+//
+// Shape targets: total I/O ~ O(iterations x |E| x 8B) when everything is
+// active (WCC with all vertices scheduled), but the skip rate rockets for
+// frontier-localized workloads (BFS on a deep graph), which is exactly why
+// GraphChi pairs PSW with selective scheduling.
+//
+// Flags: --scale=256 --shards=1,2,4,8.
+
+#include <iostream>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "engine/deterministic.hpp"
+#include "graph/graph_stats.hpp"
+#include "ooc/ooc_engine.hpp"
+#include "ooc/ooc_nondet.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+template <typename MakeProgram, typename Same>
+void sweep(const Dataset& d, const char* algo, MakeProgram make_prog,
+           Same same_as_memory, const std::vector<std::size_t>& shard_counts,
+           const std::string& dir, TextTable& table) {
+  using Program = decltype(make_prog());
+  using ED = typename Program::EdgeData;
+
+  for (const std::size_t shards : shard_counts) {
+    Program prog = make_prog();
+    EdgeDataArray<ED> edges(d.graph.num_edges());
+    prog.init(d.graph, edges);
+    const ShardPlan plan = make_shard_plan(d.graph, shards);
+    const OocResult r = run_ooc_deterministic(
+        d.graph, prog, edges, plan, dir + "/" + algo + std::to_string(shards));
+    const double mib = 1.0 / (1024.0 * 1024.0);
+    table.add_row(
+        {algo, std::to_string(shards), std::to_string(r.iterations),
+         TextTable::num(static_cast<double>(r.bytes_read) * mib, 1),
+         TextTable::num(static_cast<double>(r.bytes_written) * mib, 1),
+         std::to_string(r.intervals_processed),
+         std::to_string(r.intervals_skipped),
+         TextTable::num(r.seconds * 1e3, 1),
+         r.converged && same_as_memory(prog) ? "bit-exact" : "MISMATCH"});
+  }
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto shard_counts = bench::parse_list(args.get("shards", "1,2,4,8"));
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 256));
+  const std::string dir = args.get("dir", "/tmp/ndg_ooc_bench");
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  const VertexId src = max_out_degree_vertex(d.graph);
+  std::cout << "=== Out-of-core (PSW) I/O profile ===\n"
+            << "(" << d.name << ", |V|=" << d.graph.num_vertices()
+            << ", |E|=" << d.graph.num_edges() << ", edge data "
+            << d.graph.num_edges() * 8 / 1024 << " KiB on disk)\n\n";
+
+  // In-memory baselines for the bit-exactness verdicts.
+  WccProgram wcc_mem;
+  EdgeDataArray<WccProgram::EdgeData> wcc_edges(d.graph.num_edges());
+  wcc_mem.init(d.graph, wcc_edges);
+  run_deterministic(d.graph, wcc_mem, wcc_edges);
+
+  BfsProgram bfs_mem(src);
+  EdgeDataArray<BfsProgram::EdgeData> bfs_edges(d.graph.num_edges());
+  bfs_mem.init(d.graph, bfs_edges);
+  run_deterministic(d.graph, bfs_mem, bfs_edges);
+
+  TextTable table({"algorithm", "shards", "iters", "MiB read", "MiB written",
+                   "intervals run", "intervals skipped", "ms", "verdict"});
+  sweep(d, "wcc", [] { return WccProgram(); },
+        [&](const WccProgram& p) { return p.labels() == wcc_mem.labels(); },
+        shard_counts, dir, table);
+  sweep(d, "bfs", [src] { return BfsProgram(src); },
+        [&](const BfsProgram& p) { return p.levels() == bfs_mem.levels(); },
+        shard_counts, dir, table);
+  table.print(std::cout);
+
+  // The paper's actual configuration: NE inside the PSW engine, per
+  // atomicity method (intra-interval races on the loaded buffers).
+  std::cout << "\n--- nondeterministic PSW (the paper's patched GraphChi), "
+               "4 shards, 4 threads ---\n";
+  TextTable ne_table({"algorithm", "mode", "iters", "ms", "verdict"});
+  const ShardPlan plan = make_shard_plan(d.graph, 4);
+  for (const AtomicityMode mode :
+       {AtomicityMode::kLocked, AtomicityMode::kAligned,
+        AtomicityMode::kRelaxed}) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(d.graph.num_edges());
+    prog.init(d.graph, edges);
+    EngineOptions opts;
+    opts.mode = mode;
+    opts.num_threads = 4;
+    const OocResult r = run_ooc_nondeterministic(
+        d.graph, prog, edges, plan, dir + "/ne_" + to_string(mode), opts);
+    ne_table.add_row({"wcc", to_string(mode), std::to_string(r.iterations),
+                      TextTable::num(r.seconds * 1e3, 1),
+                      r.converged && prog.labels() == wcc_mem.labels()
+                          ? "exact"
+                          : "MISMATCH"});
+  }
+  ne_table.print(std::cout);
+
+  std::cout << "\nreading: results are bit-identical to the in-memory engine "
+               "at every shard count; frontier-localized workloads skip most "
+               "interval visits (selective scheduling), cutting I/O; the "
+               "racy PSW runs stay exact for the monotonic workload "
+               "(Theorem 2 inside GraphChi's own execution pattern).\n";
+  return 0;
+}

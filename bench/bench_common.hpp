@@ -1,0 +1,47 @@
+#pragma once
+// Shared plumbing for the table/figure harnesses: dataset construction with a
+// --scale flag, comma-list parsing, and run helpers. Every harness prints the
+// exact configuration (scale, seeds, thread list) so a row in
+// bench_output.txt is reproducible in isolation.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "util/cli.hpp"
+
+namespace ndg::bench {
+
+/// Parses "1,2,4,8" into {1,2,4,8}.
+inline std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoul(tok));
+  }
+  return out;
+}
+
+/// Builds the Table I stand-ins at the --scale divisor (default 128: the
+/// largest graph lands near one million edges, so the full grids run in
+/// minutes on one core).
+///
+/// To run the benches on the REAL SNAP/UFL files instead, replace the loop
+/// body with e.g.
+///   out.push_back(make_dataset_from_file("web-google",
+///                                        "/data/web-Google.txt"));
+/// — everything downstream is identical.
+inline std::vector<Dataset> make_datasets(const CliArgs& args,
+                                          unsigned default_scale = 128) {
+  const auto scale = static_cast<unsigned>(args.get_int("scale", default_scale));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("graph-seed", 20150707));
+  std::vector<Dataset> out;
+  for (const DatasetId id : all_datasets()) {
+    out.push_back(make_dataset(id, scale, seed));
+  }
+  return out;
+}
+
+}  // namespace ndg::bench

@@ -1,0 +1,176 @@
+// Reproduces Figure 3: "Computing times of the graph algorithms in different
+// scenarios" — the 4×4 grid of {PageRank, WCC, SSSP, BFS} × {web-berkstan,
+// web-google, soc-livejournal1, cage15}, comparing
+//
+//   DE          — GraphChi-style external deterministic scheduler (sequential
+//                 by data dependence; the paper shows it with 4 threads and
+//                 notes it "does not scale");
+//   NE-locked   — nondeterministic execution, per-edge locking      (method 1)
+//   NE-aligned  — nondeterministic execution, architecture support  (method 2)
+//   NE-relaxed  — nondeterministic execution, C++ relaxed atomics   (method 3)
+//
+// at several thread counts. Times exclude graph construction, as in the
+// paper. NOTE (host caveat, see EXPERIMENTS.md): this container exposes one
+// hardware core, so wall-clock time cannot fall as threads rise; the
+// policy ordering (aligned ≈ relaxed > locked) is still measurable, and the
+// scaling *shape* is reproduced host-independently by
+// ablation_simulator_convergence.
+//
+// Flags: --scale=N (graph size divisor, default 128), --threads=1,2,4,8,
+//        --eps=1e-3 (PageRank/SpMV threshold), --repeats=1.
+
+#include <iostream>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/psw.hpp"
+#include "graph/graph_stats.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+struct Config {
+  std::vector<std::size_t> threads;
+  std::vector<AtomicityMode> modes;
+  int repeats = 1;
+};
+
+/// Median compute seconds over `repeats` runs of `run` (re-initializing each
+/// time); returns the last EngineResult for the counters.
+template <typename Runner>
+EngineResult timed(const Runner& run, int repeats, double& median_s) {
+  std::vector<double> times;
+  EngineResult last;
+  for (int i = 0; i < repeats; ++i) {
+    last = run();
+    times.push_back(last.seconds);
+  }
+  median_s = percentile(times, 50);
+  return last;
+}
+
+template <typename MakeProgram>
+void bench_algorithm(const Dataset& d, const IntervalPlan& plan,
+                     const char* algo, MakeProgram make_prog, const Config& cfg,
+                     TextTable& table) {
+  using Program = decltype(make_prog());
+  using ED = typename Program::EdgeData;
+
+  auto row = [&](const std::string& config, std::size_t threads, double secs,
+                 const EngineResult& r, double de_secs) {
+    table.add_row({d.name, algo, config, std::to_string(threads),
+                   TextTable::num(secs * 1e3, 1),
+                   TextTable::num(static_cast<double>(r.updates) / secs / 1e6, 2),
+                   std::to_string(r.iterations), r.converged ? "yes" : "no",
+                   de_secs > 0 ? TextTable::num(de_secs / secs, 2) : "1.00"});
+  };
+
+  // DE baseline.
+  double de_secs = 0;
+  Program de_prog = make_prog();
+  EdgeDataArray<ED> edges(d.graph.num_edges());
+  const EngineResult de = timed(
+      [&] {
+        de_prog.init(d.graph, edges);
+        return run_deterministic(d.graph, de_prog, edges);
+      },
+      cfg.repeats, de_secs);
+  row("DE", 1, de_secs, de, 0.0);
+
+  // GraphChi's external deterministic scheduler at 4 threads — the paper's
+  // Fig. 3 "DE" configuration (its parallelism collapses by design).
+  {
+    EngineOptions opts;
+    opts.num_threads = 4;
+    double psw_secs = 0;
+    Program prog = make_prog();
+    const EngineResult r = timed(
+        [&]() -> EngineResult {
+          prog.init(d.graph, edges);
+          return run_psw_deterministic(d.graph, prog, edges, plan, opts);
+        },
+        cfg.repeats, psw_secs);
+    row("DE-psw", 4, psw_secs, r, de_secs);
+  }
+
+  for (const AtomicityMode mode : cfg.modes) {
+    for (const std::size_t threads : cfg.threads) {
+      EngineOptions opts;
+      opts.mode = mode;
+      opts.num_threads = threads;
+      double secs = 0;
+      Program prog = make_prog();
+      const EngineResult r = timed(
+          [&] {
+            prog.init(d.graph, edges);
+            return run_nondeterministic(d.graph, prog, edges, opts);
+          },
+          cfg.repeats, secs);
+      row(std::string("NE-") + to_string(mode), threads, secs, r, de_secs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+
+  Config cfg;
+  cfg.threads = bench::parse_list(args.get("threads", "1,2,4,8"));
+  cfg.modes = {AtomicityMode::kLocked, AtomicityMode::kAligned,
+               AtomicityMode::kRelaxed};
+  cfg.repeats = static_cast<int>(args.get_int("repeats", 1));
+  const int cfg_repeats_json = cfg.repeats;
+  const auto eps = static_cast<float>(args.get_double("eps", 1e-3));
+
+  std::cout << "=== Figure 3: computing times, DE vs NE x atomicity method x "
+               "threads ===\n"
+            << "(scale=" << args.get_int("scale", 128)
+            << ", eps=" << eps << ", repeats=" << cfg.repeats
+            << "; times exclude graph loading)\n\n";
+
+  TextTable table({"graph", "algorithm", "config", "threads", "ms",
+                   "Mupd/s", "iters", "conv", "speedup-vs-DE"});
+
+  for (const Dataset& d : bench::make_datasets(args)) {
+    // Traverse from the highest-out-degree vertex so SSSP/BFS cover a large
+    // component (the paper's SNAP graphs are crawl-connected; synthetic
+    // stand-ins need the source chosen deliberately).
+    const VertexId src = max_out_degree_vertex(d.graph);
+    const IntervalPlan plan = make_intervals(d.graph, 4);
+    bench_algorithm(d, plan, "pagerank", [eps] { return PageRankProgram(eps); },
+                    cfg, table);
+    bench_algorithm(d, plan, "wcc", [] { return WccProgram(); }, cfg, table);
+    bench_algorithm(d, plan, "sssp", [src] { return SsspProgram(src, 42); },
+                    cfg, table);
+    bench_algorithm(d, plan, "bfs", [src] { return BfsProgram(src); }, cfg,
+                    table);
+  }
+  table.print(std::cout);
+
+  if (args.has("json")) {
+    const std::string cfg = "{\"experiment\":\"fig3\",\"scale\":" +
+                            std::to_string(args.get_int("scale", 128)) +
+                            ",\"eps\":" + std::to_string(eps) +
+                            ",\"repeats\":" + std::to_string(cfg_repeats_json) +
+                            "}";
+    table.write_json(args.get("json", "fig3.json"), cfg);
+    std::cout << "\n(json manifest written to " << args.get("json", "fig3.json")
+              << ")\n";
+  }
+
+  std::cout << "\npaper shape targets: NE-aligned >= NE-relaxed > NE-locked in "
+               "throughput;\nNE speedup-vs-DE grows with threads on multi-core "
+               "hosts (up to ~3.3x on the paper's 16-core Xeon).\n";
+  return 0;
+}

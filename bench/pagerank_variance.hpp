@@ -1,0 +1,124 @@
+#pragma once
+// Shared machinery for Tables II & III (Section V-C): PageRank result
+// variance across deterministic and nondeterministic executions.
+//
+// The paper runs each configuration 5 times on web-google and compares
+// rankings by *difference degree*. Configurations:
+//   DE    — external deterministic scheduler (bit-reproducible here, so
+//           DE-vs-DE difference degree is |V|; the paper's small residual
+//           variance came from float summation order, which our sequential
+//           engine fixes);
+//   kNE   — nondeterministic execution on k processors. Host-independent
+//           reproduction uses the logical-processor simulator with k procs
+//           and per-run seeds (each seed = one adversarial schedule); pass
+//           threaded=true to use real threads instead (requires a multi-core
+//           host for interesting variance).
+
+#include <string>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "core/difference_degree.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/simulator.hpp"
+#include "graph/graph.hpp"
+
+namespace ndg::bench {
+
+struct VarianceConfig {
+  std::string name;        // "DE", "4NE", "8NE", "16NE"
+  std::size_t procs = 1;   // 0 => deterministic
+  bool deterministic = false;
+};
+
+inline std::vector<VarianceConfig> paper_configs() {
+  return {{"DE", 1, true}, {"4NE", 4, false}, {"8NE", 8, false},
+          {"16NE", 16, false}};
+}
+
+struct RunSet {
+  VarianceConfig config;
+  std::vector<std::vector<VertexId>> rankings;  // one per run
+};
+
+/// Executes `runs` PageRank runs of one configuration and returns rankings.
+inline RunSet collect_runs(const Graph& g, const VarianceConfig& cfg, float eps,
+                           int runs, bool threaded, std::size_t delay,
+                           std::uint64_t seed_base) {
+  RunSet out;
+  out.config = cfg;
+  for (int i = 0; i < runs; ++i) {
+    PageRankProgram prog(eps);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    if (cfg.deterministic) {
+      run_deterministic(g, prog, edges);
+    } else if (threaded) {
+      EngineOptions opts;
+      opts.num_threads = cfg.procs;
+      opts.mode = AtomicityMode::kRelaxed;
+      run_nondeterministic(g, prog, edges, opts);
+    } else {
+      SimOptions opts;
+      opts.num_procs = cfg.procs;
+      opts.delay = delay;
+      // Jitter = d models run-to-run environmental noise (Section V-C); each
+      // seed below is one independent noisy schedule.
+      opts.delay_jitter = delay;
+      opts.seed = seed_base + 1000003ULL * static_cast<std::uint64_t>(i) +
+                  31ULL * cfg.procs;
+      run_simulated(g, prog, edges, opts);
+    }
+    out.rankings.push_back(rank_vertices(prog.values()));
+  }
+  return out;
+}
+
+/// Average difference degree over all distinct pairs within one run set
+/// (Table II: C(runs, 2) pairs).
+inline double avg_within(const RunSet& rs) {
+  double sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < rs.rankings.size(); ++i) {
+    for (std::size_t j = i + 1; j < rs.rankings.size(); ++j) {
+      sum += static_cast<double>(difference_degree(rs.rankings[i], rs.rankings[j]));
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+/// Average difference degree over all cross pairs (Table III: runs² pairs).
+inline double avg_between(const RunSet& a, const RunSet& b) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& ra : a.rankings) {
+    for (const auto& rb : b.rankings) {
+      sum += static_cast<double>(difference_degree(ra, rb));
+      ++n;
+    }
+  }
+  return n ? sum / n : 0.0;
+}
+
+/// Length of the ranking prefix on which EVERY run in every set agrees
+/// (the paper: "for the pages with higher rank the results from all these
+/// selected scenarios are identical").
+inline std::size_t common_prefix(const std::vector<RunSet>& sets) {
+  const std::vector<VertexId>* first = nullptr;
+  std::size_t prefix = ~std::size_t{0};
+  for (const RunSet& rs : sets) {
+    for (const auto& r : rs.rankings) {
+      if (first == nullptr) {
+        first = &r;
+        prefix = r.size();
+      } else {
+        prefix = std::min(prefix, difference_degree(*first, r));
+      }
+    }
+  }
+  return first ? prefix : 0;
+}
+
+}  // namespace ndg::bench

@@ -1,0 +1,113 @@
+// Eligibility check for a USER-DEFINED algorithm — the paper's title as a
+// workflow. Implements a custom vertex program ("max-label propagation", a
+// reachability-style traversal the library does not ship) and asks the
+// analyzer whether it may run nondeterministically; then demonstrates that
+// the verdict is actionable by running it under heavy simulated races and
+// comparing with the deterministic result.
+//
+//   $ ./example_eligibility_check
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "nondetgraph.hpp"
+
+namespace {
+
+using namespace ndg;
+
+/// Custom algorithm: every vertex learns the MAXIMUM label reachable along
+/// undirected paths (the mirror image of WCC's min propagation). Both
+/// endpoints write shared edges => write-write conflicts; labels only grow
+/// => monotonic. Theorem 2 should license it.
+class MaxLabelProgram {
+ public:
+  using EdgeData = std::uint32_t;
+  static constexpr bool kMonotonic = true;
+
+  [[nodiscard]] const char* name() const { return "max-label"; }
+
+  void init(const Graph& g, EdgeDataArray<std::uint32_t>& edges) {
+    labels_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) labels_[v] = v;
+    edges.fill(0);
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    std::uint32_t m = labels_[v];
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    for (const InEdge& ie : in) m = std::max(m, ctx.read(ie.id));
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      m = std::max(m, ctx.read(ctx.out_edge_id(k)));
+    }
+    labels_[v] = m;
+    for (const InEdge& ie : in) {
+      if (ctx.read(ie.id) < m) ctx.write(ie.id, ie.src, m);
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId e = ctx.out_edge_id(k);
+      if (ctx.read(e) < m) ctx.write(e, out[k], m);
+    }
+  }
+
+  static double project(std::uint32_t label) { return label; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& labels() const {
+    return labels_;
+  }
+
+ private:
+  std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ndg;
+  const Graph g = Graph::build(2000, gen::rmat(2000, 12000, 3));
+
+  // 1. Ask the key-ring question.
+  MaxLabelProgram probe;
+  const EligibilityReport report = analyze_eligibility(g, probe);
+  std::cout << report.describe() << "\n";
+
+  // 2. Trust, but verify: run under an adversarial simulated schedule (8
+  //    logical processors, wide race window) and compare with deterministic.
+  MaxLabelProgram det;
+  EdgeDataArray<std::uint32_t> det_edges(g.num_edges());
+  det.init(g, det_edges);
+  run_deterministic(g, det, det_edges);
+
+  std::size_t mismatches = 0;
+  std::uint64_t total_ww = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    MaxLabelProgram sim;
+    EdgeDataArray<std::uint32_t> sim_edges(g.num_edges());
+    sim.init(g, sim_edges);
+    SimOptions opts;
+    opts.num_procs = 8;
+    opts.delay = 8;
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, sim, sim_edges, opts);
+    total_ww += r.ww_overlaps;
+    if (sim.labels() != det.labels()) ++mismatches;
+  }
+  std::cout << "10 adversarial schedules: " << total_ww
+            << " write-write races observed, " << mismatches
+            << " result mismatches vs deterministic run\n";
+  std::cout << (mismatches == 0
+                    ? "=> Theorem 2 held: corrupted edges were recovered in "
+                      "every schedule.\n"
+                    : "=> UNEXPECTED divergence — the verdict promised "
+                      "otherwise!\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Web-ranking scenario (the paper's Section V-C workflow): rank a web graph
+// with PageRank deterministically and nondeterministically, then quantify how
+// much the nondeterminism moved the ranking — difference degree, top-k
+// agreement, and value error — across several convergence thresholds.
+//
+//   $ ./example_web_ranking [--scale=64] [--runs=3]
+
+#include <iostream>
+
+#include "nondetgraph.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 64));
+  const int runs = static_cast<int>(args.get_int("runs", 3));
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  std::cout << "ranking " << d.name << " (|V|=" << d.graph.num_vertices()
+            << ", |E|=" << d.graph.num_edges() << ")\n\n";
+
+  TextTable table({"eps", "NE run", "diff degree vs DE", "top-100 agree",
+                   "max |rank err|"});
+
+  for (const float eps : {1e-2f, 1e-3f, 1e-4f}) {
+    // Deterministic baseline.
+    PageRankProgram de(eps);
+    EdgeDataArray<float> de_edges(d.graph.num_edges());
+    de.init(d.graph, de_edges);
+    run_deterministic(d.graph, de, de_edges);
+    const auto de_values = de.values();
+    const auto de_ranking = rank_vertices(de_values);
+
+    for (int i = 0; i < runs; ++i) {
+      // One adversarial nondeterministic schedule per seed.
+      PageRankProgram ne(eps);
+      EdgeDataArray<float> ne_edges(d.graph.num_edges());
+      ne.init(d.graph, ne_edges);
+      SimOptions opts;
+      opts.num_procs = 8;
+      opts.delay = 4;
+      opts.delay_jitter = 4;
+      opts.seed = 100 + static_cast<std::uint64_t>(i);
+      run_simulated(d.graph, ne, ne_edges, opts);
+
+      const auto ne_values = ne.values();
+      const auto ne_ranking = rank_vertices(ne_values);
+      const std::size_t dd = difference_degree(de_ranking, ne_ranking);
+      const ValueDelta delta = value_delta(de_values, ne_values);
+
+      // Top-k set agreement (order-insensitive), the practical question for
+      // a search product: do the same pages make the front page?
+      const std::size_t k = std::min<std::size_t>(100, de_ranking.size());
+      std::vector<VertexId> top_de(de_ranking.begin(), de_ranking.begin() + k);
+      std::vector<VertexId> top_ne(ne_ranking.begin(), ne_ranking.begin() + k);
+      std::sort(top_de.begin(), top_de.end());
+      std::sort(top_ne.begin(), top_ne.end());
+      std::size_t agree = 0;
+      for (std::size_t a = 0, b = 0; a < k && b < k;) {
+        if (top_de[a] == top_ne[b]) {
+          ++agree;
+          ++a;
+          ++b;
+        } else if (top_de[a] < top_ne[b]) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+
+      table.add_row({TextTable::num(eps, 4), std::to_string(i),
+                     std::to_string(dd),
+                     std::to_string(agree) + "/" + std::to_string(k),
+                     TextTable::num(delta.max_abs, 6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpect: smaller eps pushes the first ranking difference to "
+               "less significant pages,\nwhile the top of the ranking stays "
+               "stable — the paper's usability argument for nondeterministic "
+               "PageRank.\n";
+  return 0;
+}

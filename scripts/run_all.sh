@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full reproduction pipeline: build, test, run every bench, archive outputs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt + bench_output.txt written."

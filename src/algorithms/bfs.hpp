@@ -1,0 +1,74 @@
+#pragma once
+// Breadth-First Search — "a special case of SSSP, where the weight values of
+// the edges are all ones" (Section V-A). The edge datum is the level of the
+// edge's source endpoint; conflicts under nondeterministic execution are
+// read-write only, and levels are monotonically non-increasing.
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class BfsProgram {
+ public:
+  using EdgeData = std::uint32_t;  // level of the edge's source endpoint
+  static constexpr bool kMonotonic = true;
+  static constexpr std::uint32_t kUnreached = 0xffffffffu;
+
+  explicit BfsProgram(VertexId source) : source_(source) {}
+
+  [[nodiscard]] const char* name() const { return "bfs"; }
+
+  void init(const Graph& g, EdgeDataArray<std::uint32_t>& edges) {
+    levels_.assign(g.num_vertices(), kUnreached);
+    levels_[source_] = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId base = g.out_edges_begin(v);
+      const EdgeId deg = g.out_degree(v);
+      for (EdgeId k = 0; k < deg; ++k) edges.set(base + k, levels_[v]);
+    }
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> seeds{source_};
+    for (const VertexId u : g.out_neighbors(source_)) seeds.push_back(u);
+    return seeds;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    std::uint32_t lvl = levels_[v];
+    for (const InEdge& ie : ctx.in_edges()) {
+      const std::uint32_t src_lvl = ctx.read(ie.id);
+      if (src_lvl != kUnreached) lvl = std::min(lvl, src_lvl + 1);
+    }
+    if (lvl >= levels_[v]) return;
+    levels_[v] = lvl;
+
+    const auto neighbors = ctx.out_neighbors();
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      if (ctx.read(eid) > lvl) ctx.write(eid, neighbors[k], lvl);
+    }
+  }
+
+  static double project(std::uint32_t lvl) { return lvl; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& levels() const {
+    return levels_;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {levels_.begin(), levels_.end()};
+  }
+
+  [[nodiscard]] VertexId source() const { return source_; }
+
+ private:
+  VertexId source_;
+  std::vector<std::uint32_t> levels_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,45 @@
+#pragma once
+// Dual-slot edge datum: both endpoints of an edge publish a value to the
+// SAME 8-byte edge word — the source endpoint owns the low half, the target
+// the high half. Writing "my half" is a read-modify-write of the whole word,
+// so under nondeterministic execution the two owners race and one can
+// resurrect a stale copy of the other's half: a write-write conflict with
+// exactly the corrupt-then-recover dynamics of the paper's Fig. 2. Programs
+// using DualEdge must therefore follow the WCC discipline — rewrite your
+// half whenever the edge disagrees with your state — to stay inside
+// Theorem 2's recovery argument (k-core and MIS below do).
+
+#include <cstdint>
+
+#include "atomics/edge_data.hpp"
+
+namespace ndg {
+
+struct DualEdge {
+  std::uint32_t src_half;
+  std::uint32_t dst_half;
+};
+static_assert(sizeof(DualEdge) == 8);
+static_assert(EdgePod<DualEdge>);
+
+/// The half of `e` owned by this endpoint (is_source selects src_half).
+inline std::uint32_t own_half(DualEdge e, bool is_source) {
+  return is_source ? e.src_half : e.dst_half;
+}
+
+/// The other endpoint's half.
+inline std::uint32_t peer_half(DualEdge e, bool is_source) {
+  return is_source ? e.dst_half : e.src_half;
+}
+
+/// Returns `e` with this endpoint's half replaced by v.
+inline DualEdge with_own_half(DualEdge e, bool is_source, std::uint32_t v) {
+  if (is_source) {
+    e.src_half = v;
+  } else {
+    e.dst_half = v;
+  }
+  return e;
+}
+
+}  // namespace ndg

@@ -1,0 +1,109 @@
+#pragma once
+// k-core decomposition by iterated h-index refinement (Eppstein/Lu–Lakshmanan
+// style): every vertex repeatedly sets its core estimate to the h-index of
+// its neighbours' estimates, starting from its degree; the unique fixed point
+// is the core number. Estimates are monotonically non-increasing, so this is
+// a Theorem 2 workload — and because both endpoints publish their estimate
+// into the same dual-slot edge word, nondeterministic execution produces
+// write-write conflicts whose corruption/recovery follows the Fig. 2 pattern
+// (the update rewrites its half whenever the edge disagrees with its state).
+//
+// Direction is ignored (cores are defined on the undirected graph): a
+// vertex's neighbourhood is its in-edges plus out-edges.
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/dual_edge.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class KCoreProgram {
+ public:
+  using EdgeData = DualEdge;
+  static constexpr bool kMonotonic = true;
+
+  [[nodiscard]] const char* name() const { return "kcore"; }
+
+  void init(const Graph& g, EdgeDataArray<DualEdge>& edges) {
+    core_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      core_[v] = static_cast<std::uint32_t>(g.in_degree(v) + g.out_degree(v));
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId base = g.out_edges_begin(v);
+      const auto out = g.out_neighbors(v);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        edges.set(base + k, DualEdge{core_[v], core_[out[k]]});
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+
+    // Gather: neighbour estimates (the peer half of each incident edge).
+    // Thread-local scratch: updates run concurrently under the
+    // nondeterministic engines; only vertex-owned state may be shared.
+    static thread_local std::vector<std::uint32_t> scratch;
+    scratch.clear();
+    for (const InEdge& ie : in) {
+      scratch.push_back(peer_half(ctx.read(ie.id), /*is_source=*/false));
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      scratch.push_back(
+          peer_half(ctx.read(ctx.out_edge_id(k)), /*is_source=*/true));
+    }
+
+    // Compute: h-index of the estimates, capped by the current estimate.
+    std::sort(scratch.begin(), scratch.end(), std::greater<>());
+    std::uint32_t h = 0;
+    while (h < scratch.size() && scratch[h] >= h + 1) ++h;
+    const std::uint32_t next = std::min(core_[v], h);
+    core_[v] = next;
+
+    // Scatter: republish our half wherever the edge disagrees (covers both a
+    // genuine decrease and recovery of a half corrupted by a racing RMW).
+    for (const InEdge& ie : in) {
+      const DualEdge cur = ctx.read(ie.id);
+      if (own_half(cur, false) != next) {
+        ctx.write(ie.id, ie.src, with_own_half(cur, false, next));
+      }
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const DualEdge cur = ctx.read(eid);
+      if (own_half(cur, true) != next) {
+        ctx.write(eid, out[k], with_own_half(cur, true, next));
+      }
+    }
+  }
+
+  /// Projection for the monotonicity checker: the halves only decrease, so
+  /// their sum only decreases on any conflict-free schedule.
+  static double project(DualEdge e) {
+    return static_cast<double>(e.src_half) + static_cast<double>(e.dst_half);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& core_numbers() const {
+    return core_;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {core_.begin(), core_.end()};
+  }
+
+ private:
+  std::vector<std::uint32_t> core_;
+};
+
+}  // namespace ndg

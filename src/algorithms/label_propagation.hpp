@@ -1,0 +1,103 @@
+#pragma once
+// Community detection by (asynchronous) label propagation — an extension
+// algorithm whose eligibility is GRAPH-DEPENDENT, demonstrating that the
+// paper's sufficient conditions are properties of an (algorithm, input)
+// pair, not of code alone:
+//
+//   * conflicts are read–write only (pull mode: each edge is written by its
+//     source endpoint's update exclusively), and
+//   * on most graphs synchronous execution converges => Theorem 1 applies;
+//   * but on bipartite-ish structures synchronous label propagation
+//     oscillates (the classic LPA two-coloring flip-flop), the Theorem 1
+//     premise fails, and — since label frequencies are not monotonic —
+//     neither theorem licenses nondeterministic execution.
+//
+// The update adopts the most frequent label among in-neighbours, with ties
+// broken toward the current label and then the smallest label (both choices
+// reduce flip-flopping).
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class LabelPropagationProgram {
+ public:
+  using EdgeData = std::uint32_t;  // label of the edge's source endpoint
+  static constexpr bool kMonotonic = false;
+
+  [[nodiscard]] const char* name() const { return "label-propagation"; }
+
+  void init(const Graph& g, EdgeDataArray<std::uint32_t>& edges) {
+    labels_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) labels_[v] = v;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId base = g.out_edges_begin(v);
+      const EdgeId deg = g.out_degree(v);
+      for (EdgeId k = 0; k < deg; ++k) edges.set(base + k, labels_[v]);
+    }
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    const auto in = ctx.in_edges();
+    if (in.empty()) return;
+
+    // Gather: histogram of in-neighbour labels. The scratch buffer must be
+    // per-thread: updates run concurrently under the nondeterministic
+    // engines, and only vertex-owned state may be shared-written.
+    static thread_local std::vector<std::uint32_t> scratch;
+    scratch.clear();
+    for (const InEdge& ie : in) scratch.push_back(ctx.read(ie.id));
+    std::sort(scratch.begin(), scratch.end());
+
+    std::uint32_t best_label = labels_[v];
+    std::size_t best_count = 0;
+    for (std::size_t i = 0; i < scratch.size();) {
+      std::size_t j = i;
+      while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+      const std::size_t count = j - i;
+      const bool wins =
+          count > best_count ||
+          (count == best_count &&
+           (scratch[i] == labels_[v] ||
+            (best_label != labels_[v] && scratch[i] < best_label)));
+      if (wins) {
+        best_label = scratch[i];
+        best_count = count;
+      }
+      i = j;
+    }
+
+    if (best_label == labels_[v]) return;
+    labels_[v] = best_label;
+
+    const auto neighbors = ctx.out_neighbors();
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      ctx.write(ctx.out_edge_id(k), neighbors[k], best_label);
+    }
+  }
+
+  static double project(std::uint32_t label) { return label; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& labels() const {
+    return labels_;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {labels_.begin(), labels_.end()};
+  }
+
+ private:
+  std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,115 @@
+#pragma once
+// Maximal Independent Set — the lexicographically-first MIS via asynchronous
+// state propagation. Vertex states move monotonically from UNKNOWN to IN or
+// OUT: a vertex enters the set once every smaller-id neighbour is OUT, and
+// leaves once any smaller-id neighbour is IN. The fixed point equals the
+// sequential greedy-by-id MIS — a *deterministic* result computed by a
+// nondeterministic execution, which makes it a sharp correctness probe: any
+// lost or mis-ordered propagation changes the output set.
+//
+// States travel in dual-slot edges (each endpoint owns one half), so like
+// k-core this algorithm exhibits write-write conflicts with Fig. 2-style
+// recovery, and is monotone (states never revert) — Theorem 2 territory.
+// Independence is with respect to the underlying undirected graph
+// (neighbourhood = in-edges ∪ out-edges).
+
+#include <vector>
+
+#include "algorithms/dual_edge.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class MisProgram {
+ public:
+  using EdgeData = DualEdge;
+  static constexpr bool kMonotonic = true;
+
+  enum State : std::uint32_t { kUnknown = 0, kIn = 1, kOut = 2 };
+
+  [[nodiscard]] const char* name() const { return "mis"; }
+
+  void init(const Graph& g, EdgeDataArray<DualEdge>& edges) {
+    state_.assign(g.num_vertices(), kUnknown);
+    edges.fill(DualEdge{kUnknown, kUnknown});
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+
+    if (state_[v] == kUnknown) {
+      // Decide from the smaller-id neighbours' published states.
+      bool all_smaller_out = true;
+      bool some_smaller_in = false;
+      auto consider = [&](VertexId u, std::uint32_t peer_state) {
+        if (u >= v) return;
+        if (peer_state == kIn) some_smaller_in = true;
+        if (peer_state != kOut) all_smaller_out = false;
+      };
+      for (const InEdge& ie : in) {
+        consider(ie.src, peer_half(ctx.read(ie.id), /*is_source=*/false));
+      }
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        consider(out[k],
+                 peer_half(ctx.read(ctx.out_edge_id(k)), /*is_source=*/true));
+      }
+      if (some_smaller_in) {
+        state_[v] = kOut;
+      } else if (all_smaller_out) {
+        state_[v] = kIn;
+      }
+      // else: stay kUnknown; a deciding neighbour's write will wake us.
+    }
+
+    // Publish/repair our half wherever the edge disagrees with our state
+    // (covers first publication, progress, and racy-RMW corruption).
+    const std::uint32_t s = state_[v];
+    if (s == kUnknown) return;
+    for (const InEdge& ie : in) {
+      const DualEdge cur = ctx.read(ie.id);
+      if (own_half(cur, false) != s) {
+        ctx.write(ie.id, ie.src, with_own_half(cur, false, s));
+      }
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const DualEdge cur = ctx.read(eid);
+      if (own_half(cur, true) != s) {
+        ctx.write(eid, out[k], with_own_half(cur, true, s));
+      }
+    }
+  }
+
+  static double project(DualEdge e) {
+    return static_cast<double>(e.src_half) + static_cast<double>(e.dst_half);
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& states() const {
+    return state_;
+  }
+
+  [[nodiscard]] std::vector<VertexId> independent_set() const {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < state_.size(); ++v) {
+      if (state_[v] == kIn) set.push_back(v);
+    }
+    return set;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {state_.begin(), state_.end()};
+  }
+
+ private:
+  std::vector<std::uint32_t> state_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,95 @@
+#pragma once
+// PageRank with local convergence — the paper's fixed-point-iteration
+// representative (Section V-A):
+//
+//   "we implement the algorithm by the concept of local convergence ...
+//    Each vertex stores an initial float type weight value of 1 and each edge
+//    also stores a float type weight value, whose initial value is 1 divided
+//    by the out-degree of the vertex. The update function will read in all
+//    weight values of the incoming edges, add them to the weight value of its
+//    corresponding vertex, and then divide the summation by the out-degree.
+//    The weight values of the out-going edges are finally updated by the
+//    quotient from the division."
+//
+// We use the standard damped recurrence r_v = (1-δ) + δ·Σ_in (as in
+// GraphChi's shipped PageRank) so the fixed point exists on every topology.
+// Under nondeterministic execution the update reads in-edges that neighbour
+// updates are concurrently writing: read-write conflicts only, so Theorem 1
+// applies. The algorithm is NOT monotonic — ranks oscillate toward the fixed
+// point — so Theorem 2 does not.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class PageRankProgram {
+ public:
+  using EdgeData = float;  // rank mass flowing along the edge
+  static constexpr bool kMonotonic = false;
+
+  explicit PageRankProgram(float epsilon = 1e-3f, float damping = 0.85f)
+      : epsilon_(epsilon), damping_(damping) {}
+
+  [[nodiscard]] const char* name() const { return "pagerank"; }
+
+  void init(const Graph& g, EdgeDataArray<float>& edges) {
+    ranks_.assign(g.num_vertices(), 1.0f);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId deg = g.out_degree(v);
+      const float w = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+      const EdgeId base = g.out_edges_begin(v);
+      for (EdgeId k = 0; k < deg; ++k) edges.set(base + k, w);
+    }
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    float sum = 0.0f;
+    for (const InEdge& ie : ctx.in_edges()) {  // Gather
+      sum += ctx.read(ie.id);
+    }
+    const float new_rank = (1.0f - damping_) + damping_ * sum;  // Compute
+    const float old_rank = ranks_[v];
+    ranks_[v] = new_rank;
+
+    // Scatter under local convergence: propagate only while still moving by
+    // at least ε; the targets are scheduled by ctx.write (Section II rule).
+    if (std::fabs(new_rank - old_rank) >= epsilon_) {
+      const auto neighbors = ctx.out_neighbors();
+      if (!neighbors.empty()) {
+        const float out_w = new_rank / static_cast<float>(neighbors.size());
+        for (std::size_t k = 0; k < neighbors.size(); ++k) {
+          ctx.write(ctx.out_edge_id(k), neighbors[k], out_w);
+        }
+      }
+    }
+  }
+
+  static double project(float w) { return w; }
+
+  [[nodiscard]] const std::vector<float>& ranks() const { return ranks_; }
+
+  /// Result vector for the difference-degree experiments (Tables II & III).
+  [[nodiscard]] std::vector<double> values() const {
+    return {ranks_.begin(), ranks_.end()};
+  }
+
+  [[nodiscard]] float epsilon() const { return epsilon_; }
+
+ private:
+  float epsilon_;
+  float damping_;
+  std::vector<float> ranks_;
+};
+
+}  // namespace ndg

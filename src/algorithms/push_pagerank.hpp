@@ -1,0 +1,93 @@
+#pragma once
+// Push-mode (delta) PageRank — the deliberately NOT-eligible example, built to
+// exercise the paper's future-work item "more sufficient conditions (e.g.,
+// those considering the push mode)".
+//
+// Each edge carries a residual accumulator. An update drains its in-edge
+// accumulators (writing zero back — a write to in-edges), folds the residual
+// into its rank, and pushes δ·res/outdeg onto each out-edge accumulator via a
+// read-modify-write. Under nondeterministic execution both endpoints write
+// the same edge (drain vs. accumulate) — write-write conflicts — AND the
+// committed value is not monotone (accumulators rise and fall), so neither
+// Theorem 1 nor Theorem 2 applies: racing drains lose residual mass
+// permanently. The eligibility analysis classifies it kNotProven, and the
+// ablation bench shows its nondeterministic results drifting far beyond ε —
+// the cautionary tale the paper's title asks about.
+//
+// Deterministically (sequential or BSP or chromatic) it is a correct delta
+// PageRank and converges to the same fixed point as the pull-mode program.
+
+#include <cmath>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class PushPageRankProgram {
+ public:
+  using EdgeData = float;  // residual mass parked on the edge
+  static constexpr bool kMonotonic = false;
+
+  explicit PushPageRankProgram(float epsilon = 1e-4f, float damping = 0.85f)
+      : epsilon_(epsilon), damping_(damping) {}
+
+  [[nodiscard]] const char* name() const { return "pagerank-push"; }
+
+  void init(const Graph& g, EdgeDataArray<float>& edges) {
+    ranks_.assign(g.num_vertices(), 0.0f);
+    seed_residual_.assign(g.num_vertices(), 1.0f - damping_);
+    edges.fill(0.0f);
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    // Drain: collect residual parked on in-edges and zero the accumulators.
+    float res = seed_residual_[v];
+    seed_residual_[v] = 0.0f;
+    for (const InEdge& ie : ctx.in_edges()) {
+      const float a = ctx.read(ie.id);
+      if (a != 0.0f) {
+        res += a;
+        ctx.write_silent(ie.id, 0.0f);  // must NOT reschedule the pusher
+      }
+    }
+    if (res < epsilon_) {
+      seed_residual_[v] += res;  // keep sub-threshold mass for later
+      return;
+    }
+    ranks_[v] += res;
+
+    // Push: read-modify-write on each out-edge accumulator.
+    const auto neighbors = ctx.out_neighbors();
+    if (neighbors.empty()) return;
+    const float push = damping_ * res / static_cast<float>(neighbors.size());
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const float cur = ctx.read(eid);
+      ctx.write(eid, neighbors[k], cur + push);
+    }
+  }
+
+  static double project(float a) { return a; }
+
+  [[nodiscard]] const std::vector<float>& ranks() const { return ranks_; }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {ranks_.begin(), ranks_.end()};
+  }
+
+ private:
+  float epsilon_;
+  float damping_;
+  std::vector<float> ranks_;
+  std::vector<float> seed_residual_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,203 @@
+#include "algorithms/reference/references.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace ndg::ref {
+
+std::vector<double> pagerank(const Graph& g, double damping, double tol,
+                             std::size_t max_iter) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> r(n, 1.0);
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    double max_delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const InEdge& ie : g.in_edges(v)) {
+        const double deg = static_cast<double>(g.out_degree(ie.src));
+        sum += r[ie.src] / deg;  // deg >= 1: ie.src has at least this edge
+      }
+      next[v] = (1.0 - damping) + damping * sum;
+      max_delta = std::max(max_delta, std::abs(next[v] - r[v]));
+    }
+    r.swap(next);
+    if (max_delta < tol) break;
+  }
+  return r;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Union by smaller root id, so every root is its component's minimum.
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> wcc(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) uf.unite(v, u);
+  }
+  std::vector<std::uint32_t> labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::vector<float> sssp(const Graph& g, VertexId source,
+                        const std::vector<float>& weights) {
+  NDG_ASSERT(weights.size() == g.num_edges());
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(g.num_vertices(), kInf);
+  dist[source] = 0.0f;
+
+  using Item = std::pair<float, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0f, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;  // stale entry
+    const EdgeId base = g.out_edges_begin(v);
+    const auto neighbors = g.out_neighbors(v);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const float nd = d + weights[base + k];
+      if (nd < dist[neighbors[k]]) {
+        dist[neighbors[k]] = nd;
+        pq.emplace(nd, neighbors[k]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs(const Graph& g, VertexId source) {
+  constexpr std::uint32_t kUnreached = 0xffffffffu;
+  std::vector<std::uint32_t> level(g.num_vertices(), kUnreached);
+  level[source] = 0;
+  std::queue<VertexId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (level[u] == kUnreached) {
+        level[u] = level[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<std::uint32_t> kcore(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  // Undirected multigraph adjacency (out ∪ in), matching KCoreProgram.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(adj[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree, then peel in nondecreasing order.
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+
+  std::vector<std::uint32_t> core(n, 0);
+  std::vector<bool> removed(n, false);
+  std::uint32_t current = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    // Buckets can grow below d as neighbours are peeled; re-scan from d.
+    for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+      const VertexId v = buckets[d][i];
+      if (removed[v] || degree[v] != d) continue;
+      current = std::max(current, d);
+      core[v] = current;
+      removed[v] = true;
+      for (const VertexId u : adj[v]) {
+        if (!removed[u] && degree[u] > d) {
+          --degree[u];
+          buckets[degree[u]].push_back(u);
+        }
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<double> spmv_fixed_point(const Graph& g, double omega, double tol,
+                                     std::size_t max_iter) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> x(n, 1.0);
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    double max_delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const InEdge& ie : g.in_edges(v)) {
+        sum += x[ie.src] / static_cast<double>(g.out_degree(ie.src));
+      }
+      next[v] = (1.0 - omega) + omega * sum;
+      max_delta = std::max(max_delta, std::abs(next[v] - x[v]));
+    }
+    x.swap(next);
+    if (max_delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<bool> greedy_mis(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> in_set(n, false);
+  std::vector<bool> blocked(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    if (blocked[v]) continue;
+    in_set[v] = true;
+    for (const VertexId u : g.out_neighbors(v)) blocked[u] = true;
+    for (const InEdge& ie : g.in_edges(v)) blocked[ie.src] = true;
+  }
+  return in_set;
+}
+
+}  // namespace ndg::ref

@@ -1,0 +1,46 @@
+#pragma once
+// Textbook sequential implementations used as test oracles for the
+// vertex-centric programs. They share nothing with the engines — independent
+// code paths, so agreement is meaningful evidence.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg::ref {
+
+/// Dense power iteration of r = (1-δ)·1 + δ·Aᵀ_norm·r to tolerance `tol`
+/// (L∞ between successive iterates).
+std::vector<double> pagerank(const Graph& g, double damping = 0.85,
+                             double tol = 1e-9, std::size_t max_iter = 10000);
+
+/// Weakly connected components via union-find; labels[v] = min vertex id in
+/// v's component (matching WccProgram's fixed point).
+std::vector<std::uint32_t> wcc(const Graph& g);
+
+/// Dijkstra over canonical-edge-id weights; weights[e] must align with the
+/// Graph's edge ids (use SsspProgram::edge_weight for parity).
+std::vector<float> sssp(const Graph& g, VertexId source,
+                        const std::vector<float>& weights);
+
+/// BFS levels (0xffffffff for unreachable), following out-edges.
+std::vector<std::uint32_t> bfs(const Graph& g, VertexId source);
+
+/// Core numbers by Batagelj–Zaveršnik bucket peeling over the undirected
+/// multigraph view (neighbourhood = out-neighbours ∪ in-neighbours, matching
+/// KCoreProgram's adjacency).
+std::vector<std::uint32_t> kcore(const Graph& g);
+
+/// Lexicographically-first maximal independent set (greedy by ascending id
+/// over the undirected view); result[v] is true iff v is in the set.
+std::vector<bool> greedy_mis(const Graph& g);
+
+/// Dense Richardson iteration x' = (1-omega) + omega·(Aᵀ_row-norm · x) from
+/// x = 1 — the unique fixed point SpmvProgram approximates (contraction for
+/// omega < 1).
+std::vector<double> spmv_fixed_point(const Graph& g, double omega = 0.5,
+                                     double tol = 1e-12,
+                                     std::size_t max_iter = 100000);
+
+}  // namespace ndg::ref

@@ -1,0 +1,64 @@
+#include "algorithms/registry.hpp"
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/label_propagation.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank.hpp"
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "algorithms/spmv.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+
+namespace ndg {
+
+std::vector<AlgorithmEntry> algorithm_registry(VertexId source,
+                                               std::size_t max_iterations) {
+  std::vector<AlgorithmEntry> entries;
+
+  entries.push_back({"pagerank", [max_iterations](const Graph& g) {
+                       PageRankProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"spmv", [max_iterations](const Graph& g) {
+                       SpmvProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"wcc", [max_iterations](const Graph& g) {
+                       WccProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"sssp", [source, max_iterations](const Graph& g) {
+                       SsspProgram prog(source);
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"bfs", [source, max_iterations](const Graph& g) {
+                       BfsProgram prog(source);
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"pagerank-push", [max_iterations](const Graph& g) {
+                       PushPageRankProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"pagerank-push-atomic", [max_iterations](const Graph& g) {
+                       AtomicPushPageRankProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"label-propagation", [max_iterations](const Graph& g) {
+                       LabelPropagationProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"kcore", [max_iterations](const Graph& g) {
+                       KCoreProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+  entries.push_back({"mis", [max_iterations](const Graph& g) {
+                       MisProgram prog;
+                       return analyze_eligibility(g, prog, max_iterations);
+                     }});
+
+  return entries;
+}
+
+}  // namespace ndg

@@ -1,0 +1,26 @@
+#pragma once
+// Type-erased registry over the shipped vertex programs, so harnesses
+// (eligibility bench, examples) can iterate "every algorithm" without
+// spelling out the heterogeneous program types.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/eligibility.hpp"
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct AlgorithmEntry {
+  std::string name;
+  /// Runs the full eligibility analysis for this algorithm on g.
+  std::function<EligibilityReport(const Graph& g)> analyze;
+};
+
+/// All shipped algorithms. `source` seeds SSSP/BFS; `max_iterations` caps the
+/// analysis runs.
+std::vector<AlgorithmEntry> algorithm_registry(VertexId source = 0,
+                                               std::size_t max_iterations = 5000);
+
+}  // namespace ndg

@@ -1,0 +1,109 @@
+#pragma once
+// Single-Source Shortest Path — graph-traversal representative (Section V-A):
+//
+//   "each vertex stores a distance value ... Each edge stores an initial
+//    fixed weight value, which is a random value (between 1 and 10) generated
+//    during initialization, and a distance value, which is initially set to
+//    be the same as the distance value of its source vertex. The updates pass
+//    the computing results via the edges, and when executing
+//    nondeterministically, only read-write conflicts happen in the edges."
+//
+// The 8-byte edge datum packs {weight, candidate distance}. Only the source
+// endpoint of an edge ever writes it (scatter to out-edges), so conflicts are
+// read-write only — Theorem 1 territory — and distances are monotonically
+// non-increasing, so Theorem 2 applies as well.
+
+#include <limits>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+#include "util/rng.hpp"
+
+namespace ndg {
+
+struct SsspEdge {
+  float weight;  // fixed after init
+  float dist;    // candidate distance of the edge's source endpoint
+};
+static_assert(sizeof(SsspEdge) == 8);
+
+class SsspProgram {
+ public:
+  using EdgeData = SsspEdge;
+  static constexpr bool kMonotonic = true;
+  static constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  explicit SsspProgram(VertexId source, std::uint64_t weight_seed = 42)
+      : source_(source), weight_seed_(weight_seed) {}
+
+  [[nodiscard]] const char* name() const { return "sssp"; }
+
+  /// The weight of canonical edge e, derived from (seed, e) so that the
+  /// Dijkstra reference and every engine see identical weights.
+  static float edge_weight(std::uint64_t seed, EdgeId e) {
+    SplitMix64 sm(seed ^ (e * 0x9e3779b97f4a7c15ULL + 1));
+    // "a random value (between 1 and 10)"
+    return 1.0f + 9.0f * static_cast<float>(sm.next() >> 40) /
+                      static_cast<float>(1 << 24);
+  }
+
+  void init(const Graph& g, EdgeDataArray<SsspEdge>& edges) {
+    dists_.assign(g.num_vertices(), kInf);
+    dists_[source_] = 0.0f;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId base = g.out_edges_begin(v);
+      const EdgeId deg = g.out_degree(v);
+      for (EdgeId k = 0; k < deg; ++k) {
+        edges.set(base + k,
+                  SsspEdge{edge_weight(weight_seed_, base + k), dists_[v]});
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    // init() already placed the source's distance on its out-edges, so the
+    // first updates that make progress are the source's successors.
+    std::vector<VertexId> seeds{source_};
+    for (const VertexId u : g.out_neighbors(source_)) seeds.push_back(u);
+    return seeds;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    // Gather: best candidate distance over the in-edges.
+    float d = dists_[v];
+    for (const InEdge& ie : ctx.in_edges()) {
+      const SsspEdge e = ctx.read(ie.id);
+      if (e.dist + e.weight < d) d = e.dist + e.weight;
+    }
+    if (d >= dists_[v]) return;  // no improvement; nothing new to scatter
+    dists_[v] = d;
+
+    // Scatter: publish the improved distance on the out-edges (reading first
+    // to preserve the co-located weight and to skip no-op writes).
+    const auto neighbors = ctx.out_neighbors();
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const SsspEdge cur = ctx.read(eid);
+      if (cur.dist > d) ctx.write(eid, neighbors[k], SsspEdge{cur.weight, d});
+    }
+  }
+
+  static double project(SsspEdge e) { return e.dist; }
+
+  [[nodiscard]] const std::vector<float>& distances() const { return dists_; }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {dists_.begin(), dists_.end()};
+  }
+
+  [[nodiscard]] VertexId source() const { return source_; }
+  [[nodiscard]] std::uint64_t weight_seed() const { return weight_seed_; }
+
+ private:
+  VertexId source_;
+  std::uint64_t weight_seed_;
+  std::vector<float> dists_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,84 @@
+#pragma once
+// Weakly Connected Components by minimum-label propagation — the paper's
+// write-write-conflict representative (Section IV, Fig. 2, and the GraphChi
+// example the paper patched):
+//
+//   "The update function in this example first compares the label values of
+//    its corresponding vertex and those of its incident edges, computes the
+//    minimal label value, and then updates the label value of its
+//    corresponding vertex and its incident edges to the minimal value."
+//
+// Both endpoints of an edge write it, so nondeterministic execution produces
+// write-write conflicts; labels only ever decrease (monotonic), so Theorem 2
+// guarantees convergence — corrupted edge labels are re-corrected in later
+// iterations, and the final result is bit-identical to the deterministic run.
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class WccProgram {
+ public:
+  using EdgeData = std::uint32_t;  // component label carried by the edge
+  static constexpr bool kMonotonic = true;
+  /// Fig. 2: "the initial label value of the edge (v->u) is infinite".
+  static constexpr std::uint32_t kInfiniteLabel = 0xffffffffu;
+
+  [[nodiscard]] const char* name() const { return "wcc"; }
+
+  void init(const Graph& g, EdgeDataArray<std::uint32_t>& edges) {
+    labels_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) labels_[v] = v;
+    edges.fill(kInfiniteLabel);
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    // Gather: minimum over the vertex label and every incident edge label.
+    std::uint32_t m = labels_[v];
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    for (const InEdge& ie : in) m = std::min(m, ctx.read(ie.id));
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      m = std::min(m, ctx.read(ctx.out_edge_id(k)));
+    }
+
+    labels_[v] = m;
+
+    // Scatter: push the minimum to every incident edge that is still above
+    // it (the "if e satisfies some criteria" predicate of Algorithm 1).
+    for (const InEdge& ie : in) {
+      if (ctx.read(ie.id) > m) ctx.write(ie.id, ie.src, m);
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId e = ctx.out_edge_id(k);
+      if (ctx.read(e) > m) ctx.write(e, out[k], m);
+    }
+  }
+
+  static double project(std::uint32_t label) { return label; }
+
+  /// labels()[v] converges to the minimum vertex id in v's weakly connected
+  /// component.
+  [[nodiscard]] const std::vector<std::uint32_t>& labels() const {
+    return labels_;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {labels_.begin(), labels_.end()};
+  }
+
+ private:
+  std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,19 @@
+#include "atomics/access_policy.hpp"
+
+namespace ndg {
+
+const char* to_string(AtomicityMode mode) {
+  switch (mode) {
+    case AtomicityMode::kLocked:
+      return "locked";
+    case AtomicityMode::kAligned:
+      return "aligned";
+    case AtomicityMode::kRelaxed:
+      return "relaxed";
+    case AtomicityMode::kSeqCst:
+      return "seq_cst";
+  }
+  return "?";
+}
+
+}  // namespace ndg

@@ -1,0 +1,108 @@
+#pragma once
+// Per-edge algorithm data, stored out-of-band from the Graph topology and
+// indexed by canonical edge id.
+//
+// The paper's Section III restricts edge data to structures that fit in one
+// 8-byte, 8-byte-aligned machine word ("we align the edge data structures of
+// the above algorithms to 8 bytes, such that they are stored in a single
+// cache line"). We enforce that contract at compile time with the EdgePod
+// concept, and store every edge datum in an 8-byte slot so that all three of
+// the paper's atomicity methods (locking, aligned plain access, C++ atomics)
+// can operate on the *same* storage.
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// Edge data must be trivially copyable and fit one machine word; this is the
+/// precondition for Lemmas 1 & 2 (individual reads/writes can be atomic).
+template <typename T>
+concept EdgePod = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+namespace detail {
+
+template <EdgePod T>
+inline std::uint64_t to_slot(T v) {
+  std::uint64_t s = 0;
+  std::memcpy(&s, &v, sizeof(T));
+  return s;
+}
+
+template <EdgePod T>
+inline T from_slot(std::uint64_t s) {
+  T v;
+  std::memcpy(&v, &s, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+template <EdgePod T>
+class EdgeDataArray {
+ public:
+  using value_type = T;
+
+  EdgeDataArray() = default;
+
+  explicit EdgeDataArray(EdgeId n, T init = T{})
+      : size_(n), slots_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    fill(init);
+  }
+
+  [[nodiscard]] EdgeId size() const { return size_; }
+
+  void fill(T v) {
+    const std::uint64_t s = detail::to_slot(v);
+    for (EdgeId e = 0; e < size_; ++e) {
+      slots_[e].store(s, std::memory_order_relaxed);
+    }
+  }
+
+  /// Unsynchronized accessors for single-threaded phases (init, verification).
+  [[nodiscard]] T get(EdgeId e) const {
+    NDG_ASSERT(e < size_);
+    return detail::from_slot<T>(slots_[e].load(std::memory_order_relaxed));
+  }
+  void set(EdgeId e, T v) {
+    NDG_ASSERT(e < size_);
+    slots_[e].store(detail::to_slot(v), std::memory_order_relaxed);
+  }
+
+  /// Raw slot storage; the access policies in access_policy.hpp go through
+  /// this. std::atomic<uint64_t> is lock-free and 8-byte aligned on every
+  /// platform we target (checked below), which is what makes the paper's
+  /// "architecture support" method possible.
+  [[nodiscard]] std::atomic<std::uint64_t>* slots() { return slots_.get(); }
+  [[nodiscard]] const std::atomic<std::uint64_t>* slots() const {
+    return slots_.get();
+  }
+
+  /// Deep copy (used by the BSP engine's double buffering and by the
+  /// result-variance experiments to snapshot runs).
+  [[nodiscard]] EdgeDataArray clone() const {
+    EdgeDataArray copy(size_);
+    for (EdgeId e = 0; e < size_; ++e) {
+      copy.slots_[e].store(slots_[e].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    return copy;
+  }
+
+ private:
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "edge slots must be natively atomic");
+  static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t) &&
+                    alignof(std::atomic<std::uint64_t>) == alignof(std::uint64_t),
+                "atomic slot layout must match raw uint64 for AlignedAccess");
+
+  EdgeId size_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,78 @@
+#pragma once
+// Per-edge spinlocks for the paper's atomicity method (1): "a lock is defined
+// for each edge, and an access to the edge must first acquire the lock and
+// release the lock when finished accessing". One byte per edge keeps the
+// table small enough to define a lock per edge rather than striping.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+class EdgeLockTable {
+ public:
+  EdgeLockTable() = default;
+
+  explicit EdgeLockTable(EdgeId num_edges)
+      : size_(num_edges), locks_(std::make_unique<std::atomic<std::uint8_t>[]>(num_edges)) {
+    for (EdgeId e = 0; e < num_edges; ++e) {
+      locks_[e].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] EdgeId size() const { return size_; }
+
+  void lock(EdgeId e) {
+    NDG_ASSERT(e < size_);
+    auto& l = locks_[e];
+    for (;;) {
+      std::uint8_t expected = 0;
+      if (l.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                  std::memory_order_relaxed)) {
+        return;
+      }
+      // Test before test-and-set to avoid cache-line ping-pong while waiting;
+      // yield after a short spin so an oversubscribed host can run the owner.
+      int spins = 0;
+      while (l.load(std::memory_order_relaxed) != 0) {
+        if (++spins < 256) {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  void unlock(EdgeId e) {
+    NDG_ASSERT(e < size_);
+    locks_[e].store(0, std::memory_order_release);
+  }
+
+ private:
+  EdgeId size_ = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> locks_;
+};
+
+/// RAII guard, so update functions can't leak a held edge lock on early exit.
+class EdgeLockGuard {
+ public:
+  EdgeLockGuard(EdgeLockTable& table, EdgeId e) : table_(table), e_(e) {
+    table_.lock(e_);
+  }
+  ~EdgeLockGuard() { table_.unlock(e_); }
+  EdgeLockGuard(const EdgeLockGuard&) = delete;
+  EdgeLockGuard& operator=(const EdgeLockGuard&) = delete;
+
+ private:
+  EdgeLockTable& table_;
+  EdgeId e_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,64 @@
+#include "core/convergence_bound.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace ndg {
+
+ConvergenceBound wcc_convergence_bound(const Graph& g) {
+  ConvergenceBound out;
+  const VertexId n = g.num_vertices();
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> depth(n, 0);
+  std::queue<VertexId> q;
+
+  // Ascending scan: the first unvisited vertex of a component IS its minimum
+  // label, so one pass gives every component's value origin for free.
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    depth[root] = 0;
+    q.push(root);
+    std::size_t comp_depth = 0;
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      comp_depth = std::max<std::size_t>(comp_depth, depth[u]);
+      auto visit = [&](VertexId w) {
+        if (!visited[w]) {
+          visited[w] = true;
+          depth[w] = depth[u] + 1;
+          q.push(w);
+        }
+      };
+      for (const VertexId w : g.out_neighbors(u)) visit(w);
+      for (const InEdge& ie : g.in_edges(u)) visit(ie.src);
+    }
+    out.chain_depth = std::max(out.chain_depth, comp_depth);
+  }
+  out.rw_bound = out.chain_depth + 3;
+  out.ww_bound = 3 * out.chain_depth + 4;
+  return out;
+}
+
+std::size_t traversal_chain_depth(const Graph& g, VertexId source) {
+  std::vector<VertexId> depth(g.num_vertices(), kInvalidVertex);
+  std::queue<VertexId> q;
+  depth[source] = 0;
+  q.push(source);
+  std::size_t max_depth = 0;
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    max_depth = std::max<std::size_t>(max_depth, depth[u]);
+    for (const VertexId w : g.out_neighbors(u)) {
+      if (depth[w] == kInvalidVertex) {
+        depth[w] = depth[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace ndg

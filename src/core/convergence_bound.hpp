@@ -1,0 +1,49 @@
+#pragma once
+// Convergence-speed bounds — the paper's §VII future-work item "theoretical
+// analyses of the convergence speed (e.g., in amount of iterations) of graph
+// algorithms by nondeterministic executions".
+//
+// The Theorem 1/2 proofs hinge on a dependency chain v_0, v_1, ..., v_{k-1}
+// whose result must reach v. Per iteration the chain advances at least one
+// hop (the f(v_i) ≺/≻/∥ f(v_{i+1}) case analysis), and a write-write
+// corruption costs at most two extra iterations to repair (the Theorem 2
+// walk-through). That yields checkable iteration bounds:
+//
+//   traversal algorithms, synchronous or nondeterministic, RW conflicts only:
+//       iterations <= chain_depth + 3
+//       (value wave + one stale-edge cleanup wave + one drain round)
+//   monotonic algorithms with WW conflicts (Theorem 2 recovery):
+//       iterations <= 3 * chain_depth + 4   (each hop may pay the
+//                                            corrupt/correct/re-read cycle)
+//
+// where chain_depth is the longest shortest-path chain the result must
+// travel: for label/distance propagation that is the undirected eccentricity
+// of the value's origin, maximized over components. The bench
+// ablation_convergence_speed checks measured iterations against these.
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct ConvergenceBound {
+  /// max over weakly connected components of the BFS depth from the
+  /// component's minimum-label vertex (the WCC value origin).
+  std::size_t chain_depth = 0;
+  /// chain_depth + 3: bound for RW-only traversal (and synchronous WCC).
+  std::size_t rw_bound = 0;
+  /// 3 * chain_depth + 4: bound with write-write recovery (Theorem 2).
+  std::size_t ww_bound = 0;
+};
+
+/// Computes the chain depth by BFS (ignoring edge direction) from each
+/// component's minimum vertex id — the label that must reach everyone in
+/// min-label propagation.
+ConvergenceBound wcc_convergence_bound(const Graph& g);
+
+/// Chain depth for a single-source traversal: undirected-or-directed BFS
+/// depth from `source` (directed = follow out-edges only, matching BFS/SSSP).
+std::size_t traversal_chain_depth(const Graph& g, VertexId source);
+
+}  // namespace ndg

@@ -1,0 +1,51 @@
+#include "core/difference_degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+std::vector<VertexId> rank_vertices(std::span<const double> values) {
+  std::vector<VertexId> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::size_t difference_degree(std::span<const VertexId> ranking_a,
+                              std::span<const VertexId> ranking_b) {
+  NDG_ASSERT_MSG(ranking_a.size() == ranking_b.size(),
+                 "rankings must cover the same vertex set");
+  for (std::size_t i = 0; i < ranking_a.size(); ++i) {
+    if (ranking_a[i] != ranking_b[i]) return i;
+  }
+  return ranking_a.size();
+}
+
+std::size_t difference_degree_values(std::span<const double> a,
+                                     std::span<const double> b) {
+  const auto ra = rank_vertices(a);
+  const auto rb = rank_vertices(b);
+  return difference_degree(ra, rb);
+}
+
+ValueDelta value_delta(std::span<const double> a, std::span<const double> b) {
+  NDG_ASSERT(a.size() == b.size());
+  ValueDelta d;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = std::abs(a[i] - b[i]);
+    d.max_abs = std::max(d.max_abs, diff);
+    sum += diff;
+  }
+  d.mean_abs = a.empty() ? 0.0 : sum / static_cast<double>(a.size());
+  return d;
+}
+
+}  // namespace ndg

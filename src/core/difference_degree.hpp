@@ -1,0 +1,39 @@
+#pragma once
+// Result-variance metrics for fixed-point algorithms (Section V-C).
+//
+// The paper compares two runs' results by ranking the vertices (pages) by
+// computed value and finding the *difference degree*: the minimal rank index
+// at which the two rankings name different vertices. "For PageRank, a bigger
+// difference degree means that the variation happens in pages of less
+// significance, i.e., bigger is better."
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// Vertices ordered by value descending; ties broken by ascending vertex id
+/// (a deterministic tiebreak so the metric itself adds no noise).
+std::vector<VertexId> rank_vertices(std::span<const double> values);
+
+/// Minimal index where the two rankings differ; returns the common size if
+/// they are identical (i.e. "no difference within the top |V|").
+std::size_t difference_degree(std::span<const VertexId> ranking_a,
+                              std::span<const VertexId> ranking_b);
+
+/// Convenience: rank both value vectors and compare.
+std::size_t difference_degree_values(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Value-space error metrics between two runs (future-work item of §VII:
+/// "more discussions on precision, range of errors").
+struct ValueDelta {
+  double max_abs = 0.0;  // L∞
+  double mean_abs = 0.0; // L1 / n
+};
+ValueDelta value_delta(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ndg

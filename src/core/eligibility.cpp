@@ -1,0 +1,67 @@
+#include "core/eligibility.hpp"
+
+#include <sstream>
+
+namespace ndg {
+
+const char* to_string(EligibilityVerdict v) {
+  switch (v) {
+    case EligibilityVerdict::kTheorem1:
+      return "ELIGIBLE (Theorem 1: read-write conflicts only)";
+    case EligibilityVerdict::kTheorem2:
+      return "ELIGIBLE (Theorem 2: monotonic, tolerates write-write)";
+    case EligibilityVerdict::kNotProven:
+      return "NOT PROVEN ELIGIBLE (no sufficient condition applies)";
+  }
+  return "?";
+}
+
+namespace detail {
+
+EligibilityVerdict decide(EligibilityReport& r) {
+  r.theorem1_applies = r.bsp_converges && !r.conflicts.has_write_write();
+  // Theorem 2 requires monotonicity as an ALGORITHM property. The checker
+  // only witnesses one run, which can look monotone by accident (e.g. label
+  // propagation on a two-vertex graph), so the program must also claim it;
+  // the observation then validates the claim rather than replacing it.
+  r.theorem2_applies =
+      r.async_converges && r.claimed_monotonic && r.observed_monotonic;
+  if (r.theorem1_applies) return EligibilityVerdict::kTheorem1;
+  if (r.theorem2_applies) return EligibilityVerdict::kTheorem2;
+  return EligibilityVerdict::kNotProven;
+}
+
+}  // namespace detail
+
+std::string EligibilityReport::describe() const {
+  auto dir = [](MonotonicityChecker::Direction d) {
+    switch (d) {
+      case MonotonicityChecker::Direction::kConstant:
+        return "constant";
+      case MonotonicityChecker::Direction::kNonIncreasing:
+        return "non-increasing";
+      case MonotonicityChecker::Direction::kNonDecreasing:
+        return "non-decreasing";
+      case MonotonicityChecker::Direction::kNone:
+        return "non-monotonic";
+    }
+    return "?";
+  };
+
+  std::ostringstream os;
+  os << "algorithm: " << algorithm << "\n"
+     << "  converges under synchronous (BSP) model:        "
+     << (bsp_converges ? "yes" : "no") << "\n"
+     << "  converges under deterministic asynchronous run: "
+     << (async_converges ? "yes" : "no") << "\n"
+     << "  edge conflicts: read-write=" << conflicts.read_write
+     << " write-write=" << conflicts.write_write << "\n"
+     << "  monotonicity: claimed=" << (claimed_monotonic ? "yes" : "no")
+     << " observed=" << dir(direction) << "\n"
+     << "  Theorem 1 applies: " << (theorem1_applies ? "yes" : "no") << "\n"
+     << "  Theorem 2 applies: " << (theorem2_applies ? "yes" : "no") << "\n"
+     << "  verdict: " << to_string(verdict) << "\n";
+  return os.str();
+}
+
+}  // namespace ndg

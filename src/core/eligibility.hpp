@@ -1,0 +1,96 @@
+#pragma once
+// Eligibility analysis — the "key ring" the paper's related-work section says
+// is missing: given a vertex program, decide whether one of the paper's two
+// sufficient conditions licenses nondeterministic execution.
+//
+//   Theorem 1: converges under the synchronous (BSP) model AND produces only
+//              read-write conflicts on edges  =>  NE-safe.
+//   Theorem 2: converges under deterministic asynchronous execution AND is
+//              monotonic  =>  NE-safe even with write-write conflicts.
+//
+// The analysis runs the program (a) under BSP and (b) under the deterministic
+// asynchronous engine instrumented with the ConflictTracer and the
+// MonotonicityChecker, then applies the theorems. Both conditions are
+// *sufficient*, not necessary — kNotProven means "no guarantee from this
+// paper", not "unsafe".
+
+#include <string>
+
+#include "atomics/edge_data.hpp"
+#include "core/monotonicity.hpp"
+#include "engine/bsp.hpp"
+#include "engine/conflict_tracer.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+enum class EligibilityVerdict {
+  kTheorem1,   // fixed-point style: RW conflicts only, BSP-convergent
+  kTheorem2,   // traversal style: monotonic, async-convergent
+  kNotProven,  // neither sufficient condition applies
+};
+
+[[nodiscard]] const char* to_string(EligibilityVerdict v);
+
+struct EligibilityReport {
+  std::string algorithm;
+  bool bsp_converges = false;
+  bool async_converges = false;
+  ConflictReport conflicts;
+  bool claimed_monotonic = false;
+  bool observed_monotonic = false;
+  MonotonicityChecker::Direction direction = MonotonicityChecker::Direction::kNone;
+  bool theorem1_applies = false;
+  bool theorem2_applies = false;
+  EligibilityVerdict verdict = EligibilityVerdict::kNotProven;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string describe() const;
+};
+
+namespace detail {
+
+EligibilityVerdict decide(EligibilityReport& r);
+
+}  // namespace detail
+
+/// Runs the full analysis on `prog` over `g`. The program is re-initialized
+/// before each phase, so any program state is reset; `prog` is left in the
+/// state of the final (instrumented deterministic) run.
+template <VertexProgram Program>
+EligibilityReport analyze_eligibility(const Graph& g, Program& prog,
+                                      std::size_t max_iterations = 100000) {
+  using ED = typename Program::EdgeData;
+  EligibilityReport report;
+  report.algorithm = prog.name();
+  report.claimed_monotonic = Program::kMonotonic;
+
+  EdgeDataArray<ED> edges(g.num_edges());
+
+  // Phase 1: Theorem 1 premise — synchronous-model convergence.
+  prog.init(g, edges);
+  report.bsp_converges = run_bsp(g, prog, edges, max_iterations).converged;
+
+  // Phase 2: instrumented deterministic asynchronous run — conflict classes
+  // (Section III) and observed monotonicity (Theorem 2 premise).
+  prog.init(g, edges);
+  ConflictTracer tracer(g.num_edges());
+  MonotonicityChecker checker(g.num_edges(), +[](std::uint64_t slot) {
+    return Program::project(ndg::detail::from_slot<ED>(slot));
+  });
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    checker.set_baseline(e, ndg::detail::to_slot(edges.get(e)));
+  }
+  CompositeObserver observer(&tracer, &checker);
+  report.async_converges =
+      run_deterministic(g, prog, edges, max_iterations, &observer).converged;
+
+  report.conflicts = tracer.report();
+  report.observed_monotonic = checker.monotonic();
+  report.direction = checker.direction();
+  report.verdict = detail::decide(report);
+  return report;
+}
+
+}  // namespace ndg

@@ -1,0 +1,86 @@
+#include "core/error_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/difference_degree.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace ndg {
+
+namespace {
+
+ErrorBands bands(std::vector<double> samples) {
+  ErrorBands b;
+  if (samples.empty()) return b;
+  b.p50 = percentile(samples, 50);
+  b.p90 = percentile(samples, 90);
+  b.p99 = percentile(samples, 99);
+  b.max = *std::max_element(samples.begin(), samples.end());
+  return b;
+}
+
+}  // namespace
+
+ErrorAnalysis analyze_errors(std::span<const double> baseline,
+                             const std::vector<std::vector<double>>& runs,
+                             double rel_floor) {
+  ErrorAnalysis out;
+  const std::size_t n = baseline.size();
+  for ([[maybe_unused]] const auto& run : runs) {
+    NDG_ASSERT_MSG(run.size() == n, "run/baseline size mismatch");
+  }
+  if (n == 0 || runs.empty()) return out;
+
+  std::vector<double> abs_errs;
+  std::vector<double> rel_errs;
+  abs_errs.reserve(n * runs.size());
+  rel_errs.reserve(n * runs.size());
+
+  std::vector<double> per_vertex_mean_abs(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    double lo = runs[0][v];
+    double hi = runs[0][v];
+    bool exact = true;
+    for (const auto& run : runs) {
+      const double err = std::abs(run[v] - baseline[v]);
+      abs_errs.push_back(err);
+      rel_errs.push_back(err / std::max(std::abs(baseline[v]), rel_floor));
+      per_vertex_mean_abs[v] += err;
+      lo = std::min(lo, run[v]);
+      hi = std::max(hi, run[v]);
+      exact = exact && run[v] == baseline[v];
+    }
+    per_vertex_mean_abs[v] /= static_cast<double>(runs.size());
+    out.max_spread = std::max(out.max_spread, hi - lo);
+    if (exact) ++out.exact_vertices;
+  }
+
+  out.abs_error = bands(std::move(abs_errs));
+  out.rel_error = bands(std::move(rel_errs));
+
+  // Rank-band means over the baseline's own ranking.
+  const auto ranking = rank_vertices(baseline);
+  const std::size_t head = std::max<std::size_t>(1, n / 100);
+  const std::size_t torso = std::max<std::size_t>(head + 1, n / 10);
+  RunningStats head_s;
+  RunningStats torso_s;
+  RunningStats tail_s;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double err = per_vertex_mean_abs[ranking[r]];
+    if (r < head) {
+      head_s.add(err);
+    } else if (r < torso) {
+      torso_s.add(err);
+    } else {
+      tail_s.add(err);
+    }
+  }
+  out.head_mean_abs = head_s.mean();
+  out.torso_mean_abs = torso_s.mean();
+  out.tail_mean_abs = tail_s.mean();
+  return out;
+}
+
+}  // namespace ndg

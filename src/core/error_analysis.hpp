@@ -1,0 +1,48 @@
+#pragma once
+// Error analysis for nondeterministic fixed-point results — the paper's §VII
+// future-work item "more discussions (e.g., on precision, range of errors) on
+// the variations in the results of fixed point iteration algorithms".
+//
+// Given a trusted baseline (deterministic run or reference solver) and a set
+// of nondeterministic runs, reports the pooled absolute/relative error
+// percentiles, the worst per-vertex spread across runs, and how the error
+// concentrates by rank band (does nondeterminism perturb the head or the
+// tail of the ranking?).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ndg {
+
+struct ErrorBands {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct ErrorAnalysis {
+  /// |run_i[v] - baseline[v]| pooled over all runs and vertices.
+  ErrorBands abs_error;
+  /// Same, divided by max(|baseline[v]|, floor).
+  ErrorBands rel_error;
+  /// max over vertices of (max_i run_i[v] - min_i run_i[v]): the spread the
+  /// nondeterminism alone introduces, independent of the baseline.
+  double max_spread = 0.0;
+  /// Vertices on which every run equals the baseline bit-for-bit.
+  std::size_t exact_vertices = 0;
+  /// Mean absolute error within each rank band of the baseline ranking
+  /// (head = top 1%, torso = next 9%, tail = the rest).
+  double head_mean_abs = 0.0;
+  double torso_mean_abs = 0.0;
+  double tail_mean_abs = 0.0;
+};
+
+/// `runs` must all have baseline.size() entries. `rel_floor` guards the
+/// relative error against near-zero baselines.
+ErrorAnalysis analyze_errors(std::span<const double> baseline,
+                             const std::vector<std::vector<double>>& runs,
+                             double rel_floor = 1e-12);
+
+}  // namespace ndg

@@ -1,0 +1,120 @@
+#pragma once
+// Failure injection: "amnesia faults" for the racy engines.
+//
+// An amnesia fault replaces a write with the edge's INITIAL value — the
+// moral equivalent of a lost update whose slot later gets re-read from a
+// stale replica, a dropped message followed by a reset, or a cache line
+// rolled back. For the monotone lattice algorithms (Theorem 2), the initial
+// value is the lattice top, so an amnesia fault moves an edge *up* the
+// lattice — strictly worse than any race the paper's model can produce
+// (races only replay values some update legitimately wrote).
+//
+// The self-stabilization property the tests establish: if faults are
+// TRANSIENT (a finite injection budget) and the algorithm is re-driven to
+// quiescence afterwards (one full re-activation pass), monotone algorithms
+// still converge to the exact fixed point. That is Theorem 2's recovery
+// argument pushed past the paper's own fault model.
+//
+// Usage: wrap any atomicity policy and pass it to
+// run_nondeterministic_with_policy; share one FaultPlan across workers.
+
+#include <atomic>
+#include <vector>
+
+#include "atomics/access_policy.hpp"
+#include "util/rng.hpp"
+
+namespace ndg {
+
+/// Shared, thread-safe injection state: a budget of faults and a seeded
+/// decision stream. One instance per experiment.
+class FaultPlan {
+ public:
+  /// `rate_percent` of writes are faulted until `budget` faults have fired.
+  template <EdgePod T>
+  FaultPlan(const EdgeDataArray<T>& initial, std::uint64_t budget,
+            unsigned rate_percent, std::uint64_t seed)
+      : budget_(budget), rate_percent_(rate_percent), seed_(seed),
+        initial_(initial.size()) {
+    for (EdgeId e = 0; e < initial.size(); ++e) {
+      initial_[e] = detail::to_slot(initial.get(e));
+    }
+  }
+
+  /// Decides whether this write is faulted; if so returns true and consumes
+  /// budget. Thread-safe, deterministic in (seed, global decision index).
+  bool should_fault(EdgeId e) {
+    if (budget_.load(std::memory_order_relaxed) == 0) return false;
+    const std::uint64_t n = decisions_.fetch_add(1, std::memory_order_relaxed);
+    SplitMix64 sm(seed_ ^ (n * 0x9e3779b97f4a7c15ULL) ^ e);
+    if (sm.next() % 100 >= rate_percent_) return false;
+    // Claim one unit of budget; losing the race means no fault.
+    std::uint64_t cur = budget_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (budget_.compare_exchange_weak(cur, cur - 1,
+                                        std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t initial_slot(EdgeId e) const {
+    return initial_[e];
+  }
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> budget_;
+  const unsigned rate_percent_;
+  const std::uint64_t seed_;
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::vector<std::uint64_t> initial_;
+};
+
+/// Policy wrapper: forwards reads; writes may be replaced by the edge's
+/// initial value per the shared FaultPlan. RMW primitives fault their
+/// embedded write the same way.
+template <typename Inner>
+struct AmnesiaAccess {
+  Inner inner;
+  FaultPlan* plan = nullptr;
+
+  template <EdgePod T>
+  [[nodiscard]] T read(const EdgeDataArray<T>& a, EdgeId e) const {
+    return inner.read(a, e);
+  }
+
+  template <EdgePod T>
+  void write(EdgeDataArray<T>& a, EdgeId e, T v) const {
+    if (plan->should_fault(e)) {
+      inner.write(a, e, detail::from_slot<T>(plan->initial_slot(e)));
+    } else {
+      inner.write(a, e, v);
+    }
+  }
+
+  template <EdgePod T>
+  T exchange(EdgeDataArray<T>& a, EdgeId e, T v) const {
+    const T old = inner.exchange(a, e, v);
+    if (plan->should_fault(e)) {
+      inner.write(a, e, detail::from_slot<T>(plan->initial_slot(e)));
+    }
+    return old;
+  }
+
+  template <EdgePod T, typename Fn>
+  void accumulate(EdgeDataArray<T>& a, EdgeId e, Fn fn) const {
+    if (plan->should_fault(e)) {
+      inner.write(a, e, detail::from_slot<T>(plan->initial_slot(e)));
+    } else {
+      inner.accumulate(a, e, fn);
+    }
+  }
+};
+
+}  // namespace ndg

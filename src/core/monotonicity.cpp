@@ -1,0 +1,37 @@
+#include "core/monotonicity.hpp"
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+MonotonicityChecker::MonotonicityChecker(EdgeId num_edges, Projection projection)
+    : projection_(projection), last_(num_edges, 0.0) {
+  NDG_ASSERT(projection_ != nullptr);
+}
+
+void MonotonicityChecker::set_baseline(EdgeId e, std::uint64_t slot_value) {
+  NDG_ASSERT(e < last_.size());
+  last_[e] = projection_(slot_value);
+}
+
+void MonotonicityChecker::on_write(EdgeId e, VertexId /*writer*/,
+                                   std::uint32_t /*iteration*/,
+                                   std::uint64_t slot_value) {
+  NDG_ASSERT(e < last_.size());
+  const double v = projection_(slot_value);
+  if (v > last_[e]) {
+    ++increases_;
+  } else if (v < last_[e]) {
+    ++decreases_;
+  }
+  last_[e] = v;
+}
+
+MonotonicityChecker::Direction MonotonicityChecker::direction() const {
+  if (increases_ == 0 && decreases_ == 0) return Direction::kConstant;
+  if (increases_ == 0) return Direction::kNonIncreasing;
+  if (decreases_ == 0) return Direction::kNonDecreasing;
+  return Direction::kNone;
+}
+
+}  // namespace ndg

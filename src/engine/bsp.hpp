@@ -1,0 +1,133 @@
+#pragma once
+// Synchronous (Bulk Synchronous Parallel / Pregel-style) execution: the
+// effectiveness of updates is postponed and becomes visible at the beginning
+// of the next iteration (Section I). This engine is the premise of Theorem 1
+// ("provided algorithm A converges with synchronous model execution...") —
+// the eligibility analysis runs an algorithm here first.
+//
+// Implementation: reads see the committed edge values of the previous
+// iteration; writes are buffered in a log and applied at the iteration
+// boundary. If two updates write the same edge in one iteration, the later
+// update in label order wins — a deterministic stand-in for Pregel's message
+// combiner. Execution is sequential: BSP needs no intra-iteration parallelism
+// for its role here (correctness baseline), and sequential application keeps
+// it bit-reproducible.
+
+#include <vector>
+
+#include "atomics/edge_data.hpp"
+#include "engine/frontier.hpp"
+#include "engine/options.hpp"
+#include "engine/vertex_program.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+
+namespace detail {
+
+/// Context with postponed write visibility (BSP semantics). Reads within an
+/// update do NOT observe that update's own buffered writes — matching the
+/// synchronous model, where all of iteration n reads the state of n-1.
+template <EdgePod ED>
+class BspContext {
+ public:
+  BspContext(const Graph& g, EdgeDataArray<ED>& committed, Frontier& frontier)
+      : g_(&g), committed_(&committed), frontier_(&frontier) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = iteration;
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edges_begin(v_) + k;
+  }
+
+  [[nodiscard]] ED read(EdgeId e) { return committed_->get(e); }
+
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    log_.push_back({e, value});
+    frontier_->schedule(other_endpoint);
+  }
+
+  void write_silent(EdgeId e, ED value) { log_.push_back({e, value}); }
+
+  /// BSP exchange: returns the COMMITTED value; the replacement lands at the
+  /// iteration boundary. Two same-iteration exchanges both see the committed
+  /// value — push-mode drains genuinely break under the synchronous model,
+  /// which is why push algorithms fail the Theorem 1 premise (see
+  /// algorithms/push_pagerank*.hpp).
+  [[nodiscard]] ED exchange(EdgeId e, ED value) {
+    const ED old = committed_->get(e);
+    log_.push_back({e, value});
+    return old;
+  }
+
+  template <typename Fn>
+  void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
+    log_.push_back({e, fn(committed_->get(e))});
+    frontier_->schedule(other_endpoint);
+  }
+
+  void schedule(VertexId u) { frontier_->schedule(u); }
+
+  /// Applies the buffered writes (in program order; last writer wins).
+  void commit() {
+    for (const auto& w : log_) committed_->set(w.edge, w.value);
+    log_.clear();
+  }
+
+ private:
+  struct Write {
+    EdgeId edge;
+    ED value;
+  };
+
+  const Graph* g_;
+  EdgeDataArray<ED>* committed_;
+  Frontier* frontier_;
+  std::vector<Write> log_;
+  VertexId v_ = kInvalidVertex;
+  std::size_t iter_ = 0;
+};
+
+}  // namespace detail
+
+template <VertexProgram Program>
+EngineResult run_bsp(const Graph& g, Program& prog,
+                     EdgeDataArray<typename Program::EdgeData>& edges,
+                     std::size_t max_iterations = 100000) {
+  Timer timer;
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+  detail::BspContext<typename Program::EdgeData> ctx(g, edges, frontier);
+
+  EngineResult result;
+  while (!frontier.empty() && result.iterations < max_iterations) {
+    result.frontier_sizes.push_back(
+        static_cast<std::uint32_t>(frontier.current().size()));
+    for (const VertexId v : frontier.current()) {
+      ctx.begin(v, result.iterations);
+      prog.update(v, ctx);
+      ++result.updates;
+    }
+    ctx.commit();
+    frontier.advance();
+    ++result.iterations;
+  }
+  result.converged = frontier.empty();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ndg

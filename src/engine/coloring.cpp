@@ -1,0 +1,47 @@
+#include "engine/coloring.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+Coloring greedy_color(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Coloring result;
+  result.color.assign(n, 0);
+
+  // mark[c] == v  <=>  color c is used by a neighbour of the current vertex.
+  std::vector<VertexId> mark;
+  for (VertexId v = 0; v < n; ++v) {
+    auto mark_neighbor = [&](VertexId u) {
+      // Only vertices before v in the greedy order are colored yet; later
+      // neighbours will avoid v's color when their own turn comes.
+      if (u >= v) return;
+      const std::uint32_t c = result.color[u];
+      if (c >= mark.size()) mark.resize(c + 1, kInvalidVertex);
+      mark[c] = v;
+    };
+    // Neighbours in both directions share an edge datum with v.
+    for (const VertexId u : g.out_neighbors(v)) mark_neighbor(u);
+    for (const InEdge& ie : g.in_edges(v)) mark_neighbor(ie.src);
+
+    std::uint32_t c = 0;
+    while (c < mark.size() && mark[c] == v) ++c;
+    result.color[v] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool is_proper_coloring(const Graph& g, const Coloring& c) {
+  NDG_ASSERT(c.color.size() == g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (u != v && c.color[u] == c.color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ndg

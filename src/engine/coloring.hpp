@@ -1,0 +1,27 @@
+#pragma once
+// Greedy vertex coloring of the conflict graph. Two updates conflict when
+// their vertices are adjacent (they share an edge and hence its edge datum),
+// so a proper coloring of the *undirected* view of G partitions every
+// iteration's updates into conflict-free batches — the basis of the chromatic
+// deterministic scheduler (Kaler et al., SPAA'14, the paper's ref. [10]).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct Coloring {
+  std::vector<std::uint32_t> color;  // per vertex
+  std::uint32_t num_colors = 0;
+};
+
+/// Greedy first-fit coloring in ascending label order. Uses at most
+/// max_degree(undirected) + 1 colors.
+Coloring greedy_color(const Graph& g);
+
+/// Verifies that no two adjacent vertices share a color (test helper).
+bool is_proper_coloring(const Graph& g, const Coloring& c);
+
+}  // namespace ndg

@@ -1,0 +1,33 @@
+#include "engine/conflict_tracer.hpp"
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+ConflictTracer::ConflictTracer(EdgeId num_edges) : traces_(num_edges) {}
+
+void ConflictTracer::on_read(EdgeId e, VertexId reader, std::uint32_t iteration) {
+  NDG_ASSERT(e < traces_.size());
+  EdgeTrace& t = traces_[e];
+  if (t.write_iter == iteration && t.writer != reader) {
+    ++report_.read_write;
+  }
+  t.read_iter = iteration;
+  t.reader = reader;
+}
+
+void ConflictTracer::on_write(EdgeId e, VertexId writer, std::uint32_t iteration,
+                              std::uint64_t /*slot_value*/) {
+  NDG_ASSERT(e < traces_.size());
+  EdgeTrace& t = traces_[e];
+  if (t.read_iter == iteration && t.reader != writer) {
+    ++report_.read_write;
+  }
+  if (t.write_iter == iteration && t.writer != writer) {
+    ++report_.write_write;
+  }
+  t.write_iter = iteration;
+  t.writer = writer;
+}
+
+}  // namespace ndg

@@ -1,0 +1,53 @@
+#pragma once
+// Conflict tracer: the instrumentation behind the library's eligibility
+// analysis ("is your graph algorithm eligible for nondeterministic
+// execution?"). It classifies which *kinds* of edge conflicts an algorithm
+// would produce if its updates were run concurrently.
+//
+// Two updates conflict when they are scheduled in the same iteration and both
+// touch the same edge with at least one write (Section III). That condition
+// is a property of the algorithm and the frontier, not of any particular
+// interleaving — so we can detect it exactly from a *sequential* instrumented
+// run: the tracer records, per edge, the last reader/writer within the
+// current iteration and flags
+//     read-write  — edge read by f(u) and written by f(v), u != v, same iter;
+//     write-write — edge written by two distinct updates in the same iter.
+//
+// Conflict *counts* are lower bounds (only the most recent reader per edge is
+// remembered), but the has_read_write / has_write_write classification — the
+// input to Theorems 1 & 2 — is exact.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/observer.hpp"
+#include "engine/options.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+class ConflictTracer final : public AccessObserver {
+ public:
+  explicit ConflictTracer(EdgeId num_edges);
+
+  void on_read(EdgeId e, VertexId reader, std::uint32_t iteration) override;
+  void on_write(EdgeId e, VertexId writer, std::uint32_t iteration,
+                std::uint64_t slot_value) override;
+
+  [[nodiscard]] const ConflictReport& report() const { return report_; }
+
+ private:
+  static constexpr std::uint32_t kNever = ~0u;
+
+  struct EdgeTrace {
+    std::uint32_t read_iter = kNever;
+    std::uint32_t write_iter = kNever;
+    VertexId reader = kInvalidVertex;
+    VertexId writer = kInvalidVertex;
+  };
+
+  std::vector<EdgeTrace> traces_;
+  ConflictReport report_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,49 @@
+#pragma once
+// Deterministic execution (the paper's "DE" baseline): the semantics of
+// GraphChi's external deterministic scheduler. Updates of an iteration run in
+// ascending label order with immediate (Gauss–Seidel) visibility; because the
+// execution path must respect the data dependences among updates, the
+// schedule is sequential — the paper notes DE "does not scale (the updates
+// are actually conducted sequentially due to the data dependences among the
+// updates)". An optional AccessObserver (e.g. the ConflictTracer or the
+// MonotonicityChecker) instruments every edge access.
+
+#include "atomics/access_policy.hpp"
+#include "engine/options.hpp"
+#include "engine/update_context.hpp"
+#include "engine/vertex_program.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+
+template <VertexProgram Program>
+EngineResult run_deterministic(const Graph& g, Program& prog,
+                               EdgeDataArray<typename Program::EdgeData>& edges,
+                               std::size_t max_iterations = 100000,
+                               AccessObserver* observer = nullptr) {
+  Timer timer;
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+
+  // Single-threaded => plain aligned access is race-free here.
+  UpdateContext<typename Program::EdgeData, AlignedAccess> ctx(
+      g, edges, AlignedAccess{}, frontier, observer);
+
+  EngineResult result;
+  while (!frontier.empty() && result.iterations < max_iterations) {
+    result.frontier_sizes.push_back(
+        static_cast<std::uint32_t>(frontier.current().size()));
+    for (const VertexId v : frontier.current()) {
+      ctx.begin(v, result.iterations);
+      prog.update(v, ctx);
+      ++result.updates;
+    }
+    frontier.advance();
+    ++result.iterations;
+  }
+  result.converged = frontier.empty();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ndg

@@ -1,0 +1,28 @@
+#include "engine/frontier.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+Frontier::Frontier(VertexId num_vertices) : next_(num_vertices) {}
+
+void Frontier::seed(std::vector<VertexId> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()), vertices.end());
+  for ([[maybe_unused]] const VertexId v : vertices) {
+    NDG_ASSERT(v < next_.size());
+  }
+  current_ = std::move(vertices);
+}
+
+void Frontier::advance() {
+  current_.clear();
+  // AtomicBitset iterates set bits in ascending order, which gives the
+  // small-label-first ordering for free.
+  next_.for_each([this](std::size_t v) { current_.push_back(static_cast<VertexId>(v)); });
+  next_.clear();
+}
+
+}  // namespace ndg

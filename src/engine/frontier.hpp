@@ -1,0 +1,42 @@
+#pragma once
+// Double-buffered scheduling frontier implementing the task-generation rule of
+// Section II: updates executed in iteration n schedule vertices into S_{n+1};
+// at the barrier the next set becomes current. The current set is materialized
+// as an ascending vertex list so engines can apply the paper's dispatch rule
+// (static blocks per thread, small-label-first within a thread).
+
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+class Frontier {
+ public:
+  explicit Frontier(VertexId num_vertices);
+
+  /// Seeds the *current* set (used once, before the first iteration).
+  /// Duplicates are tolerated; the list is sorted and deduplicated.
+  void seed(std::vector<VertexId> vertices);
+
+  /// Adds v to the next iteration's set. Thread-safe; idempotent.
+  void schedule(VertexId v) { next_.set(v); }
+
+  /// Swaps next into current (single-threaded; call between barriers).
+  void advance();
+
+  /// The vertices chosen for this iteration (S_n), ascending by label.
+  [[nodiscard]] const std::vector<VertexId>& current() const { return current_; }
+
+  [[nodiscard]] bool empty() const { return current_.empty(); }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(next_.size());
+  }
+
+ private:
+  AtomicBitset next_;
+  std::vector<VertexId> current_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,121 @@
+#pragma once
+// Nondeterministic execution ("NE"): the paper's system model, Section II.
+//
+//   * The chosen updates S_n are dispatched over P persistent threads by a
+//     static block partition of the ascending frontier list (Fig. 1 — "the
+//     static scheduling by the OpenMP runtime system").
+//   * Each thread executes its assigned updates small-label-first.
+//   * Updates become visible immediately (asynchronous / Gauss–Seidel model);
+//     concurrent updates race on shared edge data, protected only by the
+//     per-access atomicity policy (Section III).
+//   * A barrier separates iterations ("the synchronous implementation of the
+//     asynchronous model"), so edge values commit to one predictable value at
+//     each iteration boundary.
+//
+// The interleaving between threads — and therefore the execution path of the
+// algorithm — is decided by the OS scheduler and the cache-coherence fabric,
+// not by the engine: that is the nondeterminism under study.
+
+#include <atomic>
+
+#include "atomics/access_policy.hpp"
+#include "engine/options.hpp"
+#include "engine/update_context.hpp"
+#include "engine/vertex_program.hpp"
+#include "util/barrier.hpp"
+#include "util/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+
+namespace detail {
+
+template <VertexProgram Program, typename Policy>
+EngineResult run_nondet_impl(const Graph& g, Program& prog,
+                             EdgeDataArray<typename Program::EdgeData>& edges,
+                             Policy policy, const EngineOptions& opts) {
+  Timer timer;
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+  SpinBarrier barrier(nt);
+  std::atomic<std::uint64_t> total_updates{0};
+  std::size_t iterations = 0;  // written by thread 0 between barriers only
+  std::vector<std::uint32_t> frontier_sizes;
+
+  run_team(nt, [&](std::size_t tid) {
+    bool sense = false;
+    UpdateContext<typename Program::EdgeData, Policy> ctx(g, edges, policy,
+                                                          frontier);
+    std::uint64_t local_updates = 0;
+    for (std::size_t iter = 0;; ++iter) {
+      // All threads observe the same frontier state here: thread 0 mutated it
+      // strictly between the two barriers of the previous round.
+      const auto& cur = frontier.current();
+      if (cur.empty() || iter >= opts.max_iterations) break;
+
+      const auto [begin, end] = static_block(cur.size(), nt, tid);
+      for (std::size_t i = begin; i < end; ++i) {
+        ctx.begin(cur[i], iter);
+        prog.update(cur[i], ctx);
+        ++local_updates;
+      }
+
+      barrier.arrive_and_wait(sense);
+      if (tid == 0) {
+        frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+        frontier.advance();
+        iterations = iter + 1;
+      }
+      barrier.arrive_and_wait(sense);
+    }
+    total_updates.fetch_add(local_updates, std::memory_order_relaxed);
+  });
+
+  EngineResult result;
+  result.iterations = iterations;
+  result.updates = total_updates.load();
+  result.converged = frontier.empty();
+  result.seconds = timer.seconds();
+  result.frontier_sizes = std::move(frontier_sizes);
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs the nondeterministic engine with a caller-supplied access policy —
+/// the extension point for custom policies (instrumented, fault-injecting,
+/// experimental memory orders). The policy is copied into each worker's
+/// context; share mutable state through pointers.
+template <VertexProgram Program, typename Policy>
+EngineResult run_nondeterministic_with_policy(
+    const Graph& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges, Policy policy,
+    const EngineOptions& opts) {
+  return detail::run_nondet_impl(g, prog, edges, policy, opts);
+}
+
+/// Runs the nondeterministic engine with the atomicity method selected in
+/// opts.mode. The per-edge lock table for AtomicityMode::kLocked lives only
+/// for the duration of the run, as in the paper's patched GraphChi.
+template <VertexProgram Program>
+EngineResult run_nondeterministic(const Graph& g, Program& prog,
+                                  EdgeDataArray<typename Program::EdgeData>& edges,
+                                  const EngineOptions& opts) {
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(edges.size());
+      return detail::run_nondet_impl(g, prog, edges, LockedAccess{&locks}, opts);
+    }
+    case AtomicityMode::kAligned:
+      return detail::run_nondet_impl(g, prog, edges, AlignedAccess{}, opts);
+    case AtomicityMode::kRelaxed:
+      return detail::run_nondet_impl(g, prog, edges, RelaxedAtomicAccess{}, opts);
+    case AtomicityMode::kSeqCst:
+      return detail::run_nondet_impl(g, prog, edges, SeqCstAccess{}, opts);
+  }
+  return {};
+}
+
+}  // namespace ndg

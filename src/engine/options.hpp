@@ -1,0 +1,48 @@
+#pragma once
+// Common option/result types shared by all execution engines.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atomics/access_policy.hpp"
+
+namespace ndg {
+
+struct EngineOptions {
+  /// Number of OS threads (the paper's "participating processors" P).
+  std::size_t num_threads = 1;
+  /// Safety cap; engines report converged=false when they hit it.
+  std::size_t max_iterations = 100000;
+  /// Atomicity method for the nondeterministic engine (Section III).
+  AtomicityMode mode = AtomicityMode::kRelaxed;
+};
+
+/// Potential-conflict counts observed by the ConflictTracer (lower bounds —
+/// see conflict_tracer.hpp).
+struct ConflictReport {
+  std::uint64_t read_write = 0;
+  std::uint64_t write_write = 0;
+
+  [[nodiscard]] bool has_read_write() const { return read_write > 0; }
+  [[nodiscard]] bool has_write_write() const { return write_write > 0; }
+};
+
+struct EngineResult {
+  /// Iterations executed (the paper's N; I_0 is the initial state so the
+  /// count here is the number of update rounds run).
+  std::size_t iterations = 0;
+  /// Total update-function invocations across all iterations and threads.
+  std::uint64_t updates = 0;
+  /// True if the frontier drained before max_iterations.
+  bool converged = false;
+  /// Wall-clock compute time (graph loading excluded, as in the paper).
+  double seconds = 0.0;
+  /// Filled only when a tracer was attached.
+  ConflictReport conflicts;
+  /// |S_n| for every executed iteration — the convergence curve. One entry
+  /// per iteration; cheap enough to record unconditionally.
+  std::vector<std::uint32_t> frontier_sizes;
+};
+
+}  // namespace ndg

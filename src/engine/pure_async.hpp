@@ -1,0 +1,207 @@
+#pragma once
+// Pure asynchronous execution — no barriers at all (the paper's §VII future
+// work: "extending the applicability of results in this paper to more
+// scenarios, such as pure asynchronous model").
+//
+// Threads continuously sweep a shared active set, claim vertices, and run
+// their updates; scheduling re-activates vertices immediately (there is no
+// "next iteration" — the iteration structure of Section II dissolves). The
+// engine terminates at global quiescence: no vertex active and no update in
+// flight, tracked by a single pending counter
+//
+//     pending = |active set| + updates in flight,
+//
+// incremented by every 0->1 activation and decremented when a claimed
+// update finishes. The visibility edge "write the edge, then schedule the
+// endpoint" is a release/acquire pair on the active-set bit (see
+// AtomicBitset::set/clear_bit), so a claimed update always observes the
+// write that scheduled it — the minimum needed for liveness; everything
+// else is exactly as racy as the barriered nondeterministic engine.
+//
+// GRACE (CIDR'13, the paper's ref. [13]) showed the barriered implementation
+// has "comparable runtime to those of pure asynchronous model"; this engine
+// makes that claim checkable (bench/ablation_pure_async).
+
+#include <atomic>
+
+#include "atomics/access_policy.hpp"
+#include "engine/observer.hpp"
+#include "engine/options.hpp"
+#include "engine/vertex_program.hpp"
+#include "util/bitset.hpp"
+#include "util/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+
+namespace detail {
+
+/// Scheduling surface shared by the async workers.
+class AsyncActiveSet {
+ public:
+  explicit AsyncActiveSet(VertexId num_vertices) : bits_(num_vertices) {}
+
+  void schedule(VertexId v) {
+    if (bits_.set(v)) pending_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Claims v if active; the claimer must call finished() after the update.
+  bool claim(VertexId v) { return bits_.clear_bit(v); }
+
+  void finished() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  [[nodiscard]] bool quiescent() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  [[nodiscard]] bool maybe_active(VertexId v) const { return bits_.test(v); }
+
+ private:
+  AtomicBitset bits_;
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+/// Update context for the pure-async engine: same verbs as UpdateContext but
+/// scheduling goes to the live active set (no iteration numbers exist; the
+/// reported iteration is the executing thread's sweep count).
+template <EdgePod ED, typename Policy>
+class AsyncContext {
+ public:
+  using EdgeData = ED;
+
+  AsyncContext(const Graph& g, EdgeDataArray<ED>& edges, Policy policy,
+               AsyncActiveSet& active)
+      : g_(&g), edges_(&edges), policy_(policy), active_(&active) {}
+
+  void begin(VertexId v, std::size_t sweep) {
+    v_ = v;
+    sweep_ = static_cast<std::uint32_t>(sweep);
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return sweep_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edges_begin(v_) + k;
+  }
+
+  [[nodiscard]] ED read(EdgeId e) { return policy_.read(*edges_, e); }
+
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    policy_.write(*edges_, e, value);
+    active_->schedule(other_endpoint);
+  }
+
+  void write_silent(EdgeId e, ED value) { policy_.write(*edges_, e, value); }
+
+  [[nodiscard]] ED exchange(EdgeId e, ED value) {
+    return policy_.exchange(*edges_, e, value);
+  }
+
+  template <typename Fn>
+  void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
+    policy_.accumulate(*edges_, e, fn);
+    active_->schedule(other_endpoint);
+  }
+
+  void schedule(VertexId u) { active_->schedule(u); }
+
+ private:
+  const Graph* g_;
+  EdgeDataArray<ED>* edges_;
+  Policy policy_;
+  AsyncActiveSet* active_;
+  VertexId v_ = kInvalidVertex;
+  std::uint32_t sweep_ = 0;
+};
+
+template <VertexProgram Program, typename Policy>
+EngineResult run_pure_async_impl(const Graph& g, Program& prog,
+                                 EdgeDataArray<typename Program::EdgeData>& edges,
+                                 Policy policy, const EngineOptions& opts) {
+  Timer timer;
+  AsyncActiveSet active(g.num_vertices());
+  for (const VertexId v : prog.initial_frontier(g)) active.schedule(v);
+
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+  std::atomic<std::uint64_t> total_updates{0};
+  std::atomic<std::uint64_t> total_sweeps{0};
+  // Update cap standing in for max_iterations: |V| * max_iterations matches
+  // the barriered engines' worst-case work budget.
+  const std::uint64_t update_cap =
+      static_cast<std::uint64_t>(opts.max_iterations) *
+      std::max<std::uint64_t>(1, g.num_vertices());
+  std::atomic<bool> capped{false};
+
+  run_team(nt, [&](std::size_t tid) {
+    AsyncContext<typename Program::EdgeData, Policy> ctx(g, edges, policy,
+                                                         active);
+    std::uint64_t local_updates = 0;
+    std::size_t sweep = 0;
+    const VertexId n = g.num_vertices();
+    const VertexId start =
+        static_cast<VertexId>(static_block(n, nt, tid).begin);
+
+    while (!active.quiescent() && !capped.load(std::memory_order_relaxed)) {
+      // Sweep the whole vertex range starting at this thread's block, so
+      // threads spread out instead of contending on the same low labels.
+      for (VertexId i = 0; i < n; ++i) {
+        const VertexId v = static_cast<VertexId>((start + i) % n);
+        if (!active.maybe_active(v)) continue;
+        if (!active.claim(v)) continue;
+        ctx.begin(v, sweep);
+        prog.update(v, ctx);
+        active.finished();
+        if (++local_updates % 4096 == 0 &&
+            total_updates.load(std::memory_order_relaxed) + local_updates >
+                update_cap) {
+          capped.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      ++sweep;
+    }
+    total_updates.fetch_add(local_updates, std::memory_order_relaxed);
+    total_sweeps.fetch_add(sweep, std::memory_order_relaxed);
+  });
+
+  EngineResult result;
+  result.iterations = total_sweeps.load() / nt;  // mean sweeps per thread
+  result.updates = total_updates.load();
+  result.converged = active.quiescent() && !capped.load();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace detail
+
+/// Pure asynchronous execution with the atomicity method from opts.mode.
+template <VertexProgram Program>
+EngineResult run_pure_async(const Graph& g, Program& prog,
+                            EdgeDataArray<typename Program::EdgeData>& edges,
+                            const EngineOptions& opts) {
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(edges.size());
+      return detail::run_pure_async_impl(g, prog, edges, LockedAccess{&locks},
+                                         opts);
+    }
+    case AtomicityMode::kAligned:
+      return detail::run_pure_async_impl(g, prog, edges, AlignedAccess{}, opts);
+    case AtomicityMode::kRelaxed:
+      return detail::run_pure_async_impl(g, prog, edges, RelaxedAtomicAccess{},
+                                         opts);
+    case AtomicityMode::kSeqCst:
+      return detail::run_pure_async_impl(g, prog, edges, SeqCstAccess{}, opts);
+  }
+  return {};
+}
+
+}  // namespace ndg

@@ -1,0 +1,80 @@
+#include "engine/schedule_order.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+const char* to_string(UpdateOrder o) {
+  switch (o) {
+    case UpdateOrder::kPrecedes:
+      return "precedes";
+    case UpdateOrder::kFollows:
+      return "follows";
+    case UpdateOrder::kConcurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+ScheduleOracle::ScheduleOracle(std::vector<VertexId> chosen,
+                               std::size_t num_procs, std::size_t delay)
+    : chosen_(std::move(chosen)), procs_(std::max<std::size_t>(1, num_procs)),
+      delay_(delay) {
+  NDG_ASSERT_MSG(std::is_sorted(chosen_.begin(), chosen_.end()),
+                 "S_n must be ascending (small-label-first dispatch)");
+}
+
+std::size_t ScheduleOracle::rank_of(VertexId v) const {
+  const auto it = std::lower_bound(chosen_.begin(), chosen_.end(), v);
+  NDG_ASSERT_MSG(it != chosen_.end() && *it == v,
+                 "vertex not scheduled this iteration");
+  return static_cast<std::size_t>(std::distance(chosen_.begin(), it));
+}
+
+bool ScheduleOracle::scheduled(VertexId v) const {
+  return std::binary_search(chosen_.begin(), chosen_.end(), v);
+}
+
+std::size_t ScheduleOracle::pi(VertexId v) const {
+  const std::size_t rank = rank_of(v);
+  const std::size_t p = proc(v);
+  return rank - static_block(chosen_.size(), procs_, p).begin;
+}
+
+std::size_t ScheduleOracle::proc(VertexId v) const {
+  const std::size_t rank = rank_of(v);
+  // Invert the static block partition: find the block containing `rank`.
+  for (std::size_t p = 0; p < procs_; ++p) {
+    const auto [b, e] = static_block(chosen_.size(), procs_, p);
+    if (rank >= b && rank < e) return p;
+  }
+  NDG_ASSERT_MSG(false, "rank not covered by any block");
+  return 0;
+}
+
+UpdateOrder ScheduleOracle::order(VertexId v, VertexId u) const {
+  NDG_ASSERT_MSG(v != u, "an update has no order with itself");
+  const std::size_t pv = proc(v);
+  const std::size_t pu = proc(u);
+  const std::size_t piv = pi(v);
+  const std::size_t piu = pi(u);
+
+  if (pv == pu) {
+    // Definition 1/2 case 1: same thread, program order.
+    return piv < piu ? UpdateOrder::kPrecedes : UpdateOrder::kFollows;
+  }
+  if (delay_ == 0) {
+    // Instant propagation: real (wave, proc) order — no ∥ pairs exist
+    // (matching SimMachine's d == 0 visibility rule).
+    if (piv != piu) return piv < piu ? UpdateOrder::kPrecedes : UpdateOrder::kFollows;
+    return pv < pu ? UpdateOrder::kPrecedes : UpdateOrder::kFollows;
+  }
+  // Different threads: compare π(v) − π(u) against d (Definitions 1–3).
+  if (piu >= piv + delay_) return UpdateOrder::kPrecedes;
+  if (piv >= piu + delay_) return UpdateOrder::kFollows;
+  return UpdateOrder::kConcurrent;
+}
+
+}  // namespace ndg

@@ -1,0 +1,53 @@
+#pragma once
+// The paper's Definitions 1–3 as a standalone, queryable object: given the
+// per-iteration dispatch (P processors, Fig. 1 static blocks over the chosen
+// updates) and the propagation delay d, answer "what is the order between
+// f(v) and f(u)?". The simulator embeds the same rules in its hot path; this
+// oracle exists so the *model itself* can be unit-tested (trichotomy,
+// duality, the d→0 and d→∞ limits) and so analyses can reason about a
+// schedule without executing it.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_team.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// f(v) ≺ f(u): u can use v's results. f(v) ≻ f(u): v can use u's.
+/// f(v) ∥ f(u): neither (Definition 3).
+enum class UpdateOrder { kPrecedes, kFollows, kConcurrent };
+
+[[nodiscard]] const char* to_string(UpdateOrder o);
+
+class ScheduleOracle {
+ public:
+  /// `chosen` is S_n ascending (the paper's small-label-first dispatch);
+  /// vertices not in S_n have no order defined this iteration.
+  ScheduleOracle(std::vector<VertexId> chosen, std::size_t num_procs,
+                 std::size_t delay);
+
+  /// True if v is scheduled this iteration.
+  [[nodiscard]] bool scheduled(VertexId v) const;
+
+  /// The absolute scheduling order π(v) (position within its processor's
+  /// block) — the paper's π(v) = L_v % (V/P) in the full-frontier case.
+  [[nodiscard]] std::size_t pi(VertexId v) const;
+
+  /// The processor executing f(v).
+  [[nodiscard]] std::size_t proc(VertexId v) const;
+
+  /// Order between f(v) and f(u) per Definitions 1–3. Both must be scheduled.
+  [[nodiscard]] UpdateOrder order(VertexId v, VertexId u) const;
+
+ private:
+  /// Index of v within `chosen` (== rank in the ascending dispatch).
+  [[nodiscard]] std::size_t rank_of(VertexId v) const;
+
+  std::vector<VertexId> chosen_;
+  std::size_t procs_;
+  std::size_t delay_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,109 @@
+#pragma once
+// The update function's window onto the system: edge reads/writes routed
+// through an atomicity policy, plus scheduling. One context lives per worker
+// thread; begin() repoints it at the next vertex.
+
+#include <span>
+
+#include "atomics/access_policy.hpp"
+#include "atomics/edge_data.hpp"
+#include "engine/frontier.hpp"
+#include "engine/observer.hpp"
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+template <EdgePod ED, typename Policy>
+class UpdateContext {
+ public:
+  using EdgeData = ED;
+
+  UpdateContext(const Graph& g, EdgeDataArray<ED>& edges, Policy policy,
+                Frontier& frontier, AccessObserver* observer = nullptr)
+      : g_(&g), edges_(&edges), policy_(policy), frontier_(&frontier),
+        observer_(observer) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = static_cast<std::uint32_t>(iteration);
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edges_begin(v_) + k;
+  }
+
+  [[nodiscard]] ED read(EdgeId e) {
+    if (observer_ != nullptr) observer_->on_read(e, v_, iter_);
+    return policy_.read(*edges_, e);
+  }
+
+  /// Writes edge e and schedules its other endpoint for the next iteration
+  /// (Section II task-generation rule: "if f(v) updates one of v's incident
+  /// edges, say v->u or u->v, it must add u to S_{n+1}").
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    if (observer_ != nullptr) {
+      observer_->on_write(e, v_, iter_, detail::to_slot(value));
+    }
+    policy_.write(*edges_, e, value);
+    frontier_->schedule(other_endpoint);
+  }
+
+  /// Writes edge e WITHOUT scheduling anyone. This steps outside the Section
+  /// II task-generation rule; it exists for push-mode programs that clear
+  /// accumulator edges (the cleared endpoint must not be re-activated).
+  /// Programs using it give up the Theorem 1/2 guarantees tied to that rule.
+  void write_silent(EdgeId e, ED value) {
+    if (observer_ != nullptr) {
+      observer_->on_write(e, v_, iter_, detail::to_slot(value));
+    }
+    policy_.write(*edges_, e, value);
+  }
+
+  /// Atomically swaps `value` into edge e and returns the old datum (the
+  /// drain primitive of push-mode algorithms; §VII future work). Atomicity
+  /// is the policy's: genuine under locked/relaxed/seq_cst, racy under
+  /// aligned plain access. Does not schedule.
+  [[nodiscard]] ED exchange(EdgeId e, ED value) {
+    if (observer_ != nullptr) {
+      observer_->on_read(e, v_, iter_);
+      observer_->on_write(e, v_, iter_, detail::to_slot(value));
+    }
+    return policy_.exchange(*edges_, e, value);
+  }
+
+  /// Atomically replaces edge e's datum x with fn(x) and schedules the other
+  /// endpoint (the combine primitive of push-mode algorithms).
+  template <typename Fn>
+  void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
+    if (observer_ != nullptr) {
+      observer_->on_read(e, v_, iter_);
+      observer_->on_write(e, v_, iter_,
+                          detail::to_slot(fn(policy_.read(*edges_, e))));
+    }
+    policy_.accumulate(*edges_, e, fn);
+    frontier_->schedule(other_endpoint);
+  }
+
+  void schedule(VertexId u) { frontier_->schedule(u); }
+
+ private:
+  const Graph* g_;
+  EdgeDataArray<ED>* edges_;
+  Policy policy_;
+  Frontier* frontier_;
+  AccessObserver* observer_;
+  VertexId v_ = kInvalidVertex;
+  std::uint32_t iter_ = 0;
+};
+
+}  // namespace ndg

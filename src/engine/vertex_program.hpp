@@ -1,0 +1,62 @@
+#pragma once
+// The vertex-program contract: the paper's Algorithm 1 (Gather–Compute–Scatter
+// update function in pull mode) as a duck-typed C++ interface.
+//
+// A program type P must provide:
+//
+//   using EdgeData = <EdgePod>;          // per-edge datum, <= 8 bytes
+//   static constexpr bool kMonotonic;    // claimed monotonicity (Theorem 2);
+//                                        // core/monotonicity.hpp verifies it
+//   const char* name() const;
+//   void init(const Graph&, EdgeDataArray<EdgeData>&);
+//       // sets initial vertex data (program-owned) and edge data
+//   std::vector<VertexId> initial_frontier(const Graph&) const;
+//       // the vertices of S_0
+//   template <typename Ctx> void update(VertexId v, Ctx& ctx);
+//       // the update function f(v); may only touch v's own vertex data and
+//       // v's incident edges through ctx (the paper's update scope).
+//       // CONCURRENCY: the nondeterministic engines call update() from many
+//       // threads at once. Per-vertex state arrays are safe (distinct
+//       // elements); any other mutable program state (scratch buffers,
+//       // counters) must be thread_local or per-update.
+//   static double project(EdgeData);     // numeric view of an edge datum, used
+//                                        // by the monotonicity checker
+//
+// The Ctx argument (see update_context.hpp) exposes:
+//   ctx.in_edges()            span<const InEdge>  — gather inputs
+//   ctx.out_neighbors()       span<const VertexId>
+//   ctx.out_edge_id(k)        EdgeId of the k-th out-edge
+//   ctx.read(e)               EdgeData            — atomic per Section III
+//   ctx.write(e, other, v)    write + schedule `other` for the next iteration
+//                             (the task-generation rule of Section II)
+//   ctx.schedule(u)           explicit scheduling (e.g. self-rescheduling)
+//
+// Because update() is a template, the same program source runs unchanged on
+// every engine (deterministic, nondeterministic × any atomicity policy, BSP,
+// chromatic, and the logical-processor simulator) — which is precisely the
+// experiment the paper performs with GraphChi's scheduler interfaces.
+
+#include <concepts>
+#include <string>
+#include <vector>
+
+#include "atomics/edge_data.hpp"
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+/// Compile-time sanity check for the static parts of the contract (the
+/// update() template itself is checked at instantiation).
+template <typename P>
+concept VertexProgram = requires(P p, const Graph& g,
+                                 EdgeDataArray<typename P::EdgeData>& edges,
+                                 typename P::EdgeData ed) {
+  requires EdgePod<typename P::EdgeData>;
+  { P::kMonotonic } -> std::convertible_to<bool>;
+  { p.name() } -> std::convertible_to<const char*>;
+  { p.init(g, edges) };
+  { p.initial_frontier(g) } -> std::same_as<std::vector<VertexId>>;
+  { P::project(ed) } -> std::convertible_to<double>;
+};
+
+}  // namespace ndg

@@ -1,0 +1,74 @@
+#include "graph/datasets.hpp"
+
+#include "graph/generators.hpp"
+#include "graph/loader.hpp"
+#include "util/assert.hpp"
+
+namespace ndg {
+
+const char* to_string(DatasetId id) {
+  switch (id) {
+    case DatasetId::kWebBerkStan:
+      return "web-berkstan-sim";
+    case DatasetId::kWebGoogle:
+      return "web-google-sim";
+    case DatasetId::kSocLiveJournal:
+      return "soc-livejournal-sim";
+    case DatasetId::kCage15:
+      return "cage15-sim";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::kWebBerkStan, DatasetId::kWebGoogle,
+          DatasetId::kSocLiveJournal, DatasetId::kCage15};
+}
+
+Dataset make_dataset(DatasetId id, unsigned scale_divisor, std::uint64_t seed) {
+  NDG_ASSERT(scale_divisor >= 1);
+  const auto scale = [scale_divisor](std::uint64_t x) {
+    return std::max<std::uint64_t>(x / scale_divisor, 16);
+  };
+
+  switch (id) {
+    case DatasetId::kWebBerkStan: {
+      // Web crawl: strongly skewed degrees. R-MAT with Graph500 parameters.
+      const auto v = static_cast<VertexId>(scale(685231));
+      const auto e = scale(7600595);
+      return {to_string(id), Graph::build(v, gen::rmat(v, e, seed))};
+    }
+    case DatasetId::kWebGoogle: {
+      const auto v = static_cast<VertexId>(scale(916428));
+      const auto e = scale(5105039);
+      return {to_string(id), Graph::build(v, gen::rmat(v, e, seed + 1))};
+    }
+    case DatasetId::kSocLiveJournal: {
+      // Social graph: skewed but less extreme than a crawl; flatter R-MAT.
+      const auto v = static_cast<VertexId>(scale(4847571));
+      const auto e = scale(68993773);
+      gen::RmatOptions opts;
+      opts.a = 0.45;
+      opts.b = 0.22;
+      opts.c = 0.22;
+      return {to_string(id), Graph::build(v, gen::rmat(v, e, seed + 2, opts))};
+    }
+    case DatasetId::kCage15: {
+      // cage15 is a near-regular sparse matrix (~19 nnz/row). A low-rewire
+      // small-world ring with k = 9, symmetrized, gives degree ~18 with the
+      // same absence of hubs.
+      const auto v = static_cast<VertexId>(scale(5154859));
+      return {to_string(id),
+              Graph::build(v, symmetrize(gen::small_world(v, 9, 0.05, seed + 3)))};
+    }
+  }
+  NDG_ASSERT_MSG(false, "unknown dataset id");
+  return {};
+}
+
+Dataset make_dataset_from_file(const std::string& name, const std::string& path) {
+  auto loaded = load_edge_list(path);
+  return {name, Graph::build(loaded.num_vertices, std::move(loaded.edges))};
+}
+
+}  // namespace ndg

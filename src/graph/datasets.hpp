@@ -1,0 +1,45 @@
+#pragma once
+// Named stand-ins for the paper's Table I data-sets. Each dataset matches the
+// original's structure class and |E|/|V| ratio, scaled down by `scale_divisor`
+// so the full experiment grid runs in minutes on a laptop (the paper used a
+// 16-core Xeon server; see DESIGN.md "Substitutions"). If a real SNAP file is
+// available, pass its path to make_dataset_from_file instead — the rest of the
+// pipeline is identical.
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+};
+
+/// Table I rows. Sizes at scale_divisor = 1 match the paper:
+///   web-berkstan-sim     |V| 685,231   |E| 7,600,595   (web crawl, skewed)
+///   web-google-sim       |V| 916,428   |E| 5,105,039   (web crawl, skewed)
+///   soc-livejournal-sim  |V| 4,847,571 |E| 68,993,773  (social, skewed, denser)
+///   cage15-sim           |V| 5,154,859 |E| 99,199,551  (DNA electrophoresis
+///                                                       matrix: near-regular)
+enum class DatasetId {
+  kWebBerkStan,
+  kWebGoogle,
+  kSocLiveJournal,
+  kCage15,
+};
+
+[[nodiscard]] const char* to_string(DatasetId id);
+[[nodiscard]] std::vector<DatasetId> all_datasets();
+
+/// Builds a stand-in graph. `scale_divisor` divides both |V| and |E|
+/// (default 32 keeps the largest graph ~3M edges). Deterministic in `seed`.
+Dataset make_dataset(DatasetId id, unsigned scale_divisor = 32,
+                     std::uint64_t seed = 20150707);
+
+/// Loads a real SNAP edge-list file as a dataset.
+Dataset make_dataset_from_file(const std::string& name, const std::string& path);
+
+}  // namespace ndg

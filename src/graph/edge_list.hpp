@@ -1,0 +1,21 @@
+#pragma once
+// Raw directed edge list: the interchange format between loaders/generators
+// and the CSR/CSC Graph builder.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ndg {
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace ndg

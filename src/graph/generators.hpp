@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic graph generators. These provide the machine-scaled stand-ins for
+// the paper's Table I data-sets (see DESIGN.md "Substitutions") plus small
+// structured graphs for tests (chains, grids, stars, cliques, DAGs).
+// All generators are deterministic given the seed.
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace ndg::gen {
+
+/// R-MAT / Kronecker-style power-law digraph (Chakrabarti, Zhan & Faloutsos,
+/// SDM 2004). Defaults are the Graph500 parameters, which give web/social-like
+/// degree skew. Produces `num_edges` samples before dedup.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  /// Randomly permute vertex ids so locality doesn't correlate with degree.
+  bool permute = true;
+};
+EdgeList rmat(VertexId num_vertices_pow2, EdgeId num_edges, std::uint64_t seed,
+              const RmatOptions& opts = {});
+
+/// Erdős–Rényi G(n, m) digraph: `num_edges` uniform random directed edges.
+EdgeList erdos_renyi(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed);
+
+/// Directed Watts–Strogatz small-world ring: each vertex points to its next
+/// `k` ring successors, each edge rewired to a uniform target with prob. beta.
+EdgeList small_world(VertexId num_vertices, unsigned k, double beta,
+                     std::uint64_t seed);
+
+/// 2-D grid with edges to the right and down neighbour (regular, low skew,
+/// high diameter — the cage15-like structure class).
+EdgeList grid2d(VertexId rows, VertexId cols);
+
+/// Path 0 -> 1 -> ... -> n-1.
+EdgeList chain(VertexId num_vertices);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+EdgeList cycle(VertexId num_vertices);
+
+/// Star: hub 0 -> every other vertex.
+EdgeList star(VertexId num_vertices);
+
+/// Complete digraph on n vertices (all ordered pairs, no self loops).
+EdgeList complete(VertexId num_vertices);
+
+/// Random DAG: each edge (u, v) satisfies u < v; `avg_degree` out-edges per
+/// non-sink vertex in expectation.
+EdgeList random_dag(VertexId num_vertices, double avg_degree, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches `m`
+/// out-edges to existing vertices with probability proportional to their
+/// current degree. Power-law in-degree tail — an alternative web/social
+/// stand-in with a different hub structure than R-MAT.
+EdgeList barabasi_albert(VertexId num_vertices, unsigned m, std::uint64_t seed);
+
+}  // namespace ndg::gen

@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+Graph Graph::build(VertexId num_vertices, EdgeList edges,
+                   const GraphBuildOptions& opts) {
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  // Canonical order: (src, dst). This fixes edge ids independent of the
+  // order the loader/generator emitted edges in.
+  std::sort(edges.begin(), edges.end());
+  if (opts.remove_duplicate_edges) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_edges_ = static_cast<EdgeId>(edges.size());
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.out_targets_.resize(edges.size());
+  g.in_edges_.resize(edges.size());
+
+  for (const Edge& e : edges) {
+    NDG_ASSERT_MSG(e.src < num_vertices && e.dst < num_vertices,
+                   "edge endpoint out of range");
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  // Edges are sorted by (src, dst), so filling CSR in input order both keeps
+  // offsets consistent and makes edge id == position in the sorted list.
+  {
+    std::vector<EdgeId> next(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    std::vector<EdgeId> next_in(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (EdgeId id = 0; id < g.num_edges_; ++id) {
+      const Edge& e = edges[id];
+      NDG_ASSERT(next[e.src] == id);  // sorted input => CSR slot == id
+      g.out_targets_[next[e.src]++] = e.dst;
+      g.in_edges_[next_in[e.dst]++] = InEdge{e.src, id};
+    }
+  }
+  return g;
+}
+
+VertexId Graph::edge_source(EdgeId e) const {
+  NDG_ASSERT(e < num_edges_);
+  // First offset strictly greater than e belongs to source+1.
+  const auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
+  return static_cast<VertexId>(std::distance(out_offsets_.begin(), it) - 1);
+}
+
+EdgeList symmetrize(const EdgeList& edges) {
+  EdgeList out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.push_back(Edge{e.dst, e.src});
+  }
+  return out;
+}
+
+}  // namespace ndg

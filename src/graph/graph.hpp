@@ -1,0 +1,88 @@
+#pragma once
+// Immutable in-memory directed graph in CSR (out-edges) + CSC (in-edges) form.
+//
+// This is the stand-in for GraphChi's in-memory graph representation: the
+// paper's experiments keep every graph fully memory-resident, so we drop
+// GraphChi's out-of-core shards and keep the part that matters for the study —
+// a per-edge data slot shared between the edge's two endpoint update
+// functions. Edge ids are dense in [0, num_edges) in source-major CSR order;
+// per-edge algorithm data lives in external arrays indexed by edge id (see
+// atomics/edge_data.hpp), so both the out-edge view (CSR) and the in-edge
+// view (CSC, which carries the canonical edge id) address the *same* slot.
+// That sharing is exactly what creates the read-write and write-write
+// conflicts the paper studies.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// An in-edge as seen from its destination: the source vertex plus the
+/// canonical (CSR) edge id used to index per-edge data arrays.
+struct InEdge {
+  VertexId src;
+  EdgeId id;
+};
+
+struct GraphBuildOptions {
+  bool remove_self_loops = true;
+  bool remove_duplicate_edges = true;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds CSR+CSC from an edge list. Edges are canonicalized (sorted by
+  /// (src, dst)) so the same edge list always yields the same edge ids.
+  /// `num_vertices` must exceed every endpoint id.
+  static Graph build(VertexId num_vertices, EdgeList edges,
+                     const GraphBuildOptions& opts = {});
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const { return num_edges_; }
+
+  [[nodiscard]] EdgeId out_degree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  [[nodiscard]] EdgeId in_degree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Out-edges of v: targets; the edge id of the k-th out-edge is
+  /// out_edges_begin(v) + k.
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            static_cast<std::size_t>(out_degree(v))};
+  }
+  [[nodiscard]] EdgeId out_edges_begin(VertexId v) const { return out_offsets_[v]; }
+
+  /// In-edges of v with canonical edge ids.
+  [[nodiscard]] std::span<const InEdge> in_edges(VertexId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            static_cast<std::size_t>(in_degree(v))};
+  }
+
+  /// Target of a canonical edge id.
+  [[nodiscard]] VertexId edge_target(EdgeId e) const { return out_targets_[e]; }
+  /// Source of a canonical edge id (O(log V) binary search over offsets).
+  [[nodiscard]] VertexId edge_source(EdgeId e) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  std::vector<EdgeId> out_offsets_;   // size V+1
+  std::vector<VertexId> out_targets_; // size E (CSR order == edge id order)
+  std::vector<EdgeId> in_offsets_;    // size V+1
+  std::vector<InEdge> in_edges_;      // size E
+};
+
+/// Adds the reverse of every edge, turning a directed edge list into a
+/// symmetric one (the paper represents undirected edges as two opposite
+/// directed edges).
+EdgeList symmetrize(const EdgeList& edges);
+
+}  // namespace ndg

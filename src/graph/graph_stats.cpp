@@ -1,0 +1,90 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace ndg {
+
+VertexId max_out_degree_vertex(const Graph& g) {
+  VertexId best = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+GraphStats compute_stats(const Graph& g, VertexId probe) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+  s.avg_out_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+
+  std::vector<EdgeId> out_degs(s.num_vertices);
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    out_degs[v] = g.out_degree(v);
+    s.max_out_degree = std::max(s.max_out_degree, out_degs[v]);
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(v));
+    if (g.in_degree(v) == 0) ++s.num_sources;
+    if (out_degs[v] == 0) ++s.num_sinks;
+  }
+
+  std::sort(out_degs.begin(), out_degs.end(), std::greater<>());
+  const auto top = std::max<std::size_t>(1, out_degs.size() / 100);
+  EdgeId top_sum = 0;
+  for (std::size_t i = 0; i < top; ++i) top_sum += out_degs[i];
+  s.top1pct_out_edge_share =
+      s.num_edges ? static_cast<double>(top_sum) / static_cast<double>(s.num_edges)
+                  : 0.0;
+
+  // Reciprocity: edge (u, v) counts when (v, u) exists. out_neighbors spans
+  // are sorted (canonical CSR order), so a binary search suffices.
+  if (s.num_edges > 0) {
+    EdgeId reciprocal = 0;
+    for (VertexId v = 0; v < s.num_vertices; ++v) {
+      for (const VertexId u : g.out_neighbors(v)) {
+        const auto back = g.out_neighbors(u);
+        if (std::binary_search(back.begin(), back.end(), v)) ++reciprocal;
+      }
+    }
+    s.reciprocity =
+        static_cast<double>(reciprocal) / static_cast<double>(s.num_edges);
+  }
+
+  // Log-bucket out-degree histogram.
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    const EdgeId d = g.out_degree(v);
+    std::size_t bucket = 0;
+    for (EdgeId x = d; x > 1; x >>= 1) ++bucket;
+    if (s.out_degree_histogram.size() <= bucket) {
+      s.out_degree_histogram.resize(bucket + 1, 0);
+    }
+    ++s.out_degree_histogram[bucket];
+  }
+
+  // BFS over the union of out- and in-edges (i.e., ignoring direction).
+  if (probe < s.num_vertices) {
+    std::vector<VertexId> dist(s.num_vertices, kInvalidVertex);
+    std::queue<VertexId> q;
+    dist[probe] = 0;
+    q.push(probe);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      s.bfs_eccentricity = std::max(s.bfs_eccentricity, dist[u]);
+      auto visit = [&](VertexId w) {
+        if (dist[w] == kInvalidVertex) {
+          dist[w] = dist[u] + 1;
+          q.push(w);
+        }
+      };
+      for (const VertexId w : g.out_neighbors(u)) visit(w);
+      for (const InEdge& ie : g.in_edges(u)) visit(ie.src);
+    }
+  }
+  return s;
+}
+
+}  // namespace ndg

@@ -1,0 +1,42 @@
+#pragma once
+// Structural statistics used by bench/table1_graphs to characterize the
+// stand-in data-sets against the paper's Table I.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double avg_out_degree = 0.0;
+  EdgeId max_out_degree = 0;
+  EdgeId max_in_degree = 0;
+  /// Fraction of all edges owned by the top 1% highest out-degree vertices —
+  /// a cheap skew measure separating web/social graphs from meshes.
+  double top1pct_out_edge_share = 0.0;
+  VertexId num_sources = 0;  // in-degree 0
+  VertexId num_sinks = 0;    // out-degree 0
+  /// BFS eccentricity from `probe` over the symmetrized graph: a diameter
+  /// lower bound distinguishing small-world graphs from grids.
+  VertexId bfs_eccentricity = 0;
+  /// Fraction of edges whose reverse edge also exists (1.0 for symmetrized
+  /// graphs like cage15, low for crawls).
+  double reciprocity = 0.0;
+  /// histogram[k] = number of vertices with out-degree in [2^k, 2^(k+1))
+  /// (histogram[0] counts degrees 0 and 1). Log-log-linear tails are the
+  /// power-law signature of the web/social stand-ins.
+  std::vector<std::uint64_t> out_degree_histogram;
+};
+
+GraphStats compute_stats(const Graph& g, VertexId probe = 0);
+
+/// The vertex with the largest out-degree — a traversal source that actually
+/// reaches a big part of the graph (random generators can leave low-id
+/// vertices isolated, which would trivialize SSSP/BFS experiments).
+VertexId max_out_degree_vertex(const Graph& g);
+
+}  // namespace ndg

@@ -1,0 +1,51 @@
+#include "graph/intervals.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+std::size_t IntervalPlan::interval_of(VertexId v) const {
+  NDG_ASSERT(!boundaries.empty() && v < boundaries.back());
+  const auto it = std::upper_bound(boundaries.begin(), boundaries.end(), v);
+  return static_cast<std::size_t>(std::distance(boundaries.begin(), it)) - 1;
+}
+
+IntervalPlan make_intervals(const Graph& g, std::size_t num_intervals) {
+  NDG_ASSERT(num_intervals >= 1);
+  const VertexId n = g.num_vertices();
+  IntervalPlan plan;
+  plan.boundaries.reserve(num_intervals + 1);
+  plan.boundaries.push_back(0);
+
+  // Greedy sweep: close an interval when it holds ~1/P of the edge mass.
+  const std::uint64_t total_work = 2 * g.num_edges();  // each edge counted twice
+  std::uint64_t work = 0;
+  std::uint64_t next_cut = 1;
+  for (VertexId v = 0; v < n; ++v) {
+    work += g.in_degree(v) + g.out_degree(v);
+    const std::uint64_t target =
+        total_work * next_cut / std::max<std::uint64_t>(1, num_intervals);
+    if (work >= target && plan.boundaries.size() < num_intervals) {
+      plan.boundaries.push_back(v + 1);
+      ++next_cut;
+    }
+  }
+  while (plan.boundaries.size() < num_intervals + 1) plan.boundaries.push_back(n);
+
+  plan.has_intra_neighbor.assign(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t iv = plan.interval_of(v);
+    auto check = [&](VertexId u) {
+      if (u != v && plan.interval_of(u) == iv) {
+        plan.has_intra_neighbor[v] = true;
+        plan.has_intra_neighbor[u] = true;
+      }
+    };
+    for (const VertexId u : g.out_neighbors(v)) check(u);
+  }
+  return plan;
+}
+
+}  // namespace ndg

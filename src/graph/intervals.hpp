@@ -1,0 +1,33 @@
+#pragma once
+// Vertex-interval partitioning — the in-memory analogue of GraphChi's shard
+// intervals. GraphChi splits [0, |V|) into P execution intervals balanced by
+// edge count; the PSW engine (engine/psw.hpp) processes intervals in order,
+// exactly like GraphChi's sliding-window passes, with its deterministic
+// scheduler's intra-interval parallelism rules.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+struct IntervalPlan {
+  /// boundaries[i]..boundaries[i+1] is interval i; size = num_intervals + 1,
+  /// boundaries.front() == 0, boundaries.back() == |V|.
+  std::vector<VertexId> boundaries;
+  /// has_intra_neighbor[v]: v is adjacent (either direction) to another
+  /// vertex of its own interval — GraphChi's criterion for forcing v into
+  /// the sequential part of the deterministic schedule.
+  std::vector<bool> has_intra_neighbor;
+
+  [[nodiscard]] std::size_t num_intervals() const {
+    return boundaries.empty() ? 0 : boundaries.size() - 1;
+  }
+  [[nodiscard]] std::size_t interval_of(VertexId v) const;
+};
+
+/// Balances intervals by incident-edge count (in + out), GraphChi-style.
+IntervalPlan make_intervals(const Graph& g, std::size_t num_intervals);
+
+}  // namespace ndg

@@ -1,0 +1,78 @@
+#include "graph/loader.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace ndg {
+
+namespace {
+
+/// Parses one "src dst" line; returns false for blank/comment lines.
+bool parse_line(std::string_view line, std::size_t line_no, Edge& out) {
+  // Trim leading whitespace.
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return false;
+  line.remove_prefix(first);
+  if (line.front() == '#' || line.front() == '%') return false;
+
+  auto parse_id = [&](std::string_view& s, VertexId& v) {
+    const char* begin = s.data();
+    const char* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{}) {
+      throw std::runtime_error("malformed edge list at line " +
+                               std::to_string(line_no));
+    }
+    s.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    const auto ws = s.find_first_not_of(" \t\r");
+    s.remove_prefix(ws == std::string_view::npos ? s.size() : ws);
+  };
+  parse_id(line, out.src);
+  parse_id(line, out.dst);
+  return true;
+}
+
+LoadedEdgeList parse_stream(std::istream& in) {
+  LoadedEdgeList result;
+  std::string line;
+  std::size_t line_no = 0;
+  VertexId max_id = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Edge e{};
+    if (!parse_line(line, line_no, e)) continue;
+    result.edges.push_back(e);
+    max_id = std::max({max_id, e.src, e.dst});
+    any = true;
+  }
+  result.num_vertices = any ? max_id + 1 : 0;
+  return result;
+}
+
+}  // namespace
+
+LoadedEdgeList load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return parse_stream(in);
+}
+
+LoadedEdgeList parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return parse_stream(in);
+}
+
+void save_edge_list(const std::string& path, const EdgeList& edges,
+                    const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  if (!comment.empty()) out << "# " << comment << "\n";
+  for (const Edge& e : edges) out << e.src << '\t' << e.dst << '\n';
+}
+
+}  // namespace ndg

@@ -1,0 +1,29 @@
+#pragma once
+// SNAP-format edge-list I/O: whitespace-separated "src dst" per line, '#'
+// comment lines. This is the format of the Stanford Large Network Dataset
+// Collection files the paper uses (web-BerkStan, web-Google,
+// soc-LiveJournal1); real data drops straight into the benches when present.
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace ndg {
+
+struct LoadedEdgeList {
+  EdgeList edges;
+  VertexId num_vertices = 0;  // 1 + max endpoint id
+};
+
+/// Parses an edge-list file. Throws std::runtime_error on unreadable files or
+/// malformed lines.
+LoadedEdgeList load_edge_list(const std::string& path);
+
+/// Parses edge-list text from memory (used by tests).
+LoadedEdgeList parse_edge_list(const std::string& text);
+
+/// Writes "src dst" lines with a comment header.
+void save_edge_list(const std::string& path, const EdgeList& edges,
+                    const std::string& comment = "");
+
+}  // namespace ndg

@@ -1,0 +1,102 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+Graph transpose(const Graph& g) {
+  EdgeList edges;
+  edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) edges.push_back(Edge{u, v});
+  }
+  return Graph::build(g.num_vertices(), std::move(edges));
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<VertexId>& keep) {
+  std::vector<VertexId> old_to_new(g.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    NDG_ASSERT(keep[i] < g.num_vertices());
+    NDG_ASSERT_MSG(old_to_new[keep[i]] == kInvalidVertex,
+                   "duplicate vertex in keep set");
+    old_to_new[keep[i]] = static_cast<VertexId>(i);
+  }
+  EdgeList edges;
+  for (const VertexId v : keep) {
+    const VertexId nv = old_to_new[v];
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (old_to_new[u] != kInvalidVertex) {
+        edges.push_back(Edge{nv, old_to_new[u]});
+      }
+    }
+  }
+  return Graph::build(static_cast<VertexId>(keep.size()), std::move(edges));
+}
+
+std::vector<VertexId> largest_weak_component(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, ~0u);
+  std::uint32_t num_comps = 0;
+  std::queue<VertexId> q;
+  for (VertexId root = 0; root < n; ++root) {
+    if (comp[root] != ~0u) continue;
+    comp[root] = num_comps;
+    q.push(root);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      auto visit = [&](VertexId w) {
+        if (comp[w] == ~0u) {
+          comp[w] = num_comps;
+          q.push(w);
+        }
+      };
+      for (const VertexId w : g.out_neighbors(u)) visit(w);
+      for (const InEdge& ie : g.in_edges(u)) visit(ie.src);
+    }
+    ++num_comps;
+  }
+
+  std::vector<std::size_t> sizes(num_comps, 0);
+  for (VertexId v = 0; v < n; ++v) ++sizes[comp[v]];
+  const std::uint32_t biggest = static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+
+  std::vector<VertexId> keep;
+  keep.reserve(sizes[biggest]);
+  for (VertexId v = 0; v < n; ++v) {
+    if (comp[v] == biggest) keep.push_back(v);
+  }
+  return keep;
+}
+
+Relabeling relabel_by_degree(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const EdgeId da = g.in_degree(a) + g.out_degree(a);
+    const EdgeId db = g.in_degree(b) + g.out_degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  Relabeling out;
+  out.old_to_new.assign(n, 0);
+  for (VertexId rank = 0; rank < n; ++rank) out.old_to_new[order[rank]] = rank;
+
+  EdgeList edges;
+  edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      edges.push_back(Edge{out.old_to_new[v], out.old_to_new[u]});
+    }
+  }
+  out.graph = Graph::build(n, std::move(edges));
+  return out;
+}
+
+}  // namespace ndg

@@ -1,0 +1,36 @@
+#pragma once
+// Graph transformations: the utilities a downstream user needs to prepare
+// real-world inputs for the engines (the paper's graphs get cleaned the same
+// way — e.g. experiments on the largest weakly connected component, or on a
+// degree-ordered relabeling to control the scheduling order, since vertex
+// labels ARE the deterministic schedule in this model).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ndg {
+
+/// Reverses every edge. Canonical edge ids are re-assigned in the transposed
+/// graph's own CSR order.
+Graph transpose(const Graph& g);
+
+/// The subgraph induced by `keep` (ids are compacted to [0, keep.size()) in
+/// the order given; `keep` must not contain duplicates). Returns the new
+/// graph; old-to-new id mapping is by position in `keep`.
+Graph induced_subgraph(const Graph& g, const std::vector<VertexId>& keep);
+
+/// Vertices of the largest weakly connected component, ascending.
+std::vector<VertexId> largest_weak_component(const Graph& g);
+
+/// Relabels vertices by descending undirected degree (ties by old id), so
+/// label order — and therefore the deterministic schedule and the Fig. 1
+/// dispatch — visits hubs first. Returns the relabeled graph and the
+/// old->new mapping.
+struct Relabeling {
+  Graph graph;
+  std::vector<VertexId> old_to_new;
+};
+Relabeling relabel_by_degree(const Graph& g);
+
+}  // namespace ndg

@@ -1,0 +1,262 @@
+#pragma once
+// Nondeterministic execution INSIDE the out-of-core PSW engine — the paper's
+// actual experimental configuration: its patch exposes GraphChi's
+// nondeterministic scheduler, which runs an interval's updates on all cores
+// with no intra-interval ordering, racing on the loaded shard/window buffers
+// under one of the Section III atomicity methods. Intervals still execute in
+// order (that part is dictated by the disk layout), so nondeterminism lives
+// within an interval — exactly the Fig. 3 "NE" setup.
+//
+// The buffer accesses go through C++20 std::atomic_ref (or a per-edge lock,
+// or deliberate plain access for the "architecture support" method), mapped
+// from the same AtomicityMode enum as the in-memory engines.
+
+#include <atomic>
+
+#include "atomics/access_policy.hpp"
+#include "atomics/lock_table.hpp"
+#include "ooc/ooc_engine.hpp"
+#include "util/thread_team.hpp"
+
+namespace ndg {
+
+namespace detail {
+
+/// Access policies over raw uint64 buffer slots (the loaded windows).
+struct OocAlignedAccess {
+  [[nodiscard]] std::uint64_t load(std::uint64_t& slot) const {
+    return *const_cast<const volatile std::uint64_t*>(&slot);
+  }
+  void store(std::uint64_t& slot, std::uint64_t v) const {
+    *const_cast<volatile std::uint64_t*>(&slot) = v;
+  }
+};
+
+struct OocRelaxedAccess {
+  [[nodiscard]] std::uint64_t load(std::uint64_t& slot) const {
+    return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t& slot, std::uint64_t v) const {
+    std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_relaxed);
+  }
+};
+
+struct OocSeqCstAccess {
+  [[nodiscard]] std::uint64_t load(std::uint64_t& slot) const {
+    return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_seq_cst);
+  }
+  void store(std::uint64_t& slot, std::uint64_t v) const {
+    std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_seq_cst);
+  }
+};
+
+struct OocLockedAccess {
+  EdgeLockTable* locks = nullptr;
+  EdgeId edge = 0;  // set by the context before each access
+
+  [[nodiscard]] std::uint64_t load(std::uint64_t& slot) const {
+    EdgeLockGuard guard(*locks, edge);
+    return slot;
+  }
+  void store(std::uint64_t& slot, std::uint64_t v) const {
+    EdgeLockGuard guard(*locks, edge);
+    slot = v;
+  }
+};
+
+template <EdgePod ED, typename Access>
+class OocNeContext {
+ public:
+  OocNeContext(const Graph& g, const OocEdgeView& view, Frontier& frontier,
+               Access access)
+      : g_(&g), view_(&view), frontier_(&frontier), access_(access) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = iteration;
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edges_begin(v_) + k;
+  }
+
+  [[nodiscard]] ED read(EdgeId e) {
+    prime(e);
+    return detail::from_slot<ED>(access_.load(view_->slot(e)));
+  }
+
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    prime(e);
+    access_.store(view_->slot(e), detail::to_slot(value));
+    frontier_->schedule(other_endpoint);
+  }
+
+  void write_silent(EdgeId e, ED value) {
+    prime(e);
+    access_.store(view_->slot(e), detail::to_slot(value));
+  }
+
+  [[nodiscard]] ED exchange(EdgeId e, ED value) {
+    const ED old = read(e);
+    write_silent(e, value);
+    return old;
+  }
+
+  template <typename Fn>
+  void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
+    write(e, other_endpoint, fn(read(e)));
+  }
+
+  void schedule(VertexId u) { frontier_->schedule(u); }
+
+ private:
+  void prime(EdgeId e) {
+    if constexpr (std::is_same_v<Access, OocLockedAccess>) {
+      access_.edge = e;
+    }
+  }
+
+  const Graph* g_;
+  const OocEdgeView* view_;
+  Frontier* frontier_;
+  Access access_;
+  VertexId v_ = kInvalidVertex;
+  std::size_t iter_ = 0;
+};
+
+template <VertexProgram Program, typename Access>
+OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
+                              EdgeDataArray<typename Program::EdgeData>& edges,
+                              const ShardPlan& plan,
+                              const std::string& store_dir, Access access,
+                              const EngineOptions& opts) {
+  Timer timer;
+  const std::size_t shards = plan.num_shards();
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+
+  ShardStore store(store_dir, plan);
+  {
+    std::vector<std::uint64_t> initial(edges.size());
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      initial[e] = edges.slots()[e].load(std::memory_order_relaxed);
+    }
+    store.write_initial(initial);
+  }
+
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+
+  OocResult result;
+  std::vector<std::vector<std::uint64_t>> windows(shards);
+  std::atomic<std::uint64_t> updates{0};
+
+  while (!frontier.empty() && result.iterations < opts.max_iterations) {
+    const auto& cur = frontier.current();
+    result.frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+      const VertexId hi = plan.intervals.boundaries[i + 1];
+      const std::size_t first = pos;
+      while (pos < cur.size() && cur[pos] < hi) ++pos;
+      if (pos == first) {
+        ++result.intervals_skipped;
+        continue;
+      }
+
+      std::vector<std::uint64_t> memory_shard = store.load_shard(i);
+      result.bytes_read += memory_shard.size() * sizeof(std::uint64_t);
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (s == i) continue;
+        const auto [wb, we] = plan.windows[s][i];
+        windows[s] = store.load_window(s, wb, we);
+        result.bytes_read += windows[s].size() * sizeof(std::uint64_t);
+      }
+
+      const OocEdgeView view(g, plan, i, memory_shard, windows);
+      // The paper's NE: the interval's scheduled updates race across all
+      // threads (static blocks, small-label-first within each thread).
+      const std::size_t count = pos - first;
+      parallel_for_blocks(count, nt,
+                          [&](std::size_t b, std::size_t e, std::size_t) {
+                            OocNeContext<typename Program::EdgeData, Access>
+                                ctx(g, view, frontier, access);
+                            std::uint64_t local = 0;
+                            for (std::size_t k = b; k < e; ++k) {
+                              ctx.begin(cur[first + k], result.iterations);
+                              prog.update(cur[first + k], ctx);
+                              ++local;
+                            }
+                            updates.fetch_add(local,
+                                              std::memory_order_relaxed);
+                          });
+
+      store.store_shard(i, memory_shard);
+      result.bytes_written += memory_shard.size() * sizeof(std::uint64_t);
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (s == i) continue;
+        const auto [wb, we] = plan.windows[s][i];
+        (void)we;
+        store.store_window(s, wb, windows[s]);
+        result.bytes_written += windows[s].size() * sizeof(std::uint64_t);
+      }
+      ++result.intervals_processed;
+    }
+
+    frontier.advance();
+    ++result.iterations;
+  }
+
+  result.updates = updates.load();
+  {
+    std::vector<std::uint64_t> final_values(edges.size());
+    store.read_back(final_values);
+    for (EdgeId e = 0; e < edges.size(); ++e) {
+      edges.slots()[e].store(final_values[e], std::memory_order_relaxed);
+    }
+  }
+  result.converged = frontier.empty();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace detail
+
+/// The paper's patched-GraphChi configuration: PSW out-of-core execution
+/// with nondeterministic intra-interval parallelism under the atomicity
+/// method of opts.mode.
+template <VertexProgram Program>
+OocResult run_ooc_nondeterministic(
+    const Graph& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges, const ShardPlan& plan,
+    const std::string& store_dir, const EngineOptions& opts) {
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(g.num_edges());
+      return detail::run_ooc_nondet_impl(g, prog, edges, plan, store_dir,
+                                         detail::OocLockedAccess{&locks}, opts);
+    }
+    case AtomicityMode::kAligned:
+      return detail::run_ooc_nondet_impl(g, prog, edges, plan, store_dir,
+                                         detail::OocAlignedAccess{}, opts);
+    case AtomicityMode::kRelaxed:
+      return detail::run_ooc_nondet_impl(g, prog, edges, plan, store_dir,
+                                         detail::OocRelaxedAccess{}, opts);
+    case AtomicityMode::kSeqCst:
+      return detail::run_ooc_nondet_impl(g, prog, edges, plan, store_dir,
+                                         detail::OocSeqCstAccess{}, opts);
+  }
+  return {};
+}
+
+}  // namespace ndg

@@ -1,0 +1,40 @@
+#pragma once
+// Shard planning — GraphChi's Parallel Sliding Windows preprocessing, in
+// full: vertices are split into P execution intervals (graph/intervals.hpp),
+// and the edges into P shards, shard s holding every edge whose TARGET lies
+// in interval s, ordered by source. With that ordering, the edges of shard s
+// whose SOURCE lies in interval j form one contiguous sub-range — the
+// "sliding window" (s, j) — so processing interval j touches its in-edge
+// shard (the memory shard) plus exactly one contiguous window of every other
+// shard. That is the disk-access pattern that lets GraphChi process
+// billion-edge graphs on one PC, reproduced here over the canonical edge-id
+// space.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/intervals.hpp"
+
+namespace ndg {
+
+struct ShardPlan {
+  IntervalPlan intervals;
+  /// shard_edges[s]: canonical ids of edges with target in interval s,
+  /// ascending (canonical order is source-major, so this is source-sorted —
+  /// exactly GraphChi's shard ordering).
+  std::vector<std::vector<EdgeId>> shard_edges;
+  /// windows[s][j]: the [begin, end) index range of shard_edges[s] whose
+  /// sources lie in interval j (the sliding window of shard s for interval j).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> windows;
+
+  [[nodiscard]] std::size_t num_shards() const { return shard_edges.size(); }
+
+  /// Index of edge `e` within shard `s` (binary search; e must be in s).
+  [[nodiscard]] std::size_t position_in_shard(std::size_t s, EdgeId e) const;
+};
+
+ShardPlan make_shard_plan(const Graph& g, std::size_t num_shards);
+
+}  // namespace ndg

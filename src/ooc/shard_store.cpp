@@ -1,0 +1,97 @@
+#include "ooc/shard_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+namespace fs = std::filesystem;
+
+ShardStore::ShardStore(std::string directory, const ShardPlan& plan)
+    : dir_(std::move(directory)), plan_(&plan) {
+  fs::create_directories(dir_);
+}
+
+std::string ShardStore::shard_path(std::size_t s) const {
+  return dir_ + "/shard_" + std::to_string(s) + ".bin";
+}
+
+void ShardStore::write_initial(const std::vector<std::uint64_t>& edge_values) {
+  for (std::size_t s = 0; s < plan_->num_shards(); ++s) {
+    std::vector<std::uint64_t> values;
+    values.reserve(plan_->shard_edges[s].size());
+    for (const EdgeId e : plan_->shard_edges[s]) {
+      NDG_ASSERT(e < edge_values.size());
+      values.push_back(edge_values[e]);
+    }
+    store_shard(s, values);
+  }
+}
+
+std::vector<std::uint64_t> ShardStore::load_shard(std::size_t s) const {
+  return load_window(s, 0, plan_->shard_edges[s].size());
+}
+
+void ShardStore::store_shard(std::size_t s,
+                             const std::vector<std::uint64_t>& values) const {
+  NDG_ASSERT(values.size() == plan_->shard_edges[s].size());
+  std::ofstream out(shard_path(s), std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("shard store: cannot write " + shard_path(s));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(std::uint64_t)));
+  if (!out) throw std::runtime_error("shard store: write failed " + shard_path(s));
+}
+
+std::vector<std::uint64_t> ShardStore::load_window(std::size_t s,
+                                                   std::size_t begin,
+                                                   std::size_t end) const {
+  NDG_ASSERT(begin <= end && end <= plan_->shard_edges[s].size());
+  std::vector<std::uint64_t> values(end - begin);
+  if (values.empty()) return values;
+  std::ifstream in(shard_path(s), std::ios::binary);
+  if (!in) throw std::runtime_error("shard store: cannot read " + shard_path(s));
+  in.seekg(static_cast<std::streamoff>(begin * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(std::uint64_t)));
+  if (!in) throw std::runtime_error("shard store: short read " + shard_path(s));
+  return values;
+}
+
+void ShardStore::store_window(std::size_t s, std::size_t begin,
+                              const std::vector<std::uint64_t>& values) const {
+  if (values.empty()) return;
+  NDG_ASSERT(begin + values.size() <= plan_->shard_edges[s].size());
+  std::fstream out(shard_path(s),
+                   std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) throw std::runtime_error("shard store: cannot update " + shard_path(s));
+  out.seekp(static_cast<std::streamoff>(begin * sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(std::uint64_t)));
+  if (!out) throw std::runtime_error("shard store: window write failed");
+}
+
+void ShardStore::read_back(std::vector<std::uint64_t>& edge_values) const {
+  for (std::size_t s = 0; s < plan_->num_shards(); ++s) {
+    const auto values = load_shard(s);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const EdgeId e = plan_->shard_edges[s][i];
+      NDG_ASSERT(e < edge_values.size());
+      edge_values[e] = values[i];
+    }
+  }
+}
+
+std::uint64_t ShardStore::bytes_on_disk() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < plan_->num_shards(); ++s) {
+    std::error_code ec;
+    const auto size = fs::file_size(shard_path(s), ec);
+    if (!ec) total += size;
+  }
+  return total;
+}
+
+}  // namespace ndg

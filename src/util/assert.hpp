@@ -1,0 +1,23 @@
+#pragma once
+// Always-on invariant checks. Unlike <cassert> these survive release builds:
+// corrupt scheduling state in a racy engine is exactly the kind of bug that
+// only shows up under optimization.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ndg::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NDG_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace ndg::detail
+
+#define NDG_ASSERT(expr)                                                       \
+  ((expr) ? (void)0                                                            \
+          : ::ndg::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define NDG_ASSERT_MSG(expr, msg)                                              \
+  ((expr) ? (void)0 : ::ndg::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

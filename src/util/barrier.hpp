@@ -1,0 +1,57 @@
+#pragma once
+// Sense-reversing spin barrier. The nondeterministic engine runs the
+// "synchronous implementation of the asynchronous model" (Section II): all
+// threads must rendezvous between iterations so that edge values commit to one
+// predictable value at iteration boundaries. Iterations are short, so a spin
+// barrier beats std::barrier's futex path on this workload.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t num_threads)
+      : num_threads_(num_threads), waiting_(0), sense_(false) {
+    NDG_ASSERT(num_threads >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all num_threads have arrived. Each thread keeps its own
+  /// local sense; pass the same bool& every call.
+  void arrive_and_wait(bool& local_sense) {
+    local_sense = !local_sense;
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == num_threads_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      // Release: all pre-barrier writes become visible to waiters.
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      // Spin briefly, then yield: on oversubscribed hosts (more threads than
+      // cores) a pure spin burns whole scheduler quanta per barrier while the
+      // straggler waits for a core.
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        if (++spins < 1024) {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const std::size_t num_threads_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,37 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+namespace ndg {
+
+void DenseBitset::set_all() {
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  // Mask the tail so count() stays exact.
+  const std::size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() = (1ULL << tail) - 1;
+  }
+}
+
+std::size_t DenseBitset::count() const {
+  std::size_t c = 0;
+  for (const auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DenseBitset::any() const {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t AtomicBitset::count() const {
+  std::size_t c = 0;
+  for (const auto& w : words_) {
+    c += static_cast<std::size_t>(std::popcount(w.load(std::memory_order_relaxed)));
+  }
+  return c;
+}
+
+}  // namespace ndg

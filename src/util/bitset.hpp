@@ -1,0 +1,129 @@
+#pragma once
+// Dense bitsets over vertex ids. Two flavours:
+//   * DenseBitset     — single-writer, used by sequential engines.
+//   * AtomicBitset    — multi-writer, used by the nondeterministic engine's
+//                       next-iteration frontier (the task-generation rule of
+//                       Section II is executed concurrently by all threads).
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+
+  void set(std::size_t i) {
+    NDG_ASSERT(i < num_bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    NDG_ASSERT(i < num_bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    NDG_ASSERT(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+  void set_all();
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool any() const;
+
+  /// Calls fn(i) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64) {
+    clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+
+  /// Sets bit i; returns true if this call changed it from 0 to 1.
+  /// Release ordering: everything the setter wrote before scheduling a vertex
+  /// becomes visible to whoever claims the bit with clear_bit() — the
+  /// happens-before edge the pure-async engine relies on (barrier engines get
+  /// the same edge from their barriers and don't care).
+  bool set(std::size_t i) {
+    NDG_ASSERT(i < num_bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    // fetch_or is idempotent under races: exactly one concurrent setter sees
+    // the 0->1 transition, which lets callers count distinct activations.
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_release);
+    return (prev & mask) == 0;
+  }
+
+  /// Clears bit i; returns true if this call changed it from 1 to 0 (i.e.
+  /// the caller won the claim). Acquire pairs with set()'s release.
+  bool clear_bit(std::size_t i) {
+    NDG_ASSERT(i < num_bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_and(~mask, std::memory_order_acquire);
+    return (prev & mask) != 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    NDG_ASSERT(i < num_bits_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+  }
+
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t count() const;
+
+  /// Single-threaded traversal (called between iterations, after the barrier).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w].load(std::memory_order_relaxed);
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace ndg

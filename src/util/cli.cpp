@@ -1,0 +1,45 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace ndg {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_.emplace(std::string(arg), "true");
+    } else {
+      kv_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string CliArgs::get(const std::string& key, std::string def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? std::move(def) : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace ndg

@@ -1,0 +1,24 @@
+#pragma once
+// Minimal --flag=value command-line parser for the bench and example binaries.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ndg {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, std::string def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace ndg

@@ -1,0 +1,34 @@
+#pragma once
+// Small statistics helpers used by the result-variance experiments
+// (Tables II & III) and the benchmark harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace ndg {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample set (nearest-rank method). `p` in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace ndg

@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ndg {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  NDG_ASSERT_MSG(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True if the cell parses completely as a JSON-safe number.
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  // Reject inf/nan spellings (valid for strtod, invalid JSON) and leading
+  // '+' or stray whitespace.
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ",") << "{";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << (c == 0 ? "" : ",") << '"' << json_escape(header_[c]) << "\":";
+      if (looks_numeric(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        os << '"' << json_escape(rows_[r][c]) << '"';
+      }
+    }
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void TextTable::write_json(const std::string& path,
+                           const std::string& config_json) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write json: " + path);
+  out << "{\"config\":" << config_json << ",\"rows\":" << to_json() << "}\n";
+}
+
+}  // namespace ndg

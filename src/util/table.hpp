@@ -1,0 +1,40 @@
+#pragma once
+// Fixed-width text table printer. The benchmark harnesses print paper-style
+// rows (Figure 3 series, Tables II/III) through this so that bench_output.txt
+// lines up for side-by-side comparison with the paper.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ndg {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+  /// Machine-readable form: a JSON array of row objects keyed by the header
+  /// (numeric-looking cells stay unquoted). Used by the benches' --json flag
+  /// to emit reproducibility manifests alongside the human tables.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes `{"config": <config_json>, "rows": <to_json()>}` to `path`.
+  /// `config_json` must already be valid JSON (use json_escape for values).
+  void write_json(const std::string& path, const std::string& config_json) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace ndg

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing for the benchmark harnesses. The paper reports "computing
+// times (excluding the I/O times spent on graph loading)"; callers start the
+// timer after the graph is built.
+
+#include <chrono>
+
+namespace ndg {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ndg

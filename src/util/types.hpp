@@ -1,0 +1,20 @@
+#pragma once
+// Fundamental identifier types shared by every subsystem.
+
+#include <cstdint>
+#include <limits>
+
+namespace ndg {
+
+/// Vertex identifier; vertices are dense in [0, num_vertices).
+/// The paper calls this the vertex *label* L_v (Section II): a unique value in
+/// [0, |V|-1] that also defines the deterministic scheduling order.
+using VertexId = std::uint32_t;
+
+/// Edge identifier; edges are dense in [0, num_edges) in CSR (source-major) order.
+using EdgeId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace ndg

@@ -1,0 +1,238 @@
+// Algorithm correctness under the deterministic engine, against independent
+// reference implementations, across a zoo of topologies.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/spmv.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+struct TopologyCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<TopologyCase> topologies() {
+  std::vector<TopologyCase> cases;
+  cases.push_back({"chain", Graph::build(40, gen::chain(40))});
+  cases.push_back({"cycle", Graph::build(40, gen::cycle(40))});
+  cases.push_back({"star", Graph::build(40, gen::star(40))});
+  cases.push_back({"grid", Graph::build(36, gen::grid2d(6, 6))});
+  cases.push_back({"complete", Graph::build(12, gen::complete(12))});
+  cases.push_back({"rmat", Graph::build(200, gen::rmat(200, 1200, 3))});
+  cases.push_back({"er", Graph::build(200, gen::erdos_renyi(200, 900, 4))});
+  cases.push_back(
+      {"two-components",
+       Graph::build(20, {{0, 1}, {1, 2}, {2, 0}, {10, 11}, {11, 12}})});
+  cases.push_back({"dag", Graph::build(100, gen::random_dag(100, 2.5, 9))});
+  return cases;
+}
+
+TEST(AlgorithmsDeterministic, WccMatchesUnionFindEverywhere) {
+  for (auto& tc : topologies()) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(tc.graph.num_edges());
+    prog.init(tc.graph, edges);
+    const EngineResult r = run_deterministic(tc.graph, prog, edges);
+    EXPECT_TRUE(r.converged) << tc.name;
+    EXPECT_EQ(prog.labels(), ref::wcc(tc.graph)) << tc.name;
+  }
+}
+
+TEST(AlgorithmsDeterministic, BfsMatchesReferenceEverywhere) {
+  for (auto& tc : topologies()) {
+    BfsProgram prog(0);
+    EdgeDataArray<BfsProgram::EdgeData> edges(tc.graph.num_edges());
+    prog.init(tc.graph, edges);
+    const EngineResult r = run_deterministic(tc.graph, prog, edges);
+    EXPECT_TRUE(r.converged) << tc.name;
+    EXPECT_EQ(prog.levels(), ref::bfs(tc.graph, 0)) << tc.name;
+  }
+}
+
+TEST(AlgorithmsDeterministic, SsspMatchesDijkstraEverywhere) {
+  for (auto& tc : topologies()) {
+    SsspProgram prog(0, /*weight_seed=*/11);
+    std::vector<float> weights(tc.graph.num_edges());
+    for (EdgeId e = 0; e < tc.graph.num_edges(); ++e) {
+      weights[e] = SsspProgram::edge_weight(11, e);
+    }
+    EdgeDataArray<SsspProgram::EdgeData> edges(tc.graph.num_edges());
+    prog.init(tc.graph, edges);
+    const EngineResult r = run_deterministic(tc.graph, prog, edges);
+    EXPECT_TRUE(r.converged) << tc.name;
+    const auto expected = ref::sssp(tc.graph, 0, weights);
+    for (VertexId v = 0; v < tc.graph.num_vertices(); ++v) {
+      EXPECT_FLOAT_EQ(prog.distances()[v], expected[v])
+          << tc.name << " v=" << v;
+    }
+  }
+}
+
+TEST(AlgorithmsDeterministic, SsspWeightsAreInRangeAndStable) {
+  for (EdgeId e = 0; e < 1000; ++e) {
+    const float w = SsspProgram::edge_weight(3, e);
+    EXPECT_GE(w, 1.0f);
+    EXPECT_LE(w, 10.0f);
+    EXPECT_EQ(w, SsspProgram::edge_weight(3, e));  // pure function of (seed, e)
+  }
+  EXPECT_NE(SsspProgram::edge_weight(3, 0), SsspProgram::edge_weight(4, 0));
+}
+
+TEST(AlgorithmsDeterministic, PageRankMatchesPowerIteration) {
+  const Graph g = Graph::build(200, gen::rmat(200, 1200, 6));
+  const auto expected = ref::pagerank(g, 0.85, 1e-12);
+
+  PageRankProgram prog(1e-5f);
+  EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.02 * expected[v] + 0.003);
+  }
+}
+
+TEST(AlgorithmsDeterministic, PageRankTighterEpsilonGetsCloser) {
+  const Graph g = Graph::build(128, gen::erdos_renyi(128, 700, 2));
+  const auto expected = ref::pagerank(g, 0.85, 1e-12);
+
+  double coarse_err = 0.0;
+  double fine_err = 0.0;
+  for (const float eps : {1e-2f, 1e-5f}) {
+    PageRankProgram prog(eps);
+    EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    ASSERT_TRUE(run_deterministic(g, prog, edges).converged);
+    double err = 0.0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      err = std::max(err, std::abs(prog.ranks()[v] - expected[v]));
+    }
+    (eps > 1e-3f ? coarse_err : fine_err) = err;
+  }
+  EXPECT_LT(fine_err, coarse_err);
+  EXPECT_LT(fine_err, 1e-3);
+}
+
+TEST(AlgorithmsDeterministic, PageRankHandlesSinksAndSources) {
+  // star: hub 0 -> leaves (leaves are sinks); chain end is a sink.
+  const Graph g = Graph::build(10, gen::star(10));
+  PageRankProgram prog(1e-6f);
+  EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  EXPECT_TRUE(run_deterministic(g, prog, edges).converged);
+  // Hub has no in-edges: rank = 1 - damping.
+  EXPECT_NEAR(prog.ranks()[0], 0.15, 1e-4);
+  // Every leaf receives hub_rank/9 damped.
+  EXPECT_NEAR(prog.ranks()[1], 0.15 + 0.85 * 0.15 / 9.0, 1e-4);
+}
+
+TEST(AlgorithmsDeterministic, SpmvConverges) {
+  const Graph g = Graph::build(128, gen::erdos_renyi(128, 800, 8));
+  SpmvProgram prog(1e-4f);
+  EdgeDataArray<SpmvProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges, 20000);
+  EXPECT_TRUE(r.converged);
+  // x stays near the stochastic fixed point's scale (started at 1).
+  for (const float x : prog.x()) {
+    EXPECT_GE(x, -0.01f);
+    EXPECT_LT(x, 100.0f);
+  }
+}
+
+TEST(AlgorithmsDeterministic, SpmvMatchesDenseFixedPoint) {
+  const Graph g = Graph::build(150, gen::rmat(150, 900, 14));
+  const auto expected = ref::spmv_fixed_point(g, 0.5, 1e-12);
+  SpmvProgram prog(1e-5f);
+  EdgeDataArray<SpmvProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges, 100000);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.x()[v], expected[v], 0.05 * std::abs(expected[v]) + 0.01)
+        << "v=" << v;
+  }
+}
+
+TEST(AlgorithmsDeterministic, PushPageRankMatchesPullFixedPoint) {
+  const Graph g = Graph::build(150, gen::rmat(150, 900, 8));
+  const auto expected = ref::pagerank(g, 0.85, 1e-12);
+
+  PushPageRankProgram prog(1e-6f);
+  EdgeDataArray<PushPageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges, 100000);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.02 * expected[v] + 0.005)
+        << "v=" << v;
+  }
+}
+
+TEST(AlgorithmsDeterministic, WccSingletonAndEmptyGraphs) {
+  const Graph g = Graph::build(5, EdgeList{});
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(prog.labels()[v], v);
+}
+
+TEST(AlgorithmsDeterministic, BfsUnreachableStaysUnreached) {
+  const Graph g = Graph::build(6, {{0, 1}, {1, 2}, {4, 5}});
+  BfsProgram prog(0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  EXPECT_TRUE(run_deterministic(g, prog, edges).converged);
+  EXPECT_EQ(prog.levels()[2], 2u);
+  EXPECT_EQ(prog.levels()[3], BfsProgram::kUnreached);
+  EXPECT_EQ(prog.levels()[4], BfsProgram::kUnreached);
+}
+
+TEST(AlgorithmsBsp, AllPaperAlgorithmsConvergeSynchronously) {
+  // The Theorem 1 premise holds for the paper's fixed-point algorithms, and
+  // empirically for the traversal ones too.
+  const Graph g = Graph::build(128, gen::rmat(128, 700, 10));
+
+  {
+    PageRankProgram prog(1e-3f);
+    EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EXPECT_TRUE(run_bsp(g, prog, edges, 20000).converged);
+  }
+  {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EXPECT_TRUE(run_bsp(g, prog, edges).converged);
+    EXPECT_EQ(prog.labels(), ref::wcc(g));
+  }
+  {
+    SsspProgram prog(0, 3);
+    EdgeDataArray<SsspProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EXPECT_TRUE(run_bsp(g, prog, edges).converged);
+  }
+  {
+    BfsProgram prog(0);
+    EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EXPECT_TRUE(run_bsp(g, prog, edges).converged);
+    EXPECT_EQ(prog.levels(), ref::bfs(g, 0));
+  }
+}
+
+}  // namespace
+}  // namespace ndg

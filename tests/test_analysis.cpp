@@ -1,0 +1,186 @@
+// Tests for the §VII analysis modules: error-range analysis, convergence
+// bounds, and per-iteration frontier telemetry.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/wcc.hpp"
+#include "core/convergence_bound.hpp"
+#include "core/error_analysis.hpp"
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/simulator.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+// --- error analysis ----------------------------------------------------------
+
+TEST(ErrorAnalysis, ZeroErrorForIdenticalRuns) {
+  const std::vector<double> base{1.0, 2.0, 3.0, 4.0};
+  const ErrorAnalysis a = analyze_errors(base, {base, base});
+  EXPECT_EQ(a.abs_error.max, 0.0);
+  EXPECT_EQ(a.rel_error.max, 0.0);
+  EXPECT_EQ(a.max_spread, 0.0);
+  EXPECT_EQ(a.exact_vertices, 4u);
+}
+
+TEST(ErrorAnalysis, DetectsSpreadAndPercentiles) {
+  const std::vector<double> base{10.0, 10.0, 10.0, 10.0};
+  const std::vector<double> run1{10.0, 10.5, 10.0, 10.0};
+  const std::vector<double> run2{10.0, 9.5, 10.0, 12.0};
+  const ErrorAnalysis a = analyze_errors(base, {run1, run2});
+  EXPECT_DOUBLE_EQ(a.max_spread, 2.0);     // vertex 3: 12.0 - 10.0
+  EXPECT_DOUBLE_EQ(a.abs_error.max, 2.0);  // vertex 3 in run2
+  EXPECT_NEAR(a.rel_error.max, 0.2, 1e-12);
+  EXPECT_EQ(a.exact_vertices, 2u);  // vertices 0 and 2
+}
+
+TEST(ErrorAnalysis, RankBandsFollowBaselineRanking) {
+  // 200 vertices; error placed only on the lowest-ranked vertex => tail band.
+  std::vector<double> base(200);
+  for (std::size_t i = 0; i < 200; ++i) base[i] = 1000.0 - static_cast<double>(i);
+  std::vector<double> run = base;
+  run[199] += 5.0;  // the smallest value = deepest tail
+  const ErrorAnalysis a = analyze_errors(base, {run});
+  EXPECT_EQ(a.head_mean_abs, 0.0);
+  EXPECT_EQ(a.torso_mean_abs, 0.0);
+  EXPECT_GT(a.tail_mean_abs, 0.0);
+}
+
+TEST(ErrorAnalysis, EmptyInputs) {
+  const ErrorAnalysis a = analyze_errors({}, {});
+  EXPECT_EQ(a.abs_error.max, 0.0);
+  EXPECT_EQ(a.exact_vertices, 0u);
+}
+
+TEST(ErrorAnalysis, NondeterministicPageRankErrorsConcentrateLow) {
+  // End-to-end: simulated NE PageRank errors vs the deterministic baseline
+  // must be small and must not be concentrated on the head of the ranking —
+  // the quantified version of the paper's Section V-C usability argument.
+  const Graph g = Graph::build(512, gen::rmat(512, 3000, 31));
+  PageRankProgram de(1e-4f);
+  EdgeDataArray<float> de_edges(g.num_edges());
+  de.init(g, de_edges);
+  ASSERT_TRUE(run_deterministic(g, de, de_edges).converged);
+  const auto baseline = de.values();
+
+  std::vector<std::vector<double>> runs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    PageRankProgram ne(1e-4f);
+    EdgeDataArray<float> ne_edges(g.num_edges());
+    ne.init(g, ne_edges);
+    SimOptions opts;
+    opts.num_procs = 8;
+    opts.delay = 4;
+    opts.delay_jitter = 4;
+    opts.seed = seed;
+    ASSERT_TRUE(run_simulated(g, ne, ne_edges, opts).converged);
+    runs.push_back(ne.values());
+  }
+  const ErrorAnalysis a = analyze_errors(baseline, runs);
+  EXPECT_LT(a.rel_error.p99, 0.05);
+  EXPECT_GT(a.exact_vertices, 0u);
+}
+
+// --- convergence bounds -------------------------------------------------------
+
+TEST(ConvergenceBound, ChainDepths) {
+  const Graph g = Graph::build(10, gen::chain(10));
+  const ConvergenceBound b = wcc_convergence_bound(g);
+  EXPECT_EQ(b.chain_depth, 9u);
+  EXPECT_EQ(b.rw_bound, 12u);
+  EXPECT_EQ(b.ww_bound, 31u);
+  EXPECT_EQ(traversal_chain_depth(g, 0), 9u);
+  EXPECT_EQ(traversal_chain_depth(g, 9), 0u);
+}
+
+TEST(ConvergenceBound, MultipleComponentsTakeTheMax) {
+  // Component {0..4} chain (depth 4) + component {10,11} (depth 1).
+  const Graph g =
+      Graph::build(12, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {10, 11}});
+  const ConvergenceBound b = wcc_convergence_bound(g);
+  EXPECT_EQ(b.chain_depth, 4u);
+}
+
+TEST(ConvergenceBound, BspWccRespectsRwBound) {
+  // Synchronous WCC advances one hop per iteration: iterations <= depth + 2.
+  for (const auto& g :
+       {Graph::build(40, gen::chain(40)), Graph::build(64, gen::grid2d(8, 8)),
+        Graph::build(128, gen::rmat(128, 800, 3))}) {
+    const ConvergenceBound b = wcc_convergence_bound(g);
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_bsp(g, prog, edges);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, b.rw_bound);
+  }
+}
+
+TEST(ConvergenceBound, SimulatedWccRespectsWwBound) {
+  const Graph g = Graph::build(64, gen::cycle(64));
+  const ConvergenceBound b = wcc_convergence_bound(g);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 8;
+    opts.delay = 8;
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, b.ww_bound) << "seed=" << seed;
+  }
+}
+
+TEST(ConvergenceBound, BfsIterationsTrackChainDepth) {
+  const Graph g = Graph::build(30, gen::chain(30));
+  BfsProgram prog(0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, traversal_chain_depth(g, 0) + 3);
+}
+
+// --- frontier telemetry --------------------------------------------------------
+
+TEST(Telemetry, FrontierSizesMatchIterationsAndUpdates) {
+  const Graph g = Graph::build(128, gen::rmat(128, 700, 5));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  ASSERT_EQ(r.frontier_sizes.size(), r.iterations);
+  std::uint64_t total = 0;
+  for (const auto s : r.frontier_sizes) total += s;
+  EXPECT_EQ(total, r.updates);
+  EXPECT_EQ(r.frontier_sizes.front(), g.num_vertices());  // all seeded
+}
+
+TEST(Telemetry, BspAndSimulatorRecordCurves) {
+  const Graph g = Graph::build(32, gen::chain(32));
+  {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_bsp(g, prog, edges);
+    EXPECT_EQ(r.frontier_sizes.size(), r.iterations);
+  }
+  {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 4;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    EXPECT_EQ(r.frontier_sizes.size(), r.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,161 @@
+// Update-context contract tests: scheduling semantics of write vs
+// write_silent, observer callbacks, BSP postponed visibility and write-log
+// ordering, and edge-id plumbing — checked with purpose-built probe programs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/frontier.hpp"
+#include "engine/observer.hpp"
+#include "engine/update_context.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+/// Records every observer event for later inspection.
+class RecordingObserver final : public AccessObserver {
+ public:
+  struct Event {
+    bool is_write;
+    EdgeId edge;
+    VertexId vertex;
+    std::uint32_t iteration;
+    std::uint64_t value;  // writes only
+  };
+
+  void on_read(EdgeId e, VertexId reader, std::uint32_t iter) override {
+    events.push_back({false, e, reader, iter, 0});
+  }
+  void on_write(EdgeId e, VertexId writer, std::uint32_t iter,
+                std::uint64_t slot) override {
+    events.push_back({true, e, writer, iter, slot});
+  }
+
+  std::vector<Event> events;
+};
+
+TEST(UpdateContext, WriteSchedulesOtherEndpointWriteSilentDoesNot) {
+  const Graph g = Graph::build(3, {{0, 1}, {0, 2}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 0);
+  Frontier frontier(3);
+  UpdateContext<std::uint32_t, AlignedAccess> ctx(g, edges, AlignedAccess{},
+                                                  frontier);
+  ctx.begin(0, 0);
+  ctx.write(ctx.out_edge_id(0), 1, 7);        // schedules vertex 1
+  ctx.write_silent(ctx.out_edge_id(1), 9);    // schedules no one
+  frontier.advance();
+  EXPECT_EQ(frontier.current(), (std::vector<VertexId>{1}));
+  EXPECT_EQ(edges.get(0), 7u);
+  EXPECT_EQ(edges.get(1), 9u);
+}
+
+TEST(UpdateContext, AccumulateSchedulesAndExchangeDoesNot) {
+  const Graph g = Graph::build(3, {{0, 1}, {0, 2}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 10);
+  Frontier frontier(3);
+  UpdateContext<std::uint32_t, RelaxedAtomicAccess> ctx(
+      g, edges, RelaxedAtomicAccess{}, frontier);
+  ctx.begin(0, 0);
+  ctx.accumulate(ctx.out_edge_id(0), 1, [](std::uint32_t x) { return x + 5; });
+  EXPECT_EQ(ctx.exchange(ctx.out_edge_id(1), 99u), 10u);
+  frontier.advance();
+  EXPECT_EQ(frontier.current(), (std::vector<VertexId>{1}));
+  EXPECT_EQ(edges.get(0), 15u);
+  EXPECT_EQ(edges.get(1), 99u);
+}
+
+TEST(UpdateContext, ObserverSeesReadsAndWritesWithValues) {
+  const Graph g = Graph::build(2, {{0, 1}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 3);
+  Frontier frontier(2);
+  RecordingObserver obs;
+  UpdateContext<std::uint32_t, AlignedAccess> ctx(g, edges, AlignedAccess{},
+                                                  frontier, &obs);
+  ctx.begin(0, 5);
+  (void)ctx.read(0);
+  ctx.write(0, 1, 42);
+  ASSERT_EQ(obs.events.size(), 2u);
+  EXPECT_FALSE(obs.events[0].is_write);
+  EXPECT_EQ(obs.events[0].vertex, 0u);
+  EXPECT_EQ(obs.events[0].iteration, 5u);
+  EXPECT_TRUE(obs.events[1].is_write);
+  EXPECT_EQ(detail::from_slot<std::uint32_t>(obs.events[1].value), 42u);
+}
+
+TEST(UpdateContext, TopologyViewsMatchGraph) {
+  const Graph g = Graph::build(4, {{0, 1}, {0, 2}, {3, 0}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 0);
+  Frontier frontier(4);
+  UpdateContext<std::uint32_t, AlignedAccess> ctx(g, edges, AlignedAccess{},
+                                                  frontier);
+  ctx.begin(0, 0);
+  EXPECT_EQ(ctx.vertex(), 0u);
+  ASSERT_EQ(ctx.out_neighbors().size(), 2u);
+  EXPECT_EQ(ctx.out_neighbors()[0], 1u);
+  EXPECT_EQ(ctx.out_edge_id(0), g.out_edges_begin(0));
+  ASSERT_EQ(ctx.in_edges().size(), 1u);
+  EXPECT_EQ(ctx.in_edges()[0].src, 3u);
+  EXPECT_EQ(&ctx.graph(), &g);
+}
+
+// --- BSP context ------------------------------------------------------------
+
+TEST(BspContext, ReadsAreCommittedValuesUntilCommit) {
+  const Graph g = Graph::build(2, {{0, 1}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 1);
+  Frontier frontier(2);
+  detail::BspContext<std::uint32_t> ctx(g, edges, frontier);
+  ctx.begin(0, 0);
+  ctx.write(0, 1, 50);
+  EXPECT_EQ(ctx.read(0), 1u);  // own write not yet visible (BSP semantics)
+  EXPECT_EQ(edges.get(0), 1u);
+  ctx.commit();
+  EXPECT_EQ(ctx.read(0), 50u);
+  EXPECT_EQ(edges.get(0), 50u);
+}
+
+TEST(BspContext, LastBufferedWriteWins) {
+  const Graph g = Graph::build(2, {{0, 1}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 0);
+  Frontier frontier(2);
+  detail::BspContext<std::uint32_t> ctx(g, edges, frontier);
+  ctx.begin(0, 0);
+  ctx.write(0, 1, 10);
+  ctx.begin(1, 0);
+  ctx.write(0, 0, 20);  // later update in program order
+  ctx.commit();
+  EXPECT_EQ(edges.get(0), 20u);
+}
+
+TEST(BspContext, ExchangeReturnsCommittedValue) {
+  const Graph g = Graph::build(2, {{0, 1}});
+  EdgeDataArray<std::uint32_t> edges(g.num_edges(), 5);
+  Frontier frontier(2);
+  detail::BspContext<std::uint32_t> ctx(g, edges, frontier);
+  ctx.begin(0, 0);
+  EXPECT_EQ(ctx.exchange(0, 0u), 5u);
+  EXPECT_EQ(ctx.exchange(0, 1u), 5u);  // still committed; BSP drains race
+  ctx.commit();
+  EXPECT_EQ(edges.get(0), 1u);
+}
+
+// --- observer composition -----------------------------------------------------
+
+TEST(CompositeObserver, FansOutToBoth) {
+  RecordingObserver a;
+  RecordingObserver b;
+  CompositeObserver both(&a, &b);
+  both.on_read(1, 2, 3);
+  both.on_write(4, 5, 6, 7);
+  EXPECT_EQ(a.events.size(), 2u);
+  EXPECT_EQ(b.events.size(), 2u);
+  EXPECT_TRUE(b.events[1].is_write);
+  EXPECT_EQ(b.events[1].value, 7u);
+}
+
+}  // namespace
+}  // namespace ndg

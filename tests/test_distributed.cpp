@@ -1,0 +1,258 @@
+// Distributed execution model tests (§VII): partitioning, message plumbing,
+// replica divergence and recovery, and reference agreement across machine
+// counts, delays, partitions and seeds.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/distributed.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph dist_graph() {
+  EdgeList edges = gen::rmat(256, 1500, 404);
+  auto tail = gen::chain(24);
+  edges.insert(edges.end(), tail.begin(), tail.end());
+  return Graph::build(256, std::move(edges));
+}
+
+TEST(Distributed, SingleMachineMatchesLocalSemantics) {
+  const Graph g = dist_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  DistOptions opts;
+  opts.num_machines = 1;
+  const DistResult r = run_distributed(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.messages, 0u);  // nothing ever crosses a machine boundary
+  EXPECT_EQ(r.replica_divergences, 0u);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+class DistSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, DistOptions::Partition>> {
+ protected:
+  [[nodiscard]] DistOptions options() const {
+    DistOptions opts;
+    opts.num_machines = std::get<0>(GetParam());
+    opts.network_delay = std::get<1>(GetParam());
+    opts.partition = std::get<2>(GetParam());
+    return opts;
+  }
+};
+
+TEST_P(DistSweep, WccExactDespiteReplicaDivergence) {
+  const Graph g = dist_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const DistResult r = run_distributed(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+TEST_P(DistSweep, BfsExact) {
+  const Graph g = dist_graph();
+  BfsProgram prog(0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const DistResult r = run_distributed(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.levels(), ref::bfs(g, 0));
+}
+
+TEST_P(DistSweep, SsspExact) {
+  const Graph g = dist_graph();
+  SsspProgram prog(0, 31);
+  std::vector<float> weights(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    weights[e] = SsspProgram::edge_weight(31, e);
+  }
+  EdgeDataArray<SsspProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const DistResult r = run_distributed(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  const auto expected = ref::sssp(g, 0, weights);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FLOAT_EQ(prog.distances()[v], expected[v]) << "v=" << v;
+  }
+}
+
+TEST_P(DistSweep, PageRankNearFixedPoint) {
+  const Graph g = dist_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  PageRankProgram prog(1e-4f);
+  EdgeDataArray<float> edges(g.num_edges());
+  prog.init(g, edges);
+  const DistResult r = run_distributed(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesDelaysPartitions, DistSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{3}),
+                       ::testing::Values(DistOptions::Partition::kBlock,
+                                         DistOptions::Partition::kHash)),
+    [](const auto& param_info) {
+      return "m" + std::to_string(std::get<0>(param_info.param)) + "_d" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) == DistOptions::Partition::kBlock
+                  ? "_block"
+                  : "_hash");
+    });
+
+TEST(Distributed, PartitionsCoverEveryVertex) {
+  const Graph g = dist_graph();
+  for (const auto partition :
+       {DistOptions::Partition::kBlock, DistOptions::Partition::kHash}) {
+    DistOptions opts;
+    opts.num_machines = 5;
+    opts.partition = partition;
+    detail::DistMachine machine(g, opts);
+    std::vector<std::size_t> count(5, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const std::size_t m = machine.machine_of(v);
+      ASSERT_LT(m, 5u);
+      ++count[m];
+    }
+    // Every machine owns a nontrivial share (256 vertices over 5 machines).
+    for (std::size_t m = 0; m < 5; ++m) {
+      EXPECT_GT(count[m], 10u) << "partition "
+                               << (partition == DistOptions::Partition::kBlock
+                                       ? "block"
+                                       : "hash")
+                               << " machine " << m;
+    }
+  }
+}
+
+TEST(Distributed, BlockPartitionIsContiguous) {
+  const Graph g = dist_graph();
+  DistOptions opts;
+  opts.num_machines = 4;
+  detail::DistMachine machine(g, opts);
+  std::size_t prev = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t m = machine.machine_of(v);
+    EXPECT_GE(m, prev);  // non-decreasing over ascending labels
+    prev = m;
+  }
+}
+
+TEST(Distributed, CrossMachineEdgesGenerateMessages) {
+  // Chain split across 2 machines: every boundary write must become a
+  // message, and the WCC label must still traverse the network.
+  const Graph g = Graph::build(16, gen::chain(16));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  DistOptions opts;
+  opts.num_machines = 2;
+  opts.network_delay = 2;
+  const DistResult r = run_distributed(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.messages, 0u);
+  for (const auto l : prog.labels()) EXPECT_EQ(l, 0u);
+}
+
+TEST(Distributed, LongerDelayCostsRounds) {
+  const Graph g = Graph::build(64, gen::chain(64));
+  auto rounds_with_delay = [&](std::size_t delay) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    DistOptions opts;
+    opts.num_machines = 8;
+    opts.network_delay = delay;
+    const DistResult r = run_distributed(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    return r.rounds;
+  };
+  EXPECT_LT(rounds_with_delay(1), rounds_with_delay(8));
+}
+
+TEST(Distributed, DivergenceCounterFiresOnSharedWriters) {
+  // WCC writes edges from both endpoints: when the endpoints live on
+  // different machines, deliveries routinely find the replicas diverged.
+  const Graph g = Graph::build(64, symmetrize(gen::small_world(64, 3, 0.1, 5)));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  DistOptions opts;
+  opts.num_machines = 8;
+  opts.network_delay = 2;
+  const DistResult r = run_distributed(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.replica_divergences, 0u);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+TEST(Distributed, KCoreExactAcrossTheNetwork) {
+  // Dual-slot repair discipline over messages: whole-word remote writes can
+  // clobber the peer's half on the peer's own replica; the repair ping-pong
+  // must still land on the exact core numbers.
+  const Graph g = Graph::build(96, gen::rmat(96, 700, 55));
+  const auto expected = ref::kcore(g);
+  for (const std::size_t delay : {1u, 3u}) {
+    KCoreProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    DistOptions opts;
+    opts.num_machines = 6;
+    opts.network_delay = delay;
+    const DistResult r = run_distributed(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged) << "delay=" << delay;
+    EXPECT_EQ(prog.core_numbers(), expected) << "delay=" << delay;
+  }
+}
+
+TEST(Distributed, MisLexicographicAcrossTheNetwork) {
+  const Graph g = Graph::build(96, gen::erdos_renyi(96, 500, 8));
+  const auto expected = ref::greedy_mis(g);
+  MisProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  prog.init(g, edges);
+  DistOptions opts;
+  opts.num_machines = 5;
+  opts.network_delay = 2;
+  const DistResult r = run_distributed(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(prog.states()[v] == MisProgram::kIn, expected[v]) << "v=" << v;
+  }
+}
+
+TEST(Distributed, DeterministicPerSeed) {
+  const Graph g = dist_graph();
+  auto run_once = [&](std::uint64_t seed) {
+    PageRankProgram prog(1e-3f);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    DistOptions opts;
+    opts.num_machines = 4;
+    opts.network_delay = 2;
+    opts.seed = seed;
+    run_distributed(g, prog, edges, opts);
+    return prog.ranks();
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+}  // namespace
+}  // namespace ndg

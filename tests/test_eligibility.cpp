@@ -1,0 +1,136 @@
+// Eligibility analysis tests: the paper's Theorems 1 & 2 as a decision
+// procedure over the shipped algorithms.
+//   PageRank / SpMV  -> Theorem 1 (read-write only, BSP-convergent)
+//   WCC              -> Theorem 2 (write-write, monotonic)
+//   SSSP / BFS       -> Theorem 1 (their conflicts are read-write only)
+//   push-PageRank    -> NOT proven (write-write AND non-monotonic)
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank.hpp"
+#include "algorithms/registry.hpp"
+#include "algorithms/spmv.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "core/eligibility.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph analysis_graph() {
+  EdgeList edges = gen::rmat(128, 700, 2024);
+  auto tail = gen::chain(16);
+  edges.insert(edges.end(), tail.begin(), tail.end());
+  return Graph::build(128, std::move(edges));
+}
+
+TEST(Eligibility, PageRankIsTheorem1) {
+  const Graph g = analysis_graph();
+  PageRankProgram prog(1e-3f);
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_TRUE(r.bsp_converges);
+  EXPECT_TRUE(r.async_converges);
+  EXPECT_GT(r.conflicts.read_write, 0u);
+  EXPECT_EQ(r.conflicts.write_write, 0u);
+  EXPECT_FALSE(r.observed_monotonic);
+  EXPECT_TRUE(r.theorem1_applies);
+  EXPECT_FALSE(r.theorem2_applies);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem1);
+}
+
+TEST(Eligibility, SpmvIsTheorem1) {
+  const Graph g = analysis_graph();
+  SpmvProgram prog(1e-3f);
+  const EligibilityReport r = analyze_eligibility(g, prog, 20000);
+  EXPECT_EQ(r.conflicts.write_write, 0u);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem1);
+}
+
+TEST(Eligibility, WccIsTheorem2) {
+  const Graph g = analysis_graph();
+  WccProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_TRUE(r.async_converges);
+  EXPECT_GT(r.conflicts.write_write, 0u);  // both endpoints write edges
+  EXPECT_TRUE(r.observed_monotonic);
+  EXPECT_EQ(r.direction, MonotonicityChecker::Direction::kNonIncreasing);
+  EXPECT_FALSE(r.theorem1_applies);  // WW conflicts rule Theorem 1 out
+  EXPECT_TRUE(r.theorem2_applies);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem2);
+}
+
+TEST(Eligibility, SsspIsTheorem1WithMonotonicityAsBonus) {
+  const Graph g = analysis_graph();
+  SsspProgram prog(0, 5);
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_GT(r.conflicts.read_write, 0u);
+  EXPECT_EQ(r.conflicts.write_write, 0u);
+  EXPECT_TRUE(r.observed_monotonic);
+  EXPECT_TRUE(r.theorem1_applies);
+  EXPECT_TRUE(r.theorem2_applies);  // both sufficient conditions hold
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem1);
+}
+
+TEST(Eligibility, BfsIsEligible) {
+  const Graph g = analysis_graph();
+  BfsProgram prog(0);
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_EQ(r.conflicts.write_write, 0u);
+  EXPECT_TRUE(r.theorem1_applies);
+  EXPECT_NE(r.verdict, EligibilityVerdict::kNotProven);
+}
+
+TEST(Eligibility, PushPageRankIsNotProven) {
+  const Graph g = analysis_graph();
+  PushPageRankProgram prog(1e-4f);
+  const EligibilityReport r = analyze_eligibility(g, prog, 200000);
+  EXPECT_GT(r.conflicts.write_write, 0u);  // drain races push
+  EXPECT_FALSE(r.observed_monotonic);      // accumulators rise and fall
+  EXPECT_FALSE(r.theorem1_applies);
+  EXPECT_FALSE(r.theorem2_applies);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kNotProven);
+}
+
+TEST(Eligibility, DescribeMentionsTheVerdict) {
+  const Graph g = Graph::build(8, gen::cycle(8));
+  WccProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  const std::string text = r.describe();
+  EXPECT_NE(text.find("wcc"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 2"), std::string::npos);
+  EXPECT_NE(text.find("write-write"), std::string::npos);
+}
+
+TEST(Eligibility, RegistryCoversAllShippedAlgorithms) {
+  const Graph g = Graph::build(64, gen::rmat(64, 300, 1));
+  const auto registry = algorithm_registry(/*source=*/0, /*max_iterations=*/50000);
+  ASSERT_EQ(registry.size(), 10u);
+
+  std::map<std::string, EligibilityVerdict> verdicts;
+  for (const auto& entry : registry) {
+    const EligibilityReport r = entry.analyze(g);
+    EXPECT_EQ(r.algorithm, entry.name);
+    verdicts[entry.name] = r.verdict;
+  }
+  EXPECT_EQ(verdicts.at("pagerank"), EligibilityVerdict::kTheorem1);
+  EXPECT_EQ(verdicts.at("wcc"), EligibilityVerdict::kTheorem2);
+  EXPECT_EQ(verdicts.at("sssp"), EligibilityVerdict::kTheorem1);
+  EXPECT_EQ(verdicts.at("bfs"), EligibilityVerdict::kTheorem1);
+  EXPECT_EQ(verdicts.at("pagerank-push"), EligibilityVerdict::kNotProven);
+  EXPECT_EQ(verdicts.at("pagerank-push-atomic"), EligibilityVerdict::kNotProven);
+  EXPECT_EQ(verdicts.at("kcore"), EligibilityVerdict::kTheorem2);
+  EXPECT_EQ(verdicts.at("mis"), EligibilityVerdict::kTheorem2);
+}
+
+TEST(Eligibility, VerdictStringsAreDistinct) {
+  EXPECT_STRNE(to_string(EligibilityVerdict::kTheorem1),
+               to_string(EligibilityVerdict::kTheorem2));
+  EXPECT_STRNE(to_string(EligibilityVerdict::kTheorem2),
+               to_string(EligibilityVerdict::kNotProven));
+}
+
+}  // namespace
+}  // namespace ndg

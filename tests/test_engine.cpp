@@ -1,0 +1,208 @@
+// Engine-layer tests: frontier mechanics, conflict tracing, coloring, and the
+// semantic contrasts between the deterministic Gauss–Seidel engine, the BSP
+// engine, and the chromatic scheduler.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/bsp.hpp"
+#include "engine/chromatic.hpp"
+#include "engine/conflict_tracer.hpp"
+#include "engine/coloring.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/frontier.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+TEST(Frontier, SeedSortsAndDeduplicates) {
+  Frontier f(10);
+  f.seed({5, 1, 5, 3});
+  EXPECT_EQ(f.current(), (std::vector<VertexId>{1, 3, 5}));
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(Frontier, AdvanceMovesScheduledSetAscending) {
+  Frontier f(100);
+  f.schedule(42);
+  f.schedule(7);
+  f.schedule(42);  // duplicate
+  f.advance();
+  EXPECT_EQ(f.current(), (std::vector<VertexId>{7, 42}));
+  f.advance();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(ConflictTracer, DetectsReadAfterWrite) {
+  ConflictTracer t(2);
+  t.on_write(0, /*writer=*/1, /*iter=*/0, 0);
+  t.on_read(0, /*reader=*/2, /*iter=*/0);
+  EXPECT_EQ(t.report().read_write, 1u);
+  EXPECT_EQ(t.report().write_write, 0u);
+}
+
+TEST(ConflictTracer, DetectsWriteAfterRead) {
+  ConflictTracer t(2);
+  t.on_read(0, 2, 0);
+  t.on_write(0, 1, 0, 0);
+  EXPECT_EQ(t.report().read_write, 1u);
+}
+
+TEST(ConflictTracer, DetectsWriteWrite) {
+  ConflictTracer t(2);
+  t.on_write(0, 1, 0, 0);
+  t.on_write(0, 2, 0, 0);
+  EXPECT_EQ(t.report().write_write, 1u);
+}
+
+TEST(ConflictTracer, IgnoresCrossIterationAndSelfAccess) {
+  ConflictTracer t(2);
+  t.on_write(0, 1, 0, 0);
+  t.on_read(0, 2, 1);  // different iteration: no conflict
+  t.on_write(1, 3, 2, 0);
+  t.on_read(1, 3, 2);  // same vertex: gather+scatter of one update
+  t.on_write(1, 3, 2, 0);
+  EXPECT_EQ(t.report().read_write, 0u);
+  EXPECT_EQ(t.report().write_write, 0u);
+}
+
+TEST(Coloring, ChainIsTwoColorable) {
+  const Graph g = Graph::build(10, gen::chain(10));
+  const Coloring c = greedy_color(g);
+  EXPECT_EQ(c.num_colors, 2u);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors) {
+  const Graph g = Graph::build(5, gen::complete(5));
+  const Coloring c = greedy_color(g);
+  EXPECT_EQ(c.num_colors, 5u);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, ProperOnSkewedRandomGraph) {
+  const Graph g = Graph::build(256, gen::rmat(256, 2048, 3));
+  const Coloring c = greedy_color(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+  EXPECT_GE(c.num_colors, 2u);
+}
+
+// --- Semantics: Gauss–Seidel vs BSP iteration counts -----------------------
+//
+// WCC on a directed chain with all vertices initially scheduled:
+//   * asynchronous (GS) execution in ascending label order propagates label 0
+//     through the whole chain within the FIRST iteration (immediate
+//     visibility), needing O(1) iterations overall;
+//   * synchronous (BSP) execution moves the label one hop per iteration,
+//     needing O(n) iterations.
+// This is the paper's Section I contrast ("synchronous model generally needs
+// to conduct more iterations than asynchronous model").
+
+constexpr VertexId kChainLen = 64;
+
+TEST(EngineSemantics, GaussSeidelPropagatesWithinIteration) {
+  const Graph g = Graph::build(kChainLen, gen::chain(kChainLen));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 3u);
+  for (const auto label : prog.labels()) EXPECT_EQ(label, 0u);
+}
+
+TEST(EngineSemantics, BspPropagatesOneHopPerIteration) {
+  const Graph g = Graph::build(kChainLen, gen::chain(kChainLen));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_bsp(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.iterations, static_cast<std::size_t>(kChainLen) - 2);
+  for (const auto label : prog.labels()) EXPECT_EQ(label, 0u);
+}
+
+TEST(EngineSemantics, BspReadsDoNotSeeSameIterationWrites) {
+  // Directed edge 1 -> 0: ascending GS processes f(0) BEFORE f(1), so in GS
+  // vertex 0 learns label 0 only via its own update; the interesting probe is
+  // 0 -> 1 reversed. Build 2-chain 0 <- 1 (edge (1,0)): in BSP, f(0) writes
+  // nothing; f(1) reads edge (1,0) and writes it with label... use labels.
+  const Graph g = Graph::build(2, {{1, 0}});
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_bsp(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.labels()[0], 0u);
+  EXPECT_EQ(prog.labels()[1], 0u);
+}
+
+TEST(EngineSemantics, DeterministicEngineCountsUpdates) {
+  const Graph g = Graph::build(4, gen::chain(4));
+  BfsProgram prog(0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.updates, 0u);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(EngineSemantics, MaxIterationCapReportsNotConverged) {
+  const Graph g = Graph::build(kChainLen, gen::chain(kChainLen));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_bsp(g, prog, edges, /*max_iterations=*/3);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+// --- Chromatic scheduler ----------------------------------------------------
+
+TEST(Chromatic, MatchesDeterministicResultOnWcc) {
+  const Graph g = Graph::build(512, gen::rmat(512, 4096, 17));
+  const Coloring coloring = greedy_color(g);
+  ASSERT_TRUE(is_proper_coloring(g, coloring));
+
+  WccProgram de;
+  EdgeDataArray<WccProgram::EdgeData> de_edges(g.num_edges());
+  de.init(g, de_edges);
+  ASSERT_TRUE(run_deterministic(g, de, de_edges).converged);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    WccProgram ch;
+    EdgeDataArray<WccProgram::EdgeData> ch_edges(g.num_edges());
+    ch.init(g, ch_edges);
+    EngineOptions opts;
+    opts.num_threads = threads;
+    const EngineResult r = run_chromatic(g, ch, ch_edges, coloring, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(ch.labels(), de.labels()) << "threads=" << threads;
+  }
+}
+
+TEST(Chromatic, RunsAreDeterministicAcrossThreadCounts) {
+  const Graph g = Graph::build(256, gen::erdos_renyi(256, 1500, 5));
+  const Coloring coloring = greedy_color(g);
+
+  std::vector<std::uint32_t> first;
+  for (const std::size_t threads : {1u, 3u, 4u}) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts;
+    opts.num_threads = threads;
+    run_chromatic(g, prog, edges, coloring, opts);
+    if (first.empty()) {
+      first = prog.labels();
+    } else {
+      EXPECT_EQ(prog.labels(), first) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndg

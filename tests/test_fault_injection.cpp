@@ -1,0 +1,171 @@
+// Failure-injection tests: transient amnesia faults (writes replaced by the
+// edge's initial value — lattice top) followed by one re-activation pass.
+// Algorithms with the WCC repair discipline (rewrite your edge whenever it
+// disagrees with your state) are SELF-STABILIZING: they recover the exact
+// fixed point. This extends Theorem 2's recovery argument beyond the races
+// the paper models. SSSP/BFS scatter only on improvement and lack the repair
+// discipline, so they are deliberately absent here (documented limitation).
+
+#include <gtest/gtest.h>
+
+#include "algorithms/kcore.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/wcc.hpp"
+#include "core/fault_injection.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/nondeterministic.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph fault_graph() {
+  EdgeList edges = gen::rmat(200, 1200, 909);
+  auto tail = gen::chain(16);
+  edges.insert(edges.end(), tail.begin(), tail.end());
+  return Graph::build(200, std::move(edges));
+}
+
+TEST(FaultPlan, BudgetAndRateAreRespected) {
+  EdgeDataArray<std::uint32_t> initial(4, 7);
+  FaultPlan plan(initial, /*budget=*/10, /*rate_percent=*/100, /*seed=*/1);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 1000; ++i) fired += plan.should_fault(0) ? 1 : 0;
+  EXPECT_EQ(fired, 10u);  // rate 100% but budget caps at 10
+  EXPECT_EQ(plan.injected(), 10u);
+  EXPECT_EQ(plan.initial_slot(2), detail::to_slot<std::uint32_t>(7));
+}
+
+TEST(FaultPlan, ZeroRateNeverFires) {
+  EdgeDataArray<std::uint32_t> initial(1, 0);
+  FaultPlan plan(initial, 1000, /*rate_percent=*/0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(plan.should_fault(0));
+}
+
+TEST(AmnesiaAccess, FaultedWriteRestoresInitialValue) {
+  EdgeDataArray<std::uint32_t> edges(2, 100);
+  FaultPlan plan(edges, /*budget=*/1, /*rate_percent=*/100, /*seed=*/3);
+  AmnesiaAccess<RelaxedAtomicAccess> access{RelaxedAtomicAccess{}, &plan};
+  access.write(edges, 0, 5u);   // faulted: stays at the initial 100
+  access.write(edges, 1, 6u);   // budget exhausted: lands
+  EXPECT_EQ(edges.get(0), 100u);
+  EXPECT_EQ(edges.get(1), 6u);
+}
+
+/// Runs `prog` under heavy transient faults, then one clean re-activation
+/// pass, and returns whether injection actually happened.
+template <typename Program>
+std::uint64_t run_with_faults_then_recover(
+    const Graph& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges) {
+  prog.init(g, edges);
+  FaultPlan plan(edges, /*budget=*/500, /*rate_percent=*/25, /*seed=*/5);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  const EngineResult faulty = run_nondeterministic_with_policy(
+      g, prog, edges,
+      AmnesiaAccess<RelaxedAtomicAccess>{RelaxedAtomicAccess{}, &plan}, opts);
+  EXPECT_TRUE(faulty.converged);  // faults never livelock the engine
+
+  // Recovery: one full clean pass (the program's initial frontier is "all"
+  // for these algorithms; state and edges are NOT re-initialized).
+  const EngineResult clean = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(clean.converged);
+  return plan.injected();
+}
+
+TEST(SelfStabilization, WccRecoversExactly) {
+  const Graph g = fault_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  const std::uint64_t injected = run_with_faults_then_recover(g, prog, edges);
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+TEST(SelfStabilization, KCoreRecoversExactly) {
+  const Graph g = fault_graph();
+  KCoreProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  const std::uint64_t injected = run_with_faults_then_recover(g, prog, edges);
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(prog.core_numbers(), ref::kcore(g));
+}
+
+TEST(SelfStabilization, MisRecoversExactly) {
+  const Graph g = fault_graph();
+  MisProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  const std::uint64_t injected = run_with_faults_then_recover(g, prog, edges);
+  EXPECT_GT(injected, 0u);
+  const auto expected = ref::greedy_mis(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(prog.states()[v] == MisProgram::kIn, expected[v]) << "v=" << v;
+  }
+}
+
+TEST(SelfStabilization, PageRankNeedsStateRepublication) {
+  // PageRank lacks the repair discipline: a locally-converged vertex never
+  // re-writes its out-edges, so amnesia damage on an edge persists through a
+  // clean pass and skews the gather forever. The general repair recipe is to
+  // REPUBLISH vertex state onto the edges before re-driving to quiescence —
+  // then the fixed point is recovered.
+  const Graph g = fault_graph();
+  PageRankProgram prog(1e-4f);
+  EdgeDataArray<float> edges(g.num_edges());
+  prog.init(g, edges);
+  FaultPlan plan(edges, /*budget=*/500, /*rate_percent=*/25, /*seed=*/5);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  ASSERT_TRUE(run_nondeterministic_with_policy(
+                  g, prog, edges,
+                  AmnesiaAccess<RelaxedAtomicAccess>{RelaxedAtomicAccess{},
+                                                     &plan},
+                  opts)
+                  .converged);
+  ASSERT_GT(plan.injected(), 0u);
+
+  // Repair: republish every vertex's current rank onto its out-edges.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId deg = g.out_degree(v);
+    if (deg == 0) continue;
+    const float w = prog.ranks()[v] / static_cast<float>(deg);
+    const EdgeId base = g.out_edges_begin(v);
+    for (EdgeId k = 0; k < deg; ++k) edges.set(base + k, w);
+  }
+  ASSERT_TRUE(run_deterministic(g, prog, edges).converged);
+
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01);
+  }
+}
+
+TEST(SelfStabilization, QuiescenceImpliesCorrectnessUnderContinuousFaults) {
+  // The repair discipline's strongest consequence: a faulted write still
+  // schedules its victim, and the victim repairs — so the system CANNOT
+  // quiesce in a damaged state. Under heavy continuous injection the run
+  // either hits the iteration cap (still fighting) or, if it quiesced, the
+  // answer is already exact with no recovery pass at all.
+  const Graph g = fault_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  FaultPlan plan(edges, /*budget=*/100000, /*rate_percent=*/60, /*seed=*/7);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.max_iterations = 50;
+  const EngineResult r = run_nondeterministic_with_policy(
+      g, prog, edges,
+      AmnesiaAccess<RelaxedAtomicAccess>{RelaxedAtomicAccess{}, &plan}, opts);
+  EXPECT_GT(plan.injected(), 0u);
+  if (r.converged) {
+    EXPECT_EQ(prog.labels(), ref::wcc(g));
+  }
+}
+
+}  // namespace
+}  // namespace ndg

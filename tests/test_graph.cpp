@@ -1,0 +1,290 @@
+// Unit tests for the graph substrate: CSR/CSC construction, canonical edge
+// ids, loaders, generators, and structural statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/loader.hpp"
+
+namespace ndg {
+namespace {
+
+Graph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  return Graph::build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(Graph, CsrOrderDefinesEdgeIds) {
+  const Graph g = diamond();
+  // Sorted edge list: (0,1)=id0 (0,2)=id1 (1,3)=id2 (2,3)=id3.
+  EXPECT_EQ(g.edge_target(0), 1u);
+  EXPECT_EQ(g.edge_target(1), 2u);
+  EXPECT_EQ(g.edge_target(2), 3u);
+  EXPECT_EQ(g.edge_target(3), 3u);
+  EXPECT_EQ(g.out_edges_begin(0), 0u);
+  EXPECT_EQ(g.out_edges_begin(1), 2u);
+  EXPECT_EQ(g.out_edges_begin(2), 3u);
+}
+
+TEST(Graph, EdgeSourceInvertsEdgeIds) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.edge_source(0), 0u);
+  EXPECT_EQ(g.edge_source(1), 0u);
+  EXPECT_EQ(g.edge_source(2), 1u);
+  EXPECT_EQ(g.edge_source(3), 2u);
+}
+
+TEST(Graph, InEdgesCarryCanonicalIds) {
+  const Graph g = diamond();
+  const auto in3 = g.in_edges(3);
+  ASSERT_EQ(in3.size(), 2u);
+  // In-edges of 3: from 1 (edge id 2) and from 2 (edge id 3).
+  EXPECT_EQ(in3[0].src, 1u);
+  EXPECT_EQ(in3[0].id, 2u);
+  EXPECT_EQ(in3[1].src, 2u);
+  EXPECT_EQ(in3[1].id, 3u);
+}
+
+TEST(Graph, InOutViewsShareEdgeIds) {
+  // The same edge id reached via CSR and CSC must address the same slot.
+  const Graph g = Graph::build(5, gen::erdos_renyi(5, 30, 99));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const InEdge& ie : g.in_edges(v)) {
+      EXPECT_EQ(g.edge_target(ie.id), v);
+      EXPECT_EQ(g.edge_source(ie.id), ie.src);
+    }
+  }
+}
+
+TEST(Graph, BuildRemovesSelfLoopsAndDuplicates) {
+  const Graph g = Graph::build(3, {{0, 1}, {0, 1}, {1, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);  // (0,1) deduped, (1,1) dropped
+}
+
+TEST(Graph, BuildCanKeepSelfLoopsAndDuplicates) {
+  GraphBuildOptions opts;
+  opts.remove_self_loops = false;
+  opts.remove_duplicate_edges = false;
+  const Graph g = Graph::build(3, {{0, 1}, {0, 1}, {1, 1}}, opts);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, EdgeIdsIndependentOfInputOrder) {
+  const Graph a = Graph::build(4, {{0, 1}, {2, 3}, {1, 2}});
+  const Graph b = Graph::build(4, {{1, 2}, {0, 1}, {2, 3}});
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_target(e), b.edge_target(e));
+    EXPECT_EQ(a.edge_source(e), b.edge_source(e));
+  }
+}
+
+TEST(Graph, SymmetrizeDoublesEdges) {
+  const EdgeList sym = symmetrize({{0, 1}, {1, 2}});
+  EXPECT_EQ(sym.size(), 4u);
+  const Graph g = Graph::build(3, sym);
+  EXPECT_EQ(g.out_degree(1), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+}
+
+TEST(Loader, ParsesSnapFormat) {
+  const auto loaded = parse_edge_list(
+      "# comment line\n"
+      "% other comment\n"
+      "0\t1\n"
+      "  2 3\n"
+      "\n"
+      "4 0\n");
+  EXPECT_EQ(loaded.edges.size(), 3u);
+  EXPECT_EQ(loaded.num_vertices, 5u);
+  EXPECT_EQ(loaded.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(loaded.edges[1], (Edge{2, 3}));
+  EXPECT_EQ(loaded.edges[2], (Edge{4, 0}));
+}
+
+TEST(Loader, ThrowsOnMalformedLine) {
+  EXPECT_THROW(parse_edge_list("0 x\n"), std::runtime_error);
+}
+
+TEST(Loader, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_edge_list("/nonexistent/path/file.txt"), std::runtime_error);
+}
+
+TEST(Loader, RoundTripsThroughFile) {
+  const std::string path = testing::TempDir() + "/ndg_edges.txt";
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}};
+  save_edge_list(path, edges, "test graph");
+  const auto loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edges, edges);
+  EXPECT_EQ(loaded.num_vertices, 3u);
+}
+
+TEST(Generators, ChainCycleStarShapes) {
+  const Graph chain = Graph::build(5, gen::chain(5));
+  EXPECT_EQ(chain.num_edges(), 4u);
+  EXPECT_EQ(chain.out_degree(4), 0u);
+
+  const Graph cyc = Graph::build(5, gen::cycle(5));
+  EXPECT_EQ(cyc.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(cyc.out_degree(v), 1u);
+    EXPECT_EQ(cyc.in_degree(v), 1u);
+  }
+
+  const Graph st = Graph::build(6, gen::star(6));
+  EXPECT_EQ(st.out_degree(0), 5u);
+  EXPECT_EQ(st.in_degree(0), 0u);
+}
+
+TEST(Generators, CompleteHasAllPairs) {
+  const Graph g = Graph::build(4, gen::complete(4));
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.out_degree(v), 3u);
+    EXPECT_EQ(g.in_degree(v), 3u);
+  }
+}
+
+TEST(Generators, Grid2dDegrees) {
+  const Graph g = Graph::build(9, gen::grid2d(3, 3));
+  // Interior-ish vertex 0 has right+down; corner 8 has none.
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(8), 0u);
+  EXPECT_EQ(g.num_edges(), 12u);
+}
+
+TEST(Generators, RmatIsDeterministicPerSeed) {
+  const auto a = gen::rmat(64, 500, 7);
+  const auto b = gen::rmat(64, 500, 7);
+  const auto c = gen::rmat(64, 500, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 500u);
+  for (const Edge& e : a) {
+    EXPECT_LT(e.src, 64u);
+    EXPECT_LT(e.dst, 64u);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // R-MAT with Graph500 parameters must concentrate edges on few vertices.
+  const Graph g = Graph::build(1024, gen::rmat(1024, 16384, 5));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.top1pct_out_edge_share, 0.08);  // far above the uniform 1%
+}
+
+TEST(Generators, ErdosRenyiIsNotSkewed) {
+  const Graph g = Graph::build(1024, gen::erdos_renyi(1024, 16384, 5));
+  const GraphStats s = compute_stats(g);
+  EXPECT_LT(s.top1pct_out_edge_share, 0.08);
+}
+
+TEST(Generators, SmallWorldDegreeNearK) {
+  const Graph g = Graph::build(500, gen::small_world(500, 4, 0.05, 3));
+  // Every vertex emits k = 4 edges (some lost to dedup/self-loop removal).
+  const GraphStats s = compute_stats(g);
+  EXPECT_NEAR(s.avg_out_degree, 4.0, 0.3);
+  EXPECT_LT(s.max_out_degree, 16u);
+}
+
+TEST(Generators, RandomDagIsAcyclicByConstruction) {
+  const auto edges = gen::random_dag(200, 3.0, 11);
+  for (const Edge& e : edges) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(GraphStats, CountsSourcesSinksAndEccentricity) {
+  const Graph g = Graph::build(5, gen::chain(5));
+  const GraphStats s = compute_stats(g, 0);
+  EXPECT_EQ(s.num_sources, 1u);
+  EXPECT_EQ(s.num_sinks, 1u);
+  EXPECT_EQ(s.bfs_eccentricity, 4u);
+  EXPECT_EQ(s.max_out_degree, 1u);
+}
+
+TEST(GraphStats, ReciprocityDistinguishesSymmetrizedGraphs) {
+  const Graph directed = Graph::build(10, gen::chain(10));
+  EXPECT_DOUBLE_EQ(compute_stats(directed).reciprocity, 0.0);
+  const Graph sym = Graph::build(10, symmetrize(gen::chain(10)));
+  EXPECT_DOUBLE_EQ(compute_stats(sym).reciprocity, 1.0);
+  // Cycle of 2: both edges reciprocal.
+  const Graph pair = Graph::build(2, {{0, 1}, {1, 0}});
+  EXPECT_DOUBLE_EQ(compute_stats(pair).reciprocity, 1.0);
+}
+
+TEST(GraphStats, DegreeHistogramBucketsCorrectly) {
+  // star(9): hub has out-degree 8 (bucket 3), leaves 0 (bucket 0).
+  const Graph g = Graph::build(9, gen::star(9));
+  const GraphStats s = compute_stats(g);
+  ASSERT_EQ(s.out_degree_histogram.size(), 4u);
+  EXPECT_EQ(s.out_degree_histogram[0], 8u);  // degrees 0..1
+  EXPECT_EQ(s.out_degree_histogram[3], 1u);  // degree 8
+  std::uint64_t total = 0;
+  for (const auto c : s.out_degree_histogram) total += c;
+  EXPECT_EQ(total, 9u);
+}
+
+TEST(GraphStats, RmatHistogramHasLongTail) {
+  const Graph g = Graph::build(1024, gen::rmat(1024, 16384, 5));
+  const GraphStats s = compute_stats(g);
+  // Power-law-ish: occupied buckets far beyond the mean degree's bucket.
+  EXPECT_GE(s.out_degree_histogram.size(), 7u);  // some vertex with deg >= 64
+}
+
+TEST(GraphStats, EccentricityIgnoresDirection) {
+  // Probe from the sink: undirected BFS must still span the chain.
+  const Graph g = Graph::build(5, gen::chain(5));
+  const GraphStats s = compute_stats(g, 4);
+  EXPECT_EQ(s.bfs_eccentricity, 4u);
+}
+
+TEST(Datasets, AllStandInsBuildAndMatchScaledSizes) {
+  for (const DatasetId id : all_datasets()) {
+    const Dataset d = make_dataset(id, 256);
+    EXPECT_GT(d.graph.num_vertices(), 0u) << d.name;
+    EXPECT_GT(d.graph.num_edges(), 0u) << d.name;
+  }
+  // Scaled |V| tracks the paper's Table I divided by the scale factor.
+  const Dataset berk = make_dataset(DatasetId::kWebBerkStan, 256);
+  EXPECT_NEAR(static_cast<double>(berk.graph.num_vertices()), 685231.0 / 256, 2.0);
+}
+
+TEST(Datasets, Cage15StandInIsNearRegular) {
+  const Dataset cage = make_dataset(DatasetId::kCage15, 2048);
+  const GraphStats s = compute_stats(cage.graph);
+  EXPECT_LT(s.top1pct_out_edge_share, 0.05);
+  EXPECT_NEAR(s.avg_out_degree, 18.0, 2.0);
+}
+
+TEST(Datasets, WebStandInsAreSkewed) {
+  const Dataset web = make_dataset(DatasetId::kWebBerkStan, 256);
+  const GraphStats s = compute_stats(web.graph);
+  EXPECT_GT(s.top1pct_out_edge_share, 0.08);
+}
+
+TEST(Datasets, FromFileMatchesLoader) {
+  const std::string path = testing::TempDir() + "/ndg_ds.txt";
+  save_edge_list(path, {{0, 1}, {1, 2}});
+  const Dataset d = make_dataset_from_file("tiny", path);
+  EXPECT_EQ(d.name, "tiny");
+  EXPECT_EQ(d.graph.num_vertices(), 3u);
+  EXPECT_EQ(d.graph.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,225 @@
+// k-core and MIS tests: dual-slot edge mechanics, reference agreement under
+// every engine, write-write recovery under simulated races, and eligibility.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/dual_edge.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/reference/references.hpp"
+#include "core/eligibility.hpp"
+#include "engine/chromatic.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/simulator.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+TEST(DualEdge, HalfAccessors) {
+  const DualEdge e{3, 9};
+  EXPECT_EQ(own_half(e, true), 3u);
+  EXPECT_EQ(own_half(e, false), 9u);
+  EXPECT_EQ(peer_half(e, true), 9u);
+  EXPECT_EQ(peer_half(e, false), 3u);
+  const DualEdge a = with_own_half(e, true, 7);
+  EXPECT_EQ(a.src_half, 7u);
+  EXPECT_EQ(a.dst_half, 9u);
+  const DualEdge b = with_own_half(e, false, 7);
+  EXPECT_EQ(b.src_half, 3u);
+  EXPECT_EQ(b.dst_half, 7u);
+}
+
+Graph core_graph() {
+  // A 5-clique (core 4... each clique vertex has degree 8 in the multigraph
+  // view since the clique emits both directions) wired to a long tail.
+  EdgeList edges = gen::complete(5);
+  for (VertexId v = 4; v + 1 < 20; ++v) edges.push_back(Edge{v, v + 1});
+  EdgeList rmat = gen::rmat(64, 400, 12);
+  for (Edge e : rmat) edges.push_back(Edge{e.src + 20, e.dst + 20});
+  return Graph::build(84, edges);
+}
+
+TEST(KCore, ReferencePeelingSanity) {
+  // Undirected triangle (symmetrized): every vertex has multigraph degree 4,
+  // core = 2 per direction pair... verify against hand result on a simple
+  // directed cycle: each vertex has in+out degree 2, whole cycle is a 2-core.
+  const Graph cyc = Graph::build(6, gen::cycle(6));
+  const auto core = ref::kcore(cyc);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(core[v], 2u);
+
+  // Chain: endpoints degree 1, middle degree 2 but peels to 1.
+  const Graph chain = Graph::build(5, gen::chain(5));
+  const auto chain_core = ref::kcore(chain);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(chain_core[v], 1u);
+}
+
+TEST(KCore, DeterministicMatchesPeeling) {
+  const Graph g = core_graph();
+  KCoreProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.core_numbers(), ref::kcore(g));
+}
+
+TEST(KCore, NondeterministicThreadedMatchesPeeling) {
+  const Graph g = core_graph();
+  const auto expected = ref::kcore(g);
+  for (const AtomicityMode mode :
+       {AtomicityMode::kLocked, AtomicityMode::kAligned, AtomicityMode::kRelaxed}) {
+    for (const std::size_t threads : {2u, 4u}) {
+      KCoreProgram prog;
+      EdgeDataArray<DualEdge> edges(g.num_edges());
+      prog.init(g, edges);
+      EngineOptions opts;
+      opts.mode = mode;
+      opts.num_threads = threads;
+      const EngineResult r = run_nondeterministic(g, prog, edges, opts);
+      EXPECT_TRUE(r.converged) << to_string(mode) << " t=" << threads;
+      EXPECT_EQ(prog.core_numbers(), expected)
+          << to_string(mode) << " t=" << threads;
+    }
+  }
+}
+
+TEST(KCore, SimulatedRacesRecoverToExactCores) {
+  const Graph g = core_graph();
+  const auto expected = ref::kcore(g);
+  bool saw_ww = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    KCoreProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 8;
+    opts.delay = 6;
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_EQ(prog.core_numbers(), expected) << "seed=" << seed;
+    saw_ww = saw_ww || r.ww_overlaps > 0;
+  }
+  EXPECT_TRUE(saw_ww);  // dual-slot RMWs must actually race
+}
+
+TEST(KCore, ChromaticSchedulerMatchesPeeling) {
+  // Color classes are independent sets, so within a class no two updates
+  // share an edge word — the dual-slot races vanish and plain access is
+  // safe; the result must still be the exact core numbers.
+  const Graph g = core_graph();
+  const Coloring coloring = greedy_color(g);
+  KCoreProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  prog.init(g, edges);
+  EngineOptions opts;
+  opts.num_threads = 3;
+  const EngineResult r = run_chromatic(g, prog, edges, coloring, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.core_numbers(), ref::kcore(g));
+}
+
+TEST(KCore, EligibilityIsTheorem2) {
+  const Graph g = core_graph();
+  KCoreProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_GT(r.conflicts.write_write, 0u);
+  EXPECT_TRUE(r.observed_monotonic);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem2);
+}
+
+TEST(Mis, ReferenceGreedyIsIndependentAndMaximal) {
+  const Graph g = Graph::build(128, symmetrize(gen::rmat(128, 500, 5)));
+  const auto in_set = ref::greedy_mis(g);
+  // Independence.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!in_set[v]) continue;
+    for (const VertexId u : g.out_neighbors(v)) EXPECT_FALSE(in_set[u]);
+  }
+  // Maximality: every excluded vertex has an included neighbour.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_set[v]) continue;
+    bool covered = false;
+    for (const VertexId u : g.out_neighbors(v)) covered = covered || in_set[u];
+    for (const InEdge& ie : g.in_edges(v)) covered = covered || in_set[ie.src];
+    EXPECT_TRUE(covered) << "v=" << v;
+  }
+}
+
+std::vector<bool> states_to_set(const std::vector<std::uint32_t>& states) {
+  std::vector<bool> s(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    s[i] = states[i] == MisProgram::kIn;
+  }
+  return s;
+}
+
+TEST(Mis, DeterministicMatchesGreedy) {
+  const Graph g = Graph::build(200, gen::rmat(200, 1200, 8));
+  MisProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges);
+  EXPECT_TRUE(r.converged);
+  // Every vertex must have decided.
+  for (const auto s : prog.states()) EXPECT_NE(s, MisProgram::kUnknown);
+  EXPECT_EQ(states_to_set(prog.states()), ref::greedy_mis(g));
+}
+
+TEST(Mis, NondeterministicProducesTheSameLexicographicSet) {
+  // The headline property: a nondeterministic execution computing a
+  // bit-deterministic combinatorial object.
+  const Graph g = Graph::build(200, gen::rmat(200, 1200, 8));
+  const auto expected = ref::greedy_mis(g);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    MisProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts;
+    opts.num_threads = threads;
+    opts.mode = AtomicityMode::kRelaxed;
+    const EngineResult r = run_nondeterministic(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged) << "threads=" << threads;
+    EXPECT_EQ(states_to_set(prog.states()), expected) << "threads=" << threads;
+  }
+}
+
+TEST(Mis, SimulatedRacesStillYieldLexicographicSet) {
+  const Graph g = Graph::build(150, gen::erdos_renyi(150, 700, 9));
+  const auto expected = ref::greedy_mis(g);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    MisProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 6;
+    opts.delay = 5;
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_EQ(states_to_set(prog.states()), expected) << "seed=" << seed;
+  }
+}
+
+TEST(Mis, EligibilityIsTheorem2) {
+  const Graph g = Graph::build(100, gen::rmat(100, 500, 3));
+  MisProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog);
+  EXPECT_TRUE(r.observed_monotonic);
+  EXPECT_TRUE(r.theorem2_applies);
+  EXPECT_NE(r.verdict, EligibilityVerdict::kNotProven);
+}
+
+TEST(Mis, IsolatedVerticesAllEnterTheSet) {
+  const Graph g = Graph::build(5, EdgeList{});
+  MisProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  prog.init(g, edges);
+  EXPECT_TRUE(run_deterministic(g, prog, edges).converged);
+  EXPECT_EQ(prog.independent_set().size(), 5u);
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,131 @@
+// Label propagation tests: community recovery, the synchronous-oscillation
+// pathology, and the graph-dependence of its eligibility verdict — evidence
+// that the paper's Theorem 1 premise ("converges with synchronous model
+// execution") is a property of the (algorithm, graph) pair.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/label_propagation.hpp"
+#include "core/eligibility.hpp"
+#include "engine/bsp.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/nondeterministic.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+/// Two dense cliques joined by one weak edge: the textbook LP community case.
+Graph two_cliques(VertexId k) {
+  EdgeList edges;
+  auto clique = [&](VertexId base) {
+    for (VertexId u = 0; u < k; ++u) {
+      for (VertexId v = 0; v < k; ++v) {
+        if (u != v) edges.push_back(Edge{base + u, base + v});
+      }
+    }
+  };
+  clique(0);
+  clique(k);
+  edges.push_back(Edge{0, k});
+  edges.push_back(Edge{k, 0});
+  return Graph::build(2 * k, edges);
+}
+
+TEST(LabelPropagation, RecoverTwoCliqueCommunities) {
+  const Graph g = two_cliques(8);
+  LabelPropagationProgram prog;
+  EdgeDataArray<LabelPropagationProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges, 1000);
+  EXPECT_TRUE(r.converged);
+  // Each clique must agree internally.
+  std::set<std::uint32_t> left;
+  std::set<std::uint32_t> right;
+  for (VertexId v = 0; v < 8; ++v) left.insert(prog.labels()[v]);
+  for (VertexId v = 8; v < 16; ++v) right.insert(prog.labels()[v]);
+  EXPECT_EQ(left.size(), 1u);
+  EXPECT_EQ(right.size(), 1u);
+}
+
+TEST(LabelPropagation, SynchronousOscillatesOnBipartitePair) {
+  // The classic LPA flip-flop: two vertices pointing at each other keep
+  // swapping labels under BSP (each adopts the other's previous label).
+  const Graph g = Graph::build(2, {{0, 1}, {1, 0}});
+  LabelPropagationProgram prog;
+  EdgeDataArray<LabelPropagationProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_bsp(g, prog, edges, /*max_iterations=*/200);
+  EXPECT_FALSE(r.converged);  // oscillation hits the cap
+}
+
+TEST(LabelPropagation, AsynchronousConvergesOnTheSamePair) {
+  const Graph g = Graph::build(2, {{0, 1}, {1, 0}});
+  LabelPropagationProgram prog;
+  EdgeDataArray<LabelPropagationProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_deterministic(g, prog, edges, 200);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.labels()[0], prog.labels()[1]);
+}
+
+TEST(LabelPropagation, EligibilityIsGraphDependent) {
+  // On the bipartite pair the Theorem 1 premise (synchronous convergence)
+  // fails and LP is non-monotonic: not proven eligible.
+  {
+    const Graph g = Graph::build(2, {{0, 1}, {1, 0}});
+    LabelPropagationProgram prog;
+    const EligibilityReport r = analyze_eligibility(g, prog, 200);
+    EXPECT_FALSE(r.bsp_converges);
+    // On two vertices a single async run can LOOK monotone — which is why
+    // Theorem 2 also requires the program's own monotonicity claim.
+    EXPECT_FALSE(r.claimed_monotonic);
+    EXPECT_EQ(r.verdict, EligibilityVerdict::kNotProven);
+  }
+  // On the two-clique graph synchronous LP settles: Theorem 1 applies.
+  {
+    const Graph g = two_cliques(6);
+    LabelPropagationProgram prog;
+    const EligibilityReport r = analyze_eligibility(g, prog, 2000);
+    if (r.bsp_converges) {  // tie-breaking makes this the expected outcome
+      EXPECT_EQ(r.conflicts.write_write, 0u);
+      EXPECT_EQ(r.verdict, EligibilityVerdict::kTheorem1);
+    } else {
+      EXPECT_EQ(r.verdict, EligibilityVerdict::kNotProven);
+    }
+  }
+}
+
+TEST(LabelPropagation, ConflictsAreReadWriteOnly) {
+  const Graph g = two_cliques(6);
+  LabelPropagationProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog, 2000);
+  EXPECT_GT(r.conflicts.read_write, 0u);
+  EXPECT_EQ(r.conflicts.write_write, 0u);  // pull mode: one writer per edge
+}
+
+TEST(LabelPropagation, NondeterministicRunsProduceValidCommunities) {
+  const Graph g = two_cliques(10);
+  for (const std::size_t threads : {2u, 4u}) {
+    LabelPropagationProgram prog;
+    EdgeDataArray<LabelPropagationProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts;
+    opts.num_threads = threads;
+    opts.mode = AtomicityMode::kRelaxed;
+    opts.max_iterations = 1000;
+    const EngineResult r = run_nondeterministic(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    std::set<std::uint32_t> left;
+    std::set<std::uint32_t> right;
+    for (VertexId v = 0; v < 10; ++v) left.insert(prog.labels()[v]);
+    for (VertexId v = 10; v < 20; ++v) right.insert(prog.labels()[v]);
+    EXPECT_EQ(left.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(right.size(), 1u) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ndg

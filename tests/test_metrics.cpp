@@ -1,0 +1,114 @@
+// Tests for the result-variance metrics (difference degree, value deltas) and
+// the monotonicity checker.
+
+#include <gtest/gtest.h>
+
+#include "core/difference_degree.hpp"
+#include "core/monotonicity.hpp"
+#include "atomics/edge_data.hpp"
+
+namespace ndg {
+namespace {
+
+TEST(RankVertices, SortsDescendingWithStableIdTiebreak) {
+  const std::vector<double> values{0.5, 2.0, 0.5, 3.0};
+  const auto ranking = rank_vertices(values);
+  EXPECT_EQ(ranking, (std::vector<VertexId>{3, 1, 0, 2}));
+}
+
+TEST(DifferenceDegree, PaperExample) {
+  // "suppose we have two results r1 = {1,2,3,5,7} and r2 = {1,2,3,7,5} ...
+  //  the difference degree by comparing r1 and r2 is 3."
+  const std::vector<VertexId> r1{1, 2, 3, 5, 7};
+  const std::vector<VertexId> r2{1, 2, 3, 7, 5};
+  EXPECT_EQ(difference_degree(r1, r2), 3u);
+}
+
+TEST(DifferenceDegree, IdenticalRankingsReturnSize) {
+  const std::vector<VertexId> r{4, 2, 0};
+  EXPECT_EQ(difference_degree(r, r), 3u);
+}
+
+TEST(DifferenceDegree, FirstElementDiffers) {
+  const std::vector<VertexId> a{1, 2};
+  const std::vector<VertexId> b{2, 1};
+  EXPECT_EQ(difference_degree(a, b), 0u);
+}
+
+TEST(DifferenceDegree, FromValues) {
+  const std::vector<double> a{1.0, 5.0, 3.0};  // ranking: 1, 2, 0
+  const std::vector<double> b{0.9, 5.0, 3.0};  // ranking: 1, 2, 0
+  EXPECT_EQ(difference_degree_values(a, b), 3u);
+  const std::vector<double> c{9.0, 5.0, 3.0};  // ranking: 0, 1, 2
+  EXPECT_EQ(difference_degree_values(a, c), 0u);
+}
+
+TEST(ValueDelta, MaxAndMean) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 2.0, 2.0};
+  const ValueDelta d = value_delta(a, b);
+  EXPECT_DOUBLE_EQ(d.max_abs, 1.0);
+  EXPECT_NEAR(d.mean_abs, 0.5, 1e-12);
+}
+
+double slot_to_double(std::uint64_t slot) {
+  return static_cast<double>(detail::from_slot<std::uint32_t>(slot));
+}
+
+TEST(Monotonicity, DetectsNonIncreasing) {
+  MonotonicityChecker c(1, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(100));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(50));
+  c.on_write(0, 0, 1, detail::to_slot<std::uint32_t>(50));  // equal is fine
+  c.on_write(0, 0, 2, detail::to_slot<std::uint32_t>(10));
+  EXPECT_TRUE(c.monotonic());
+  EXPECT_EQ(c.direction(), MonotonicityChecker::Direction::kNonIncreasing);
+  EXPECT_EQ(c.increases(), 0u);
+  EXPECT_EQ(c.decreases(), 2u);
+}
+
+TEST(Monotonicity, DetectsNonDecreasing) {
+  MonotonicityChecker c(1, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(0));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(5));
+  c.on_write(0, 0, 1, detail::to_slot<std::uint32_t>(9));
+  EXPECT_EQ(c.direction(), MonotonicityChecker::Direction::kNonDecreasing);
+}
+
+TEST(Monotonicity, DetectsOscillation) {
+  MonotonicityChecker c(1, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(5));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(9));
+  c.on_write(0, 0, 1, detail::to_slot<std::uint32_t>(3));
+  EXPECT_FALSE(c.monotonic());
+  EXPECT_EQ(c.direction(), MonotonicityChecker::Direction::kNone);
+}
+
+TEST(Monotonicity, ConstantWritesAreMonotone) {
+  MonotonicityChecker c(2, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(5));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(5));
+  EXPECT_EQ(c.direction(), MonotonicityChecker::Direction::kConstant);
+  EXPECT_TRUE(c.monotonic());
+}
+
+TEST(Monotonicity, BaselineMatters) {
+  // Without the baseline the first write to an edge could hide an increase.
+  MonotonicityChecker c(1, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(10));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(20));  // above baseline
+  c.on_write(0, 0, 1, detail::to_slot<std::uint32_t>(15));
+  EXPECT_FALSE(c.monotonic());
+}
+
+TEST(Monotonicity, TracksEdgesIndependently) {
+  MonotonicityChecker c(2, slot_to_double);
+  c.set_baseline(0, detail::to_slot<std::uint32_t>(10));
+  c.set_baseline(1, detail::to_slot<std::uint32_t>(10));
+  c.on_write(0, 0, 0, detail::to_slot<std::uint32_t>(5));   // edge 0 down
+  c.on_write(1, 0, 0, detail::to_slot<std::uint32_t>(20));  // edge 1 up
+  EXPECT_FALSE(c.monotonic());  // mixed directions across edges
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,209 @@
+// Pure asynchronous engine tests (§VII future work): correctness without any
+// barrier, quiescence detection, and agreement with the reference results for
+// every atomicity mode and thread count.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/pure_async.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph async_graph() {
+  EdgeList edges = gen::rmat(256, 1600, 555);
+  auto tail = gen::chain(24);
+  edges.insert(edges.end(), tail.begin(), tail.end());
+  return Graph::build(256, std::move(edges));
+}
+
+class PureAsyncParam
+    : public ::testing::TestWithParam<std::tuple<AtomicityMode, std::size_t>> {
+ protected:
+  [[nodiscard]] EngineOptions options() const {
+    EngineOptions opts;
+    opts.mode = std::get<0>(GetParam());
+    opts.num_threads = std::get<1>(GetParam());
+    return opts;
+  }
+};
+
+TEST_P(PureAsyncParam, WccExact) {
+  const Graph g = async_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_pure_async(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+TEST_P(PureAsyncParam, SsspExact) {
+  const Graph g = async_graph();
+  SsspProgram prog(0, 21);
+  std::vector<float> weights(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    weights[e] = SsspProgram::edge_weight(21, e);
+  }
+  EdgeDataArray<SsspProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_pure_async(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  const auto expected = ref::sssp(g, 0, weights);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FLOAT_EQ(prog.distances()[v], expected[v]) << "v=" << v;
+  }
+}
+
+TEST_P(PureAsyncParam, BfsExact) {
+  const Graph g = async_graph();
+  BfsProgram prog(0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_pure_async(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.levels(), ref::bfs(g, 0));
+}
+
+TEST_P(PureAsyncParam, PageRankNearFixedPoint) {
+  const Graph g = async_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  PageRankProgram prog(1e-4f);
+  EdgeDataArray<float> edges(g.num_edges());
+  prog.init(g, edges);
+  const EngineResult r = run_pure_async(g, prog, edges, options());
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndThreads, PureAsyncParam,
+    ::testing::Combine(::testing::Values(AtomicityMode::kLocked,
+                                         AtomicityMode::kRelaxed,
+                                         AtomicityMode::kSeqCst),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4})),
+    [](const auto& param_info) {
+      return std::string(to_string(std::get<0>(param_info.param))) + "_t" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(PureAsync, AtomicPushPageRankMatchesPullFixedPoint) {
+  // The repaired push-mode program must be NE-correct when the policy has
+  // real RMW atomicity — even under the barrier-free engine.
+  const Graph g = async_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  for (const AtomicityMode mode :
+       {AtomicityMode::kLocked, AtomicityMode::kRelaxed}) {
+    AtomicPushPageRankProgram prog(1e-6f);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts;
+    opts.mode = mode;
+    opts.num_threads = 4;
+    const EngineResult r = run_pure_async(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_NEAR(prog.ranks()[v], expected[v], 0.02 * expected[v] + 0.005)
+          << to_string(mode) << " v=" << v;
+    }
+  }
+}
+
+TEST(PureAsync, DualEdgeAlgorithmsExactWithoutBarriers) {
+  // The hardest combination: write-write races on half-owned words with NO
+  // iteration boundaries at all — recovery must ride purely on the
+  // schedule-on-write rule.
+  const Graph g = async_graph();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.mode = AtomicityMode::kRelaxed;
+  {
+    KCoreProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_pure_async(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(prog.core_numbers(), ref::kcore(g));
+  }
+  {
+    MisProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_pure_async(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged);
+    const auto expected = ref::greedy_mis(g);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(prog.states()[v] == MisProgram::kIn, expected[v]) << v;
+    }
+  }
+}
+
+TEST(PureAsync, EmptyFrontierQuiescesImmediately) {
+  const Graph g = Graph::build(8, gen::chain(8));
+  BfsProgram prog(7);  // sink
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  const EngineResult r = run_pure_async(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.updates, 1u);  // the seeded source itself
+}
+
+// An algorithm that reschedules itself forever (namespace scope: local
+// classes cannot hold the member template the program contract needs).
+struct LivelockProgram {
+  using EdgeData = std::uint32_t;
+  static constexpr bool kMonotonic = false;
+  [[nodiscard]] const char* name() const { return "livelock"; }
+  void init(const Graph&, EdgeDataArray<std::uint32_t>& e) { e.fill(0); }
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph&) const {
+    return {0};
+  }
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    ctx.schedule(v);  // forever
+  }
+  static double project(std::uint32_t x) { return x; }
+};
+
+TEST(PureAsync, UpdateCapStopsRunaways) {
+  const Graph g = Graph::build(4, gen::cycle(4));
+  LivelockProgram prog;
+  EdgeDataArray<std::uint32_t> edges(g.num_edges());
+  prog.init(g, edges);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.max_iterations = 50;  // cap = 50 * |V| updates
+  const EngineResult r = run_pure_async(g, prog, edges, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.updates, 0u);
+}
+
+TEST(PureAsync, SingleThreadMatchesReferenceResults) {
+  const Graph g = Graph::build(64, gen::grid2d(8, 8));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  EngineOptions opts;
+  opts.num_threads = 1;
+  const EngineResult r = run_pure_async(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  for (const auto label : prog.labels()) EXPECT_EQ(label, 0u);
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,131 @@
+// The oracles themselves, validated on hand-computed instances. Every other
+// test trusts these references; this file pins them to paper-and-pencil
+// ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/reference/references.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+TEST(RefDijkstra, HandComputedDiamond) {
+  //   0 --1.0--> 1 --1.0--> 3
+  //   0 --5.0--> 2 --1.0--> 3   (via 1: 2.0; via 2: 6.0)
+  const Graph g = Graph::build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  // Canonical edge ids: (0,1)=0 (0,2)=1 (1,3)=2 (2,3)=3.
+  const std::vector<float> w{1.0f, 5.0f, 1.0f, 1.0f};
+  const auto dist = ref::sssp(g, 0, w);
+  EXPECT_FLOAT_EQ(dist[0], 0.0f);
+  EXPECT_FLOAT_EQ(dist[1], 1.0f);
+  EXPECT_FLOAT_EQ(dist[2], 5.0f);
+  EXPECT_FLOAT_EQ(dist[3], 2.0f);
+}
+
+TEST(RefDijkstra, PrefersLongerPathWithSmallerWeight) {
+  // 0->2 direct weight 10; 0->1->2 weights 3+3=6.
+  const Graph g = Graph::build(3, {{0, 1}, {0, 2}, {1, 2}});
+  // ids: (0,1)=0 (0,2)=1 (1,2)=2.
+  const std::vector<float> w{3.0f, 10.0f, 3.0f};
+  const auto dist = ref::sssp(g, 0, w);
+  EXPECT_FLOAT_EQ(dist[2], 6.0f);
+}
+
+TEST(RefBfs, LevelsOnBinaryTreeShape) {
+  const Graph g = Graph::build(7, {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}});
+  const auto levels = ref::bfs(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  for (VertexId v = 3; v < 7; ++v) EXPECT_EQ(levels[v], 2u);
+}
+
+TEST(RefWcc, MinLabelPerComponent) {
+  const Graph g = Graph::build(7, {{5, 2}, {2, 6}, {1, 4}});
+  const auto labels = ref::wcc(g);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[5], 2u);
+  EXPECT_EQ(labels[6], 2u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[0], 0u);  // isolated
+  EXPECT_EQ(labels[3], 3u);  // isolated
+}
+
+TEST(RefPageRank, UniformOnRegularCycle) {
+  // On a directed cycle every vertex has in/out degree 1: rank = 1 for all.
+  const Graph g = Graph::build(8, gen::cycle(8));
+  const auto r = ref::pagerank(g, 0.85, 1e-14);
+  for (const double x : r) EXPECT_NEAR(x, 1.0, 1e-9);
+}
+
+TEST(RefPageRank, SatisfiesFixedPointEquation) {
+  const Graph g = Graph::build(64, gen::rmat(64, 300, 4));
+  const auto r = ref::pagerank(g, 0.85, 1e-14);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    double sum = 0;
+    for (const InEdge& ie : g.in_edges(v)) {
+      sum += r[ie.src] / static_cast<double>(g.out_degree(ie.src));
+    }
+    EXPECT_NEAR(r[v], 0.15 + 0.85 * sum, 1e-8) << "v=" << v;
+  }
+}
+
+TEST(RefSpmv, SatisfiesLinearSystem) {
+  // Fixed point of x = (1-w) + w·Px must satisfy the equation pointwise.
+  const Graph g = Graph::build(64, gen::erdos_renyi(64, 300, 6));
+  const double w = 0.5;
+  const auto x = ref::spmv_fixed_point(g, w, 1e-14);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    double sum = 0;
+    for (const InEdge& ie : g.in_edges(v)) {
+      sum += x[ie.src] / static_cast<double>(g.out_degree(ie.src));
+    }
+    EXPECT_NEAR(x[v], (1.0 - w) + w * sum, 1e-9) << "v=" << v;
+  }
+}
+
+TEST(RefKcore, BowtieHandComputed) {
+  // Two triangles sharing vertex 2, symmetrized: every vertex of a triangle
+  // has multigraph degree 4 (two undirected neighbours, each counted twice),
+  // vertex 2 has 8. The 2-core... peeling over the doubled adjacency gives
+  // core 4 for everyone (each undirected neighbour contributes 2).
+  EdgeList tri1 = symmetrize({{0, 1}, {1, 2}, {2, 0}});
+  EdgeList tri2 = symmetrize({{2, 3}, {3, 4}, {4, 2}});
+  tri1.insert(tri1.end(), tri2.begin(), tri2.end());
+  const Graph g = Graph::build(5, tri1);
+  const auto core = ref::kcore(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(core[v], 4u) << "v=" << v;
+}
+
+TEST(RefKcore, HubAndSpokes) {
+  // Directed star: hub out-degree n-1, leaves degree 1 (multigraph view).
+  const Graph g = Graph::build(6, gen::star(6));
+  const auto core = ref::kcore(g);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(core[v], 1u);
+  EXPECT_EQ(core[0], 1u);  // hub peels once all leaves are gone
+}
+
+TEST(RefGreedyMis, HandComputedPath) {
+  // Path 0-1-2-3-4 (symmetrized): greedy by id takes {0, 2, 4}.
+  const Graph g = Graph::build(5, symmetrize(gen::chain(5)));
+  const auto mis = ref::greedy_mis(g);
+  EXPECT_TRUE(mis[0]);
+  EXPECT_FALSE(mis[1]);
+  EXPECT_TRUE(mis[2]);
+  EXPECT_FALSE(mis[3]);
+  EXPECT_TRUE(mis[4]);
+}
+
+TEST(RefGreedyMis, StarTakesHubOnly) {
+  const Graph g = Graph::build(6, gen::star(6));
+  const auto mis = ref::greedy_mis(g);
+  EXPECT_TRUE(mis[0]);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_FALSE(mis[v]);
+}
+
+}  // namespace
+}  // namespace ndg

@@ -1,0 +1,134 @@
+// Property tests for the Definitions 1–3 oracle: trichotomy, duality, the
+// paper's π(v) formula on full frontiers, and the d → 0 / d → ∞ limits.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/schedule_order.hpp"
+
+namespace ndg {
+namespace {
+
+std::vector<VertexId> full_frontier(VertexId n) {
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+TEST(ScheduleOracle, PaperPiFormulaOnFullFrontier) {
+  // Fig. 1 with |V| divisible by P: π(v) = L_v % (V/P), proc = L_v / (V/P).
+  constexpr VertexId kV = 16;
+  constexpr std::size_t kP = 4;
+  const ScheduleOracle oracle(full_frontier(kV), kP, 2);
+  for (VertexId v = 0; v < kV; ++v) {
+    EXPECT_EQ(oracle.pi(v), v % (kV / kP)) << "v=" << v;
+    EXPECT_EQ(oracle.proc(v), v / (kV / kP)) << "v=" << v;
+  }
+}
+
+TEST(ScheduleOracle, ScheduledMembership) {
+  const ScheduleOracle oracle({2, 5, 9}, 2, 1);
+  EXPECT_TRUE(oracle.scheduled(5));
+  EXPECT_FALSE(oracle.scheduled(3));
+}
+
+TEST(ScheduleOracle, SameThreadIsProgramOrder) {
+  // 8 vertices on 2 procs: {0..3} on proc 0, {4..7} on proc 1.
+  const ScheduleOracle oracle(full_frontier(8), 2, 100);
+  EXPECT_EQ(oracle.order(0, 3), UpdateOrder::kPrecedes);
+  EXPECT_EQ(oracle.order(3, 0), UpdateOrder::kFollows);
+  // Huge delay cannot make same-thread updates concurrent.
+  EXPECT_EQ(oracle.order(4, 5), UpdateOrder::kPrecedes);
+}
+
+TEST(ScheduleOracle, CrossThreadDelayWindow) {
+  // d = 2: proc 0 runs π 0..3 for {0..3}; proc 1 runs π 0..3 for {4..7}.
+  const ScheduleOracle oracle(full_frontier(8), 2, 2);
+  // π(0)=0, π(6)=2: 2 >= 0+2 -> f(0) ≺ f(6).
+  EXPECT_EQ(oracle.order(0, 6), UpdateOrder::kPrecedes);
+  EXPECT_EQ(oracle.order(6, 0), UpdateOrder::kFollows);
+  // π(0)=0, π(5)=1: |1-0| < 2 -> concurrent both ways.
+  EXPECT_EQ(oracle.order(0, 5), UpdateOrder::kConcurrent);
+  EXPECT_EQ(oracle.order(5, 0), UpdateOrder::kConcurrent);
+}
+
+TEST(ScheduleOracle, DualityAndTrichotomyHoldEverywhere) {
+  for (const std::size_t procs : {1u, 2u, 3u, 4u}) {
+    for (const std::size_t delay : {0u, 1u, 2u, 5u, 100u}) {
+      const ScheduleOracle oracle(full_frontier(12), procs, delay);
+      for (VertexId v = 0; v < 12; ++v) {
+        for (VertexId u = 0; u < 12; ++u) {
+          if (u == v) continue;
+          const UpdateOrder vu = oracle.order(v, u);
+          const UpdateOrder uv = oracle.order(u, v);
+          switch (vu) {
+            case UpdateOrder::kPrecedes:
+              EXPECT_EQ(uv, UpdateOrder::kFollows);
+              break;
+            case UpdateOrder::kFollows:
+              EXPECT_EQ(uv, UpdateOrder::kPrecedes);
+              break;
+            case UpdateOrder::kConcurrent:
+              EXPECT_EQ(uv, UpdateOrder::kConcurrent);
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleOracle, ZeroDelayHasNoConcurrency) {
+  const ScheduleOracle oracle(full_frontier(12), 4, 0);
+  for (VertexId v = 0; v < 12; ++v) {
+    for (VertexId u = v + 1; u < 12; ++u) {
+      EXPECT_NE(oracle.order(v, u), UpdateOrder::kConcurrent);
+    }
+  }
+}
+
+TEST(ScheduleOracle, HugeDelayMakesCrossThreadPairsConcurrent) {
+  const ScheduleOracle oracle(full_frontier(12), 4, 1000);
+  std::size_t concurrent = 0;
+  std::size_t cross = 0;
+  for (VertexId v = 0; v < 12; ++v) {
+    for (VertexId u = v + 1; u < 12; ++u) {
+      if (oracle.proc(v) != oracle.proc(u)) {
+        ++cross;
+        if (oracle.order(v, u) == UpdateOrder::kConcurrent) ++concurrent;
+      }
+    }
+  }
+  EXPECT_EQ(concurrent, cross);  // every cross-thread pair is ∥
+}
+
+TEST(ScheduleOracle, SingleProcIsTotalOrder) {
+  const ScheduleOracle oracle(full_frontier(10), 1, 5);
+  for (VertexId v = 0; v < 10; ++v) {
+    for (VertexId u = v + 1; u < 10; ++u) {
+      EXPECT_EQ(oracle.order(v, u), UpdateOrder::kPrecedes);
+    }
+  }
+}
+
+TEST(ScheduleOracle, SparseFrontierUsesRanksNotLabels) {
+  // S_n = {10, 20, 30, 40} on 2 procs: {10,20} on proc 0, {30,40} on proc 1.
+  const ScheduleOracle oracle({10, 20, 30, 40}, 2, 1);
+  EXPECT_EQ(oracle.proc(10), 0u);
+  EXPECT_EQ(oracle.proc(40), 1u);
+  EXPECT_EQ(oracle.pi(20), 1u);
+  EXPECT_EQ(oracle.pi(30), 0u);
+  // π(30)=0 < π(20)=1 with d=1: f(30) ≺ f(20).
+  EXPECT_EQ(oracle.order(30, 20), UpdateOrder::kPrecedes);
+}
+
+TEST(ScheduleOracle, OrderNamesAreDistinct) {
+  EXPECT_STRNE(to_string(UpdateOrder::kPrecedes),
+               to_string(UpdateOrder::kFollows));
+  EXPECT_STRNE(to_string(UpdateOrder::kFollows),
+               to_string(UpdateOrder::kConcurrent));
+}
+
+}  // namespace
+}  // namespace ndg

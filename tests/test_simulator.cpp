@@ -1,0 +1,231 @@
+// Simulator tests: the executable form of the paper's Section II model.
+//   * Degeneracy: P = 1 reproduces the deterministic Gauss–Seidel run bitwise.
+//   * Fig. 2: the WCC write-write corruption-and-recovery walk-through.
+//   * Theorems 1 & 2 as seed-sweep properties: every simulated schedule
+//     converges, and monotonic algorithms land on the exact result.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/deterministic.hpp"
+#include "engine/simulator.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph sim_graph() {
+  EdgeList edges = gen::rmat(256, 1500, 77);
+  auto tail = gen::chain(24);
+  edges.insert(edges.end(), tail.begin(), tail.end());
+  return Graph::build(256, std::move(edges));
+}
+
+TEST(Simulator, SingleProcEqualsDeterministicBitwise) {
+  const Graph g = sim_graph();
+
+  WccProgram de;
+  EdgeDataArray<WccProgram::EdgeData> de_edges(g.num_edges());
+  de.init(g, de_edges);
+  const EngineResult rd = run_deterministic(g, de, de_edges);
+
+  WccProgram sim;
+  EdgeDataArray<WccProgram::EdgeData> sim_edges(g.num_edges());
+  sim.init(g, sim_edges);
+  SimOptions opts;
+  opts.num_procs = 1;
+  opts.delay = 4;  // irrelevant with one proc
+  const SimResult rs = run_simulated(g, sim, sim_edges, opts);
+
+  EXPECT_TRUE(rs.converged);
+  EXPECT_EQ(rs.iterations, rd.iterations);
+  EXPECT_EQ(rs.updates, rd.updates);
+  EXPECT_EQ(rs.rw_overlaps, 0u);
+  EXPECT_EQ(rs.ww_overlaps, 0u);
+  EXPECT_EQ(sim.labels(), de.labels());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(sim_edges.get(e), de_edges.get(e));
+  }
+}
+
+TEST(Simulator, ZeroDelayEqualsInstantVisibility) {
+  // d = 0: no ∥ window, so no overlaps are possible by definition.
+  const Graph g = sim_graph();
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 8;
+  opts.delay = 0;
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.ww_overlaps, 0u);
+  EXPECT_EQ(prog.labels(), ref::wcc(g));
+}
+
+// --- Fig. 2: write-write corruption and recovery on one edge ---------------
+
+TEST(Simulator, Fig2WccCorruptionIsRecovered) {
+  // Two vertices joined by edge (0 -> 1); initial labels 0 and 1; edge label
+  // "infinite". With both updates on different procs inside the ∥ window,
+  // iteration 1 produces a write-write conflict; whichever value commits, the
+  // algorithm must converge to labels {0, 0} (the paper's walk-through).
+  const Graph g = Graph::build(2, {{0, 1}});
+  bool saw_conflict = false;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 2;
+    opts.delay = 8;  // both updates land in slot 0: fully overlapped
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_EQ(prog.labels()[0], 0u) << "seed=" << seed;
+    EXPECT_EQ(prog.labels()[1], 0u) << "seed=" << seed;
+    EXPECT_EQ(edges.get(0), 0u) << "seed=" << seed;
+    saw_conflict = saw_conflict || r.ww_overlaps > 0;
+  }
+  EXPECT_TRUE(saw_conflict) << "the ∥ window never produced the WW conflict";
+}
+
+TEST(Simulator, Fig2WrongCommitNeedsExtraIterations) {
+  // When update f(1) wins the iteration-1 race the edge commits the corrupted
+  // label 2-style value, and recovery costs extra iterations relative to the
+  // deterministic schedule (2 iterations). Some seed must exhibit that.
+  const Graph g = Graph::build(2, {{0, 1}});
+
+  WccProgram de;
+  EdgeDataArray<WccProgram::EdgeData> de_edges(g.num_edges());
+  de.init(g, de_edges);
+  const std::size_t de_iters = run_deterministic(g, de, de_edges).iterations;
+
+  bool saw_slow_path = false;
+  for (std::uint64_t seed = 0; seed < 64 && !saw_slow_path; ++seed) {
+    WccProgram prog;
+    EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions opts;
+    opts.num_procs = 2;
+    opts.delay = 8;
+    opts.seed = seed;
+    const SimResult r = run_simulated(g, prog, edges, opts);
+    saw_slow_path = r.converged && r.iterations > de_iters;
+  }
+  EXPECT_TRUE(saw_slow_path);
+}
+
+// --- Theorem properties as seed sweeps --------------------------------------
+
+class SimSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimSweep, Theorem2WccExactUnderWriteWriteRaces) {
+  const Graph g = sim_graph();
+  const auto expected = ref::wcc(g);
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 8;
+  opts.delay = 6;
+  opts.seed = GetParam();
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.labels(), expected);
+}
+
+TEST_P(SimSweep, Theorem1SsspExactUnderReadWriteRaces) {
+  const Graph g = sim_graph();
+  SsspProgram prog(0, /*weight_seed=*/5);
+  std::vector<float> weights(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    weights[e] = SsspProgram::edge_weight(5, e);
+  }
+  const auto expected = ref::sssp(g, 0, weights);
+
+  EdgeDataArray<SsspProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 6;
+  opts.delay = 5;
+  opts.seed = GetParam();
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FLOAT_EQ(prog.distances()[v], expected[v]) << "v=" << v;
+  }
+  // SSSP writes each edge from one endpoint only: no WW races possible.
+  EXPECT_EQ(r.ww_overlaps, 0u);
+}
+
+TEST_P(SimSweep, Theorem1BfsExact) {
+  const Graph g = sim_graph();
+  BfsProgram prog(0);
+  const auto expected = ref::bfs(g, 0);
+  EdgeDataArray<BfsProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 4;
+  opts.delay = 3;
+  opts.seed = GetParam();
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prog.levels(), expected);
+  EXPECT_EQ(r.ww_overlaps, 0u);
+}
+
+TEST_P(SimSweep, Theorem1PageRankConvergesNearFixedPoint) {
+  const Graph g = sim_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  PageRankProgram prog(1e-4f);
+  EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 8;
+  opts.delay = 6;
+  opts.seed = GetParam();
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Simulator, WccProducesWwOverlapsOnDenseGraph) {
+  // Sanity check that the instrumented counters actually fire: WCC on a
+  // clique with everything scheduled must race.
+  const Graph g = Graph::build(16, gen::complete(16));
+  WccProgram prog;
+  EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 8;
+  opts.delay = 4;
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.ww_overlaps, 0u);
+  EXPECT_GT(r.rw_overlaps, 0u);
+}
+
+TEST(Simulator, DelayZeroSingleProcHandlesAllAlgorithms) {
+  const Graph g = Graph::build(64, gen::cycle(64));
+  PageRankProgram prog(1e-3f);
+  EdgeDataArray<PageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  SimOptions opts;
+  opts.num_procs = 1;
+  opts.delay = 0;
+  const SimResult r = run_simulated(g, prog, edges, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace ndg

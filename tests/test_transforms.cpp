@@ -1,0 +1,117 @@
+// Graph-transformation tests: transpose, induced subgraphs, largest-WCC
+// extraction, degree relabeling — and the invariance of algorithm results
+// under relabeling (the schedule changes; the answer must not).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/reference/references.hpp"
+#include "algorithms/wcc.hpp"
+#include "engine/deterministic.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+
+namespace ndg {
+namespace {
+
+TEST(Transpose, ReversesEveryEdge) {
+  const Graph g = Graph::build(4, {{0, 1}, {1, 2}, {3, 1}});
+  const Graph t = transpose(g);
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_EQ(t.out_degree(1), 2u);  // 1->0, 1->3
+  EXPECT_EQ(t.in_degree(1), 1u);   // 2->1
+  // Double transpose is the identity on topology.
+  const Graph tt = transpose(t);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(tt.edge_source(e), g.edge_source(e));
+    EXPECT_EQ(tt.edge_target(e), g.edge_target(e));
+  }
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  const Graph g = Graph::build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const Graph sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 1->2 and 2->3, relabeled 0->1, 1->2
+  EXPECT_EQ(sub.out_degree(0), 1u);
+  EXPECT_EQ(sub.out_neighbors(0)[0], 1u);
+}
+
+TEST(InducedSubgraph, EmptyKeepGivesEmptyGraph) {
+  const Graph g = Graph::build(3, gen::cycle(3));
+  const Graph sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+TEST(LargestWeakComponent, FindsTheBigOne) {
+  // Component A: 0-1-2 (3 vertices); component B: 10..15 chain (6 vertices).
+  EdgeList edges{{0, 1}, {1, 2}};
+  for (VertexId v = 10; v < 15; ++v) edges.push_back(Edge{v, v + 1});
+  const Graph g = Graph::build(16, edges);
+  const auto keep = largest_weak_component(g);
+  EXPECT_EQ(keep.size(), 6u);
+  EXPECT_EQ(keep.front(), 10u);
+  EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+}
+
+TEST(LargestWeakComponent, ExtractionIsFullyConnected) {
+  const Graph g = Graph::build(300, gen::rmat(300, 900, 77));
+  const auto keep = largest_weak_component(g);
+  const Graph sub = induced_subgraph(g, keep);
+  const auto labels = ref::wcc(sub);
+  for (const auto l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(RelabelByDegree, HubGetsLabelZero) {
+  const Graph g = Graph::build(10, gen::star(10));
+  const Relabeling r = relabel_by_degree(g);
+  EXPECT_EQ(r.old_to_new[0], 0u);  // the hub
+  EXPECT_EQ(r.graph.out_degree(0), 9u);
+  // Mapping is a permutation.
+  std::vector<VertexId> seen(r.old_to_new.begin(), r.old_to_new.end());
+  std::sort(seen.begin(), seen.end());
+  for (VertexId i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(RelabelByDegree, PreservesTopology) {
+  const Graph g = Graph::build(100, gen::rmat(100, 400, 8));
+  const Relabeling r = relabel_by_degree(g);
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.graph.out_degree(r.old_to_new[v]), g.out_degree(v));
+    EXPECT_EQ(r.graph.in_degree(r.old_to_new[v]), g.in_degree(v));
+  }
+}
+
+TEST(RelabelByDegree, WccResultInvariantUnderRelabeling) {
+  // Relabeling changes the deterministic schedule (labels ARE the order in
+  // this model) but must not change which vertices share a component.
+  const Graph g = Graph::build(200, gen::rmat(200, 700, 15));
+  const Relabeling r = relabel_by_degree(g);
+
+  WccProgram orig;
+  EdgeDataArray<WccProgram::EdgeData> e1(g.num_edges());
+  orig.init(g, e1);
+  run_deterministic(g, orig, e1);
+
+  WccProgram rel;
+  EdgeDataArray<WccProgram::EdgeData> e2(r.graph.num_edges());
+  rel.init(r.graph, e2);
+  run_deterministic(r.graph, rel, e2);
+
+  // Same-component relation must be identical under the mapping.
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    for (VertexId b = a + 1; b < std::min<VertexId>(g.num_vertices(), a + 10);
+         ++b) {
+      const bool together_orig = orig.labels()[a] == orig.labels()[b];
+      const bool together_rel =
+          rel.labels()[r.old_to_new[a]] == rel.labels()[r.old_to_new[b]];
+      EXPECT_EQ(together_orig, together_rel) << a << "," << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndg
