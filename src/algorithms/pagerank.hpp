@@ -18,7 +18,9 @@
 // applies. The algorithm is NOT monotonic — ranks oscillate toward the fixed
 // point — so Theorem 2 does not.
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,7 @@ class PageRankProgram {
 
   void init(const Graph& g, EdgeDataArray<float>& edges) {
     ranks_.assign(g.num_vertices(), 1.0f);
+    deltas_.assign(g.num_vertices(), 1.0f);  // everyone starts "far" from fix
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       const EdgeId deg = g.out_degree(v);
       const float w = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
@@ -61,6 +64,10 @@ class PageRankProgram {
     const float new_rank = (1.0f - damping_) + damping_ * sum;  // Compute
     const float old_rank = ranks_[v];
     ranks_[v] = new_rank;
+    // Residual for the priority schedule; atomic_ref because priority(v) is
+    // read from other threads while this update runs.
+    std::atomic_ref<float>(deltas_[v])
+        .store(std::fabs(new_rank - old_rank), std::memory_order_relaxed);
 
     // Scatter under local convergence: propagate only while still moving by
     // at least ε; the targets are scheduled by ctx.write (Section II rule).
@@ -73,6 +80,19 @@ class PageRankProgram {
         }
       }
     }
+  }
+
+  /// Scheduling priority for the bucket worklist: vertices whose rank is
+  /// still moving the most go first (residual-driven, à la PrIter / Galois
+  /// priority PageRank). Bucket = negated binary exponent of the residual,
+  /// so residual ≥ 1 → 0, ~0.5 → 1, ... converged/zero → worst bucket.
+  [[nodiscard]] std::uint64_t priority(VertexId v) const {
+    const float r = std::atomic_ref<float>(const_cast<float&>(deltas_[v]))
+                        .load(std::memory_order_relaxed);
+    if (!(r > 0.0f)) return 64;  // fully converged (or NaN): schedule last
+    if (r >= 1.0f) return 0;
+    const int bucket = -std::ilogb(r);
+    return static_cast<std::uint64_t>(bucket > 64 ? 64 : bucket);
   }
 
   static double project(float w) { return w; }
@@ -90,6 +110,7 @@ class PageRankProgram {
   float epsilon_;
   float damping_;
   std::vector<float> ranks_;
+  std::vector<float> deltas_;  // |last rank change|, feeds priority()
 };
 
 }  // namespace ndg

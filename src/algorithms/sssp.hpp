@@ -13,6 +13,8 @@
 // read-write only — Theorem 1 territory — and distances are monotonically
 // non-increasing, so Theorem 2 applies as well.
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -70,14 +72,19 @@ class SsspProgram {
 
   template <typename Ctx>
   void update(VertexId v, Ctx& ctx) {
-    // Gather: best candidate distance over the in-edges.
-    float d = dists_[v];
+    // Gather: best candidate distance over the in-edges. The distance cell is
+    // accessed through atomic_ref because priority(v) reads it from other
+    // threads while this update runs (updates of v itself are serialized by
+    // the engines).
+    const float cur_dist =
+        std::atomic_ref<float>(dists_[v]).load(std::memory_order_relaxed);
+    float d = cur_dist;
     for (const InEdge& ie : ctx.in_edges()) {
       const SsspEdge e = ctx.read(ie.id);
       if (e.dist + e.weight < d) d = e.dist + e.weight;
     }
-    if (d >= dists_[v]) return;  // no improvement; nothing new to scatter
-    dists_[v] = d;
+    if (d >= cur_dist) return;  // no improvement; nothing new to scatter
+    std::atomic_ref<float>(dists_[v]).store(d, std::memory_order_relaxed);
 
     // Scatter: publish the improved distance on the out-edges (reading first
     // to preserve the co-located weight and to skip no-op writes).
@@ -87,6 +94,18 @@ class SsspProgram {
       const SsspEdge cur = ctx.read(eid);
       if (cur.dist > d) ctx.write(eid, neighbors[k], SsspEdge{cur.weight, d});
     }
+  }
+
+  /// Scheduling priority for the bucket worklist: delta-stepping with Δ = 2
+  /// over the tentative distance (weights are 1–10), so closer vertices
+  /// settle first and the NE schedule approximates label-correcting order.
+  /// Unreached vertices sort last (the worklist clamps to its final bucket).
+  [[nodiscard]] std::uint64_t priority(VertexId v) const {
+    // atomic_ref<const T> arrives only in C++26; const_cast for the load.
+    const float d = std::atomic_ref<float>(const_cast<float&>(dists_[v]))
+                        .load(std::memory_order_relaxed);
+    if (!(d < kInf)) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(d / 2.0f);
   }
 
   static double project(SsspEdge e) { return e.dist; }

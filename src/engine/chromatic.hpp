@@ -33,7 +33,8 @@ EngineResult run_chromatic(const Graph& g, Program& prog,
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
   SpinBarrier barrier(nt);
-  std::atomic<std::uint64_t> total_updates{0};
+  std::vector<std::uint64_t> per_updates(nt, 0);
+  std::vector<std::uint64_t> per_work(nt, 0);
   std::size_t iterations = 0;
 
   // Per-color vertex lists, rebuilt by thread 0 each iteration.
@@ -49,6 +50,7 @@ EngineResult run_chromatic(const Graph& g, Program& prog,
         g, edges, AlignedAccess{}, frontier);
 
     std::uint64_t local_updates = 0;
+    std::uint64_t local_work = 0;
     for (std::size_t iter = 0;; ++iter) {
       if (frontier.current().empty() || iter >= opts.max_iterations) break;
 
@@ -59,6 +61,8 @@ EngineResult run_chromatic(const Graph& g, Program& prog,
           ctx.begin(bucket[i], iter);
           prog.update(bucket[i], ctx);
           ++local_updates;
+          local_work +=
+              g.in_edges(bucket[i]).size() + g.out_neighbors(bucket[i]).size();
         }
         // Color barrier: the next class may depend on this class's writes.
         barrier.arrive_and_wait(sense);
@@ -74,14 +78,17 @@ EngineResult run_chromatic(const Graph& g, Program& prog,
       }
       barrier.arrive_and_wait(sense);
     }
-    total_updates.fetch_add(local_updates, std::memory_order_relaxed);
+    per_updates[tid] = local_updates;  // exclusive slot; read after join
+    per_work[tid] = local_work;
   });
 
   EngineResult result;
   result.iterations = iterations;
-  result.updates = total_updates.load();
+  for (const std::uint64_t u : per_updates) result.updates += u;
   result.converged = frontier.current().empty();
   result.seconds = timer.seconds();
+  result.per_thread_updates = std::move(per_updates);
+  result.per_thread_work = std::move(per_work);
   return result;
 }
 

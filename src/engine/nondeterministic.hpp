@@ -2,9 +2,12 @@
 // Nondeterministic execution ("NE"): the paper's system model, Section II.
 //
 //   * The chosen updates S_n are dispatched over P persistent threads by a
-//     static block partition of the ascending frontier list (Fig. 1 — "the
-//     static scheduling by the OpenMP runtime system").
-//   * Each thread executes its assigned updates small-label-first.
+//     pluggable Worklist (src/sched/). The default, StaticBlockWorklist, is
+//     the paper's dispatch exactly: a static block partition of the ascending
+//     frontier list (Fig. 1 — "the static scheduling by the OpenMP runtime
+//     system"), each thread executing its assigned updates small-label-first.
+//     StealingWorklist and BucketWorklist realise other schedules π(v) the
+//     paper's analysis is parameterised by (docs/SCHEDULERS.md).
 //   * Updates become visible immediately (asynchronous / Gauss–Seidel model);
 //     concurrent updates race on shared edge data, protected only by the
 //     per-access atomicity policy (Section III).
@@ -14,12 +17,16 @@
 //
 // The interleaving between threads — and therefore the execution path of the
 // algorithm — is decided by the OS scheduler and the cache-coherence fabric,
-// not by the engine: that is the nondeterminism under study.
+// not by the engine: that is the nondeterminism under study. A work-stealing
+// or priority schedule widens the set of reachable interleavings; the
+// eligibility theorems are schedule-oblivious, which is exactly why swapping
+// the worklist is legal for eligible algorithms.
 
 #include <atomic>
 
 #include "atomics/access_policy.hpp"
 #include "engine/options.hpp"
+#include "engine/scheduler_dispatch.hpp"
 #include "engine/update_context.hpp"
 #include "engine/vertex_program.hpp"
 #include "util/barrier.hpp"
@@ -30,7 +37,7 @@ namespace ndg {
 
 namespace detail {
 
-template <VertexProgram Program, typename Policy>
+template <VertexProgram Program, typename Policy, Worklist WL>
 EngineResult run_nondet_impl(const Graph& g, Program& prog,
                              EdgeDataArray<typename Program::EdgeData>& edges,
                              Policy policy, const EngineOptions& opts) {
@@ -40,7 +47,9 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
   SpinBarrier barrier(nt);
-  std::atomic<std::uint64_t> total_updates{0};
+  WL worklist = make_worklist<WL>(nt, opts);
+  std::vector<std::uint64_t> per_updates(nt, 0);
+  std::vector<std::uint64_t> per_work(nt, 0);
   std::size_t iterations = 0;  // written by thread 0 between barriers only
   std::vector<std::uint32_t> frontier_sizes;
 
@@ -49,17 +58,35 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
     UpdateContext<typename Program::EdgeData, Policy> ctx(g, edges, policy,
                                                           frontier);
     std::uint64_t local_updates = 0;
+    std::uint64_t local_work = 0;
     for (std::size_t iter = 0;; ++iter) {
       // All threads observe the same frontier state here: thread 0 mutated it
       // strictly between the two barriers of the previous round.
       const auto& cur = frontier.current();
       if (cur.empty() || iter >= opts.max_iterations) break;
 
+      // Refill: every thread feeds its Fig. 1 static slice of S_n into the
+      // worklist. For StaticBlockWorklist that IS the final schedule; the
+      // shared worklists rebalance (stealing) or reorder (buckets) from this
+      // seed. Priorities are read here, between barriers, so the program
+      // state they derive from is quiescent.
       const auto [begin, end] = static_block(cur.size(), nt, tid);
       for (std::size_t i = begin; i < end; ++i) {
-        ctx.begin(cur[i], iter);
-        prog.update(cur[i], ctx);
+        worklist.push(tid, cur[i], scheduling_priority(prog, cur[i]));
+      }
+      worklist.publish(tid);
+      if constexpr (WL::kShared) {
+        // Shared worklists: all pushes must be visible before anyone treats
+        // an empty scan as end-of-iteration.
+        barrier.arrive_and_wait(sense);
+      }
+
+      VertexId v;
+      while (worklist.try_pop(tid, v)) {
+        ctx.begin(v, iter);
+        prog.update(v, ctx);
         ++local_updates;
+        local_work += g.in_edges(v).size() + g.out_neighbors(v).size();
       }
 
       barrier.arrive_and_wait(sense);
@@ -70,16 +97,34 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
       }
       barrier.arrive_and_wait(sense);
     }
-    total_updates.fetch_add(local_updates, std::memory_order_relaxed);
+    per_updates[tid] = local_updates;  // exclusive slot; read after join
+    per_work[tid] = local_work;
   });
 
   EngineResult result;
   result.iterations = iterations;
-  result.updates = total_updates.load();
+  std::uint64_t total_updates = 0;
+  for (const std::uint64_t u : per_updates) total_updates += u;
+  result.updates = total_updates;
   result.converged = frontier.empty();
   result.seconds = timer.seconds();
   result.frontier_sizes = std::move(frontier_sizes);
+  result.per_thread_updates = std::move(per_updates);
+  result.per_thread_work = std::move(per_work);
+  const WorklistStats wl_stats = worklist.stats();
+  result.steals = wl_stats.steals;
+  result.steal_attempts = wl_stats.steal_attempts;
   return result;
+}
+
+template <VertexProgram Program, typename Policy>
+EngineResult run_nondet_sched(const Graph& g, Program& prog,
+                              EdgeDataArray<typename Program::EdgeData>& edges,
+                              Policy policy, const EngineOptions& opts) {
+  return dispatch_scheduler(opts.scheduler, [&](auto wl_tag) {
+    using WL = typename decltype(wl_tag)::type;
+    return run_nondet_impl<Program, Policy, WL>(g, prog, edges, policy, opts);
+  });
 }
 
 }  // namespace detail
@@ -93,12 +138,13 @@ EngineResult run_nondeterministic_with_policy(
     const Graph& g, Program& prog,
     EdgeDataArray<typename Program::EdgeData>& edges, Policy policy,
     const EngineOptions& opts) {
-  return detail::run_nondet_impl(g, prog, edges, policy, opts);
+  return detail::run_nondet_sched(g, prog, edges, policy, opts);
 }
 
 /// Runs the nondeterministic engine with the atomicity method selected in
-/// opts.mode. The per-edge lock table for AtomicityMode::kLocked lives only
-/// for the duration of the run, as in the paper's patched GraphChi.
+/// opts.mode and the schedule selected in opts.scheduler. The per-edge lock
+/// table for AtomicityMode::kLocked lives only for the duration of the run,
+/// as in the paper's patched GraphChi.
 template <VertexProgram Program>
 EngineResult run_nondeterministic(const Graph& g, Program& prog,
                                   EdgeDataArray<typename Program::EdgeData>& edges,
@@ -106,14 +152,16 @@ EngineResult run_nondeterministic(const Graph& g, Program& prog,
   switch (opts.mode) {
     case AtomicityMode::kLocked: {
       EdgeLockTable locks(edges.size());
-      return detail::run_nondet_impl(g, prog, edges, LockedAccess{&locks}, opts);
+      return detail::run_nondet_sched(g, prog, edges, LockedAccess{&locks},
+                                      opts);
     }
     case AtomicityMode::kAligned:
-      return detail::run_nondet_impl(g, prog, edges, AlignedAccess{}, opts);
+      return detail::run_nondet_sched(g, prog, edges, AlignedAccess{}, opts);
     case AtomicityMode::kRelaxed:
-      return detail::run_nondet_impl(g, prog, edges, RelaxedAtomicAccess{}, opts);
+      return detail::run_nondet_sched(g, prog, edges, RelaxedAtomicAccess{},
+                                      opts);
     case AtomicityMode::kSeqCst:
-      return detail::run_nondet_impl(g, prog, edges, SeqCstAccess{}, opts);
+      return detail::run_nondet_sched(g, prog, edges, SeqCstAccess{}, opts);
   }
   return {};
 }

@@ -1,0 +1,21 @@
+#include "engine/options.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ndg {
+
+double EngineResult::load_imbalance() const {
+  const std::vector<std::uint64_t>& counts =
+      !per_thread_work.empty() ? per_thread_work : per_thread_updates;
+  if (counts.empty()) return 1.0;
+  const std::uint64_t max = *std::max_element(counts.begin(), counts.end());
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace ndg

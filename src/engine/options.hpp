@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "atomics/access_policy.hpp"
+#include "sched/scheduler_kind.hpp"
 
 namespace ndg {
 
@@ -16,6 +17,13 @@ struct EngineOptions {
   std::size_t max_iterations = 100000;
   /// Atomicity method for the nondeterministic engine (Section III).
   AtomicityMode mode = AtomicityMode::kRelaxed;
+  /// How updates are dispatched over threads (docs/SCHEDULERS.md). The
+  /// default reproduces the paper's Fig. 1 static-block dispatch.
+  SchedulerKind scheduler = SchedulerKind::kStaticBlock;
+  /// Chunk size for SchedulerKind::kStealing (items per steal unit).
+  std::size_t scheduler_chunk = 32;
+  /// Bucket count for SchedulerKind::kBucket.
+  std::size_t scheduler_buckets = 64;
 };
 
 /// Potential-conflict counts observed by the ConflictTracer (lower bounds —
@@ -43,6 +51,22 @@ struct EngineResult {
   /// |S_n| for every executed iteration — the convergence curve. One entry
   /// per iteration; cheap enough to record unconditionally.
   std::vector<std::uint32_t> frontier_sizes;
+  /// Update invocations per thread (empty for sequential engines). Sums to
+  /// `updates` for engines that run the whole algorithm on one team.
+  std::vector<std::uint64_t> per_thread_updates;
+  /// Degree-weighted work per thread: each update of v counts
+  /// in_degree(v) + out_degree(v) edge touches. Update *counts* are equalised
+  /// by construction under static blocks, so load imbalance on skewed graphs
+  /// only shows up in this weighted view.
+  std::vector<std::uint64_t> per_thread_work;
+  /// Worklist telemetry (nonzero only under SchedulerKind::kStealing).
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+
+  /// Load-imbalance summary: max/mean over per_thread_work (falling back to
+  /// per_thread_updates when no work counts were recorded). 1.0 = perfectly
+  /// balanced; 1.0 is also returned when nothing was recorded at all.
+  [[nodiscard]] double load_imbalance() const;
 };
 
 }  // namespace ndg

@@ -24,6 +24,7 @@
 // equals some fixed sequential schedule independent of thread count.
 
 #include <atomic>
+#include <optional>
 
 #include "atomics/access_policy.hpp"
 #include "engine/options.hpp"
@@ -61,11 +62,18 @@ PswResult run_psw_deterministic(const Graph& g, Program& prog,
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
   PswResult result;
+  result.per_thread_updates.assign(nt, 0);
 
   // Per-iteration scratch: the active vertices of one interval, split into
   // the conflict-free batch and the dependent (sequential) remainder.
   std::vector<VertexId> par_batch;
   std::vector<VertexId> seq_batch;
+
+  // One persistent team for every parallel batch of the run: the batches sit
+  // inside the interval × iteration loops, where re-spawning std::threads per
+  // batch dwarfed the batch itself.
+  std::optional<ThreadTeam> team;
+  if (nt > 1) team.emplace(nt);
 
   // Worker contexts for the parallel batch; plain access is safe there.
   using Ctx = UpdateContext<typename Program::EdgeData, AlignedAccess>;
@@ -87,19 +95,21 @@ PswResult run_psw_deterministic(const Graph& g, Program& prog,
 
       if (par_batch.size() > 1 && nt > 1) {
         parallel_for_blocks(
-            par_batch.size(), nt,
-            [&](std::size_t begin, std::size_t end, std::size_t) {
+            par_batch.size(), *team,
+            [&](std::size_t begin, std::size_t end, std::size_t tid) {
               Ctx ctx(g, edges, AlignedAccess{}, frontier);
               for (std::size_t i = begin; i < end; ++i) {
                 ctx.begin(par_batch[i], result.iterations);
                 prog.update(par_batch[i], ctx);
               }
+              result.per_thread_updates[tid] += end - begin;  // exclusive slot
             });
       } else {
         for (const VertexId v : par_batch) {
           seq_ctx.begin(v, result.iterations);
           prog.update(v, seq_ctx);
         }
+        result.per_thread_updates[0] += par_batch.size();
       }
       result.parallel_updates += par_batch.size();
 
@@ -107,6 +117,7 @@ PswResult run_psw_deterministic(const Graph& g, Program& prog,
         seq_ctx.begin(v, result.iterations);
         prog.update(v, seq_ctx);
       }
+      result.per_thread_updates[0] += seq_batch.size();
       result.sequential_updates += seq_batch.size();
     }
 

@@ -3,11 +3,20 @@
 // work: "extending the applicability of results in this paper to more
 // scenarios, such as pure asynchronous model").
 //
-// Threads continuously sweep a shared active set, claim vertices, and run
-// their updates; scheduling re-activates vertices immediately (there is no
-// "next iteration" — the iteration structure of Section II dissolves). The
-// engine terminates at global quiescence: no vertex active and no update in
-// flight, tracked by a single pending counter
+// Threads claim active vertices and run their updates; scheduling
+// re-activates vertices immediately (there is no "next iteration" — the
+// iteration structure of Section II dissolves). How a thread finds its next
+// vertex is the pluggable part (opts.scheduler, docs/SCHEDULERS.md):
+//
+//   kStaticBlock — the original behaviour: continuously sweep the shared
+//                  active bitset, each thread starting at its static block;
+//   kStealing    — activations are pushed to the activating thread's local
+//                  queue and rebalanced by randomized chunk stealing;
+//   kBucket      — activations carry a program priority and threads drain
+//                  the lowest non-empty bucket (delta-stepping style).
+//
+// The engine terminates at global quiescence: no vertex active and no update
+// in flight, tracked by a single pending counter
 //
 //     pending = |active set| + updates in flight,
 //
@@ -15,18 +24,28 @@
 // update finishes. The visibility edge "write the edge, then schedule the
 // endpoint" is a release/acquire pair on the active-set bit (see
 // AtomicBitset::set/clear_bit), so a claimed update always observes the
-// write that scheduled it — the minimum needed for liveness; everything
-// else is exactly as racy as the barriered nondeterministic engine.
+// write that scheduled it.
+//
+// A second per-vertex bit (`running`) makes claimed updates EXCLUSIVE: if
+// f(v) is still executing when a fresh activation of v is claimed, the
+// claimer re-activates v and moves on instead of running f(v) concurrently
+// with itself. Updates of the same vertex are therefore serialized (with
+// acquire/release pairing on the running bit), so per-vertex program state
+// needs no atomics — only the *edge* accesses stay as racy as the atomicity
+// policy allows, exactly the racy surface the paper studies. This is also
+// what lets the scheduler subsystem run under ThreadSanitizer.
 //
 // GRACE (CIDR'13, the paper's ref. [13]) showed the barriered implementation
 // has "comparable runtime to those of pure asynchronous model"; this engine
 // makes that claim checkable (bench/ablation_pure_async).
 
 #include <atomic>
+#include <thread>
 
 #include "atomics/access_policy.hpp"
 #include "engine/observer.hpp"
 #include "engine/options.hpp"
+#include "engine/scheduler_dispatch.hpp"
 #include "engine/vertex_program.hpp"
 #include "util/bitset.hpp"
 #include "util/thread_team.hpp"
@@ -36,17 +55,32 @@ namespace ndg {
 
 namespace detail {
 
-/// Scheduling surface shared by the async workers.
+/// Scheduling surface shared by the async workers: the active/running bits
+/// and the quiescence counter. Queue-driven schedulers layer a worklist on
+/// top (AsyncWorklistView below).
 class AsyncActiveSet {
  public:
-  explicit AsyncActiveSet(VertexId num_vertices) : bits_(num_vertices) {}
+  explicit AsyncActiveSet(VertexId num_vertices)
+      : bits_(num_vertices), running_(num_vertices) {}
 
-  void schedule(VertexId v) {
-    if (bits_.set(v)) pending_.fetch_add(1, std::memory_order_acq_rel);
+  /// Activates v; returns true on the 0->1 transition (the caller of a
+  /// queue-driven engine must then enqueue v exactly once).
+  bool try_activate(VertexId v) {
+    if (!bits_.set(v)) return false;
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
   }
+
+  void schedule(VertexId v) { (void)try_activate(v); }
 
   /// Claims v if active; the claimer must call finished() after the update.
   bool claim(VertexId v) { return bits_.clear_bit(v); }
+
+  /// Exclusivity lock around f(v): begin_update's 0->1 win acquires, and
+  /// end_update releases, so consecutive updates of v are ordered even
+  /// when run by different threads.
+  bool begin_update(VertexId v) { return running_.set(v); }
+  void end_update(VertexId v) { running_.clear_bit(v); }
 
   void finished() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
 
@@ -58,20 +92,54 @@ class AsyncActiveSet {
 
  private:
   AtomicBitset bits_;
+  AtomicBitset running_;  // v's update is in flight
   std::atomic<std::uint64_t> pending_{0};
 };
 
+/// Scheduler view for the sweep engine: activations only touch the bitset.
+class AsyncSweepView {
+ public:
+  explicit AsyncSweepView(AsyncActiveSet& active) : active_(&active) {}
+  void schedule(VertexId v) { active_->schedule(v); }
+
+ private:
+  AsyncActiveSet* active_;
+};
+
+/// Scheduler view for the queue-driven engines: one instance per worker
+/// thread; a won activation is pushed to this thread's queue with the
+/// program's current priority.
+template <Worklist WL, typename Program>
+class AsyncWorklistView {
+ public:
+  AsyncWorklistView(AsyncActiveSet& active, WL& wl, const Program& prog,
+                    std::size_t tid)
+      : active_(&active), wl_(&wl), prog_(&prog), tid_(tid) {}
+
+  void schedule(VertexId v) {
+    if (active_->try_activate(v)) {
+      wl_->push(tid_, v, scheduling_priority(*prog_, v));
+    }
+  }
+
+ private:
+  AsyncActiveSet* active_;
+  WL* wl_;
+  const Program* prog_;
+  std::size_t tid_;
+};
+
 /// Update context for the pure-async engine: same verbs as UpdateContext but
-/// scheduling goes to the live active set (no iteration numbers exist; the
-/// reported iteration is the executing thread's sweep count).
-template <EdgePod ED, typename Policy>
+/// scheduling goes to the live scheduler view (no iteration numbers exist;
+/// the reported iteration is the executing thread's sweep count).
+template <EdgePod ED, typename Policy, typename Sched>
 class AsyncContext {
  public:
   using EdgeData = ED;
 
   AsyncContext(const Graph& g, EdgeDataArray<ED>& edges, Policy policy,
-               AsyncActiveSet& active)
-      : g_(&g), edges_(&edges), policy_(policy), active_(&active) {}
+               Sched sched)
+      : g_(&g), edges_(&edges), policy_(policy), sched_(sched) {}
 
   void begin(VertexId v, std::size_t sweep) {
     v_ = v;
@@ -96,7 +164,7 @@ class AsyncContext {
 
   void write(EdgeId e, VertexId other_endpoint, ED value) {
     policy_.write(*edges_, e, value);
-    active_->schedule(other_endpoint);
+    sched_.schedule(other_endpoint);
   }
 
   void write_silent(EdgeId e, ED value) { policy_.write(*edges_, e, value); }
@@ -108,81 +176,212 @@ class AsyncContext {
   template <typename Fn>
   void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
     policy_.accumulate(*edges_, e, fn);
-    active_->schedule(other_endpoint);
+    sched_.schedule(other_endpoint);
   }
 
-  void schedule(VertexId u) { active_->schedule(u); }
+  void schedule(VertexId u) { sched_.schedule(u); }
 
  private:
   const Graph* g_;
   EdgeDataArray<ED>* edges_;
   Policy policy_;
-  AsyncActiveSet* active_;
+  Sched sched_;
   VertexId v_ = kInvalidVertex;
   std::uint32_t sweep_ = 0;
 };
 
+/// Work accounting shared by both async loop shapes.
+struct AsyncWorkerTotals {
+  std::uint64_t updates = 0;
+  std::uint64_t work = 0;
+  std::uint64_t sweeps = 0;
+};
+
+/// The original sweep engine (SchedulerKind::kStaticBlock): threads
+/// continuously sweep the shared active set, starting at their static block
+/// so they spread out instead of contending on the same low labels.
 template <VertexProgram Program, typename Policy>
-EngineResult run_pure_async_impl(const Graph& g, Program& prog,
-                                 EdgeDataArray<typename Program::EdgeData>& edges,
-                                 Policy policy, const EngineOptions& opts) {
+EngineResult run_async_sweep(const Graph& g, Program& prog,
+                             EdgeDataArray<typename Program::EdgeData>& edges,
+                             Policy policy, const EngineOptions& opts) {
   Timer timer;
   AsyncActiveSet active(g.num_vertices());
   for (const VertexId v : prog.initial_frontier(g)) active.schedule(v);
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
-  std::atomic<std::uint64_t> total_updates{0};
-  std::atomic<std::uint64_t> total_sweeps{0};
+  std::vector<AsyncWorkerTotals> totals(nt);
   // Update cap standing in for max_iterations: |V| * max_iterations matches
   // the barriered engines' worst-case work budget.
   const std::uint64_t update_cap =
       static_cast<std::uint64_t>(opts.max_iterations) *
       std::max<std::uint64_t>(1, g.num_vertices());
+  std::atomic<std::uint64_t> global_updates{0};
   std::atomic<bool> capped{false};
 
   run_team(nt, [&](std::size_t tid) {
-    AsyncContext<typename Program::EdgeData, Policy> ctx(g, edges, policy,
-                                                         active);
-    std::uint64_t local_updates = 0;
-    std::size_t sweep = 0;
+    AsyncContext<typename Program::EdgeData, Policy, AsyncSweepView> ctx(
+        g, edges, policy, AsyncSweepView(active));
+    AsyncWorkerTotals& t = totals[tid];  // exclusive slot; read after join
     const VertexId n = g.num_vertices();
     const VertexId start =
         static_cast<VertexId>(static_block(n, nt, tid).begin);
 
     while (!active.quiescent() && !capped.load(std::memory_order_relaxed)) {
-      // Sweep the whole vertex range starting at this thread's block, so
-      // threads spread out instead of contending on the same low labels.
       for (VertexId i = 0; i < n; ++i) {
         const VertexId v = static_cast<VertexId>((start + i) % n);
         if (!active.maybe_active(v)) continue;
         if (!active.claim(v)) continue;
-        ctx.begin(v, sweep);
+        if (!active.begin_update(v)) {
+          // f(v) is mid-flight on another thread: hand the activation back
+          // and keep sweeping; the next sweep will retry it.
+          active.schedule(v);
+          active.finished();
+          continue;
+        }
+        ctx.begin(v, t.sweeps);
         prog.update(v, ctx);
+        active.end_update(v);
         active.finished();
-        if (++local_updates % 4096 == 0 &&
-            total_updates.load(std::memory_order_relaxed) + local_updates >
+        ++t.updates;
+        t.work += g.in_edges(v).size() + g.out_neighbors(v).size();
+        if (t.updates % 4096 == 0 &&
+            global_updates.fetch_add(4096, std::memory_order_relaxed) + 4096 >
                 update_cap) {
           capped.store(true, std::memory_order_relaxed);
           break;
         }
       }
-      ++sweep;
+      ++t.sweeps;
     }
-    total_updates.fetch_add(local_updates, std::memory_order_relaxed);
-    total_sweeps.fetch_add(sweep, std::memory_order_relaxed);
   });
 
   EngineResult result;
-  result.iterations = total_sweeps.load() / nt;  // mean sweeps per thread
-  result.updates = total_updates.load();
   result.converged = active.quiescent() && !capped.load();
   result.seconds = timer.seconds();
+  result.per_thread_updates.reserve(nt);
+  result.per_thread_work.reserve(nt);
+  std::uint64_t sweeps = 0;
+  for (const AsyncWorkerTotals& t : totals) {
+    result.per_thread_updates.push_back(t.updates);
+    result.per_thread_work.push_back(t.work);
+    result.updates += t.updates;
+    sweeps += t.sweeps;
+  }
+  result.iterations = sweeps / nt;  // mean sweeps per thread
   return result;
+}
+
+/// Queue-driven pure-async execution (kStealing / kBucket): activations are
+/// pushed to a concurrent worklist by the thread that wins them; workers pop
+/// (or steal) until quiescence.
+template <VertexProgram Program, typename Policy, Worklist WL>
+EngineResult run_async_worklist(const Graph& g, Program& prog,
+                                EdgeDataArray<typename Program::EdgeData>& edges,
+                                Policy policy, const EngineOptions& opts) {
+  Timer timer;
+  AsyncActiveSet active(g.num_vertices());
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+  WL worklist = make_worklist<WL>(nt, opts);
+
+  {
+    // Seed round-robin across the queues (visible to workers via spawn).
+    std::size_t i = 0;
+    for (const VertexId v : prog.initial_frontier(g)) {
+      if (active.try_activate(v)) {
+        worklist.push(i % nt, v, scheduling_priority(prog, v));
+        ++i;
+      }
+    }
+    for (std::size_t t = 0; t < nt; ++t) worklist.publish(t);
+  }
+
+  std::vector<AsyncWorkerTotals> totals(nt);
+  const std::uint64_t update_cap =
+      static_cast<std::uint64_t>(opts.max_iterations) *
+      std::max<std::uint64_t>(1, g.num_vertices());
+  std::atomic<std::uint64_t> global_updates{0};
+  std::atomic<bool> capped{false};
+
+  run_team(nt, [&](std::size_t tid) {
+    using View = AsyncWorklistView<WL, Program>;
+    View view(active, worklist, prog, tid);
+    AsyncContext<typename Program::EdgeData, Policy, View> ctx(g, edges,
+                                                               policy, view);
+    AsyncWorkerTotals& t = totals[tid];
+
+    while (!active.quiescent() && !capped.load(std::memory_order_relaxed)) {
+      VertexId v;
+      if (!worklist.try_pop(tid, v)) {
+        // Nothing reachable: another thread holds the remaining work (or is
+        // mid-update and about to produce some). Keep the open chunk from
+        // going stale, then back off.
+        worklist.publish(tid);
+        std::this_thread::yield();
+        continue;
+      }
+      // Every queue entry corresponds to exactly one won activation, and
+      // entries for a vertex are serialized by the active bit, so the claim
+      // cannot fail.
+      const bool claimed = active.claim(v);
+      NDG_ASSERT(claimed);
+      if (!active.begin_update(v)) {
+        // f(v) still in flight elsewhere: requeue the activation.
+        view.schedule(v);
+        active.finished();
+        continue;
+      }
+      ctx.begin(v, 0);
+      prog.update(v, ctx);
+      active.end_update(v);
+      active.finished();
+      ++t.updates;
+      t.work += g.in_edges(v).size() + g.out_neighbors(v).size();
+      if (t.updates % 4096 == 0 &&
+          global_updates.fetch_add(4096, std::memory_order_relaxed) + 4096 >
+              update_cap) {
+        capped.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EngineResult result;
+  result.converged = active.quiescent() && !capped.load();
+  result.seconds = timer.seconds();
+  for (const AsyncWorkerTotals& t : totals) {
+    result.per_thread_updates.push_back(t.updates);
+    result.per_thread_work.push_back(t.work);
+    result.updates += t.updates;
+  }
+  // No sweeps exist here; report "equivalent full passes" for comparability.
+  result.iterations = static_cast<std::size_t>(
+      result.updates / std::max<std::uint64_t>(1, g.num_vertices()));
+  const WorklistStats wl_stats = worklist.stats();
+  result.steals = wl_stats.steals;
+  result.steal_attempts = wl_stats.steal_attempts;
+  return result;
+}
+
+template <VertexProgram Program, typename Policy>
+EngineResult run_pure_async_impl(const Graph& g, Program& prog,
+                                 EdgeDataArray<typename Program::EdgeData>& edges,
+                                 Policy policy, const EngineOptions& opts) {
+  switch (opts.scheduler) {
+    case SchedulerKind::kStealing:
+      return run_async_worklist<Program, Policy, StealingWorklist>(
+          g, prog, edges, policy, opts);
+    case SchedulerKind::kBucket:
+      return run_async_worklist<Program, Policy, BucketWorklist>(
+          g, prog, edges, policy, opts);
+    case SchedulerKind::kStaticBlock:
+      break;
+  }
+  return run_async_sweep(g, prog, edges, policy, opts);
 }
 
 }  // namespace detail
 
-/// Pure asynchronous execution with the atomicity method from opts.mode.
+/// Pure asynchronous execution with the atomicity method from opts.mode and
+/// the schedule from opts.scheduler.
 template <VertexProgram Program>
 EngineResult run_pure_async(const Graph& g, Program& prog,
                             EdgeDataArray<typename Program::EdgeData>& edges,

@@ -1,0 +1,44 @@
+#pragma once
+// Resolves the runtime SchedulerKind in EngineOptions to a concrete Worklist
+// type once per engine run — the same enum-to-template trick the engines use
+// for AtomicityMode, so the dispatch loop pays no per-item indirection.
+
+#include <type_traits>
+#include <utility>
+
+#include "engine/options.hpp"
+#include "sched/bucket.hpp"
+#include "sched/static_block.hpp"
+#include "sched/stealing.hpp"
+#include "sched/worklist.hpp"
+
+namespace ndg::detail {
+
+/// Constructs WL with the tuning knobs it understands from opts.
+template <Worklist WL>
+WL make_worklist(std::size_t num_threads, const EngineOptions& opts) {
+  if constexpr (std::is_same_v<WL, StealingWorklist>) {
+    return WL(num_threads, opts.scheduler_chunk);
+  } else if constexpr (std::is_same_v<WL, BucketWorklist>) {
+    return WL(num_threads, opts.scheduler_buckets);
+  } else {
+    (void)opts;
+    return WL(num_threads);
+  }
+}
+
+/// Calls fn(std::type_identity<WL>{}) for the worklist type matching `kind`.
+template <typename Fn>
+auto dispatch_scheduler(SchedulerKind kind, Fn&& fn) {
+  switch (kind) {
+    case SchedulerKind::kStealing:
+      return fn(std::type_identity<StealingWorklist>{});
+    case SchedulerKind::kBucket:
+      return fn(std::type_identity<BucketWorklist>{});
+    case SchedulerKind::kStaticBlock:
+      break;
+  }
+  return fn(std::type_identity<StaticBlockWorklist>{});
+}
+
+}  // namespace ndg::detail

@@ -12,6 +12,7 @@
 // from the same AtomicityMode enum as the in-memory engines.
 
 #include <atomic>
+#include <optional>
 
 #include "atomics/access_policy.hpp"
 #include "atomics/lock_table.hpp"
@@ -157,8 +158,14 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
   frontier.seed(prog.initial_frontier(g));
 
   OocResult result;
+  result.per_thread_updates.assign(nt, 0);
   std::vector<std::vector<std::uint64_t>> windows(shards);
   std::atomic<std::uint64_t> updates{0};
+
+  // One persistent team for all per-interval dispatches of the run (the
+  // dispatch sits inside the interval × iteration loops).
+  std::optional<ThreadTeam> team;
+  if (nt > 1) team.emplace(nt);
 
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
     const auto& cur = frontier.current();
@@ -187,19 +194,24 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
       // The paper's NE: the interval's scheduled updates race across all
       // threads (static blocks, small-label-first within each thread).
       const std::size_t count = pos - first;
-      parallel_for_blocks(count, nt,
-                          [&](std::size_t b, std::size_t e, std::size_t) {
-                            OocNeContext<typename Program::EdgeData, Access>
-                                ctx(g, view, frontier, access);
-                            std::uint64_t local = 0;
-                            for (std::size_t k = b; k < e; ++k) {
-                              ctx.begin(cur[first + k], result.iterations);
-                              prog.update(cur[first + k], ctx);
-                              ++local;
-                            }
-                            updates.fetch_add(local,
-                                              std::memory_order_relaxed);
-                          });
+      const auto run_block = [&](std::size_t b, std::size_t e,
+                                 std::size_t tid) {
+        OocNeContext<typename Program::EdgeData, Access> ctx(g, view, frontier,
+                                                             access);
+        std::uint64_t local = 0;
+        for (std::size_t k = b; k < e; ++k) {
+          ctx.begin(cur[first + k], result.iterations);
+          prog.update(cur[first + k], ctx);
+          ++local;
+        }
+        result.per_thread_updates[tid] += local;  // exclusive slot
+        updates.fetch_add(local, std::memory_order_relaxed);
+      };
+      if (nt > 1) {
+        parallel_for_blocks(count, *team, run_block);
+      } else {
+        run_block(0, count, 0);
+      }
 
       store.store_shard(i, memory_shard);
       result.bytes_written += memory_shard.size() * sizeof(std::uint64_t);

@@ -1,0 +1,145 @@
+#pragma once
+// BucketWorklist — delta-stepping-style priority scheduling (Meyer & Sanders'
+// Δ-stepping; OBIM in Galois; the delayed-priority schedules of Blanco et
+// al.). Items carry a program-supplied bucket key (lower = sooner, see
+// scheduling_priority() in worklist.hpp); keys at or beyond num_buckets
+// collapse into the last bucket. Threads always pop from the lowest
+// non-empty bucket they can find, so execution follows a best-effort global
+// priority order — generalising the paper's small-label-first intra-thread
+// order from "ascending label" to "ascending program priority" — without any
+// per-bucket barrier. Within a bucket items are unordered (threads grab small
+// batches under the bucket's mutex to amortise locking).
+//
+// A relaxed atomic low-water-mark (`floor_`) remembers the lowest bucket
+// that might be non-empty: pushes fetch-min it, pops start scanning there.
+// It is a hint, not a guarantee — pops rescan forward when a bucket turns
+// out empty — so stale values cost a few loads, never an item.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sched/worklist.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+class BucketWorklist {
+ public:
+  static constexpr bool kShared = true;
+  static constexpr std::size_t kDefaultBuckets = 64;
+  static constexpr std::size_t kBatch = 16;
+
+  explicit BucketWorklist(std::size_t num_threads,
+                          std::size_t num_buckets = kDefaultBuckets)
+      : buckets_(num_buckets == 0 ? 1 : num_buckets), locals_(num_threads) {
+    NDG_ASSERT(num_threads >= 1);
+    for (auto& b : buckets_) b = std::make_unique<Bucket>();
+    floor_.store(buckets_.size(), std::memory_order_relaxed);
+  }
+
+  void push(std::size_t tid, VertexId v, std::uint64_t prio) {
+    const std::size_t b =
+        static_cast<std::size_t>(std::min<std::uint64_t>(prio, buckets_.size() - 1));
+    {
+      const std::lock_guard<std::mutex> lock(buckets_[b]->mu);
+      buckets_[b]->items.push_back(v);
+    }
+    // fetch-min on the low-water-mark.
+    std::size_t cur = floor_.load(std::memory_order_relaxed);
+    while (b < cur &&
+           !floor_.compare_exchange_weak(cur, b, std::memory_order_relaxed)) {
+    }
+    ++locals_[tid].pushes;
+  }
+
+  void publish(std::size_t /*tid*/) {}
+
+  bool try_pop(std::size_t tid, VertexId& out) {
+    Local& l = locals_[tid];
+    if (!l.batch.empty()) {
+      out = l.batch.back();
+      l.batch.pop_back();
+      ++l.pops;
+      return true;
+    }
+    const std::size_t start =
+        std::min(floor_.load(std::memory_order_relaxed), buckets_.size());
+    for (std::size_t b = start; b < buckets_.size(); ++b) {
+      if (!grab_batch(l, b)) continue;
+      // Advance the hint past the buckets we just saw empty. CAS against the
+      // value we started from: if a concurrent push lowered it, keep theirs.
+      std::size_t expected = start;
+      if (b > start) floor_.compare_exchange_strong(expected, b,
+                                                    std::memory_order_relaxed);
+      out = l.batch.back();
+      l.batch.pop_back();
+      ++l.pops;
+      return true;
+    }
+    // The hint is only a hint: a push into bucket < start may have raced with
+    // a concurrent pop's CAS advance, leaving floor_ above a non-empty
+    // bucket. Verify emptiness with a full scan before reporting false, and
+    // re-lower the hint when the scan finds stranded work.
+    for (std::size_t b = 0; b < start; ++b) {
+      if (!grab_batch(l, b)) continue;
+      std::size_t cur = floor_.load(std::memory_order_relaxed);
+      while (b < cur && !floor_.compare_exchange_weak(
+                            cur, b, std::memory_order_relaxed)) {
+      }
+      out = l.batch.back();
+      l.batch.pop_back();
+      ++l.pops;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] WorklistStats stats() const {
+    WorklistStats s;
+    for (const Local& l : locals_) {
+      s.pushes += l.pushes;
+      s.pops += l.pops;
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    std::mutex mu;
+    std::vector<VertexId> items;
+  };
+
+  struct alignas(64) Local {
+    std::vector<VertexId> batch;  // owner-only staging from the last grab
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+  };
+
+  /// Moves up to kBatch items from bucket b into l.batch; false if empty.
+  bool grab_batch(Local& l, std::size_t b) {
+    Bucket& bucket = *buckets_[b];
+    const std::lock_guard<std::mutex> lock(bucket.mu);
+    if (bucket.items.empty()) return false;
+    const std::size_t take = std::min(kBatch, bucket.items.size());
+    l.batch.assign(bucket.items.end() - static_cast<std::ptrdiff_t>(take),
+                   bucket.items.end());
+    bucket.items.resize(bucket.items.size() - take);
+    return true;
+  }
+
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+  std::vector<Local> locals_;
+  std::atomic<std::size_t> floor_;
+};
+
+static_assert(Worklist<BucketWorklist>);
+
+}  // namespace ndg

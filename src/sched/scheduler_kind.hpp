@@ -1,0 +1,27 @@
+#pragma once
+// Runtime selector for the worklist/scheduler subsystem (see
+// docs/SCHEDULERS.md). Kept in its own tiny header so EngineOptions can name
+// the enum without pulling in the worklist implementations.
+
+#include <optional>
+#include <string>
+
+namespace ndg {
+
+/// How an engine dispatches the chosen updates S_n over its P threads — the
+/// per-iteration schedule π(v) that parameterises the paper's Section II
+/// model. kStaticBlock reproduces the paper's Fig. 1 dispatch exactly; the
+/// other kinds explore the schedule space the analysis leaves open.
+enum class SchedulerKind {
+  kStaticBlock,  // contiguous blocks, small-label-first within a thread
+  kStealing,     // chunked per-thread deques with randomized work stealing
+  kBucket,       // delta-stepping-style priority buckets (program-keyed)
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+
+/// Parses the CLI spelling ("static" | "stealing" | "bucket").
+[[nodiscard]] std::optional<SchedulerKind> parse_scheduler(
+    const std::string& name);
+
+}  // namespace ndg

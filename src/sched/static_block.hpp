@@ -1,0 +1,78 @@
+#pragma once
+// StaticBlockWorklist — the paper's Fig. 1 dispatch ("the static scheduling
+// by the OpenMP runtime system") extracted as the baseline Worklist: each
+// thread owns exactly the items it pushed, FIFO, so when the engines refill
+// by static block over the ascending frontier list the pop order is
+// bit-identical to the pre-subsystem engines (contiguous block per thread,
+// small-label-first within the thread).
+//
+// Nothing is shared: pushes and pops touch only per-thread state, there is
+// no balancing, and a thread that drains its own queue is done — precisely
+// the load-imbalance failure mode on skewed graphs that StealingWorklist
+// exists to fix (bench/ablation_schedulers).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/worklist.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+class StaticBlockWorklist {
+ public:
+  static constexpr bool kShared = false;
+
+  explicit StaticBlockWorklist(std::size_t num_threads)
+      : locals_(num_threads) {
+    NDG_ASSERT(num_threads >= 1);
+  }
+
+  void push(std::size_t tid, VertexId v, std::uint64_t /*prio*/ = 0) {
+    Local& l = locals_[tid];
+    l.items.push_back(v);
+    ++l.pushes;
+  }
+
+  void publish(std::size_t /*tid*/) {}
+
+  /// Pops in push order. Returning false resets the thread's queue so the
+  /// engines can refill it on the next iteration without an explicit clear.
+  bool try_pop(std::size_t tid, VertexId& out) {
+    Local& l = locals_[tid];
+    if (l.pos == l.items.size()) {
+      l.items.clear();
+      l.pos = 0;
+      return false;
+    }
+    out = l.items[l.pos++];
+    ++l.pops;
+    return true;
+  }
+
+  [[nodiscard]] WorklistStats stats() const {
+    WorklistStats s;
+    for (const Local& l : locals_) {
+      s.pushes += l.pushes;
+      s.pops += l.pops;
+    }
+    return s;
+  }
+
+ private:
+  struct alignas(64) Local {  // own cache line: threads write side by side
+    std::vector<VertexId> items;
+    std::size_t pos = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+  };
+
+  std::vector<Local> locals_;
+};
+
+static_assert(Worklist<StaticBlockWorklist>);
+
+}  // namespace ndg

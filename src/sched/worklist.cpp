@@ -1,0 +1,24 @@
+#include "sched/scheduler_kind.hpp"
+
+namespace ndg {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kStaticBlock:
+      return "static";
+    case SchedulerKind::kStealing:
+      return "stealing";
+    case SchedulerKind::kBucket:
+      return "bucket";
+  }
+  return "?";
+}
+
+std::optional<SchedulerKind> parse_scheduler(const std::string& name) {
+  if (name == "static") return SchedulerKind::kStaticBlock;
+  if (name == "stealing") return SchedulerKind::kStealing;
+  if (name == "bucket") return SchedulerKind::kBucket;
+  return std::nullopt;
+}
+
+}  // namespace ndg

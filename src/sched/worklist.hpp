@@ -1,0 +1,86 @@
+#pragma once
+// The Worklist concept: the pluggable per-iteration schedule π(v) shared by
+// the multi-threaded engines. A worklist distributes work items (vertex ids)
+// across a fixed team of T threads:
+//
+//   push(tid, v, prio)  — thread `tid` submits v (prio is a bucket key,
+//                         lower = sooner; non-priority worklists ignore it);
+//   publish(tid)        — makes tid's buffered pushes visible to other
+//                         threads (no-op for unshared worklists);
+//   try_pop(tid, out)   — thread `tid` takes its next item. Returns false
+//                         when no work is *reachable* for this thread; for
+//                         shared worklists other threads may still hold
+//                         in-flight items, so engines with concurrent
+//                         producers must re-check their own termination
+//                         condition (e.g. the pure-async pending counter)
+//                         rather than treating false as global emptiness.
+//   stats()             — push/pop/steal telemetry aggregated over threads.
+//
+// Invariant every implementation guarantees (and the stress tests assert):
+// each pushed item is popped exactly once, by some thread. The worklists are
+// internally race-free — unlike the engines' edge-data accesses, which stay
+// exactly as racy as the atomicity policy allows — so they can run under
+// ThreadSanitizer (the NDG_TSAN build).
+//
+// Three production implementations:
+//   StaticBlockWorklist  (static_block.hpp) — the paper's Fig. 1 dispatch;
+//   StealingWorklist     (stealing.hpp)     — chunked randomized stealing;
+//   BucketWorklist       (bucket.hpp)       — delta-stepping-style priority
+//                                             buckets.
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "sched/scheduler_kind.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// Telemetry counters summed over all threads of a worklist. pops == pushes
+/// after a full drain (the exactly-once invariant); steals/steal_attempts are
+/// nonzero only for StealingWorklist.
+struct WorklistStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t steals = 0;          // chunks successfully taken from a victim
+  std::uint64_t steal_attempts = 0;  // victims probed (incl. successes)
+};
+
+template <typename W>
+concept Worklist = requires(W w, const W cw, std::size_t tid, VertexId v,
+                            std::uint64_t prio) {
+  /// True when pushes by one thread can be popped by another (and therefore
+  /// the engines must fence refill from drain).
+  { W::kShared } -> std::convertible_to<bool>;
+  { w.push(tid, v, prio) };
+  { w.publish(tid) };
+  { w.try_pop(tid, v) } -> std::same_as<bool>;
+  { cw.stats() } -> std::same_as<WorklistStats>;
+};
+
+/// Programs opt into priority scheduling by exposing
+///   std::uint64_t priority(VertexId) const;   // lower = scheduled sooner
+/// (e.g. SSSP's bucketised tentative distance, PageRank's residual class).
+/// The hook must be safe to call concurrently with updates of the same
+/// vertex — read any shared state through std::atomic_ref.
+template <typename P>
+concept HasSchedulingPriority = requires(const P p, VertexId v) {
+  { p.priority(v) } -> std::convertible_to<std::uint64_t>;
+};
+
+/// The bucket key the engines hand to Worklist::push: the program's declared
+/// priority, or 0 (single bucket, FIFO-ish) when it declares none.
+template <typename P>
+[[nodiscard]] std::uint64_t scheduling_priority(const P& prog, VertexId v) {
+  if constexpr (HasSchedulingPriority<P>) {
+    return prog.priority(v);
+  } else {
+    (void)prog;
+    (void)v;
+    return 0;
+  }
+}
+
+}  // namespace ndg

@@ -73,27 +73,32 @@ class AtomicBitset {
   [[nodiscard]] std::size_t size() const { return num_bits_; }
 
   /// Sets bit i; returns true if this call changed it from 0 to 1.
-  /// Release ordering: everything the setter wrote before scheduling a vertex
-  /// becomes visible to whoever claims the bit with clear_bit() — the
-  /// happens-before edge the pure-async engine relies on (barrier engines get
-  /// the same edge from their barriers and don't care).
+  /// Acq_rel ordering: the release half makes everything the setter wrote
+  /// before scheduling a vertex visible to whoever claims the bit with
+  /// clear_bit() — the happens-before edge the pure-async engine relies on
+  /// (barrier engines get the same edge from their barriers and don't care).
+  /// The acquire half lets a 0->1 winner act as a lock acquisition, which the
+  /// pure-async engine uses for its per-vertex running bit.
   bool set(std::size_t i) {
     NDG_ASSERT(i < num_bits_);
     const std::uint64_t mask = 1ULL << (i & 63);
     // fetch_or is idempotent under races: exactly one concurrent setter sees
     // the 0->1 transition, which lets callers count distinct activations.
     const std::uint64_t prev =
-        words_[i >> 6].fetch_or(mask, std::memory_order_release);
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
     return (prev & mask) == 0;
   }
 
   /// Clears bit i; returns true if this call changed it from 1 to 0 (i.e.
-  /// the caller won the claim). Acquire pairs with set()'s release.
+  /// the caller won the claim). Acq_rel: the acquire half pairs with set()'s
+  /// release (claim sees the scheduler's writes), the release half publishes
+  /// the claimer's writes to the next 0->1 winner (lock-release semantics for
+  /// the running bit).
   bool clear_bit(std::size_t i) {
     NDG_ASSERT(i < num_bits_);
     const std::uint64_t mask = 1ULL << (i & 63);
     const std::uint64_t prev =
-        words_[i >> 6].fetch_and(~mask, std::memory_order_acquire);
+        words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
     return (prev & mask) != 0;
   }
 

@@ -1,0 +1,53 @@
+#include "util/thread_team.hpp"
+
+namespace ndg {
+
+ThreadTeam::ThreadTeam(std::size_t num_threads) {
+  NDG_ASSERT(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this, t] { worker(t); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadTeam::run(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  NDG_ASSERT(remaining_ == 0);  // no overlapping runs
+  fn_ = &fn;
+  remaining_ = threads_.size();
+  ++epoch_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadTeam::worker(std::size_t tid) {
+  detail::tls_thread_id = tid;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = fn_;
+    }
+    (*fn)(tid);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace ndg
