@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON manifests and flag wall-time regressions.
+
+Usage:  bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+                      [--metric=ms] [--key=benchmark,config,threads]
+
+Both files must be TextTable::write_json manifests:
+    {"config": {...}, "rows": [{"benchmark": ..., "config": ..., "ms": ...}]}
+
+Rows are matched on the key columns (default: benchmark, config, threads).
+A row regresses when candidate/baseline - 1 > threshold on the metric
+(default: ms, lower is better). Exit status: 0 clean, 1 regressions found,
+2 usage/parse error. Rows present on only one side are reported but do not
+fail the diff (the bench grid may grow between revisions).
+
+Timings from the one-core CI runner are noisy; the default 10% threshold is
+meant to catch step-function regressions (an accidental O(log V) hot path,
+a lost representation switch), not percent-level drift.
+"""
+
+import json
+import sys
+
+
+def parse_args(argv):
+    opts = {"threshold": 0.10, "metric": "ms",
+            "key": ["benchmark", "config", "threads"]}
+    files = []
+    for arg in argv:
+        if arg.startswith("--threshold="):
+            opts["threshold"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("--metric="):
+            opts["metric"] = arg.split("=", 1)[1]
+        elif arg.startswith("--key="):
+            opts["key"] = [c for c in arg.split("=", 1)[1].split(",") if c]
+        elif arg.startswith("--"):
+            raise SystemExit(f"unknown flag: {arg}")
+        else:
+            files.append(arg)
+    if len(files) != 2:
+        raise SystemExit(__doc__)
+    return files[0], files[1], opts
+
+
+def load_rows(path, key_cols, metric):
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in manifest.get("rows", []):
+        if metric not in row:
+            continue
+        key = tuple(str(row.get(c, "")) for c in key_cols)
+        rows[key] = float(row[metric])
+    return rows
+
+
+def main(argv):
+    baseline_path, candidate_path, opts = parse_args(argv)
+    base = load_rows(baseline_path, opts["key"], opts["metric"])
+    cand = load_rows(candidate_path, opts["key"], opts["metric"])
+
+    regressions = []
+    improvements = []
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key], cand[key]
+        if b <= 0:
+            continue
+        delta = c / b - 1.0
+        label = "/".join(key)
+        if delta > opts["threshold"]:
+            regressions.append((label, b, c, delta))
+        elif delta < -opts["threshold"]:
+            improvements.append((label, b, c, delta))
+
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+
+    print(f"bench_diff: {len(base.keys() & cand.keys())} matched rows, "
+          f"metric={opts['metric']}, threshold={opts['threshold']:.0%}")
+    for label, b, c, delta in improvements:
+        print(f"  improved   {label}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+    for key in only_base:
+        print(f"  baseline-only row: {'/'.join(key)}")
+    for key in only_cand:
+        print(f"  candidate-only row: {'/'.join(key)}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) past "
+              f"{opts['threshold']:.0%}:")
+        for label, b, c, delta in regressions:
+            print(f"  REGRESSED  {label}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+        return 1
+    print("OK: no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

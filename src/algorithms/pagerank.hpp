@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "engine/vertex_program.hpp"
+#include "perf/prefetch.hpp"
 
 namespace ndg {
 
@@ -55,12 +56,21 @@ class PageRankProgram {
     return all;
   }
 
+  // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather
+  // is a sum over in-edge reads, so it splits into edge chunks whose partial
+  // sums recombine associatively. update() below routes through the same
+  // pieces, so whole-vertex and edge-parallel execution run identical code.
+  using GatherData = float;
+  static GatherData gather_identity() { return 0.0f; }
+  static GatherData combine(GatherData a, GatherData b) { return a + b; }
+
   template <typename Ctx>
-  void update(VertexId v, Ctx& ctx) {
-    float sum = 0.0f;
-    for (const InEdge& ie : ctx.in_edges()) {  // Gather
-      sum += ctx.read(ie.id);
-    }
+  GatherData gather_edge(const InEdge& ie, Ctx& ctx) const {
+    return ctx.read(ie.id);
+  }
+
+  template <typename Ctx>
+  void apply(VertexId v, GatherData sum, Ctx& ctx) {
     const float new_rank = (1.0f - damping_) + damping_ * sum;  // Compute
     const float old_rank = ranks_[v];
     ranks_[v] = new_rank;
@@ -80,6 +90,19 @@ class PageRankProgram {
         }
       }
     }
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    float sum = gather_identity();
+    const auto in = ctx.in_edges();
+    for (std::size_t i = 0; i < in.size(); ++i) {  // Gather
+      if (i + perf::kGatherPrefetchDistance < in.size()) {
+        prefetch_edge(ctx, in[i + perf::kGatherPrefetchDistance].id);
+      }
+      sum = combine(sum, gather_edge(in[i], ctx));
+    }
+    apply(v, sum, ctx);
   }
 
   /// Scheduling priority for the bucket worklist: vertices whose rank is

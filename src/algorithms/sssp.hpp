@@ -13,12 +13,14 @@
 // read-write only — Theorem 1 territory — and distances are monotonically
 // non-increasing, so Theorem 2 applies as well.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "engine/vertex_program.hpp"
+#include "perf/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace ndg {
@@ -70,20 +72,30 @@ class SsspProgram {
     return seeds;
   }
 
+  // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather
+  // is a min over in-edge candidate distances — associative, so a hub's
+  // in-edges split into chunks whose partial minima recombine exactly.
+  using GatherData = float;
+  static GatherData gather_identity() { return kInf; }
+  static GatherData combine(GatherData a, GatherData b) {
+    return std::min(a, b);
+  }
+
   template <typename Ctx>
-  void update(VertexId v, Ctx& ctx) {
-    // Gather: best candidate distance over the in-edges. The distance cell is
-    // accessed through atomic_ref because priority(v) reads it from other
-    // threads while this update runs (updates of v itself are serialized by
-    // the engines).
+  GatherData gather_edge(const InEdge& ie, Ctx& ctx) const {
+    const SsspEdge e = ctx.read(ie.id);
+    return e.dist + e.weight;
+  }
+
+  template <typename Ctx>
+  void apply(VertexId v, GatherData best, Ctx& ctx) {
+    // The distance cell is accessed through atomic_ref because priority(v)
+    // reads it from other threads while this update runs (updates of v
+    // itself are serialized by the engines).
     const float cur_dist =
         std::atomic_ref<float>(dists_[v]).load(std::memory_order_relaxed);
-    float d = cur_dist;
-    for (const InEdge& ie : ctx.in_edges()) {
-      const SsspEdge e = ctx.read(ie.id);
-      if (e.dist + e.weight < d) d = e.dist + e.weight;
-    }
-    if (d >= cur_dist) return;  // no improvement; nothing new to scatter
+    if (best >= cur_dist) return;  // no improvement; nothing new to scatter
+    const float d = best;
     std::atomic_ref<float>(dists_[v]).store(d, std::memory_order_relaxed);
 
     // Scatter: publish the improved distance on the out-edges (reading first
@@ -94,6 +106,19 @@ class SsspProgram {
       const SsspEdge cur = ctx.read(eid);
       if (cur.dist > d) ctx.write(eid, neighbors[k], SsspEdge{cur.weight, d});
     }
+  }
+
+  template <typename Ctx>
+  void update(VertexId v, Ctx& ctx) {
+    float best = gather_identity();
+    const auto in = ctx.in_edges();
+    for (std::size_t i = 0; i < in.size(); ++i) {  // Gather
+      if (i + perf::kGatherPrefetchDistance < in.size()) {
+        prefetch_edge(ctx, in[i + perf::kGatherPrefetchDistance].id);
+      }
+      best = combine(best, gather_edge(in[i], ctx));
+    }
+    apply(v, best, ctx);
   }
 
   /// Scheduling priority for the bucket worklist: delta-stepping with Δ = 2

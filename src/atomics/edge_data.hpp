@@ -12,9 +12,9 @@
 
 #include <atomic>
 #include <cstring>
-#include <memory>
 #include <type_traits>
 
+#include "mem/numa_arena.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
 
@@ -50,8 +50,11 @@ class EdgeDataArray {
 
   EdgeDataArray() = default;
 
-  explicit EdgeDataArray(EdgeId n, T init = T{})
-      : size_(n), slots_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+  /// `spec` places the slot array (hugepages / NUMA — docs/PERF.md): the
+  /// random gather reads into this array are the dominant misses of pull-mode
+  /// programs, so it gets the same placement controls as the topology.
+  explicit EdgeDataArray(EdgeId n, T init = T{}, const MemSpec& spec = {})
+      : size_(n), raw_(n, spec) {
     fill(init);
   }
 
@@ -60,36 +63,41 @@ class EdgeDataArray {
   void fill(T v) {
     const std::uint64_t s = detail::to_slot(v);
     for (EdgeId e = 0; e < size_; ++e) {
-      slots_[e].store(s, std::memory_order_relaxed);
+      slots()[e].store(s, std::memory_order_relaxed);
     }
   }
 
   /// Unsynchronized accessors for single-threaded phases (init, verification).
   [[nodiscard]] T get(EdgeId e) const {
     NDG_ASSERT(e < size_);
-    return detail::from_slot<T>(slots_[e].load(std::memory_order_relaxed));
+    return detail::from_slot<T>(slots()[e].load(std::memory_order_relaxed));
   }
   void set(EdgeId e, T v) {
     NDG_ASSERT(e < size_);
-    slots_[e].store(detail::to_slot(v), std::memory_order_relaxed);
+    slots()[e].store(detail::to_slot(v), std::memory_order_relaxed);
   }
 
   /// Raw slot storage; the access policies in access_policy.hpp go through
   /// this. std::atomic<uint64_t> is lock-free and 8-byte aligned on every
   /// platform we target (checked below), which is what makes the paper's
-  /// "architecture support" method possible.
-  [[nodiscard]] std::atomic<std::uint64_t>* slots() { return slots_.get(); }
+  /// "architecture support" method possible. Storage is a plain-uint64 arena
+  /// buffer (std::atomic is not trivially copyable, so it cannot live in a
+  /// Buffer directly); the layout static_asserts below are what make this
+  /// view the same game AlignedAccess already plays in the other direction.
+  [[nodiscard]] std::atomic<std::uint64_t>* slots() {
+    return reinterpret_cast<std::atomic<std::uint64_t>*>(raw_.data());
+  }
   [[nodiscard]] const std::atomic<std::uint64_t>* slots() const {
-    return slots_.get();
+    return reinterpret_cast<const std::atomic<std::uint64_t>*>(raw_.data());
   }
 
   /// Deep copy (used by the BSP engine's double buffering and by the
-  /// result-variance experiments to snapshot runs).
+  /// result-variance experiments to snapshot runs). Keeps the placement spec.
   [[nodiscard]] EdgeDataArray clone() const {
-    EdgeDataArray copy(size_);
+    EdgeDataArray copy(size_, T{}, raw_.spec());
     for (EdgeId e = 0; e < size_; ++e) {
-      copy.slots_[e].store(slots_[e].load(std::memory_order_relaxed),
-                           std::memory_order_relaxed);
+      copy.slots()[e].store(slots()[e].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
     }
     return copy;
   }
@@ -102,7 +110,7 @@ class EdgeDataArray {
                 "atomic slot layout must match raw uint64 for AlignedAccess");
 
   EdgeId size_ = 0;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  mem::Buffer<std::uint64_t> raw_;
 };
 
 }  // namespace ndg

@@ -19,6 +19,7 @@
 #include "engine/frontier.hpp"
 #include "engine/options.hpp"
 #include "engine/vertex_program.hpp"
+#include "perf/prefetch.hpp"
 #include "util/timer.hpp"
 
 namespace ndg {
@@ -54,6 +55,9 @@ class BspContext {
   }
 
   [[nodiscard]] ED read(EdgeId e) { return committed_->get(e); }
+
+  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp).
+  void prefetch(EdgeId e) const { perf::prefetch_read(committed_->slots() + e); }
 
   void write(EdgeId e, VertexId other_endpoint, ED value) {
     log_.push_back({e, value});
@@ -106,21 +110,25 @@ class BspContext {
 template <VertexProgram Program>
 EngineResult run_bsp(const Graph& g, Program& prog,
                      EdgeDataArray<typename Program::EdgeData>& edges,
-                     std::size_t max_iterations = 100000) {
+                     const EngineOptions& opts) {
   Timer timer;
-  Frontier frontier(g.num_vertices());
+  Frontier frontier(g.num_vertices(), opts.frontier_policy,
+                    opts.frontier_dense_divisor);
   frontier.seed(prog.initial_frontier(g));
   detail::BspContext<typename Program::EdgeData> ctx(g, edges, frontier);
 
   EngineResult result;
-  while (!frontier.empty() && result.iterations < max_iterations) {
+  while (!frontier.empty() && result.iterations < opts.max_iterations) {
     result.frontier_sizes.push_back(
-        static_cast<std::uint32_t>(frontier.current().size()));
-    for (const VertexId v : frontier.current()) {
-      ctx.begin(v, result.iterations);
-      prog.update(v, ctx);
+        static_cast<std::uint32_t>(frontier.size()));
+    result.frontier_dense.push_back(frontier.dense() ? 1 : 0);
+    // for_each visits S_n ascending in either representation, so the update
+    // order — and therefore the bit-exact result — is representation-blind.
+    frontier.for_each([&](std::size_t v) {
+      ctx.begin(static_cast<VertexId>(v), result.iterations);
+      prog.update(static_cast<VertexId>(v), ctx);
       ++result.updates;
-    }
+    });
     ctx.commit();
     frontier.advance();
     ++result.iterations;
@@ -128,6 +136,15 @@ EngineResult run_bsp(const Graph& g, Program& prog,
   result.converged = frontier.empty();
   result.seconds = timer.seconds();
   return result;
+}
+
+template <VertexProgram Program>
+EngineResult run_bsp(const Graph& g, Program& prog,
+                     EdgeDataArray<typename Program::EdgeData>& edges,
+                     std::size_t max_iterations = 100000) {
+  EngineOptions opts;
+  opts.max_iterations = max_iterations;
+  return run_bsp(g, prog, edges, opts);
 }
 
 }  // namespace ndg

@@ -6,7 +6,25 @@
 
 namespace ndg {
 
-Frontier::Frontier(VertexId num_vertices) : next_(num_vertices) {}
+Frontier::Frontier(VertexId num_vertices, FrontierPolicy policy,
+                   std::size_t dense_divisor)
+    : next_(num_vertices),
+      policy_(policy),
+      dense_divisor_(dense_divisor == 0 ? 1 : dense_divisor) {
+  if (policy_ != FrontierPolicy::kSparse) bits_ = DenseBitset(num_vertices);
+}
+
+bool Frontier::want_dense(std::size_t count) const {
+  switch (policy_) {
+    case FrontierPolicy::kSparse:
+      return false;
+    case FrontierPolicy::kDense:
+      return count > 0;
+    case FrontierPolicy::kAuto:
+      return count * dense_divisor_ > next_.size();
+  }
+  return false;
+}
 
 void Frontier::seed(std::vector<VertexId> vertices) {
   std::sort(vertices.begin(), vertices.end());
@@ -14,15 +32,65 @@ void Frontier::seed(std::vector<VertexId> vertices) {
   for ([[maybe_unused]] const VertexId v : vertices) {
     NDG_ASSERT(v < next_.size());
   }
-  current_ = std::move(vertices);
+  size_ = vertices.size();
+  dense_ = want_dense(size_);
+  if (dense_) {
+    bits_.clear();
+    for (const VertexId v : vertices) bits_.set(v);
+    current_.clear();
+  } else {
+    current_ = std::move(vertices);
+  }
 }
 
 void Frontier::advance() {
-  current_.clear();
-  // AtomicBitset iterates set bits in ascending order, which gives the
-  // small-label-first ordering for free.
-  next_.for_each([this](std::size_t v) { current_.push_back(static_cast<VertexId>(v)); });
+  size_ = next_.count();
+  dense_ = want_dense(size_);
+  if (dense_) {
+    // Snapshot the atomic words into the plain bitmap so the sweep reads
+    // non-atomic memory; next_ is then recycled for S_{n+2}.
+    next_.snapshot_into(bits_);
+    current_.clear();
+  } else {
+    current_.clear();
+    // AtomicBitset iterates set bits in ascending order, which gives the
+    // small-label-first ordering for free.
+    next_.for_each(
+        [this](std::size_t v) { current_.push_back(static_cast<VertexId>(v)); });
+  }
   next_.clear();
+}
+
+void Frontier::collect_range(VertexId lo, VertexId hi,
+                             std::vector<VertexId>& out) const {
+  if (dense_) {
+    bits_.for_each_in_range(lo, hi, [&out](std::size_t v) {
+      out.push_back(static_cast<VertexId>(v));
+    });
+    return;
+  }
+  const auto first = std::lower_bound(current_.begin(), current_.end(), lo);
+  const auto last = std::lower_bound(first, current_.end(), hi);
+  out.insert(out.end(), first, last);
+}
+
+const char* to_string(FrontierPolicy policy) {
+  switch (policy) {
+    case FrontierPolicy::kSparse:
+      return "sparse";
+    case FrontierPolicy::kDense:
+      return "dense";
+    case FrontierPolicy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::optional<FrontierPolicy> parse_frontier_policy(const std::string& name) {
+  if (name == "sparse") return FrontierPolicy::kSparse;
+  if (name == "dense") return FrontierPolicy::kDense;
+  if (name == "auto") return FrontierPolicy::kAuto;
+  return std::nullopt;
 }
 
 }  // namespace ndg

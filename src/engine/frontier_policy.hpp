@@ -1,0 +1,24 @@
+#pragma once
+// Runtime selector for the frontier representation (engine/frontier.hpp,
+// docs/PERF.md). Separate tiny header so EngineOptions can name the policy
+// without pulling in the frontier implementation.
+
+#include <optional>
+#include <string>
+
+namespace ndg {
+
+/// How the current set S_n is materialized each iteration.
+enum class FrontierPolicy {
+  kSparse,  // always the sorted vertex list (the seed behaviour)
+  kDense,   // always the bitmap sweep
+  kAuto,    // bitmap when |S_n| * divisor > V, list otherwise
+};
+
+[[nodiscard]] const char* to_string(FrontierPolicy policy);
+
+/// Parses the CLI spelling ("sparse" | "dense" | "auto").
+[[nodiscard]] std::optional<FrontierPolicy> parse_frontier_policy(
+    const std::string& name);
+
+}  // namespace ndg

@@ -29,6 +29,7 @@
 #include "engine/scheduler_dispatch.hpp"
 #include "engine/update_context.hpp"
 #include "engine/vertex_program.hpp"
+#include "perf/hub_gather.hpp"
 #include "util/barrier.hpp"
 #include "util/thread_team.hpp"
 #include "util/timer.hpp"
@@ -42,7 +43,8 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
                              EdgeDataArray<typename Program::EdgeData>& edges,
                              Policy policy, const EngineOptions& opts) {
   Timer timer;
-  Frontier frontier(g.num_vertices());
+  Frontier frontier(g.num_vertices(), opts.frontier_policy,
+                    opts.frontier_dense_divisor);
   frontier.seed(prog.initial_frontier(g));
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
@@ -50,8 +52,29 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
   WL worklist = make_worklist<WL>(nt, opts);
   std::vector<std::uint64_t> per_updates(nt, 0);
   std::vector<std::uint64_t> per_work(nt, 0);
+  std::vector<std::uint64_t> per_splits(nt, 0);
+  std::vector<std::uint64_t> per_chunks(nt, 0);
   std::size_t iterations = 0;  // written by thread 0 between barriers only
   std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint8_t> frontier_dense;
+
+  // Hub splitting needs a shared worklist — chunk tokens must be poppable by
+  // any thread — and a program declaring the gather decomposition. Under
+  // static-block dispatch there is no queue to co-schedule chunks on, so the
+  // knob is silently inert there (docs/PERF.md).
+  constexpr bool kHubCapable =
+      WL::kShared && EdgeParallelGatherProgram<Program>;
+  using GD = typename detail::GatherDataOf<Program>::type;
+  perf::HubTable hub_table;
+  perf::HubGatherState<GD> hub_state;
+  if constexpr (kHubCapable) {
+    if (opts.hub_threshold > 0) {
+      hub_table =
+          perf::HubTable(g, opts.hub_threshold, opts.hub_chunk_edges);
+      hub_state = perf::HubGatherState<GD>(hub_table);
+    }
+  }
+  const bool hubs_on = !hub_table.empty();
 
   run_team(nt, [&](std::size_t tid) {
     bool sense = false;
@@ -59,20 +82,48 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
                                                           frontier);
     std::uint64_t local_updates = 0;
     std::uint64_t local_work = 0;
+    std::uint64_t local_splits = 0;
+    std::uint64_t local_chunks = 0;
     for (std::size_t iter = 0;; ++iter) {
       // All threads observe the same frontier state here: thread 0 mutated it
       // strictly between the two barriers of the previous round.
-      const auto& cur = frontier.current();
-      if (cur.empty() || iter >= opts.max_iterations) break;
+      if (frontier.empty() || iter >= opts.max_iterations) break;
 
       // Refill: every thread feeds its Fig. 1 static slice of S_n into the
       // worklist. For StaticBlockWorklist that IS the final schedule; the
       // shared worklists rebalance (stealing) or reorder (buckets) from this
       // seed. Priorities are read here, between barriers, so the program
-      // state they derive from is quiescent.
-      const auto [begin, end] = static_block(cur.size(), nt, tid);
-      for (std::size_t i = begin; i < end; ++i) {
-        worklist.push(tid, cur[i], scheduling_priority(prog, cur[i]));
+      // state they derive from is quiescent. Hubs enter as chunk tokens (all
+      // at the hub's priority) instead of one monolithic update.
+      const auto feed = [&](VertexId v) {
+        if constexpr (kHubCapable) {
+          if (hubs_on && hub_table.is_hub(v)) {
+            const std::uint32_t h = hub_table.hub_index(v);
+            const std::uint32_t nchunks = hub_table.num_chunks(h);
+            const std::uint64_t prio = scheduling_priority(prog, v);
+            hub_state.arm(h, nchunks);
+            const std::uint32_t base = hub_table.chunk_begin(h);
+            for (std::uint32_t c = 0; c < nchunks; ++c) {
+              worklist.push(tid, perf::make_chunk_token(base + c), prio);
+            }
+            ++local_splits;
+            local_chunks += nchunks;
+            return;
+          }
+        }
+        worklist.push(tid, v, scheduling_priority(prog, v));
+      };
+      if (frontier.dense()) {
+        // Dense S_n: partition 64-vertex label blocks (bitmap words) instead
+        // of list slots — same static-block shape, same ascending-label order
+        // within and across threads, no materialized list.
+        const auto [wb, we] = static_block(frontier.num_words(), nt, tid);
+        frontier.for_each_in_words(
+            wb, we, [&](std::size_t v) { feed(static_cast<VertexId>(v)); });
+      } else {
+        const auto& cur = frontier.current();
+        const auto [begin, end] = static_block(cur.size(), nt, tid);
+        for (std::size_t i = begin; i < end; ++i) feed(cur[i]);
       }
       worklist.publish(tid);
       if constexpr (WL::kShared) {
@@ -83,6 +134,39 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
 
       VertexId v;
       while (worklist.try_pop(tid, v)) {
+        if constexpr (kHubCapable) {
+          if (perf::is_chunk_token(v)) {
+            const std::uint32_t chunk = perf::chunk_of_token(v);
+            const auto range = hub_table.chunk_range(g, chunk);
+            const auto in = g.in_edges(range.v);
+            ctx.begin(range.v, iter);
+            GD acc = Program::gather_identity();
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+              if (i + perf::kGatherPrefetchDistance < range.end) {
+                prefetch_edge(ctx, in[i + perf::kGatherPrefetchDistance].id);
+              }
+              acc = Program::combine(acc, prog.gather_edge(in[i], ctx));
+            }
+            hub_state.store_partial(policy, chunk, acc);
+            local_work += range.end - range.begin;
+            const std::uint32_t h = hub_table.hub_index(range.v);
+            if (hub_state.finish_chunk(h)) {
+              // Last finisher: combine all partials (read back through the
+              // same policy) and run the compute+scatter half.
+              GD total = Program::gather_identity();
+              const std::uint32_t base = hub_table.chunk_begin(h);
+              const std::uint32_t n = hub_table.num_chunks(h);
+              for (std::uint32_t c = 0; c < n; ++c) {
+                total = Program::combine(
+                    total, hub_state.read_partial(policy, base + c));
+              }
+              prog.apply(range.v, total, ctx);
+              ++local_updates;
+              local_work += g.out_neighbors(range.v).size();
+            }
+            continue;
+          }
+        }
         ctx.begin(v, iter);
         prog.update(v, ctx);
         ++local_updates;
@@ -91,7 +175,8 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
 
       barrier.arrive_and_wait(sense);
       if (tid == 0) {
-        frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+        frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+        frontier_dense.push_back(frontier.dense() ? 1 : 0);
         frontier.advance();
         iterations = iter + 1;
       }
@@ -99,6 +184,8 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
     }
     per_updates[tid] = local_updates;  // exclusive slot; read after join
     per_work[tid] = local_work;
+    per_splits[tid] = local_splits;
+    per_chunks[tid] = local_chunks;
   });
 
   EngineResult result;
@@ -109,8 +196,11 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
   result.converged = frontier.empty();
   result.seconds = timer.seconds();
   result.frontier_sizes = std::move(frontier_sizes);
+  result.frontier_dense = std::move(frontier_dense);
   result.per_thread_updates = std::move(per_updates);
   result.per_thread_work = std::move(per_work);
+  for (const std::uint64_t s : per_splits) result.hub_splits += s;
+  for (const std::uint64_t c : per_chunks) result.hub_chunks += c;
   const WorklistStats wl_stats = worklist.stats();
   result.steals = wl_stats.steals;
   result.steal_attempts = wl_stats.steal_attempts;

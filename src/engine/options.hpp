@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "atomics/access_policy.hpp"
+#include "engine/frontier_policy.hpp"
+#include "mem/mem_policy.hpp"
 #include "sched/scheduler_kind.hpp"
 
 namespace ndg {
@@ -24,6 +26,20 @@ struct EngineOptions {
   std::size_t scheduler_chunk = 32;
   /// Bucket count for SchedulerKind::kBucket.
   std::size_t scheduler_buckets = 64;
+  /// Frontier representation (docs/PERF.md). kAuto switches to the dense
+  /// bitmap when |S_n| * frontier_dense_divisor > V.
+  FrontierPolicy frontier_policy = FrontierPolicy::kAuto;
+  std::size_t frontier_dense_divisor = 8;
+  /// Edge-parallel hub gather: vertices with in_degree > hub_threshold are
+  /// split into edge chunks co-scheduled across the worklist. 0 disables
+  /// splitting. Only engines with a shared worklist (kStealing/kBucket)
+  /// split; static-block dispatch has no queue to co-schedule chunks on.
+  std::size_t hub_threshold = 0;
+  /// Edges per hub chunk when splitting.
+  std::size_t hub_chunk_edges = 1024;
+  /// Placement for engine-owned scratch (hub-gather partials). Graph and
+  /// edge-data placement is requested at build time (GraphBuildOptions).
+  MemSpec mem{};
 };
 
 /// Potential-conflict counts observed by the ConflictTracer (lower bounds —
@@ -62,6 +78,13 @@ struct EngineResult {
   /// Worklist telemetry (nonzero only under SchedulerKind::kStealing).
   std::uint64_t steals = 0;
   std::uint64_t steal_attempts = 0;
+  /// Representation chosen for S_n each iteration (parallel to
+  /// frontier_sizes; true = dense bitmap). Empty for engines without the
+  /// hybrid frontier.
+  std::vector<std::uint8_t> frontier_dense;
+  /// Hub-gather telemetry: hubs split and edge chunks dispatched.
+  std::uint64_t hub_splits = 0;
+  std::uint64_t hub_chunks = 0;
 
   /// Load-imbalance summary: max/mean over per_thread_work (falling back to
   /// per_thread_updates when no work counts were recorded). 1.0 = perfectly

@@ -47,6 +47,8 @@
 #include "engine/options.hpp"
 #include "engine/scheduler_dispatch.hpp"
 #include "engine/vertex_program.hpp"
+#include "perf/hub_gather.hpp"
+#include "perf/prefetch.hpp"
 #include "util/bitset.hpp"
 #include "util/thread_team.hpp"
 #include "util/timer.hpp"
@@ -161,6 +163,9 @@ class AsyncContext {
   }
 
   [[nodiscard]] ED read(EdgeId e) { return policy_.read(*edges_, e); }
+
+  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp).
+  void prefetch(EdgeId e) const { perf::prefetch_read(edges_->slots() + e); }
 
   void write(EdgeId e, VertexId other_endpoint, ED value) {
     policy_.write(*edges_, e, value);
@@ -302,6 +307,26 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   std::atomic<std::uint64_t> global_updates{0};
   std::atomic<bool> capped{false};
 
+  // Hub splitting (perf/hub_gather.hpp): a claimed hub holds its running bit
+  // and its pending count while its chunk tokens are in flight, so the
+  // quiescence invariant (pending counts unfinished activations) is
+  // untouched; the last chunk's thread runs apply and releases both. Only
+  // the queue-driven engines split — the sweep engine has no queue to
+  // co-schedule chunks on.
+  constexpr bool kHubCapable = EdgeParallelGatherProgram<Program>;
+  using GD = typename GatherDataOf<Program>::type;
+  perf::HubTable hub_table;
+  perf::HubGatherState<GD> hub_state;
+  if constexpr (kHubCapable) {
+    if (opts.hub_threshold > 0) {
+      hub_table = perf::HubTable(g, opts.hub_threshold, opts.hub_chunk_edges);
+      hub_state = perf::HubGatherState<GD>(hub_table);
+    }
+  }
+  const bool hubs_on = !hub_table.empty();
+  std::atomic<std::uint64_t> hub_splits{0};
+  std::atomic<std::uint64_t> hub_chunks{0};
+
   run_team(nt, [&](std::size_t tid) {
     using View = AsyncWorklistView<WL, Program>;
     View view(active, worklist, prog, tid);
@@ -319,6 +344,45 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
         std::this_thread::yield();
         continue;
       }
+      if constexpr (kHubCapable) {
+        if (perf::is_chunk_token(v)) {
+          const std::uint32_t chunk = perf::chunk_of_token(v);
+          const auto range = hub_table.chunk_range(g, chunk);
+          const auto in = g.in_edges(range.v);
+          ctx.begin(range.v, 0);
+          GD acc = Program::gather_identity();
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            if (i + perf::kGatherPrefetchDistance < range.end) {
+              prefetch_edge(ctx, in[i + perf::kGatherPrefetchDistance].id);
+            }
+            acc = Program::combine(acc, prog.gather_edge(in[i], ctx));
+          }
+          hub_state.store_partial(policy, chunk, acc);
+          t.work += range.end - range.begin;
+          const std::uint32_t h = hub_table.hub_index(range.v);
+          if (hub_state.finish_chunk(h)) {
+            GD total = Program::gather_identity();
+            const std::uint32_t base = hub_table.chunk_begin(h);
+            const std::uint32_t n = hub_table.num_chunks(h);
+            for (std::uint32_t c = 0; c < n; ++c) {
+              total = Program::combine(total,
+                                       hub_state.read_partial(policy, base + c));
+            }
+            prog.apply(range.v, total, ctx);
+            active.end_update(range.v);
+            active.finished();
+            ++t.updates;
+            t.work += g.out_neighbors(range.v).size();
+            if (t.updates % 4096 == 0 &&
+                global_updates.fetch_add(4096, std::memory_order_relaxed) +
+                        4096 >
+                    update_cap) {
+              capped.store(true, std::memory_order_relaxed);
+            }
+          }
+          continue;
+        }
+      }
       // Every queue entry corresponds to exactly one won activation, and
       // entries for a vertex are serialized by the active bit, so the claim
       // cannot fail.
@@ -329,6 +393,24 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
         view.schedule(v);
         active.finished();
         continue;
+      }
+      if constexpr (kHubCapable) {
+        if (hubs_on && hub_table.is_hub(v)) {
+          // Split instead of running the monolithic update; the running bit
+          // and pending count stay held until the last chunk's apply.
+          const std::uint32_t h = hub_table.hub_index(v);
+          const std::uint32_t nchunks = hub_table.num_chunks(h);
+          const std::uint64_t prio = scheduling_priority(prog, v);
+          hub_state.arm(h, nchunks);
+          const std::uint32_t base = hub_table.chunk_begin(h);
+          for (std::uint32_t c = 0; c < nchunks; ++c) {
+            worklist.push(tid, perf::make_chunk_token(base + c), prio);
+          }
+          worklist.publish(tid);
+          hub_splits.fetch_add(1, std::memory_order_relaxed);
+          hub_chunks.fetch_add(nchunks, std::memory_order_relaxed);
+          continue;
+        }
       }
       ctx.begin(v, 0);
       prog.update(v, ctx);
@@ -347,6 +429,8 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   EngineResult result;
   result.converged = active.quiescent() && !capped.load();
   result.seconds = timer.seconds();
+  result.hub_splits = hub_splits.load(std::memory_order_relaxed);
+  result.hub_chunks = hub_chunks.load(std::memory_order_relaxed);
   for (const AsyncWorkerTotals& t : totals) {
     result.per_thread_updates.push_back(t.updates);
     result.per_thread_work.push_back(t.work);

@@ -10,6 +10,7 @@
 #include "engine/frontier.hpp"
 #include "engine/observer.hpp"
 #include "graph/graph.hpp"
+#include "perf/prefetch.hpp"
 
 namespace ndg {
 
@@ -46,6 +47,10 @@ class UpdateContext {
     if (observer_ != nullptr) observer_->on_read(e, v_, iter_);
     return policy_.read(*edges_, e);
   }
+
+  /// Hints the cache about an upcoming read(e) (see perf/prefetch.hpp —
+  /// programs reach this through the concept-gated prefetch_edge helper).
+  void prefetch(EdgeId e) const { perf::prefetch_read(edges_->slots() + e); }
 
   /// Writes edge e and schedules its other endpoint for the next iteration
   /// (Section II task-generation rule: "if f(v) updates one of v's incident

@@ -21,10 +21,13 @@ Graph Graph::build(VertexId num_vertices, EdgeList edges,
   Graph g;
   g.num_vertices_ = num_vertices;
   g.num_edges_ = static_cast<EdgeId>(edges.size());
-  g.out_offsets_.assign(num_vertices + 1, 0);
-  g.in_offsets_.assign(num_vertices + 1, 0);
-  g.out_targets_.resize(edges.size());
-  g.in_edges_.resize(edges.size());
+  // Exact-size arena buffers (zero-initialized), placed per opts.mem. No
+  // incremental growth, so peak memory is one allocation per array.
+  g.out_offsets_ = mem::Buffer<EdgeId>(num_vertices + 1, opts.mem);
+  g.in_offsets_ = mem::Buffer<EdgeId>(num_vertices + 1, opts.mem);
+  g.out_targets_ = mem::Buffer<VertexId>(edges.size(), opts.mem);
+  g.in_edges_ = mem::Buffer<InEdge>(edges.size(), opts.mem);
+  g.edge_src_ = mem::Buffer<VertexId>(edges.size(), opts.mem);
 
   for (const Edge& e : edges) {
     NDG_ASSERT_MSG(e.src < num_vertices && e.dst < num_vertices,
@@ -37,22 +40,22 @@ Graph Graph::build(VertexId num_vertices, EdgeList edges,
     g.in_offsets_[v + 1] += g.in_offsets_[v];
   }
 
-  // Edges are sorted by (src, dst), so filling CSR in input order both keeps
-  // offsets consistent and makes edge id == position in the sorted list.
+  // Edges are sorted by (src, dst), so edge id == position in the sorted
+  // list == CSR slot: CSR and the edge-source inverse fill directly with no
+  // per-vertex cursor array. Only CSC needs running cursors.
   {
-    std::vector<EdgeId> next(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
     std::vector<EdgeId> next_in(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
     for (EdgeId id = 0; id < g.num_edges_; ++id) {
       const Edge& e = edges[id];
-      NDG_ASSERT(next[e.src] == id);  // sorted input => CSR slot == id
-      g.out_targets_[next[e.src]++] = e.dst;
+      g.out_targets_[id] = e.dst;
+      g.edge_src_[id] = e.src;
       g.in_edges_[next_in[e.dst]++] = InEdge{e.src, id};
     }
   }
   return g;
 }
 
-VertexId Graph::edge_source(EdgeId e) const {
+VertexId Graph::edge_source_search(EdgeId e) const {
   NDG_ASSERT(e < num_edges_);
   // First offset strictly greater than e belongs to source+1.
   const auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);

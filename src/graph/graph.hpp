@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "mem/numa_arena.hpp"
 #include "util/types.hpp"
 
 namespace ndg {
@@ -30,6 +31,9 @@ struct InEdge {
 struct GraphBuildOptions {
   bool remove_self_loops = true;
   bool remove_duplicate_edges = true;
+  /// Placement for the topology arrays (hugepages / NUMA interleave / bind —
+  /// see mem/mem_policy.hpp and docs/PERF.md). Best-effort.
+  MemSpec mem{};
 };
 
 class Graph {
@@ -68,16 +72,30 @@ class Graph {
 
   /// Target of a canonical edge id.
   [[nodiscard]] VertexId edge_target(EdgeId e) const { return out_targets_[e]; }
-  /// Source of a canonical edge id (O(log V) binary search over offsets).
-  [[nodiscard]] VertexId edge_source(EdgeId e) const;
+
+  /// Source of a canonical edge id. O(1): the inverse array is materialized
+  /// at build time (one VertexId per edge). The distributed router calls this
+  /// once per remote scatter, which made the old binary search a hot path.
+  [[nodiscard]] VertexId edge_source(EdgeId e) const {
+    NDG_ASSERT(e < num_edges_);
+    return edge_src_[e];
+  }
+
+  /// The pre-inverse-array implementation (O(log V) upper_bound over the CSR
+  /// offsets). Kept for the bench_traversal microbench that documents the
+  /// win; not used on any hot path.
+  [[nodiscard]] VertexId edge_source_search(EdgeId e) const;
 
  private:
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
-  std::vector<EdgeId> out_offsets_;   // size V+1
-  std::vector<VertexId> out_targets_; // size E (CSR order == edge id order)
-  std::vector<EdgeId> in_offsets_;    // size V+1
-  std::vector<InEdge> in_edges_;      // size E
+  // Topology arrays are flat PODs in arena buffers so GraphBuildOptions::mem
+  // (hugepage / NUMA placement) covers them; all are exact-size.
+  mem::Buffer<EdgeId> out_offsets_;    // size V+1
+  mem::Buffer<VertexId> out_targets_;  // size E (CSR order == edge id order)
+  mem::Buffer<EdgeId> in_offsets_;     // size V+1
+  mem::Buffer<InEdge> in_edges_;       // size E
+  mem::Buffer<VertexId> edge_src_;     // size E; edge id -> source vertex
 };
 
 /// Adds the reverse of every edge, turning a directed edge list into a

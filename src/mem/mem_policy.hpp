@@ -1,0 +1,32 @@
+#pragma once
+// Runtime selector for the memory-placement layer (src/mem/, docs/PERF.md).
+// Kept in its own tiny header so EngineOptions and GraphBuildOptions can name
+// the policy without pulling in the allocator implementation — the same
+// pattern as sched/scheduler_kind.hpp.
+
+#include <optional>
+#include <string>
+
+namespace ndg {
+
+/// Where and how the big flat arrays (CSR/CSC topology, edge-data slots,
+/// hub-gather partials) are placed in physical memory.
+enum class MemPolicy {
+  kDefault,     // operator new: whatever the libc allocator gives us
+  kHugepage,    // private mmap + madvise(MADV_HUGEPAGE) when available
+  kInterleave,  // mmap + mbind(MPOL_INTERLEAVE) across all online NUMA nodes
+  kBind,        // mmap + mbind(MPOL_BIND) to one node (MemSpec::node)
+};
+
+/// A full placement request: policy plus the target node for kBind.
+struct MemSpec {
+  MemPolicy policy = MemPolicy::kDefault;
+  int node = 0;  // only meaningful for MemPolicy::kBind
+};
+
+[[nodiscard]] const char* to_string(MemPolicy policy);
+
+/// Parses the CLI spelling ("default" | "huge" | "interleave" | "bind:<n>").
+[[nodiscard]] std::optional<MemSpec> parse_mem_policy(const std::string& name);
+
+}  // namespace ndg

@@ -1,0 +1,141 @@
+#include "mem/numa_arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ndg::mem {
+
+namespace {
+
+// mbind policy numbers from <linux/mempolicy.h>, restated locally so the
+// build needs no NUMA headers (the kernel ABI is stable).
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+
+std::atomic<bool> g_last_placement_applied{true};
+
+#if defined(__linux__)
+
+/// Bitmask of online NUMA nodes (probed once via sysfs; node 0 always set so
+/// single-node hosts interleave over themselves, i.e. behave like default).
+unsigned long online_node_mask() {
+  static const unsigned long mask = [] {
+    unsigned long m = 1UL;
+    for (int node = 1; node < 64; ++node) {
+      const std::string path =
+          "/sys/devices/system/node/node" + std::to_string(node);
+      if (::access(path.c_str(), F_OK) != 0) break;
+      m |= 1UL << node;
+    }
+    return m;
+  }();
+  return mask;
+}
+
+/// Direct mbind(2); returns false when the kernel lacks NUMA support or the
+/// mask is not satisfiable — callers treat that as "placement skipped".
+bool try_mbind(void* ptr, std::size_t bytes, int mode, unsigned long mask) {
+#if defined(SYS_mbind)
+  // maxnode counts bits and the kernel wants one past the highest; 65 covers
+  // the 64-bit mask plus the customary +1.
+  return ::syscall(SYS_mbind, ptr, bytes, mode, &mask, 65UL, 0UL) == 0;
+#else
+  (void)ptr, (void)bytes, (void)mode, (void)mask;
+  return false;
+#endif
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+NumaArena::Block NumaArena::alloc(std::size_t bytes, const MemSpec& spec) {
+  Block block;
+  if (bytes == 0) return block;
+  block.bytes = bytes;
+
+#if defined(__linux__)
+  if (spec.policy != MemPolicy::kDefault) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      block.ptr = p;
+      block.mapped = true;
+      bool applied = true;
+#if defined(MADV_HUGEPAGE)
+      if (spec.policy == MemPolicy::kHugepage) {
+        applied = ::madvise(p, bytes, MADV_HUGEPAGE) == 0;
+      }
+#endif
+      if (spec.policy == MemPolicy::kInterleave) {
+        applied = try_mbind(p, bytes, kMpolInterleave, online_node_mask());
+      } else if (spec.policy == MemPolicy::kBind) {
+        applied = try_mbind(p, bytes, kMpolBind, 1UL << (spec.node & 63));
+      }
+      g_last_placement_applied.store(applied, std::memory_order_relaxed);
+      return block;
+    }
+    // mmap refused (rlimit, exotic host): fall through to operator new.
+  }
+#endif  // __linux__
+
+  block.ptr = ::operator new(bytes, std::align_val_t{64});
+  block.mapped = false;
+  g_last_placement_applied.store(spec.policy == MemPolicy::kDefault,
+                                 std::memory_order_relaxed);
+  return block;
+}
+
+void NumaArena::free(const Block& block) {
+  if (block.ptr == nullptr) return;
+#if defined(__linux__)
+  if (block.mapped) {
+    ::munmap(block.ptr, block.bytes);
+    return;
+  }
+#endif
+  ::operator delete(block.ptr, std::align_val_t{64});
+}
+
+bool NumaArena::last_placement_applied() {
+  return g_last_placement_applied.load(std::memory_order_relaxed);
+}
+
+}  // namespace ndg::mem
+
+namespace ndg {
+
+const char* to_string(MemPolicy policy) {
+  switch (policy) {
+    case MemPolicy::kDefault:
+      return "default";
+    case MemPolicy::kHugepage:
+      return "huge";
+    case MemPolicy::kInterleave:
+      return "interleave";
+    case MemPolicy::kBind:
+      return "bind";
+  }
+  return "?";
+}
+
+std::optional<MemSpec> parse_mem_policy(const std::string& name) {
+  if (name == "default") return MemSpec{MemPolicy::kDefault, 0};
+  if (name == "huge") return MemSpec{MemPolicy::kHugepage, 0};
+  if (name == "interleave") return MemSpec{MemPolicy::kInterleave, 0};
+  if (name.rfind("bind:", 0) == 0) {
+    const int node = std::atoi(name.c_str() + 5);
+    if (node >= 0 && node < 64) return MemSpec{MemPolicy::kBind, node};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ndg

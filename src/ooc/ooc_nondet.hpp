@@ -154,7 +154,8 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
     store.write_initial(initial);
   }
 
-  Frontier frontier(g.num_vertices());
+  Frontier frontier(g.num_vertices(), opts.frontier_policy,
+                    opts.frontier_dense_divisor);
   frontier.seed(prog.initial_frontier(g));
 
   OocResult result;
@@ -167,16 +168,20 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
   std::optional<ThreadTeam> team;
   if (nt > 1) team.emplace(nt);
 
+  std::vector<VertexId> interval_vertices;  // reused per interval
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
-    const auto& cur = frontier.current();
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+    result.frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+    result.frontier_dense.push_back(frontier.dense() ? 1 : 0);
 
-    std::size_t pos = 0;
     for (std::size_t i = 0; i < shards; ++i) {
+      // Interval query against the hybrid frontier: ascending vertex list for
+      // [lo, hi) in either representation (dense PageRank-style frontiers
+      // skip the full-list materialization the old sparse scan paid).
+      const VertexId lo = plan.intervals.boundaries[i];
       const VertexId hi = plan.intervals.boundaries[i + 1];
-      const std::size_t first = pos;
-      while (pos < cur.size() && cur[pos] < hi) ++pos;
-      if (pos == first) {
+      interval_vertices.clear();
+      frontier.collect_range(lo, hi, interval_vertices);
+      if (interval_vertices.empty()) {
         ++result.intervals_skipped;
         continue;
       }
@@ -193,15 +198,15 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
       const OocEdgeView view(g, plan, i, memory_shard, windows);
       // The paper's NE: the interval's scheduled updates race across all
       // threads (static blocks, small-label-first within each thread).
-      const std::size_t count = pos - first;
+      const std::size_t count = interval_vertices.size();
       const auto run_block = [&](std::size_t b, std::size_t e,
                                  std::size_t tid) {
         OocNeContext<typename Program::EdgeData, Access> ctx(g, view, frontier,
                                                              access);
         std::uint64_t local = 0;
         for (std::size_t k = b; k < e; ++k) {
-          ctx.begin(cur[first + k], result.iterations);
-          prog.update(cur[first + k], ctx);
+          ctx.begin(interval_vertices[k], result.iterations);
+          prog.update(interval_vertices[k], ctx);
           ++local;
         }
         result.per_thread_updates[tid] += local;  // exclusive slot

@@ -1,0 +1,217 @@
+#pragma once
+// Edge-parallel gather for hub vertices (docs/PERF.md).
+//
+// Under the paper's dispatch one update owns all of its in-edges: a
+// million-degree R-MAT hub is a single task, and the thread that draws it
+// serializes the whole gather while its siblings go idle. This layer splits a
+// hub's gather into fixed-size edge chunks co-scheduled across the shared
+// worklist as ordinary work items.
+//
+// Eligibility is preserved (the Theorems 1/2 argument, spelled out in
+// docs/PERF.md): chunk gathers only *read* edge data — through the same
+// atomicity policy as a whole-vertex gather, so every individual read is
+// still minimal-granularity atomic (Lemma 1) and sees some committed value
+// (Lemma 2). Each chunk's partial lands in a private single-word slot written
+// via the policy; a release countdown hands all partials to the last
+// finisher, which combines them sequentially and runs the program's apply —
+// the same read-set/compute/scatter a whole-vertex update would have
+// performed, just with the gather reads reordered. NE already permits
+// arbitrary interleavings of those reads with neighbour writes, so the split
+// introduces no interleaving the paper's model does not already contain.
+//
+// Programs opt in by declaring the gather/combine/apply decomposition (the
+// GAS shape) checked by EdgeParallelGatherProgram below. Work items for
+// chunks are encoded in VertexId space with the top bit set, so they flow
+// through the Worklist concept unchanged; this caps splittable graphs at
+// 2^31 vertices (asserted at HubTable build).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "atomics/edge_data.hpp"
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ndg {
+
+/// A program whose update decomposes as Gather / Combine / Apply over an
+/// EdgePod accumulator:
+///   GatherData gather_identity()            — neutral element;
+///   GatherData gather_edge(ie, ctx)         — one in-edge's contribution
+///                                             (reads via ctx only);
+///   GatherData combine(a, b)                — associative merge;
+///   void apply(v, total, ctx)               — compute + scatter, given the
+///                                             combined gather result.
+/// update(v, ctx) must be equivalent to
+///   apply(v, fold(combine, identity, map(gather_edge, in_edges(v))), ctx).
+template <typename P>
+concept EdgeParallelGatherProgram =
+    requires(P p, VertexId v, const InEdge& ie) {
+      typename P::GatherData;
+      requires EdgePod<typename P::GatherData>;
+      { P::gather_identity() } -> std::same_as<typename P::GatherData>;
+      {
+        P::combine(P::gather_identity(), P::gather_identity())
+      } -> std::same_as<typename P::GatherData>;
+    };
+
+namespace detail {
+
+/// Program::GatherData when the program is decomposable, a placeholder
+/// otherwise — lets engines declare hub state unconditionally and gate its
+/// use behind `if constexpr`.
+template <typename P>
+struct GatherDataOf {
+  using type = std::uint64_t;
+};
+template <EdgeParallelGatherProgram P>
+struct GatherDataOf<P> {
+  using type = typename P::GatherData;
+};
+
+}  // namespace detail
+
+namespace perf {
+
+/// Chunk work items ride the worklist in VertexId space with this bit set.
+inline constexpr VertexId kChunkTokenFlag = 1u << 31;
+
+[[nodiscard]] inline bool is_chunk_token(VertexId v) {
+  return (v & kChunkTokenFlag) != 0;
+}
+[[nodiscard]] inline VertexId make_chunk_token(std::uint32_t chunk) {
+  return kChunkTokenFlag | chunk;
+}
+[[nodiscard]] inline std::uint32_t chunk_of_token(VertexId token) {
+  return token & ~kChunkTokenFlag;
+}
+
+/// Immutable hub/chunk geometry for one (graph, threshold, chunk size)
+/// triple. Chunk ids are dense in [0, total_chunks()): hub h owns the range
+/// [chunk_begin(h), chunk_begin(h+1)), each chunk covering `chunk_edges`
+/// consecutive entries of the hub's in-edge span. Every chunk covers at
+/// least one in-edge, so total_chunks() <= num_edges — which is what lets a
+/// per-run EdgeLockTable sized for the edge array also cover partial slots.
+class HubTable {
+ public:
+  HubTable() = default;
+
+  HubTable(const Graph& g, std::size_t threshold, std::size_t chunk_edges)
+      : chunk_edges_(chunk_edges == 0 ? 1 : chunk_edges) {
+    NDG_ASSERT_MSG(g.num_vertices() < kChunkTokenFlag,
+                   "hub gather needs the top VertexId bit for chunk tokens");
+    hub_of_.assign(g.num_vertices(), kNoHub);
+    chunk_begin_.push_back(0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const EdgeId deg = g.in_degree(v);
+      if (deg <= threshold) continue;
+      const auto chunks =
+          static_cast<std::uint32_t>((deg + chunk_edges_ - 1) / chunk_edges_);
+      hub_of_[v] = static_cast<std::uint32_t>(hubs_.size());
+      hubs_.push_back(v);
+      chunk_begin_.push_back(chunk_begin_.back() + chunks);
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        chunk_hub_.push_back(hub_of_[v]);
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return hubs_.empty(); }
+  [[nodiscard]] std::size_t num_hubs() const { return hubs_.size(); }
+  [[nodiscard]] std::uint32_t total_chunks() const {
+    return chunk_begin_.empty() ? 0 : chunk_begin_.back();
+  }
+
+  [[nodiscard]] bool is_hub(VertexId v) const {
+    return !hub_of_.empty() && hub_of_[v] != kNoHub;
+  }
+  [[nodiscard]] std::uint32_t hub_index(VertexId v) const {
+    NDG_ASSERT(is_hub(v));
+    return hub_of_[v];
+  }
+  [[nodiscard]] VertexId hub_vertex(std::uint32_t h) const { return hubs_[h]; }
+  [[nodiscard]] std::uint32_t chunk_begin(std::uint32_t h) const {
+    return chunk_begin_[h];
+  }
+  [[nodiscard]] std::uint32_t num_chunks(std::uint32_t h) const {
+    return chunk_begin_[h + 1] - chunk_begin_[h];
+  }
+
+  /// The slice of hub_vertex's in-edge span a chunk covers.
+  struct ChunkRange {
+    VertexId v;
+    std::size_t begin;  // indices into g.in_edges(v)
+    std::size_t end;
+  };
+
+  [[nodiscard]] ChunkRange chunk_range(const Graph& g,
+                                       std::uint32_t chunk) const {
+    const std::uint32_t h = chunk_hub_[chunk];
+    const VertexId v = hubs_[h];
+    const std::size_t local = chunk - chunk_begin_[h];
+    const std::size_t deg = g.in_edges(v).size();
+    const std::size_t begin = local * chunk_edges_;
+    const std::size_t end = std::min(begin + chunk_edges_, deg);
+    return {v, begin, end};
+  }
+
+ private:
+  static constexpr std::uint32_t kNoHub = 0xffffffffu;
+
+  std::size_t chunk_edges_ = 1;
+  std::vector<std::uint32_t> hub_of_;       // V entries; kNoHub for non-hubs
+  std::vector<VertexId> hubs_;              // hub index -> vertex
+  std::vector<std::uint32_t> chunk_begin_;  // num_hubs+1 prefix sum
+  std::vector<std::uint32_t> chunk_hub_;    // chunk id -> hub index
+};
+
+/// Per-run mutable hub state. Partials reuse EdgeDataArray so chunk results
+/// are written and read through the SAME atomicity policy as edge data —
+/// Section III is exercised, not bypassed. Correctness does not hinge on the
+/// policy though: each partial slot has exactly one writer per round, and the
+/// acq_rel countdown orders every partial write before the combining read, so
+/// even AlignedAccess (plain aligned stores) is race-free here.
+template <EdgePod GD>
+class HubGatherState {
+ public:
+  HubGatherState() = default;
+
+  explicit HubGatherState(const HubTable& table)
+      : partials_(table.total_chunks()), remaining_(table.num_hubs()) {}
+
+  /// Called by the thread that drew hub h from the frontier, BEFORE pushing
+  /// the chunk tokens. Release pairs with the acquire in finish_chunk so a
+  /// fresh round never observes the previous round's countdown.
+  void arm(std::uint32_t h, std::uint32_t chunks) {
+    remaining_[h].store(chunks, std::memory_order_release);
+  }
+
+  /// Stores a chunk's partial through the policy. Single writer per slot per
+  /// round; visibility to the combiner comes from finish_chunk's ordering.
+  template <typename Policy>
+  void store_partial(Policy& policy, std::uint32_t chunk, GD value) {
+    policy.write(partials_, static_cast<EdgeId>(chunk), value);
+  }
+
+  /// Decrements hub h's countdown; returns true for the last finisher, which
+  /// then owns the combine+apply. acq_rel: release publishes this chunk's
+  /// partial, acquire pulls in every other chunk's.
+  [[nodiscard]] bool finish_chunk(std::uint32_t h) {
+    return remaining_[h].fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  template <typename Policy>
+  [[nodiscard]] GD read_partial(Policy& policy, std::uint32_t chunk) const {
+    return policy.read(partials_, static_cast<EdgeId>(chunk));
+  }
+
+ private:
+  EdgeDataArray<GD> partials_;
+  std::vector<std::atomic<std::uint32_t>> remaining_;
+};
+
+}  // namespace perf
+}  // namespace ndg

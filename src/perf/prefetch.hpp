@@ -1,0 +1,53 @@
+#pragma once
+// Software prefetch for the gather loop. The CSC in-edge scan is sequential
+// (the hardware prefetcher handles it) but each in-edge triggers a dependent
+// random read into the edge-data slot array — the classic miss-per-edge
+// pattern of pull-mode analytics. Issuing the slot address a fixed lookahead
+// ahead of the consuming read overlaps those misses (docs/PERF.md).
+//
+// Contexts opt in by exposing `prefetch(EdgeId)`; programs call the free
+// function prefetch_edge(ctx, e), which degrades to a no-op on contexts
+// without slot storage (simulator, deterministic tracer, distributed), so a
+// single program source runs unchanged on every engine.
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace ndg {
+
+namespace perf {
+
+/// In-edges to run ahead of the current gather position. Far enough to cover
+/// DRAM latency at one miss per edge, small enough to stay inside the span.
+inline constexpr std::size_t kGatherPrefetchDistance = 8;
+
+/// Read-intent prefetch with low temporal locality (gathered slots are
+/// touched once per update).
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace perf
+
+/// A context that can translate an edge id to a slot address.
+template <typename Ctx>
+concept HasSlotPrefetch = requires(Ctx& c, EdgeId e) { c.prefetch(e); };
+
+/// Prefetches edge e's data slot when the context supports it; no-op
+/// otherwise.
+template <typename Ctx>
+inline void prefetch_edge(Ctx& ctx, EdgeId e) {
+  if constexpr (HasSlotPrefetch<Ctx>) {
+    ctx.prefetch(e);
+  } else {
+    (void)ctx;
+    (void)e;
+  }
+}
+
+}  // namespace ndg

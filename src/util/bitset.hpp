@@ -44,10 +44,21 @@ class DenseBitset {
   [[nodiscard]] std::size_t count() const;
   [[nodiscard]] bool any() const;
 
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
   /// Calls fn(i) for every set bit, ascending.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
+    for_each_in_words(0, words_.size(), fn);
+  }
+
+  /// Calls fn(i) for every set bit whose word index lies in [word_begin,
+  /// word_end), ascending — the unit the dense frontier partitions across
+  /// threads (a word boundary is a vertex-label multiple of 64).
+  template <typename Fn>
+  void for_each_in_words(std::size_t word_begin, std::size_t word_end,
+                         Fn&& fn) const {
+    for (std::size_t w = word_begin; w < word_end; ++w) {
       std::uint64_t word = words_[w];
       while (word) {
         const int bit = __builtin_ctzll(word);
@@ -57,7 +68,38 @@ class DenseBitset {
     }
   }
 
+  /// Calls fn(i) for every set bit in [lo, hi), ascending. Masks the partial
+  /// boundary words so interval scans stay word-at-a-time.
+  template <typename Fn>
+  void for_each_in_range(std::size_t lo, std::size_t hi, Fn&& fn) const {
+    if (lo >= hi) return;
+    const std::size_t wb = lo >> 6;
+    const std::size_t we = (hi + 63) >> 6;
+    for (std::size_t w = wb; w < we; ++w) {
+      std::uint64_t word = words_[w];
+      if (w == wb) word &= ~0ULL << (lo & 63);
+      if (w == (hi - 1) >> 6 && (hi & 63) != 0) {
+        word &= (1ULL << (hi & 63)) - 1;
+      }
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Number of set bits in [lo, hi).
+  [[nodiscard]] std::size_t count_in_range(std::size_t lo,
+                                           std::size_t hi) const {
+    std::size_t n = 0;
+    for_each_in_range(lo, hi, [&n](std::size_t) { ++n; });
+    return n;
+  }
+
  private:
+  friend class AtomicBitset;  // snapshot_into writes words_ directly
+
   std::size_t num_bits_ = 0;
   std::vector<std::uint64_t> words_;
 };
@@ -112,6 +154,25 @@ class AtomicBitset {
   }
 
   [[nodiscard]] std::size_t count() const;
+
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  /// Relaxed word read — only meaningful between iterations, after a barrier
+  /// has ordered all set() calls before the reader.
+  [[nodiscard]] std::uint64_t word_relaxed(std::size_t w) const {
+    NDG_ASSERT(w < words_.size());
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
+  /// Copies the current bits into a same-sized DenseBitset. Single-threaded,
+  /// post-barrier: this is how the hybrid frontier materializes its dense
+  /// representation without touching atomics during the sweep.
+  void snapshot_into(DenseBitset& out) const {
+    NDG_ASSERT(out.num_bits_ == num_bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      out.words_[w] = words_[w].load(std::memory_order_relaxed);
+    }
+  }
 
   /// Single-threaded traversal (called between iterations, after the barrier).
   template <typename Fn>

@@ -1,0 +1,195 @@
+// Edge-parallel hub gather (perf/hub_gather.hpp): splitting a high-in-degree
+// vertex's gather into co-scheduled edge chunks is just another choice of
+// schedule, so for eligible programs (Theorems 1 & 2) the fixed point must be
+// unchanged under every Section III atomicity method. A star graph is the
+// pure hub case — one vertex owns nearly every in-edge — so every round of
+// the hub's update exercises the chunk arm/countdown/combine protocol.
+// Named test_sched_* so the NDG_TSAN CI job runs this binary; the kAligned
+// (deliberate plain access) rows are skipped under TSan because their races
+// are the point, not a bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/sssp.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/pure_async.hpp"
+#include "graph/generators.hpp"
+#include "perf/hub_gather.hpp"
+
+namespace ndg {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsanActive = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsanActive = true;
+#else
+constexpr bool kTsanActive = false;
+#endif
+#else
+constexpr bool kTsanActive = false;
+#endif
+
+constexpr VertexId kStarSize = 256;
+
+// Bidirectional star: hub 0 <-> every spoke. gen::star only points outward
+// (hub -> spokes), which gives the hub out-degree; hub GATHER needs the
+// in-edges, so add the reverse edges too. Hub in-degree = kStarSize - 1.
+Graph hub_graph() {
+  EdgeList el = gen::star(kStarSize);
+  const std::size_t spokes = el.size();
+  for (std::size_t e = 0; e < spokes; ++e) {
+    el.push_back({el[e].dst, el[e].src});
+  }
+  return Graph::build(kStarSize, std::move(el));
+}
+
+EngineOptions hub_opts(AtomicityMode mode, SchedulerKind kind) {
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.mode = mode;
+  opts.scheduler = kind;
+  opts.hub_threshold = 32;    // hub in-degree 255 >> 32; spokes stay whole
+  opts.hub_chunk_edges = 32;  // => 8 chunks per hub round
+  return opts;
+}
+
+constexpr AtomicityMode kAllModes[] = {AtomicityMode::kLocked,
+                                       AtomicityMode::kAligned,
+                                       AtomicityMode::kRelaxed,
+                                       AtomicityMode::kSeqCst};
+// Only shared worklists have a queue to co-schedule chunks on.
+constexpr SchedulerKind kSharedKinds[] = {SchedulerKind::kStealing,
+                                          SchedulerKind::kBucket};
+
+TEST(SchedHubGather, HubTablePartitionsInEdges) {
+  const Graph g = hub_graph();
+  const perf::HubTable table(g, /*threshold=*/32, /*chunk_edges=*/32);
+  ASSERT_FALSE(table.empty());
+  ASSERT_EQ(table.num_hubs(), 1u);
+  EXPECT_TRUE(table.is_hub(0));
+  EXPECT_FALSE(table.is_hub(1));
+  EXPECT_EQ(table.hub_vertex(0), 0u);
+  EXPECT_EQ(table.total_chunks(), 8u);  // ceil(255 / 32)
+  EXPECT_LE(table.total_chunks(), g.num_edges());  // lock-table coverage
+  // The chunk ranges must tile [in_begin, in_end) exactly, in order.
+  const auto in = g.in_edges(0);
+  std::size_t covered = 0;
+  for (std::uint32_t c = 0; c < table.num_chunks(0); ++c) {
+    const auto range = table.chunk_range(g, table.chunk_begin(0) + c);
+    EXPECT_EQ(range.v, 0u);
+    EXPECT_EQ(range.begin, covered);
+    EXPECT_GT(range.end, range.begin);
+    covered = range.end;
+  }
+  EXPECT_EQ(covered, in.size());
+}
+
+TEST(SchedHubGather, ChunkTokensRoundTrip) {
+  EXPECT_FALSE(perf::is_chunk_token(0));
+  EXPECT_FALSE(perf::is_chunk_token(perf::kChunkTokenFlag - 1));
+  const VertexId tok = perf::make_chunk_token(7);
+  EXPECT_TRUE(perf::is_chunk_token(tok));
+  EXPECT_EQ(perf::chunk_of_token(tok), 7u);
+}
+
+TEST(SchedHubGather, PageRankMatchesUnderEveryModeAndEngine) {
+  const Graph g = hub_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  for (const AtomicityMode mode : kAllModes) {
+    if (kTsanActive && mode == AtomicityMode::kAligned) continue;
+    for (const SchedulerKind kind : kSharedKinds) {
+      for (const bool async : {false, true}) {
+        const std::string label = std::string(to_string(mode)) + "/" +
+                                  to_string(kind) + (async ? "/async" : "/ne");
+        PageRankProgram prog(1e-4f);
+        EdgeDataArray<float> edges(g.num_edges());
+        prog.init(g, edges);
+        const EngineOptions opts = hub_opts(mode, kind);
+        const EngineResult r =
+            async ? run_pure_async(g, prog, edges, opts)
+                  : run_nondeterministic(g, prog, edges, opts);
+        ASSERT_TRUE(r.converged) << label;
+        EXPECT_GT(r.hub_splits, 0u) << label;
+        EXPECT_GE(r.hub_chunks, 8 * r.hub_splits) << label;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01)
+              << label << " vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedHubGather, SsspExactUnderEveryModeAndEngine) {
+  const Graph g = hub_graph();
+  const VertexId source = 1;  // a spoke: every path runs through the hub
+  std::vector<float> weights(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    weights[e] = SsspProgram::edge_weight(42, e);
+  }
+  const auto expected = ref::sssp(g, source, weights);
+  for (const AtomicityMode mode : kAllModes) {
+    if (kTsanActive && mode == AtomicityMode::kAligned) continue;
+    for (const SchedulerKind kind : kSharedKinds) {
+      for (const bool async : {false, true}) {
+        const std::string label = std::string(to_string(mode)) + "/" +
+                                  to_string(kind) + (async ? "/async" : "/ne");
+        SsspProgram prog(source, 42);
+        EdgeDataArray<SsspEdge> edges(g.num_edges());
+        prog.init(g, edges);
+        const EngineOptions opts = hub_opts(mode, kind);
+        const EngineResult r =
+            async ? run_pure_async(g, prog, edges, opts)
+                  : run_nondeterministic(g, prog, edges, opts);
+        ASSERT_TRUE(r.converged) << label;
+        EXPECT_GT(r.hub_splits, 0u) << label;
+        EXPECT_EQ(prog.distances(), expected) << label;
+      }
+    }
+  }
+}
+
+TEST(SchedHubGather, KnobInertOnStaticBlockAndWhenDisabled) {
+  const Graph g = hub_graph();
+  const auto expected = ref::pagerank(g, 0.85, 1e-10);
+  // kStaticBlock has no shared queue to co-schedule chunks on: the knob is
+  // documented-inert, results unchanged, telemetry zero.
+  {
+    PageRankProgram prog(1e-4f);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_nondeterministic(
+        g, prog, edges,
+        hub_opts(AtomicityMode::kRelaxed, SchedulerKind::kStaticBlock));
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.hub_splits, 0u);
+    EXPECT_EQ(r.hub_chunks, 0u);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NEAR(prog.ranks()[v], expected[v], 0.05 * expected[v] + 0.01);
+    }
+  }
+  // hub_threshold = 0 disables splitting on shared worklists too.
+  {
+    PageRankProgram prog(1e-4f);
+    EdgeDataArray<float> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts =
+        hub_opts(AtomicityMode::kRelaxed, SchedulerKind::kStealing);
+    opts.hub_threshold = 0;
+    const EngineResult r = run_nondeterministic(g, prog, edges, opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.hub_splits, 0u);
+    EXPECT_EQ(r.hub_chunks, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ndg
