@@ -1,0 +1,177 @@
+// Streaming-subsystem bench (docs/DYNAMIC.md): what does an epoch cost?
+//
+//   * batch apply     — DynGraph::apply throughput (mutations/s) at several
+//                       thread counts, on mixed insert/delete/reweight
+//                       batches over an R-MAT graph;
+//   * warm vs cold    — per-epoch recompute latency of IncrementalEngine
+//                       with the gate taking the warm path (Theorem 1/2)
+//                       versus forced cold re-initialization. The ratio is
+//                       the whole point of the subsystem: a small affected
+//                       set should re-converge orders of magnitude faster
+//                       than a from-scratch run.
+//
+// Flags: --vertices=16384 --edges=131072 --batch=1024 --epochs=4
+//        --threads=1,2,4 --algo=pagerank|sssp|wcc (default all)
+//        --json=PATH
+
+#include <iostream>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "bench_common.hpp"
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+namespace {
+
+struct Config {
+  VertexId vertices = 16384;
+  EdgeId edges = 131072;
+  std::size_t batch = 1024;
+  int epochs = 4;
+  std::vector<std::size_t> threads;
+};
+
+Graph base_graph(const Config& cfg) {
+  return Graph::build(cfg.vertices, gen::rmat(cfg.vertices, cfg.edges, 7));
+}
+
+/// Monotone batches (inserts + weight decreases) so every algorithm's gate
+/// stays on the warm path; the cold row forces the fallback via the
+/// kAssumeIneligible gate on an identical stream.
+dyn::MutationBatch make_batch(const dyn::DynGraph& dg, SplitMix64& rng,
+                              std::size_t size, std::uint64_t epoch) {
+  dyn::MutationBatch batch;
+  batch.epoch = epoch;
+  while (batch.mutations.size() < size) {
+    const auto u = static_cast<VertexId>(rng.next() % dg.num_vertices());
+    const auto v = static_cast<VertexId>(rng.next() % dg.num_vertices());
+    if (u == v) continue;
+    if (dg.has_edge(u, v)) {
+      batch.mutations.push_back(
+          dyn::Mutation{dyn::MutationKind::kWeightChange, u, v, 0.5f});
+    } else {
+      batch.mutations.push_back(
+          dyn::Mutation{dyn::MutationKind::kInsertEdge, u, v,
+                        1.0f + static_cast<float>(rng.next() % 8)});
+    }
+  }
+  return batch;
+}
+
+void bench_apply(const Config& cfg, TextTable& table) {
+  for (const std::size_t threads : cfg.threads) {
+    dyn::DynGraph dg(base_graph(cfg));
+    SplitMix64 rng(99);
+    double seconds = 0;
+    std::uint64_t applied = 0;
+    for (int e = 1; e <= cfg.epochs; ++e) {
+      const dyn::MutationBatch batch =
+          make_batch(dg, rng, cfg.batch, static_cast<std::uint64_t>(e));
+      dyn::ApplyStats stats;
+      Timer timer;
+      (void)dg.apply(batch, &stats, threads);
+      seconds += timer.seconds();
+      applied += stats.applied;
+    }
+    table.add_row({"batch-apply", "t" + std::to_string(threads),
+                   std::to_string(applied),
+                   TextTable::num(seconds * 1e3, 3),
+                   TextTable::num(static_cast<double>(applied) / seconds, 0),
+                   "-"});
+  }
+}
+
+template <typename Program>
+void bench_epochs(const std::string& name, Program prog_proto,
+                  const Config& cfg, TextTable& table,
+                  const dyn::DynGraphOptions& gopts) {
+  for (const bool warm : {true, false}) {
+    dyn::DynGraph dg(base_graph(cfg), gopts);
+    Program prog = prog_proto;
+    EngineOptions opts;
+    opts.num_threads = cfg.threads.back();
+    // Warm rows assert the theorem the algorithm satisfies; cold rows force
+    // the ineligible fallback on the same mutation stream.
+    dyn::EligibilityGate gate(warm ? (Program::kMonotonic
+                                          ? EligibilityVerdict::kTheorem2
+                                          : EligibilityVerdict::kTheorem1)
+                                   : EligibilityVerdict::kNotProven);
+    dyn::IncrementalEngine<Program> inc(dg, prog, gate, opts);
+    (void)inc.recompute_cold();
+
+    SplitMix64 rng(1234);
+    double seconds = 0;
+    std::uint64_t updates = 0;
+    for (int e = 1; e <= cfg.epochs; ++e) {
+      const dyn::MutationBatch batch =
+          make_batch(dg, rng, cfg.batch, static_cast<std::uint64_t>(e));
+      Timer timer;
+      const dyn::EpochResult r = inc.apply_epoch(batch);
+      seconds += timer.seconds();
+      updates += r.engine.updates;
+    }
+    const double per_epoch_ms = seconds * 1e3 / cfg.epochs;
+    table.add_row({name, warm ? "warm" : "cold",
+                   std::to_string(cfg.batch * cfg.epochs),
+                   TextTable::num(per_epoch_ms, 3), "-",
+                   std::to_string(updates)});
+  }
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  Config cfg;
+  cfg.vertices = static_cast<VertexId>(args.get_int("vertices", 16384));
+  cfg.edges = static_cast<EdgeId>(args.get_int("edges", 131072));
+  cfg.batch = static_cast<std::size_t>(args.get_int("batch", 1024));
+  cfg.epochs = static_cast<int>(args.get_int("epochs", 4));
+  cfg.threads = bench::parse_list(args.get("threads", "1,2,4"));
+  const std::string algo = args.get("algo", "all");
+
+  std::cout << "=== Streaming mutations: batch apply + warm vs cold epochs "
+               "===\n(|V|=" << cfg.vertices << ", |E|=" << cfg.edges
+            << ", batch=" << cfg.batch << ", epochs=" << cfg.epochs << ")\n\n";
+
+  TextTable table({"benchmark", "config", "mutations", "ms", "mut_per_s",
+                   "updates"});
+  bench_apply(cfg, table);
+
+  if (algo == "all" || algo == "pagerank") {
+    bench_epochs("epoch-pagerank", PageRankProgram(1e-4f), cfg, table, {});
+  }
+  if (algo == "all" || algo == "sssp") {
+    dyn::DynGraphOptions gopts;
+    gopts.base_weight = [](EdgeId e) {
+      return SsspProgram::edge_weight(42, e);
+    };
+    bench_epochs("epoch-sssp", SsspProgram(0, 42), cfg, table, gopts);
+  }
+  if (algo == "all" || algo == "wcc") {
+    bench_epochs("epoch-wcc", WccProgram(), cfg, table, {});
+  }
+
+  table.print(std::cout);
+  if (args.has("json")) {
+    const std::string path = args.get("json", "bench_dynamic.json");
+    table.write_json(path,
+                     "{\"bench\":\"bench_dynamic\",\"vertices\":" +
+                         std::to_string(cfg.vertices) +
+                         ",\"edges\":" + std::to_string(cfg.edges) +
+                         ",\"batch\":" + std::to_string(cfg.batch) +
+                         ",\"epochs\":" + std::to_string(cfg.epochs) + "}");
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return 0;
+}

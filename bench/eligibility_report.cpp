@@ -2,9 +2,13 @@
 // 1 & 2, Section IV) over every shipped algorithm and prints the verdicts —
 // the "key ring, which tells whether a graph algorithm is eligible for
 // nondeterministic executions", that Section VI says is missing from
-// existing frameworks.
+// existing frameworks. Each algorithm then gets one nondeterministic run so
+// the report also surfaces the execution-layer telemetry next to its
+// verdict: how often the hybrid frontier went dense, how many hub gathers
+// were split into edge chunks, and the degree-weighted load imbalance.
 //
-// Flags: --scale=512 (analysis graph size divisor), --source=0.
+// Flags: --scale=512 (analysis graph size divisor), --source=0, --threads=4,
+//        --hub-threshold=64, --json=PATH (write a machine-readable manifest).
 
 #include <iostream>
 
@@ -20,24 +24,54 @@ int main(int argc, char** argv) {
   const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
   const auto source = static_cast<VertexId>(
       args.get_int("source", max_out_degree_vertex(d.graph)));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
+
+  EngineOptions ne_opts;
+  ne_opts.num_threads = threads;
+  ne_opts.scheduler = SchedulerKind::kStealing;  // shared worklist: hub-capable
+  ne_opts.hub_threshold =
+      static_cast<std::size_t>(args.get_int("hub-threshold", 64));
+
   std::cout << "=== Eligibility report: is your graph algorithm eligible for "
                "nondeterministic execution? ===\n"
             << "(analysis graph: " << d.name << ", |V|=" << d.graph.num_vertices()
-            << ", |E|=" << d.graph.num_edges() << ")\n\n";
+            << ", |E|=" << d.graph.num_edges() << "; NE telemetry: "
+            << threads << " threads, stealing, hub threshold "
+            << ne_opts.hub_threshold << ")\n\n";
 
   TextTable table({"algorithm", "BSP conv", "async conv", "RW conflicts",
-                   "WW conflicts", "monotonic", "verdict"});
+                   "WW conflicts", "monotonic", "verdict", "frontier_dense",
+                   "hub_splits", "load_imbalance"});
   std::vector<std::string> details;
   for (const auto& entry : algorithm_registry(source, 500000)) {
     const EligibilityReport r = entry.analyze(d.graph);
+    const EngineResult ne = entry.run_ne(d.graph, ne_opts);
+    std::size_t dense_iters = 0;
+    for (const std::uint8_t dense : ne.frontier_dense) dense_iters += dense;
     table.add_row({r.algorithm, r.bsp_converges ? "yes" : "no",
                    r.async_converges ? "yes" : "no",
                    std::to_string(r.conflicts.read_write),
                    std::to_string(r.conflicts.write_write),
-                   r.observed_monotonic ? "yes" : "no", to_string(r.verdict)});
+                   r.observed_monotonic ? "yes" : "no", to_string(r.verdict),
+                   std::to_string(dense_iters) + "/" +
+                       std::to_string(ne.frontier_dense.size()),
+                   std::to_string(ne.hub_splits),
+                   TextTable::num(ne.load_imbalance(), 3)});
     details.push_back(r.describe());
   }
   table.print(std::cout);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "eligibility_report.json");
+    table.write_json(
+        path,
+        "{\"bench\":\"eligibility_report\",\"graph\":\"" +
+            json_escape(d.name) + "\",\"scale\":" + std::to_string(scale) +
+            ",\"threads\":" + std::to_string(threads) +
+            ",\"hub_threshold\":" + std::to_string(ne_opts.hub_threshold) +
+            ",\"scheduler\":\"stealing\"}");
+    std::cout << "\nwrote " << path << "\n";
+  }
 
   std::cout << "\n--- full reports ---\n";
   for (const auto& text : details) std::cout << "\n" << text;

@@ -9,7 +9,8 @@ Both files must be TextTable::write_json manifests:
 
 Rows are matched on the key columns (default: benchmark, config, threads).
 A row regresses when candidate/baseline - 1 > threshold on the metric
-(default: ms, lower is better). Exit status: 0 clean, 1 regressions found,
+(default: ms, lower is better). Exit status: 0 clean (including a missing
+baseline file, which is normal on a fresh branch), 1 regressions found,
 2 usage/parse error. Rows present on only one side are reported but do not
 fail the diff (the bench grid may grow between revisions).
 
@@ -19,6 +20,7 @@ a lost representation switch), not percent-level drift.
 """
 
 import json
+import os
 import sys
 
 
@@ -60,6 +62,13 @@ def load_rows(path, key_cols, metric):
 
 def main(argv):
     baseline_path, candidate_path, opts = parse_args(argv)
+    if not os.path.exists(baseline_path):
+        # First run on a fresh branch/runner: there is nothing to diff
+        # against, which is expected, not an error — CI promotes the
+        # candidate manifest to become the next baseline.
+        print(f"bench_diff: no baseline at {baseline_path}; "
+              "nothing to compare (treating as success)")
+        return 0
     base = load_rows(baseline_path, opts["key"], opts["metric"])
     cand = load_rows(candidate_path, opts["key"], opts["metric"])
 

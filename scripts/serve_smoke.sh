@@ -1,0 +1,137 @@
+#!/bin/sh
+# End-to-end smoke test for ndg_serve (docs/DYNAMIC.md protocol).
+#
+# Drives a scripted session over stdin: SSSP on a 300-vertex chain, then
+#   epoch 1: 120 shortcut inserts 0->v (weight 3)      -> warm (Theorem 2)
+#   epoch 2: 5 weight DECREASES + 1 duplicate insert   -> warm, 1 rejected
+#   epoch 3: 1 delete                                  -> gate forces COLD
+# and greps the JSON replies for exact distances the chain topology pins
+# down (the only path to a shortcut target is the inserted edge itself).
+#
+# Usage: serve_smoke.sh <path-to-ndg_serve> [workdir]
+set -u
+
+SERVE="$1"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+SESSION="$WORK/session.jsonl"
+OUT="$WORK/serve_out.jsonl"
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- server output ---" >&2
+    cat "$OUT" >&2 2>/dev/null
+    exit 1
+}
+
+check() {
+    grep -q "$1" "$OUT" || fail "expected reply matching: $1"
+}
+
+# --- build the scripted session -------------------------------------------
+: > "$SESSION"
+
+# Epoch 1: 120 inserts 0->v, v = 2..121, weight 3. The chain path to any of
+# these costs >= v-1 >= 1 hops of weight >= 1, so dist(v) becomes exactly 3.
+v=2
+while [ "$v" -le 121 ]; do
+    echo "{\"op\":\"mutate\",\"kind\":\"insert\",\"src\":0,\"dst\":$v,\"weight\":3}" >> "$SESSION"
+    v=$((v + 1))
+done
+cat >> "$SESSION" <<'EOF'
+{"op":"recompute"}
+{"op":"query","vertex":50}
+{"op":"query","vertex":121}
+EOF
+
+# Epoch 2: monotone weight decreases (warm under Theorem 2) plus one
+# duplicate insert that must be rejected without spoiling the batch.
+cat >> "$SESSION" <<'EOF'
+{"op":"mutate","kind":"weight","src":0,"dst":50,"weight":1.25}
+{"op":"mutate","kind":"weight","src":0,"dst":51,"weight":2}
+{"op":"mutate","kind":"weight","src":0,"dst":52,"weight":2}
+{"op":"mutate","kind":"weight","src":0,"dst":53,"weight":2}
+{"op":"mutate","kind":"weight","src":0,"dst":54,"weight":2}
+{"op":"mutate","kind":"insert","src":0,"dst":50,"weight":9}
+{"op":"recompute"}
+{"op":"query","vertex":50}
+{"op":"query","vertex":51}
+EOF
+
+# Epoch 3: a delete is outside SSSP's monotone envelope -> cold recompute.
+cat >> "$SESSION" <<'EOF'
+{"op":"mutate","kind":"delete","src":0,"dst":60}
+{"op":"recompute"}
+{"op":"query","vertex":50}
+{"op":"stats"}
+{"op":"quit"}
+EOF
+
+# --- run -------------------------------------------------------------------
+"$SERVE" --algo=sssp --kind=chain --vertices=300 --gate=theorem2 \
+         --engine=ne --threads=4 < "$SESSION" > "$OUT" \
+    || fail "ndg_serve exited non-zero"
+
+# --- verify ----------------------------------------------------------------
+check '"ready":true'
+check '"verdict":"theorem-2"'
+
+# Epoch 1: warm start, all 120 inserts land.
+check '"epoch":1,"warm":true,"reason":"theorem-2-monotone-batch","applied":120,"rejected":0'
+check '"vertex":50,"value":3,"epoch":1'
+check '"vertex":121,"value":3,"epoch":1'
+
+# Epoch 2: still warm; the duplicate insert is rejected, the decrease lands.
+check '"epoch":2,"warm":true,"reason":"theorem-2-monotone-batch","applied":5,"rejected":1'
+check '"vertex":50,"value":1.25,"epoch":2'
+check '"vertex":51,"value":2,"epoch":2'
+
+# Epoch 3: delete forces the cold path; earlier answers stay consistent.
+check '"epoch":3,"warm":false,"reason":"non-monotone-mutation"'
+check '"vertex":50,"value":1.25,"epoch":3'
+check '"total_mutations":127'
+check '"warm_runs":2'
+check '"bye":true'
+
+grep -q '"converged":false' "$OUT" && fail "an epoch failed to converge"
+grep -q '"ok":false' "$OUT" && fail "a command errored"
+
+# --- unix-socket transport (when a python3 client is available) ------------
+if command -v python3 > /dev/null 2>&1; then
+    SOCK="$WORK/serve.sock"
+    "$SERVE" --algo=wcc --kind=chain --vertices=64 --gate=theorem2 \
+             --threads=2 --socket="$SOCK" &
+    SERVER_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -S "$SOCK" ] || { kill "$SERVER_PID" 2>/dev/null; fail "socket never appeared"; }
+
+    python3 - "$SOCK" > "$OUT" <<'PYEOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b'{"op":"mutate","kind":"insert","src":0,"dst":63,"weight":1}\n'
+          b'{"op":"recompute"}\n'
+          b'{"op":"query","vertex":63}\n'
+          b'{"op":"quit"}\n')
+buf = b""
+while True:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())
+PYEOF
+    wait "$SERVER_PID" || fail "socket-mode server exited non-zero"
+    check '"ready":true'
+    check '"epoch":1,"warm":true'
+    check '"vertex":63,"value":0,"epoch":1'
+    check '"bye":true'
+else
+    echo "note: python3 not found; skipping unix-socket transport check"
+fi
+
+echo "serve_smoke: OK"

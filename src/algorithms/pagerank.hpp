@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 #include "perf/prefetch.hpp"
 
@@ -39,21 +40,49 @@ class PageRankProgram {
 
   [[nodiscard]] const char* name() const { return "pagerank"; }
 
-  void init(const Graph& g, EdgeDataArray<float>& edges) {
+  template <typename GraphT>
+  void init(const GraphT& g, EdgeDataArray<float>& edges) {
     ranks_.assign(g.num_vertices(), 1.0f);
     deltas_.assign(g.num_vertices(), 1.0f);  // everyone starts "far" from fix
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       const EdgeId deg = g.out_degree(v);
       const float w = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
-      const EdgeId base = g.out_edges_begin(v);
-      for (EdgeId k = 0; k < deg; ++k) edges.set(base + k, w);
+      for (EdgeId k = 0; k < deg; ++k) edges.set(g.out_edge_id(v, k), w);
     }
   }
 
-  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+  template <typename GraphT>
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const GraphT& g) const {
     std::vector<VertexId> all(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
     return all;
+  }
+
+  // --- Dynamic hooks (src/dyn/, docs/DYNAMIC.md) ---
+  // Theorem 1 algorithm: the damped recurrence contracts to its fixed point
+  // from ANY starting state, so every mutation kind warm-starts.
+  [[nodiscard]] bool dyn_warm_ok(const dyn::AppliedMutation&) const {
+    return true;
+  }
+
+  /// A mutation at (u, v) changes u's out-degree, so the mass invariant
+  /// "out-edge value == rank(u) / out_degree(u)" breaks on ALL of u's
+  /// out-edges, not only the touched one — rewrite them all, then seed u,
+  /// its out-neighbors (their gather sums changed) and the detached target
+  /// of a delete (its sum lost a term without appearing in u's adjacency).
+  template <typename ViewT>
+  void dyn_apply(const ViewT& g, EdgeDataArray<float>& edges,
+                 const dyn::AppliedMutation& m, std::vector<VertexId>& seeds) {
+    const VertexId u = m.src;
+    const auto nbrs = g.out_neighbors(u);
+    const float w =
+        nbrs.empty() ? 0.0f : ranks_[u] / static_cast<float>(nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      edges.set(g.out_edge_id(u, k), w);
+    }
+    seeds.push_back(u);
+    seeds.insert(seeds.end(), nbrs.begin(), nbrs.end());
+    if (m.kind == dyn::MutationKind::kDeleteEdge) seeds.push_back(m.dst);
   }
 
   // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather

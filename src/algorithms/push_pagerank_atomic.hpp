@@ -43,17 +43,23 @@ class AtomicPushPageRankProgram {
 
   [[nodiscard]] const char* name() const { return "pagerank-push-atomic"; }
 
-  void init(const Graph& g, EdgeDataArray<float>& edges) {
+  template <typename GraphT>
+  void init(const GraphT& g, EdgeDataArray<float>& edges) {
     ranks_.assign(g.num_vertices(), 0.0f);
     seed_residual_.assign(g.num_vertices(), 1.0f - damping_);
     edges.fill(0.0f);
   }
 
-  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+  template <typename GraphT>
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const GraphT& g) const {
     std::vector<VertexId> all(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
     return all;
   }
+
+  // No dyn hooks on purpose: this program analyzes to kNotProven, so the
+  // streaming gate must route every batch to cold recompute — it is the
+  // ineligible-fallback exhibit in tests/test_dyn_incremental.cpp.
 
   template <typename Ctx>
   void update(VertexId v, Ctx& ctx) {

@@ -10,54 +10,50 @@
 #include "algorithms/spmv.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/wcc.hpp"
+#include "engine/nondeterministic.hpp"
 
 namespace ndg {
+
+namespace {
+
+/// Builds both closures of an entry from the program's constructor args (the
+/// args are captured by value, so every invocation starts a fresh program).
+template <typename Program, typename... Args>
+AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
+                          Args... ctor_args) {
+  AlgorithmEntry entry;
+  entry.name = std::move(name);
+  entry.analyze = [max_iterations, ctor_args...](const Graph& g) {
+    Program prog(ctor_args...);
+    return analyze_eligibility(g, prog, max_iterations);
+  };
+  entry.run_ne = [ctor_args...](const Graph& g, const EngineOptions& opts) {
+    Program prog(ctor_args...);
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return run_nondeterministic(g, prog, edges, opts);
+  };
+  return entry;
+}
+
+}  // namespace
 
 std::vector<AlgorithmEntry> algorithm_registry(VertexId source,
                                                std::size_t max_iterations) {
   std::vector<AlgorithmEntry> entries;
-
-  entries.push_back({"pagerank", [max_iterations](const Graph& g) {
-                       PageRankProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"spmv", [max_iterations](const Graph& g) {
-                       SpmvProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"wcc", [max_iterations](const Graph& g) {
-                       WccProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"sssp", [source, max_iterations](const Graph& g) {
-                       SsspProgram prog(source);
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"bfs", [source, max_iterations](const Graph& g) {
-                       BfsProgram prog(source);
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"pagerank-push", [max_iterations](const Graph& g) {
-                       PushPageRankProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"pagerank-push-atomic", [max_iterations](const Graph& g) {
-                       AtomicPushPageRankProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"label-propagation", [max_iterations](const Graph& g) {
-                       LabelPropagationProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"kcore", [max_iterations](const Graph& g) {
-                       KCoreProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-  entries.push_back({"mis", [max_iterations](const Graph& g) {
-                       MisProgram prog;
-                       return analyze_eligibility(g, prog, max_iterations);
-                     }});
-
+  entries.push_back(make_entry<PageRankProgram>("pagerank", max_iterations));
+  entries.push_back(make_entry<SpmvProgram>("spmv", max_iterations));
+  entries.push_back(make_entry<WccProgram>("wcc", max_iterations));
+  entries.push_back(make_entry<SsspProgram>("sssp", max_iterations, source));
+  entries.push_back(make_entry<BfsProgram>("bfs", max_iterations, source));
+  entries.push_back(
+      make_entry<PushPageRankProgram>("pagerank-push", max_iterations));
+  entries.push_back(make_entry<AtomicPushPageRankProgram>(
+      "pagerank-push-atomic", max_iterations));
+  entries.push_back(make_entry<LabelPropagationProgram>("label-propagation",
+                                                        max_iterations));
+  entries.push_back(make_entry<KCoreProgram>("kcore", max_iterations));
+  entries.push_back(make_entry<MisProgram>("mis", max_iterations));
   return entries;
 }
 

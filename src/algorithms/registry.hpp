@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/eligibility.hpp"
+#include "engine/options.hpp"
 #include "graph/graph.hpp"
 
 namespace ndg {
@@ -16,6 +17,11 @@ struct AlgorithmEntry {
   std::string name;
   /// Runs the full eligibility analysis for this algorithm on g.
   std::function<EligibilityReport(const Graph& g)> analyze;
+  /// One nondeterministic run on a fresh program/edge state, returning the
+  /// full EngineResult (frontier representation choices, hub splits, steal
+  /// and load-balance telemetry) — the eligibility report surfaces these
+  /// alongside the verdicts.
+  std::function<EngineResult(const Graph& g, const EngineOptions& opts)> run_ne;
 };
 
 /// All shipped algorithms. `source` seeds SSSP/BFS; `max_iterations` caps the

@@ -15,10 +15,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <concepts>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 #include "perf/prefetch.hpp"
 #include "util/rng.hpp"
@@ -51,25 +53,72 @@ class SsspProgram {
                       static_cast<float>(1 << 24);
   }
 
-  void init(const Graph& g, EdgeDataArray<SsspEdge>& edges) {
+  /// Weight of edge id e as seen through graph view GraphT: dynamic views
+  /// carry an explicit per-edge weight array (mutations change weights, and
+  /// inserted ids would collide with the hash), the static Graph derives the
+  /// weight from (seed, e) as in the paper's setup.
+  template <typename GraphT>
+  [[nodiscard]] float view_weight(const GraphT& g, EdgeId e) const {
+    if constexpr (requires(const GraphT& gg, EdgeId ee) {
+                    { gg.edge_weight(ee) } -> std::convertible_to<float>;
+                  }) {
+      return g.edge_weight(e);
+    } else {
+      (void)g;
+      return edge_weight(weight_seed_, e);
+    }
+  }
+
+  template <typename GraphT>
+  void init(const GraphT& g, EdgeDataArray<SsspEdge>& edges) {
     dists_.assign(g.num_vertices(), kInf);
     dists_[source_] = 0.0f;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      const EdgeId base = g.out_edges_begin(v);
       const EdgeId deg = g.out_degree(v);
       for (EdgeId k = 0; k < deg; ++k) {
-        edges.set(base + k,
-                  SsspEdge{edge_weight(weight_seed_, base + k), dists_[v]});
+        const EdgeId e = g.out_edge_id(v, k);
+        edges.set(e, SsspEdge{view_weight(g, e), dists_[v]});
       }
     }
   }
 
-  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+  template <typename GraphT>
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const GraphT& g) const {
     // init() already placed the source's distance on its out-edges, so the
     // first updates that make progress are the source's successors.
     std::vector<VertexId> seeds{source_};
     for (const VertexId u : g.out_neighbors(source_)) seeds.push_back(u);
     return seeds;
+  }
+
+  // --- Dynamic hooks (src/dyn/, docs/DYNAMIC.md) ---
+  // Theorem 2 algorithm: distances only ever DECREASE, so a warm start is
+  // sound exactly when the mutation cannot raise any true distance — edge
+  // inserts (new paths only shorten) and weight decreases. Deletes and
+  // weight increases can raise the fixed point above the current state; the
+  // gate falls back to cold recompute for those.
+  [[nodiscard]] bool dyn_warm_ok(const dyn::AppliedMutation& m) const {
+    switch (m.kind) {
+      case dyn::MutationKind::kInsertEdge: return true;
+      case dyn::MutationKind::kWeightChange: return m.weight <= m.old_weight;
+      case dyn::MutationKind::kDeleteEdge: return false;
+    }
+    return false;
+  }
+
+  /// Stamp the (new) weight and the source's current tentative distance on
+  /// the touched edge, then seed the target (its gather gained a candidate)
+  /// and the source (cheap, and re-checks the source's own fixed point).
+  template <typename ViewT>
+  void dyn_apply(const ViewT& g, EdgeDataArray<SsspEdge>& edges,
+                 const dyn::AppliedMutation& m, std::vector<VertexId>& seeds) {
+    if (m.kind == dyn::MutationKind::kDeleteEdge) {
+      seeds.push_back(m.dst);  // defensive: gate forces cold for deletes
+      return;
+    }
+    edges.set(m.id, SsspEdge{view_weight(g, m.id), dists_[m.src]});
+    seeds.push_back(m.src);
+    seeds.push_back(m.dst);
   }
 
   // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -29,16 +30,43 @@ class WccProgram {
 
   [[nodiscard]] const char* name() const { return "wcc"; }
 
-  void init(const Graph& g, EdgeDataArray<std::uint32_t>& edges) {
+  template <typename GraphT>
+  void init(const GraphT& g, EdgeDataArray<std::uint32_t>& edges) {
     labels_.resize(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) labels_[v] = v;
     edges.fill(kInfiniteLabel);
   }
 
-  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+  template <typename GraphT>
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const GraphT& g) const {
     std::vector<VertexId> all(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
     return all;
+  }
+
+  // --- Dynamic hooks (src/dyn/, docs/DYNAMIC.md) ---
+  // Theorem 2 algorithm: labels only DECREASE. An insert can only merge
+  // components (labels fall further — warm-safe); a delete can split one
+  // (labels would need to RISE — cold). Weights are irrelevant to WCC, so
+  // weight changes warm-start as no-ops.
+  [[nodiscard]] bool dyn_warm_ok(const dyn::AppliedMutation& m) const {
+    return m.kind != dyn::MutationKind::kDeleteEdge;
+  }
+
+  /// New edges start at the infinite label exactly as in Fig. 2 init; the
+  /// endpoints re-run and propagate the smaller component label across.
+  template <typename ViewT>
+  void dyn_apply(const ViewT& g, EdgeDataArray<std::uint32_t>& edges,
+                 const dyn::AppliedMutation& m, std::vector<VertexId>& seeds) {
+    (void)g;
+    if (m.kind == dyn::MutationKind::kInsertEdge) {
+      edges.set(m.id, kInfiniteLabel);
+      seeds.push_back(m.src);
+      seeds.push_back(m.dst);
+    } else if (m.kind == dyn::MutationKind::kDeleteEdge) {
+      seeds.push_back(m.src);  // defensive: gate forces cold for deletes
+      seeds.push_back(m.dst);
+    }
   }
 
   template <typename Ctx>

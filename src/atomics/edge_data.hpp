@@ -91,6 +91,21 @@ class EdgeDataArray {
     return reinterpret_cast<const std::atomic<std::uint64_t>*>(raw_.data());
   }
 
+  /// Grows the slot array to `n` edges, preserving existing data (edge ids
+  /// are stable across growth). New slots hold `init`. Shrinking is a no-op:
+  /// the dynamic-graph layer only ever retires ids at compaction, which
+  /// rebuilds the array wholesale. Callers must be quiescent (no concurrent
+  /// readers/writers) — growth happens between epochs in src/dyn/.
+  void resize(EdgeId n, T init = T{}) {
+    if (n <= size_) return;
+    raw_ = raw_.resized(n);
+    const std::uint64_t s = detail::to_slot(init);
+    for (EdgeId e = size_; e < n; ++e) {
+      slots()[e].store(s, std::memory_order_relaxed);
+    }
+    size_ = n;
+  }
+
   /// Deep copy (used by the BSP engine's double buffering and by the
   /// result-variance experiments to snapshot runs). Keeps the placement spec.
   [[nodiscard]] EdgeDataArray clone() const {

@@ -1,0 +1,296 @@
+#include "dyn/dyn_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "sched/stealing.hpp"
+#include "util/thread_team.hpp"
+
+namespace ndg::dyn {
+
+DynGraph::DynGraph(Graph base, DynGraphOptions opts)
+    : base_(std::move(base)),
+      overlay_(base_.num_vertices()),
+      weights_(opts.mem),
+      next_edge_id_(base_.num_edges()),
+      live_edges_(base_.num_edges()),
+      compact_threshold_(opts.compact_threshold),
+      mem_(opts.mem),
+      base_weight_(std::move(opts.base_weight)) {
+  weights_.resize(next_edge_id_);
+  for (EdgeId e = 0; e < next_edge_id_; ++e) {
+    weights_[e] = base_weight_ ? base_weight_(e) : 1.0f;
+  }
+}
+
+EdgeId DynGraph::find_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return kInvalidEdge;
+  const std::span<const VertexId> nbrs = out_neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return out_edge_id(u, static_cast<std::size_t>(it - nbrs.begin()));
+}
+
+void DynGraph::ensure_out_unpacked(VertexId v) {
+  Overlay& o = overlay_[v];
+  if (o.out_unpacked) return;
+  o.out_targets = SegVec<VertexId>(mem_);
+  o.out_ids = SegVec<EdgeId>(mem_);
+  o.out_targets.assign(base_.out_neighbors(v));
+  const EdgeId deg = base_.out_degree(v);
+  o.out_ids.reserve(deg);
+  for (EdgeId k = 0; k < deg; ++k) o.out_ids.push_back(base_.out_edge_id(v, k));
+  o.out_unpacked = true;
+}
+
+void DynGraph::ensure_in_unpacked(VertexId v) {
+  Overlay& o = overlay_[v];
+  if (o.in_unpacked) return;
+  o.in = SegVec<InEdge>(mem_);
+  o.in.assign(base_.in_edges(v));
+  o.in_unpacked = true;
+}
+
+namespace {
+
+/// Contiguous run of applied topology mutations sharing one key vertex.
+struct Group {
+  VertexId key;
+  std::size_t begin;
+  std::size_t end;
+};
+
+std::vector<Group> group_by(std::vector<const AppliedMutation*>& muts,
+                            bool by_src) {
+  std::stable_sort(muts.begin(), muts.end(),
+                   [by_src](const AppliedMutation* a, const AppliedMutation* b) {
+                     const VertexId ka = by_src ? a->src : a->dst;
+                     const VertexId kb = by_src ? b->src : b->dst;
+                     return ka < kb;
+                   });
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < muts.size();) {
+    const VertexId key = by_src ? muts[i]->src : muts[i]->dst;
+    std::size_t j = i;
+    while (j < muts.size() && (by_src ? muts[j]->src : muts[j]->dst) == key) {
+      ++j;
+    }
+    groups.push_back({key, i, j});
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<AppliedMutation> DynGraph::apply(const MutationBatch& batch,
+                                             ApplyStats* stats,
+                                             std::size_t num_threads) {
+  ApplyStats local{};
+  std::vector<AppliedMutation> applied;
+  applied.reserve(batch.size());
+
+  // Serial validation + id assignment. Adjacency is untouched here, so
+  // find_edge sees the pre-batch state; the `touched` set enforces the
+  // one-mutation-per-edge-per-epoch rule that keeps the parallel phases
+  // below free of same-edge ordering questions.
+  std::unordered_set<std::uint64_t> touched;
+  touched.reserve(batch.size() * 2);
+  const auto edge_key = [](VertexId u, VertexId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  for (const Mutation& m : batch.mutations) {
+    RejectReason why = RejectReason::kNone;
+    if (m.src >= num_vertices() || m.dst >= num_vertices()) {
+      why = RejectReason::kOutOfRange;
+    } else if (m.src == m.dst) {
+      why = RejectReason::kSelfLoop;
+    } else if (touched.contains(edge_key(m.src, m.dst))) {
+      why = RejectReason::kConflictInBatch;
+    } else {
+      const EdgeId existing = find_edge(m.src, m.dst);
+      switch (m.kind) {
+        case MutationKind::kInsertEdge:
+          if (existing != kInvalidEdge) {
+            why = RejectReason::kDuplicateEdge;
+          } else {
+            const EdgeId id = next_edge_id_++;
+            weights_.resize(next_edge_id_);
+            weights_[id] = m.weight;
+            applied.push_back(
+                {m.kind, m.src, m.dst, id, m.weight, m.weight});
+            ++inserted_;
+            ++live_edges_;
+          }
+          break;
+        case MutationKind::kDeleteEdge:
+          if (existing == kInvalidEdge) {
+            why = RejectReason::kMissingEdge;
+          } else {
+            applied.push_back({m.kind, m.src, m.dst, existing,
+                               weights_[existing], weights_[existing]});
+            ++deleted_;
+            --live_edges_;
+          }
+          break;
+        case MutationKind::kWeightChange:
+          if (existing == kInvalidEdge) {
+            why = RejectReason::kMissingEdge;
+          } else {
+            const float old = weights_[existing];
+            weights_[existing] = m.weight;
+            applied.push_back({m.kind, m.src, m.dst, existing, m.weight, old});
+            ++reweighted_;
+          }
+          break;
+      }
+    }
+    if (why != RejectReason::kNone) {
+      ++local.rejected;
+      ++local.by_reason[static_cast<std::size_t>(why)];
+    } else {
+      ++local.applied;
+      touched.insert(edge_key(m.src, m.dst));
+    }
+  }
+
+  // Topology mutations fan out in two phases over the Worklist concept:
+  // phase A updates out-sides keyed by src, phase B in-sides keyed by dst.
+  // Keys are unique per group and each phase touches one vertex side only,
+  // so workers never contend on a segment.
+  std::vector<const AppliedMutation*> topo;
+  for (const AppliedMutation& am : applied) {
+    if (am.kind != MutationKind::kWeightChange) topo.push_back(&am);
+  }
+  if (!topo.empty()) {
+    const std::size_t nt = std::max<std::size_t>(1, num_threads);
+    const auto run_phase = [&](bool by_src) {
+      std::vector<Group> groups = group_by(topo, by_src);
+      const auto run_group = [&](const Group& grp) {
+        if (by_src) {
+          apply_out_group(grp.key, topo, grp.begin, grp.end);
+        } else {
+          apply_in_group(grp.key, topo, grp.begin, grp.end);
+        }
+      };
+      if (nt == 1) {
+        for (const Group& grp : groups) run_group(grp);
+        return;
+      }
+      StealingWorklist wl(nt, /*chunk_size=*/4);
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        wl.push(0, static_cast<VertexId>(gi), 0);
+      }
+      wl.publish(0);
+      run_team(nt, [&](std::size_t tid) {
+        VertexId gi;
+        while (wl.try_pop(tid, gi)) run_group(groups[gi]);
+      });
+    };
+    run_phase(/*by_src=*/true);
+    run_phase(/*by_src=*/false);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return applied;
+}
+
+void DynGraph::apply_out_group(
+    VertexId u, const std::vector<const AppliedMutation*>& muts,
+    std::size_t begin, std::size_t end) {
+  ensure_out_unpacked(u);
+  Overlay& o = overlay_[u];
+  for (std::size_t i = begin; i < end; ++i) {
+    const AppliedMutation& m = *muts[i];
+    const VertexId* first = o.out_targets.data();
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(first, first + o.out_targets.size(), m.dst) - first);
+    if (m.kind == MutationKind::kInsertEdge) {
+      o.out_targets.insert_at(pos, m.dst);
+      o.out_ids.insert_at(pos, m.id);
+    } else {
+      NDG_ASSERT(pos < o.out_targets.size() && o.out_targets[pos] == m.dst);
+      o.out_targets.erase_at(pos);
+      o.out_ids.erase_at(pos);
+    }
+  }
+}
+
+void DynGraph::apply_in_group(
+    VertexId v, const std::vector<const AppliedMutation*>& muts,
+    std::size_t begin, std::size_t end) {
+  ensure_in_unpacked(v);
+  Overlay& o = overlay_[v];
+  for (std::size_t i = begin; i < end; ++i) {
+    const AppliedMutation& m = *muts[i];
+    const InEdge* first = o.in.data();
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(first, first + o.in.size(), m.src,
+                         [](const InEdge& e, VertexId s) { return e.src < s; }) -
+        first);
+    if (m.kind == MutationKind::kInsertEdge) {
+      o.in.insert_at(pos, InEdge{m.src, m.id});
+    } else {
+      NDG_ASSERT(pos < o.in.size() && o.in[pos].src == m.src);
+      o.in.erase_at(pos);
+    }
+  }
+}
+
+double DynGraph::overflow_ratio() const {
+  const EdgeId retired = next_edge_id_ - live_edges_;
+  const EdgeId grown =
+      next_edge_id_ > base_.num_edges() ? next_edge_id_ - base_.num_edges() : 0;
+  const double denom =
+      static_cast<double>(std::max<EdgeId>(1, base_.num_edges()));
+  return static_cast<double>(retired + grown) / denom;
+}
+
+EdgeList DynGraph::live_edge_list() const {
+  EdgeList edges;
+  edges.reserve(live_edges_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto nbrs = out_neighbors(v);
+    for (const VertexId u : nbrs) edges.push_back({v, u});
+  }
+  return edges;
+}
+
+DynGraph::CompactResult DynGraph::compact() {
+  CompactResult res;
+  res.old_edge_bound = next_edge_id_;
+  res.old_to_new.assign(next_edge_id_, kInvalidEdge);
+
+  const VertexId nv = num_vertices();
+  EdgeList edges;
+  edges.reserve(live_edges_);
+  SegVec<float> new_weights(mem_);
+  new_weights.reserve(live_edges_);
+  // Live edges emitted vertex-major with sorted targets == (src, dst) sorted
+  // order, which is exactly the canonical order Graph::build assigns ids in,
+  // so the new id of the k-th emitted edge is k.
+  EdgeId pos = 0;
+  for (VertexId v = 0; v < nv; ++v) {
+    const auto nbrs = out_neighbors(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const EdgeId old_id = out_edge_id(v, k);
+      res.old_to_new[old_id] = pos++;
+      new_weights.push_back(weights_[old_id]);
+      edges.push_back({v, nbrs[k]});
+    }
+  }
+
+  GraphBuildOptions gopts;
+  gopts.mem = mem_;
+  base_ = Graph::build(nv, std::move(edges), gopts);
+  std::vector<Overlay>(nv).swap(overlay_);
+  weights_ = std::move(new_weights);
+  next_edge_id_ = base_.num_edges();
+  live_edges_ = base_.num_edges();
+  ++compactions_;
+  res.new_num_edges = next_edge_id_;
+  return res;
+}
+
+}  // namespace ndg::dyn

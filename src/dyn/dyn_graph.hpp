@@ -1,0 +1,193 @@
+#pragma once
+// DynGraph — a mutable overlay over the immutable CSR/CSC Graph.
+//
+// The engines (and the VertexProgram update functions they drive) only ever
+// touch a graph through the span-based adjacency surface: num_vertices /
+// out_degree / out_neighbors / out_edge_id / in_edges. DynGraph reproduces
+// that surface over base-plus-overlay storage, so every engine templated on
+// GraphT (nondeterministic.hpp, pure_async.hpp) runs on a mutated topology
+// unchanged — no edge-at-a-time iterator abstraction, no virtual calls.
+//
+// Representation: unpack-on-write per-vertex segments. A vertex side (out or
+// in) starts as a view of the base CSR/CSC arrays; the FIRST mutation that
+// touches that side copies the base adjacency into an arena-backed SegVec
+// (dyn/seg_vec.hpp) and all later reads serve from the segment. Spans stay
+// contiguous and sorted (out by dst, in by src), so binary-search edge lookup
+// and the programs' random-access loops both keep working.
+//
+// Edge ids: base edges keep their canonical CSR ids; inserts take fresh ids
+// from a bump counter at the top of the id space (num_edges() is the id-space
+// BOUND, which is what EdgeDataArray/lock-table sizing needs — it counts
+// retired slots too). Deletes retire the id; retired ids are never reused
+// until compact(), which rebuilds an exact-size CSR via Graph::build and
+// returns an old-id -> new-id remap so callers can carry edge data across.
+//
+// Thread-safety: apply() is the only mutator and requires quiescence (no
+// concurrent engine run); it parallelizes internally over the Worklist
+// concept (src/sched/) with each vertex *side* owned by exactly one worker.
+// All read accessors are const and safe to share with a running engine
+// between batches.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dyn/mutation.hpp"
+#include "dyn/seg_vec.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace ndg::dyn {
+
+struct DynGraphOptions {
+  /// Weight assigned to each BASE edge id at construction (inserted edges
+  /// carry their mutation's weight). Null = every base edge weighs 1.0. SSSP
+  /// passes SsspProgram::edge_weight here so the dynamic view and the static
+  /// reference agree on the initial weights.
+  std::function<float(EdgeId)> base_weight;
+  /// compact() is advised (should_compact()) once overflow_ratio() exceeds
+  /// this. <= 0 advises compaction after any mutation.
+  double compact_threshold = 0.25;
+  /// Placement for overlay segments and the weight array.
+  MemSpec mem{};
+};
+
+class DynGraph {
+ public:
+  DynGraph() = default;
+  explicit DynGraph(Graph base, DynGraphOptions opts = {});
+
+  // --- Graph-view surface (what UpdateContext/AsyncContext consume) ---
+
+  [[nodiscard]] VertexId num_vertices() const { return base_.num_vertices(); }
+
+  /// Edge-ID SPACE BOUND, not the live-edge count: every valid edge id is
+  /// < num_edges(), but retired (deleted) ids below it stay allocated until
+  /// compact(). Size EdgeDataArray / lock tables with this.
+  [[nodiscard]] EdgeId num_edges() const { return next_edge_id_; }
+
+  [[nodiscard]] EdgeId num_live_edges() const { return live_edges_; }
+
+  [[nodiscard]] EdgeId out_degree(VertexId v) const {
+    const Overlay& o = overlay_[v];
+    return o.out_unpacked ? static_cast<EdgeId>(o.out_targets.size())
+                          : base_.out_degree(v);
+  }
+  [[nodiscard]] EdgeId in_degree(VertexId v) const {
+    const Overlay& o = overlay_[v];
+    return o.in_unpacked ? static_cast<EdgeId>(o.in.size())
+                         : base_.in_degree(v);
+  }
+
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId v) const {
+    const Overlay& o = overlay_[v];
+    return o.out_unpacked ? o.out_targets.span() : base_.out_neighbors(v);
+  }
+
+  [[nodiscard]] EdgeId out_edge_id(VertexId v, std::size_t k) const {
+    const Overlay& o = overlay_[v];
+    return o.out_unpacked ? o.out_ids[k] : base_.out_edge_id(v, k);
+  }
+
+  [[nodiscard]] std::span<const InEdge> in_edges(VertexId v) const {
+    const Overlay& o = overlay_[v];
+    return o.in_unpacked ? o.in.span() : base_.in_edges(v);
+  }
+
+  /// Current weight of a live edge id (inserted edges carry the mutation's
+  /// weight; base edges the construction-time weight; weight-changes the
+  /// latest value).
+  [[nodiscard]] float edge_weight(EdgeId e) const { return weights_[e]; }
+
+  // --- Lookup ---
+
+  /// Edge id of directed edge (u, v), or kInvalidEdge when absent.
+  [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const;
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  // --- Mutation ---
+
+  /// Applies one sealed batch. Each mutation is validated serially (ids
+  /// assigned, conflicts within the batch rejected — at most ONE mutation
+  /// per directed edge per epoch), then adjacency updates fan out over a
+  /// stealing worklist with `num_threads` workers: out-sides keyed by src,
+  /// then in-sides keyed by dst, so no vertex side sees two writers.
+  /// Returns the applied records in batch order (rejected ones omitted);
+  /// `stats` (optional) receives counts. Requires quiescence.
+  std::vector<AppliedMutation> apply(const MutationBatch& batch,
+                                     ApplyStats* stats = nullptr,
+                                     std::size_t num_threads = 1);
+
+  // --- Compaction ---
+
+  /// (retired id slots + ids grown past the base CSR) / base edges — the
+  /// fraction of edge-id space and overlay work a rebuild would reclaim.
+  [[nodiscard]] double overflow_ratio() const;
+  [[nodiscard]] bool should_compact() const {
+    return overflow_ratio() > compact_threshold_;
+  }
+
+  struct CompactResult {
+    /// old edge id -> new edge id; kInvalidEdge for retired ids. Size =
+    /// pre-compaction num_edges().
+    std::vector<EdgeId> old_to_new;
+    /// Pre-compaction id-space bound (== old_to_new.size()).
+    EdgeId old_edge_bound = 0;
+    /// Post-compaction edge count (== num_edges() afterwards).
+    EdgeId new_num_edges = 0;
+  };
+
+  /// Rebuilds the base CSR from the live edge set via Graph::build (exact-
+  /// size arrays, canonical sorted ids), drops every overlay segment, and
+  /// remaps the weight array. Edge data held OUTSIDE the graph must be
+  /// remapped by the caller with the returned table (IncrementalEngine does
+  /// this). Requires quiescence.
+  CompactResult compact();
+
+  /// Live edges as an (unsorted-id, sorted-(src,dst)) edge list — the input
+  /// compact() feeds Graph::build, exposed for equivalence tests.
+  [[nodiscard]] EdgeList live_edge_list() const;
+
+  [[nodiscard]] const Graph& base() const { return base_; }
+
+  /// Lifetime mutation counters (serve `stats` op).
+  [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
+  [[nodiscard]] std::uint64_t total_deleted() const { return deleted_; }
+  [[nodiscard]] std::uint64_t total_reweighted() const { return reweighted_; }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  struct Overlay {
+    SegVec<VertexId> out_targets;  // sorted by target id
+    SegVec<EdgeId> out_ids;        // parallel to out_targets
+    SegVec<InEdge> in;             // sorted by source id
+    bool out_unpacked = false;
+    bool in_unpacked = false;
+  };
+
+  void ensure_out_unpacked(VertexId v);
+  void ensure_in_unpacked(VertexId v);
+  void apply_out_group(VertexId u,
+                       const std::vector<const AppliedMutation*>& muts,
+                       std::size_t begin, std::size_t end);
+  void apply_in_group(VertexId v,
+                      const std::vector<const AppliedMutation*>& muts,
+                      std::size_t begin, std::size_t end);
+
+  Graph base_;
+  std::vector<Overlay> overlay_;
+  SegVec<float> weights_;  // indexed by edge id, grows with the id space
+  EdgeId next_edge_id_ = 0;
+  EdgeId live_edges_ = 0;
+  double compact_threshold_ = 0.25;
+  MemSpec mem_{};
+  std::function<float(EdgeId)> base_weight_;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t reweighted_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace ndg::dyn

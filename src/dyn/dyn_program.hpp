@@ -1,0 +1,56 @@
+#pragma once
+// The dynamic extension of the vertex-program contract (docs/DYNAMIC.md).
+//
+// A program opts into warm-started incremental recompute by adding two hooks
+// on top of the VertexProgram surface:
+//
+//   bool dyn_warm_ok(const AppliedMutation&) const;
+//       // Is THIS mutation inside the program's warm-start envelope? Only
+//       // consulted when the program's eligibility verdict is Theorem 2:
+//       // a monotone algorithm may warm-start only from mutations that move
+//       // edge state in its monotone direction (SSSP: inserts and weight
+//       // DECREASES; WCC: inserts). Theorem 1 programs converge to their
+//       // fixed point from any state, so the gate never asks them.
+//
+//   template <typename ViewT>
+//   void dyn_apply(const ViewT& g, EdgeDataArray<EdgeData>& edges,
+//                  const AppliedMutation& m, std::vector<VertexId>& seeds);
+//       // Patch edge state for one applied mutation so the pre-mutation
+//       // result becomes a VALID intermediate state of the algorithm on the
+//       // mutated graph, and append the vertices whose update functions must
+//       // re-run (the affected set — they become S_0 of the warm run). The
+//       // adjacency in `g` is already post-mutation; `m.id` slots already
+//       // exist in `edges` (the driver resizes first).
+//
+// Programs without the hooks still work through IncrementalEngine — every
+// batch is a cold recompute, which is also the fallback the eligibility gate
+// forces for kNotProven verdicts.
+
+#include <concepts>
+#include <vector>
+
+#include "atomics/edge_data.hpp"
+#include "dyn/dyn_graph.hpp"
+#include "dyn/mutation.hpp"
+#include "util/types.hpp"
+
+namespace ndg::dyn {
+
+/// The statically checkable half of the contract (dyn_apply is a template,
+/// so it is checked at instantiation against the concrete view type).
+template <typename P>
+concept MutationAwareProgram =
+    requires(const P p, const AppliedMutation& m) {
+      { p.dyn_warm_ok(m) } -> std::convertible_to<bool>;
+    };
+
+/// Full check against a concrete graph-view type.
+template <typename P, typename ViewT = DynGraph>
+concept DynamicProgram =
+    MutationAwareProgram<P> &&
+    requires(P p, const ViewT& g, EdgeDataArray<typename P::EdgeData>& edges,
+             const AppliedMutation& m, std::vector<VertexId>& seeds) {
+      { p.dyn_apply(g, edges, m, seeds) };
+    };
+
+}  // namespace ndg::dyn

@@ -1,0 +1,15 @@
+#include "dyn/eligibility_gate.hpp"
+
+namespace ndg::dyn {
+
+const char* to_string(GateMode m) {
+  switch (m) {
+    case GateMode::kAnalyze: return "analyze";
+    case GateMode::kAssumeTheorem1: return "assume-theorem-1";
+    case GateMode::kAssumeTheorem2: return "assume-theorem-2";
+    case GateMode::kAssumeIneligible: return "assume-ineligible";
+  }
+  return "?";
+}
+
+}  // namespace ndg::dyn

@@ -1,0 +1,147 @@
+#pragma once
+// EligibilityGate — decides, per mutation batch, whether incremental
+// recompute may WARM-start (seed the affected set into the frontier and keep
+// the previous edge state) or must fall back to a COLD re-initialization.
+//
+// The decision is grounded in the paper's two theorems (docs/DYNAMIC.md):
+//
+//   Theorem 1 (BSP-convergent, read-write conflicts only — PageRank-style
+//   fixed-point iteration): the algorithm contracts to its fixed point from
+//   ANY starting state, so the post-mutation state "previous result + patched
+//   edges" is just another starting state. Warm start is licensed for every
+//   mutation kind.
+//
+//   Theorem 2 (async-convergent + monotonic — SSSP/WCC-style traversal):
+//   convergence relies on edge values only ever moving one direction. A
+//   mutation that could move the true fixed point AGAINST that direction
+//   (deleting an edge can RAISE distances/labels; increasing a weight can
+//   RAISE distances) invalidates the previous state as a sound intermediate,
+//   so the gate asks the program (dyn_warm_ok) whether each applied mutation
+//   stays inside the monotone envelope and forces cold otherwise.
+//
+//   kNotProven: no guarantee from the paper — always cold.
+//
+// The verdict itself comes from core/eligibility's measured analysis on the
+// BASE graph (GateMode::kAnalyze) or from the caller's assertion (the
+// kAssume* modes, for tools that cannot afford the two instrumented runs).
+
+#include <cstddef>
+#include <string>
+
+#include "core/eligibility.hpp"
+#include "dyn/dyn_program.hpp"
+#include "dyn/mutation.hpp"
+
+namespace ndg::dyn {
+
+enum class GateMode {
+  kAnalyze,           // run analyze_eligibility on the base graph
+  kAssumeTheorem1,    // caller asserts a Theorem 1 algorithm
+  kAssumeTheorem2,    // caller asserts a Theorem 2 algorithm
+  kAssumeIneligible,  // force cold recompute always
+};
+
+[[nodiscard]] const char* to_string(GateMode m);
+
+/// One warm-or-cold ruling for a batch.
+struct GateDecision {
+  bool warm = false;
+  /// Why (static string): "theorem-1", "theorem-2-monotone-batch",
+  /// "not-proven", "non-monotone-mutation", "no-dyn-hooks", "forced-cold".
+  const char* reason = "";
+  /// Index into the applied batch of the first mutation that vetoed warm
+  /// start (only meaningful when !warm and reason=="non-monotone-mutation").
+  std::size_t blocking_mutation = static_cast<std::size_t>(-1);
+};
+
+class EligibilityGate {
+ public:
+  /// Gate that trusts the supplied verdict (the kAssume* constructors).
+  explicit EligibilityGate(EligibilityVerdict verdict)
+      : verdict_(verdict) {}
+
+  /// Builds the gate per `mode`. For kAnalyze this runs the full measured
+  /// analysis (two instrumented engine runs) on `base` — call it once at
+  /// startup, not per batch; the verdict is then fixed for the stream's
+  /// lifetime (mutation batches do not change an algorithm's conflict
+  /// pattern or monotone direction, only its data).
+  template <VertexProgram Program>
+  static EligibilityGate make(GateMode mode, const Graph& base, Program& prog,
+                              std::size_t max_iterations = 100000) {
+    switch (mode) {
+      case GateMode::kAssumeTheorem1:
+        return EligibilityGate(EligibilityVerdict::kTheorem1);
+      case GateMode::kAssumeTheorem2:
+        return EligibilityGate(EligibilityVerdict::kTheorem2);
+      case GateMode::kAssumeIneligible:
+        return EligibilityGate(EligibilityVerdict::kNotProven);
+      case GateMode::kAnalyze:
+        break;
+    }
+    const EligibilityReport rep =
+        analyze_eligibility(base, prog, max_iterations);
+    // Warm-start licensing is NOT the same question as NE-safety, so the
+    // verdict priority differs from core's: whenever the Theorem 2 premises
+    // hold (monotonic + async-convergent) the gate routes through the
+    // monotone-envelope check even if Theorem 1 also applies. A monotone
+    // program (SSSP analyzes to Theorem 1 — conflicts are read-write only)
+    // can never RAISE its state, so restarting it from a state below the
+    // new fixed point (a delete) would silently under-converge; only a
+    // genuine contraction (PageRank-style, where Theorem 2 does not apply)
+    // re-converges from arbitrary states.
+    EligibilityGate gate(rep.theorem2_applies ? EligibilityVerdict::kTheorem2
+                                              : rep.verdict);
+    gate.analyzed_ = true;
+    return gate;
+  }
+
+  [[nodiscard]] EligibilityVerdict verdict() const { return verdict_; }
+  [[nodiscard]] bool analyzed() const { return analyzed_; }
+
+  /// Rules on one applied batch. Pure function of the verdict, the program's
+  /// dyn hooks, and the mutations; no engine state involved.
+  template <typename Program>
+  [[nodiscard]] GateDecision decide(
+      const Program& prog, const std::vector<AppliedMutation>& batch) const {
+    GateDecision d;
+    switch (verdict_) {
+      case EligibilityVerdict::kNotProven:
+        d.warm = false;
+        d.reason = "not-proven";
+        return d;
+      case EligibilityVerdict::kTheorem1:
+        if constexpr (DynamicProgram<Program>) {
+          d.warm = true;
+          d.reason = "theorem-1";
+        } else {
+          d.warm = false;
+          d.reason = "no-dyn-hooks";
+        }
+        return d;
+      case EligibilityVerdict::kTheorem2:
+        break;
+    }
+    if constexpr (DynamicProgram<Program>) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!prog.dyn_warm_ok(batch[i])) {
+          d.warm = false;
+          d.reason = "non-monotone-mutation";
+          d.blocking_mutation = i;
+          return d;
+        }
+      }
+      d.warm = true;
+      d.reason = "theorem-2-monotone-batch";
+    } else {
+      d.warm = false;
+      d.reason = "no-dyn-hooks";
+    }
+    return d;
+  }
+
+ private:
+  EligibilityVerdict verdict_;
+  bool analyzed_ = false;
+};
+
+}  // namespace ndg::dyn

@@ -1,0 +1,160 @@
+#pragma once
+// IncrementalEngine — the epoch loop of the streaming subsystem: apply a
+// sealed MutationBatch to the DynGraph, ask the EligibilityGate whether the
+// previous result survives as a warm starting state, patch edge data through
+// the program's dyn hooks, and re-drive one of the racy engines from the
+// affected-vertex seed set (or cold-recompute when the gate says no).
+//
+// Ownership: the engine owns the EdgeDataArray (the algorithm's persistent
+// result state across epochs); the caller owns the DynGraph, the program and
+// the gate. Edge ids are stable WITHIN an epoch; when the overlay grows past
+// the compaction threshold the engine compacts after the recompute and remaps
+// its edge data with the old->new table, so the next epoch starts on a fresh
+// exact-size CSR with the warm state intact.
+//
+// Everything here requires quiescence between calls — ndg_serve's command
+// loop provides it by construction (queries are answered between epochs).
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/dyn_program.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/mutation.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/pure_async.hpp"
+
+namespace ndg::dyn {
+
+/// Which racy engine re-drives the computation each epoch.
+enum class DynEngine {
+  kNE,         // barriered nondeterministic engine (Section II model)
+  kPureAsync,  // barrier-free engine (§VII future work model)
+};
+
+[[nodiscard]] inline const char* to_string(DynEngine e) {
+  return e == DynEngine::kNE ? "ne" : "pure-async";
+}
+
+/// Per-epoch outcome (ndg_serve's `recompute` reply and the dyn benches).
+struct EpochResult {
+  std::uint64_t epoch = 0;
+  bool warm = false;
+  const char* gate_reason = "";
+  ApplyStats apply_stats;
+  std::size_t seed_count = 0;
+  EngineResult engine;
+  bool compacted = false;
+};
+
+template <VertexProgram Program>
+class IncrementalEngine {
+ public:
+  using EdgeData = typename Program::EdgeData;
+
+  IncrementalEngine(DynGraph& graph, Program& prog, EligibilityGate gate,
+                    EngineOptions opts, DynEngine engine = DynEngine::kNE)
+      : g_(&graph), prog_(&prog), gate_(std::move(gate)), opts_(opts),
+        engine_(engine) {}
+
+  /// Full cold pass on the CURRENT view: re-initializes program and edge
+  /// state and runs from the program's own initial frontier. Also the
+  /// warm-path fallback.
+  EngineResult recompute_cold() {
+    edges_ = EdgeDataArray<EdgeData>(g_->num_edges(), EdgeData{}, opts_.mem);
+    prog_->init(*g_, edges_);
+    ++cold_runs_;
+    return run_engine(prog_->initial_frontier(*g_));
+  }
+
+  /// Applies one sealed batch and brings the result back to a fixed point.
+  EpochResult apply_epoch(const MutationBatch& batch) {
+    EpochResult out;
+    out.epoch = batch.epoch;
+
+    const std::vector<AppliedMutation> applied =
+        g_->apply(batch, &out.apply_stats, opts_.num_threads);
+
+    const GateDecision decision = gate_.decide(*prog_, applied);
+    out.warm = decision.warm;
+    out.gate_reason = decision.reason;
+
+    if (applied.empty()) {
+      // Nothing landed (empty batch or all rejected): state is already a
+      // fixed point; no engine run needed.
+      out.engine.converged = true;
+      out.warm = true;
+      out.gate_reason = "empty-batch";
+    } else if (decision.warm) {
+      // Grow the slot array for freshly assigned ids, patch edge state per
+      // mutation, and resume from the affected set.
+      edges_.resize(g_->num_edges());
+      std::vector<VertexId> seeds;
+      if constexpr (DynamicProgram<Program>) {
+        for (const AppliedMutation& m : applied) {
+          prog_->dyn_apply(*g_, edges_, m, seeds);
+        }
+      }
+      out.seed_count = seeds.size();
+      ++warm_runs_;
+      out.engine = run_engine(std::move(seeds));
+    } else {
+      out.engine = recompute_cold();
+    }
+
+    if (g_->should_compact()) {
+      compact_now();
+      out.compacted = true;
+    }
+    ++epochs_;
+    return out;
+  }
+
+  /// Rebuilds the CSR and remaps the persistent edge data (warm state
+  /// survives under new ids). Exposed for tests; apply_epoch calls it
+  /// automatically past the threshold.
+  void compact_now() {
+    const DynGraph::CompactResult remap = g_->compact();
+    EdgeDataArray<EdgeData> packed(remap.new_num_edges, EdgeData{}, opts_.mem);
+    const EdgeId bound =
+        std::min<EdgeId>(remap.old_edge_bound, edges_.size());
+    for (EdgeId e = 0; e < bound; ++e) {
+      const EdgeId ne = remap.old_to_new[e];
+      if (ne != kInvalidEdge) packed.set(ne, edges_.get(e));
+    }
+    edges_ = std::move(packed);
+  }
+
+  [[nodiscard]] const EdgeDataArray<EdgeData>& edges() const { return edges_; }
+  [[nodiscard]] EdgeDataArray<EdgeData>& edges() { return edges_; }
+  [[nodiscard]] const EligibilityGate& gate() const { return gate_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] DynEngine engine_kind() const { return engine_; }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t warm_runs() const { return warm_runs_; }
+  [[nodiscard]] std::uint64_t cold_runs() const { return cold_runs_; }
+
+ private:
+  EngineResult run_engine(std::vector<VertexId> seeds) {
+    if (engine_ == DynEngine::kPureAsync) {
+      return run_pure_async_from(*g_, *prog_, edges_, std::move(seeds), opts_);
+    }
+    return run_nondeterministic_from(*g_, *prog_, edges_, std::move(seeds),
+                                     opts_);
+  }
+
+  DynGraph* g_;
+  Program* prog_;
+  EligibilityGate gate_;
+  EngineOptions opts_;
+  DynEngine engine_;
+  EdgeDataArray<EdgeData> edges_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t warm_runs_ = 0;
+  std::uint64_t cold_runs_ = 0;
+};
+
+}  // namespace ndg::dyn

@@ -1,0 +1,79 @@
+#pragma once
+// Mutation vocabulary of the streaming subsystem (docs/DYNAMIC.md).
+//
+// A Mutation is one requested topology/weight change; a MutationBatch is the
+// unit of application — everything stamped with the same epoch lands on the
+// graph between two quiescent points, so engines never observe a half-applied
+// batch. AppliedMutation is the validated, id-assigned record DynGraph hands
+// back: the incremental driver replays these through the algorithms' dyn
+// hooks to patch edge state and derive the affected-vertex seed set.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ndg::dyn {
+
+enum class MutationKind : std::uint8_t {
+  kInsertEdge,    // add directed edge (src, dst) with `weight`
+  kDeleteEdge,    // remove directed edge (src, dst)
+  kWeightChange,  // set weight of existing edge (src, dst) to `weight`
+};
+
+[[nodiscard]] const char* to_string(MutationKind k);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kInsertEdge;
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  /// New edge weight for kInsertEdge / kWeightChange; ignored for deletes.
+  float weight = 1.0f;
+};
+
+/// Why a mutation was refused. Batches are all-or-nothing per *mutation*, not
+/// per batch: rejected mutations are skipped and reported, accepted ones
+/// apply. kConflictInBatch is the documented simplification that keeps batch
+/// application embarrassingly parallel: at most one mutation per directed
+/// edge per epoch (resubmit the loser next epoch).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kOutOfRange,        // endpoint >= num_vertices
+  kSelfLoop,          // src == dst (the CSR builder strips these too)
+  kDuplicateEdge,     // insert of an edge that already exists
+  kMissingEdge,       // delete/weight-change of an edge that does not exist
+  kConflictInBatch,   // another mutation in this batch touches the same edge
+};
+
+[[nodiscard]] const char* to_string(RejectReason r);
+
+/// One validated, applied mutation. `id` is the canonical edge id the change
+/// landed on: for inserts a freshly assigned id (>= the pre-batch edge-id
+/// bound, so EdgeDataArray::resize makes room without disturbing old slots);
+/// for deletes the retired id; for weight changes the existing id.
+struct AppliedMutation {
+  MutationKind kind;
+  VertexId src;
+  VertexId dst;
+  EdgeId id;
+  float weight;      // post-mutation weight (undefined for deletes)
+  float old_weight;  // pre-mutation weight (== weight for inserts)
+};
+
+struct MutationBatch {
+  std::uint64_t epoch = 0;
+  std::vector<Mutation> mutations;
+
+  [[nodiscard]] bool empty() const { return mutations.empty(); }
+  [[nodiscard]] std::size_t size() const { return mutations.size(); }
+};
+
+/// Per-batch application telemetry (DynGraph::apply).
+struct ApplyStats {
+  std::uint64_t applied = 0;
+  std::uint64_t rejected = 0;
+  /// Rejections by reason, indexed by RejectReason's underlying value.
+  std::uint64_t by_reason[6] = {};
+};
+
+}  // namespace ndg::dyn

@@ -1,0 +1,77 @@
+#include "dyn/mutation_log.hpp"
+
+namespace ndg::dyn {
+
+const char* to_string(MutationKind k) {
+  switch (k) {
+    case MutationKind::kInsertEdge: return "insert";
+    case MutationKind::kDeleteEdge: return "delete";
+    case MutationKind::kWeightChange: return "weight";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kOutOfRange: return "out-of-range";
+    case RejectReason::kSelfLoop: return "self-loop";
+    case RejectReason::kDuplicateEdge: return "duplicate-edge";
+    case RejectReason::kMissingEdge: return "missing-edge";
+    case RejectReason::kConflictInBatch: return "conflict-in-batch";
+  }
+  return "?";
+}
+
+void MutationLog::append(const Mutation& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_.push_back(m);
+  ++total_appended_;
+}
+
+void MutationLog::append(const std::vector<Mutation>& ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_.insert(tail_.end(), ms.begin(), ms.end());
+  total_appended_ += ms.size();
+}
+
+MutationBatch MutationLog::seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutationBatch batch;
+  batch.epoch = next_epoch_++;
+  batch.mutations = std::move(tail_);
+  tail_.clear();
+  ++total_batches_;
+  if (history_limit_ > 0) {
+    sealed_.push_back(batch);
+    while (sealed_.size() > history_limit_) sealed_.pop_front();
+  }
+  return batch;
+}
+
+std::size_t MutationLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_.size();
+}
+
+std::uint64_t MutationLog::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_epoch_ - 1;
+}
+
+std::uint64_t MutationLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+std::uint64_t MutationLog::total_sealed_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_batches_;
+}
+
+std::vector<MutationBatch> MutationLog::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {sealed_.begin(), sealed_.end()};
+}
+
+}  // namespace ndg::dyn

@@ -1,0 +1,108 @@
+#pragma once
+// SegVec — a minimal growable POD array on top of mem::Buffer, used for the
+// dynamic graph's per-vertex overflow adjacency segments and its per-edge
+// weight array. It exists so overlay storage rides the same arena (hugepage /
+// NUMA placement, docs/PERF.md) as the base CSR instead of the general-
+// purpose heap: segments are read on the engines' hot gather path, where the
+// base topology already gets placement treatment. Growth is geometric through
+// Buffer::resized (one allocation + one memcpy). Not thread-safe; the batch
+// applier guarantees each segment is touched by exactly one worker.
+
+#include <cstddef>
+#include <span>
+
+#include "mem/numa_arena.hpp"
+#include "util/assert.hpp"
+
+namespace ndg::dyn {
+
+template <typename T>
+class SegVec {
+ public:
+  SegVec() = default;
+  explicit SegVec(const MemSpec& spec) : spec_(spec) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  [[nodiscard]] T* data() { return buf_.data(); }
+  [[nodiscard]] const T* data() const { return buf_.data(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    NDG_ASSERT(i < size_);
+    return buf_.data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    NDG_ASSERT(i < size_);
+    return buf_.data()[i];
+  }
+
+  [[nodiscard]] std::span<const T> span() const { return {data(), size_}; }
+
+  void reserve(std::size_t n) {
+    if (n <= buf_.size()) return;
+    if (buf_.empty()) {
+      // First allocation: adopt this SegVec's placement spec (resized() keeps
+      // the spec of the buffer it grows, which for an empty one is default).
+      mem::Buffer<T> fresh(grow_to(n), spec_);
+      buf_ = std::move(fresh);
+    } else {
+      buf_ = buf_.resized(grow_to(n));
+    }
+  }
+
+  void push_back(T v) {
+    reserve(size_ + 1);
+    buf_.data()[size_++] = v;
+  }
+
+  /// Inserts v at `pos`, shifting [pos, size) right — the sorted-adjacency
+  /// maintenance primitive (O(segment) per insert; segments are one vertex's
+  /// adjacency, so this is bounded by degree).
+  void insert_at(std::size_t pos, T v) {
+    NDG_ASSERT(pos <= size_);
+    reserve(size_ + 1);
+    T* d = buf_.data();
+    for (std::size_t i = size_; i > pos; --i) d[i] = d[i - 1];
+    d[pos] = v;
+    ++size_;
+  }
+
+  void erase_at(std::size_t pos) {
+    NDG_ASSERT(pos < size_);
+    T* d = buf_.data();
+    for (std::size_t i = pos + 1; i < size_; ++i) d[i - 1] = d[i];
+    --size_;
+  }
+
+  void assign(std::span<const T> src) {
+    reserve(src.size());
+    T* d = buf_.data();
+    for (std::size_t i = 0; i < src.size(); ++i) d[i] = src[i];
+    size_ = src.size();
+  }
+
+  /// Grows (zero-filling new elements) or shrinks the logical size.
+  void resize(std::size_t n) {
+    reserve(n);
+    T* d = buf_.data();
+    for (std::size_t i = size_; i < n; ++i) d[i] = T{};
+    size_ = n;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  [[nodiscard]] std::size_t grow_to(std::size_t n) const {
+    std::size_t cap = buf_.size() < 4 ? 4 : buf_.size();
+    while (cap < n) cap += cap / 2 + 1;
+    return cap;
+  }
+
+  mem::Buffer<T> buf_;
+  std::size_t size_ = 0;
+  MemSpec spec_{};
+};
+
+}  // namespace ndg::dyn

@@ -1,0 +1,233 @@
+#include "dyn/wire.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace ndg::dyn {
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!done() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                       s[i] == '\n')) {
+      ++i;
+    }
+  }
+};
+
+bool fail(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+/// Parses a JSON string (cursor on the opening quote), unescaping into out.
+bool parse_string(Cursor& c, std::string& out, std::string* err) {
+  ++c.i;  // opening quote
+  out.clear();
+  while (!c.done()) {
+    const char ch = c.s[c.i];
+    if (ch == '"') {
+      ++c.i;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c.i;
+      if (c.done()) break;
+      const char esc = c.s[c.i];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (c.i + 4 >= c.s.size()) return fail(err, "truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 1; k <= 4; ++k) {
+            const char h = c.s[c.i + k];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(err, "bad hex digit in \\u escape");
+          }
+          c.i += 4;
+          // UTF-8 encode (BMP only; surrogate pairs land as two 3-byte
+          // sequences, fine for the ASCII-only protocol fields).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail(err, "unknown escape");
+      }
+      ++c.i;
+      continue;
+    }
+    out.push_back(ch);
+    ++c.i;
+  }
+  return fail(err, "unterminated string");
+}
+
+/// Parses a scalar (number / true / false / null), storing its literal text.
+bool parse_scalar(Cursor& c, std::string& out, std::string* err) {
+  const std::size_t start = c.i;
+  while (!c.done()) {
+    const char ch = c.s[c.i];
+    if (ch == ',' || ch == '}' || ch == ' ' || ch == '\t' || ch == '\r' ||
+        ch == '\n') {
+      break;
+    }
+    if (ch == '{' || ch == '[') return fail(err, "nested values not allowed");
+    ++c.i;
+  }
+  if (c.i == start) return fail(err, "empty value");
+  out.assign(c.s.substr(start, c.i - start));
+  return true;
+}
+
+}  // namespace
+
+const std::string* WireMessage::find(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool WireMessage::get_string(std::string_view key, std::string& out) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return false;
+  out = *v;
+  return true;
+}
+
+bool WireMessage::get_u64(std::string_view key, std::uint64_t& out) const {
+  const std::string* v = find(key);
+  if (v == nullptr || v->empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  return ec == std::errc{} && ptr == v->data() + v->size();
+}
+
+bool WireMessage::get_double(std::string_view key, double& out) const {
+  const std::string* v = find(key);
+  if (v == nullptr || v->empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(v->c_str(), &end);
+  return end == v->c_str() + v->size();
+}
+
+bool WireMessage::get_bool(std::string_view key, bool& out) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return false;
+  if (*v == "true") { out = true; return true; }
+  if (*v == "false") { out = false; return true; }
+  return false;
+}
+
+bool parse_wire(std::string_view line, WireMessage& out, std::string* err) {
+  out = WireMessage{};
+  Cursor c{line};
+  c.skip_ws();
+  if (c.done() || c.peek() != '{') return fail(err, "expected '{'");
+  ++c.i;
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.i;
+    return true;  // empty object
+  }
+  while (true) {
+    c.skip_ws();
+    if (c.done() || c.peek() != '"') return fail(err, "expected key string");
+    std::string key;
+    if (!parse_string(c, key, err)) return false;
+    c.skip_ws();
+    if (c.done() || c.peek() != ':') return fail(err, "expected ':'");
+    ++c.i;
+    c.skip_ws();
+    if (c.done()) return fail(err, "expected value");
+    std::string value;
+    if (c.peek() == '"') {
+      if (!parse_string(c, value, err)) return false;
+    } else {
+      if (!parse_scalar(c, value, err)) return false;
+    }
+    out.add(std::move(key), std::move(value));
+    c.skip_ws();
+    if (c.done()) return fail(err, "unterminated object");
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.i;
+      c.skip_ws();
+      if (!c.done()) return fail(err, "trailing characters after object");
+      return true;
+    }
+    return fail(err, "expected ',' or '}'");
+  }
+}
+
+WireWriter& WireWriter::str(std::string_view key, std::string_view value) {
+  parts_.emplace_back(std::string(key),
+                      "\"" + json_escape(std::string(value)) + "\"");
+  return *this;
+}
+
+WireWriter& WireWriter::u64(std::string_view key, std::uint64_t value) {
+  parts_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+WireWriter& WireWriter::i64(std::string_view key, std::int64_t value) {
+  parts_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+WireWriter& WireWriter::num(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  parts_.emplace_back(std::string(key), buf);
+  return *this;
+}
+
+WireWriter& WireWriter::boolean(std::string_view key, bool value) {
+  parts_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+std::string WireWriter::finish() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(parts_[i].first) + "\":" + parts_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ndg::dyn

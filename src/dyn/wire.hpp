@@ -1,0 +1,73 @@
+#pragma once
+// Wire codec for ndg_serve: one newline-delimited FLAT JSON object per
+// command/reply. Flat means every value is a scalar (string / number / bool /
+// null) — nested objects and arrays are rejected. That restriction is what
+// keeps the parser ~100 lines with no dependency, and the protocol
+// (docs/DYNAMIC.md) needs nothing more: a mutate is {"op":"mutate",
+// "kind":"insert","src":3,"dst":7,"weight":2.5}, a query reply is
+// {"ok":true,"vertex":7,"value":0.173}.
+//
+// Parsed values are kept as text; typed getters convert on demand so the
+// server can give precise error messages naming the offending field.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ndg::dyn {
+
+class WireMessage {
+ public:
+  /// Raw text of `key`'s value (unescaped for strings, literal spelling for
+  /// numbers/bools), or nullptr when absent.
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Typed getters: false when the key is absent or does not parse.
+  bool get_string(std::string_view key, std::string& out) const;
+  bool get_u64(std::string_view key, std::uint64_t& out) const;
+  bool get_double(std::string_view key, double& out) const;
+  bool get_bool(std::string_view key, bool& out) const;
+
+  void add(std::string key, std::string value) {
+    fields_.emplace_back(std::move(key), std::move(value));
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  fields() const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Parses one flat JSON object. On failure returns false and sets `err` (if
+/// non-null) to a one-line diagnostic. Duplicate keys are kept in order and
+/// find() returns the first (the server never sends duplicates).
+bool parse_wire(std::string_view line, WireMessage& out,
+                std::string* err = nullptr);
+
+/// Reply builder producing one flat JSON object (no trailing newline).
+/// Values added with the typed methods are emitted with correct JSON
+/// spelling; strings are escaped.
+class WireWriter {
+ public:
+  WireWriter& str(std::string_view key, std::string_view value);
+  WireWriter& u64(std::string_view key, std::uint64_t value);
+  WireWriter& i64(std::string_view key, std::int64_t value);
+  WireWriter& num(std::string_view key, double value);
+  WireWriter& boolean(std::string_view key, bool value);
+
+  [[nodiscard]] std::string finish() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> parts_;  // key -> raw json
+};
+
+}  // namespace ndg::dyn

@@ -38,14 +38,15 @@ namespace ndg {
 
 namespace detail {
 
-template <VertexProgram Program, typename Policy, Worklist WL>
-EngineResult run_nondet_impl(const Graph& g, Program& prog,
+template <typename GraphT, VertexProgram Program, typename Policy, Worklist WL>
+EngineResult run_nondet_impl(const GraphT& g, Program& prog,
                              EdgeDataArray<typename Program::EdgeData>& edges,
-                             Policy policy, const EngineOptions& opts) {
+                             Policy policy, const EngineOptions& opts,
+                             std::vector<VertexId> seeds) {
   Timer timer;
   Frontier frontier(g.num_vertices(), opts.frontier_policy,
                     opts.frontier_dense_divisor);
-  frontier.seed(prog.initial_frontier(g));
+  frontier.seed(std::move(seeds));
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
   SpinBarrier barrier(nt);
@@ -61,9 +62,12 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
   // Hub splitting needs a shared worklist — chunk tokens must be poppable by
   // any thread — and a program declaring the gather decomposition. Under
   // static-block dispatch there is no queue to co-schedule chunks on, so the
-  // knob is silently inert there (docs/PERF.md).
-  constexpr bool kHubCapable =
-      WL::kShared && EdgeParallelGatherProgram<Program>;
+  // knob is silently inert there (docs/PERF.md). It is also static-CSR-only:
+  // HubTable chunk geometry is baked from Graph offsets, so dynamic views
+  // run whole-vertex updates (hub splitting over mutable adjacency is an
+  // open item in ROADMAP.md).
+  constexpr bool kHubCapable = std::is_same_v<GraphT, Graph> &&
+                               WL::kShared && EdgeParallelGatherProgram<Program>;
   using GD = typename detail::GatherDataOf<Program>::type;
   perf::HubTable hub_table;
   perf::HubGatherState<GD> hub_state;
@@ -78,8 +82,8 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
 
   run_team(nt, [&](std::size_t tid) {
     bool sense = false;
-    UpdateContext<typename Program::EdgeData, Policy> ctx(g, edges, policy,
-                                                          frontier);
+    UpdateContext<typename Program::EdgeData, Policy, GraphT> ctx(
+        g, edges, policy, frontier);
     std::uint64_t local_updates = 0;
     std::uint64_t local_work = 0;
     std::uint64_t local_splits = 0;
@@ -207,14 +211,40 @@ EngineResult run_nondet_impl(const Graph& g, Program& prog,
   return result;
 }
 
-template <VertexProgram Program, typename Policy>
-EngineResult run_nondet_sched(const Graph& g, Program& prog,
+template <typename GraphT, VertexProgram Program, typename Policy>
+EngineResult run_nondet_sched(const GraphT& g, Program& prog,
                               EdgeDataArray<typename Program::EdgeData>& edges,
-                              Policy policy, const EngineOptions& opts) {
+                              Policy policy, const EngineOptions& opts,
+                              std::vector<VertexId> seeds) {
   return dispatch_scheduler(opts.scheduler, [&](auto wl_tag) {
     using WL = typename decltype(wl_tag)::type;
-    return run_nondet_impl<Program, Policy, WL>(g, prog, edges, policy, opts);
+    return run_nondet_impl<GraphT, Program, Policy, WL>(g, prog, edges, policy,
+                                                        opts, std::move(seeds));
   });
+}
+
+template <typename GraphT, VertexProgram Program>
+EngineResult run_nondet_mode(const GraphT& g, Program& prog,
+                             EdgeDataArray<typename Program::EdgeData>& edges,
+                             const EngineOptions& opts,
+                             std::vector<VertexId> seeds) {
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(edges.size());
+      return run_nondet_sched(g, prog, edges, LockedAccess{&locks}, opts,
+                              std::move(seeds));
+    }
+    case AtomicityMode::kAligned:
+      return run_nondet_sched(g, prog, edges, AlignedAccess{}, opts,
+                              std::move(seeds));
+    case AtomicityMode::kRelaxed:
+      return run_nondet_sched(g, prog, edges, RelaxedAtomicAccess{}, opts,
+                              std::move(seeds));
+    case AtomicityMode::kSeqCst:
+      return run_nondet_sched(g, prog, edges, SeqCstAccess{}, opts,
+                              std::move(seeds));
+  }
+  return {};
 }
 
 }  // namespace detail
@@ -228,7 +258,23 @@ EngineResult run_nondeterministic_with_policy(
     const Graph& g, Program& prog,
     EdgeDataArray<typename Program::EdgeData>& edges, Policy policy,
     const EngineOptions& opts) {
-  return detail::run_nondet_sched(g, prog, edges, policy, opts);
+  return detail::run_nondet_sched(g, prog, edges, policy, opts,
+                                  prog.initial_frontier(g));
+}
+
+/// Warm-start entry point: runs the NE engine on any graph view from a
+/// caller-supplied seed set (S_0 := seeds) over the CURRENT edge state —
+/// edges is NOT re-initialized. This is how the incremental recompute driver
+/// (src/dyn/incremental.hpp) resumes after a mutation batch: the affected
+/// vertices become the first frontier and the algorithm converges from
+/// whatever the previous epoch left in the edge array (docs/DYNAMIC.md for
+/// why Theorems 1/2 license that). Duplicated/unsorted seeds are fine.
+template <typename GraphT, VertexProgram Program>
+EngineResult run_nondeterministic_from(
+    const GraphT& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges,
+    std::vector<VertexId> seeds, const EngineOptions& opts) {
+  return detail::run_nondet_mode(g, prog, edges, opts, std::move(seeds));
 }
 
 /// Runs the nondeterministic engine with the atomicity method selected in
@@ -239,21 +285,8 @@ template <VertexProgram Program>
 EngineResult run_nondeterministic(const Graph& g, Program& prog,
                                   EdgeDataArray<typename Program::EdgeData>& edges,
                                   const EngineOptions& opts) {
-  switch (opts.mode) {
-    case AtomicityMode::kLocked: {
-      EdgeLockTable locks(edges.size());
-      return detail::run_nondet_sched(g, prog, edges, LockedAccess{&locks},
-                                      opts);
-    }
-    case AtomicityMode::kAligned:
-      return detail::run_nondet_sched(g, prog, edges, AlignedAccess{}, opts);
-    case AtomicityMode::kRelaxed:
-      return detail::run_nondet_sched(g, prog, edges, RelaxedAtomicAccess{},
-                                      opts);
-    case AtomicityMode::kSeqCst:
-      return detail::run_nondet_sched(g, prog, edges, SeqCstAccess{}, opts);
-  }
-  return {};
+  return detail::run_nondet_mode(g, prog, edges, opts,
+                                 prog.initial_frontier(g));
 }
 
 }  // namespace ndg

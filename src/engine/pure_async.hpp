@@ -134,12 +134,12 @@ class AsyncWorklistView {
 /// Update context for the pure-async engine: same verbs as UpdateContext but
 /// scheduling goes to the live scheduler view (no iteration numbers exist;
 /// the reported iteration is the executing thread's sweep count).
-template <EdgePod ED, typename Policy, typename Sched>
+template <EdgePod ED, typename Policy, typename Sched, typename GraphT = Graph>
 class AsyncContext {
  public:
   using EdgeData = ED;
 
-  AsyncContext(const Graph& g, EdgeDataArray<ED>& edges, Policy policy,
+  AsyncContext(const GraphT& g, EdgeDataArray<ED>& edges, Policy policy,
                Sched sched)
       : g_(&g), edges_(&edges), policy_(policy), sched_(sched) {}
 
@@ -150,7 +150,7 @@ class AsyncContext {
 
   [[nodiscard]] VertexId vertex() const { return v_; }
   [[nodiscard]] std::size_t iteration() const { return sweep_; }
-  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const GraphT& graph() const { return *g_; }
 
   [[nodiscard]] std::span<const InEdge> in_edges() const {
     return g_->in_edges(v_);
@@ -159,7 +159,7 @@ class AsyncContext {
     return g_->out_neighbors(v_);
   }
   [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
-    return g_->out_edges_begin(v_) + k;
+    return g_->out_edge_id(v_, k);
   }
 
   [[nodiscard]] ED read(EdgeId e) { return policy_.read(*edges_, e); }
@@ -187,7 +187,7 @@ class AsyncContext {
   void schedule(VertexId u) { sched_.schedule(u); }
 
  private:
-  const Graph* g_;
+  const GraphT* g_;
   EdgeDataArray<ED>* edges_;
   Policy policy_;
   Sched sched_;
@@ -205,13 +205,14 @@ struct AsyncWorkerTotals {
 /// The original sweep engine (SchedulerKind::kStaticBlock): threads
 /// continuously sweep the shared active set, starting at their static block
 /// so they spread out instead of contending on the same low labels.
-template <VertexProgram Program, typename Policy>
-EngineResult run_async_sweep(const Graph& g, Program& prog,
+template <typename GraphT, VertexProgram Program, typename Policy>
+EngineResult run_async_sweep(const GraphT& g, Program& prog,
                              EdgeDataArray<typename Program::EdgeData>& edges,
-                             Policy policy, const EngineOptions& opts) {
+                             Policy policy, const EngineOptions& opts,
+                             const std::vector<VertexId>& seeds) {
   Timer timer;
   AsyncActiveSet active(g.num_vertices());
-  for (const VertexId v : prog.initial_frontier(g)) active.schedule(v);
+  for (const VertexId v : seeds) active.schedule(v);
 
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
   std::vector<AsyncWorkerTotals> totals(nt);
@@ -224,8 +225,8 @@ EngineResult run_async_sweep(const Graph& g, Program& prog,
   std::atomic<bool> capped{false};
 
   run_team(nt, [&](std::size_t tid) {
-    AsyncContext<typename Program::EdgeData, Policy, AsyncSweepView> ctx(
-        g, edges, policy, AsyncSweepView(active));
+    AsyncContext<typename Program::EdgeData, Policy, AsyncSweepView, GraphT>
+        ctx(g, edges, policy, AsyncSweepView(active));
     AsyncWorkerTotals& t = totals[tid];  // exclusive slot; read after join
     const VertexId n = g.num_vertices();
     const VertexId start =
@@ -279,10 +280,11 @@ EngineResult run_async_sweep(const Graph& g, Program& prog,
 /// Queue-driven pure-async execution (kStealing / kBucket): activations are
 /// pushed to a concurrent worklist by the thread that wins them; workers pop
 /// (or steal) until quiescence.
-template <VertexProgram Program, typename Policy, Worklist WL>
-EngineResult run_async_worklist(const Graph& g, Program& prog,
+template <typename GraphT, VertexProgram Program, typename Policy, Worklist WL>
+EngineResult run_async_worklist(const GraphT& g, Program& prog,
                                 EdgeDataArray<typename Program::EdgeData>& edges,
-                                Policy policy, const EngineOptions& opts) {
+                                Policy policy, const EngineOptions& opts,
+                                const std::vector<VertexId>& seeds) {
   Timer timer;
   AsyncActiveSet active(g.num_vertices());
   const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
@@ -291,7 +293,7 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   {
     // Seed round-robin across the queues (visible to workers via spawn).
     std::size_t i = 0;
-    for (const VertexId v : prog.initial_frontier(g)) {
+    for (const VertexId v : seeds) {
       if (active.try_activate(v)) {
         worklist.push(i % nt, v, scheduling_priority(prog, v));
         ++i;
@@ -312,8 +314,10 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   // quiescence invariant (pending counts unfinished activations) is
   // untouched; the last chunk's thread runs apply and releases both. Only
   // the queue-driven engines split — the sweep engine has no queue to
-  // co-schedule chunks on.
-  constexpr bool kHubCapable = EdgeParallelGatherProgram<Program>;
+  // co-schedule chunks on. Static-CSR-only (HubTable geometry is baked from
+  // Graph offsets); dynamic views run whole-vertex updates.
+  constexpr bool kHubCapable =
+      std::is_same_v<GraphT, Graph> && EdgeParallelGatherProgram<Program>;
   using GD = typename GatherDataOf<Program>::type;
   perf::HubTable hub_table;
   perf::HubGatherState<GD> hub_state;
@@ -330,8 +334,8 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   run_team(nt, [&](std::size_t tid) {
     using View = AsyncWorklistView<WL, Program>;
     View view(active, worklist, prog, tid);
-    AsyncContext<typename Program::EdgeData, Policy, View> ctx(g, edges,
-                                                               policy, view);
+    AsyncContext<typename Program::EdgeData, Policy, View, GraphT> ctx(
+        g, edges, policy, view);
     AsyncWorkerTotals& t = totals[tid];
 
     while (!active.quiescent() && !capped.load(std::memory_order_relaxed)) {
@@ -445,21 +449,44 @@ EngineResult run_async_worklist(const Graph& g, Program& prog,
   return result;
 }
 
-template <VertexProgram Program, typename Policy>
-EngineResult run_pure_async_impl(const Graph& g, Program& prog,
+template <typename GraphT, VertexProgram Program, typename Policy>
+EngineResult run_pure_async_impl(const GraphT& g, Program& prog,
                                  EdgeDataArray<typename Program::EdgeData>& edges,
-                                 Policy policy, const EngineOptions& opts) {
+                                 Policy policy, const EngineOptions& opts,
+                                 const std::vector<VertexId>& seeds) {
   switch (opts.scheduler) {
     case SchedulerKind::kStealing:
-      return run_async_worklist<Program, Policy, StealingWorklist>(
-          g, prog, edges, policy, opts);
+      return run_async_worklist<GraphT, Program, Policy, StealingWorklist>(
+          g, prog, edges, policy, opts, seeds);
     case SchedulerKind::kBucket:
-      return run_async_worklist<Program, Policy, BucketWorklist>(
-          g, prog, edges, policy, opts);
+      return run_async_worklist<GraphT, Program, Policy, BucketWorklist>(
+          g, prog, edges, policy, opts, seeds);
     case SchedulerKind::kStaticBlock:
       break;
   }
-  return run_async_sweep(g, prog, edges, policy, opts);
+  return run_async_sweep(g, prog, edges, policy, opts, seeds);
+}
+
+template <typename GraphT, VertexProgram Program>
+EngineResult run_pure_async_mode(const GraphT& g, Program& prog,
+                                 EdgeDataArray<typename Program::EdgeData>& edges,
+                                 const EngineOptions& opts,
+                                 const std::vector<VertexId>& seeds) {
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(edges.size());
+      return run_pure_async_impl(g, prog, edges, LockedAccess{&locks}, opts,
+                                 seeds);
+    }
+    case AtomicityMode::kAligned:
+      return run_pure_async_impl(g, prog, edges, AlignedAccess{}, opts, seeds);
+    case AtomicityMode::kRelaxed:
+      return run_pure_async_impl(g, prog, edges, RelaxedAtomicAccess{}, opts,
+                                 seeds);
+    case AtomicityMode::kSeqCst:
+      return run_pure_async_impl(g, prog, edges, SeqCstAccess{}, opts, seeds);
+  }
+  return {};
 }
 
 }  // namespace detail
@@ -470,21 +497,21 @@ template <VertexProgram Program>
 EngineResult run_pure_async(const Graph& g, Program& prog,
                             EdgeDataArray<typename Program::EdgeData>& edges,
                             const EngineOptions& opts) {
-  switch (opts.mode) {
-    case AtomicityMode::kLocked: {
-      EdgeLockTable locks(edges.size());
-      return detail::run_pure_async_impl(g, prog, edges, LockedAccess{&locks},
-                                         opts);
-    }
-    case AtomicityMode::kAligned:
-      return detail::run_pure_async_impl(g, prog, edges, AlignedAccess{}, opts);
-    case AtomicityMode::kRelaxed:
-      return detail::run_pure_async_impl(g, prog, edges, RelaxedAtomicAccess{},
-                                         opts);
-    case AtomicityMode::kSeqCst:
-      return detail::run_pure_async_impl(g, prog, edges, SeqCstAccess{}, opts);
-  }
-  return {};
+  return detail::run_pure_async_mode(g, prog, edges, opts,
+                                     prog.initial_frontier(g));
+}
+
+/// Warm-start entry point: pure-async execution on any graph view from a
+/// caller-supplied activation set over the CURRENT edge state (edges is NOT
+/// re-initialized). Counterpart of run_nondeterministic_from for the
+/// barrier-free model; used by src/dyn/incremental.hpp after a mutation
+/// batch. Duplicate seeds are fine (try_activate dedups on the active bit).
+template <typename GraphT, VertexProgram Program>
+EngineResult run_pure_async_from(const GraphT& g, Program& prog,
+                                 EdgeDataArray<typename Program::EdgeData>& edges,
+                                 std::vector<VertexId> seeds,
+                                 const EngineOptions& opts) {
+  return detail::run_pure_async_mode(g, prog, edges, opts, seeds);
 }
 
 }  // namespace ndg

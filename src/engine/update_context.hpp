@@ -14,12 +14,16 @@
 
 namespace ndg {
 
-template <EdgePod ED, typename Policy>
+/// GraphT is any type exposing the Graph adjacency surface (num_vertices,
+/// in_edges, out_neighbors, out_edge_id). The default is the static CSR
+/// Graph; the dynamic overlay (src/dyn/dyn_graph.hpp) substitutes its
+/// mutable view so the same programs run on a concurrently-mutated topology.
+template <EdgePod ED, typename Policy, typename GraphT = Graph>
 class UpdateContext {
  public:
   using EdgeData = ED;
 
-  UpdateContext(const Graph& g, EdgeDataArray<ED>& edges, Policy policy,
+  UpdateContext(const GraphT& g, EdgeDataArray<ED>& edges, Policy policy,
                 Frontier& frontier, AccessObserver* observer = nullptr)
       : g_(&g), edges_(&edges), policy_(policy), frontier_(&frontier),
         observer_(observer) {}
@@ -31,7 +35,7 @@ class UpdateContext {
 
   [[nodiscard]] VertexId vertex() const { return v_; }
   [[nodiscard]] std::size_t iteration() const { return iter_; }
-  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const GraphT& graph() const { return *g_; }
 
   [[nodiscard]] std::span<const InEdge> in_edges() const {
     return g_->in_edges(v_);
@@ -40,7 +44,7 @@ class UpdateContext {
     return g_->out_neighbors(v_);
   }
   [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
-    return g_->out_edges_begin(v_) + k;
+    return g_->out_edge_id(v_, k);
   }
 
   [[nodiscard]] ED read(EdgeId e) {
@@ -102,7 +106,7 @@ class UpdateContext {
   void schedule(VertexId u) { frontier_->schedule(u); }
 
  private:
-  const Graph* g_;
+  const GraphT* g_;
   EdgeDataArray<ED>* edges_;
   Policy policy_;
   Frontier* frontier_;

@@ -64,6 +64,13 @@ class Graph {
   }
   [[nodiscard]] EdgeId out_edges_begin(VertexId v) const { return out_offsets_[v]; }
 
+  /// Edge id of the k-th out-edge of v. This is the accessor generic graph
+  /// views share (the dynamic overlay in src/dyn/ has non-contiguous out-edge
+  /// ids, so contexts must not assume out_edges_begin(v) + k).
+  [[nodiscard]] EdgeId out_edge_id(VertexId v, std::size_t k) const {
+    return out_offsets_[v] + k;
+  }
+
   /// In-edges of v with canonical edge ids.
   [[nodiscard]] std::span<const InEdge> in_edges(VertexId v) const {
     return {in_edges_.data() + in_offsets_[v],

@@ -21,6 +21,7 @@
 // small graphs don't pay mmap round trips. No libnuma dependency — the two
 // syscalls are issued directly.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <type_traits>
@@ -89,6 +90,17 @@ class Buffer {
   }
 
   ~Buffer() { NumaArena::free(block_); }
+
+  /// Returns a buffer of `n` elements with the same placement spec: the first
+  /// min(n, size) elements are copied, any tail is zeroed. This is the growth
+  /// primitive behind the dynamic-graph overflow segments and edge-data
+  /// regrowth (src/dyn/) — one allocation, one memcpy, no element-wise work.
+  [[nodiscard]] Buffer resized(std::size_t n) const {
+    Buffer out(n, spec_);
+    const std::size_t keep = std::min(n, size_);
+    if (keep > 0) std::memcpy(out.block_.ptr, block_.ptr, keep * sizeof(T));
+    return out;
+  }
 
   void swap(Buffer& other) noexcept {
     std::swap(size_, other.size_);

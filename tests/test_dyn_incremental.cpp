@@ -1,0 +1,340 @@
+// IncrementalEngine acceptance tests (docs/DYNAMIC.md):
+//
+//   * PageRank (Theorem 1): a random insert/delete/reweight batch on an
+//     R-MAT graph warm-starts, and the warm result converges to the cold
+//     recompute's fixed point within the engines' run tolerance.
+//   * SSSP / WCC (Theorem 2): monotone batches (inserts, weight decreases)
+//     warm-start and land on the EXACT cold fixed point; a delete in the
+//     batch makes the gate refuse warm start and recompute cold.
+//   * Ineligible algorithm (push-mode atomic PageRank analyzes to
+//     kNotProven): every batch is routed cold.
+//   * All of the above across >= 2 atomicity policies, and compaction in the
+//     middle of a stream keeps the warm state consistent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ndg::dyn {
+namespace {
+
+constexpr VertexId kV = 256;
+
+Graph base_graph() { return Graph::build(kV, gen::rmat(kV, 1400, 31)); }
+
+EngineOptions make_opts(AtomicityMode mode) {
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.mode = mode;
+  return opts;
+}
+
+/// A mixed batch over the current view: inserts of absent edges plus, when
+/// allowed, deletes and weight INCREASES of present ones.
+MutationBatch random_batch(const DynGraph& dg, std::uint64_t seed,
+                           bool monotone_only, std::uint64_t epoch = 1) {
+  MutationBatch batch;
+  batch.epoch = epoch;
+  SplitMix64 rng(seed);
+  const EdgeList live = dg.live_edge_list();
+  for (int i = 0; i < 120; ++i) {
+    const auto u = static_cast<VertexId>(rng.next() % kV);
+    const auto v = static_cast<VertexId>(rng.next() % kV);
+    if (u == v) continue;
+    if (!dg.has_edge(u, v)) {
+      batch.mutations.push_back(
+          Mutation{MutationKind::kInsertEdge, u, v,
+                   1.0f + static_cast<float>(rng.next() % 8)});
+    } else if (monotone_only) {
+      // Weight DECREASE stays inside SSSP's monotone envelope (base weights
+      // are >= 1, so 0.5 always decreases).
+      batch.mutations.push_back(
+          Mutation{MutationKind::kWeightChange, u, v, 0.5f});
+    } else if (i % 2 == 0) {
+      batch.mutations.push_back(Mutation{MutationKind::kDeleteEdge, u, v, 0});
+    } else {
+      batch.mutations.push_back(
+          Mutation{MutationKind::kWeightChange, u, v,
+                   1.0f + static_cast<float>(rng.next() % 16)});
+    }
+  }
+  return batch;
+}
+
+class DynPolicies : public ::testing::TestWithParam<AtomicityMode> {};
+
+// --- PageRank: Theorem 1 licenses warm start for ANY batch -----------------
+
+TEST_P(DynPolicies, PageRankWarmMatchesColdWithinRunTolerance) {
+  DynGraph dg(base_graph());
+  PageRankProgram prog(/*epsilon=*/1e-4f);
+  // Analyze path: core/eligibility must classify pull PageRank as Theorem 1.
+  IncrementalEngine<PageRankProgram> inc(
+      dg, prog, EligibilityGate::make(GateMode::kAnalyze, dg.base(), prog),
+      make_opts(GetParam()));
+  EXPECT_EQ(inc.gate().verdict(), EligibilityVerdict::kTheorem1);
+  EXPECT_TRUE(inc.gate().analyzed());
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  const MutationBatch batch = random_batch(dg, 77, /*monotone_only=*/false);
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_TRUE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "theorem-1");
+  EXPECT_GT(r.apply_stats.applied, 50u);
+  EXPECT_GT(r.seed_count, 0u);
+  ASSERT_TRUE(r.engine.converged);
+  const std::vector<float> warm = prog.ranks();
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const std::vector<float>& cold = prog.ranks();
+  ASSERT_EQ(warm.size(), cold.size());
+  for (VertexId v = 0; v < kV; ++v) {
+    // Same bound the static NE-vs-reference tests use: local convergence
+    // with threshold ε leaves each value within a small multiple of ε.
+    EXPECT_NEAR(warm[v], cold[v], 0.05 * cold[v] + 0.01) << "v=" << v;
+  }
+  EXPECT_EQ(inc.warm_runs(), 1u);
+}
+
+// --- SSSP: Theorem 2, exact warm == cold for monotone batches --------------
+
+TEST_P(DynPolicies, SsspWarmMatchesColdExactlyForMonotoneBatch) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  // Analyze path: SSSP satisfies BOTH theorems' premises; for warm-start
+  // licensing the gate must prefer the Theorem 2 (monotone-envelope) route.
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate::make(GateMode::kAnalyze, dg.base(), prog),
+      make_opts(GetParam()));
+  EXPECT_EQ(inc.gate().verdict(), EligibilityVerdict::kTheorem2);
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  const MutationBatch batch = random_batch(dg, 13, /*monotone_only=*/true);
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_TRUE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "theorem-2-monotone-batch");
+  ASSERT_TRUE(r.engine.converged);
+  const std::vector<float> warm = prog.distances();
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(warm, prog.distances());  // exact, bit-for-bit
+}
+
+TEST_P(DynPolicies, SsspDeleteForcesColdRecompute) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(GetParam()));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const std::uint64_t cold_before = inc.cold_runs();
+
+  const EdgeList live = dg.live_edge_list();
+  MutationBatch batch;
+  batch.epoch = 1;
+  batch.mutations.push_back(Mutation{MutationKind::kInsertEdge, 1, 250, 2.0f});
+  batch.mutations.push_back(
+      Mutation{MutationKind::kDeleteEdge, live[5].src, live[5].dst, 0});
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_FALSE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "non-monotone-mutation");
+  ASSERT_TRUE(r.engine.converged);
+  EXPECT_EQ(inc.cold_runs(), cold_before + 1);
+  EXPECT_EQ(inc.warm_runs(), 0u);
+
+  // A weight INCREASE is equally outside the monotone envelope.
+  MutationBatch up;
+  up.epoch = 2;
+  up.mutations.push_back(
+      Mutation{MutationKind::kWeightChange, live[6].src, live[6].dst, 100.0f});
+  const EpochResult r2 = inc.apply_epoch(up);
+  EXPECT_FALSE(r2.warm);
+  EXPECT_STREQ(r2.gate_reason, "non-monotone-mutation");
+}
+
+// --- WCC: Theorem 2, exact warm == cold for insert batches -----------------
+
+TEST_P(DynPolicies, WccWarmMatchesColdExactlyForInsertBatch) {
+  DynGraph dg(base_graph());
+  WccProgram prog;
+  IncrementalEngine<WccProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(GetParam()));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  MutationBatch batch;
+  batch.epoch = 1;
+  SplitMix64 rng(5);
+  while (batch.mutations.size() < 80) {
+    const auto u = static_cast<VertexId>(rng.next() % kV);
+    const auto v = static_cast<VertexId>(rng.next() % kV);
+    if (u != v && !dg.has_edge(u, v)) {
+      batch.mutations.push_back(
+          Mutation{MutationKind::kInsertEdge, u, v, 1.0f});
+    }
+  }
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_TRUE(r.warm);
+  ASSERT_TRUE(r.engine.converged);
+  const std::vector<std::uint32_t> warm = prog.labels();
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(warm, prog.labels());  // exact, bit-for-bit
+}
+
+TEST_P(DynPolicies, WccDeleteForcesColdRecompute) {
+  DynGraph dg(base_graph());
+  WccProgram prog;
+  IncrementalEngine<WccProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(GetParam()));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const EdgeList live = dg.live_edge_list();
+  MutationBatch batch;
+  batch.epoch = 1;
+  batch.mutations.push_back(
+      Mutation{MutationKind::kDeleteEdge, live[0].src, live[0].dst, 0});
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_FALSE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "non-monotone-mutation");
+  ASSERT_TRUE(r.engine.converged);
+
+  // Post-cold state equals a from-scratch run on the mutated view.
+  const std::vector<std::uint32_t> after = prog.labels();
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(after, prog.labels());
+}
+
+// --- Ineligible algorithm: analyze -> kNotProven -> always cold ------------
+
+TEST_P(DynPolicies, IneligibleAlgorithmAlwaysRecomputesCold) {
+  DynGraph dg(base_graph());
+  AtomicPushPageRankProgram prog(/*epsilon=*/1e-4f);
+  IncrementalEngine<AtomicPushPageRankProgram> inc(
+      dg, prog, EligibilityGate::make(GateMode::kAnalyze, dg.base(), prog),
+      make_opts(GetParam()));
+  EXPECT_EQ(inc.gate().verdict(), EligibilityVerdict::kNotProven);
+
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const std::uint64_t cold_before = inc.cold_runs();
+
+  MutationBatch batch;
+  batch.epoch = 1;
+  batch.mutations.push_back(Mutation{MutationKind::kInsertEdge, 3, 200, 1.0f});
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_FALSE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "not-proven");
+  EXPECT_EQ(inc.cold_runs(), cold_before + 1);
+  EXPECT_EQ(inc.warm_runs(), 0u);
+  EXPECT_TRUE(r.engine.converged);
+}
+
+TEST(DynIncremental, GateReportsBlockingMutationIndex) {
+  SsspProgram prog(/*source=*/0);
+  const EligibilityGate gate(EligibilityVerdict::kTheorem2);
+  std::vector<AppliedMutation> applied;
+  applied.push_back({MutationKind::kInsertEdge, 0, 1, 10, 1.0f, 1.0f});
+  applied.push_back({MutationKind::kWeightChange, 1, 2, 3, 0.5f, 2.0f});
+  applied.push_back({MutationKind::kDeleteEdge, 2, 3, 4, 0.0f, 1.0f});
+  const GateDecision d = gate.decide(prog, applied);
+  EXPECT_FALSE(d.warm);
+  EXPECT_STREQ(d.reason, "non-monotone-mutation");
+  EXPECT_EQ(d.blocking_mutation, 2u);
+
+  applied.pop_back();
+  const GateDecision ok = gate.decide(prog, applied);
+  EXPECT_TRUE(ok.warm);
+  EXPECT_STREQ(ok.reason, "theorem-2-monotone-batch");
+}
+
+// --- Streaming details -----------------------------------------------------
+
+TEST(DynIncremental, EmptyBatchIsAFixedPointNoEngineRun) {
+  DynGraph dg(base_graph());
+  WccProgram prog;
+  IncrementalEngine<WccProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const EpochResult r = inc.apply_epoch(MutationBatch{1, {}});
+  EXPECT_TRUE(r.warm);
+  EXPECT_STREQ(r.gate_reason, "empty-batch");
+  EXPECT_TRUE(r.engine.converged);
+  EXPECT_EQ(r.engine.iterations, 0u);
+  EXPECT_EQ(inc.warm_runs(), 0u);
+}
+
+TEST(DynIncremental, CompactionMidStreamPreservesWarmState) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  gopts.compact_threshold = 0.01;  // compact after essentially every batch
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kSeqCst));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  std::uint64_t compactions = 0;
+  for (std::uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    const MutationBatch batch =
+        random_batch(dg, 1000 + epoch, /*monotone_only=*/true, epoch);
+    const EpochResult r = inc.apply_epoch(batch);
+    EXPECT_TRUE(r.warm) << "epoch " << epoch;
+    ASSERT_TRUE(r.engine.converged);
+    compactions += r.compacted ? 1 : 0;
+
+    const std::vector<float> warm = prog.distances();
+    ASSERT_TRUE(inc.recompute_cold().converged);
+    ASSERT_EQ(warm, prog.distances()) << "epoch " << epoch;
+  }
+  EXPECT_GT(compactions, 0u);  // the threshold really did trigger mid-stream
+  EXPECT_EQ(dg.compactions(), compactions);
+}
+
+TEST(DynIncremental, PureAsyncEngineWarmMatchesColdExactly) {
+  DynGraph dg(base_graph());
+  WccProgram prog;
+  IncrementalEngine<WccProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed), DynEngine::kPureAsync);
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  MutationBatch batch;
+  batch.epoch = 1;
+  batch.mutations.push_back(Mutation{MutationKind::kInsertEdge, 0, 255, 1.0f});
+  batch.mutations.push_back(Mutation{MutationKind::kInsertEdge, 255, 7, 1.0f});
+  const EpochResult r = inc.apply_epoch(batch);
+  EXPECT_TRUE(r.warm);
+  ASSERT_TRUE(r.engine.converged);
+  const std::vector<std::uint32_t> warm = prog.labels();
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(warm, prog.labels());
+}
+
+// The two policies the acceptance criteria require, plus both ends of the
+// atomicity spectrum for good measure.
+INSTANTIATE_TEST_SUITE_P(Policies, DynPolicies,
+                         ::testing::Values(AtomicityMode::kRelaxed,
+                                           AtomicityMode::kSeqCst));
+
+}  // namespace
+}  // namespace ndg::dyn

@@ -1,0 +1,113 @@
+// MutationLog tests: epoch stamping, seal semantics, bounded history, and
+// thread-safe concurrent append (the serve command loop is single-threaded,
+// but the log's contract allows multi-producer ingest).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dyn/mutation_log.hpp"
+
+namespace ndg::dyn {
+namespace {
+
+Mutation insert(VertexId u, VertexId v, float w = 1.0f) {
+  return Mutation{MutationKind::kInsertEdge, u, v, w};
+}
+
+TEST(MutationLog, SealStampsConsecutiveEpochs) {
+  MutationLog log;
+  EXPECT_EQ(log.epoch(), 0u);
+  EXPECT_EQ(log.pending(), 0u);
+
+  log.append(insert(0, 1));
+  log.append(insert(1, 2));
+  EXPECT_EQ(log.pending(), 2u);
+
+  const MutationBatch b1 = log.seal();
+  EXPECT_EQ(b1.epoch, 1u);
+  EXPECT_EQ(b1.mutations.size(), 2u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.epoch(), 1u);
+
+  log.append(insert(2, 3));
+  const MutationBatch b2 = log.seal();
+  EXPECT_EQ(b2.epoch, 2u);
+  EXPECT_EQ(b2.mutations.size(), 1u);
+  EXPECT_EQ(b2.mutations[0].src, 2u);
+}
+
+TEST(MutationLog, SealingEmptyTailStillAdvancesEpoch) {
+  MutationLog log;
+  const MutationBatch b1 = log.seal();
+  EXPECT_EQ(b1.epoch, 1u);
+  EXPECT_TRUE(b1.mutations.empty());
+  const MutationBatch b2 = log.seal();
+  EXPECT_EQ(b2.epoch, 2u);
+}
+
+TEST(MutationLog, TotalsCountAppendsAndBatches) {
+  MutationLog log;
+  log.append({insert(0, 1), insert(1, 2), insert(2, 3)});
+  (void)log.seal();
+  log.append(insert(3, 4));
+  (void)log.seal();
+  EXPECT_EQ(log.total_appended(), 4u);
+  EXPECT_EQ(log.total_sealed_batches(), 2u);
+}
+
+TEST(MutationLog, HistoryIsBoundedOldestFirst) {
+  MutationLog log(/*history_limit=*/2);
+  for (VertexId i = 0; i < 5; ++i) {
+    log.append(insert(i, i + 1));
+    (void)log.seal();
+  }
+  const std::vector<MutationBatch> h = log.history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].epoch, 4u);
+  EXPECT_EQ(h[1].epoch, 5u);
+  EXPECT_EQ(h[1].mutations[0].src, 4u);
+}
+
+TEST(MutationLog, ZeroHistoryLimitKeepsNothing) {
+  MutationLog log(/*history_limit=*/0);
+  log.append(insert(0, 1));
+  (void)log.seal();
+  EXPECT_TRUE(log.history().empty());
+  EXPECT_EQ(log.epoch(), 1u);  // the epoch counter is unaffected
+}
+
+TEST(MutationLog, ConcurrentAppendLosesNothing) {
+  MutationLog log;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.append(Mutation{MutationKind::kInsertEdge,
+                            static_cast<VertexId>(t),
+                            static_cast<VertexId>(i + 1), 1.0f});
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  const MutationBatch b = log.seal();
+  EXPECT_EQ(b.mutations.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.total_appended(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MutationLog, KindAndReasonNames) {
+  EXPECT_STREQ(to_string(MutationKind::kInsertEdge), "insert");
+  EXPECT_STREQ(to_string(MutationKind::kDeleteEdge), "delete");
+  EXPECT_STREQ(to_string(MutationKind::kWeightChange), "weight");
+  EXPECT_STREQ(to_string(RejectReason::kNone), "none");
+  EXPECT_STREQ(to_string(RejectReason::kConflictInBatch), "conflict-in-batch");
+}
+
+}  // namespace
+}  // namespace ndg::dyn

@@ -1,0 +1,143 @@
+// Wire codec tests (dyn/wire.hpp): the flat-JSON line protocol ndg_serve
+// speaks. Parse/serialize round-trips, escape handling, typed getters, and
+// rejection of everything outside the flat subset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dyn/wire.hpp"
+
+namespace ndg::dyn {
+namespace {
+
+WireMessage parse_ok(const std::string& line) {
+  WireMessage msg;
+  std::string err;
+  EXPECT_TRUE(parse_wire(line, msg, &err)) << "line: " << line
+                                           << " err: " << err;
+  return msg;
+}
+
+void expect_reject(const std::string& line) {
+  WireMessage msg;
+  std::string err;
+  EXPECT_FALSE(parse_wire(line, msg, &err)) << "line: " << line;
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Wire, ParsesScalarsOfEveryType) {
+  const WireMessage m = parse_ok(
+      R"({"op":"mutate","src":3,"dst":18446744073709551615,)"
+      R"("weight":-2.5e3,"fast":true,"note":"hi","gone":null})");
+  std::string s;
+  std::uint64_t u = 0;
+  double d = 0;
+  bool b = false;
+  EXPECT_TRUE(m.get_string("op", s));
+  EXPECT_EQ(s, "mutate");
+  EXPECT_TRUE(m.get_u64("src", u));
+  EXPECT_EQ(u, 3u);
+  EXPECT_TRUE(m.get_u64("dst", u));
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_TRUE(m.get_double("weight", d));
+  EXPECT_DOUBLE_EQ(d, -2500.0);
+  EXPECT_TRUE(m.get_bool("fast", b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(m.has("gone"));
+  EXPECT_FALSE(m.has("absent"));
+}
+
+TEST(Wire, GettersFailOnAbsentOrMistypedFields) {
+  const WireMessage m = parse_ok(R"({"name":"abc","n":"12x"})");
+  std::uint64_t u = 99;
+  double d = 99;
+  bool b = true;
+  EXPECT_FALSE(m.get_u64("name", u));
+  EXPECT_FALSE(m.get_u64("n", u));  // trailing junk is not a number
+  EXPECT_FALSE(m.get_double("name", d));
+  EXPECT_FALSE(m.get_bool("name", b));
+  EXPECT_FALSE(m.get_u64("missing", u));
+}
+
+TEST(Wire, UnescapesStringValues) {
+  const WireMessage m =
+      parse_ok(R"({"a":"line\nbreak","b":"quote\"slash\\","c":"Aé"})");
+  std::string s;
+  EXPECT_TRUE(m.get_string("a", s));
+  EXPECT_EQ(s, "line\nbreak");
+  EXPECT_TRUE(m.get_string("b", s));
+  EXPECT_EQ(s, "quote\"slash\\");
+  EXPECT_TRUE(m.get_string("c", s));
+  EXPECT_EQ(s, "A\xc3\xa9");  // é -> UTF-8 é
+}
+
+TEST(Wire, AcceptsWhitespaceAndEmptyObject) {
+  (void)parse_ok("  { \"a\" : 1 , \"b\" : \"x\" }  ");
+  const WireMessage empty = parse_ok("{}");
+  EXPECT_TRUE(empty.fields().empty());
+}
+
+TEST(Wire, RejectsNestedAndMalformedInput) {
+  expect_reject(R"({"a":{"nested":1}})");
+  expect_reject(R"({"a":[1,2]})");
+  expect_reject(R"({"a":1)");          // truncated
+  expect_reject(R"({"a" 1})");         // missing colon
+  expect_reject(R"({"a":1} trailing)");
+  expect_reject(R"({a:1})");           // unquoted key
+  expect_reject("");
+  expect_reject("not json at all");
+  expect_reject(R"({"a":"unterminated)");
+}
+
+TEST(Wire, WriterProducesCanonicalFlatJson) {
+  const std::string line = WireWriter()
+                               .boolean("ok", true)
+                               .str("reason", "theorem-1")
+                               .u64("epoch", 7)
+                               .i64("delta", -3)
+                               .num("value", 1.25)
+                               .finish();
+  EXPECT_EQ(line,
+            R"({"ok":true,"reason":"theorem-1","epoch":7,"delta":-3,"value":1.25})");
+}
+
+TEST(Wire, WriterEscapesStrings) {
+  const std::string line =
+      WireWriter().str("msg", "a\"b\\c\nd").finish();
+  EXPECT_EQ(line, R"({"msg":"a\"b\\c\nd"})");
+}
+
+TEST(Wire, WriterRoundTripsThroughParser) {
+  const std::string line = WireWriter()
+                               .str("op", "query é\n")
+                               .u64("vertex", 123456789)
+                               .num("value", -0.0078125)
+                               .boolean("warm", false)
+                               .finish();
+  const WireMessage m = parse_ok(line);
+  std::string s;
+  std::uint64_t u = 0;
+  double d = 0;
+  bool b = true;
+  EXPECT_TRUE(m.get_string("op", s));
+  EXPECT_EQ(s, "query é\n");
+  EXPECT_TRUE(m.get_u64("vertex", u));
+  EXPECT_EQ(u, 123456789u);
+  EXPECT_TRUE(m.get_double("value", d));
+  EXPECT_DOUBLE_EQ(d, -0.0078125);
+  EXPECT_TRUE(m.get_bool("warm", b));
+  EXPECT_FALSE(b);
+}
+
+TEST(Wire, DuplicateKeysFirstOneWinsForGetters) {
+  WireMessage m;
+  std::string err;
+  ASSERT_TRUE(parse_wire(R"({"k":1,"k":2})", m, &err)) << err;
+  std::uint64_t u = 0;
+  EXPECT_TRUE(m.get_u64("k", u));
+  EXPECT_EQ(u, 1u);
+}
+
+}  // namespace
+}  // namespace ndg::dyn

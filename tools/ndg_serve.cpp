@@ -1,0 +1,464 @@
+// ndg_serve — long-running streaming front-end for the dyn/ subsystem
+// (docs/DYNAMIC.md). Speaks one flat JSON object per line (dyn/wire.hpp)
+// over stdin/stdout or a unix socket (--socket=PATH):
+//
+//   {"op":"mutate","kind":"insert","src":3,"dst":7,"weight":2.5}
+//   {"op":"recompute"}            seal the pending batch as one epoch and
+//                                 warm- or cold-recompute behind the gate
+//   {"op":"query","vertex":7}     read one vertex result from the live array
+//   {"op":"stats"}                log / graph / engine counters
+//   {"op":"quit"}
+//
+// Mutations accumulate in a MutationLog and are batched BY EPOCH: everything
+// appended between two `recompute` commands seals into one MutationBatch.
+// The command loop is single-threaded and only touches result arrays between
+// epochs (the engines have joined their teams), so queries are data-race-free
+// by construction — the TSan CI job runs a scripted session over this loop.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "dyn/mutation_log.hpp"
+#include "dyn/wire.hpp"
+#include "nondetgraph.hpp"
+#include "util/cli.hpp"
+
+namespace ndg {
+namespace {
+
+struct ServeConfig {
+  dyn::GateMode gate = dyn::GateMode::kAnalyze;
+  dyn::DynEngine engine = dyn::DynEngine::kNE;
+  EngineOptions engine_opts;
+  double compact_threshold = 0.25;
+  std::string socket_path;  // empty = stdin/stdout
+};
+
+AtomicityMode parse_mode(const std::string& s) {
+  if (s == "locked") return AtomicityMode::kLocked;
+  if (s == "aligned") return AtomicityMode::kAligned;
+  if (s == "seq_cst") return AtomicityMode::kSeqCst;
+  return AtomicityMode::kRelaxed;
+}
+
+/// Compact wire token for the verdict (core's to_string is a prose line).
+const char* verdict_token(EligibilityVerdict v) {
+  switch (v) {
+    case EligibilityVerdict::kTheorem1: return "theorem-1";
+    case EligibilityVerdict::kTheorem2: return "theorem-2";
+    case EligibilityVerdict::kNotProven: return "not-proven";
+  }
+  return "unknown";
+}
+
+std::optional<dyn::GateMode> parse_gate(const std::string& s) {
+  if (s == "analyze") return dyn::GateMode::kAnalyze;
+  if (s == "theorem1") return dyn::GateMode::kAssumeTheorem1;
+  if (s == "theorem2") return dyn::GateMode::kAssumeTheorem2;
+  if (s == "ineligible") return dyn::GateMode::kAssumeIneligible;
+  return std::nullopt;
+}
+
+// --- Line transports -------------------------------------------------------
+
+/// stdin/stdout transport.
+class StdioTransport {
+ public:
+  /// Emitted once, immediately (there is exactly one implicit "connection").
+  void set_greeting(const std::string& g) { write_line(g); }
+  bool read_line(std::string& line) {
+    return static_cast<bool>(std::getline(std::cin, line));
+  }
+  void write_line(const std::string& reply) {
+    std::cout << reply << '\n' << std::flush;
+  }
+};
+
+/// One-connection-at-a-time AF_UNIX stream transport. A client disconnect
+/// falls through to the next accept(); only `quit` stops the server.
+class UnixSocketTransport {
+ public:
+  explicit UnixSocketTransport(const std::string& path) : path_(path) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 4) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("bind/listen failed on " + path);
+    }
+  }
+
+  ~UnixSocketTransport() {
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  /// Replayed to every client on accept, so each connection starts with the
+  /// server's ready line.
+  void set_greeting(const std::string& g) { greeting_ = g; }
+
+  bool read_line(std::string& line) {
+    for (;;) {
+      if (conn_fd_ < 0) {
+        conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn_fd_ < 0) return false;
+        buf_.clear();
+        if (!greeting_.empty()) write_line(greeting_);
+      }
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(conn_fd_, chunk, sizeof(chunk));
+      if (n <= 0) {  // client hung up: drain any unterminated tail, re-accept
+        ::close(conn_fd_);
+        conn_fd_ = -1;
+        if (!buf_.empty()) {
+          line = std::exchange(buf_, {});
+          return true;
+        }
+        continue;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void write_line(const std::string& reply) {
+    if (conn_fd_ < 0) return;
+    std::string out = reply + '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(conn_fd_, out.data() + off, out.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string greeting_;
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  std::string buf_;
+};
+
+// --- Command handling ------------------------------------------------------
+
+std::string error_reply(const std::string& what) {
+  return dyn::WireWriter().boolean("ok", false).str("error", what).finish();
+}
+
+/// One live algorithm instance: log + graph + gate + incremental engine,
+/// plus a result cache refreshed at each quiescent point (cold start and
+/// every recompute) so queries never re-copy the whole result vector.
+template <typename Program>
+class Session {
+ public:
+  Session(dyn::DynGraph graph, Program prog, const ServeConfig& cfg)
+      : g_(std::move(graph)),
+        prog_(std::move(prog)),
+        inc_(g_, prog_,
+             dyn::EligibilityGate::make(cfg.gate, g_.base(), prog_),
+             cfg.engine_opts, cfg.engine) {
+    inc_.recompute_cold();
+    values_ = prog_.values();
+  }
+
+  [[nodiscard]] std::string ready_line() const {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .boolean("ready", true)
+        .str("algo", prog_.name())
+        .str("verdict", verdict_token(inc_.gate().verdict()))
+        .str("engine", to_string(inc_.engine_kind()))
+        .u64("vertices", g_.num_vertices())
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
+  /// Handles one parsed command; sets `quit` on the quit op.
+  std::string handle(const dyn::WireMessage& msg, bool& quit) {
+    std::string op;
+    if (!msg.get_string("op", op)) return error_reply("missing field: op");
+    if (op == "mutate") return handle_mutate(msg);
+    if (op == "recompute") return handle_recompute();
+    if (op == "query") return handle_query(msg);
+    if (op == "stats") return handle_stats();
+    if (op == "quit") {
+      quit = true;
+      return dyn::WireWriter().boolean("ok", true).boolean("bye", true)
+          .finish();
+    }
+    return error_reply("unknown op: " + op);
+  }
+
+ private:
+  std::string handle_mutate(const dyn::WireMessage& msg) {
+    std::string kind_s;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!msg.get_string("kind", kind_s)) {
+      return error_reply("mutate: missing field: kind");
+    }
+    dyn::MutationKind kind;
+    if (kind_s == "insert") {
+      kind = dyn::MutationKind::kInsertEdge;
+    } else if (kind_s == "delete") {
+      kind = dyn::MutationKind::kDeleteEdge;
+    } else if (kind_s == "weight") {
+      kind = dyn::MutationKind::kWeightChange;
+    } else {
+      return error_reply("mutate: unknown kind: " + kind_s);
+    }
+    if (!msg.get_u64("src", src) || !msg.get_u64("dst", dst)) {
+      return error_reply("mutate: missing field: src/dst");
+    }
+    double weight = 1.0;
+    msg.get_double("weight", weight);
+    log_.append(dyn::Mutation{kind, static_cast<VertexId>(src),
+                              static_cast<VertexId>(dst),
+                              static_cast<float>(weight)});
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("pending", log_.pending())
+        .finish();
+  }
+
+  std::string handle_recompute() {
+    const dyn::MutationBatch batch = log_.seal();
+    const dyn::EpochResult r = inc_.apply_epoch(batch);
+    values_ = prog_.values();  // refresh the quiescent query cache
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("epoch", r.epoch)
+        .boolean("warm", r.warm)
+        .str("reason", r.gate_reason)
+        .u64("applied", r.apply_stats.applied)
+        .u64("rejected", r.apply_stats.rejected)
+        .u64("seeds", r.seed_count)
+        .u64("iterations", r.engine.iterations)
+        .u64("updates", r.engine.updates)
+        .boolean("converged", r.engine.converged)
+        .boolean("compacted", r.compacted)
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
+  std::string handle_query(const dyn::WireMessage& msg) {
+    std::uint64_t v = 0;
+    if (!msg.get_u64("vertex", v)) {
+      return error_reply("query: missing field: vertex");
+    }
+    if (v >= values_.size()) {
+      return error_reply("query: vertex out of range: " + std::to_string(v));
+    }
+    dyn::WireWriter w;
+    w.boolean("ok", true).u64("vertex", v);
+    const double value = values_[v];
+    if (std::isfinite(value)) {
+      w.num("value", value);
+    } else {
+      w.str("value", "inf");  // JSON has no infinity literal
+    }
+    return w.u64("epoch", log_.epoch()).finish();
+  }
+
+  std::string handle_stats() {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .str("algo", prog_.name())
+        .str("verdict", verdict_token(inc_.gate().verdict()))
+        .str("engine", to_string(inc_.engine_kind()))
+        .u64("epoch", log_.epoch())
+        .u64("pending", log_.pending())
+        .u64("total_mutations", log_.total_appended())
+        .u64("sealed_batches", log_.total_sealed_batches())
+        .u64("vertices", g_.num_vertices())
+        .u64("live_edges", g_.num_live_edges())
+        .u64("edge_bound", g_.num_edges())
+        .u64("inserted", g_.total_inserted())
+        .u64("deleted", g_.total_deleted())
+        .u64("reweighted", g_.total_reweighted())
+        .u64("compactions", g_.compactions())
+        .num("overflow", g_.overflow_ratio())
+        .u64("warm_runs", inc_.warm_runs())
+        .u64("cold_runs", inc_.cold_runs())
+        .finish();
+  }
+
+  dyn::DynGraph g_;
+  Program prog_;
+  dyn::MutationLog log_;
+  dyn::IncrementalEngine<Program> inc_;
+  std::vector<double> values_;
+};
+
+template <typename Program, typename Transport>
+int serve_loop(Session<Program>& session, Transport& io) {
+  io.set_greeting(session.ready_line());
+  std::string line;
+  bool quit = false;
+  while (!quit && io.read_line(line)) {
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    dyn::WireMessage msg;
+    std::string err;
+    if (!parse_wire(line, msg, &err)) {
+      io.write_line(error_reply("parse: " + err));
+      continue;
+    }
+    io.write_line(session.handle(msg, quit));
+  }
+  return 0;
+}
+
+template <typename Program>
+int serve(Graph base, Program prog, const ServeConfig& cfg) {
+  dyn::DynGraphOptions gopts;
+  gopts.compact_threshold = cfg.compact_threshold;
+  gopts.mem = cfg.engine_opts.mem;
+  if constexpr (std::is_same_v<Program, SsspProgram>) {
+    // Base edges keep the paper's hash-derived weights so the serve results
+    // match the static engines' on the unmutated graph.
+    const std::uint64_t seed = prog.weight_seed();
+    gopts.base_weight = [seed](EdgeId e) {
+      return SsspProgram::edge_weight(seed, e);
+    };
+  }
+  Session<Program> session(dyn::DynGraph(std::move(base), gopts),
+                           std::move(prog), cfg);
+  if (cfg.socket_path.empty()) {
+    StdioTransport io;
+    return serve_loop(session, io);
+  }
+  UnixSocketTransport io(cfg.socket_path);
+  return serve_loop(session, io);
+}
+
+Graph load_any(const std::string& path) {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ndgb") == 0) {
+    return load_binary_graph(path);
+  }
+  auto loaded = load_edge_list(path);
+  return Graph::build(loaded.num_vertices, std::move(loaded.edges));
+}
+
+Graph build_base_graph(const CliArgs& args) {
+  if (args.has("graph")) return load_any(args.get("graph", ""));
+  const std::string kind = args.get("kind", "rmat");
+  const auto n = static_cast<VertexId>(args.get_int("vertices", 1024));
+  const auto m = static_cast<EdgeId>(args.get_int("edges", 8 * n));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  EdgeList edges;
+  if (kind == "rmat") {
+    edges = gen::rmat(n, m, seed);
+  } else if (kind == "er") {
+    edges = gen::erdos_renyi(n, m, seed);
+  } else if (kind == "chain") {
+    edges = gen::chain(n);
+  } else {
+    throw std::runtime_error("unknown --kind: " + kind +
+                             " (expected rmat|er|chain)");
+  }
+  if (args.get_bool("symmetrize", false)) edges = symmetrize(edges);
+  return Graph::build(n, edges);
+}
+
+int serve_main(const CliArgs& args) {
+  ServeConfig cfg;
+  cfg.engine_opts.num_threads =
+      static_cast<std::size_t>(args.get_int("threads", 4));
+  cfg.engine_opts.max_iterations =
+      static_cast<std::size_t>(args.get_int("max-iterations", 100000));
+  cfg.engine_opts.mode = parse_mode(args.get("mode", "relaxed"));
+  cfg.compact_threshold = args.get_double("compact-threshold", 0.25);
+  cfg.socket_path = args.get("socket", "");
+
+  const auto gate = parse_gate(args.get("gate", "analyze"));
+  if (!gate) {
+    std::cerr << "unknown --gate (expected analyze|theorem1|theorem2|"
+                 "ineligible)\n";
+    return 1;
+  }
+  cfg.gate = *gate;
+  const std::string engine = args.get("engine", "ne");
+  if (engine == "async") {
+    cfg.engine = dyn::DynEngine::kPureAsync;
+  } else if (engine == "ne") {
+    cfg.engine = dyn::DynEngine::kNE;
+  } else {
+    std::cerr << "unknown --engine (expected ne|async)\n";
+    return 1;
+  }
+
+  Graph base = build_base_graph(args);
+  const std::string algo = args.get("algo", "pagerank");
+  if (algo == "pagerank") {
+    return serve(std::move(base),
+                 PageRankProgram(static_cast<float>(
+                     args.get_double("eps", 1e-4))),
+                 cfg);
+  }
+  if (algo == "sssp") {
+    return serve(std::move(base),
+                 SsspProgram(static_cast<VertexId>(args.get_int("source", 0)),
+                             static_cast<std::uint64_t>(
+                                 args.get_int("weight-seed", 42))),
+                 cfg);
+  }
+  if (algo == "wcc") return serve(std::move(base), WccProgram(), cfg);
+  if (algo == "pagerank-push-atomic") {
+    // Ineligible exhibit: analyzes to kNotProven, so every epoch goes cold.
+    return serve(std::move(base),
+                 AtomicPushPageRankProgram(static_cast<float>(
+                     args.get_double("eps", 1e-4))),
+                 cfg);
+  }
+  std::cerr << "unknown --algo: " << algo
+            << " (expected pagerank|sssp|wcc|pagerank-push-atomic)\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  // A client vanishing mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+  // No subcommand word: flags start at argv[1], which CliArgs's loop skips
+  // past argv[0] on its own.
+  ndg::CliArgs args(argc, argv);
+  try {
+    return ndg::serve_main(args);
+  } catch (const std::exception& e) {
+    std::cerr << "ndg_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
