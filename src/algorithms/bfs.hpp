@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -15,6 +16,14 @@ class BfsProgram {
  public:
   using EdgeData = std::uint32_t;  // level of the edge's source endpoint
   static constexpr bool kMonotonic = true;
+  /// SSSP with unit weights: same declared shape.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kReadWrite,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   static constexpr std::uint32_t kUnreached = 0xffffffffu;
 
   explicit BfsProgram(VertexId source) : source_(source) {}

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "algorithms/dual_edge.hpp"
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -23,6 +24,16 @@ class KCoreProgram {
  public:
   using EdgeData = DualEdge;
   static constexpr bool kMonotonic = true;
+  /// Dual-slot edges: both endpoints publish their half into the same word,
+  /// so WW conflicts are possible (Fig. 2 corrupt-then-recover dynamics);
+  /// h-index estimates only fall — Theorem 2.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   [[nodiscard]] const char* name() const { return "kcore"; }
 

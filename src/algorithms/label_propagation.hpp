@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -27,6 +28,17 @@ class LabelPropagationProgram {
  public:
   using EdgeData = std::uint32_t;  // label of the edge's source endpoint
   static constexpr bool kMonotonic = false;
+  /// Pull mode, single writer per edge — RW-only — but convergence is
+  /// INPUT-DEPENDENT (bipartite-ish graphs oscillate under BSP), so the
+  /// Theorem 1 verdict is conditional on the measured premise: the static
+  /// pass can prove the conflict class, never the convergence.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kWrite,
+      .bsp_convergent = true,
+      .async_convergent = true,
+      .input_dependent_convergence = true,
+  };
 
   [[nodiscard]] const char* name() const { return "label-propagation"; }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "algorithms/dual_edge.hpp"
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -24,6 +25,16 @@ class MisProgram {
  public:
   using EdgeData = DualEdge;
   static constexpr bool kMonotonic = true;
+  /// Dual-slot edges as in k-core (WW possible); states only move
+  /// kUnknown -> {kIn, kOut}, so the projected sum is non-decreasing —
+  /// Theorem 2.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .monotone = MonotoneClaim::kNonDecreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   enum State : std::uint32_t { kUnknown = 0, kIn = 1, kOut = 2 };
 

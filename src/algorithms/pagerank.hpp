@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 #include "perf/prefetch.hpp"
@@ -34,6 +35,15 @@ class PageRankProgram {
  public:
   using EdgeData = float;  // rank mass flowing along the edge
   static constexpr bool kMonotonic = false;
+  /// Pull mode: gather reads own in-edges, scatter writes own out-edges —
+  /// single writer per edge (its source), so conflicts are RW-only and the
+  /// damped recurrence's BSP convergence gives Theorem 1.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kWrite,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   explicit PageRankProgram(float epsilon = 1e-3f, float damping = 0.85f)
       : epsilon_(epsilon), damping_(damping) {}

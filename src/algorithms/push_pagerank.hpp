@@ -20,6 +20,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -28,6 +29,17 @@ class PushPageRankProgram {
  public:
   using EdgeData = float;  // residual mass parked on the edge
   static constexpr bool kMonotonic = false;
+  /// Push mode: the drain writes own IN-edges (zeroing accumulators, via
+  /// write_silent — outside the Section II task rule) while pushes write own
+  /// out-edges: WW possible, non-monotonic, rule broken — kNotProven from
+  /// the manifest alone, before any trace is taken.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .follows_task_rule = false,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   explicit PushPageRankProgram(float epsilon = 1e-4f, float damping = 0.85f)
       : epsilon_(epsilon), damping_(damping) {}

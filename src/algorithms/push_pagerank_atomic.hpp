@@ -28,6 +28,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -36,6 +37,18 @@ class AtomicPushPageRankProgram {
  public:
   using EdgeData = float;  // residual mass parked on the edge
   static constexpr bool kMonotonic = false;
+  /// Push mode with compound RMWs (exchange drain / accumulate combine):
+  /// still kNotProven by the paper's theorems, and the .rmw declaration
+  /// makes pairing this program with AlignedAccess a COMPILE error
+  /// (assert_manifest_policy) — method (2) cannot make accumulate atomic.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .rmw = true,
+      .follows_task_rule = false,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   explicit AtomicPushPageRankProgram(float epsilon = 1e-4f,
                                      float damping = 0.85f)

@@ -10,6 +10,8 @@
 #include "algorithms/spmv.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/wcc.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "analysis/validate.hpp"
 #include "engine/nondeterministic.hpp"
 
 namespace ndg {
@@ -18,7 +20,11 @@ namespace {
 
 /// Builds both closures of an entry from the program's constructor args (the
 /// args are captured by value, so every invocation starts a fresh program).
+/// Every registered program must carry an AccessManifest: the static half of
+/// the analysis (and ndg_lint's missing-manifest rule) covers the whole
+/// registry by construction.
 template <typename Program, typename... Args>
+  requires ManifestedProgram<Program>
 AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
                           Args... ctor_args) {
   AlgorithmEntry entry;
@@ -32,6 +38,13 @@ AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
     EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
     prog.init(g, edges);
     return run_nondeterministic(g, prog, edges, opts);
+  };
+  entry.manifest = Program::kManifest;
+  entry.static_verdict = StaticEligibility<Program>::kVerdict;
+  entry.static_conditional = StaticEligibility<Program>::kConditional;
+  entry.validate = [max_iterations, ctor_args...](const Graph& g) {
+    Program prog(ctor_args...);
+    return validate_manifest(g, prog, max_iterations);
   };
   return entry;
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
+#include "analysis/verifying_access.hpp"
 #include "core/eligibility.hpp"
 #include "engine/options.hpp"
 #include "graph/graph.hpp"
@@ -22,6 +24,20 @@ struct AlgorithmEntry {
   /// and load-balance telemetry) — the eligibility report surfaces these
   /// alongside the verdicts.
   std::function<EngineResult(const Graph& g, const EngineOptions& opts)> run_ne;
+
+  // --- Static-analysis surface (docs/ANALYSIS.md) ---
+  /// The program's declared access shape.
+  AccessManifest manifest{};
+  /// StaticEligibility verdict under the manifest's own convergence claims.
+  EligibilityVerdict static_verdict = EligibilityVerdict::kNotProven;
+  /// True when the convergence claims are input-dependent (the static
+  /// verdict is conditional; compare via static_verdict_given with the
+  /// measured premises).
+  bool static_conditional = false;
+  /// One manifest-enforced deterministic run (analysis/validate.hpp): a
+  /// clean result means every executed access stayed inside the declared
+  /// shape, grounding the static verdict for this graph.
+  std::function<ManifestCheck(const Graph& g)> validate;
 };
 
 /// All shipped algorithms. `source` seeds SSSP/BFS; `max_iterations` caps the

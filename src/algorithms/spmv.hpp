@@ -15,6 +15,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "engine/vertex_program.hpp"
 
 namespace ndg {
@@ -23,6 +24,14 @@ class SpmvProgram {
  public:
   using EdgeData = float;
   static constexpr bool kMonotonic = false;
+  /// Pull-mode Richardson iteration: same shape as PageRank — RW-only,
+  /// BSP-convergent (spectral radius < 1), Theorem 1.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kWrite,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
 
   explicit SpmvProgram(float epsilon = 1e-3f, float omega = 0.5f)
       : epsilon_(epsilon), omega_(omega) {}

@@ -20,6 +20,7 @@
 #include <limits>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 #include "perf/prefetch.hpp"
@@ -37,6 +38,17 @@ class SsspProgram {
  public:
   using EdgeData = SsspEdge;
   static constexpr bool kMonotonic = true;
+  /// Out-edges are read back before writing (to preserve the co-located
+  /// weight and skip no-op writes) but only the source endpoint ever writes
+  /// an edge: RW-only (Theorem 1), with non-increasing distances as the
+  /// Theorem 2 bonus.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kReadWrite,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   static constexpr float kInf = std::numeric_limits<float>::infinity();
 
   explicit SsspProgram(VertexId source, std::uint64_t weight_seed = 42)

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/access_manifest.hpp"
 #include "dyn/mutation.hpp"
 #include "engine/vertex_program.hpp"
 
@@ -25,6 +26,16 @@ class WccProgram {
  public:
   using EdgeData = std::uint32_t;  // component label carried by the edge
   static constexpr bool kMonotonic = true;
+  /// Both endpoints read AND write every incident edge (Fig. 2), so
+  /// write-write conflicts are possible and Theorem 1 is off the table; the
+  /// non-increasing labels carry Theorem 2.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   /// Fig. 2: "the initial label value of the edge (v->u) is infinite".
   static constexpr std::uint32_t kInfiniteLabel = 0xffffffffu;
 

@@ -1,0 +1,113 @@
+#pragma once
+// AccessManifest — a vertex program's DECLARED access shape, the input to the
+// static half of the eligibility question (docs/ANALYSIS.md).
+//
+// The dynamic analysis (core/eligibility.hpp) answers "is this algorithm
+// eligible for nondeterministic execution?" by observing one instrumented
+// run, so a program whose conflict class depends on input can be misjudged
+// from one trace, and nothing stops a program from quietly bypassing the
+// AccessPolicy layer. The manifest closes both gaps: every program declares,
+// as a constexpr constant, which of its own edge slots update(v) may touch
+// and how, plus the convergence/monotonicity claims the paper's theorems
+// need. From the declaration alone the static evaluator
+// (analysis/static_eligibility.hpp) derives the Theorem 1/2 premises at
+// compile time, and the VerifyingAccess decorator
+// (analysis/verifying_access.hpp) enforces the declaration at runtime.
+//
+// The vocabulary is deliberately the paper's: update(v) may only touch v's
+// incident edges (the Section II update scope), so the declarable surface is
+// exactly {own in-edges, own out-edges} x {read, write} plus whether writes
+// are compound read-modify-writes (accumulate/exchange — the push-mode verbs
+// Section III's minimal atomicity cannot cover) and whether every write
+// follows the Section II task-generation rule (write_silent and exchange do
+// not; the theorems' convergence arguments are tied to that rule).
+
+#include <cstdint>
+
+namespace ndg {
+
+/// How update(v) may touch one class of v's incident edge slots.
+enum class SlotAccess : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr bool reads(SlotAccess a) {
+  return (static_cast<std::uint8_t>(a) &
+          static_cast<std::uint8_t>(SlotAccess::kRead)) != 0;
+}
+
+[[nodiscard]] constexpr bool writes(SlotAccess a) {
+  return (static_cast<std::uint8_t>(a) &
+          static_cast<std::uint8_t>(SlotAccess::kWrite)) != 0;
+}
+
+/// Claimed direction of the projected edge values under conflict-free
+/// execution (Theorem 2's monotonicity premise). Mirrors what the dynamic
+/// MonotonicityChecker observes; kNone = no monotonicity claim.
+enum class MonotoneClaim : std::uint8_t {
+  kNone = 0,
+  kNonIncreasing = 1,
+  kNonDecreasing = 2,
+};
+
+[[nodiscard]] const char* to_string(SlotAccess a);
+[[nodiscard]] const char* to_string(MonotoneClaim m);
+
+/// The declaration itself. Aggregate + constexpr-friendly so programs write
+///
+///   static constexpr AccessManifest kManifest{
+///       .in_edges = SlotAccess::kRead,
+///       .out_edges = SlotAccess::kWrite,
+///       .bsp_convergent = true,
+///   };
+///
+/// and the evaluator can fold it at compile time.
+struct AccessManifest {
+  /// Access to v's own in-edge slots from update(v).
+  SlotAccess in_edges = SlotAccess::kNone;
+  /// Access to v's own out-edge slots from update(v).
+  SlotAccess out_edges = SlotAccess::kNone;
+  /// Some writes are compound read-modify-writes (ctx.accumulate /
+  /// ctx.exchange). Section III's minimal atomicity covers individual reads
+  /// and writes only, so an RMW manifest is incompatible with the aligned
+  /// policy (method (2)) — enforced at compile time, see
+  /// assert_manifest_policy in static_eligibility.hpp.
+  bool rmw = false;
+  /// Every write schedules the edge's other endpoint (the Section II
+  /// task-generation rule). ctx.write_silent and ctx.exchange step outside
+  /// the rule; programs using them must declare false, which forfeits both
+  /// theorems (their convergence arguments assume the rule).
+  bool follows_task_rule = true;
+  /// Theorem 2 premise: projected slot values move only this direction.
+  MonotoneClaim monotone = MonotoneClaim::kNone;
+  /// Theorem 1 premise: claimed convergence under the synchronous (BSP)
+  /// model. Convergence is a dynamic property — the claim is validated by
+  /// the measured analysis, not proven here.
+  bool bsp_convergent = false;
+  /// Theorem 2 premise: claimed convergence under deterministic async runs.
+  bool async_convergent = false;
+  /// The convergence claims hold on typical inputs but not all (e.g. label
+  /// propagation oscillates under BSP on bipartite-ish graphs). The static
+  /// verdict for such programs is CONDITIONAL on the measured premises.
+  bool input_dependent_convergence = false;
+};
+
+/// An edge (s, t) is written by f(s) iff out_edges writes, and by f(t) iff
+/// in_edges writes — so a write-write conflict between two distinct updates
+/// is possible exactly when both sides declare writes.
+[[nodiscard]] constexpr bool ww_possible(const AccessManifest& m) {
+  return writes(m.out_edges) && writes(m.in_edges);
+}
+
+/// A read-write conflict pairs a reader update with a distinct writer update
+/// on the same edge: reader side declares a read while the opposite side
+/// declares a write.
+[[nodiscard]] constexpr bool rw_possible(const AccessManifest& m) {
+  return (reads(m.in_edges) && writes(m.out_edges)) ||
+         (reads(m.out_edges) && writes(m.in_edges));
+}
+
+}  // namespace ndg

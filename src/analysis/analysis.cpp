@@ -1,0 +1,54 @@
+#include <sstream>
+
+#include "analysis/access_manifest.hpp"
+#include "analysis/verifying_access.hpp"
+
+namespace ndg {
+
+const char* to_string(SlotAccess a) {
+  switch (a) {
+    case SlotAccess::kNone: return "none";
+    case SlotAccess::kRead: return "read";
+    case SlotAccess::kWrite: return "write";
+    case SlotAccess::kReadWrite: return "read-write";
+  }
+  return "?";
+}
+
+const char* to_string(MonotoneClaim m) {
+  switch (m) {
+    case MonotoneClaim::kNone: return "none";
+    case MonotoneClaim::kNonIncreasing: return "non-increasing";
+    case MonotoneClaim::kNonDecreasing: return "non-decreasing";
+  }
+  return "?";
+}
+
+const char* to_string(ManifestViolation::Kind k) {
+  switch (k) {
+    case ManifestViolation::Kind::kUndeclaredRead: return "undeclared-read";
+    case ManifestViolation::Kind::kUndeclaredWrite: return "undeclared-write";
+    case ManifestViolation::Kind::kForeignEdge: return "foreign-edge";
+    case ManifestViolation::Kind::kUndeclaredRmw: return "undeclared-rmw";
+    case ManifestViolation::Kind::kRmwNonAtomicPolicy:
+      return "rmw-non-atomic-policy";
+  }
+  return "?";
+}
+
+std::string ManifestViolation::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " on edge " << edge << " by update(" << vertex
+     << ")";
+  return os.str();
+}
+
+std::string ManifestCheck::describe() const {
+  std::ostringstream os;
+  os << (ok() ? "manifest OK" : "MANIFEST VIOLATED") << ": " << accesses
+     << " accesses, " << violations << " violations";
+  for (const ManifestViolation& v : samples) os << "\n    " << v.describe();
+  return os.str();
+}
+
+}  // namespace ndg

@@ -1,0 +1,115 @@
+#pragma once
+// StaticEligibility — the compile-time half of the paper's title question.
+//
+// Given a program's AccessManifest, derive the Theorem 1/2 premises without
+// running anything:
+//
+//   Theorem 1 premise ("RW conflicts only"): no edge can be written by two
+//   distinct updates — i.e. writes are confined to one side of the manifest —
+//   plus the (declared) synchronous-model convergence.
+//
+//   Theorem 2 premise ("WW possible but monotone"): a declared monotone
+//   direction plus (declared) deterministic-async convergence.
+//
+// The result is the same EligibilityVerdict the dynamic analysis yields, as
+// a static_assert-able constant. What static analysis can and cannot prove:
+// conflict classes follow from the access shape exactly (IF the manifest is
+// truthful — VerifyingAccess bridges that gap at runtime), but convergence
+// is a dynamic property, so the manifest CLAIMS it and the measured analysis
+// validates the claim. static_verdict_given() re-evaluates the manifest
+// against *observed* premises so static and dynamic verdicts can be compared
+// like-for-like (the `agreement` column of bench/eligibility_report).
+
+#include <concepts>
+
+#include "analysis/access_manifest.hpp"
+#include "core/eligibility.hpp"
+
+namespace ndg {
+
+/// A vertex program that declares its access shape.
+template <typename P>
+concept ManifestedProgram = requires {
+  { P::kManifest } -> std::convertible_to<AccessManifest>;
+};
+
+/// Does `Policy` provide genuinely atomic RMW primitives? Declared by each
+/// policy (atomics/access_policy.hpp); AlignedAccess — the paper's method
+/// (2) — does not: an aligned word gives atomic loads/stores only.
+template <typename Policy>
+inline constexpr bool kPolicyAtomicRmw = Policy::kAtomicRmw;
+
+/// Evaluates the manifest under explicit convergence premises. Pass the
+/// manifest's own claims for the fully static verdict, or the measured
+/// bsp/async convergence bits for the conditioned verdict the agreement
+/// check compares against the dynamic one.
+[[nodiscard]] constexpr EligibilityVerdict static_verdict_given(
+    const AccessManifest& m, bool bsp_converges, bool async_converges) {
+  // Both theorems' convergence arguments assume the Section II
+  // task-generation rule; a program stepping outside it gets no guarantee.
+  const bool theorem1 = bsp_converges && !ww_possible(m) && m.follows_task_rule;
+  const bool theorem2 = async_converges && m.monotone != MonotoneClaim::kNone &&
+                        m.follows_task_rule;
+  // Same priority as the dynamic decide(): Theorem 1 first.
+  if (theorem1) return EligibilityVerdict::kTheorem1;
+  if (theorem2) return EligibilityVerdict::kTheorem2;
+  return EligibilityVerdict::kNotProven;
+}
+
+/// The compile-time evaluator: every member is a constant expression, so
+/// callers can `static_assert(StaticEligibility<P>::kVerdict == ...)`.
+template <ManifestedProgram P>
+struct StaticEligibility {
+  static constexpr AccessManifest kManifest = P::kManifest;
+
+  static constexpr bool kWwPossible = ww_possible(kManifest);
+  static constexpr bool kRwPossible = rw_possible(kManifest);
+
+  static constexpr bool kTheorem1 = kManifest.bsp_convergent &&
+                                    !kWwPossible && kManifest.follows_task_rule;
+  static constexpr bool kTheorem2 = kManifest.async_convergent &&
+                                    kManifest.monotone != MonotoneClaim::kNone &&
+                                    kManifest.follows_task_rule;
+
+  /// The verdict under the manifest's own convergence claims.
+  static constexpr EligibilityVerdict kVerdict =
+      static_verdict_given(kManifest, kManifest.bsp_convergent,
+                           kManifest.async_convergent);
+
+  /// True when the verdict is conditional on input (the convergence claims
+  /// do not hold universally — label propagation's bipartite oscillation).
+  static constexpr bool kConditional = kManifest.input_dependent_convergence;
+
+  /// Warm-start licensing verdict for the streaming gate
+  /// (dyn/eligibility_gate.hpp): whenever the Theorem 2 premises hold the
+  /// gate must route through the per-mutation monotone-envelope check even
+  /// if Theorem 1 also applies — a monotone program restarted from a state
+  /// below a RAISED fixed point (an edge delete) silently under-converges.
+  static constexpr EligibilityVerdict kWarmStartVerdict =
+      kTheorem2 ? EligibilityVerdict::kTheorem2 : kVerdict;
+
+  /// Can this manifest run under `Policy` at all? Method (2) — plain
+  /// aligned access — cannot make accumulate/exchange atomic, so an RMW
+  /// manifest rejects it.
+  template <typename Policy>
+  static constexpr bool kCompatibleWith = !kManifest.rmw ||
+                                          kPolicyAtomicRmw<Policy>;
+};
+
+/// Compile-time gate at the point where a program meets a policy: a manifest
+/// declaring RMW writes fails to compile under AlignedAccess. Engines that
+/// deliberately pair the two for ablation (measuring the push-mode breakage
+/// the paper warns about) simply do not call this; production entry points
+/// and user code should.
+template <ManifestedProgram P, typename Policy>
+constexpr void assert_manifest_policy() {
+  static_assert(
+      StaticEligibility<P>::template kCompatibleWith<Policy>,
+      "manifest declares read-modify-write edge access (accumulate/exchange) "
+      "but the access policy cannot make RMW atomic: the paper's method (2) "
+      "AlignedAccess provides atomic individual loads/stores only (Section "
+      "III), so racing drains/combines would lose updates. Use LockedAccess, "
+      "RelaxedAtomicAccess, or SeqCstAccess.");
+}
+
+}  // namespace ndg

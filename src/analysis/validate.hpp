@@ -1,0 +1,51 @@
+#pragma once
+// validate_manifest — one manifest-enforced run of a program, the runtime
+// bridge from "the manifest claims this access shape" to "the executed
+// accesses stayed inside it". Runs the deterministic (ascending-label,
+// Gauss–Seidel) schedule single-threaded under VerifyingAccess, so the
+// result is reproducible and race-free regardless of the wrapped policy.
+//
+// A clean check licenses the static verdict for this (program, graph) pair:
+// every access the dynamic ConflictTracer could observe is inside the
+// declared shape, so the statically derived conflict classes are sound.
+
+#include "analysis/static_eligibility.hpp"
+#include "analysis/verifying_access.hpp"
+#include "engine/update_context.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+template <VertexProgram Program>
+  requires ManifestedProgram<Program>
+ManifestCheck validate_manifest(const Graph& g, Program& prog,
+                                std::size_t max_iterations = 100000) {
+  using ED = typename Program::EdgeData;
+  EdgeDataArray<ED> edges(g.num_edges());
+  prog.init(g, edges);
+
+  ManifestEnforcer enforcer(g, Program::kManifest);
+  // Relaxed atomics inside the wrapper: RMW verbs stay genuinely atomic, so
+  // the only reportable RMW violation is an undeclared one (single-threaded
+  // here anyway; the policy choice just keeps the harness standard-
+  // conforming for any caller).
+  VerifyingAccess<RelaxedAtomicAccess> policy{{}, &enforcer};
+
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+  UpdateContext<ED, VerifyingAccess<RelaxedAtomicAccess>> ctx(
+      g, edges, policy, frontier);
+
+  std::size_t iterations = 0;
+  while (!frontier.empty() && iterations < max_iterations) {
+    for (const VertexId v : frontier.current()) {
+      ctx.begin(v, iterations);
+      prog.update(v, ctx);
+    }
+    frontier.advance();
+    ++iterations;
+  }
+  return enforcer.result();
+}
+
+}  // namespace ndg

@@ -48,16 +48,24 @@ enum class AtomicityMode {
 // rescue an accumulate-style algorithm (see algorithms/push_pagerank*.hpp).
 
 struct AlignedAccess {
+  /// Method (2) gives atomic individual loads/stores only — no atomic RMW
+  /// (see analysis/static_eligibility.hpp, which rejects RMW manifests
+  /// paired with this policy at compile time).
+  static constexpr bool kAtomicRmw = false;
+
   template <EdgePod T>
   [[nodiscard]] T read(const EdgeDataArray<T>& a, EdgeId e) const {
     // Plain load through the raw word. Layout compatibility is asserted in
     // EdgeDataArray; see the file comment for why this intentional race exists.
+    // NOLINTNEXTLINE(bugprone-casting-through-void): deliberate atomic->raw
+    // reinterpretation — reproducing the paper's method (2) IS the experiment.
     const auto* raw = reinterpret_cast<const volatile std::uint64_t*>(a.slots());
     return detail::from_slot<T>(raw[e]);
   }
 
   template <EdgePod T>
   void write(EdgeDataArray<T>& a, EdgeId e, T v) const {
+    // NOLINTNEXTLINE(bugprone-casting-through-void): see read() above.
     auto* raw = reinterpret_cast<volatile std::uint64_t*>(a.slots());
     raw[e] = detail::to_slot(v);
   }
@@ -93,6 +101,8 @@ void atomic_accumulate(EdgeDataArray<T>& a, EdgeId e, Fn fn,
 }  // namespace detail
 
 struct RelaxedAtomicAccess {
+  static constexpr bool kAtomicRmw = true;  // CAS-loop accumulate, atomic exchange
+
   template <EdgePod T>
   [[nodiscard]] T read(const EdgeDataArray<T>& a, EdgeId e) const {
     return detail::from_slot<T>(a.slots()[e].load(std::memory_order_relaxed));
@@ -116,6 +126,8 @@ struct RelaxedAtomicAccess {
 };
 
 struct SeqCstAccess {
+  static constexpr bool kAtomicRmw = true;
+
   template <EdgePod T>
   [[nodiscard]] T read(const EdgeDataArray<T>& a, EdgeId e) const {
     return detail::from_slot<T>(a.slots()[e].load(std::memory_order_seq_cst));
@@ -139,6 +151,8 @@ struct SeqCstAccess {
 };
 
 struct LockedAccess {
+  static constexpr bool kAtomicRmw = true;  // RMWs run under the edge lock
+
   EdgeLockTable* locks = nullptr;
 
   template <EdgePod T>

@@ -16,6 +16,15 @@ const char* to_string(EligibilityVerdict v) {
   return "?";
 }
 
+const char* verdict_short(EligibilityVerdict v) {
+  switch (v) {
+    case EligibilityVerdict::kTheorem1: return "theorem-1";
+    case EligibilityVerdict::kTheorem2: return "theorem-2";
+    case EligibilityVerdict::kNotProven: return "not-proven";
+  }
+  return "?";
+}
+
 namespace detail {
 
 EligibilityVerdict decide(EligibilityReport& r) {

@@ -33,6 +33,10 @@ enum class EligibilityVerdict {
 
 [[nodiscard]] const char* to_string(EligibilityVerdict v);
 
+/// Compact machine-friendly form ("theorem-1" / "theorem-2" / "not-proven")
+/// for table cells and JSON manifests.
+[[nodiscard]] const char* verdict_short(EligibilityVerdict v);
+
 struct EligibilityReport {
   std::string algorithm;
   bool bsp_converges = false;

@@ -5,6 +5,7 @@ namespace ndg::dyn {
 const char* to_string(GateMode m) {
   switch (m) {
     case GateMode::kAnalyze: return "analyze";
+    case GateMode::kStatic: return "static";
     case GateMode::kAssumeTheorem1: return "assume-theorem-1";
     case GateMode::kAssumeTheorem2: return "assume-theorem-2";
     case GateMode::kAssumeIneligible: return "assume-ineligible";

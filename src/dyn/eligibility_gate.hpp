@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <string>
 
+#include "analysis/static_eligibility.hpp"
 #include "core/eligibility.hpp"
 #include "dyn/dyn_program.hpp"
 #include "dyn/mutation.hpp"
@@ -36,6 +37,8 @@ namespace ndg::dyn {
 
 enum class GateMode {
   kAnalyze,           // run analyze_eligibility on the base graph
+  kStatic,            // derive the verdict from the program's AccessManifest
+                      // at compile time — no instrumented runs at all
   kAssumeTheorem1,    // caller asserts a Theorem 1 algorithm
   kAssumeTheorem2,    // caller asserts a Theorem 2 algorithm
   kAssumeIneligible,  // force cold recompute always
@@ -75,6 +78,21 @@ class EligibilityGate {
         return EligibilityGate(EligibilityVerdict::kTheorem2);
       case GateMode::kAssumeIneligible:
         return EligibilityGate(EligibilityVerdict::kNotProven);
+      case GateMode::kStatic:
+        // Fast path: the manifest-derived verdict, no instrumented runs.
+        // StaticEligibility already encodes the warm-start priority below
+        // (kWarmStartVerdict prefers Theorem 2 whenever its premises hold).
+        // Programs with input-dependent convergence claims fall back to the
+        // measured analysis — their static verdict is conditional on this
+        // very graph's behaviour — as do unmanifested programs.
+        if constexpr (ManifestedProgram<Program>) {
+          if constexpr (!StaticEligibility<Program>::kConditional) {
+            EligibilityGate gate(StaticEligibility<Program>::kWarmStartVerdict);
+            gate.static_ = true;
+            return gate;
+          }
+        }
+        break;  // fall through to the measured analysis
       case GateMode::kAnalyze:
         break;
     }
@@ -97,6 +115,9 @@ class EligibilityGate {
 
   [[nodiscard]] EligibilityVerdict verdict() const { return verdict_; }
   [[nodiscard]] bool analyzed() const { return analyzed_; }
+  /// True when the verdict came from the compile-time manifest evaluation
+  /// (GateMode::kStatic) rather than a measured or asserted source.
+  [[nodiscard]] bool from_static() const { return static_; }
 
   /// Rules on one applied batch. Pure function of the verdict, the program's
   /// dyn hooks, and the mutations; no engine state involved.
@@ -142,6 +163,7 @@ class EligibilityGate {
  private:
   EligibilityVerdict verdict_;
   bool analyzed_ = false;
+  bool static_ = false;
 };
 
 }  // namespace ndg::dyn

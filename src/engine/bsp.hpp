@@ -56,7 +56,8 @@ class BspContext {
 
   [[nodiscard]] ED read(EdgeId e) { return committed_->get(e); }
 
-  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp).
+  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp). Address-only
+  /// slot use, no datum observed.  ndg-lint: allow(raw-slots)
   void prefetch(EdgeId e) const { perf::prefetch_read(committed_->slots() + e); }
 
   void write(EdgeId e, VertexId other_endpoint, ED value) {

@@ -247,6 +247,8 @@ DistResult run_distributed(const Graph& g, Program& prog,
   effective.network_delay = std::max<std::size_t>(1, opts.network_delay);
 
   detail::DistMachine machine(g, effective);
+  // Whole-array replica snapshot before any update runs: quiescent, so the
+  // access policy is not in play.  ndg-lint: allow(raw-slots)
   machine.load_replicas(edges.slots(), edges.size());
 
   // Per-machine frontiers (current and next), deduplicated via bitsets.
@@ -302,6 +304,7 @@ DistResult run_distributed(const Graph& g, Program& prog,
 
   result.messages = machine.messages_sent();
   result.replica_divergences = machine.divergences();
+  // Quiescent write-back after the last round.  ndg-lint: allow(raw-slots)
   machine.store_replicas(edges.slots(), edges.size());
   result.seconds = timer.seconds();
   return result;

@@ -146,6 +146,11 @@ class AsyncContext {
   void begin(VertexId v, std::size_t sweep) {
     v_ = v;
     sweep_ = static_cast<std::uint32_t>(sweep);
+    // Manifest-enforcing policies track the vertex under update (see
+    // engine/update_context.hpp begin()).
+    if constexpr (requires(Policy& p) { p.begin_update(v); }) {
+      policy_.begin_update(v);
+    }
   }
 
   [[nodiscard]] VertexId vertex() const { return v_; }
@@ -164,7 +169,8 @@ class AsyncContext {
 
   [[nodiscard]] ED read(EdgeId e) { return policy_.read(*edges_, e); }
 
-  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp).
+  /// Cache hint for an upcoming read(e) (perf/prefetch.hpp). Address-only
+  /// slot use, no datum observed.  ndg-lint: allow(raw-slots)
   void prefetch(EdgeId e) const { perf::prefetch_read(edges_->slots() + e); }
 
   void write(EdgeId e, VertexId other_endpoint, ED value) {

@@ -211,6 +211,8 @@ SimResult run_simulated(const Graph& g, Program& prog,
   Frontier frontier(g.num_vertices());
   frontier.seed(prog.initial_frontier(g));
 
+  // The simulator owns the slot array for the whole run and models the
+  // paper's atomicity assumption itself.  ndg-lint: allow(raw-slots)
   detail::SimMachine machine(edges.slots(), edges.size(), opts.delay,
                              opts.delay_jitter, opts.seed);
   detail::SimContext<typename Program::EdgeData> ctx(g, machine, frontier);

@@ -31,6 +31,12 @@ class UpdateContext {
   void begin(VertexId v, std::size_t iteration) {
     v_ = v;
     iter_ = static_cast<std::uint32_t>(iteration);
+    // Manifest-enforcing policies (analysis/verifying_access.hpp) track the
+    // vertex under update to classify each edge access; plain policies have
+    // no hook and pay nothing.
+    if constexpr (requires(Policy& p) { p.begin_update(v); }) {
+      policy_.begin_update(v);
+    }
   }
 
   [[nodiscard]] VertexId vertex() const { return v_; }
@@ -54,6 +60,8 @@ class UpdateContext {
 
   /// Hints the cache about an upcoming read(e) (see perf/prefetch.hpp —
   /// programs reach this through the concept-gated prefetch_edge helper).
+  /// Address-only slot use: no datum is observed, so the access policy is
+  /// not bypassed.  ndg-lint: allow(raw-slots)
   void prefetch(EdgeId e) const { perf::prefetch_read(edges_->slots() + e); }
 
   /// Writes edge e and schedules its other endpoint for the next iteration

@@ -139,6 +139,8 @@ OocResult run_ooc_deterministic(const Graph& g, Program& prog,
   {
     std::vector<std::uint64_t> initial(edges.size());
     for (EdgeId e = 0; e < edges.size(); ++e) {
+      // Quiescent snapshot into the shard store (no update is running).
+      // ndg-lint: allow(raw-slots)
       initial[e] = edges.slots()[e].load(std::memory_order_relaxed);
     }
     store.write_initial(initial);
@@ -204,6 +206,7 @@ OocResult run_ooc_deterministic(const Graph& g, Program& prog,
     std::vector<std::uint64_t> final_values(edges.size());
     store.read_back(final_values);
     for (EdgeId e = 0; e < edges.size(); ++e) {
+      // Quiescent write-back from the shard store.  ndg-lint: allow(raw-slots)
       edges.slots()[e].store(final_values[e], std::memory_order_relaxed);
     }
   }

@@ -1,0 +1,15 @@
+// Compile-FAIL test (ctest WILL_FAIL, built with -fsyntax-only): pairing a
+// manifest that declares RMW edge access with AlignedAccess — the paper's
+// method (2), atomic loads/stores but no atomic read-modify-write — must be
+// rejected at compile time by assert_manifest_policy. The positive-control
+// twin (manifest_relaxed_rmw_ok.cpp) proves the failure comes from the
+// static_assert, not from an unrelated breakage in these headers.
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "atomics/access_policy.hpp"
+
+int main() {
+  ndg::assert_manifest_policy<ndg::AtomicPushPageRankProgram,
+                              ndg::AlignedAccess>();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Positive control for manifest_aligned_rmw_fail.cpp: the SAME program and
+// the SAME assertion compile fine under a policy with genuine atomic RMW.
+// If this TU ever stops compiling, the WILL_FAIL twin is failing for the
+// wrong reason and proves nothing.
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "atomics/access_policy.hpp"
+
+int main() {
+  ndg::assert_manifest_policy<ndg::AtomicPushPageRankProgram,
+                              ndg::RelaxedAtomicAccess>();
+  ndg::assert_manifest_policy<ndg::AtomicPushPageRankProgram,
+                              ndg::LockedAccess>();
+  // A non-RMW manifest is compatible with every policy, aligned included.
+  ndg::assert_manifest_policy<ndg::PageRankProgram, ndg::AlignedAccess>();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Seeded lint fixture — this file is DELIBERATELY wrong. It is never
+// compiled into any target; it exists so tools/ndg_lint.py --self-test can
+// prove the linter still catches every class of policy bypass. If ndg_lint
+// stops flagging this file, the lint_self_test ctest fails.
+//
+// Violations seeded (one per lint rule):
+//   raw-slots         update() pokes edges.slots() directly
+//   raw-cast          aliases the slot array as float* around the policy
+//   missing-manifest  BypassProgram declares no kManifest
+//   aligned-rmw       ctx.accumulate() with no `.rmw = true` declaration
+
+#include <cstdint>
+
+namespace ndg::lint_fixture {
+
+struct BypassProgram {
+  using EdgeData = float;
+
+  template <typename Edges>
+  void update_raw(Edges& edges, std::uint64_t e, float v) {
+    // Writes straight to storage: invisible to the atomicity ablation and
+    // to manifest enforcement.
+    edges.slots()[e].store(static_cast<std::uint64_t>(v));
+    // Aliases the slot array around the AccessPolicy layer.
+    auto* raw = reinterpret_cast<float*>(edges.slots());
+    raw[e] = v;
+  }
+
+  template <typename Ctx>
+  void update(Ctx& ctx, std::uint64_t e, float v) {
+    // An RMW this program's (missing) manifest would have to declare.
+    ctx.accumulate(e, v, [](float a, float b) { return a + b; });
+  }
+};
+
+}  // namespace ndg::lint_fixture

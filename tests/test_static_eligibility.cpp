@@ -1,0 +1,292 @@
+// Static-eligibility tests: the compile-time verdicts (derived from each
+// program's AccessManifest alone), their agreement with the measured dynamic
+// analysis for every registry algorithm, the VerifyingAccess enforcement of
+// lying manifests, and the streaming gate's static fast path.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/label_propagation.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/push_pagerank.hpp"
+#include "algorithms/push_pagerank_atomic.hpp"
+#include "algorithms/registry.hpp"
+#include "algorithms/spmv.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "analysis/validate.hpp"
+#include "analysis/verifying_access.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+// --- The paper's Table: every verdict is a compile-time constant -----------
+
+static_assert(StaticEligibility<PageRankProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem1);
+static_assert(StaticEligibility<SpmvProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem1);
+static_assert(StaticEligibility<SsspProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem1);
+static_assert(StaticEligibility<BfsProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem1);
+static_assert(StaticEligibility<WccProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem2);
+static_assert(StaticEligibility<KCoreProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem2);
+static_assert(StaticEligibility<MisProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem2);
+static_assert(StaticEligibility<LabelPropagationProgram>::kVerdict ==
+              EligibilityVerdict::kTheorem1);
+static_assert(StaticEligibility<PushPageRankProgram>::kVerdict ==
+              EligibilityVerdict::kNotProven);
+static_assert(StaticEligibility<AtomicPushPageRankProgram>::kVerdict ==
+              EligibilityVerdict::kNotProven);
+
+// Conflict classes follow from the access shape alone.
+static_assert(!StaticEligibility<PageRankProgram>::kWwPossible);
+static_assert(StaticEligibility<PageRankProgram>::kRwPossible);
+static_assert(StaticEligibility<WccProgram>::kWwPossible);
+static_assert(StaticEligibility<PushPageRankProgram>::kWwPossible);
+
+// Label propagation's Theorem 1 claim is input-conditional (bipartite
+// oscillation); everything else claims unconditionally.
+static_assert(StaticEligibility<LabelPropagationProgram>::kConditional);
+static_assert(!StaticEligibility<PageRankProgram>::kConditional);
+
+// Warm-start licensing prefers Theorem 2 whenever its premises hold: SSSP is
+// Theorem 1 for NE-safety but must route through the monotone-envelope check
+// for streaming mutations.
+static_assert(StaticEligibility<SsspProgram>::kWarmStartVerdict ==
+              EligibilityVerdict::kTheorem2);
+static_assert(StaticEligibility<PageRankProgram>::kWarmStartVerdict ==
+              EligibilityVerdict::kTheorem1);
+
+// Policy compatibility: an RMW manifest rejects method (2) — aligned access
+// has no atomic read-modify-write — and accepts the genuine-RMW policies.
+static_assert(!StaticEligibility<
+              AtomicPushPageRankProgram>::kCompatibleWith<AlignedAccess>);
+static_assert(StaticEligibility<
+              AtomicPushPageRankProgram>::kCompatibleWith<RelaxedAtomicAccess>);
+static_assert(StaticEligibility<
+              AtomicPushPageRankProgram>::kCompatibleWith<LockedAccess>);
+static_assert(
+    StaticEligibility<WccProgram>::kCompatibleWith<AlignedAccess>);
+
+// --- Static vs dynamic agreement over the whole registry -------------------
+
+TEST(StaticEligibility, AgreesWithDynamicForEveryRegistryAlgorithm) {
+  const Graph g = Graph::build(64, gen::rmat(64, 300, 1));
+  for (const auto& entry : algorithm_registry(/*source=*/0, 50000)) {
+    const EligibilityReport r = entry.analyze(g);
+    // Like-for-like: the manifest's conflict classes under the OBSERVED
+    // convergence premises must yield exactly the dynamic verdict.
+    const EligibilityVerdict conditioned = static_verdict_given(
+        entry.manifest, r.bsp_converges, r.async_converges);
+    EXPECT_EQ(conditioned, r.verdict) << entry.name;
+    // On this graph every unconditional claim also holds as-is.
+    if (!entry.static_conditional) {
+      EXPECT_EQ(entry.static_verdict, r.verdict) << entry.name;
+    }
+  }
+}
+
+TEST(StaticEligibility, EveryRegistryManifestSurvivesEnforcement) {
+  const Graph g = Graph::build(64, gen::rmat(64, 300, 1));
+  for (const auto& entry : algorithm_registry(/*source=*/0, 50000)) {
+    const ManifestCheck check = entry.validate(g);
+    EXPECT_GT(check.accesses, 0u) << entry.name;
+    EXPECT_TRUE(check.ok()) << entry.name << "\n" << check.describe();
+  }
+}
+
+TEST(StaticEligibility, ConditionedAgreementOnBipartitePair) {
+  // The push-mode-adjacent pathology for the STATIC pass: label propagation
+  // claims BSP convergence, but on the bipartite pair the claim fails and
+  // the dynamic verdict is kNotProven. Conditioning the manifest on the
+  // observed premises restores agreement.
+  const Graph g = Graph::build(2, {{0, 1}, {1, 0}});
+  LabelPropagationProgram prog;
+  const EligibilityReport r = analyze_eligibility(g, prog, 200);
+  EXPECT_FALSE(r.bsp_converges);
+  EXPECT_EQ(r.verdict, EligibilityVerdict::kNotProven);
+  EXPECT_EQ(static_verdict_given(LabelPropagationProgram::kManifest,
+                                 r.bsp_converges, r.async_converges),
+            r.verdict);
+  // The unconditioned claim disagrees here — which is exactly why the
+  // evaluator marks it conditional instead of trusting it.
+  EXPECT_NE(StaticEligibility<LabelPropagationProgram>::kVerdict, r.verdict);
+}
+
+// --- VerifyingAccess: lying manifests are caught at runtime ----------------
+
+/// Claims the PageRank shape (read in-edges, write out-edges) but actually
+/// writes its IN-edges too — the static verdict derived from this manifest
+/// (Theorem 1, no WW possible) would be unsound, and enforcement must say so.
+class LyingWriterProgram {
+ public:
+  using EdgeData = float;
+  static constexpr bool kMonotonic = false;
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kWrite,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
+
+  [[nodiscard]] const char* name() const { return "lying-writer"; }
+
+  void init(const Graph&, EdgeDataArray<float>& edges) { edges.fill(0.0f); }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId, Ctx& ctx) {
+    for (const InEdge& ie : ctx.in_edges()) {
+      ctx.write(ie.id, ie.src, 1.0f);  // undeclared: in_edges is read-only
+    }
+  }
+
+  static double project(float v) { return v; }
+};
+
+TEST(VerifyingAccess, FlagsWriteOutsideDeclaredShape) {
+  const Graph g = Graph::build(8, gen::cycle(8));
+  LyingWriterProgram prog;
+  const ManifestCheck check = validate_manifest(g, prog, /*max_iterations=*/3);
+  EXPECT_FALSE(check.ok());
+  ASSERT_FALSE(check.samples.empty());
+  EXPECT_EQ(check.samples.front().kind,
+            ManifestViolation::Kind::kUndeclaredWrite);
+  EXPECT_NE(check.describe().find("undeclared-write"), std::string::npos);
+}
+
+/// Uses ctx.accumulate — a compound RMW — without declaring `.rmw = true`:
+/// the AlignedAccess compatibility check would wrongly pass this manifest.
+class UndeclaredRmwProgram {
+ public:
+  using EdgeData = float;
+  static constexpr bool kMonotonic = false;
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kWrite,  // true about the SIDES, silent on RMW
+      .bsp_convergent = true,
+  };
+
+  [[nodiscard]] const char* name() const { return "undeclared-rmw"; }
+
+  void init(const Graph&, EdgeDataArray<float>& edges) { edges.fill(0.0f); }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename Ctx>
+  void update(VertexId, Ctx& ctx) {
+    const auto out = ctx.out_neighbors();
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      ctx.accumulate(ctx.out_edge_id(k), out[k],
+                     [](float x) { return x + 1.0f; });
+    }
+  }
+
+  static double project(float v) { return v; }
+};
+
+TEST(VerifyingAccess, FlagsUndeclaredRmw) {
+  const Graph g = Graph::build(8, gen::cycle(8));
+  UndeclaredRmwProgram prog;
+  const ManifestCheck check = validate_manifest(g, prog, /*max_iterations=*/2);
+  EXPECT_FALSE(check.ok());
+  ASSERT_FALSE(check.samples.empty());
+  EXPECT_EQ(check.samples.front().kind,
+            ManifestViolation::Kind::kUndeclaredRmw);
+}
+
+TEST(VerifyingAccess, FlagsRmwUnderNonAtomicPolicy) {
+  // The runtime twin of assert_manifest_policy: the manifest declares its
+  // RMW honestly, but the wrapped policy (method (2), aligned plain access)
+  // cannot make it atomic. Reachable when the policy is picked at runtime.
+  const Graph g = Graph::build(2, gen::chain(2));
+  constexpr AccessManifest m{.in_edges = SlotAccess::kReadWrite,
+                             .out_edges = SlotAccess::kReadWrite,
+                             .rmw = true};
+  ManifestEnforcer enforcer(g, m);
+  VerifyingAccess<AlignedAccess> policy{{}, &enforcer};
+  EdgeDataArray<float> edges(g.num_edges());
+  edges.fill(0.0f);
+  policy.begin_update(0);
+  (void)policy.exchange(edges, /*e=*/0, 1.0f);
+  const ManifestCheck check = enforcer.result();
+  EXPECT_FALSE(check.ok());
+  ASSERT_FALSE(check.samples.empty());
+  EXPECT_EQ(check.samples.front().kind,
+            ManifestViolation::Kind::kRmwNonAtomicPolicy);
+}
+
+TEST(VerifyingAccess, FlagsForeignEdge) {
+  // chain(3): edge 0 is 0->1, edge 1 is 1->2. Touching edge 1 from an
+  // update of vertex 0 violates the Section II update scope.
+  const Graph g = Graph::build(3, gen::chain(3));
+  constexpr AccessManifest m{.in_edges = SlotAccess::kReadWrite,
+                             .out_edges = SlotAccess::kReadWrite};
+  ManifestEnforcer enforcer(g, m);
+  VerifyingAccess<RelaxedAtomicAccess> policy{{}, &enforcer};
+  EdgeDataArray<float> edges(g.num_edges());
+  edges.fill(0.0f);
+  policy.begin_update(0);
+  (void)policy.read(edges, /*e=*/1);
+  const ManifestCheck check = enforcer.result();
+  EXPECT_EQ(check.violations, 1u);
+  ASSERT_FALSE(check.samples.empty());
+  EXPECT_EQ(check.samples.front().kind,
+            ManifestViolation::Kind::kForeignEdge);
+}
+
+// --- Streaming gate: static verdict as a fast path -------------------------
+
+TEST(EligibilityGateStatic, StaticModeSkipsInstrumentedRuns) {
+  const Graph g = Graph::build(16, gen::chain(16));
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/5);
+  const auto gate =
+      dyn::EligibilityGate::make(dyn::GateMode::kStatic, g, prog);
+  EXPECT_TRUE(gate.from_static());
+  EXPECT_FALSE(gate.analyzed());
+  // Warm-start priority: Theorem 2 so deletes route through dyn_warm_ok.
+  EXPECT_EQ(gate.verdict(), EligibilityVerdict::kTheorem2);
+}
+
+TEST(EligibilityGateStatic, ConditionalManifestFallsBackToAnalysis) {
+  // Label propagation's convergence claim is input-dependent, so the static
+  // fast path refuses it and the gate runs the measured analysis instead.
+  const Graph g = Graph::build(16, gen::cycle(16));
+  LabelPropagationProgram prog;
+  const auto gate =
+      dyn::EligibilityGate::make(dyn::GateMode::kStatic, g, prog, 500);
+  EXPECT_FALSE(gate.from_static());
+  EXPECT_TRUE(gate.analyzed());
+}
+
+TEST(EligibilityGateStatic, GateModeStringsIncludeStatic) {
+  EXPECT_STREQ(dyn::to_string(dyn::GateMode::kStatic), "static");
+}
+
+TEST(StaticEligibility, VerdictShortTokens) {
+  EXPECT_STREQ(verdict_short(EligibilityVerdict::kTheorem1), "theorem-1");
+  EXPECT_STREQ(verdict_short(EligibilityVerdict::kTheorem2), "theorem-2");
+  EXPECT_STREQ(verdict_short(EligibilityVerdict::kNotProven), "not-proven");
+}
+
+}  // namespace
+}  // namespace ndg

@@ -67,6 +67,7 @@ const char* verdict_token(EligibilityVerdict v) {
 
 std::optional<dyn::GateMode> parse_gate(const std::string& s) {
   if (s == "analyze") return dyn::GateMode::kAnalyze;
+  if (s == "static") return dyn::GateMode::kStatic;
   if (s == "theorem1") return dyn::GateMode::kAssumeTheorem1;
   if (s == "theorem2") return dyn::GateMode::kAssumeTheorem2;
   if (s == "ineligible") return dyn::GateMode::kAssumeIneligible;
@@ -403,7 +404,7 @@ int serve_main(const CliArgs& args) {
 
   const auto gate = parse_gate(args.get("gate", "analyze"));
   if (!gate) {
-    std::cerr << "unknown --gate (expected analyze|theorem1|theorem2|"
+    std::cerr << "unknown --gate (expected analyze|static|theorem1|theorem2|"
                  "ineligible)\n";
     return 1;
   }
