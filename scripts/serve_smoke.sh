@@ -97,10 +97,12 @@ grep -q '"converged":false' "$OUT" && fail "an epoch failed to converge"
 grep -q '"ok":false' "$OUT" && fail "a command errored"
 
 # --- unix-socket transport (when a python3 client is available) ------------
+# `quit` over a socket is scoped to the issuing connection; the server only
+# stops with it when started with --allow-shutdown (as here).
 if command -v python3 > /dev/null 2>&1; then
     SOCK="$WORK/serve.sock"
     "$SERVE" --algo=wcc --kind=chain --vertices=64 --gate=theorem2 \
-             --threads=2 --socket="$SOCK" &
+             --threads=2 --socket="$SOCK" --allow-shutdown &
     SERVER_PID=$!
     i=0
     while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
@@ -129,6 +131,82 @@ PYEOF
     check '"ready":true'
     check '"epoch":1,"warm":true'
     check '"vertex":63,"value":0,"epoch":1'
+    check '"bye":true'
+
+    # --- multi-client live-query session (--live-queries) -------------------
+    # Client A pipelines mutations + recompute; the engine-run phase is held
+    # open for 400ms so client B reliably lands a query INSIDE the racy run
+    # and gets a "quiescent":false reply stamped with the in-flight epoch.
+    # B's quit then stops the server (sanctioned by --allow-shutdown); the
+    # connection-scoped quit behavior is pinned by test_serve_multiclient.
+    SOCK2="$WORK/serve_live.sock"
+    "$SERVE" --algo=sssp --kind=chain --vertices=2000 --gate=theorem2 \
+             --threads=4 --socket="$SOCK2" \
+             --live-queries --allow-shutdown --epoch-hold-ms=400 &
+    SERVER_PID=$!
+    i=0
+    while [ ! -S "$SOCK2" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -S "$SOCK2" ] || { kill "$SERVER_PID" 2>/dev/null; fail "live socket never appeared"; }
+
+    python3 - "$SOCK2" > "$OUT" <<'PYEOF'
+import socket, sys, time
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s, [b""]
+
+def read_line(s, buf, timeout=30.0):
+    s.settimeout(timeout)
+    while b"\n" not in buf[0]:
+        chunk = s.recv(4096)
+        if not chunk:
+            raise SystemExit("connection closed early")
+        buf[0] += chunk
+    line, buf[0] = buf[0].split(b"\n", 1)
+    return line.decode()
+
+a, abuf = connect(sys.argv[1])
+b, bbuf = connect(sys.argv[1])
+print(read_line(a, abuf))  # greeting A
+print(read_line(b, bbuf))  # greeting B
+
+# A: a burst of shortcut inserts, then recompute, all pipelined.
+msgs = []
+for v in range(2, 102):
+    msgs.append('{"op":"mutate","kind":"insert","src":0,"dst":%d,"weight":3}' % v)
+msgs.append('{"op":"recompute"}')
+a.sendall(("\n".join(msgs) + "\n").encode())
+for _ in range(100):
+    read_line(a, abuf)  # mutate acks
+
+# B: poll until a reply lands inside the held engine run.
+deadline = time.time() + 20.0
+saw_live = False
+while time.time() < deadline and not saw_live:
+    b.sendall(b'{"op":"query","vertex":50}\n')
+    reply = read_line(b, bbuf)
+    print(reply)
+    saw_live = '"quiescent":false' in reply
+if not saw_live:
+    raise SystemExit("never saw a quiescent:false reply")
+
+print(read_line(a, abuf))  # A's recompute reply (epoch landed)
+a.close()  # plain disconnect: the server just reaps the connection
+
+# B sees the quiescent value at the new epoch, then stops the whole server.
+b.sendall(b'{"op":"query","vertex":50}\n{"op":"quit"}\n')
+print(read_line(b, bbuf))
+print(read_line(b, bbuf))
+PYEOF
+    [ "$?" -eq 0 ] || { kill "$SERVER_PID" 2>/dev/null; fail "live-query client failed"; }
+    wait "$SERVER_PID" || fail "live-query server exited non-zero"
+    check '"quiescent":false'
+    check '"epoch":1,"warm":true'
+    check '"vertex":50,"value":3,"quiescent":true,"epoch":1'
     check '"bye":true'
 else
     echo "note: python3 not found; skipping unix-socket transport check"

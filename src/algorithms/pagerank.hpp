@@ -95,6 +95,21 @@ class PageRankProgram {
     if (m.kind == dyn::MutationKind::kDeleteEdge) seeds.push_back(m.dst);
   }
 
+  /// Live (mid-recompute) vertex read for ndg_serve's --live-queries mode:
+  /// recompute the damped recurrence from the in-edge mass currently parked
+  /// on the wire — exactly the gather an engine thread would perform, each
+  /// edge read individually atomic (Lemma 1). Never touches ranks_ (plain
+  /// state the engine threads write). At a quiescent point this agrees with
+  /// values()[v] up to the local-convergence tolerance: a vertex stops
+  /// scattering once its rank moves by less than epsilon.
+  template <typename ViewT, typename ReadFn>
+  [[nodiscard]] double live_value(const ViewT& g, ReadFn&& read,
+                                  VertexId v) const {
+    float sum = 0.0f;
+    for (const InEdge& ie : g.in_edges(v)) sum += read(ie.id);
+    return (1.0f - damping_) + damping_ * sum;
+  }
+
   // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather
   // is a sum over in-edge reads, so it splits into edge chunks whose partial
   // sums recombine associatively. update() below routes through the same

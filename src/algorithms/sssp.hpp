@@ -133,6 +133,28 @@ class SsspProgram {
     seeds.push_back(m.dst);
   }
 
+  /// Live (mid-recompute) vertex read for ndg_serve's --live-queries mode:
+  /// v's last PUBLISHED tentative distance rides on its out-edges (scatter
+  /// writes dist there), and fresher candidates arrive on its in-edges — so
+  /// the min over individually-atomic edge reads is a value some serial
+  /// order of the racy run could have produced (Lemma 1). Never touches
+  /// dists_ (plain state the engine threads write). At a quiescent point
+  /// this IS dists_[v]: the fixed point satisfies
+  /// dist(v) = min_in(dist(u) + w) for every reachable non-source vertex.
+  template <typename ViewT, typename ReadFn>
+  [[nodiscard]] double live_value(const ViewT& g, ReadFn&& read,
+                                  VertexId v) const {
+    float best = (v == source_) ? 0.0f : kInf;
+    if (g.out_degree(v) > 0) {
+      best = std::min(best, read(g.out_edge_id(v, 0)).dist);
+    }
+    for (const InEdge& ie : g.in_edges(v)) {
+      const SsspEdge e = read(ie.id);
+      best = std::min(best, e.dist + e.weight);
+    }
+    return best;
+  }
+
   // Gather / Combine / Apply decomposition (perf/hub_gather.hpp): the gather
   // is a min over in-edge candidate distances — associative, so a hub's
   // in-edges split into chunks whose partial minima recombine exactly.

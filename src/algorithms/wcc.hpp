@@ -80,6 +80,25 @@ class WccProgram {
     }
   }
 
+  /// Live (mid-recompute) vertex read for ndg_serve's --live-queries mode:
+  /// min over v's own id and every incident edge label, each read
+  /// individually atomic (Lemma 1). Never touches labels_ (plain state the
+  /// engine threads write); labels_[v] starts at v and the scatter pushes
+  /// every improvement onto v's incident edges, so at a quiescent point this
+  /// min IS labels_[v]. Infinite (not-yet-written) edge labels are ignored
+  /// the same way Fig. 2's init value is.
+  template <typename ViewT, typename ReadFn>
+  [[nodiscard]] double live_value(const ViewT& g, ReadFn&& read,
+                                  VertexId v) const {
+    std::uint32_t m = v;
+    for (const InEdge& ie : g.in_edges(v)) m = std::min(m, read(ie.id));
+    const EdgeId odeg = g.out_degree(v);
+    for (EdgeId k = 0; k < odeg; ++k) {
+      m = std::min(m, read(g.out_edge_id(v, k)));
+    }
+    return m;
+  }
+
   template <typename Ctx>
   void update(VertexId v, Ctx& ctx) {
     // Gather: minimum over the vertex label and every incident edge label.

@@ -53,4 +53,35 @@ concept DynamicProgram =
       { p.dyn_apply(g, edges, m, seeds) };
     };
 
+namespace detail {
+
+/// Stand-in reader for the LiveQueryProgram concept check: callable with the
+/// same EdgeId -> EdgeData shape as the policy-routed reader the engine
+/// passes to live_value at runtime.
+template <typename EdgeDataT>
+struct ProbeEdgeReader {
+  EdgeDataT operator()(EdgeId) const;
+};
+
+}  // namespace detail
+
+/// A program opts into LIVE (mid-recompute) vertex queries by deriving a
+/// vertex value from individual edge reads only:
+///
+///   template <typename ViewT, typename ReadFn>
+///   double live_value(const ViewT& g, ReadFn&& read_edge, VertexId v) const;
+///       // Reconstruct v's current value purely from `read_edge(e)` calls
+///       // (each one an individually-atomic edge read — Lemma 1) and from
+///       // immutable program parameters. MUST NOT touch the program's
+///       // per-vertex scratch arrays: those are plain (non-atomic) state the
+///       // racy engines write concurrently. At a quiescent point the result
+///       // agrees with values()[v] (exactly for monotone fixed points,
+///       // within the run tolerance for contraction-style programs).
+template <typename P, typename ViewT = DynGraph>
+concept LiveQueryProgram =
+    requires(const P p, const ViewT& g, VertexId v,
+             detail::ProbeEdgeReader<typename P::EdgeData> read) {
+      { p.live_value(g, read, v) } -> std::convertible_to<double>;
+    };
+
 }  // namespace ndg::dyn

@@ -12,11 +12,20 @@
 // its edge data with the old->new table, so the next epoch starts on a fresh
 // exact-size CSR with the warm state intact.
 //
-// Everything here requires quiescence between calls — ndg_serve's command
-// loop provides it by construction (queries are answered between epochs).
+// Mutating entry points (apply_epoch, compact_now, recompute_cold) still
+// require quiescence between calls. What IS allowed concurrently is a
+// labeled racy read: while apply_epoch is inside its engine run — and only
+// then, see phase() — live_value() may be called from another thread. It
+// reconstructs one vertex value purely from individually-atomic edge-slot
+// reads routed through the configured access policy, the same Lemma 1
+// license the engines' own reads rely on. ndg_serve's --live-queries mode is
+// the consumer: queries answered mid-recompute, labeled "quiescent":false.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,6 +48,35 @@ enum class DynEngine {
   return e == DynEngine::kNE ? "ne" : "pure-async";
 }
 
+/// Where apply_epoch currently is, published for concurrent observers
+/// (ndg_serve's event loop). The distinction that matters to a live reader:
+/// kRunning means the graph view and the edge-slot ARRAY are structurally
+/// frozen (only slot CONTENTS race, through atomic/aligned accesses), so
+/// individual edge reads are licensed; kMutating means adjacency overlays
+/// and the slot array itself are being resized/rebuilt, so no concurrent
+/// access of any kind is safe.
+enum class EpochPhase : int {
+  kIdle = 0,  // between epochs; everything quiescent
+  kMutating,  // batch apply / edge-data resize / cold re-init / compaction
+  kRunning,   // racy engine run — live reads licensed (Lemma 1)
+};
+
+/// One edge-slot read through the runtime-selected atomicity method. The
+/// locked policy's table is private to an engine run, and Lemma 1 needs no
+/// lock for an individual word read, so kLocked routes through the relaxed
+/// atomic load.
+template <EdgePod T>
+[[nodiscard]] inline T policy_edge_read(const EdgeDataArray<T>& a, EdgeId e,
+                                        AtomicityMode mode) {
+  switch (mode) {
+    case AtomicityMode::kAligned: return AlignedAccess{}.read(a, e);
+    case AtomicityMode::kSeqCst: return SeqCstAccess{}.read(a, e);
+    case AtomicityMode::kLocked:
+    case AtomicityMode::kRelaxed: break;
+  }
+  return RelaxedAtomicAccess{}.read(a, e);
+}
+
 /// Per-epoch outcome (ndg_serve's `recompute` reply and the dyn benches).
 struct EpochResult {
   std::uint64_t epoch = 0;
@@ -54,6 +92,9 @@ template <VertexProgram Program>
 class IncrementalEngine {
  public:
   using EdgeData = typename Program::EdgeData;
+
+  /// True when the program can answer live_value() (mid-run vertex reads).
+  static constexpr bool kLiveQueryCapable = LiveQueryProgram<Program>;
 
   IncrementalEngine(DynGraph& graph, Program& prog, EligibilityGate gate,
                     EngineOptions opts, DynEngine engine = DynEngine::kNE)
@@ -71,9 +112,15 @@ class IncrementalEngine {
   }
 
   /// Applies one sealed batch and brings the result back to a fixed point.
-  EpochResult apply_epoch(const MutationBatch& batch) {
+  /// `auto_compact=false` skips the post-run compaction so a caller that
+  /// interleaves live reads can run compact_now() itself at a point it
+  /// KNOWS is quiescent (ndg_serve's event loop does this after taking the
+  /// epoch result off its worker thread).
+  EpochResult apply_epoch(const MutationBatch& batch, bool auto_compact = true) {
     EpochResult out;
     out.epoch = batch.epoch;
+    inflight_epoch_.store(batch.epoch, std::memory_order_relaxed);
+    phase_.store(EpochPhase::kMutating, std::memory_order_release);
 
     const std::vector<AppliedMutation> applied =
         g_->apply(batch, &out.apply_stats, opts_.num_threads);
@@ -105,17 +152,19 @@ class IncrementalEngine {
       out.engine = recompute_cold();
     }
 
-    if (g_->should_compact()) {
+    if (auto_compact && g_->should_compact()) {
       compact_now();
       out.compacted = true;
     }
     ++epochs_;
+    phase_.store(EpochPhase::kIdle, std::memory_order_release);
     return out;
   }
 
   /// Rebuilds the CSR and remaps the persistent edge data (warm state
-  /// survives under new ids). Exposed for tests; apply_epoch calls it
-  /// automatically past the threshold.
+  /// survives under new ids). Exposed for tests and for deferred-compaction
+  /// callers; apply_epoch calls it automatically past the threshold unless
+  /// told not to. Requires quiescence.
   void compact_now() {
     const DynGraph::CompactResult remap = g_->compact();
     EdgeDataArray<EdgeData> packed(remap.new_num_edges, EdgeData{}, opts_.mem);
@@ -126,6 +175,35 @@ class IncrementalEngine {
       if (ne != kInvalidEdge) packed.set(ne, edges_.get(e));
     }
     edges_ = std::move(packed);
+  }
+
+  // --- Recompute-in-progress state (safe from any thread) ---
+
+  [[nodiscard]] EpochPhase phase() const {
+    return phase_.load(std::memory_order_acquire);
+  }
+  /// Epoch of the batch apply_epoch is (or was last) working on. Meaningful
+  /// as "in-flight" only while phase() != kIdle.
+  [[nodiscard]] std::uint64_t inflight_epoch() const {
+    return inflight_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Testing/serving aid: keep phase() == kRunning for this long after the
+  /// engine converges, so a concurrent observer gets a deterministic window
+  /// in which live reads are licensed. 0 (default) disables the hold.
+  void set_run_hold_ms(std::uint32_t ms) { run_hold_ms_ = ms; }
+
+  /// Racy read of vertex v's current value, reconstructed from individual
+  /// policy-routed edge reads (Lemma 1). Callable concurrently with
+  /// apply_epoch ONLY while phase() == kRunning (the caller must check); at
+  /// a quiescent point it is always safe and agrees with the program's own
+  /// values() per the LiveQueryProgram contract.
+  [[nodiscard]] double live_value(VertexId v) const
+    requires LiveQueryProgram<Program>
+  {
+    return prog_->live_value(
+        *g_,
+        [this](EdgeId e) { return policy_edge_read(edges_, e, opts_.mode); },
+        v);
   }
 
   [[nodiscard]] const EdgeDataArray<EdgeData>& edges() const { return edges_; }
@@ -139,11 +217,24 @@ class IncrementalEngine {
 
  private:
   EngineResult run_engine(std::vector<VertexId> seeds) {
+    // Publish kRunning only once all structural surgery (apply/resize/init)
+    // is done — the release store is what makes those writes visible to a
+    // live reader that acquires the phase — and restore the phase we entered
+    // with (kMutating inside apply_epoch, kIdle for a standalone cold run).
+    const EpochPhase prev = phase_.load(std::memory_order_relaxed);
+    phase_.store(EpochPhase::kRunning, std::memory_order_release);
+    EngineResult r;
     if (engine_ == DynEngine::kPureAsync) {
-      return run_pure_async_from(*g_, *prog_, edges_, std::move(seeds), opts_);
+      r = run_pure_async_from(*g_, *prog_, edges_, std::move(seeds), opts_);
+    } else {
+      r = run_nondeterministic_from(*g_, *prog_, edges_, std::move(seeds),
+                                    opts_);
     }
-    return run_nondeterministic_from(*g_, *prog_, edges_, std::move(seeds),
-                                     opts_);
+    if (run_hold_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(run_hold_ms_));
+    }
+    phase_.store(prev, std::memory_order_release);
+    return r;
   }
 
   DynGraph* g_;
@@ -155,6 +246,9 @@ class IncrementalEngine {
   std::uint64_t epochs_ = 0;
   std::uint64_t warm_runs_ = 0;
   std::uint64_t cold_runs_ = 0;
+  std::uint32_t run_hold_ms_ = 0;
+  std::atomic<EpochPhase> phase_{EpochPhase::kIdle};
+  std::atomic<std::uint64_t> inflight_epoch_{0};
 };
 
 }  // namespace ndg::dyn

@@ -108,6 +108,40 @@ bool parse_scalar(Cursor& c, std::string& out, std::string* err) {
   return true;
 }
 
+/// JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+bool is_json_number(std::string_view t) {
+  std::size_t i = 0;
+  if (i < t.size() && t[i] == '-') ++i;
+  if (i >= t.size()) return false;
+  if (t[i] == '0') {
+    ++i;
+  } else if (t[i] >= '1' && t[i] <= '9') {
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9') ++i;
+  } else {
+    return false;
+  }
+  if (i < t.size() && t[i] == '.') {
+    ++i;
+    if (i >= t.size() || t[i] < '0' || t[i] > '9') return false;
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9') ++i;
+  }
+  if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+    ++i;
+    if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+    if (i >= t.size() || t[i] < '0' || t[i] > '9') return false;
+    while (i < t.size() && t[i] >= '0' && t[i] <= '9') ++i;
+  }
+  return i == t.size();
+}
+
+/// Unquoted values must be one of JSON's scalar spellings. Anything else
+/// (e.g. {"vertex":xyz}) used to be accepted verbatim and then surface
+/// downstream as a misleading "missing field" error; reject it here, naming
+/// the key it was attached to.
+bool scalar_token_ok(std::string_view t) {
+  return t == "true" || t == "false" || t == "null" || is_json_number(t);
+}
+
 }  // namespace
 
 const std::string* WireMessage::find(std::string_view key) const {
@@ -174,6 +208,10 @@ bool parse_wire(std::string_view line, WireMessage& out, std::string* err) {
       if (!parse_string(c, value, err)) return false;
     } else {
       if (!parse_scalar(c, value, err)) return false;
+      if (!scalar_token_ok(value)) {
+        return fail(err, "bad value for key \"" + key +
+                             "\" (expected number, true, false or null)");
+      }
     }
     out.add(std::move(key), std::move(value));
     c.skip_ws();

@@ -9,6 +9,9 @@
 //
 // Parsed values are kept as text; typed getters convert on demand so the
 // server can give precise error messages naming the offending field.
+// Unquoted values must still SPELL like JSON scalars (strict number grammar,
+// true/false/null) — a bare word like {"vertex":xyz} is a parse error that
+// names the key, not a value that limps along until a getter fails.
 
 #include <cstdint>
 #include <string>

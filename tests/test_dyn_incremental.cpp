@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "algorithms/pagerank.hpp"
@@ -328,6 +330,171 @@ TEST(DynIncremental, PureAsyncEngineWarmMatchesColdExactly) {
   const std::vector<std::uint32_t> warm = prog.labels();
   ASSERT_TRUE(inc.recompute_cold().converged);
   EXPECT_EQ(warm, prog.labels());
+}
+
+// --- Live (mid-recompute) vertex reads -------------------------------------
+
+// Compile-time wiring: the three dyn-capable algorithms expose live_value;
+// the ineligible push-mode exhibit deliberately does not (its mid-recompute
+// queries in ndg_serve degrade to the quiescent barrier).
+static_assert(IncrementalEngine<SsspProgram>::kLiveQueryCapable);
+static_assert(IncrementalEngine<WccProgram>::kLiveQueryCapable);
+static_assert(IncrementalEngine<PageRankProgram>::kLiveQueryCapable);
+static_assert(!IncrementalEngine<AtomicPushPageRankProgram>::kLiveQueryCapable);
+
+TEST_P(DynPolicies, SsspLiveValueEqualsQuiescentDistances) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(GetParam()));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  ASSERT_TRUE(
+      inc.apply_epoch(random_batch(dg, 21, /*monotone_only=*/true))
+          .engine.converged);
+
+  // At a quiescent point the edge-only reconstruction must agree EXACTLY:
+  // the fixed point satisfies dist(v) = min_in(dist(u) + w) and the scatter
+  // leaves dist(v) itself on v's out-edges.
+  const std::vector<float>& dists = prog.distances();
+  for (VertexId v = 0; v < kV; ++v) {
+    const double live = inc.live_value(v);
+    if (std::isinf(dists[v])) {
+      EXPECT_TRUE(std::isinf(live)) << "v=" << v;
+    } else {
+      EXPECT_EQ(static_cast<float>(live), dists[v]) << "v=" << v;
+    }
+  }
+}
+
+TEST_P(DynPolicies, WccLiveValueEqualsQuiescentLabels) {
+  DynGraph dg(base_graph());
+  WccProgram prog;
+  IncrementalEngine<WccProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(GetParam()));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  const std::vector<std::uint32_t>& labels = prog.labels();
+  for (VertexId v = 0; v < kV; ++v) {
+    EXPECT_EQ(static_cast<std::uint32_t>(inc.live_value(v)), labels[v])
+        << "v=" << v;
+  }
+}
+
+TEST(DynIncremental, PageRankLiveValueAgreesWithinLocalConvergence) {
+  DynGraph dg(base_graph());
+  PageRankProgram prog(/*epsilon=*/1e-4f);
+  IncrementalEngine<PageRankProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem1),
+      make_opts(AtomicityMode::kRelaxed));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  // Local convergence stops scattering below ε, so the re-gathered value can
+  // lag the stored rank by the unpublished deltas of the in-neighbors —
+  // bounded by in-degree * ε, far under this slack on a 1400-edge graph.
+  const std::vector<float>& ranks = prog.ranks();
+  for (VertexId v = 0; v < kV; ++v) {
+    EXPECT_NEAR(inc.live_value(v), ranks[v], 0.02 + 0.02 * ranks[v])
+        << "v=" << v;
+  }
+}
+
+// The concurrency contract itself: live_value from another thread while
+// apply_epoch is inside its (artificially held) engine run. The TSan CI job
+// runs this test — the reads go through the atomic edge slots only, never
+// the program's plain per-vertex arrays.
+TEST(DynIncremental, LiveValueDuringEngineRunIsSafeAndLabeled) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(inc.phase(), EpochPhase::kIdle);
+
+  inc.set_run_hold_ms(300);
+  const MutationBatch batch = random_batch(dg, 97, /*monotone_only=*/true, 1);
+  EpochResult result;
+  std::thread epoch([&] { result = inc.apply_epoch(batch); });
+
+  // Wait for the run phase to be published, then hammer live reads inside
+  // the licensed window. Values must be plausible distances (the racy read
+  // observes SOME prefix of the run), never garbage.
+  bool saw_running = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inc.phase() == EpochPhase::kRunning) {
+      saw_running = true;
+      break;
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(saw_running);
+  if (saw_running) {
+    EXPECT_EQ(inc.inflight_epoch(), 1u);
+    for (int round = 0; round < 50; ++round) {
+      for (VertexId v = 0; v < kV; v += 7) {
+        const double live = inc.live_value(v);
+        EXPECT_TRUE(live >= 0.0) << "v=" << v << " live=" << live;
+      }
+      if (inc.phase() != EpochPhase::kRunning) break;
+    }
+  }
+
+  epoch.join();
+  EXPECT_TRUE(result.engine.converged);
+  EXPECT_EQ(inc.phase(), EpochPhase::kIdle);
+  // Back at quiescence the same reads reproduce the result exactly.
+  const std::vector<float>& dists = prog.distances();
+  for (VertexId v = 0; v < kV; ++v) {
+    if (!std::isinf(dists[v])) {
+      EXPECT_EQ(static_cast<float>(inc.live_value(v)), dists[v]) << "v=" << v;
+    }
+  }
+}
+
+// Deferred compaction: apply_epoch(batch, auto_compact=false) leaves the
+// overlay in place even past the threshold; compact_now() at the caller's
+// own quiescent point finishes the job with the warm state intact. This is
+// exactly the hand-off ndg_serve's event loop performs around its worker.
+TEST(DynIncremental, DeferredCompactionKeepsWarmState) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  gopts.compact_threshold = 0.01;
+  DynGraph dg(base_graph(), gopts);
+  SsspProgram prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed));
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  const MutationBatch batch = random_batch(dg, 55, /*monotone_only=*/true, 1);
+  const EpochResult r = inc.apply_epoch(batch, /*auto_compact=*/false);
+  ASSERT_TRUE(r.engine.converged);
+  EXPECT_FALSE(r.compacted);
+  ASSERT_TRUE(dg.should_compact());  // threshold tripped, compaction owed
+  const std::vector<float> warm = prog.distances();
+
+  inc.compact_now();
+  EXPECT_EQ(dg.compactions(), 1u);
+  // Remapped edge data still reconstructs the same distances...
+  for (VertexId v = 0; v < kV; ++v) {
+    if (!std::isinf(warm[v])) {
+      EXPECT_EQ(static_cast<float>(inc.live_value(v)), warm[v]) << "v=" << v;
+    }
+  }
+  // ...and the next epoch still warm-starts onto the exact fixed point.
+  const MutationBatch batch2 = random_batch(dg, 56, /*monotone_only=*/true, 2);
+  const EpochResult r2 = inc.apply_epoch(batch2);
+  EXPECT_TRUE(r2.warm);
+  ASSERT_TRUE(r2.engine.converged);
+  const std::vector<float> warm2 = prog.distances();
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  EXPECT_EQ(warm2, prog.distances());
 }
 
 // The two policies the acceptance criteria require, plus both ends of the

@@ -90,6 +90,62 @@ TEST(Wire, RejectsNestedAndMalformedInput) {
   expect_reject(R"({"a":"unterminated)");
 }
 
+TEST(Wire, RejectsNonJsonScalarTokens) {
+  // Unquoted values must be one of JSON's scalar spellings; bare words used
+  // to be stored verbatim and only blow up later as a misleading
+  // "missing field" error from the typed getters.
+  expect_reject(R"({"vertex":xyz})");
+  expect_reject(R"({"n":01})");    // leading zero
+  expect_reject(R"({"n":+5})");    // JSON has no unary plus
+  expect_reject(R"({"n":1.})");    // digits required after the point
+  expect_reject(R"({"n":.5})");    // ...and before it
+  expect_reject(R"({"n":1e})");    // empty exponent
+  expect_reject(R"({"n":1e+})");
+  expect_reject(R"({"n":nan})");   // IEEE specials are not JSON
+  expect_reject(R"({"n":inf})");
+  expect_reject(R"({"b":tru})");   // truncated keyword
+  expect_reject(R"({"b":True})");  // wrong case
+  expect_reject(R"({"n":--1})");
+  expect_reject(R"({"n":1 2})");   // whitespace splits the token
+}
+
+TEST(Wire, BadScalarErrorNamesTheKey) {
+  WireMessage msg;
+  std::string err;
+  EXPECT_FALSE(parse_wire(R"({"op":"query","vertex":xyz})", msg, &err));
+  EXPECT_NE(err.find("\"vertex\""), std::string::npos) << err;
+}
+
+TEST(Wire, AcceptsFullJsonNumberGrammar) {
+  const WireMessage m = parse_ok(
+      R"({"a":-0.5e-2,"b":0,"c":-0,"d":1E+9,"e":0.25,"f":12e0})");
+  double d = 0;
+  EXPECT_TRUE(m.get_double("a", d));
+  EXPECT_DOUBLE_EQ(d, -0.005);
+  EXPECT_TRUE(m.get_double("c", d));
+  EXPECT_DOUBLE_EQ(d, 0.0);
+  EXPECT_TRUE(m.get_double("d", d));
+  EXPECT_DOUBLE_EQ(d, 1e9);
+  EXPECT_TRUE(m.get_double("f", d));
+  EXPECT_DOUBLE_EQ(d, 12.0);
+}
+
+TEST(Wire, UnicodeEscapeEdgeCases) {
+  const WireMessage m =
+      parse_ok("{\"a\":\"\\u0041\",\"b\":\"\\u00e9\",\"c\":\"\\u20AC\"}");
+  std::string s;
+  EXPECT_TRUE(m.get_string("a", s));
+  EXPECT_EQ(s, "A");
+  EXPECT_TRUE(m.get_string("b", s));
+  EXPECT_EQ(s, "\xc3\xa9");  // 2-byte UTF-8
+  EXPECT_TRUE(m.get_string("c", s));
+  EXPECT_EQ(s, "\xe2\x82\xac");  // 3-byte UTF-8 (euro sign)
+
+  expect_reject(R"({"a":"\u12"})");    // truncated escape
+  expect_reject(R"({"a":"\u12g4"})");  // non-hex digit
+  expect_reject(R"({"a":"\x41"})");    // unknown escape
+}
+
 TEST(Wire, WriterProducesCanonicalFlatJson) {
   const std::string line = WireWriter()
                                .boolean("ok", true)

@@ -1,0 +1,334 @@
+// End-to-end tests for the multiplexed ndg_serve socket server: two
+// concurrent clients interleaving mutate/query/stats with strict per-client
+// reply order, quit scoped to its own connection, and --live-queries
+// answering a mid-recompute query with "quiescent":false.
+//
+// The server binary path arrives via the NDG_SERVE_BIN compile definition
+// (tools/CMakeLists.txt); each test forks/execs its own server on a fresh
+// socket under mkdtemp(/tmp/...) — /tmp because sun_path caps out around
+// 108 bytes and build trees routinely blow past that.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Server {
+  pid_t pid = -1;
+  std::string dir;     // mkdtemp scratch, removed in stop()
+  std::string socket;  // dir + "/serve.sock"
+
+  void start(const std::vector<std::string>& extra_args) {
+    char tmpl[] = "/tmp/ndg_serve_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir = tmpl;
+    socket = dir + "/serve.sock";
+    std::vector<std::string> args = {NDG_SERVE_BIN, "--socket=" + socket};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);  // exec failed
+    }
+  }
+
+  [[nodiscard]] bool alive() const {
+    return pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == 0;
+  }
+
+  /// Reaps a server expected to exit on its own; returns its wait status.
+  int join(int timeout_ms = 10000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    int status = -1;
+    while (Clock::now() < deadline) {
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        pid = -1;
+        return status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return -1;  // still running
+  }
+
+  void stop() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+    if (!socket.empty()) ::unlink(socket.c_str());
+    if (!dir.empty()) ::rmdir(dir.c_str());
+  }
+
+  ~Server() { stop(); }
+};
+
+/// Blocking line-oriented socket client with a receive deadline.
+class Client {
+ public:
+  void connect(const std::string& path, int timeout_ms = 5000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (Clock::now() < deadline) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      ASSERT_GE(fd_, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "could not connect to " << path;
+  }
+
+  void send(const std::string& payload) {
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fd_, payload.data() + off, payload.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0) << "write failed: " << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send_line(const std::string& line) { send(line + "\n"); }
+
+  /// Next full reply line; fails the test on timeout or early EOF.
+  std::string read_line(int timeout_ms = 15000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        ADD_FAILURE() << "timed out waiting for a reply line";
+        return {};
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        ADD_FAILURE() << "timed out waiting for a reply line";
+        return {};
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while awaiting a reply";
+        return {};
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True once the server closes this connection (draining after bye).
+  bool wait_eof(int timeout_ms = 5000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return false;
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return false;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) return true;
+      if (n < 0) return false;
+      // Stray bytes after bye would be a protocol violation.
+      ADD_FAILURE() << "unexpected bytes after quit: "
+                    << std::string(chunk, static_cast<std::size_t>(n));
+      return false;
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~Client() { close(); }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// Two clients on one SSSP server: sequenced mutations from both, then a
+// pipelined burst from client A whose replies must come back in send order,
+// then client B querying the same epoch. quit disconnects only its issuer.
+TEST(ServeMultiClient, InterleavedClientsKeepPerClientReplyOrder) {
+  Server server;
+  server.start({"--algo=sssp", "--kind=chain", "--vertices=300",
+                "--gate=theorem2", "--engine=ne", "--threads=2"});
+  Client a;
+  Client b;
+  a.connect(server.socket);
+  b.connect(server.socket);
+
+  // Each connection gets its own greeting.
+  EXPECT_TRUE(contains(a.read_line(), "\"ready\":true"));
+  EXPECT_TRUE(contains(b.read_line(), "\"ready\":true"));
+
+  // Sequenced mutations (reply read before the next client sends) make the
+  // shared log's pending counter deterministic: A appends first, then B.
+  a.send_line(R"({"op":"mutate","kind":"insert","src":0,"dst":2,"weight":3})");
+  EXPECT_TRUE(contains(a.read_line(), "\"ok\":true,\"pending\":1"));
+  b.send_line(
+      R"({"op":"mutate","kind":"insert","src":0,"dst":102,"weight":3})");
+  EXPECT_TRUE(contains(b.read_line(), "\"ok\":true,\"pending\":2"));
+
+  // Pipelined burst from A: recompute + two queries + a parse error + quit,
+  // written as one blob. Replies must arrive strictly in send order even
+  // though the recompute runs on the worker thread.
+  a.send(
+      "{\"op\":\"recompute\"}\n"
+      "{\"op\":\"query\",\"vertex\":2}\n"
+      "{\"op\":\"query\",\"vertex\":102}\n"
+      "{\"op\":\"query\",\"vertex\":xyz}\n"
+      "{\"op\":\"quit\"}\n");
+  const std::string rec = a.read_line();
+  EXPECT_TRUE(contains(rec, "\"epoch\":1,\"warm\":true")) << rec;
+  EXPECT_TRUE(contains(rec, "\"applied\":2,\"rejected\":0")) << rec;
+  // Chain topology pins the values: the only path to the shortcut targets
+  // is the inserted weight-3 edge itself.
+  EXPECT_TRUE(contains(a.read_line(), "\"vertex\":2,\"value\":3,\"epoch\":1"));
+  EXPECT_TRUE(
+      contains(a.read_line(), "\"vertex\":102,\"value\":3,\"epoch\":1"));
+  const std::string bad = a.read_line();
+  EXPECT_TRUE(contains(bad, "\"ok\":false")) << bad;
+  EXPECT_TRUE(contains(bad, "bad value for key \\\"vertex\\\"")) << bad;
+  EXPECT_TRUE(contains(a.read_line(), "\"bye\":true"));
+  EXPECT_TRUE(a.wait_eof()) << "server should close A after its quit";
+
+  // B rides the same server instance: A's quit must not have touched it.
+  b.send_line(R"({"op":"query","vertex":2})");
+  EXPECT_TRUE(contains(b.read_line(), "\"vertex\":2,\"value\":3,\"epoch\":1"));
+  b.send_line(R"({"op":"stats"})");
+  const std::string stats = b.read_line();
+  EXPECT_TRUE(contains(stats, "\"total_mutations\":2")) << stats;
+  EXPECT_TRUE(contains(stats, "\"warm_runs\":1")) << stats;
+  b.send_line(R"({"op":"quit"})");
+  EXPECT_TRUE(contains(b.read_line(), "\"bye\":true"));
+  EXPECT_TRUE(b.wait_eof());
+
+  // Without --allow-shutdown the server outlives every quit: a fresh client
+  // still gets a greeting.
+  EXPECT_TRUE(server.alive());
+  Client c;
+  c.connect(server.socket);
+  EXPECT_TRUE(contains(c.read_line(), "\"ready\":true"));
+  c.close();
+  server.stop();
+}
+
+// --live-queries: while client A's recompute is inside the (artificially
+// held) engine run, client B's queries are answered from the live edge
+// arrays with "quiescent":false and the in-flight epoch; after the epoch
+// lands they return to "quiescent":true. --allow-shutdown then lets B stop
+// the whole server cleanly.
+TEST(ServeMultiClient, LiveQueriesAnswerMidRecompute) {
+  Server server;
+  server.start({"--algo=pagerank", "--kind=rmat", "--vertices=4000",
+                "--gate=analyze", "--threads=2", "--live-queries",
+                "--allow-shutdown", "--epoch-hold-ms=600"});
+  Client a;
+  Client b;
+  a.connect(server.socket);
+  b.connect(server.socket);
+  EXPECT_TRUE(contains(a.read_line(), "\"verdict\":\"theorem-1\""));
+  EXPECT_TRUE(contains(b.read_line(), "\"ready\":true"));
+
+  // Quiescent query before any epoch: labeled quiescent:true, epoch 0.
+  b.send_line(R"({"op":"query","vertex":1})");
+  EXPECT_TRUE(
+      contains(b.read_line(), "\"quiescent\":true,\"epoch\":0"));
+
+  a.send(
+      "{\"op\":\"mutate\",\"kind\":\"insert\",\"src\":1,\"dst\":7,"
+      "\"weight\":1}\n"
+      "{\"op\":\"mutate\",\"kind\":\"insert\",\"src\":7,\"dst\":1,"
+      "\"weight\":1}\n"
+      "{\"op\":\"recompute\"}\n");
+  EXPECT_TRUE(contains(a.read_line(), "\"pending\":1"));
+  EXPECT_TRUE(contains(a.read_line(), "\"pending\":2"));
+
+  // Poll with B until a reply lands inside the engine-run window. The
+  // 600ms post-convergence hold guarantees the window exists; each reply is
+  // still answered in order, so one send -> one read.
+  bool saw_live = false;
+  const auto deadline = Clock::now() + std::chrono::seconds(20);
+  while (Clock::now() < deadline) {
+    b.send_line(R"({"op":"query","vertex":1})");
+    const std::string r = b.read_line();
+    ASSERT_TRUE(contains(r, "\"ok\":true")) << r;
+    ASSERT_TRUE(contains(r, "\"quiescent\":")) << r;
+    if (contains(r, "\"quiescent\":false")) {
+      EXPECT_TRUE(contains(r, "\"epoch\":1")) << r;
+      saw_live = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_live)
+      << "never observed a \"quiescent\":false reply mid-recompute";
+
+  // A's recompute reply arrives once the epoch lands.
+  const std::string rec = a.read_line();
+  EXPECT_TRUE(contains(rec, "\"epoch\":1")) << rec;
+  EXPECT_TRUE(contains(rec, "\"converged\":true")) << rec;
+
+  // Back to the cached-vector path at the quiescent point.
+  b.send_line(R"({"op":"query","vertex":1})");
+  EXPECT_TRUE(contains(b.read_line(), "\"quiescent\":true,\"epoch\":1"));
+
+  // --allow-shutdown: B's quit stops the whole server, exit code 0.
+  b.send_line(R"({"op":"quit"})");
+  EXPECT_TRUE(contains(b.read_line(), "\"bye\":true"));
+  const int status = server.join();
+  ASSERT_NE(status, -1) << "server did not exit after sanctioned quit";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "status=" << status;
+  server.stop();
+}
+
+}  // namespace

@@ -5,27 +5,57 @@
 //   {"op":"mutate","kind":"insert","src":3,"dst":7,"weight":2.5}
 //   {"op":"recompute"}            seal the pending batch as one epoch and
 //                                 warm- or cold-recompute behind the gate
-//   {"op":"query","vertex":7}     read one vertex result from the live array
+//   {"op":"query","vertex":7}     read one vertex result
 //   {"op":"stats"}                log / graph / engine counters
-//   {"op":"quit"}
+//   {"op":"quit"}                 stdio: stop the server; socket: disconnect
+//                                 this client (whole-server stop only with
+//                                 --allow-shutdown)
 //
 // Mutations accumulate in a MutationLog and are batched BY EPOCH: everything
 // appended between two `recompute` commands seals into one MutationBatch.
-// The command loop is single-threaded and only touches result arrays between
-// epochs (the engines have joined their teams), so queries are data-race-free
-// by construction — the TSan CI job runs a scripted session over this loop.
+//
+// Transports:
+//  * stdio — the original single-threaded command loop: one implicit client,
+//    recompute runs inline, queries are answered between epochs from
+//    quiescent arrays. Replies are byte-identical to the pre-multiplex
+//    server.
+//  * unix socket — a poll() event loop multiplexing N concurrent clients,
+//    each with its own input buffer and strictly in-order reply queue.
+//    Mutation intake stays funneled through the single mutex-guarded
+//    MutationLog, so any client may mutate at any time. `recompute` seals an
+//    epoch and hands it to a background worker thread, keeping the event
+//    loop responsive; commands that need quiescence (another recompute,
+//    stats, plain queries) wait for the in-flight epoch, commands that do
+//    not (mutate, quit, parse errors) are answered immediately.
+//
+// --live-queries (opt-in): a `query` that arrives while the worker is inside
+// its racy engine run is answered FROM THE LIVE EDGE ARRAYS through the
+// configured relaxed/aligned access policy — the read is licensed by the
+// same Lemma 1 argument as the engines' own reads (individual edge reads
+// are atomic) — and the reply is labeled "quiescent":false and stamped with
+// the in-flight epoch. Quiescent-point queries keep the cached-vector path
+// and are labeled "quiescent":true. Without the flag, query replies keep the
+// legacy shape (no quiescent field) and queue behind the epoch barrier.
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cmath>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,7 +75,10 @@ struct ServeConfig {
   dyn::DynEngine engine = dyn::DynEngine::kNE;
   EngineOptions engine_opts;
   double compact_threshold = 0.25;
-  std::string socket_path;  // empty = stdin/stdout
+  std::string socket_path;   // empty = stdin/stdout
+  bool live_queries = false;  // answer queries mid-recompute (labeled)
+  bool allow_shutdown = false;  // socket: let a client's quit stop the server
+  std::uint32_t epoch_hold_ms = 0;  // test aid: stretch the engine-run phase
 };
 
 AtomicityMode parse_mode(const std::string& s) {
@@ -74,110 +107,32 @@ std::optional<dyn::GateMode> parse_gate(const std::string& s) {
   return std::nullopt;
 }
 
-// --- Line transports -------------------------------------------------------
-
-/// stdin/stdout transport.
-class StdioTransport {
- public:
-  /// Emitted once, immediately (there is exactly one implicit "connection").
-  void set_greeting(const std::string& g) { write_line(g); }
-  bool read_line(std::string& line) {
-    return static_cast<bool>(std::getline(std::cin, line));
-  }
-  void write_line(const std::string& reply) {
-    std::cout << reply << '\n' << std::flush;
-  }
-};
-
-/// One-connection-at-a-time AF_UNIX stream transport. A client disconnect
-/// falls through to the next accept(); only `quit` stops the server.
-class UnixSocketTransport {
- public:
-  explicit UnixSocketTransport(const std::string& path) : path_(path) {
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-      throw std::runtime_error("socket path too long: " + path);
-    }
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    ::unlink(path.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, 4) != 0) {
-      ::close(listen_fd_);
-      throw std::runtime_error("bind/listen failed on " + path);
-    }
-  }
-
-  ~UnixSocketTransport() {
-    if (conn_fd_ >= 0) ::close(conn_fd_);
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    ::unlink(path_.c_str());
-  }
-
-  /// Replayed to every client on accept, so each connection starts with the
-  /// server's ready line.
-  void set_greeting(const std::string& g) { greeting_ = g; }
-
-  bool read_line(std::string& line) {
-    for (;;) {
-      if (conn_fd_ < 0) {
-        conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
-        if (conn_fd_ < 0) return false;
-        buf_.clear();
-        if (!greeting_.empty()) write_line(greeting_);
-      }
-      const std::size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        line.assign(buf_, 0, nl);
-        buf_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::read(conn_fd_, chunk, sizeof(chunk));
-      if (n <= 0) {  // client hung up: drain any unterminated tail, re-accept
-        ::close(conn_fd_);
-        conn_fd_ = -1;
-        if (!buf_.empty()) {
-          line = std::exchange(buf_, {});
-          return true;
-        }
-        continue;
-      }
-      buf_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
-  void write_line(const std::string& reply) {
-    if (conn_fd_ < 0) return;
-    std::string out = reply + '\n';
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n = ::write(conn_fd_, out.data() + off, out.size() - off);
-      if (n <= 0) break;
-      off += static_cast<std::size_t>(n);
-    }
-  }
-
- private:
-  std::string path_;
-  std::string greeting_;
-  int listen_fd_ = -1;
-  int conn_fd_ = -1;
-  std::string buf_;
-};
-
 // --- Command handling ------------------------------------------------------
 
 std::string error_reply(const std::string& what) {
   return dyn::WireWriter().boolean("ok", false).str("error", what).finish();
 }
 
+/// JSON has no literal for the IEEE specials; label them distinctly
+/// ("inf" used to swallow NaN because isfinite is false for both).
+void add_value_field(dyn::WireWriter& w, double value) {
+  if (std::isnan(value)) {
+    w.str("value", "nan");
+  } else if (std::isinf(value)) {
+    w.str("value", value > 0 ? "inf" : "-inf");
+  } else {
+    w.num("value", value);
+  }
+}
+
 /// One live algorithm instance: log + graph + gate + incremental engine,
 /// plus a result cache refreshed at each quiescent point (cold start and
 /// every recompute) so queries never re-copy the whole result vector.
+///
+/// Threading contract (socket mode): run_epoch_on_worker is the ONLY method
+/// called off the event-loop thread, and the event loop calls nothing but
+/// handle_mutate (MutationLog is mutex-guarded) and — in live mode, only
+/// while engine_running() — live_query_reply while it is in flight.
 template <typename Program>
 class Session {
  public:
@@ -186,7 +141,9 @@ class Session {
         prog_(std::move(prog)),
         inc_(g_, prog_,
              dyn::EligibilityGate::make(cfg.gate, g_.base(), prog_),
-             cfg.engine_opts, cfg.engine) {
+             cfg.engine_opts, cfg.engine),
+        live_mode_(cfg.live_queries) {
+    inc_.set_run_hold_ms(cfg.epoch_hold_ms);
     inc_.recompute_cold();
     values_ = prog_.values();
   }
@@ -203,23 +160,35 @@ class Session {
         .finish();
   }
 
-  /// Handles one parsed command; sets `quit` on the quit op.
+  /// Synchronous dispatch (stdio transport): one parsed command in, one
+  /// reply out; sets `quit` on the quit op. Recompute runs inline, so every
+  /// query observes a quiescent point — the pre-multiplex behavior.
   std::string handle(const dyn::WireMessage& msg, bool& quit) {
     std::string op;
     if (!msg.get_string("op", op)) return error_reply("missing field: op");
     if (op == "mutate") return handle_mutate(msg);
-    if (op == "recompute") return handle_recompute();
-    if (op == "query") return handle_query(msg);
-    if (op == "stats") return handle_stats();
+    if (op == "recompute") {
+      const dyn::MutationBatch batch = log_.seal();
+      dyn::EpochResult r = inc_.apply_epoch(batch);
+      values_ = prog_.values();  // refresh the quiescent query cache
+      return recompute_reply(r);
+    }
+    if (op == "query") return query_reply(msg);
+    if (op == "stats") return stats_reply();
     if (op == "quit") {
       quit = true;
-      return dyn::WireWriter().boolean("ok", true).boolean("bye", true)
-          .finish();
+      return bye_reply();
     }
     return error_reply("unknown op: " + op);
   }
 
- private:
+  // --- Granular surface for the multiplexed socket server ---
+
+  [[nodiscard]] static std::string bye_reply() {
+    return dyn::WireWriter().boolean("ok", true).boolean("bye", true).finish();
+  }
+
+  /// Safe from the event loop at any time (MutationLog serializes intake).
   std::string handle_mutate(const dyn::WireMessage& msg) {
     std::string kind_s;
     std::uint64_t src = 0;
@@ -251,46 +220,70 @@ class Session {
         .finish();
   }
 
-  std::string handle_recompute() {
-    const dyn::MutationBatch batch = log_.seal();
-    const dyn::EpochResult r = inc_.apply_epoch(batch);
-    values_ = prog_.values();  // refresh the quiescent query cache
-    return dyn::WireWriter()
-        .boolean("ok", true)
-        .u64("epoch", r.epoch)
-        .boolean("warm", r.warm)
-        .str("reason", r.gate_reason)
-        .u64("applied", r.apply_stats.applied)
-        .u64("rejected", r.apply_stats.rejected)
-        .u64("seeds", r.seed_count)
-        .u64("iterations", r.engine.iterations)
-        .u64("updates", r.engine.updates)
-        .boolean("converged", r.engine.converged)
-        .boolean("compacted", r.compacted)
-        .u64("live_edges", g_.num_live_edges())
-        .finish();
+  /// Seals the pending tail into the next epoch's batch (event loop).
+  [[nodiscard]] dyn::MutationBatch seal_batch() { return log_.seal(); }
+
+  /// Runs one sealed epoch on the worker thread. Compaction is deferred to
+  /// finish_epoch so live readers never race a CSR rebuild.
+  [[nodiscard]] dyn::EpochResult run_epoch_on_worker(
+      const dyn::MutationBatch& batch) {
+    return inc_.apply_epoch(batch, /*auto_compact=*/false);
   }
 
-  std::string handle_query(const dyn::WireMessage& msg) {
+  /// Event loop, after the worker handed the result back (worker idle):
+  /// performs the deferred compaction and refreshes the quiescent cache.
+  std::string finish_epoch(dyn::EpochResult r) {
+    if (g_.should_compact()) {
+      inc_.compact_now();
+      r.compacted = true;
+    }
+    values_ = prog_.values();
+    return recompute_reply(r);
+  }
+
+  /// Quiescent-point query from the cached vector. In live mode the reply
+  /// carries "quiescent":true; without the flag it keeps the legacy shape.
+  std::string query_reply(const dyn::WireMessage& msg) {
     std::uint64_t v = 0;
-    if (!msg.get_u64("vertex", v)) {
-      return error_reply("query: missing field: vertex");
-    }
-    if (v >= values_.size()) {
-      return error_reply("query: vertex out of range: " + std::to_string(v));
-    }
+    std::string err;
+    if (!parse_query_vertex(msg, v, err)) return error_reply(err);
     dyn::WireWriter w;
     w.boolean("ok", true).u64("vertex", v);
-    const double value = values_[v];
-    if (std::isfinite(value)) {
-      w.num("value", value);
-    } else {
-      w.str("value", "inf");  // JSON has no infinity literal
-    }
+    add_value_field(w, values_[v]);
+    if (live_mode_) w.boolean("quiescent", true);
     return w.u64("epoch", log_.epoch()).finish();
   }
 
-  std::string handle_stats() {
+  /// Whether the program can reconstruct a vertex value from edge reads.
+  [[nodiscard]] static constexpr bool live_capable() {
+    return dyn::IncrementalEngine<Program>::kLiveQueryCapable;
+  }
+
+  /// True while the in-flight epoch is inside its racy engine run — the only
+  /// window in which live reads are licensed (apply/compact phases move the
+  /// arrays themselves).
+  [[nodiscard]] bool engine_running() const {
+    return inc_.phase() == dyn::EpochPhase::kRunning;
+  }
+
+  /// Mid-recompute query through the access policy (Lemma 1), labeled
+  /// non-quiescent and stamped with the epoch being recomputed. Only called
+  /// when live_capable() and engine_running().
+  std::string live_query_reply(const dyn::WireMessage& msg,
+                               std::uint64_t inflight_epoch) {
+    std::uint64_t v = 0;
+    std::string err;
+    if (!parse_query_vertex(msg, v, err)) return error_reply(err);
+    dyn::WireWriter w;
+    w.boolean("ok", true).u64("vertex", v);
+    if constexpr (live_capable()) {
+      add_value_field(w, inc_.live_value(static_cast<VertexId>(v)));
+    }
+    return w.boolean("quiescent", false).u64("epoch", inflight_epoch)
+        .finish();
+  }
+
+  std::string stats_reply() {
     return dyn::WireWriter()
         .boolean("ok", true)
         .str("algo", prog_.name())
@@ -313,32 +306,460 @@ class Session {
         .finish();
   }
 
+ private:
+  bool parse_query_vertex(const dyn::WireMessage& msg, std::uint64_t& v,
+                          std::string& err) const {
+    if (!msg.get_u64("vertex", v)) {
+      err = "query: missing field: vertex";
+      return false;
+    }
+    if (v >= values_.size()) {
+      err = "query: vertex out of range: " + std::to_string(v);
+      return false;
+    }
+    return true;
+  }
+
+  std::string recompute_reply(const dyn::EpochResult& r) const {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("epoch", r.epoch)
+        .boolean("warm", r.warm)
+        .str("reason", r.gate_reason)
+        .u64("applied", r.apply_stats.applied)
+        .u64("rejected", r.apply_stats.rejected)
+        .u64("seeds", r.seed_count)
+        .u64("iterations", r.engine.iterations)
+        .u64("updates", r.engine.updates)
+        .boolean("converged", r.engine.converged)
+        .boolean("compacted", r.compacted)
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
   dyn::DynGraph g_;
   Program prog_;
   dyn::MutationLog log_;
   dyn::IncrementalEngine<Program> inc_;
   std::vector<double> values_;
+  bool live_mode_;
 };
 
-template <typename Program, typename Transport>
-int serve_loop(Session<Program>& session, Transport& io) {
-  io.set_greeting(session.ready_line());
+// --- stdio transport (single implicit connection, synchronous) -------------
+
+template <typename Program>
+int serve_stdio(Session<Program>& session) {
+  std::cout << session.ready_line() << '\n' << std::flush;
   std::string line;
   bool quit = false;
-  while (!quit && io.read_line(line)) {
+  while (!quit && std::getline(std::cin, line)) {
     if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
       continue;
     }
     dyn::WireMessage msg;
     std::string err;
+    std::string reply;
     if (!parse_wire(line, msg, &err)) {
-      io.write_line(error_reply("parse: " + err));
-      continue;
+      reply = error_reply("parse: " + err);
+    } else {
+      reply = session.handle(msg, quit);
     }
-    io.write_line(session.handle(msg, quit));
+    std::cout << reply << '\n' << std::flush;
   }
   return 0;
 }
+
+// --- Multiplexed unix-socket server ----------------------------------------
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// poll()-driven server: N concurrent clients, per-client input buffers and
+/// strictly in-order reply queues, one background worker thread running
+/// apply_epoch. Single-threaded event loop; the worker touches nothing but
+/// the Session's run_epoch_on_worker (handed exactly one sealed batch at a
+/// time) and signals completion through a self-pipe.
+template <typename Program>
+class SocketServer {
+ public:
+  SocketServer(Session<Program>& session, const ServeConfig& cfg)
+      : session_(session), cfg_(cfg), path_(cfg.socket_path) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      ::close(listen_fd_);
+      throw std::runtime_error("socket path too long: " + path_);
+    }
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("bind/listen failed on " + path_);
+    }
+    set_nonblocking(listen_fd_);
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("pipe() failed");
+    }
+    wake_r_ = pipe_fds[0];
+    wake_w_ = pipe_fds[1];
+    set_nonblocking(wake_r_);
+    set_nonblocking(wake_w_);
+    greeting_ = session_.ready_line();
+    worker_ = std::thread([this] { worker_main(); });
+  }
+
+  ~SocketServer() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      worker_stop_ = true;
+    }
+    cv_.notify_one();
+    worker_.join();
+    for (auto& [id, c] : clients_) ::close(c.fd);
+    if (wake_r_ >= 0) ::close(wake_r_);
+    if (wake_w_ >= 0) ::close(wake_w_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  int run() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_client;  // parallel to pfds, 0 = not client
+    while (!exit_ready()) {
+      pfds.clear();
+      pfd_client.clear();
+      pfds.push_back({wake_r_, POLLIN, 0});
+      pfd_client.push_back(0);
+      if (!shutdown_) {
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        pfd_client.push_back(0);
+      }
+      for (auto& [id, c] : clients_) {
+        short events = 0;
+        if (!c.eof && !shutdown_) events |= POLLIN;
+        if (!c.out_buf.empty()) events |= POLLOUT;
+        if (events == 0) continue;
+        pfds.push_back({c.fd, events, 0});
+        pfd_client.push_back(id);
+      }
+      // Commands blocked on a phase transition inside the in-flight epoch
+      // (live queries waiting for kRunning) have no fd to wake us; poll on a
+      // short tick while anything is queued behind the barrier.
+      const int timeout = (inflight_ && any_pending()) ? 5 : -1;
+      const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        std::cerr << "ndg_serve: poll failed: " << std::strerror(errno)
+                  << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const short re = pfds[i].revents;
+        if (re == 0) continue;
+        if (pfds[i].fd == wake_r_) {
+          drain_wake_pipe();
+        } else if (pfds[i].fd == listen_fd_) {
+          accept_clients();
+        } else if (auto it = clients_.find(pfd_client[i]);
+                   it != clients_.end()) {
+          Client& c = it->second;
+          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) read_input(c);
+          if ((re & POLLOUT) != 0) flush(c);
+        }
+      }
+      pump_all();
+      reap_closed();
+    }
+    // Shutdown: make a last effort to hand the issuer its bye line.
+    if (auto it = clients_.find(shutdown_client_); it != clients_.end()) {
+      flush(it->second);
+    }
+    return 0;
+  }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string in_buf;                // bytes read, not yet line-split
+    std::string out_buf;               // replies awaiting the socket
+    std::deque<std::string> pending;   // complete lines, oldest first
+    bool awaiting_epoch = false;  // this client's recompute is in flight
+    bool eof = false;             // peer closed its write side
+    bool draining = false;        // bye queued: close once out_buf flushes
+    bool broken = false;          // write error: drop without ceremony
+  };
+
+  // --- Worker thread ---
+
+  void worker_main() {
+    for (;;) {
+      dyn::MutationBatch batch;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return worker_stop_ || job_ready_; });
+        if (worker_stop_) return;
+        batch = std::move(job_batch_);
+        job_ready_ = false;
+      }
+      dyn::EpochResult r = session_.run_epoch_on_worker(batch);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_result_ = r;
+        done_ready_ = true;
+      }
+      // Self-pipe wakeup; a full pipe already guarantees a pending wake.
+      const char b = 1;
+      while (::write(wake_w_, &b, 1) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  void drain_wake_pipe() {
+    char buf[64];
+    while (::read(wake_r_, buf, sizeof buf) > 0) {
+    }
+    bool have_done = false;
+    dyn::EpochResult r;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (done_ready_) {
+        r = done_result_;
+        done_ready_ = false;
+        have_done = true;
+      }
+    }
+    if (!have_done) return;
+    // Worker is idle again: safe to compact and refresh the cache here.
+    const std::string reply = session_.finish_epoch(std::move(r));
+    inflight_ = false;
+    if (auto it = clients_.find(inflight_client_); it != clients_.end()) {
+      it->second.awaiting_epoch = false;
+      queue_reply(it->second, reply);
+    }
+    inflight_client_ = 0;
+  }
+
+  // --- Event-loop plumbing ---
+
+  void accept_clients() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient error: try again on the next POLLIN
+      }
+      set_nonblocking(fd);
+      const std::uint64_t id = ++next_client_id_;
+      Client& c = clients_[id];
+      c.fd = fd;
+      queue_reply(c, greeting_);
+    }
+  }
+
+  void read_input(Client& c) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        c.in_buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // Peer hung up (or errored): any unterminated tail still counts as a
+      // final command line, matching the old one-connection transport.
+      c.eof = true;
+      break;
+    }
+    std::size_t nl;
+    while ((nl = c.in_buf.find('\n')) != std::string::npos) {
+      c.pending.push_back(c.in_buf.substr(0, nl));
+      c.in_buf.erase(0, nl + 1);
+    }
+    if (c.eof && !c.in_buf.empty()) {
+      c.pending.push_back(std::exchange(c.in_buf, {}));
+    }
+  }
+
+  void queue_reply(Client& c, const std::string& reply) {
+    if (c.broken) return;
+    c.out_buf += reply;
+    c.out_buf += '\n';
+    flush(c);
+  }
+
+  /// Writes as much of the reply queue as the socket takes. Retries EINTR
+  /// and treats a short write as progress (the old transport gave up on any
+  /// n <= 0, silently dropping reply tails); only a real error abandons the
+  /// client.
+  void flush(Client& c) {
+    while (!c.out_buf.empty()) {
+      const ssize_t n = ::write(c.fd, c.out_buf.data(), c.out_buf.size());
+      if (n > 0) {
+        c.out_buf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      c.broken = true;  // EPIPE etc.: peer is gone
+      return;
+    }
+  }
+
+  [[nodiscard]] bool any_pending() const {
+    for (const auto& [id, c] : clients_) {
+      if (!c.pending.empty() && !c.awaiting_epoch && !c.draining) return true;
+    }
+    return false;
+  }
+
+  void pump_all() {
+    for (auto& [id, c] : clients_) pump(id, c);
+  }
+
+  /// Executes the client's queued commands strictly in order, stopping at
+  /// the first one that must wait for the in-flight epoch. Replies are
+  /// appended to the client's out queue in execution order, so each client
+  /// sees exactly one reply per command, in the order it sent them.
+  void pump(std::uint64_t id, Client& c) {
+    while (!c.awaiting_epoch && !c.draining && !c.broken &&
+           !c.pending.empty()) {
+      const std::string& line = c.pending.front();
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        c.pending.pop_front();
+        continue;
+      }
+      dyn::WireMessage msg;
+      std::string err;
+      if (!parse_wire(line, msg, &err)) {
+        queue_reply(c, error_reply("parse: " + err));
+        c.pending.pop_front();
+        continue;
+      }
+      std::string op;
+      if (!msg.get_string("op", op)) {
+        queue_reply(c, error_reply("missing field: op"));
+        c.pending.pop_front();
+        continue;
+      }
+      if (op == "mutate") {
+        queue_reply(c, session_.handle_mutate(msg));
+        c.pending.pop_front();
+        continue;
+      }
+      if (op == "query") {
+        if (!inflight_) {
+          queue_reply(c, session_.query_reply(msg));
+          c.pending.pop_front();
+          continue;
+        }
+        if (cfg_.live_queries && Session<Program>::live_capable() &&
+            session_.engine_running()) {
+          queue_reply(c, session_.live_query_reply(msg, inflight_epoch_));
+          c.pending.pop_front();
+          continue;
+        }
+        break;  // barrier: answered at the next quiescent point
+      }
+      if (op == "recompute") {
+        if (inflight_) break;  // one epoch at a time; wait our turn
+        dyn::MutationBatch batch = session_.seal_batch();
+        inflight_ = true;
+        inflight_client_ = id;
+        inflight_epoch_ = batch.epoch;
+        c.awaiting_epoch = true;
+        c.pending.pop_front();
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          job_batch_ = std::move(batch);
+          job_ready_ = true;
+        }
+        cv_.notify_one();
+        continue;  // loop exits via awaiting_epoch
+      }
+      if (op == "stats") {
+        if (inflight_) break;  // counters quiesce with the epoch
+        queue_reply(c, session_.stats_reply());
+        c.pending.pop_front();
+        continue;
+      }
+      if (op == "quit") {
+        queue_reply(c, Session<Program>::bye_reply());
+        c.pending.pop_front();
+        c.draining = true;  // quit is scoped to THIS connection...
+        if (cfg_.allow_shutdown) {  // ...unless the operator opted in
+          shutdown_ = true;
+          shutdown_client_ = id;
+        }
+        break;
+      }
+      queue_reply(c, error_reply("unknown op: " + op));
+      c.pending.pop_front();
+    }
+  }
+
+  void reap_closed() {
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      Client& c = it->second;
+      const bool drained = c.draining && c.out_buf.empty();
+      const bool finished = c.eof && c.pending.empty() && c.out_buf.empty() &&
+                            !c.awaiting_epoch;
+      if (c.broken || drained || finished) {
+        ::close(c.fd);
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// The loop ends once a sanctioned shutdown has no epoch in flight and the
+  /// issuer's bye line is flushed (or the issuer is already gone).
+  [[nodiscard]] bool exit_ready() const {
+    if (!shutdown_ || inflight_) return false;
+    const auto it = clients_.find(shutdown_client_);
+    return it == clients_.end() || it->second.out_buf.empty();
+  }
+
+  Session<Program>& session_;
+  ServeConfig cfg_;
+  std::string path_;
+  std::string greeting_;
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  std::map<std::uint64_t, Client> clients_;
+  std::uint64_t next_client_id_ = 0;
+
+  // In-flight epoch bookkeeping (event-loop thread only).
+  bool inflight_ = false;
+  std::uint64_t inflight_client_ = 0;
+  std::uint64_t inflight_epoch_ = 0;
+  bool shutdown_ = false;
+  std::uint64_t shutdown_client_ = 0;
+
+  // Worker handshake (guarded by mu_).
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool worker_stop_ = false;
+  bool job_ready_ = false;
+  dyn::MutationBatch job_batch_;
+  bool done_ready_ = false;
+  dyn::EpochResult done_result_;
+};
 
 template <typename Program>
 int serve(Graph base, Program prog, const ServeConfig& cfg) {
@@ -355,12 +776,9 @@ int serve(Graph base, Program prog, const ServeConfig& cfg) {
   }
   Session<Program> session(dyn::DynGraph(std::move(base), gopts),
                            std::move(prog), cfg);
-  if (cfg.socket_path.empty()) {
-    StdioTransport io;
-    return serve_loop(session, io);
-  }
-  UnixSocketTransport io(cfg.socket_path);
-  return serve_loop(session, io);
+  if (cfg.socket_path.empty()) return serve_stdio(session);
+  SocketServer<Program> server(session, cfg);
+  return server.run();
 }
 
 Graph load_any(const std::string& path) {
@@ -374,8 +792,11 @@ Graph load_any(const std::string& path) {
 Graph build_base_graph(const CliArgs& args) {
   if (args.has("graph")) return load_any(args.get("graph", ""));
   const std::string kind = args.get("kind", "rmat");
-  const auto n = static_cast<VertexId>(args.get_int("vertices", 1024));
-  const auto m = static_cast<EdgeId>(args.get_int("edges", 8 * n));
+  // Width matters: the default edge count is 8x the vertex count and must be
+  // computed in 64-bit (8 * a 32-bit n overflows past ~536M vertices).
+  const std::int64_t n_raw = args.get_int("vertices", 1024);
+  const auto n = static_cast<VertexId>(n_raw);
+  const auto m = static_cast<EdgeId>(args.get_int("edges", 8 * n_raw));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   EdgeList edges;
   if (kind == "rmat") {
@@ -401,6 +822,10 @@ int serve_main(const CliArgs& args) {
   cfg.engine_opts.mode = parse_mode(args.get("mode", "relaxed"));
   cfg.compact_threshold = args.get_double("compact-threshold", 0.25);
   cfg.socket_path = args.get("socket", "");
+  cfg.live_queries = args.get_bool("live-queries", false);
+  cfg.allow_shutdown = args.get_bool("allow-shutdown", false);
+  cfg.epoch_hold_ms =
+      static_cast<std::uint32_t>(args.get_int("epoch-hold-ms", 0));
 
   const auto gate = parse_gate(args.get("gate", "analyze"));
   if (!gate) {
@@ -437,6 +862,8 @@ int serve_main(const CliArgs& args) {
   if (algo == "wcc") return serve(std::move(base), WccProgram(), cfg);
   if (algo == "pagerank-push-atomic") {
     // Ineligible exhibit: analyzes to kNotProven, so every epoch goes cold.
+    // No live_value hook either: in --live-queries mode its mid-recompute
+    // queries degrade to the quiescent barrier instead of racing.
     return serve(std::move(base),
                  AtomicPushPageRankProgram(static_cast<float>(
                      args.get_double("eps", 1e-4))),
