@@ -1,0 +1,354 @@
+// Replicated-serving-tier load generator (docs/TIER.md): measures read
+// throughput + latency of a forked ndg_tier topology under a concurrent
+// mutation stream, against the single-process baseline (--replicas=0, where
+// the coordinator answers every read itself — the ndg_serve-equivalent
+// deployment).
+//
+// For each topology: one writer connection drives `--batch` mutations +
+// recompute per epoch against coord.sock in a loop, while `--readers`
+// threads hammer point queries — round-robin across the replica sockets in
+// the tier run, all against coord.sock in the baseline. After `--seconds`
+// of steady state the harness reports reads/s and p50/p99 latency, and the
+// tier-to-baseline throughput ratio (the acceptance headline: a 4-replica
+// tier should sustain >= 3x the baseline's reads under the same write
+// load).
+//
+// Flags: --vertices=4096 --edges=32768 --replicas=4 --readers=16
+//        --seconds=3 --batch=64 --threads=2 --algo=pagerank
+//        --json=BENCH_tier.json
+//
+// The launcher binary path arrives via the NDG_TIER_BIN compile definition
+// (tools/CMakeLists.txt).
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ndg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::int64_t vertices = 4096;
+  std::int64_t edges = 32768;
+  std::size_t replicas = 4;
+  std::size_t readers = 16;  // enough connections to saturate one loop
+  double seconds = 3.0;
+  std::size_t batch = 64;
+  std::size_t threads = 2;
+  std::string algo = "pagerank";
+};
+
+/// Minimal blocking line client (bench-side; the tier binary is the system
+/// under test, so the harness stays libc-only).
+class Client {
+ public:
+  bool connect(const std::string& path, int timeout_ms = 30000) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (Clock::now() < deadline) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) return false;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return true;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  bool send_line(const std::string& line) {
+    const std::string payload = line + "\n";
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fd_, payload.data() + off, payload.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::string read_line(int timeout_ms = 30000) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+      if (left.count() <= 0) return {};
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return {};
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string rpc(const std::string& line) {
+    if (!send_line(line)) return {};
+    return read_line();
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~Client() { close(); }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  std::size_t p = line.find(pat);
+  if (p == std::string::npos) return {};
+  p += pat.size();
+  const std::size_t e = line.find_first_of(",}", p);
+  return line.substr(p, e == std::string::npos ? std::string::npos : e - p);
+}
+
+struct RunResult {
+  double reads_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t epochs = 0;
+};
+
+/// One measured topology: fork the launcher, saturate it, reap it.
+RunResult run_topology(const Config& cfg, std::size_t replicas) {
+  char tmpl[] = "/tmp/ndg_bench_tier_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) throw std::runtime_error("mkdtemp failed");
+  const std::string dir = tmpl;
+
+  std::vector<std::string> args = {
+      NDG_TIER_BIN,
+      "--dir=" + dir,
+      "--replicas=" + std::to_string(replicas),
+      "--algo=" + cfg.algo,
+      "--vertices=" + std::to_string(cfg.vertices),
+      "--edges=" + std::to_string(cfg.edges),
+      "--threads=" + std::to_string(cfg.threads),
+      "--gate=theorem1",
+  };
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+
+  Client coord;
+  if (!coord.connect(dir + "/coord.sock")) {
+    throw std::runtime_error("could not reach coordinator");
+  }
+  coord.read_line();  // greeting
+  // Wait for every replica to finish its sync handshake before measuring.
+  while (replicas > 0) {
+    const std::string st = coord.rpc(R"({"op":"stats"})");
+    if (field(st, "replicas") == std::to_string(replicas)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> epochs{0};
+
+  // Writer: `batch` mutations + recompute per epoch, continuously.
+  std::thread writer([&] {
+    Client w;
+    if (!w.connect(dir + "/coord.sock")) return;
+    w.read_line();
+    SplitMix64 rng(11);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::size_t i = 0; i < cfg.batch; ++i) {
+        const auto u = rng.next() % static_cast<std::uint64_t>(cfg.vertices);
+        const auto v = rng.next() % static_cast<std::uint64_t>(cfg.vertices);
+        if (u == v) continue;
+        w.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+              std::to_string(u) + R"(,"dst":)" + std::to_string(v) + "}");
+      }
+      if (w.rpc(R"({"op":"recompute"})").empty()) return;
+      epochs.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Readers: point queries, round-robin over the read endpoints.
+  std::vector<std::vector<std::uint32_t>> lat_us(cfg.readers);
+  std::vector<std::thread> readers;
+  const auto t0 = Clock::now();
+  const auto t_end =
+      t0 + std::chrono::microseconds(
+               static_cast<std::int64_t>(cfg.seconds * 1e6));
+  for (std::size_t r = 0; r < cfg.readers; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string sock =
+          replicas == 0
+              ? dir + "/coord.sock"
+              : dir + "/replica-" + std::to_string(r % replicas) + ".sock";
+      Client c;
+      if (!c.connect(sock)) return;
+      c.read_line();
+      SplitMix64 rng(100 + r);
+      auto& lat = lat_us[r];
+      lat.reserve(1 << 16);
+      while (Clock::now() < t_end) {
+        const auto v = rng.next() % static_cast<std::uint64_t>(cfg.vertices);
+        const auto q0 = Clock::now();
+        const std::string rep =
+            c.rpc(R"({"op":"query","vertex":)" + std::to_string(v) + "}");
+        if (rep.empty()) return;  // peer went away: stop measuring
+        lat.push_back(static_cast<std::uint32_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - q0)
+                .count()));
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  coord.rpc(R"({"op":"shutdown"})");
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  std::vector<std::uint32_t> all;
+  for (auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  RunResult out;
+  out.reads = all.size();
+  out.epochs = epochs.load();
+  out.reads_per_s = elapsed > 0 ? static_cast<double>(all.size()) / elapsed
+                                : 0.0;
+  if (!all.empty()) {
+    out.p50_us = all[all.size() / 2];
+    out.p99_us = all[all.size() * 99 / 100];
+  }
+  return out;
+}
+
+int bench_main(const CliArgs& args) {
+  Config cfg;
+  cfg.vertices = args.get_int("vertices", 4096);
+  cfg.edges = args.get_int("edges", 32768);
+  cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 4));
+  cfg.readers = static_cast<std::size_t>(args.get_int("readers", 8));
+  cfg.seconds = args.get_double("seconds", 3.0);
+  cfg.batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 2));
+  cfg.algo = args.get("algo", "pagerank");
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "bench_tier: vertices=" << cfg.vertices
+            << " edges=" << cfg.edges << " replicas=" << cfg.replicas
+            << " readers=" << cfg.readers << " seconds=" << cfg.seconds
+            << " batch=" << cfg.batch << " algo=" << cfg.algo
+            << " cores=" << cores << "\n";
+  if (cores <= cfg.replicas) {
+    std::cout << "bench_tier: note: " << cores << " core(s) for "
+              << cfg.replicas
+              << " replicas + coordinator; read scaling needs cores > "
+                 "replicas, expect ratio <= 1\n";
+  }
+
+  const RunResult base = run_topology(cfg, 0);
+  const RunResult tier = run_topology(cfg, cfg.replicas);
+  const double ratio =
+      base.reads_per_s > 0 ? tier.reads_per_s / base.reads_per_s : 0.0;
+
+  TextTable table({"topology", "replicas", "readers", "reads_per_s", "p50_us",
+               "p99_us", "reads", "epochs"});
+  const auto add = [&](const char* name, std::size_t replicas,
+                       const RunResult& r) {
+    table.add_row({name, std::to_string(replicas),
+                   std::to_string(cfg.readers),
+                   std::to_string(static_cast<std::uint64_t>(r.reads_per_s)),
+                   std::to_string(static_cast<std::uint64_t>(r.p50_us)),
+                   std::to_string(static_cast<std::uint64_t>(r.p99_us)),
+                   std::to_string(r.reads), std::to_string(r.epochs)});
+  };
+  add("single-process", 0, base);
+  add("tier", cfg.replicas, tier);
+  table.print(std::cout);
+  std::cout << "read_scaling_ratio=" << ratio << "\n";
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    table.write_json(
+        json, std::string("{\"bench\":\"tier\",\"vertices\":") +
+                  std::to_string(cfg.vertices) + ",\"edges\":" +
+                  std::to_string(cfg.edges) + ",\"replicas\":" +
+                  std::to_string(cfg.replicas) + ",\"readers\":" +
+                  std::to_string(cfg.readers) + ",\"seconds\":" +
+                  std::to_string(cfg.seconds) + ",\"algo\":\"" +
+                  json_escape(cfg.algo) + "\",\"cores\":" +
+                  std::to_string(cores) + ",\"read_scaling_ratio\":" +
+                  std::to_string(ratio) + "}");
+    std::cout << "wrote " << json << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  ndg::CliArgs args(argc, argv);
+  try {
+    return ndg::bench_main(args);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_tier: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+#!/bin/sh
+# End-to-end smoke test for the replicated serving tier (docs/TIER.md).
+#
+# Launches ndg_tier (coordinator + 2 replicas, SSSP on a 400-vertex chain,
+# Theorem 2 gate) and drives a mixed read/write session from python3:
+#   epoch 1: 40 shortcut inserts 0->v (weight 3)  -> warm, dist(v) = 3
+#   epoch 2: 1 weight DECREASE 0->20 (to 1.5)     -> warm, dist(20) = 1.5
+# After each epoch the client waits for the replication watermark to reach
+# the coordinator's epoch, then asserts both replicas answer point queries
+# with exactly the coordinator's values and the right epoch stamp.
+#
+# Usage: tier_smoke.sh <path-to-ndg_tier> [workdir]
+set -u
+
+TIER="$1"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+OUT="$WORK/tier_out.txt"
+
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "note: python3 not found; skipping tier smoke"
+    exit 0
+fi
+
+# Sockets live in a fresh /tmp dir: sun_path is ~108 bytes and build trees
+# (especially on CI) can push a workdir-based path past it.
+DIR=$(mktemp -d /tmp/ndg_tier_smoke_XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- client/launcher output ---" >&2
+    cat "$OUT" >&2 2>/dev/null
+    exit 1
+}
+
+check() {
+    grep -q "$1" "$OUT" || fail "expected output matching: $1"
+}
+
+"$TIER" --dir="$DIR" --replicas=2 --algo=sssp --kind=chain --vertices=400 \
+        --gate=theorem2 --threads=2 > "$WORK/launcher.log" 2>&1 &
+TIER_PID=$!
+
+python3 - "$DIR" > "$OUT" 2>&1 <<'PYEOF'
+import json, socket, sys, time
+
+DIR = sys.argv[1]
+
+def connect(path, timeout=20.0):
+    deadline = time.time() + timeout
+    while True:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(path)
+            f = s.makefile("rw")
+            f.readline()  # greeting
+            return s, f
+        except OSError:
+            s.close()
+            if time.time() > deadline:
+                raise SystemExit("could not connect to " + path)
+            time.sleep(0.05)
+
+def rpc(f, obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    line = f.readline()
+    if not line:
+        raise SystemExit("connection closed mid-rpc")
+    return line.strip()
+
+def field(line, key):
+    return json.loads(line).get(key)
+
+coord_s, coord = connect(DIR + "/coord.sock")
+
+# Both replicas must finish their sync handshake before the watermark
+# means anything.
+deadline = time.time() + 20.0
+while field(rpc(coord, {"op": "stats"}), "replicas") != 2:
+    if time.time() > deadline:
+        raise SystemExit("replicas never synced")
+    time.sleep(0.05)
+
+def wait_watermark(epoch):
+    deadline = time.time() + 20.0
+    while True:
+        st = rpc(coord, {"op": "stats"})
+        if field(st, "epoch_watermark") == epoch:
+            return st
+        if time.time() > deadline:
+            raise SystemExit("watermark never reached epoch %d: %s" % (epoch, st))
+        time.sleep(0.05)
+
+replicas = [connect(DIR + "/replica-%d.sock" % k) for k in (0, 1)]
+
+# Epoch 1: shortcut inserts; chain distances collapse to exactly 3.
+for v in range(2, 42):
+    rpc(coord, {"op": "mutate", "kind": "insert", "src": 0, "dst": v, "weight": 3})
+print("RECOMPUTE1", rpc(coord, {"op": "recompute"}))
+print("COORD1", rpc(coord, {"op": "query", "vertex": 20}))
+print("STATS1", wait_watermark(1))
+for k, (_, f) in enumerate(replicas):
+    print("REPLICA%d_E1" % k, rpc(f, {"op": "query", "vertex": 20}))
+
+# Epoch 2: a monotone weight decrease, interleaved with reads on one
+# replica BEFORE the recompute (it must still answer at epoch 1).
+print("STALE_READ", rpc(replicas[0][1], {"op": "query", "vertex": 30}))
+rpc(coord, {"op": "mutate", "kind": "weight", "src": 0, "dst": 20, "weight": 1.5})
+print("RECOMPUTE2", rpc(coord, {"op": "recompute"}))
+print("STATS2", wait_watermark(2))
+for k, (_, f) in enumerate(replicas):
+    print("REPLICA%d_E2" % k, rpc(f, {"op": "query", "vertex": 20}))
+    print("REPLICA%d_STATS" % k, rpc(f, {"op": "stats"}))
+
+rpc(coord, {"op": "shutdown"})
+PYEOF
+[ "$?" -eq 0 ] || { kill "$TIER_PID" 2>/dev/null; fail "tier client failed"; }
+
+wait "$TIER_PID" || fail "ndg_tier exited non-zero"
+cat "$WORK/launcher.log" >> "$OUT"
+
+check 'RECOMPUTE1 .*"epoch":1,"warm":true'
+check 'COORD1 .*"vertex":20,"value":3,"epoch":1'
+check 'REPLICA0_E1 .*"vertex":20,"value":3,"epoch":1,"replica":0'
+check 'REPLICA1_E1 .*"vertex":20,"value":3,"epoch":1,"replica":1'
+check 'STALE_READ .*"vertex":30,"value":3,"epoch":1'
+check 'RECOMPUTE2 .*"epoch":2,"warm":true'
+check 'REPLICA0_E2 .*"vertex":20,"value":1.5,"epoch":2,"replica":0'
+check 'REPLICA1_E2 .*"vertex":20,"value":1.5,"epoch":2,"replica":1'
+check 'REPLICA0_STATS .*"records_replayed":2'
+check 'REPLICA1_STATS .*"records_replayed":2'
+
+grep -q '"ok":false' "$OUT" && fail "a command errored"
+
+echo "tier_smoke: OK"

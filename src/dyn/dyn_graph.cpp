@@ -115,8 +115,18 @@ std::vector<AppliedMutation> DynGraph::apply(const MutationBatch& batch,
           if (existing != kInvalidEdge) {
             why = RejectReason::kDuplicateEdge;
           } else {
-            const EdgeId id = next_edge_id_++;
-            weights_.resize(next_edge_id_);
+            // Reuse the most recently retired id when one exists (LIFO keeps
+            // the hot end of the weight/edge-data arrays dense); bump only
+            // when the freelist is dry. Both paths are serial and in batch
+            // order, so id assignment stays deterministic across replicas.
+            EdgeId id;
+            if (!free_ids_.empty()) {
+              id = free_ids_.back();
+              free_ids_.pop_back();
+            } else {
+              id = next_edge_id_++;
+              weights_.resize(next_edge_id_);
+            }
             weights_[id] = m.weight;
             applied.push_back(
                 {m.kind, m.src, m.dst, id, m.weight, m.weight});
@@ -130,6 +140,7 @@ std::vector<AppliedMutation> DynGraph::apply(const MutationBatch& batch,
           } else {
             applied.push_back({m.kind, m.src, m.dst, existing,
                                weights_[existing], weights_[existing]});
+            free_ids_.push_back(existing);
             ++deleted_;
             --live_edges_;
           }
@@ -163,37 +174,41 @@ std::vector<AppliedMutation> DynGraph::apply(const MutationBatch& batch,
   for (const AppliedMutation& am : applied) {
     if (am.kind != MutationKind::kWeightChange) topo.push_back(&am);
   }
-  if (!topo.empty()) {
-    const std::size_t nt = std::max<std::size_t>(1, num_threads);
-    const auto run_phase = [&](bool by_src) {
-      std::vector<Group> groups = group_by(topo, by_src);
-      const auto run_group = [&](const Group& grp) {
-        if (by_src) {
-          apply_out_group(grp.key, topo, grp.begin, grp.end);
-        } else {
-          apply_in_group(grp.key, topo, grp.begin, grp.end);
-        }
-      };
-      if (nt == 1) {
-        for (const Group& grp : groups) run_group(grp);
-        return;
-      }
-      StealingWorklist wl(nt, /*chunk_size=*/4);
-      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-        wl.push(0, static_cast<VertexId>(gi), 0);
-      }
-      wl.publish(0);
-      run_team(nt, [&](std::size_t tid) {
-        VertexId gi;
-        while (wl.try_pop(tid, gi)) run_group(groups[gi]);
-      });
-    };
-    run_phase(/*by_src=*/true);
-    run_phase(/*by_src=*/false);
-  }
+  fan_out_topology(topo, num_threads);
 
   if (stats != nullptr) *stats = local;
   return applied;
+}
+
+void DynGraph::fan_out_topology(std::vector<const AppliedMutation*>& topo,
+                                std::size_t num_threads) {
+  if (topo.empty()) return;
+  const std::size_t nt = std::max<std::size_t>(1, num_threads);
+  const auto run_phase = [&](bool by_src) {
+    std::vector<Group> groups = group_by(topo, by_src);
+    const auto run_group = [&](const Group& grp) {
+      if (by_src) {
+        apply_out_group(grp.key, topo, grp.begin, grp.end);
+      } else {
+        apply_in_group(grp.key, topo, grp.begin, grp.end);
+      }
+    };
+    if (nt == 1) {
+      for (const Group& grp : groups) run_group(grp);
+      return;
+    }
+    StealingWorklist wl(nt, /*chunk_size=*/4);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      wl.push(0, static_cast<VertexId>(gi), 0);
+    }
+    wl.publish(0);
+    run_team(nt, [&](std::size_t tid) {
+      VertexId gi;
+      while (wl.try_pop(tid, gi)) run_group(groups[gi]);
+    });
+  };
+  run_phase(/*by_src=*/true);
+  run_phase(/*by_src=*/false);
 }
 
 void DynGraph::apply_out_group(
@@ -236,6 +251,45 @@ void DynGraph::apply_in_group(
       o.in.erase_at(pos);
     }
   }
+}
+
+ApplyStats DynGraph::apply_replicated(
+    const std::vector<AppliedMutation>& muts, std::size_t num_threads) {
+  ApplyStats local{};
+  // Serial phase: trust the shipper's validation and id assignment. Weights
+  // and counters update here; adjacency fans out below through the same
+  // parallel group helpers apply() uses.
+  for (const AppliedMutation& m : muts) {
+    switch (m.kind) {
+      case MutationKind::kInsertEdge:
+        if (m.id >= next_edge_id_) {
+          next_edge_id_ = m.id + 1;
+          weights_.resize(next_edge_id_);
+        }
+        weights_[m.id] = m.weight;
+        ++inserted_;
+        ++live_edges_;
+        break;
+      case MutationKind::kDeleteEdge:
+        NDG_ASSERT(find_edge(m.src, m.dst) == m.id);
+        ++deleted_;
+        --live_edges_;
+        break;
+      case MutationKind::kWeightChange:
+        NDG_ASSERT(find_edge(m.src, m.dst) == m.id);
+        weights_[m.id] = m.weight;
+        ++reweighted_;
+        break;
+    }
+    ++local.applied;
+  }
+
+  std::vector<const AppliedMutation*> topo;
+  for (const AppliedMutation& am : muts) {
+    if (am.kind != MutationKind::kWeightChange) topo.push_back(&am);
+  }
+  fan_out_topology(topo, num_threads);
+  return local;
 }
 
 double DynGraph::overflow_ratio() const {
@@ -286,6 +340,7 @@ DynGraph::CompactResult DynGraph::compact() {
   base_ = Graph::build(nv, std::move(edges), gopts);
   std::vector<Overlay>(nv).swap(overlay_);
   weights_ = std::move(new_weights);
+  free_ids_.clear();  // the rebuilt id space is exact: nothing to reuse
   next_edge_id_ = base_.num_edges();
   live_edges_ = base_.num_edges();
   ++compactions_;

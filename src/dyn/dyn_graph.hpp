@@ -15,12 +15,17 @@
 // contiguous and sorted (out by dst, in by src), so binary-search edge lookup
 // and the programs' random-access loops both keep working.
 //
-// Edge ids: base edges keep their canonical CSR ids; inserts take fresh ids
-// from a bump counter at the top of the id space (num_edges() is the id-space
-// BOUND, which is what EdgeDataArray/lock-table sizing needs — it counts
-// retired slots too). Deletes retire the id; retired ids are never reused
-// until compact(), which rebuilds an exact-size CSR via Graph::build and
-// returns an old-id -> new-id remap so callers can carry edge data across.
+// Edge ids: base edges keep their canonical CSR ids; inserts reuse the most
+// recently retired id from a freelist when one exists and take a fresh id
+// from a bump counter at the top of the id space otherwise (num_edges() is
+// the id-space BOUND, which is what EdgeDataArray/lock-table sizing needs —
+// it counts retired-and-not-yet-reused slots too). Deletes retire the id
+// onto the freelist, so delete-heavy streams stop growing id space; the
+// holes a pure delete stream leaves are only reclaimed by compact(), which
+// rebuilds an exact-size CSR via Graph::build and returns an old-id ->
+// new-id remap so callers can carry edge data across. Id assignment happens
+// in the serial validation phase in batch order, so it is deterministic —
+// replicas replaying the same batch stream assign identical ids.
 //
 // Thread-safety: apply() is the only mutator and requires quiescence (no
 // concurrent engine run); it parallelizes internally over the Worklist
@@ -46,8 +51,11 @@ struct DynGraphOptions {
   /// reference agree on the initial weights.
   std::function<float(EdgeId)> base_weight;
   /// compact() is advised (should_compact()) once overflow_ratio() exceeds
-  /// this. <= 0 advises compaction after any mutation.
-  double compact_threshold = 0.25;
+  /// this. <= 0 advises compaction after any mutation. The default was 0.25
+  /// before the edge-id freelist; with retired ids reused by later inserts,
+  /// mixed streams accumulate holes far more slowly, so fewer stop-the-world
+  /// compactions are needed per stream.
+  double compact_threshold = 0.5;
   /// Placement for overlay segments and the weight array.
   MemSpec mem{};
 };
@@ -120,6 +128,16 @@ class DynGraph {
                                      ApplyStats* stats = nullptr,
                                      std::size_t num_threads = 1);
 
+  /// Replays mutations already validated (and id-assigned) by another
+  /// DynGraph — the replica side of log shipping (docs/TIER.md). Skips
+  /// validation and the freelist entirely: edge ids are taken verbatim from
+  /// the records, so the local id space ends up identical to the shipper's
+  /// provided both sides started from the same state and replayed the same
+  /// record stream in order. Asserts (debug builds) that deletes/reweights
+  /// land on the edge the record names. Requires quiescence.
+  ApplyStats apply_replicated(const std::vector<AppliedMutation>& muts,
+                              std::size_t num_threads = 1);
+
   // --- Compaction ---
 
   /// (retired id slots + ids grown past the base CSR) / base edges — the
@@ -152,6 +170,9 @@ class DynGraph {
 
   [[nodiscard]] const Graph& base() const { return base_; }
 
+  /// Retired ids currently available for reuse by inserts.
+  [[nodiscard]] std::size_t freelist_size() const { return free_ids_.size(); }
+
   /// Lifetime mutation counters (serve `stats` op).
   [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
   [[nodiscard]] std::uint64_t total_deleted() const { return deleted_; }
@@ -169,6 +190,11 @@ class DynGraph {
 
   void ensure_out_unpacked(VertexId v);
   void ensure_in_unpacked(VertexId v);
+  /// Parallel adjacency update shared by apply() and apply_replicated():
+  /// out-sides keyed by src, then in-sides keyed by dst, over a stealing
+  /// worklist with `num_threads` workers.
+  void fan_out_topology(std::vector<const AppliedMutation*>& topo,
+                        std::size_t num_threads);
   void apply_out_group(VertexId u,
                        const std::vector<const AppliedMutation*>& muts,
                        std::size_t begin, std::size_t end);
@@ -181,7 +207,12 @@ class DynGraph {
   SegVec<float> weights_;  // indexed by edge id, grows with the id space
   EdgeId next_edge_id_ = 0;
   EdgeId live_edges_ = 0;
-  double compact_threshold_ = 0.25;
+  /// Retired edge ids awaiting reuse, most recently retired last (inserts
+  /// pop from the back). Cleared by compact() — the rebuilt id space has no
+  /// holes — and never consulted by apply_replicated (replicas follow the
+  /// shipper's id assignment instead of allocating).
+  std::vector<EdgeId> free_ids_;
+  double compact_threshold_ = 0.5;
   MemSpec mem_{};
   std::function<float(EdgeId)> base_weight_;
   std::uint64_t inserted_ = 0;

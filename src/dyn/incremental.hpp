@@ -115,8 +115,11 @@ class IncrementalEngine {
   /// `auto_compact=false` skips the post-run compaction so a caller that
   /// interleaves live reads can run compact_now() itself at a point it
   /// KNOWS is quiescent (ndg_serve's event loop does this after taking the
-  /// epoch result off its worker thread).
-  EpochResult apply_epoch(const MutationBatch& batch, bool auto_compact = true) {
+  /// epoch result off its worker thread). `applied_out` (optional) receives
+  /// the validated records in batch order — the tier coordinator ships these
+  /// to its replicas (docs/TIER.md).
+  EpochResult apply_epoch(const MutationBatch& batch, bool auto_compact = true,
+                          std::vector<AppliedMutation>* applied_out = nullptr) {
     EpochResult out;
     out.epoch = batch.epoch;
     inflight_epoch_.store(batch.epoch, std::memory_order_relaxed);
@@ -124,6 +127,7 @@ class IncrementalEngine {
 
     const std::vector<AppliedMutation> applied =
         g_->apply(batch, &out.apply_stats, opts_.num_threads);
+    if (applied_out != nullptr) *applied_out = applied;
 
     const GateDecision decision = gate_.decide(*prog_, applied);
     out.warm = decision.warm;
@@ -153,6 +157,54 @@ class IncrementalEngine {
     }
 
     if (auto_compact && g_->should_compact()) {
+      compact_now();
+      out.compacted = true;
+    }
+    ++epochs_;
+    phase_.store(EpochPhase::kIdle, std::memory_order_release);
+    return out;
+  }
+
+  /// Replica-side twin of apply_epoch (docs/TIER.md): replays a shipped,
+  /// already-validated AppliedMutation batch through
+  /// DynGraph::apply_replicated — no re-validation, ids taken verbatim — and
+  /// then takes the SAME warm-or-cold decision apply_epoch would, from this
+  /// engine's own gate. `compact_after` mirrors the shipper's post-batch
+  /// compaction so both id spaces move in lockstep. Requires quiescence.
+  EpochResult replay_epoch(std::uint64_t epoch,
+                           const std::vector<AppliedMutation>& applied,
+                           bool compact_after) {
+    EpochResult out;
+    out.epoch = epoch;
+    inflight_epoch_.store(epoch, std::memory_order_relaxed);
+    phase_.store(EpochPhase::kMutating, std::memory_order_release);
+
+    out.apply_stats = g_->apply_replicated(applied, opts_.num_threads);
+
+    const GateDecision decision = gate_.decide(*prog_, applied);
+    out.warm = decision.warm;
+    out.gate_reason = decision.reason;
+
+    if (applied.empty()) {
+      out.engine.converged = true;
+      out.warm = true;
+      out.gate_reason = "empty-batch";
+    } else if (decision.warm) {
+      edges_.resize(g_->num_edges());
+      std::vector<VertexId> seeds;
+      if constexpr (DynamicProgram<Program>) {
+        for (const AppliedMutation& m : applied) {
+          prog_->dyn_apply(*g_, edges_, m, seeds);
+        }
+      }
+      out.seed_count = seeds.size();
+      ++warm_runs_;
+      out.engine = run_engine(std::move(seeds));
+    } else {
+      out.engine = recompute_cold();
+    }
+
+    if (compact_after) {
       compact_now();
       out.compacted = true;
     }

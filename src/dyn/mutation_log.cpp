@@ -74,4 +74,9 @@ std::vector<MutationBatch> MutationLog::history() const {
   return {sealed_.begin(), sealed_.end()};
 }
 
+std::size_t MutationLog::history_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_.size();
+}
+
 }  // namespace ndg::dyn

@@ -50,6 +50,11 @@ class MutationLog {
   /// Copy of the retained sealed batches, oldest first.
   [[nodiscard]] std::vector<MutationBatch> history() const;
 
+  /// Sealed batches currently retained (<= the history limit) — the lag
+  /// window observable from ndg_serve's `stats` reply without copying.
+  [[nodiscard]] std::size_t history_size() const;
+  [[nodiscard]] std::size_t history_limit() const { return history_limit_; }
+
  private:
   mutable std::mutex mu_;
   std::vector<Mutation> tail_;

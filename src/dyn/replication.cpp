@@ -1,0 +1,203 @@
+#include "dyn/replication.hpp"
+
+#include <utility>
+
+namespace ndg::dyn {
+
+namespace {
+
+bool fail(std::string* err, const char* what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+bool parse_kind(const std::string& s, MutationKind& out) {
+  if (s == "insert") {
+    out = MutationKind::kInsertEdge;
+  } else if (s == "delete") {
+    out = MutationKind::kDeleteEdge;
+  } else if (s == "weight") {
+    out = MutationKind::kWeightChange;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const RepRecord& ReplicationLog::push(RepRecord rec) {
+  rec.seq = next_seq_++;
+  records_.push_back(std::move(rec));
+  while (records_.size() > history_limit_) records_.pop_front();
+  return records_.back();
+}
+
+const RepRecord& ReplicationLog::append_batch(
+    std::uint64_t epoch, std::vector<AppliedMutation> muts,
+    bool compact_after) {
+  RepRecord rec;
+  rec.kind = RepKind::kBatch;
+  rec.epoch = epoch;
+  rec.muts = std::move(muts);
+  rec.compact_after = compact_after;
+  return push(std::move(rec));
+}
+
+const RepRecord& ReplicationLog::append_compact(std::uint64_t epoch) {
+  RepRecord rec;
+  rec.kind = RepKind::kCompact;
+  rec.epoch = epoch;
+  return push(std::move(rec));
+}
+
+std::uint64_t ReplicationLog::oldest_seq() const {
+  return records_.empty() ? next_seq_ : records_.front().seq;
+}
+
+bool ReplicationLog::has(std::uint64_t seq) const {
+  return !records_.empty() && seq >= records_.front().seq &&
+         seq < next_seq_;
+}
+
+const RepRecord& ReplicationLog::get(std::uint64_t seq) const {
+  return records_[seq - records_.front().seq];
+}
+
+std::string encode_record_header(const RepRecord& rec) {
+  return WireWriter()
+      .str("op", "replicate")
+      .u64("seq", rec.seq)
+      .str("kind", rec.kind == RepKind::kBatch ? "batch" : "compact")
+      .u64("epoch", rec.epoch)
+      .u64("count", rec.muts.size())
+      .boolean("compact", rec.compact_after)
+      .finish();
+}
+
+std::string encode_applied(const AppliedMutation& m) {
+  return WireWriter()
+      .str("op", "rmut")
+      .str("kind", to_string(m.kind))
+      .u64("src", m.src)
+      .u64("dst", m.dst)
+      .u64("id", m.id)
+      .num("weight", m.weight)
+      .num("old", m.old_weight)
+      .finish();
+}
+
+std::string encode_snapshot_header(const SnapshotHeader& h) {
+  return WireWriter()
+      .str("op", "snapshot")
+      .u64("seq", h.seq)
+      .u64("epoch", h.epoch)
+      .u64("vertices", h.vertices)
+      .u64("edges", h.edges)
+      .finish();
+}
+
+std::string encode_snapshot_edge(const SnapshotEdge& e) {
+  return WireWriter()
+      .str("op", "sedge")
+      .u64("src", e.src)
+      .u64("dst", e.dst)
+      .num("weight", e.weight)
+      .finish();
+}
+
+std::string encode_sync(std::uint64_t replica, std::uint64_t seq) {
+  return WireWriter()
+      .str("op", "sync")
+      .u64("replica", replica)
+      .u64("seq", seq)
+      .finish();
+}
+
+std::string encode_ack(std::uint64_t replica, std::uint64_t seq,
+                       std::uint64_t epoch) {
+  return WireWriter()
+      .str("op", "ack")
+      .u64("replica", replica)
+      .u64("seq", seq)
+      .u64("epoch", epoch)
+      .finish();
+}
+
+bool parse_record_header(const WireMessage& msg, RepRecord& out,
+                         std::uint64_t& count, std::string* err) {
+  std::string kind;
+  if (!msg.get_string("kind", kind)) {
+    return fail(err, "replicate: missing field: kind");
+  }
+  if (kind == "batch") {
+    out.kind = RepKind::kBatch;
+  } else if (kind == "compact") {
+    out.kind = RepKind::kCompact;
+  } else {
+    return fail(err, "replicate: unknown kind");
+  }
+  if (!msg.get_u64("seq", out.seq) || !msg.get_u64("epoch", out.epoch) ||
+      !msg.get_u64("count", count)) {
+    return fail(err, "replicate: missing field: seq/epoch/count");
+  }
+  out.compact_after = false;
+  msg.get_bool("compact", out.compact_after);
+  out.muts.clear();
+  out.muts.reserve(count);
+  return true;
+}
+
+bool parse_applied(const WireMessage& msg, AppliedMutation& out,
+                   std::string* err) {
+  std::string kind;
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t id = 0;
+  double weight = 0.0;
+  double old_weight = 0.0;
+  if (!msg.get_string("kind", kind) || !parse_kind(kind, out.kind)) {
+    return fail(err, "rmut: bad field: kind");
+  }
+  if (!msg.get_u64("src", src) || !msg.get_u64("dst", dst) ||
+      !msg.get_u64("id", id) || !msg.get_double("weight", weight) ||
+      !msg.get_double("old", old_weight)) {
+    return fail(err, "rmut: missing field: src/dst/id/weight/old");
+  }
+  out.src = static_cast<VertexId>(src);
+  out.dst = static_cast<VertexId>(dst);
+  out.id = static_cast<EdgeId>(id);
+  out.weight = static_cast<float>(weight);
+  out.old_weight = static_cast<float>(old_weight);
+  return true;
+}
+
+bool parse_snapshot_header(const WireMessage& msg, SnapshotHeader& out,
+                           std::string* err) {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  if (!msg.get_u64("seq", out.seq) || !msg.get_u64("epoch", out.epoch) ||
+      !msg.get_u64("vertices", vertices) || !msg.get_u64("edges", edges)) {
+    return fail(err, "snapshot: missing field: seq/epoch/vertices/edges");
+  }
+  out.vertices = static_cast<VertexId>(vertices);
+  out.edges = static_cast<EdgeId>(edges);
+  return true;
+}
+
+bool parse_snapshot_edge(const WireMessage& msg, SnapshotEdge& out,
+                         std::string* err) {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  double weight = 1.0;
+  if (!msg.get_u64("src", src) || !msg.get_u64("dst", dst) ||
+      !msg.get_double("weight", weight)) {
+    return fail(err, "sedge: missing field: src/dst/weight");
+  }
+  out.src = static_cast<VertexId>(src);
+  out.dst = static_cast<VertexId>(dst);
+  out.weight = static_cast<float>(weight);
+  return true;
+}
+
+}  // namespace ndg::dyn

@@ -1,0 +1,123 @@
+#pragma once
+// Log shipping for the replicated serving tier (docs/TIER.md).
+//
+// The coordinator owns the single MutationLog; after it applies each sealed
+// epoch locally it appends one RepRecord — the *validated* AppliedMutation
+// batch plus a compact marker — to a bounded ReplicationLog and streams the
+// record to every replica. Replicas replay records strictly in sequence
+// through DynGraph::apply_replicated, so their id spaces track the
+// coordinator's exactly; a replica whose cursor falls behind the bounded
+// history is re-seeded with a full Snapshot (canonical live-edge list +
+// weights) instead of erroring. Compaction is itself an in-stream event
+// (kCompact records, or the compact_after flag on a batch record): every
+// replica compacts at the same point in its ordered stream, which is what
+// keeps edge ids convergent — DynGraph::compact is deterministic in the
+// live edge set.
+//
+// The wire format reuses dyn/wire.* newline-delimited flat JSON: a record is
+// a header line followed by `count` one-mutation lines; a snapshot is a
+// header line followed by `edges` one-edge lines in canonical (src, dst)
+// order (edge k's id is k after the rebuild, matching the coordinator's
+// post-compaction ids).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dyn/mutation.hpp"
+#include "dyn/wire.hpp"
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace ndg::dyn {
+
+enum class RepKind : std::uint8_t {
+  kBatch,    // one applied epoch batch (possibly empty), compact_after flag
+  kCompact,  // standalone compaction fence (snapshot preparation)
+};
+
+/// One replication-stream record. `seq` increases by one per record and is
+/// the replica's replay cursor; `epoch` is the MutationLog epoch the record
+/// brings a replica up to.
+struct RepRecord {
+  std::uint64_t seq = 0;
+  RepKind kind = RepKind::kBatch;
+  std::uint64_t epoch = 0;
+  std::vector<AppliedMutation> muts;  // kBatch only
+  /// kBatch: coordinator compacted right after applying this batch; the
+  /// replica must do the same before touching the next record.
+  bool compact_after = false;
+};
+
+/// Bounded, single-threaded (coordinator event loop) record history. Records
+/// older than `history_limit` are dropped front-first; a replica asking for
+/// a dropped seq gets a snapshot instead.
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(std::size_t history_limit = 64)
+      : history_limit_(history_limit) {}
+
+  const RepRecord& append_batch(std::uint64_t epoch,
+                                std::vector<AppliedMutation> muts,
+                                bool compact_after);
+  const RepRecord& append_compact(std::uint64_t epoch);
+
+  /// Seq the NEXT appended record will get (== 1 + newest existing seq).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  /// Oldest retained seq; next_seq() when the history is empty.
+  [[nodiscard]] std::uint64_t oldest_seq() const;
+  [[nodiscard]] bool has(std::uint64_t seq) const;
+  [[nodiscard]] const RepRecord& get(std::uint64_t seq) const;
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t history_limit() const { return history_limit_; }
+
+ private:
+  const RepRecord& push(RepRecord rec);
+
+  std::deque<RepRecord> records_;
+  std::size_t history_limit_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// One live edge of a snapshot, shipped in canonical (src, dst) order so the
+/// k-th edge's id is k on both sides after the rebuild.
+struct SnapshotEdge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  float weight = 1.0f;
+};
+
+struct SnapshotHeader {
+  std::uint64_t seq = 0;    // replica cursor after installing the snapshot
+  std::uint64_t epoch = 0;  // epoch watermark the snapshot represents
+  VertexId vertices = 0;
+  EdgeId edges = 0;
+};
+
+// --- Wire encoding (one flat JSON object per line, no trailing newline) ---
+
+[[nodiscard]] std::string encode_record_header(const RepRecord& rec);
+[[nodiscard]] std::string encode_applied(const AppliedMutation& m);
+[[nodiscard]] std::string encode_snapshot_header(const SnapshotHeader& h);
+[[nodiscard]] std::string encode_snapshot_edge(const SnapshotEdge& e);
+/// Replica -> coordinator: cursor handshake ("give me records after `seq`").
+[[nodiscard]] std::string encode_sync(std::uint64_t replica,
+                                      std::uint64_t seq);
+/// Replica -> coordinator: record/snapshot applied through `seq`/`epoch`.
+[[nodiscard]] std::string encode_ack(std::uint64_t replica, std::uint64_t seq,
+                                     std::uint64_t epoch);
+
+/// Header parse results. Every parse_* returns false (with a diagnostic in
+/// `err` when non-null) on a malformed message; the caller decides whether
+/// that is fatal (replicas treat any malformed replication line as fatal).
+bool parse_record_header(const WireMessage& msg, RepRecord& out,
+                         std::uint64_t& count, std::string* err = nullptr);
+bool parse_applied(const WireMessage& msg, AppliedMutation& out,
+                   std::string* err = nullptr);
+bool parse_snapshot_header(const WireMessage& msg, SnapshotHeader& out,
+                           std::string* err = nullptr);
+bool parse_snapshot_edge(const WireMessage& msg, SnapshotEdge& out,
+                         std::string* err = nullptr);
+
+}  // namespace ndg::dyn

@@ -1,0 +1,510 @@
+#pragma once
+// Coordinator of the replicated serving tier (docs/TIER.md).
+//
+// The coordinator is the ONLY process that owns a MutationLog: every write
+// enters here, is sealed into an epoch batch on `recompute`, applied to the
+// coordinator's own DynGraph + IncrementalEngine (so the coordinator always
+// holds an authoritative quiescent result), and the *validated*
+// AppliedMutation records — ids already assigned — are appended to a bounded
+// ReplicationLog and streamed to every connected replica. Replicas never
+// validate or allocate; they replay the shipped records verbatim
+// (DynGraph::apply_replicated), which keeps their edge-id spaces identical
+// to the coordinator's.
+//
+// Flow control is a window of ONE record per replica: the next record is
+// sent only after the previous one is acked. A replica that stalls (or is
+// held with --chaos-lag-ms) therefore genuinely falls behind while the
+// coordinator keeps sealing epochs; once its cursor drops past the bounded
+// history the coordinator stops trying to stream and re-seeds it with a full
+// canonical snapshot instead — compacting first (and appending an in-stream
+// kCompact fence for the replicas that are current) so the shipped edge list
+// is in canonical (src, dst) order and edge k's id is k on both sides.
+//
+// Threading: everything here runs on one poll() event loop; recompute is
+// inline (reads are the replicas' job — the coordinator answering a query
+// from its quiescent cache is a convenience and the --replicas=0 baseline).
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "dyn/mutation_log.hpp"
+#include "dyn/replication.hpp"
+#include "dyn/wire.hpp"
+#include "tier/net.hpp"
+
+namespace ndg::tier {
+
+struct CoordinatorOptions {
+  std::string dir;            // run directory holding the tier's sockets
+  std::size_t history = 64;   // ReplicationLog bound (records retained)
+};
+
+inline std::string tier_error(const std::string& what) {
+  return dyn::WireWriter().boolean("ok", false).str("error", what).finish();
+}
+
+/// JSON has no literal for the IEEE specials; label them distinctly.
+inline void tier_value_field(dyn::WireWriter& w, double value) {
+  if (std::isnan(value)) {
+    w.str("value", "nan");
+  } else if (std::isinf(value)) {
+    w.str("value", value > 0 ? "inf" : "-inf");
+  } else {
+    w.num("value", value);
+  }
+}
+
+template <VertexProgram Program>
+class Coordinator {
+ public:
+  Coordinator(dyn::DynGraph graph, Program prog, dyn::EligibilityGate gate,
+              EngineOptions eopts, dyn::DynEngine ekind,
+              CoordinatorOptions opts)
+      : g_(std::move(graph)),
+        prog_(std::move(prog)),
+        inc_(g_, prog_, std::move(gate), eopts, ekind),
+        replog_(opts.history),
+        opts_(std::move(opts)) {
+    inc_.recompute_cold();
+    values_ = prog_.values();
+    client_listen_ = listen_unix(coord_sock(opts_.dir));
+    rep_listen_ = listen_unix(rep_sock(opts_.dir));
+  }
+
+  ~Coordinator() {
+    for (auto& [id, c] : clients_) c.close_fd();
+    for (auto& [id, p] : peers_) p.conn.close_fd();
+    if (client_listen_ >= 0) ::close(client_listen_);
+    if (rep_listen_ >= 0) ::close(rep_listen_);
+    ::unlink(coord_sock(opts_.dir).c_str());
+    ::unlink(rep_sock(opts_.dir).c_str());
+  }
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  int run() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> owner;  // parallel: client/peer id, 0 = none
+    std::vector<bool> is_peer;
+    while (!shutdown_ || !drained()) {
+      pfds.clear();
+      owner.clear();
+      is_peer.clear();
+      if (!shutdown_) {
+        pfds.push_back({client_listen_, POLLIN, 0});
+        owner.push_back(0);
+        is_peer.push_back(false);
+        pfds.push_back({rep_listen_, POLLIN, 0});
+        owner.push_back(0);
+        is_peer.push_back(false);
+      }
+      for (auto& [id, c] : clients_) add_conn(pfds, owner, is_peer, id, c,
+                                              /*peer=*/false);
+      for (auto& [id, p] : peers_) add_conn(pfds, owner, is_peer, id, p.conn,
+                                            /*peer=*/true);
+      if (pfds.empty()) break;  // shutdown with everything flushed
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        std::cerr << "ndg_tier: coordinator poll failed: "
+                  << std::strerror(errno) << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const short re = pfds[i].revents;
+        if (re == 0) continue;
+        if (pfds[i].fd == client_listen_) {
+          accept_into(client_listen_, /*peer=*/false);
+        } else if (pfds[i].fd == rep_listen_) {
+          accept_into(rep_listen_, /*peer=*/true);
+        } else if (is_peer[i]) {
+          if (auto it = peers_.find(owner[i]); it != peers_.end()) {
+            RepPeer& p = it->second;
+            if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) {
+              p.conn.read_input();
+            }
+            if ((re & POLLOUT) != 0) p.conn.flush();
+            drain_peer(p);
+          }
+        } else if (auto it = clients_.find(owner[i]); it != clients_.end()) {
+          LineConn& c = it->second;
+          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) c.read_input();
+          if ((re & POLLOUT) != 0) c.flush();
+          drain_client(c);
+        }
+      }
+      reap();
+    }
+    return 0;
+  }
+
+  /// Lowest epoch every connected, synced replica has acked — the tier's
+  /// guaranteed-visible watermark. Coordinator epoch when no replica is up.
+  [[nodiscard]] std::uint64_t min_acked_epoch() const {
+    std::uint64_t lo = log_.epoch();
+    for (const auto& [id, p] : peers_) {
+      if (p.synced && p.acked_epoch < lo) lo = p.acked_epoch;
+    }
+    return lo;
+  }
+
+ private:
+  struct RepPeer {
+    LineConn conn;
+    bool synced = false;       // sync handshake received
+    std::uint64_t replica_id = 0;
+    std::uint64_t next_seq = 1;    // next record this replica needs
+    bool awaiting_ack = false;     // window-of-1 flow control
+    std::uint64_t acked_seq = 0;
+    std::uint64_t acked_epoch = 0;
+  };
+
+  static void add_conn(std::vector<pollfd>& pfds,
+                       std::vector<std::uint64_t>& owner,
+                       std::vector<bool>& is_peer, std::uint64_t id,
+                       const LineConn& c, bool peer) {
+    short events = 0;
+    if (!c.eof && !c.draining) events |= POLLIN;
+    if (!c.out_buf.empty()) events |= POLLOUT;
+    if (events == 0 || c.fd < 0) return;
+    pfds.push_back({c.fd, events, 0});
+    owner.push_back(id);
+    is_peer.push_back(peer);
+  }
+
+  void accept_into(int listen_fd, bool peer) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      set_nonblocking(fd);
+      const std::uint64_t id = ++next_id_;
+      if (peer) {
+        peers_[id].conn.fd = fd;
+      } else {
+        LineConn& c = clients_[id];
+        c.fd = fd;
+        c.queue_line(ready_line());
+      }
+    }
+  }
+
+  [[nodiscard]] std::string ready_line() const {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .boolean("ready", true)
+        .str("role", "coordinator")
+        .str("algo", prog_.name())
+        .str("engine", to_string(inc_.engine_kind()))
+        .u64("vertices", g_.num_vertices())
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
+  // --- Client command path (ndg_serve wire shapes + tier extras) ---
+
+  void drain_client(LineConn& c) {
+    while (!c.draining && !c.broken && !c.pending.empty()) {
+      const std::string line = std::move(c.pending.front());
+      c.pending.pop_front();
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      dyn::WireMessage msg;
+      std::string err;
+      if (!parse_wire(line, msg, &err)) {
+        c.queue_line(tier_error("parse: " + err));
+        continue;
+      }
+      std::string op;
+      if (!msg.get_string("op", op)) {
+        c.queue_line(tier_error("missing field: op"));
+        continue;
+      }
+      if (op == "mutate") {
+        c.queue_line(handle_mutate(msg));
+      } else if (op == "recompute") {
+        c.queue_line(handle_recompute());
+      } else if (op == "query") {
+        c.queue_line(query_reply(msg));
+      } else if (op == "stats") {
+        c.queue_line(stats_reply());
+      } else if (op == "quit") {
+        c.queue_line(dyn::WireWriter()
+                         .boolean("ok", true)
+                         .boolean("bye", true)
+                         .finish());
+        c.draining = true;
+      } else if (op == "shutdown") {
+        // Tier-wide stop: tell every replica to exit, answer the issuer,
+        // then leave the loop once all out buffers flush.
+        for (auto& [id, p] : peers_) {
+          p.conn.queue_line(
+              dyn::WireWriter().str("op", "shutdown").finish());
+          p.conn.draining = true;
+        }
+        c.queue_line(dyn::WireWriter()
+                         .boolean("ok", true)
+                         .boolean("bye", true)
+                         .finish());
+        c.draining = true;
+        shutdown_ = true;
+      } else {
+        c.queue_line(tier_error("unknown op: " + op));
+      }
+    }
+  }
+
+  std::string handle_mutate(const dyn::WireMessage& msg) {
+    std::string kind_s;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!msg.get_string("kind", kind_s)) {
+      return tier_error("mutate: missing field: kind");
+    }
+    dyn::MutationKind kind;
+    if (kind_s == "insert") {
+      kind = dyn::MutationKind::kInsertEdge;
+    } else if (kind_s == "delete") {
+      kind = dyn::MutationKind::kDeleteEdge;
+    } else if (kind_s == "weight") {
+      kind = dyn::MutationKind::kWeightChange;
+    } else {
+      return tier_error("mutate: unknown kind: " + kind_s);
+    }
+    if (!msg.get_u64("src", src) || !msg.get_u64("dst", dst)) {
+      return tier_error("mutate: missing field: src/dst");
+    }
+    double weight = 1.0;
+    msg.get_double("weight", weight);
+    log_.append(dyn::Mutation{kind, static_cast<VertexId>(src),
+                              static_cast<VertexId>(dst),
+                              static_cast<float>(weight)});
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("pending", log_.pending())
+        .finish();
+  }
+
+  std::string handle_recompute() {
+    const dyn::MutationBatch batch = log_.seal();
+    std::vector<dyn::AppliedMutation> shipped;
+    dyn::EpochResult r =
+        inc_.apply_epoch(batch, /*auto_compact=*/false, &shipped);
+    bool compacted = false;
+    if (g_.should_compact()) {
+      inc_.compact_now();
+      compacted = true;
+      r.compacted = true;
+    }
+    values_ = prog_.values();
+    replog_.append_batch(batch.epoch, std::move(shipped), compacted);
+    pump_all_peers();
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("epoch", r.epoch)
+        .boolean("warm", r.warm)
+        .str("reason", r.gate_reason)
+        .u64("applied", r.apply_stats.applied)
+        .u64("rejected", r.apply_stats.rejected)
+        .u64("seeds", r.seed_count)
+        .u64("iterations", r.engine.iterations)
+        .u64("updates", r.engine.updates)
+        .boolean("converged", r.engine.converged)
+        .boolean("compacted", r.compacted)
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
+  std::string query_reply(const dyn::WireMessage& msg) {
+    std::uint64_t v = 0;
+    if (!msg.get_u64("vertex", v)) {
+      return tier_error("query: missing field: vertex");
+    }
+    if (v >= values_.size()) {
+      return tier_error("query: vertex out of range: " + std::to_string(v));
+    }
+    dyn::WireWriter w;
+    w.boolean("ok", true).u64("vertex", v);
+    tier_value_field(w, values_[v]);
+    return w.u64("epoch", log_.epoch()).finish();
+  }
+
+  std::string stats_reply() const {
+    std::size_t synced = 0;
+    for (const auto& [id, p] : peers_) {
+      if (p.synced) ++synced;
+    }
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .str("role", "coordinator")
+        .str("algo", prog_.name())
+        .u64("epoch", log_.epoch())
+        .u64("epoch_watermark", min_acked_epoch())
+        .u64("pending", log_.pending())
+        .u64("log_history_len", log_.history_size())
+        .u64("rep_next_seq", replog_.next_seq())
+        .u64("rep_oldest_seq", replog_.oldest_seq())
+        .u64("rep_history", replog_.size())
+        .u64("replicas", synced)
+        .u64("snapshots_served", snapshots_served_)
+        .u64("vertices", g_.num_vertices())
+        .u64("live_edges", g_.num_live_edges())
+        .u64("compactions", g_.compactions())
+        .u64("warm_runs", inc_.warm_runs())
+        .u64("cold_runs", inc_.cold_runs())
+        .finish();
+  }
+
+  // --- Replication peer path ---
+
+  void drain_peer(RepPeer& p) {
+    while (!p.conn.broken && !p.conn.pending.empty()) {
+      const std::string line = std::move(p.conn.pending.front());
+      p.conn.pending.pop_front();
+      if (line.empty()) continue;
+      dyn::WireMessage msg;
+      std::string err;
+      std::string op;
+      if (!parse_wire(line, msg, &err) || !msg.get_string("op", op)) {
+        std::cerr << "ndg_tier: bad replication line: " << err << "\n";
+        p.conn.broken = true;
+        return;
+      }
+      if (op == "sync") {
+        std::uint64_t seq = 0;
+        msg.get_u64("replica", p.replica_id);
+        msg.get_u64("seq", seq);
+        p.synced = true;
+        p.next_seq = seq + 1;
+      } else if (op == "ack") {
+        msg.get_u64("seq", p.acked_seq);
+        msg.get_u64("epoch", p.acked_epoch);
+        p.awaiting_ack = false;
+      } else {
+        std::cerr << "ndg_tier: unexpected replication op: " << op << "\n";
+        p.conn.broken = true;
+        return;
+      }
+    }
+    pump_peer(p);
+  }
+
+  void pump_all_peers() {
+    for (auto& [id, p] : peers_) pump_peer(p);
+  }
+
+  /// Ships at most ONE record (or one snapshot) and waits for the ack —
+  /// the window-of-1 that lets a slow replica's cursor genuinely fall
+  /// behind the bounded history instead of buffering unboundedly in its
+  /// socket.
+  void pump_peer(RepPeer& p) {
+    if (!p.synced || p.awaiting_ack || p.conn.broken || p.conn.draining ||
+        shutdown_) {
+      return;
+    }
+    if (p.next_seq >= replog_.next_seq()) return;  // caught up
+    if (!replog_.has(p.next_seq)) {
+      send_snapshot(p);
+      return;
+    }
+    const dyn::RepRecord& rec = replog_.get(p.next_seq);
+    p.conn.queue_line(encode_record_header(rec));
+    for (const dyn::AppliedMutation& m : rec.muts) {
+      p.conn.queue_line(encode_applied(m));
+    }
+    p.awaiting_ack = true;
+    p.next_seq = rec.seq + 1;
+  }
+
+  /// Full re-seed for a replica that fell past the history bound. The
+  /// snapshot must be CANONICAL — edge k of the shipped (src, dst)-sorted
+  /// list gets id k when the replica rebuilds — so if the coordinator's id
+  /// space has holes or overlay growth it compacts first and appends an
+  /// in-stream kCompact fence (replicas that are current replay the fence
+  /// and compact at the same stream point, keeping every id space aligned).
+  void send_snapshot(RepPeer& p) {
+    if (g_.overflow_ratio() > 0.0) {
+      inc_.compact_now();
+      replog_.append_compact(log_.epoch());
+    }
+    dyn::SnapshotHeader h;
+    h.seq = replog_.next_seq() - 1;
+    h.epoch = log_.epoch();
+    h.vertices = g_.num_vertices();
+    h.edges = g_.num_live_edges();
+    p.conn.queue_line(encode_snapshot_header(h));
+    // Vertex-major with sorted targets == canonical (src, dst) order.
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      const auto nbrs = g_.out_neighbors(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        p.conn.queue_line(dyn::encode_snapshot_edge(
+            dyn::SnapshotEdge{v, nbrs[k],
+                              g_.edge_weight(g_.out_edge_id(v, k))}));
+      }
+    }
+    p.awaiting_ack = true;
+    p.next_seq = replog_.next_seq();
+    ++snapshots_served_;
+  }
+
+  void reap() {
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      if (it->second.finished()) {
+        it->second.close_fd();
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = peers_.begin(); it != peers_.end();) {
+      if (it->second.conn.finished()) {
+        it->second.conn.close_fd();
+        it = peers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// After shutdown: done once every bye/shutdown line has been flushed
+  /// (reap() drops each drained connection as its buffer empties).
+  [[nodiscard]] bool drained() const {
+    return clients_.empty() && peers_.empty();
+  }
+
+  dyn::DynGraph g_;
+  Program prog_;
+  dyn::MutationLog log_;
+  dyn::IncrementalEngine<Program> inc_;
+  dyn::ReplicationLog replog_;
+  CoordinatorOptions opts_;
+  std::vector<double> values_;
+
+  int client_listen_ = -1;
+  int rep_listen_ = -1;
+  std::map<std::uint64_t, LineConn> clients_;
+  std::map<std::uint64_t, RepPeer> peers_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t snapshots_served_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ndg::tier

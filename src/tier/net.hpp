@@ -1,0 +1,81 @@
+#pragma once
+// Socket plumbing shared by the replicated serving tier (docs/TIER.md): the
+// coordinator, the replicas, bench_tier and test_tier all speak the same
+// newline-delimited flat-JSON protocol (dyn/wire.hpp) over unix stream
+// sockets, and they all multiplex with the same nonblocking line-buffered
+// connection state. This header is that shared layer — nothing in it knows
+// about graphs or replication, only fds, lines, and the tier's well-known
+// socket names inside a run directory:
+//
+//   <dir>/coord.sock      writes + coordinator-local reads (ndg_serve shape)
+//   <dir>/rep.sock        replication stream (replicas only)
+//   <dir>/replica-K.sock  read fan-out endpoint of replica K
+
+#include <deque>
+#include <string>
+
+namespace ndg::tier {
+
+void set_nonblocking(int fd);
+
+/// Binds + listens a unix stream socket at `path` (unlinking any stale
+/// file first) and returns the nonblocking listen fd. Throws on failure.
+int listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to a unix socket, retrying while the server is still coming up
+/// (ECONNREFUSED / ENOENT), up to ~`timeout_ms`. Returns a BLOCKING fd —
+/// callers that join a poll loop set_nonblocking() it themselves. Throws
+/// once the deadline passes.
+int connect_unix(const std::string& path, int timeout_ms = 10000);
+
+/// One nonblocking line-buffered peer: bytes in -> complete lines out
+/// (`pending`), replies queued into `out_buf` and flushed as the socket
+/// accepts them. The flag trio mirrors ndg_serve's client lifecycle: eof =
+/// peer closed its write side (an unterminated tail still counts as a final
+/// line), draining = close once out_buf empties, broken = write error, drop
+/// without ceremony.
+struct LineConn {
+  int fd = -1;
+  std::string in_buf;
+  std::string out_buf;
+  std::deque<std::string> pending;
+  bool eof = false;
+  bool draining = false;
+  bool broken = false;
+
+  /// Drains the socket and splits complete lines into `pending`.
+  void read_input();
+
+  /// Writes as much of out_buf as the socket takes; EAGAIN leaves the rest
+  /// for the next POLLOUT, a hard error sets `broken`.
+  void flush();
+
+  void queue_line(const std::string& line) {
+    if (broken) return;
+    out_buf += line;
+    out_buf += '\n';
+    flush();
+  }
+
+  /// True when the connection has nothing left to do and can be closed.
+  [[nodiscard]] bool finished() const {
+    return broken || (draining && out_buf.empty()) ||
+           (eof && pending.empty() && out_buf.empty());
+  }
+
+  void close_fd();
+};
+
+// Well-known socket names inside a tier run directory.
+[[nodiscard]] inline std::string coord_sock(const std::string& dir) {
+  return dir + "/coord.sock";
+}
+[[nodiscard]] inline std::string rep_sock(const std::string& dir) {
+  return dir + "/rep.sock";
+}
+[[nodiscard]] inline std::string replica_sock(const std::string& dir,
+                                              std::size_t k) {
+  return dir + "/replica-" + std::to_string(k) + ".sock";
+}
+
+}  // namespace ndg::tier

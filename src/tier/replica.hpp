@@ -1,0 +1,407 @@
+#pragma once
+// Worker replica of the serving tier (docs/TIER.md).
+//
+// A replica owns a full DynGraph + IncrementalEngine of its own but never
+// validates a mutation: it connects to the coordinator's replication socket,
+// announces its cursor (`sync`), and replays whatever arrives strictly in
+// sequence — batch records through IncrementalEngine::replay_epoch (same
+// warm-or-cold gate decision the coordinator made, taken independently from
+// the replica's own EligibilityGate), compaction fences through
+// compact_now(), and full snapshots by rebuilding the graph from the shipped
+// canonical edge list and cold-recomputing. Each applied record is acked
+// with the seq + epoch it brought the replica to; the ack is what releases
+// the coordinator's window-of-1 for the next record.
+//
+// Concurrently, the replica serves reads on its own socket
+// (<dir>/replica-K.sock). Replies carry the replica's epoch WATERMARK — the
+// epoch of the last record it applied — so a client can tell how stale the
+// answer is relative to the coordinator. Serving stale values is exactly the
+// license the paper's Theorem 2 grants for monotone programs: a lagging
+// replica's state is a valid intermediate state of the computation, and
+// replaying the missing records from it converges to the same fixed point a
+// fresh cold run would reach (docs/TIER.md spells out the argument).
+//
+// --chaos-lag-ms is the fault-injection hook: the replica sleeps that long
+// before applying EACH replication record or snapshot, so a test can hold a
+// replica back until its cursor falls past the coordinator's bounded history
+// and the snapshot path is forced.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "dyn/replication.hpp"
+#include "dyn/wire.hpp"
+#include "graph/graph.hpp"
+#include "tier/coordinator.hpp"  // tier_error / tier_value_field
+#include "tier/net.hpp"
+
+namespace ndg::tier {
+
+struct ReplicaOptions {
+  std::size_t id = 0;
+  std::string dir;
+  std::uint32_t chaos_lag_ms = 0;  // sleep before applying each record
+};
+
+template <VertexProgram Program>
+class Replica {
+ public:
+  /// `graph_opts` is kept (minus its base_weight, which a snapshot replaces
+  /// with the shipped weights) so a re-seeded graph keeps the same
+  /// compaction threshold and memory placement as the original.
+  Replica(dyn::DynGraph graph, Program prog, dyn::EligibilityGate gate,
+          EngineOptions eopts, dyn::DynEngine ekind,
+          dyn::DynGraphOptions graph_opts, ReplicaOptions opts)
+      : g_(std::move(graph)),
+        prog_(std::move(prog)),
+        gate_(std::move(gate)),
+        eopts_(eopts),
+        ekind_(ekind),
+        graph_opts_(std::move(graph_opts)),
+        opts_(std::move(opts)) {
+    inc_.emplace(g_, prog_, gate_, eopts_, ekind_);
+    inc_->recompute_cold();
+    values_ = prog_.values();
+    listen_fd_ = listen_unix(replica_sock(opts_.dir, opts_.id));
+    rep_.fd = connect_unix(rep_sock(opts_.dir));
+    set_nonblocking(rep_.fd);
+    rep_.queue_line(dyn::encode_sync(opts_.id, cursor_));
+  }
+
+  ~Replica() {
+    rep_.close_fd();
+    for (auto& [id, c] : clients_) c.close_fd();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    ::unlink(replica_sock(opts_.dir, opts_.id).c_str());
+  }
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  int run() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> owner;  // 0 = listener/replication stream
+    while (!stop_) {
+      pfds.clear();
+      owner.clear();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      owner.push_back(0);
+      {
+        short ev = POLLIN;
+        if (!rep_.out_buf.empty()) ev |= POLLOUT;
+        pfds.push_back({rep_.fd, ev, 0});
+        owner.push_back(0);
+      }
+      for (auto& [id, c] : clients_) {
+        short ev = 0;
+        if (!c.eof && !c.draining) ev |= POLLIN;
+        if (!c.out_buf.empty()) ev |= POLLOUT;
+        if (ev == 0) continue;
+        pfds.push_back({c.fd, ev, 0});
+        owner.push_back(id);
+      }
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        std::cerr << "ndg_tier: replica " << opts_.id
+                  << " poll failed: " << std::strerror(errno) << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < pfds.size() && !stop_; ++i) {
+        const short re = pfds[i].revents;
+        if (re == 0) continue;
+        if (pfds[i].fd == listen_fd_) {
+          accept_clients();
+        } else if (pfds[i].fd == rep_.fd) {
+          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) rep_.read_input();
+          if ((re & POLLOUT) != 0) rep_.flush();
+          drain_replication();
+          // Coordinator gone: eof after the stream drained, or a failed ack
+          // (it can close mid-replay if shutdown races an in-flight record).
+          if (rep_.broken || (rep_.eof && rep_.pending.empty())) stop_ = true;
+        } else if (auto it = clients_.find(owner[i]); it != clients_.end()) {
+          LineConn& c = it->second;
+          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) c.read_input();
+          if ((re & POLLOUT) != 0) c.flush();
+          drain_client(c);
+        }
+      }
+      reap();
+    }
+    return 0;
+  }
+
+ private:
+  enum class StreamState {
+    kIdle,           // expecting a record or snapshot header
+    kRecordMuts,     // inside a batch record, `need_` rmut lines left
+    kSnapshotEdges,  // inside a snapshot, `need_` sedge lines left
+  };
+
+  // --- Replication stream ---
+
+  void drain_replication() {
+    // Keep processing lines already read even if the ack path broke —
+    // a trailing shutdown op must still be honoured (acks no-op when
+    // broken).
+    while (!stop_ && !rep_.pending.empty()) {
+      const std::string line = std::move(rep_.pending.front());
+      rep_.pending.pop_front();
+      if (line.empty()) continue;
+      dyn::WireMessage msg;
+      std::string err;
+      std::string op;
+      if (!parse_wire(line, msg, &err) || !msg.get_string("op", op)) {
+        die("bad replication line: " + err);
+        return;
+      }
+      switch (state_) {
+        case StreamState::kIdle:
+          if (op == "replicate") {
+            if (!parse_record_header(msg, cur_rec_, need_, &err)) {
+              die(err);
+              return;
+            }
+            if (need_ == 0) {
+              complete_record();
+            } else {
+              state_ = StreamState::kRecordMuts;
+            }
+          } else if (op == "snapshot") {
+            if (!parse_snapshot_header(msg, snap_header_, &err)) {
+              die(err);
+              return;
+            }
+            snap_edges_.clear();
+            snap_weights_.clear();
+            need_ = snap_header_.edges;
+            if (need_ == 0) {
+              install_snapshot();
+            } else {
+              state_ = StreamState::kSnapshotEdges;
+            }
+          } else if (op == "shutdown") {
+            stop_ = true;
+          } else {
+            die("unexpected replication op: " + op);
+            return;
+          }
+          break;
+        case StreamState::kRecordMuts: {
+          dyn::AppliedMutation m;
+          if (op != "rmut" || !parse_applied(msg, m, &err)) {
+            die("expected rmut: " + err);
+            return;
+          }
+          cur_rec_.muts.push_back(m);
+          if (--need_ == 0) complete_record();
+          break;
+        }
+        case StreamState::kSnapshotEdges: {
+          dyn::SnapshotEdge e;
+          if (op != "sedge" || !parse_snapshot_edge(msg, e, &err)) {
+            die("expected sedge: " + err);
+            return;
+          }
+          snap_edges_.push_back(Edge{e.src, e.dst});
+          snap_weights_.push_back(e.weight);
+          if (--need_ == 0) install_snapshot();
+          break;
+        }
+      }
+    }
+  }
+
+  void chaos_hold() {
+    if (opts_.chaos_lag_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.chaos_lag_ms));
+    }
+  }
+
+  void complete_record() {
+    chaos_hold();
+    if (cur_rec_.kind == dyn::RepKind::kBatch) {
+      inc_->replay_epoch(cur_rec_.epoch, cur_rec_.muts,
+                         cur_rec_.compact_after);
+    } else {
+      inc_->compact_now();
+    }
+    cursor_ = cur_rec_.seq;
+    epoch_ = cur_rec_.epoch;
+    values_ = prog_.values();
+    ++records_replayed_;
+    cur_rec_ = dyn::RepRecord{};
+    state_ = StreamState::kIdle;
+    rep_.queue_line(dyn::encode_ack(opts_.id, cursor_, epoch_));
+  }
+
+  /// Re-seed from a canonical snapshot: rebuild the base CSR from the
+  /// shipped (src, dst)-sorted edge list — edge k gets id k, matching the
+  /// coordinator's post-compaction ids — attach the shipped weights as the
+  /// base weights, re-create the engine over the new graph and cold-run it.
+  void install_snapshot() {
+    chaos_hold();
+    dyn::DynGraphOptions gopts = graph_opts_;
+    auto weights =
+        std::make_shared<std::vector<float>>(std::move(snap_weights_));
+    gopts.base_weight = [weights](EdgeId e) { return (*weights)[e]; };
+    inc_.reset();  // engine's DynGraph* would dangle across the swap
+    g_ = dyn::DynGraph(
+        Graph::build(snap_header_.vertices, std::move(snap_edges_)),
+        std::move(gopts));
+    snap_edges_ = EdgeList{};
+    snap_weights_ = std::vector<float>{};
+    inc_.emplace(g_, prog_, gate_, eopts_, ekind_);
+    inc_->recompute_cold();
+    values_ = prog_.values();
+    cursor_ = snap_header_.seq;
+    epoch_ = snap_header_.epoch;
+    ++snapshots_installed_;
+    state_ = StreamState::kIdle;
+    rep_.queue_line(dyn::encode_ack(opts_.id, cursor_, epoch_));
+  }
+
+  void die(const std::string& what) {
+    std::cerr << "ndg_tier: replica " << opts_.id << ": " << what << "\n";
+    rep_.broken = true;
+    stop_ = true;
+  }
+
+  // --- Read serving ---
+
+  void accept_clients() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      set_nonblocking(fd);
+      LineConn& c = clients_[++next_client_id_];
+      c.fd = fd;
+      c.queue_line(dyn::WireWriter()
+                       .boolean("ok", true)
+                       .boolean("ready", true)
+                       .str("role", "replica")
+                       .u64("replica", opts_.id)
+                       .str("algo", prog_.name())
+                       .finish());
+    }
+  }
+
+  void drain_client(LineConn& c) {
+    while (!c.draining && !c.broken && !c.pending.empty()) {
+      const std::string line = std::move(c.pending.front());
+      c.pending.pop_front();
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      dyn::WireMessage msg;
+      std::string err;
+      std::string op;
+      if (!parse_wire(line, msg, &err)) {
+        c.queue_line(tier_error("parse: " + err));
+        continue;
+      }
+      if (!msg.get_string("op", op)) {
+        c.queue_line(tier_error("missing field: op"));
+        continue;
+      }
+      if (op == "query") {
+        std::uint64_t v = 0;
+        if (!msg.get_u64("vertex", v)) {
+          c.queue_line(tier_error("query: missing field: vertex"));
+        } else if (v >= values_.size()) {
+          c.queue_line(
+              tier_error("query: vertex out of range: " + std::to_string(v)));
+        } else {
+          dyn::WireWriter w;
+          w.boolean("ok", true).u64("vertex", v);
+          tier_value_field(w, values_[v]);
+          c.queue_line(
+              w.u64("epoch", epoch_).u64("replica", opts_.id).finish());
+        }
+      } else if (op == "stats") {
+        c.queue_line(dyn::WireWriter()
+                         .boolean("ok", true)
+                         .str("role", "replica")
+                         .u64("replica", opts_.id)
+                         .str("algo", prog_.name())
+                         .u64("epoch_watermark", epoch_)
+                         .u64("seq", cursor_)
+                         .u64("records_replayed", records_replayed_)
+                         .u64("snapshots_installed", snapshots_installed_)
+                         .u64("vertices", g_.num_vertices())
+                         .u64("live_edges", g_.num_live_edges())
+                         .u64("warm_runs", inc_->warm_runs())
+                         .u64("cold_runs", inc_->cold_runs())
+                         .finish());
+      } else if (op == "quit") {
+        c.queue_line(dyn::WireWriter()
+                         .boolean("ok", true)
+                         .boolean("bye", true)
+                         .finish());
+        c.draining = true;
+      } else {
+        c.queue_line(tier_error("unknown op: " + op));
+      }
+    }
+  }
+
+  void reap() {
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      if (it->second.finished()) {
+        it->second.close_fd();
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  dyn::DynGraph g_;
+  Program prog_;
+  dyn::EligibilityGate gate_;  // copied into each re-created engine
+  EngineOptions eopts_;
+  dyn::DynEngine ekind_;
+  dyn::DynGraphOptions graph_opts_;
+  ReplicaOptions opts_;
+  std::optional<dyn::IncrementalEngine<Program>> inc_;
+  std::vector<double> values_;
+
+  LineConn rep_;  // replication stream to the coordinator
+  int listen_fd_ = -1;
+  std::map<std::uint64_t, LineConn> clients_;
+  std::uint64_t next_client_id_ = 0;
+
+  StreamState state_ = StreamState::kIdle;
+  dyn::RepRecord cur_rec_;
+  dyn::SnapshotHeader snap_header_;
+  EdgeList snap_edges_;
+  std::vector<float> snap_weights_;
+  std::uint64_t need_ = 0;
+  std::uint64_t cursor_ = 0;  // last applied seq
+  std::uint64_t epoch_ = 0;   // epoch watermark
+  std::uint64_t records_replayed_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ndg::tier

@@ -207,12 +207,15 @@ TEST(DynGraph, CompactionPreservesAdjacencyAndWeights) {
   opts.compact_threshold = 0.05;
   DynGraph dg(base_graph(), opts);
 
+  // Delete-heavy on purpose: inserts drain the freelist before growing the
+  // id space, so only the delete surplus leaves retired slots behind and
+  // pushes overflow_ratio past the threshold.
   std::vector<Mutation> ms;
   const EdgeList live = dg.live_edge_list();
-  for (std::size_t i = 0; i < 30; ++i) {
+  for (std::size_t i = 0; i < 60; ++i) {
     ms.push_back(del(live[i * 3].src, live[i * 3].dst));
   }
-  for (VertexId v = 1; v < 40; ++v) {
+  for (VertexId v = 100; v < 120; ++v) {
     if (!dg.has_edge(0, v)) ms.push_back(ins(0, v, 4.25f));
   }
   ApplyStats stats;
@@ -260,6 +263,107 @@ TEST(DynGraph, InsertAfterCompactReusesFreshIdSpace) {
   ASSERT_EQ(applied.size(), 1u);
   EXPECT_EQ(applied[0].id, 2u);  // bump restarts at the compacted bound
   expect_view_equals_rebuild(dg);
+}
+
+TEST(DynGraph, FreelistReusesRetiredIdsMostRecentFirst) {
+  DynGraph dg(Graph::build(6, EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+  // Retire ids 1 then 3 across two epochs: the freelist holds them in
+  // retirement order and inserts pop the MOST RECENTLY retired id first.
+  (void)dg.apply(batch_of({del(1, 2)}, 1), nullptr, 1);
+  (void)dg.apply(batch_of({del(3, 4)}, 2), nullptr, 1);
+  EXPECT_EQ(dg.freelist_size(), 2u);
+  EXPECT_EQ(dg.num_edges(), 4u);  // id-space bound unchanged by deletes
+
+  auto applied = dg.apply(batch_of({ins(0, 5), ins(4, 5)}, 3), nullptr, 1);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_EQ(applied[0].id, 3u);  // LIFO: last retired, first reused
+  EXPECT_EQ(applied[1].id, 1u);
+  EXPECT_EQ(dg.freelist_size(), 0u);
+  EXPECT_EQ(dg.num_edges(), 4u);  // fully reused: no id-space growth
+  EXPECT_FLOAT_EQ(dg.edge_weight(applied[0].id), 1.0f);
+  expect_view_equals_rebuild(dg);
+
+  // Freelist empty again: the next insert falls back to the bump counter.
+  applied = dg.apply(batch_of({ins(5, 0)}, 4), nullptr, 1);
+  EXPECT_EQ(applied[0].id, 4u);
+  EXPECT_EQ(dg.num_edges(), 5u);
+}
+
+TEST(DynGraph, FreelistDrainsWithinOneBatchAndIsClearedByCompact) {
+  DynGraph dg(Graph::build(8, EdgeList{{0, 1}, {1, 2}, {2, 3}}));
+  // Delete + inserts in ONE batch: the delete's retired id is visible to
+  // the later inserts of the same batch (serial validation in batch order).
+  auto applied = dg.apply(
+      batch_of({del(1, 2), ins(4, 5), ins(5, 6)}, 1), nullptr, 1);
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[1].id, 1u);  // reuses the id retired one record earlier
+  EXPECT_EQ(applied[2].id, 3u);  // freelist dry: bump counter
+  expect_view_equals_rebuild(dg);
+
+  // Compact rebuilds an exact id space — stale freelist entries would alias
+  // live canonical ids, so compaction must drop them.
+  (void)dg.apply(batch_of({del(4, 5)}, 2), nullptr, 1);
+  EXPECT_EQ(dg.freelist_size(), 1u);
+  (void)dg.compact();
+  EXPECT_EQ(dg.freelist_size(), 0u);
+  applied = dg.apply(batch_of({ins(6, 7)}, 3), nullptr, 1);
+  EXPECT_EQ(applied[0].id, dg.num_edges() - 1);  // fresh top-of-space id
+  expect_view_equals_rebuild(dg);
+}
+
+TEST(DynGraph, ApplyReplicatedTracksOriginalAcrossBatchesAndCompaction) {
+  // Leader validates + assigns ids; follower replays the shipped records
+  // verbatim. After every epoch — including an in-stream compaction fence —
+  // the two must agree on adjacency, ids, and weights.
+  DynGraph leader(base_graph());
+  DynGraph follower(base_graph());
+  SplitMix64 rng(21);
+
+  for (std::uint64_t epoch = 1; epoch <= 6; ++epoch) {
+    std::vector<Mutation> ms;
+    for (int i = 0; i < 40; ++i) {
+      const auto u =
+          static_cast<VertexId>(rng.next() % leader.num_vertices());
+      const auto v =
+          static_cast<VertexId>(rng.next() % leader.num_vertices());
+      if (u == v) continue;
+      if (leader.has_edge(u, v)) {
+        ms.push_back(i % 3 == 0 ? rew(u, v, static_cast<float>(i + 1))
+                                : del(u, v));
+      } else {
+        ms.push_back(ins(u, v, static_cast<float>(i % 7 + 1)));
+      }
+    }
+    // Leader validates serially; follower replays with a parallel fan-out —
+    // the topology phases must commute with thread count.
+    const auto shipped = leader.apply(batch_of(ms, epoch), nullptr, 1);
+    const ApplyStats rs = follower.apply_replicated(shipped, 4);
+    EXPECT_EQ(rs.applied, shipped.size());
+    EXPECT_EQ(rs.rejected, 0u);
+
+    ASSERT_EQ(leader.num_edges(), follower.num_edges());
+    ASSERT_EQ(leader.num_live_edges(), follower.num_live_edges());
+    EXPECT_EQ(weight_map(leader), weight_map(follower));
+
+    if (epoch == 3) {
+      // In-stream compaction: both sides compact at the same point, so the
+      // canonical rebuild leaves them with identical id spaces.
+      (void)leader.compact();
+      (void)follower.compact();
+      const EdgeList ll = leader.live_edge_list();
+      for (const Edge& e : ll) {
+        EXPECT_EQ(leader.find_edge(e.src, e.dst),
+                  follower.find_edge(e.src, e.dst));
+      }
+    }
+  }
+  expect_view_equals_rebuild(follower);
+
+  // Ids must match edge-for-edge, not just set-wise.
+  for (const Edge& e : leader.live_edge_list()) {
+    EXPECT_EQ(leader.find_edge(e.src, e.dst),
+              follower.find_edge(e.src, e.dst));
+  }
 }
 
 TEST(DynGraph, OverflowRatioTracksRetiredAndGrownIds) {

@@ -497,6 +497,75 @@ TEST(DynIncremental, DeferredCompactionKeepsWarmState) {
   EXPECT_EQ(warm2, prog.distances());
 }
 
+// replay_epoch is the replica half of the tier's log shipping
+// (docs/TIER.md): a follower engine fed the leader's validated records —
+// never the raw batch — must march through the same warm/cold decisions and
+// land on the same fixed points, including across an in-stream compaction.
+TEST(DynIncremental, ReplayEpochTracksApplyEpochExactly) {
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  gopts.compact_threshold = 0.05;  // force a mid-stream compaction epoch
+  DynGraph leader_g(base_graph(), gopts);
+  DynGraph follower_g(base_graph(), gopts);
+  SsspProgram leader_prog(/*source=*/0, /*weight_seed=*/42);
+  SsspProgram follower_prog(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> leader(
+      leader_g, leader_prog, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed));
+  IncrementalEngine<SsspProgram> follower(
+      follower_g, follower_prog,
+      EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(AtomicityMode::kRelaxed));
+  ASSERT_TRUE(leader.recompute_cold().converged);
+  ASSERT_TRUE(follower.recompute_cold().converged);
+
+  bool saw_warm = false;
+  bool saw_cold = false;
+  bool saw_compact = false;
+  for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    // Epoch 3 sneaks in a delete so BOTH gates route that epoch cold.
+    MutationBatch batch =
+        random_batch(leader_g, 90 + epoch, /*monotone_only=*/epoch != 3,
+                     epoch);
+    std::vector<AppliedMutation> shipped;
+    // Mirror the coordinator: deferred compaction becomes an explicit
+    // compact_after marker on the shipped record.
+    const EpochResult rl =
+        leader.apply_epoch(batch, /*auto_compact=*/false, &shipped);
+    bool compact_after = false;
+    if (leader_g.should_compact()) {
+      leader.compact_now();
+      compact_after = true;
+    }
+    const EpochResult rf = follower.replay_epoch(epoch, shipped,
+                                                 compact_after);
+    EXPECT_EQ(rl.warm, rf.warm) << "epoch " << epoch;
+    EXPECT_STREQ(rl.gate_reason, rf.gate_reason) << "epoch " << epoch;
+    EXPECT_EQ(rf.apply_stats.applied, shipped.size());
+    EXPECT_EQ(rf.apply_stats.rejected, 0u);
+    ASSERT_TRUE(rf.engine.converged);
+    EXPECT_EQ(rf.compacted, compact_after);
+
+    // Identical id spaces edge-for-edge, identical exact distances (SSSP's
+    // unique fixed point — Theorem 2).
+    ASSERT_EQ(leader_g.num_edges(), follower_g.num_edges());
+    for (const Edge& e : leader_g.live_edge_list()) {
+      ASSERT_EQ(leader_g.find_edge(e.src, e.dst),
+                follower_g.find_edge(e.src, e.dst));
+    }
+    EXPECT_EQ(leader_prog.distances(), follower_prog.distances())
+        << "epoch " << epoch;
+    saw_warm = saw_warm || rf.warm;
+    saw_cold = saw_cold || !rf.warm;
+    saw_compact = saw_compact || compact_after;
+  }
+  // The stream must actually have exercised all three paths.
+  EXPECT_TRUE(saw_warm);
+  EXPECT_TRUE(saw_cold);
+  EXPECT_TRUE(saw_compact);
+  EXPECT_GT(follower.warm_runs(), 0u);
+}
+
 // The two policies the acceptance criteria require, plus both ends of the
 // atomicity spectrum for good measure.
 INSTANTIATE_TEST_SUITE_P(Policies, DynPolicies,

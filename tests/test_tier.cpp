@@ -1,0 +1,366 @@
+// End-to-end tests for the replicated serving tier (docs/TIER.md): a forked
+// ndg_tier topology (coordinator + N replica processes over unix sockets in
+// a mkdtemp dir), driven through real client connections.
+//
+// What they pin down:
+//  * replicas replay the shipped AppliedMutation stream and answer queries
+//    with EXACTLY the coordinator's quiescent values for the monotone
+//    programs (SSSP, WCC — Theorem 2 territory, unique fixed point), and
+//    within tolerance for PageRank (eps-converged, schedule-dependent tail);
+//  * replies carry the epoch watermark so staleness is observable;
+//  * a replica held back with --chaos-lag-ms falls past the coordinator's
+//    bounded history (--history), is re-seeded with a full snapshot instead
+//    of erroring, and converges to the same answers afterwards.
+//
+// The launcher path arrives via the NDG_TIER_BIN compile definition
+// (tools/CMakeLists.txt). Sockets live under mkdtemp(/tmp/...) because
+// sun_path caps out around 108 bytes.
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Raw JSON token for `key` in a flat wire line ("" when absent). Numbers
+/// and bools only — enough for the fields these tests compare.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  std::size_t p = line.find(pat);
+  if (p == std::string::npos) return {};
+  p += pat.size();
+  const std::size_t e = line.find_first_of(",}", p);
+  return line.substr(p, e == std::string::npos ? std::string::npos : e - p);
+}
+
+double num_field(const std::string& line, const std::string& key) {
+  const std::string tok = field(line, key);
+  EXPECT_FALSE(tok.empty()) << "missing field " << key << " in " << line;
+  return tok.empty() ? 0.0 : std::strtod(tok.c_str(), nullptr);
+}
+
+struct Tier {
+  pid_t pid = -1;
+  std::string dir;  // mkdtemp scratch; sockets live here
+
+  void start(const std::vector<std::string>& extra_args) {
+    char tmpl[] = "/tmp/ndg_tier_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir = tmpl;
+    std::vector<std::string> args = {NDG_TIER_BIN, "--dir=" + dir};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);
+    }
+  }
+
+  [[nodiscard]] std::string coord_sock() const { return dir + "/coord.sock"; }
+  [[nodiscard]] std::string replica_sock(int k) const {
+    return dir + "/replica-" + std::to_string(k) + ".sock";
+  }
+
+  /// Reaps a tier expected to exit on its own (after shutdown).
+  int join(int timeout_ms = 20000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    int status = -1;
+    while (Clock::now() < deadline) {
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        pid = -1;
+        return status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return -1;  // still running
+  }
+
+  void stop() {
+    if (pid > 0) {
+      // The launcher owns the replica children; SIGKILL would orphan them,
+      // so ask politely first is the tests' job — stop() is the teardown
+      // hammer for a test that already failed.
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+
+  ~Tier() { stop(); }
+};
+
+/// Blocking line-oriented client with connect retry and receive deadline.
+class Client {
+ public:
+  void connect(const std::string& path, int timeout_ms = 30000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (Clock::now() < deadline) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      ASSERT_GE(fd_, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "could not connect to " << path;
+  }
+
+  void send_line(const std::string& line) {
+    const std::string payload = line + "\n";
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fd_, payload.data() + off, payload.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0) << "write failed: " << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line(int timeout_ms = 30000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        ADD_FAILURE() << "timed out waiting for a reply line";
+        return {};
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        ADD_FAILURE() << "timed out waiting for a reply line";
+        return {};
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while awaiting a reply";
+        return {};
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// One request/reply round trip.
+  std::string rpc(const std::string& line, int timeout_ms = 30000) {
+    send_line(line);
+    return read_line(timeout_ms);
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~Client() { close(); }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Polls coordinator stats until `replicas` peers have completed the sync
+/// handshake — before that, min_acked_epoch() trivially equals the
+/// coordinator epoch and the watermark wait below would pass vacuously.
+void wait_for_replicas(Client& coord, int replicas, int timeout_ms = 30000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    const std::string st = coord.rpc(R"({"op":"stats"})");
+    if (num_field(st, "replicas") >= replicas) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  FAIL() << "replicas never completed the sync handshake";
+}
+
+/// Polls coordinator stats until every replica has acked the current epoch.
+std::string wait_watermark(Client& coord, int timeout_ms = 60000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string st;
+  while (Clock::now() < deadline) {
+    st = coord.rpc(R"({"op":"stats"})");
+    if (!st.empty() &&
+        field(st, "epoch_watermark") == field(st, "epoch")) {
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ADD_FAILURE() << "replicas never caught up: " << st;
+  return st;
+}
+
+std::string query(Client& c, int v) {
+  return c.rpc(R"({"op":"query","vertex":)" + std::to_string(v) + "}");
+}
+
+// Two replicas replaying an SSSP mutation stream answer every sampled query
+// with EXACTLY the coordinator's quiescent value (monotone program, unique
+// fixed point), and the replies carry the replica's epoch watermark.
+TEST(Tier, ReplicasConvergeToCoordinatorAnswersExactly) {
+  Tier tier;
+  tier.start({"--replicas=2", "--algo=sssp", "--kind=chain",
+              "--vertices=400", "--gate=theorem2", "--threads=2"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 2);
+
+  // Two epochs: shortcut edges into the chain, then a deletion epoch.
+  for (int i = 0; i < 6; ++i) {
+    coord.rpc(R"({"op":"mutate","kind":"insert","src":0,"dst":)" +
+              std::to_string(50 * (i + 1)) + R"(,"weight":0.5})");
+  }
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  coord.rpc(R"({"op":"mutate","kind":"delete","src":0,"dst":50})");
+  coord.rpc(R"({"op":"mutate","kind":"weight","src":0,"dst":100,)"
+            R"("weight":0.25})");
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+
+  const std::string st = wait_watermark(coord);
+  EXPECT_EQ(field(st, "epoch"), "2");
+
+  Client rep0;
+  Client rep1;
+  rep0.connect(tier.replica_sock(0));
+  rep1.connect(tier.replica_sock(1));
+  EXPECT_TRUE(contains(rep0.read_line(), "\"role\":\"replica\""));
+  EXPECT_TRUE(contains(rep1.read_line(), "\"role\":\"replica\""));
+
+  for (int v = 0; v < 400; v += 13) {
+    const std::string qc = query(coord, v);
+    const std::string q0 = query(rep0, v);
+    const std::string q1 = query(rep1, v);
+    EXPECT_EQ(field(qc, "value"), field(q0, "value")) << qc << "\n" << q0;
+    EXPECT_EQ(field(qc, "value"), field(q1, "value")) << qc << "\n" << q1;
+    // Watermark: both replicas applied epoch 2 before answering.
+    EXPECT_EQ(field(q0, "epoch"), "2") << q0;
+    EXPECT_EQ(field(q1, "epoch"), "2") << q1;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// A replica held back with --chaos-lag-ms while the coordinator seals epochs
+// faster than the 2-record ReplicationLog retains them must fall past the
+// bound, get re-seeded with a full snapshot (stats prove it on both sides),
+// and end up answering WCC queries exactly like the coordinator.
+TEST(Tier, LaggedReplicaSnapshotsAndConvergesExactly) {
+  Tier tier;
+  tier.start({"--replicas=1", "--algo=wcc", "--kind=er", "--vertices=300",
+              "--edges=900", "--seed=7", "--gate=theorem2", "--threads=2",
+              "--history=2", "--chaos-lag-ms=300"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 1);
+
+  // Outpace the replica: 6 epochs back-to-back while it sleeps 300 ms per
+  // record. With history=2 its cursor must drop off the retained window.
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+                std::to_string(290 + e) + R"(,"dst":)" +
+                std::to_string((e * 37 + i * 11) % 300) + "}");
+    }
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+
+  const std::string st = wait_watermark(coord, 120000);
+  EXPECT_GE(num_field(st, "snapshots_served"), 1) << st;
+
+  Client rep;
+  rep.connect(tier.replica_sock(0));
+  rep.read_line();  // greeting
+  const std::string rst = rep.rpc(R"({"op":"stats"})");
+  EXPECT_GE(num_field(rst, "snapshots_installed"), 1) << rst;
+  EXPECT_EQ(field(rst, "epoch_watermark"), "6") << rst;
+
+  for (int v = 0; v < 300; v += 7) {
+    const std::string qc = query(coord, v);
+    const std::string qr = query(rep, v);
+    EXPECT_EQ(field(qc, "value"), field(qr, "value")) << qc << "\n" << qr;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// PageRank is eps-converged, not exact: independent racy runs on identical
+// graphs land within a small neighborhood of the same fixed point, so the
+// replica's answers must agree with the coordinator's within tolerance.
+TEST(Tier, PageRankReplicaAgreesWithinTolerance) {
+  Tier tier;
+  tier.start({"--replicas=1", "--algo=pagerank", "--kind=rmat",
+              "--vertices=512", "--edges=2048", "--gate=theorem1",
+              "--threads=2"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 1);
+
+  for (int i = 0; i < 8; ++i) {
+    coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+              std::to_string(i) + R"(,"dst":)" + std::to_string(511 - i) +
+              "}");
+  }
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  wait_watermark(coord);
+
+  Client rep;
+  rep.connect(tier.replica_sock(0));
+  rep.read_line();
+  for (int v = 0; v < 512; v += 17) {
+    const double a = num_field(query(coord, v), "value");
+    const double b = num_field(query(rep, v), "value");
+    EXPECT_NEAR(a, b, 1e-2) << "vertex " << v;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  EXPECT_NE(tier.join(), -1);
+}
+
+}  // namespace

@@ -290,6 +290,11 @@ class Session {
         .str("verdict", verdict_token(inc_.gate().verdict()))
         .str("engine", to_string(inc_.engine_kind()))
         .u64("epoch", log_.epoch())
+        // Single-process serving IS its own watermark (nothing trails it);
+        // the field exists so tier-aware clients can read one shape from
+        // both ndg_serve and ndg_tier stats (docs/TIER.md).
+        .u64("epoch_watermark", log_.epoch())
+        .u64("log_history_len", log_.history_size())
         .u64("pending", log_.pending())
         .u64("total_mutations", log_.total_appended())
         .u64("sealed_batches", log_.total_sealed_batches())

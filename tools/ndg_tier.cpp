@@ -1,0 +1,276 @@
+// ndg_tier — launcher for the replicated serving tier (docs/TIER.md).
+//
+// One invocation spawns the whole topology: N replica processes are forked
+// first (each builds its own copy of the base graph from the SAME flags and
+// seed, so at epoch 0 every process holds an identical DynGraph and no
+// initial snapshot is needed), then the parent becomes the coordinator.
+// Sockets live in --dir:
+//
+//   coord.sock      writes (mutate/recompute) + coordinator-local reads
+//   rep.sock        internal replication stream (replicas connect here)
+//   replica-K.sock  read endpoint of replica K — clients fan reads out
+//                   across these directly, which is where the tier's read
+//                   scaling comes from (each replica is its own process
+//                   with its own poll loop)
+//
+//   ndg_tier --dir=/tmp/tier --replicas=4 --algo=pagerank --vertices=2048
+//   ndg_tier --dir=/tmp/tier --replicas=0 ...   # single-process baseline
+//
+// --chaos-lag-ms=N holds each replica N ms before applying every
+// replication record — the fault-injection hook tests use to push a replica
+// past the coordinator's bounded history (--history=M records) and force
+// the snapshot path. --role=replica --id=K is the internal re-entry used by
+// the forked children; it is not meant to be invoked by hand.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nondetgraph.hpp"
+#include "tier/coordinator.hpp"
+#include "tier/replica.hpp"
+#include "util/cli.hpp"
+
+namespace ndg {
+namespace {
+
+struct TierConfig {
+  dyn::GateMode gate = dyn::GateMode::kAnalyze;
+  dyn::DynEngine engine = dyn::DynEngine::kNE;
+  EngineOptions engine_opts;
+  double compact_threshold = 0.5;
+  std::string dir;
+  std::size_t replicas = 2;
+  std::size_t history = 64;
+  std::uint32_t chaos_lag_ms = 0;
+};
+
+AtomicityMode parse_mode(const std::string& s) {
+  if (s == "locked") return AtomicityMode::kLocked;
+  if (s == "aligned") return AtomicityMode::kAligned;
+  if (s == "seq_cst") return AtomicityMode::kSeqCst;
+  return AtomicityMode::kRelaxed;
+}
+
+dyn::GateMode parse_gate_or_throw(const std::string& s) {
+  if (s == "analyze") return dyn::GateMode::kAnalyze;
+  if (s == "static") return dyn::GateMode::kStatic;
+  if (s == "theorem1") return dyn::GateMode::kAssumeTheorem1;
+  if (s == "theorem2") return dyn::GateMode::kAssumeTheorem2;
+  if (s == "ineligible") return dyn::GateMode::kAssumeIneligible;
+  throw std::runtime_error(
+      "unknown --gate (expected analyze|static|theorem1|theorem2|"
+      "ineligible)");
+}
+
+Graph load_any(const std::string& path) {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".ndgb") == 0) {
+    return load_binary_graph(path);
+  }
+  auto loaded = load_edge_list(path);
+  return Graph::build(loaded.num_vertices, std::move(loaded.edges));
+}
+
+/// Deterministic in the flags alone — every process of the tier calls this
+/// with identical argv and gets a bit-identical base graph, which is what
+/// lets replicas start at seq 0 without an initial snapshot.
+Graph build_base_graph(const CliArgs& args) {
+  if (args.has("graph")) return load_any(args.get("graph", ""));
+  const std::string kind = args.get("kind", "rmat");
+  const std::int64_t n_raw = args.get_int("vertices", 1024);
+  const auto n = static_cast<VertexId>(n_raw);
+  const auto m = static_cast<EdgeId>(args.get_int("edges", 8 * n_raw));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  EdgeList edges;
+  if (kind == "rmat") {
+    edges = gen::rmat(n, m, seed);
+  } else if (kind == "er") {
+    edges = gen::erdos_renyi(n, m, seed);
+  } else if (kind == "chain") {
+    edges = gen::chain(n);
+  } else {
+    throw std::runtime_error("unknown --kind: " + kind +
+                             " (expected rmat|er|chain)");
+  }
+  if (args.get_bool("symmetrize", false)) edges = symmetrize(edges);
+  return Graph::build(n, edges);
+}
+
+template <typename Program>
+dyn::DynGraphOptions make_graph_opts(const Program& prog,
+                                     const TierConfig& cfg) {
+  dyn::DynGraphOptions gopts;
+  gopts.compact_threshold = cfg.compact_threshold;
+  gopts.mem = cfg.engine_opts.mem;
+  if constexpr (std::is_same_v<Program, SsspProgram>) {
+    const std::uint64_t seed = prog.weight_seed();
+    gopts.base_weight = [seed](EdgeId e) {
+      return SsspProgram::edge_weight(seed, e);
+    };
+  }
+  return gopts;
+}
+
+template <typename Program>
+int run_coordinator(Graph base, Program prog, const TierConfig& cfg) {
+  dyn::DynGraphOptions gopts = make_graph_opts(prog, cfg);
+  dyn::DynGraph g(std::move(base), gopts);
+  dyn::EligibilityGate gate =
+      dyn::EligibilityGate::make(cfg.gate, g.base(), prog);
+  tier::CoordinatorOptions copts;
+  copts.dir = cfg.dir;
+  copts.history = cfg.history;
+  tier::Coordinator<Program> coord(std::move(g), std::move(prog),
+                                   std::move(gate), cfg.engine_opts,
+                                   cfg.engine, copts);
+  return coord.run();
+}
+
+template <typename Program>
+int run_replica(Graph base, Program prog, const TierConfig& cfg,
+                std::size_t id) {
+  dyn::DynGraphOptions gopts = make_graph_opts(prog, cfg);
+  dyn::DynGraph g(std::move(base), gopts);
+  dyn::EligibilityGate gate =
+      dyn::EligibilityGate::make(cfg.gate, g.base(), prog);
+  tier::ReplicaOptions ropts;
+  ropts.id = id;
+  ropts.dir = cfg.dir;
+  ropts.chaos_lag_ms = cfg.chaos_lag_ms;
+  tier::Replica<Program> rep(std::move(g), std::move(prog), std::move(gate),
+                             cfg.engine_opts, cfg.engine, std::move(gopts),
+                             ropts);
+  return rep.run();
+}
+
+/// Runs `role` under the program the --algo flag selects. The coordinator
+/// and every replica resolve the same flags to the same program config, so
+/// all processes agree on the algorithm, its parameters, and (for SSSP) the
+/// hash-derived base weights.
+template <typename RoleFn>
+int with_program(const CliArgs& args, const TierConfig& cfg, RoleFn&& role) {
+  Graph base = build_base_graph(args);
+  const std::string algo = args.get("algo", "pagerank");
+  if (algo == "pagerank") {
+    return role(std::move(base),
+                PageRankProgram(
+                    static_cast<float>(args.get_double("eps", 1e-4))),
+                cfg);
+  }
+  if (algo == "sssp") {
+    return role(
+        std::move(base),
+        SsspProgram(static_cast<VertexId>(args.get_int("source", 0)),
+                    static_cast<std::uint64_t>(
+                        args.get_int("weight-seed", 42))),
+        cfg);
+  }
+  if (algo == "wcc") return role(std::move(base), WccProgram(), cfg);
+  throw std::runtime_error("unknown --algo: " + algo +
+                           " (expected pagerank|sssp|wcc)");
+}
+
+int tier_main(const CliArgs& args) {
+  TierConfig cfg;
+  cfg.engine_opts.num_threads =
+      static_cast<std::size_t>(args.get_int("threads", 2));
+  cfg.engine_opts.max_iterations =
+      static_cast<std::size_t>(args.get_int("max-iterations", 100000));
+  cfg.engine_opts.mode = parse_mode(args.get("mode", "relaxed"));
+  cfg.compact_threshold = args.get_double("compact-threshold", 0.5);
+  cfg.gate = parse_gate_or_throw(args.get("gate", "analyze"));
+  cfg.dir = args.get("dir", "");
+  cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
+  cfg.history = static_cast<std::size_t>(args.get_int("history", 64));
+  cfg.chaos_lag_ms =
+      static_cast<std::uint32_t>(args.get_int("chaos-lag-ms", 0));
+  const std::string engine = args.get("engine", "ne");
+  if (engine == "async") {
+    cfg.engine = dyn::DynEngine::kPureAsync;
+  } else if (engine == "ne") {
+    cfg.engine = dyn::DynEngine::kNE;
+  } else {
+    throw std::runtime_error("unknown --engine (expected ne|async)");
+  }
+  if (cfg.dir.empty()) {
+    throw std::runtime_error("--dir=PATH is required (socket directory)");
+  }
+
+  const std::string role = args.get("role", "launch");
+  if (role == "replica") {
+    const auto id = static_cast<std::size_t>(args.get_int("id", 0));
+    return with_program(args, cfg,
+                        [id](Graph b, auto prog, const TierConfig& c) {
+                          return run_replica(std::move(b), std::move(prog),
+                                             c, id);
+                        });
+  }
+  if (role != "launch" && role != "coordinator") {
+    throw std::runtime_error("unknown --role (expected launch|replica)");
+  }
+
+  // Fork the replicas BEFORE the coordinator builds anything: the parent is
+  // still single-threaded here (gate analysis and engine runs spawn teams),
+  // so plain fork without exec is safe, and each child constructs its own
+  // graph/program/engine from the shared flags.
+  std::vector<pid_t> children;
+  for (std::size_t k = 0; k < cfg.replicas; ++k) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork failed");
+    if (pid == 0) {
+      int rc = 1;
+      try {
+        rc = with_program(args, cfg,
+                          [k](Graph b, auto prog, const TierConfig& c) {
+                            return run_replica(std::move(b),
+                                               std::move(prog), c, k);
+                          });
+      } catch (const std::exception& e) {
+        std::cerr << "ndg_tier: replica " << k << ": " << e.what() << "\n";
+      }
+      std::_Exit(rc);
+    }
+    children.push_back(pid);
+  }
+
+  int rc = 1;
+  try {
+    rc = with_program(args, cfg,
+                      [](Graph b, auto prog, const TierConfig& c) {
+                        return run_coordinator(std::move(b),
+                                               std::move(prog), c);
+                      });
+  } catch (const std::exception& e) {
+    std::cerr << "ndg_tier: coordinator: " << e.what() << "\n";
+    for (const pid_t pid : children) ::kill(pid, SIGKILL);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  // A reader vanishing mid-reply must not kill any tier process.
+  std::signal(SIGPIPE, SIG_IGN);
+  ndg::CliArgs args(argc, argv);
+  try {
+    return ndg::tier_main(args);
+  } catch (const std::exception& e) {
+    std::cerr << "ndg_tier: " << e.what() << "\n";
+    return 1;
+  }
+}
