@@ -183,6 +183,10 @@ std::vector<AppliedMutation> DynGraph::apply(const MutationBatch& batch,
 void DynGraph::fan_out_topology(std::vector<const AppliedMutation*>& topo,
                                 std::size_t num_threads) {
   if (topo.empty()) return;
+  // Any applied insert/delete may break (src, dst) id order — even one that
+  // returns overflow_ratio() to 0 by reusing a freelist id (both apply()
+  // and apply_replicated() funnel topology changes through here).
+  ids_canonical_ = false;
   const std::size_t nt = std::max<std::size_t>(1, num_threads);
   const auto run_phase = [&](bool by_src) {
     std::vector<Group> groups = group_by(topo, by_src);
@@ -341,6 +345,7 @@ DynGraph::CompactResult DynGraph::compact() {
   std::vector<Overlay>(nv).swap(overlay_);
   weights_ = std::move(new_weights);
   free_ids_.clear();  // the rebuilt id space is exact: nothing to reuse
+  ids_canonical_ = true;
   next_edge_id_ = base_.num_edges();
   live_edges_ = base_.num_edges();
   ++compactions_;

@@ -142,7 +142,18 @@ class DynGraph {
 
   /// (retired id slots + ids grown past the base CSR) / base edges — the
   /// fraction of edge-id space and overlay work a rebuild would reclaim.
+  /// A SIZE measure only: the freelist lets a delete + reuse-insert return
+  /// this to exactly 0 while ids no longer follow (src, dst) order — use
+  /// ids_canonical() for order questions, never overflow_ratio() == 0.
   [[nodiscard]] double overflow_ratio() const;
+
+  /// True while edge k of the (src, dst)-sorted live edge list is guaranteed
+  /// to carry id k — the invariant canonical snapshots (docs/TIER.md) rely
+  /// on. Holds from construction (Graph::build assigns ids in canonical
+  /// order) until the first applied topology mutation and is restored by
+  /// compact(). Conservative: a mutated graph whose ids happen to line up
+  /// still reports false. Weight changes never clear it (ids are untouched).
+  [[nodiscard]] bool ids_canonical() const { return ids_canonical_; }
   [[nodiscard]] bool should_compact() const {
     return overflow_ratio() > compact_threshold_;
   }
@@ -212,6 +223,9 @@ class DynGraph {
   /// holes — and never consulted by apply_replicated (replicas follow the
   /// shipper's id assignment instead of allocating).
   std::vector<EdgeId> free_ids_;
+  /// Cleared by the first applied topology mutation (insert or delete, both
+  /// apply() and apply_replicated()), restored by compact().
+  bool ids_canonical_ = true;
   double compact_threshold_ = 0.5;
   MemSpec mem_{};
   std::function<float(EdgeId)> base_weight_;

@@ -1,5 +1,6 @@
 #include "dyn/replication.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ndg::dyn {
@@ -141,10 +142,15 @@ bool parse_record_header(const WireMessage& msg, RepRecord& out,
       !msg.get_u64("count", count)) {
     return fail(err, "replicate: missing field: seq/epoch/count");
   }
+  if (count > kMaxRecordMuts) {
+    return fail(err, "replicate: count exceeds record bound");
+  }
   out.compact_after = false;
   msg.get_bool("compact", out.compact_after);
   out.muts.clear();
-  out.muts.reserve(count);
+  // The count is wire data: trust it for scheduling but not for allocation —
+  // reserve a modest floor and let push_back grow the rare giant record.
+  out.muts.reserve(std::min<std::uint64_t>(count, 1u << 16));
   return true;
 }
 

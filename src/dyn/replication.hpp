@@ -108,6 +108,12 @@ struct SnapshotHeader {
 [[nodiscard]] std::string encode_ack(std::uint64_t replica, std::uint64_t seq,
                                      std::uint64_t epoch);
 
+/// Hard ceiling on a record header's wire-supplied `count` field — far
+/// above any batch a coordinator actually seals, low enough that a corrupt
+/// line (count=1e18) is rejected as a parse error instead of driving a
+/// multi-gigabyte reserve / bad_alloc.
+inline constexpr std::uint64_t kMaxRecordMuts = std::uint64_t{1} << 28;
+
 /// Header parse results. Every parse_* returns false (with a diagnostic in
 /// `err` when non-null) on a malformed message; the caller decides whether
 /// that is fatal (replicas treat any malformed replication line as fatal).

@@ -16,9 +16,17 @@
 // held with --chaos-lag-ms) therefore genuinely falls behind while the
 // coordinator keeps sealing epochs; once its cursor drops past the bounded
 // history the coordinator stops trying to stream and re-seeds it with a full
-// canonical snapshot instead — compacting first (and appending an in-stream
-// kCompact fence for the replicas that are current) so the shipped edge list
-// is in canonical (src, dst) order and edge k's id is k on both sides.
+// canonical snapshot instead. If any topology mutation landed since the last
+// compaction (DynGraph::ids_canonical — NOT overflow_ratio, which the edge-id
+// freelist can return to 0 with ids out of order) it compacts first and
+// appends an in-stream kCompact fence for the replicas that are current, so
+// the shipped edge list is in canonical (src, dst) order and edge k's id is
+// k on both sides. Snapshot edges are NOT queued into the peer's out buffer
+// in one O(E) shot: the edge list is materialized once into a shared
+// immutable SnapshotData (consistent even if later epochs mutate the graph
+// mid-stream — the records appended after the snapshot point replay on top)
+// and each lagging peer streams from it behind its own cursor as POLLOUT
+// drains, keeping per-peer buffered output bounded.
 //
 // Threading: everything here runs on one poll() event loop; recompute is
 // inline (reads are the replicas' job — the coordinator answering a query
@@ -33,6 +41,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -163,6 +172,16 @@ class Coordinator {
   }
 
  private:
+  /// One consistent snapshot: the canonical live edge list at the moment
+  /// `header.seq` was the newest record. Shared (immutable) between every
+  /// peer re-seeding from the same point; 12 bytes/edge instead of the
+  /// ~70-byte encoded line, and encoded lazily per peer as its socket
+  /// drains.
+  struct SnapshotData {
+    dyn::SnapshotHeader header;
+    std::vector<dyn::SnapshotEdge> edges;
+  };
+
   struct RepPeer {
     LineConn conn;
     bool synced = false;       // sync handshake received
@@ -171,7 +190,13 @@ class Coordinator {
     bool awaiting_ack = false;     // window-of-1 flow control
     std::uint64_t acked_seq = 0;
     std::uint64_t acked_epoch = 0;
+    std::shared_ptr<const SnapshotData> snap;  // in-flight snapshot, if any
+    std::size_t snap_pos = 0;                  // next edge to encode
   };
+
+  /// Per-peer bound on buffered, not-yet-flushed snapshot output: streaming
+  /// pauses once out_buf reaches this and resumes as POLLOUT drains it.
+  static constexpr std::size_t kSnapshotChunkBytes = 256 * 1024;
 
   static void add_conn(std::vector<pollfd>& pfds,
                        std::vector<std::uint64_t>& owner,
@@ -316,6 +341,7 @@ class Coordinator {
     }
     values_ = prog_.values();
     replog_.append_batch(batch.epoch, std::move(shipped), compacted);
+    snap_cache_.reset();  // graph/seq moved on; peers mid-stream keep theirs
     pump_all_peers();
     return dyn::WireWriter()
         .boolean("ok", true)
@@ -404,6 +430,7 @@ class Coordinator {
         return;
       }
     }
+    if (p.snap != nullptr) stream_snapshot(p);
     pump_peer(p);
   }
 
@@ -436,33 +463,69 @@ class Coordinator {
 
   /// Full re-seed for a replica that fell past the history bound. The
   /// snapshot must be CANONICAL — edge k of the shipped (src, dst)-sorted
-  /// list gets id k when the replica rebuilds — so if the coordinator's id
-  /// space has holes or overlay growth it compacts first and appends an
+  /// list gets id k when the replica rebuilds — so if any topology mutation
+  /// landed since the last compaction it compacts first and appends an
   /// in-stream kCompact fence (replicas that are current replay the fence
   /// and compact at the same stream point, keeping every id space aligned).
+  /// Canonicality comes from DynGraph::ids_canonical, NOT overflow_ratio():
+  /// the edge-id freelist lets a delete + reuse-insert return the ratio to
+  /// exactly 0 while id k no longer matches canonical (src, dst) order —
+  /// skipping the compact then would ship ids the replica's rebuild
+  /// disagrees with, and every later id-addressed record would hit the
+  /// wrong edge.
   void send_snapshot(RepPeer& p) {
-    if (g_.overflow_ratio() > 0.0) {
+    const bool fenced = !g_.ids_canonical();
+    if (fenced) {
       inc_.compact_now();
       replog_.append_compact(log_.epoch());
+      snap_cache_.reset();  // ids just changed under any cached edge list
     }
-    dyn::SnapshotHeader h;
-    h.seq = replog_.next_seq() - 1;
-    h.epoch = log_.epoch();
-    h.vertices = g_.num_vertices();
-    h.edges = g_.num_live_edges();
-    p.conn.queue_line(encode_snapshot_header(h));
-    // Vertex-major with sorted targets == canonical (src, dst) order.
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      const auto nbrs = g_.out_neighbors(v);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        p.conn.queue_line(dyn::encode_snapshot_edge(
-            dyn::SnapshotEdge{v, nbrs[k],
-                              g_.edge_weight(g_.out_edge_id(v, k))}));
+    if (snap_cache_ == nullptr) {
+      auto snap = std::make_shared<SnapshotData>();
+      snap->header.seq = replog_.next_seq() - 1;
+      snap->header.epoch = log_.epoch();
+      snap->header.vertices = g_.num_vertices();
+      snap->header.edges = g_.num_live_edges();
+      snap->edges.reserve(g_.num_live_edges());
+      // Vertex-major with sorted targets == canonical (src, dst) order.
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        const auto nbrs = g_.out_neighbors(v);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          snap->edges.push_back(dyn::SnapshotEdge{
+              v, nbrs[k], g_.edge_weight(g_.out_edge_id(v, k))});
+        }
       }
+      snap_cache_ = std::move(snap);
     }
+    p.snap = snap_cache_;
+    p.snap_pos = 0;
+    p.conn.queue_line(encode_snapshot_header(p.snap->header));
     p.awaiting_ack = true;
-    p.next_seq = replog_.next_seq();
+    p.next_seq = snap_cache_->header.seq + 1;
     ++snapshots_served_;
+    stream_snapshot(p);
+    // Caught-up idle peers must see the fence now, not on their next ack;
+    // safe to re-enter pump_peer: this peer is awaiting_ack and any other
+    // lagging peer snapshots without fencing again (ids are canonical).
+    if (fenced) pump_all_peers();
+  }
+
+  /// Encodes more of the in-flight snapshot into the peer's out buffer, up
+  /// to kSnapshotChunkBytes of backlog; drain_peer re-invokes this as
+  /// POLLOUT drains, so a large snapshot never sits fully encoded in
+  /// coordinator memory.
+  void stream_snapshot(RepPeer& p) {
+    if (p.snap == nullptr) return;
+    if (p.conn.broken || p.conn.draining) {
+      p.snap.reset();
+      return;
+    }
+    while (p.snap_pos < p.snap->edges.size() && !p.conn.broken &&
+           p.conn.out_buf.size() < kSnapshotChunkBytes) {
+      p.conn.queue_line(dyn::encode_snapshot_edge(p.snap->edges[p.snap_pos]));
+      ++p.snap_pos;
+    }
+    if (p.snap_pos == p.snap->edges.size()) p.snap.reset();
   }
 
   void reap() {
@@ -497,6 +560,11 @@ class Coordinator {
   dyn::ReplicationLog replog_;
   CoordinatorOptions opts_;
   std::vector<double> values_;
+  /// Snapshot shared by every peer re-seeding from the current seq; reset
+  /// whenever a record is appended (the graph or seq moved on). Peers
+  /// mid-stream keep their shared_ptr, so their snapshot stays consistent
+  /// and the records after its seq replay on top.
+  std::shared_ptr<const SnapshotData> snap_cache_;
 
   int client_listen_ = -1;
   int rep_listen_ = -1;

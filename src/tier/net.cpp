@@ -80,7 +80,7 @@ int connect_unix(const std::string& path, int timeout_ms) {
 
 void LineConn::read_input() {
   char chunk[4096];
-  for (;;) {
+  while (in_buf.size() < kMaxReadBytes) {
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n > 0) {
       in_buf.append(chunk, static_cast<std::size_t>(n));
@@ -99,6 +99,9 @@ void LineConn::read_input() {
   if (eof && !in_buf.empty()) {
     pending.push_back(std::exchange(in_buf, {}));
   }
+  // What remains is one unterminated line; past the bound it can never be
+  // completed within memory limits, so drop the connection.
+  if (in_buf.size() > kMaxLineBytes) broken = true;
 }
 
 void LineConn::flush() {

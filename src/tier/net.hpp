@@ -35,6 +35,16 @@ int connect_unix(const std::string& path, int timeout_ms = 10000);
 /// line), draining = close once out_buf empties, broken = write error, drop
 /// without ceremony.
 struct LineConn {
+  /// Input bounds. A connection whose unterminated line exceeds
+  /// kMaxLineBytes is marked broken — no forward progress is possible and
+  /// letting it grow hands a hostile client unbounded server memory. A
+  /// single read_input() pass stops pulling from the socket once in_buf
+  /// holds kMaxReadBytes; the surplus waits in the kernel socket buffer
+  /// (POLLIN stays set) until the caller has drained `pending`, so a
+  /// writer that outpaces its drain is backpressured, not buffered.
+  static constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kMaxReadBytes = std::size_t{4} << 20;
+
   int fd = -1;
   std::string in_buf;
   std::string out_buf;
@@ -43,7 +53,9 @@ struct LineConn {
   bool draining = false;
   bool broken = false;
 
-  /// Drains the socket and splits complete lines into `pending`.
+  /// Drains the socket (up to kMaxReadBytes per pass) and splits complete
+  /// lines into `pending`; an unterminated line past kMaxLineBytes sets
+  /// `broken`.
   void read_input();
 
   /// Writes as much of out_buf as the socket takes; EAGAIN leaves the rest

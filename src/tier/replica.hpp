@@ -170,6 +170,12 @@ class Replica {
         die("bad replication line: " + err);
         return;
       }
+      if (op == "shutdown") {
+        // The coordinator streams snapshots in chunks, so a tier-wide stop
+        // can land mid-record or mid-snapshot; honour it from any state.
+        stop_ = true;
+        break;
+      }
       switch (state_) {
         case StreamState::kIdle:
           if (op == "replicate") {
@@ -195,8 +201,6 @@ class Replica {
             } else {
               state_ = StreamState::kSnapshotEdges;
             }
-          } else if (op == "shutdown") {
-            stop_ = true;
           } else {
             die("unexpected replication op: " + op);
             return;

@@ -381,5 +381,36 @@ TEST(DynGraph, OverflowRatioTracksRetiredAndGrownIds) {
   EXPECT_GT(dg.overflow_ratio(), after_del);
 }
 
+// The canonical-snapshot invariant (edge k of the (src, dst)-sorted live
+// list carries id k) is tracked by an explicit flag, NOT inferred from
+// overflow_ratio(): a delete whose id a later insert reuses returns the
+// ratio to exactly 0 while the reused id sits out of canonical order.
+TEST(DynGraph, IdsCanonicalTracksReuseWhereOverflowRatioCannot) {
+  DynGraph dg(Graph::build(4, EdgeList{{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_TRUE(dg.ids_canonical());
+
+  // Weight changes never touch ids.
+  (void)dg.apply(batch_of({rew(0, 1, 2.5f)}), nullptr, 1);
+  EXPECT_TRUE(dg.ids_canonical());
+
+  // Retire id 0 ((0,1) is the canonically-first edge)...
+  (void)dg.apply(batch_of({del(0, 1)}), nullptr, 1);
+  EXPECT_FALSE(dg.ids_canonical());
+
+  // ...and reuse it for (3, 0), which sorts LAST. Id space is hole-free
+  // again (ratio exactly 0) but id 0 no longer matches canonical order.
+  (void)dg.apply(batch_of({ins(3, 0)}, 2), nullptr, 1);
+  EXPECT_DOUBLE_EQ(dg.overflow_ratio(), 0.0);
+  EXPECT_EQ(dg.find_edge(3, 0), 0u);
+  EXPECT_FALSE(dg.ids_canonical());
+
+  // compact() restores canonical ids: (1,2) -> 0, (2,3) -> 1, (3,0) -> 2.
+  (void)dg.compact();
+  EXPECT_TRUE(dg.ids_canonical());
+  EXPECT_EQ(dg.find_edge(1, 2), 0u);
+  EXPECT_EQ(dg.find_edge(2, 3), 1u);
+  EXPECT_EQ(dg.find_edge(3, 0), 2u);
+}
+
 }  // namespace
 }  // namespace ndg::dyn

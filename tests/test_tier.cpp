@@ -33,6 +33,10 @@
 #include <thread>
 #include <vector>
 
+#include "dyn/replication.hpp"
+#include "dyn/wire.hpp"
+#include "tier/net.hpp"
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -361,6 +365,164 @@ TEST(Tier, PageRankReplicaAgreesWithinTolerance) {
 
   EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
   EXPECT_NE(tier.join(), -1);
+}
+
+// The edge-id freelist can return overflow_ratio() to exactly 0 (delete an
+// edge, reuse its id for a different edge) while the id space is no longer
+// canonical. A snapshot served in that state must still compact first —
+// otherwise the re-seeded replica's canonically rebuilt ids disagree with
+// the coordinator's, and the next id-addressed record (the weight change on
+// the reused-id edge below) lands on the wrong edge and SSSP answers
+// diverge.
+TEST(Tier, SnapshotAfterIdReuseStaysCanonical) {
+  Tier tier;
+  tier.start({"--replicas=1", "--algo=sssp", "--kind=chain",
+              "--vertices=300", "--gate=theorem2", "--threads=2",
+              "--history=2", "--chaos-lag-ms=300"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 1);
+
+  // Epoch 1: retire the id of chain edge (5,6). Epoch 2: reuse it for the
+  // shortcut (0,7), which sorts far from (5,6) — id space hole-free again,
+  // ids out of canonical order.
+  coord.rpc(R"({"op":"mutate","kind":"delete","src":5,"dst":6})");
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  coord.rpc(R"({"op":"mutate","kind":"insert","src":0,"dst":7,)"
+            R"("weight":1.0})");
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+
+  // Epochs 3-6: weight churn on (10,11), sealed faster than the lagged
+  // replica (300 ms per record) can replay with only 2 records of history,
+  // forcing the snapshot path while the reused id is in place.
+  for (int e = 0; e < 4; ++e) {
+    coord.rpc(R"({"op":"mutate","kind":"weight","src":10,"dst":11,)"
+              R"("weight":)" + std::to_string(1.0 + 0.5 * e) + "}");
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+  {
+    const auto deadline = Clock::now() + std::chrono::seconds(60);
+    std::string st;
+    while (Clock::now() < deadline) {
+      st = coord.rpc(R"({"op":"stats"})");
+      if (num_field(st, "snapshots_served") >= 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_GE(num_field(st, "snapshots_served"), 1) << st;
+  }
+
+  // Epoch 7, AFTER the snapshot: reweight the reused-id edge. The record is
+  // addressed by the coordinator's id for (0,7); only a canonical snapshot
+  // makes the replica agree on what that id names.
+  coord.rpc(R"({"op":"mutate","kind":"weight","src":0,"dst":7,)"
+            R"("weight":0.25})");
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+
+  const std::string st = wait_watermark(coord, 120000);
+  EXPECT_EQ(field(st, "epoch"), "7") << st;
+
+  Client rep;
+  rep.connect(tier.replica_sock(0));
+  rep.read_line();  // greeting
+  const std::string rst = rep.rpc(R"({"op":"stats"})");
+  EXPECT_GE(num_field(rst, "snapshots_installed"), 1) << rst;
+
+  // Monotone program, identical graph + weights: answers must match the
+  // coordinator's EXACTLY (including the "inf" tail past the deleted edge).
+  for (int v = 0; v < 300; v += 7) {
+    const std::string qc = query(coord, v);
+    const std::string qr = query(rep, v);
+    EXPECT_EQ(field(qc, "value"), field(qr, "value")) << qc << "\n" << qr;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// --- Unit tests for the hardened wire/socket layers ---
+
+// A corrupt record header must be a clean parse error, not a huge reserve.
+TEST(Replication, RecordHeaderRejectsAbsurdCount) {
+  const std::string line =
+      R"({"op":"replicate","seq":1,"kind":"batch","epoch":1,)"
+      R"("count":1000000000000000000,"compact":false})";
+  ndg::dyn::WireMessage msg;
+  std::string err;
+  ASSERT_TRUE(ndg::dyn::parse_wire(line, msg, &err)) << err;
+  ndg::dyn::RepRecord rec;
+  std::uint64_t count = 0;
+  EXPECT_FALSE(ndg::dyn::parse_record_header(msg, rec, count, &err));
+  EXPECT_NE(err.find("count"), std::string::npos) << err;
+
+  // Boundary: the bound itself still parses (reserve is capped separately).
+  const std::string ok_line =
+      R"({"op":"replicate","seq":1,"kind":"batch","epoch":1,"count":)" +
+      std::to_string(ndg::dyn::kMaxRecordMuts) + R"(,"compact":false})";
+  ndg::dyn::WireMessage ok_msg;
+  ASSERT_TRUE(ndg::dyn::parse_wire(ok_line, ok_msg, &err)) << err;
+  EXPECT_TRUE(ndg::dyn::parse_record_header(ok_msg, rec, count, &err)) << err;
+  EXPECT_EQ(count, ndg::dyn::kMaxRecordMuts);
+}
+
+// A peer that streams bytes with no newline forever must be dropped once
+// the unterminated line passes the bound instead of growing server memory.
+TEST(TierNet, LineConnBreaksOnOversizeUnterminatedLine) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ndg::tier::set_nonblocking(sv[0]);
+  ndg::tier::LineConn conn;
+  conn.fd = sv[0];
+
+  const std::string junk(64 * 1024, 'x');  // no newline anywhere
+  std::size_t written = 0;
+  while (!conn.broken &&
+         written <= ndg::tier::LineConn::kMaxLineBytes + junk.size()) {
+    std::size_t off = 0;
+    while (off < junk.size()) {
+      const ssize_t n = ::write(sv[1], junk.data() + off, junk.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+    written += junk.size();
+    conn.read_input();  // reader keeps pace, so the writes above can't block
+  }
+  EXPECT_TRUE(conn.broken);
+  EXPECT_TRUE(conn.pending.empty());  // never surfaced a bogus "line"
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// Newline-terminated traffic of any volume stays healthy: lines surface in
+// `pending` and the connection is never marked broken.
+TEST(TierNet, LineConnSplitsCompleteLinesUnharmed) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ndg::tier::set_nonblocking(sv[0]);
+  ndg::tier::LineConn conn;
+  conn.fd = sv[0];
+
+  std::string burst;
+  for (int i = 0; i < 2000; ++i) {
+    burst += "{\"op\":\"query\",\"vertex\":" + std::to_string(i) + "}\n";
+  }
+  std::size_t off = 0;
+  while (off < burst.size()) {
+    const ssize_t n = ::write(sv[1], burst.data() + off, burst.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    off += static_cast<std::size_t>(n);
+    conn.read_input();
+  }
+  conn.read_input();
+  EXPECT_FALSE(conn.broken);
+  EXPECT_EQ(conn.pending.size(), 2000u);
+  EXPECT_TRUE(conn.in_buf.empty());
+  ::close(sv[0]);
+  ::close(sv[1]);
 }
 
 }  // namespace
