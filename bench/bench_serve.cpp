@@ -1,0 +1,632 @@
+// bench_serve — latency/SLO load generator for ndg_serve's socket front end.
+//
+// Measures the wire layer itself (docs/DYNAMIC.md "Wire protocol"): per-op
+// round-trip latency percentiles (p50/p99/p999), saturation throughput, and
+// wire bytes-per-op, for both the newline-JSON protocol and the
+// length-prefixed bin1 framing — including the batched-mutation intake path
+// (one kMBatch frame carrying --mbatch mutations per round trip).
+//
+// Scenarios (each against a freshly forked ndg_serve):
+//
+//   read_json / read_bin       point queries only
+//   mixed_json / mixed_bin     --write-pct % single mutates, rest queries
+//   intake_json / intake_bin   single-mutation intake (one op per line/frame)
+//   intake_mbatch              bin1 batched intake (--mbatch muts per frame)
+//
+// The client is one poll(2) loop over --conns nonblocking connections, each
+// keeping --pipeline requests in flight (closed loop: a reply immediately
+// funds the next request, so throughput is the saturation rate). --rate=N
+// switches to an open loop that issues N ops/s across all connections on a
+// schedule regardless of completions, so queueing delay shows up in the
+// percentiles. Replies on one connection arrive strictly in order for both
+// protocols, so latency is a per-connection FIFO of send timestamps.
+//
+// Single-core honesty: the generator and the server share whatever cores the
+// machine has (CI runners have one), so absolute numbers are a floor and the
+// headline is the *ratio* between protocols measured under identical
+// contention — printed as mbatch_vs_json_intake_ratio and recorded in the
+// manifest. Run with --json=BENCH_serve.json for the CI gate
+// (scripts/bench_diff.py --key=scenario --metric=ops_per_s:higher,...).
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dyn/wire.hpp"
+#include "nondetgraph.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#ifndef NDG_SERVE_BIN
+#error "NDG_SERVE_BIN must point at the ndg_serve binary"
+#endif
+
+namespace ndg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::int64_t vertices = 4096;
+  std::int64_t edges = 32768;
+  std::size_t conns = 128;
+  std::size_t pipeline = 8;
+  std::size_t mbatch = 64;
+  double seconds = 2.0;
+  double rate = 0.0;  // ops/s across all conns; 0 = closed loop
+  int write_pct = 10;
+  std::string algo = "pagerank";
+};
+
+enum class Mix : std::uint8_t { kRead, kMixed, kIntakeMutate, kIntakeMBatch };
+
+struct Scenario {
+  const char* name;
+  bool bin;
+  Mix mix;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"read_json", false, Mix::kRead},
+    {"read_bin", true, Mix::kRead},
+    {"mixed_json", false, Mix::kMixed},
+    {"mixed_bin", true, Mix::kMixed},
+    {"intake_json", false, Mix::kIntakeMutate},
+    {"intake_bin", true, Mix::kIntakeMutate},
+    {"intake_mbatch", true, Mix::kIntakeMBatch},
+};
+
+/// Minimal blocking line client for setup/control (greeting, hello
+/// negotiation, warm-up recompute, stats snapshots, shutdown).
+class CtlClient {
+ public:
+  bool connect(const std::string& path, int timeout_ms = 30000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (Clock::now() < deadline) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) return false;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return true;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  bool send_all(const std::string& payload) {
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fd_, payload.data() + off, payload.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::string read_line(int timeout_ms = 30000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return {};
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return {};
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string rpc(const std::string& line) {
+    if (!send_all(line + "\n")) return {};
+    return read_line();
+  }
+
+  /// Releases the fd to the caller (buffered bytes must be empty).
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  [[nodiscard]] bool buffered() const { return !buf_.empty(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~CtlClient() { close(); }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  std::size_t p = line.find(pat);
+  if (p == std::string::npos) return {};
+  p += pat.size();
+  const std::size_t e = line.find_first_of(",}", p);
+  return line.substr(p, e == std::string::npos ? std::string::npos : e - p);
+}
+
+std::uint64_t field_u64(const std::string& line, const std::string& key) {
+  const std::string v = field(line, key);
+  return v.empty() ? 0 : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+/// One load connection inside the poll loop. Requests are appended to `out`
+/// with a timestamp pushed on `inflight`; replies complete FIFO.
+struct LoadConn {
+  int fd = -1;
+  bool bin = false;
+  bool dead = false;
+  std::string in;
+  std::string out;
+  std::deque<Clock::time_point> inflight;
+  SplitMix64 rng{0};
+};
+
+void set_nonblock(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+struct RunResult {
+  std::uint64_t ops = 0;       // completed mutations/queries
+  std::uint64_t replies = 0;   // completed round trips (latency samples)
+  std::uint64_t errors = 0;    // error lines / kError frames
+  double elapsed = 0;
+  double ops_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double bytes_per_op = 0;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const Config& cfg, const Scenario& sc)
+      : cfg_(cfg), sc_(sc) {}
+
+  RunResult run() {
+    char tmpl[] = "/tmp/ndg_bench_serve_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    dir_ = tmpl;
+    spawn_server();
+    RunResult out;
+    try {
+      out = drive();
+    } catch (...) {
+      teardown();
+      throw;
+    }
+    teardown();
+    return out;
+  }
+
+ private:
+  void spawn_server() {
+    std::vector<std::string> args = {
+        NDG_SERVE_BIN,
+        "--socket=" + dir_ + "/serve.sock",
+        "--algo=" + cfg_.algo,
+        "--vertices=" + std::to_string(cfg_.vertices),
+        "--edges=" + std::to_string(cfg_.edges),
+        "--threads=2",
+        "--allow-shutdown",
+    };
+    pid_ = ::fork();
+    if (pid_ < 0) throw std::runtime_error("fork failed");
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);
+    }
+  }
+
+  void teardown() {
+    for (auto& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    conns_.clear();
+    if (ctl_) {
+      ctl_->rpc(R"({"op":"quit"})");  // --allow-shutdown: stops the server
+      ctl_.reset();
+    }
+    if (pid_ > 0) {
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      pid_ = -1;
+    }
+  }
+
+  /// Connects one load connection and runs the (blocking) handshake:
+  /// greeting line, then for bin1 the hello upgrade.
+  LoadConn open_conn(std::size_t id) {
+    CtlClient c;
+    if (!c.connect(dir_ + "/serve.sock")) {
+      throw std::runtime_error("connect failed for load conn");
+    }
+    if (c.read_line().empty()) throw std::runtime_error("no greeting");
+    if (sc_.bin) {
+      const std::string rep = c.rpc(R"({"op":"hello","proto":"bin1"})");
+      if (field(rep, "ok") != "true") {
+        throw std::runtime_error("hello rejected: " + rep);
+      }
+    }
+    if (c.buffered()) {
+      // The handshake is strictly request/reply; anything extra means the
+      // framing assumption is broken and latencies would be garbage.
+      throw std::runtime_error("unexpected bytes after handshake");
+    }
+    LoadConn lc;
+    lc.fd = c.release();
+    lc.bin = sc_.bin;
+    lc.rng = SplitMix64(0x9e3779b9u + id);
+    set_nonblock(lc.fd);
+    return lc;
+  }
+
+  void enqueue_op(LoadConn& c) {
+    const auto v = static_cast<std::uint64_t>(cfg_.vertices);
+    const bool write =
+        sc_.mix == Mix::kIntakeMutate || sc_.mix == Mix::kIntakeMBatch ||
+        (sc_.mix == Mix::kMixed &&
+         c.rng.next() % 100 < static_cast<std::uint64_t>(cfg_.write_pct));
+    if (sc_.mix == Mix::kIntakeMBatch) {
+      std::vector<dyn::Mutation> ms(cfg_.mbatch);
+      for (auto& m : ms) {
+        m.kind = dyn::MutationKind::kInsertEdge;
+        m.src = static_cast<VertexId>(c.rng.next() % v);
+        m.dst = static_cast<VertexId>(c.rng.next() % v);
+        if (m.src == m.dst) m.dst = (m.dst + 1) % static_cast<VertexId>(v);
+      }
+      dyn::append_frame(c.out, dyn::FrameType::kMBatch,
+                        dyn::encode_mbatch(ms));
+    } else if (write) {
+      const auto src = static_cast<VertexId>(c.rng.next() % v);
+      auto dst = static_cast<VertexId>(c.rng.next() % v);
+      if (src == dst) dst = (dst + 1) % static_cast<VertexId>(v);
+      if (c.bin) {
+        dyn::Mutation m;
+        m.kind = dyn::MutationKind::kInsertEdge;
+        m.src = src;
+        m.dst = dst;
+        dyn::append_frame(c.out, dyn::FrameType::kMutate,
+                          dyn::encode_mutate(m));
+      } else {
+        c.out += R"({"op":"mutate","kind":"insert","src":)" +
+                 std::to_string(src) + R"(,"dst":)" + std::to_string(dst) +
+                 "}\n";
+      }
+    } else {
+      const std::uint64_t q = c.rng.next() % v;
+      if (c.bin) {
+        dyn::append_frame(c.out, dyn::FrameType::kQuery, dyn::encode_query(q));
+      } else {
+        c.out += R"({"op":"query","vertex":)" + std::to_string(q) + "}\n";
+      }
+    }
+    c.inflight.push_back(Clock::now());
+  }
+
+  /// Consumes completed replies, recording one latency sample per round
+  /// trip. Returns completed op count (mbatch acks count --mbatch ops).
+  std::uint64_t harvest(LoadConn& c, std::vector<std::uint32_t>& lat,
+                        std::uint64_t& errors) {
+    std::uint64_t done = 0;
+    const auto complete = [&](bool err) {
+      if (c.inflight.empty()) {  // server spoke out of turn
+        c.dead = true;
+        return;
+      }
+      lat.push_back(static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - c.inflight.front())
+              .count()));
+      c.inflight.pop_front();
+      if (err) ++errors;
+      done += sc_.mix == Mix::kIntakeMBatch ? cfg_.mbatch : 1;
+    };
+    if (c.bin) {
+      dyn::Frame f;
+      for (;;) {
+        const auto st = dyn::extract_frame(c.in, f);
+        if (st == dyn::FrameParse::kNeedMore) break;
+        if (st == dyn::FrameParse::kBad) {
+          c.dead = true;
+          break;
+        }
+        complete(f.type == dyn::FrameType::kError);
+      }
+    } else {
+      for (;;) {
+        const std::size_t nl = c.in.find('\n');
+        if (nl == std::string::npos) break;
+        const bool err = c.in.compare(0, 11, R"({"ok":false)") == 0;
+        c.in.erase(0, nl + 1);
+        complete(err);
+      }
+    }
+    return done;
+  }
+
+  RunResult drive() {
+    ctl_ = std::make_unique<CtlClient>();
+    if (!ctl_->connect(dir_ + "/serve.sock")) {
+      throw std::runtime_error("could not reach " + dir_ + "/serve.sock");
+    }
+    ctl_->read_line();  // greeting
+    // Warm epoch so reads hit stable post-convergence values.
+    if (ctl_->rpc(R"({"op":"recompute"})").empty()) {
+      throw std::runtime_error("warm-up recompute failed");
+    }
+
+    conns_.reserve(cfg_.conns);
+    for (std::size_t i = 0; i < cfg_.conns; ++i) conns_.push_back(open_conn(i));
+
+    const std::string stats0 = ctl_->rpc(R"({"op":"stats"})");
+    const std::uint64_t in0 = field_u64(stats0, "bytes_in");
+    const std::uint64_t out0 = field_u64(stats0, "bytes_out");
+
+    std::vector<std::uint32_t> lat;
+    lat.reserve(1u << 20);
+    RunResult r;
+    std::vector<pollfd> pfds(conns_.size());
+
+    const auto t0 = Clock::now();
+    const auto t_end = t0 + std::chrono::microseconds(
+                                static_cast<std::int64_t>(cfg_.seconds * 1e6));
+    std::uint64_t issued = 0;
+    std::size_t rr = 0;  // open-loop round-robin cursor
+    bool loading = true;
+    for (;;) {
+      const auto now = Clock::now();
+      if (loading && now >= t_end) loading = false;
+      if (loading) {
+        if (cfg_.rate > 0) {
+          // Open loop: issue on the clock, not on completions.
+          const double elapsed = std::chrono::duration<double>(now - t0).count();
+          auto due = static_cast<std::uint64_t>(elapsed * cfg_.rate);
+          while (issued < due) {
+            LoadConn& c = conns_[rr++ % conns_.size()];
+            if (!c.dead) enqueue_op(c);
+            ++issued;
+          }
+        } else {
+          // Closed loop: top every connection back up to --pipeline.
+          for (auto& c : conns_) {
+            while (!c.dead && c.inflight.size() < cfg_.pipeline) {
+              enqueue_op(c);
+              ++issued;
+            }
+          }
+        }
+      }
+
+      std::size_t live = 0, waiting = 0;
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        auto& c = conns_[i];
+        pfds[i].fd = c.dead ? -1 : c.fd;
+        pfds[i].events = 0;
+        if (c.dead) continue;
+        ++live;
+        if (!c.inflight.empty()) {
+          pfds[i].events |= POLLIN;
+          ++waiting;
+        }
+        if (!c.out.empty()) pfds[i].events |= POLLOUT;
+      }
+      if (live == 0) break;
+      if (!loading && waiting == 0) break;  // drained: every reply is in
+      const int rc = ::poll(pfds.data(), pfds.size(), 50);
+      if (rc < 0 && errno != EINTR) break;
+      if (!loading &&
+          now > t_end + std::chrono::seconds(10)) {  // drain deadline
+        break;
+      }
+
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        auto& c = conns_[i];
+        if (c.dead) continue;
+        if ((pfds[i].revents & (POLLOUT | POLLERR | POLLHUP)) != 0 &&
+            !c.out.empty()) {
+          const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+          if (n > 0) {
+            c.out.erase(0, static_cast<std::size_t>(n));
+          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            c.dead = true;
+            continue;
+          }
+        }
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+          char chunk[1 << 16];
+          for (;;) {
+            const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+            if (n > 0) {
+              c.in.append(chunk, static_cast<std::size_t>(n));
+              if (static_cast<std::size_t>(n) < sizeof chunk) break;
+              continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (n < 0 && errno == EINTR) continue;
+            c.dead = true;  // EOF or hard error
+            break;
+          }
+          r.ops += harvest(c, lat, r.errors);
+        }
+      }
+    }
+    const double elapsed = std::chrono::duration<double>(
+                               std::min(Clock::now(), t_end) - t0)
+                               .count();
+
+    const std::string stats1 = ctl_->rpc(R"({"op":"stats"})");
+    const std::uint64_t in1 = field_u64(stats1, "bytes_in");
+    const std::uint64_t out1 = field_u64(stats1, "bytes_out");
+
+    r.replies = lat.size();
+    r.elapsed = elapsed;
+    r.ops_per_s = elapsed > 0 ? static_cast<double>(r.ops) / elapsed : 0.0;
+    if (r.ops > 0 && in1 >= in0 && out1 >= out0) {
+      r.bytes_per_op = static_cast<double>((in1 - in0) + (out1 - out0)) /
+                       static_cast<double>(r.ops);
+    }
+    std::sort(lat.begin(), lat.end());
+    if (!lat.empty()) {
+      const auto at = [&](std::size_t num, std::size_t den) {
+        return static_cast<double>(
+            lat[std::min(lat.size() - 1, lat.size() * num / den)]);
+      };
+      r.p50_us = at(1, 2);
+      r.p99_us = at(99, 100);
+      r.p999_us = at(999, 1000);
+    }
+    return r;
+  }
+
+  Config cfg_;
+  Scenario sc_;
+  std::string dir_;
+  pid_t pid_ = -1;
+  std::unique_ptr<CtlClient> ctl_;
+  std::vector<LoadConn> conns_;
+};
+
+int bench_main(const CliArgs& args) {
+  Config cfg;
+  cfg.vertices = args.get_int("vertices", 4096);
+  cfg.edges = args.get_int("edges", 32768);
+  cfg.conns = static_cast<std::size_t>(args.get_int("conns", 128));
+  cfg.pipeline = static_cast<std::size_t>(args.get_int("pipeline", 8));
+  cfg.mbatch = static_cast<std::size_t>(args.get_int("mbatch", 64));
+  cfg.seconds = args.get_double("seconds", 2.0);
+  cfg.rate = args.get_double("rate", 0.0);
+  cfg.write_pct = static_cast<int>(args.get_int("write-pct", 10));
+  cfg.algo = args.get("algo", "pagerank");
+  if (cfg.conns == 0 || cfg.pipeline == 0 || cfg.mbatch == 0) {
+    throw std::runtime_error("--conns/--pipeline/--mbatch must be positive");
+  }
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "bench_serve: vertices=" << cfg.vertices
+            << " edges=" << cfg.edges << " conns=" << cfg.conns
+            << " pipeline=" << cfg.pipeline << " mbatch=" << cfg.mbatch
+            << " seconds=" << cfg.seconds << " rate=" << cfg.rate
+            << " write_pct=" << cfg.write_pct << " algo=" << cfg.algo
+            << " cores=" << cores << "\n";
+  if (cores < 2) {
+    std::cout << "bench_serve: note: generator and server share " << cores
+              << " core(s); absolute rates are a floor, protocol ratios are "
+                 "the signal\n";
+  }
+
+  TextTable table({"scenario", "proto", "conns", "pipeline", "ops",
+                   "ops_per_s", "p50_us", "p99_us", "p999_us",
+                   "bytes_per_op", "errors"});
+  double json_intake = 0.0, mbatch_intake = 0.0;
+  for (const Scenario& sc : kScenarios) {
+    const RunResult r = ScenarioRunner(cfg, sc).run();
+    if (std::string(sc.name) == "intake_json") json_intake = r.ops_per_s;
+    if (std::string(sc.name) == "intake_mbatch") mbatch_intake = r.ops_per_s;
+    table.add_row({sc.name, sc.bin ? "bin1" : "json",
+                   std::to_string(cfg.conns), std::to_string(cfg.pipeline),
+                   std::to_string(r.ops),
+                   std::to_string(static_cast<std::uint64_t>(r.ops_per_s)),
+                   TextTable::num(r.p50_us, 0), TextTable::num(r.p99_us, 0),
+                   TextTable::num(r.p999_us, 0),
+                   TextTable::num(r.bytes_per_op, 1),
+                   std::to_string(r.errors)});
+    std::cout << "  " << sc.name << ": ops=" << r.ops << " ops_per_s="
+              << static_cast<std::uint64_t>(r.ops_per_s)
+              << " p50_us=" << r.p50_us << " p99_us=" << r.p99_us
+              << " p999_us=" << r.p999_us << " bytes_per_op="
+              << r.bytes_per_op << " errors=" << r.errors << "\n";
+  }
+  const double ratio =
+      json_intake > 0 ? mbatch_intake / json_intake : 0.0;
+  table.print(std::cout);
+  std::cout << "mbatch_vs_json_intake_ratio=" << ratio << "\n";
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    table.write_json(
+        json,
+        std::string("{\"bench\":\"serve\",\"vertices\":") +
+            std::to_string(cfg.vertices) + ",\"edges\":" +
+            std::to_string(cfg.edges) + ",\"conns\":" +
+            std::to_string(cfg.conns) + ",\"pipeline\":" +
+            std::to_string(cfg.pipeline) + ",\"mbatch\":" +
+            std::to_string(cfg.mbatch) + ",\"seconds\":" +
+            std::to_string(cfg.seconds) + ",\"rate\":" +
+            std::to_string(cfg.rate) + ",\"write_pct\":" +
+            std::to_string(cfg.write_pct) + ",\"algo\":\"" +
+            json_escape(cfg.algo) + "\",\"cores\":" + std::to_string(cores) +
+            ",\"mbatch_vs_json_intake_ratio\":" + std::to_string(ratio) +
+            "}");
+    std::cout << "wrote " << json << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ndg
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  ndg::CliArgs args(argc, argv);
+  try {
+    return ndg::bench_main(args);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

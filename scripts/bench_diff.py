@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two bench JSON manifests and flag wall-time regressions.
+"""Compare two bench JSON manifests and flag metric regressions.
 
 Usage:  bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
                       [--metric=ms] [--key=benchmark,config,threads]
@@ -8,11 +8,20 @@ Both files must be TextTable::write_json manifests:
     {"config": {...}, "rows": [{"benchmark": ..., "config": ..., "ms": ...}]}
 
 Rows are matched on the key columns (default: benchmark, config, threads).
-A row regresses when candidate/baseline - 1 > threshold on the metric
-(default: ms, lower is better). Exit status: 0 clean (including a missing
-baseline file, which is normal on a fresh branch), 1 regressions found,
-2 usage/parse error. Rows present on only one side are reported but do not
-fail the diff (the bench grid may grow between revisions).
+--metric takes a comma list; each entry may carry a direction suffix:
+``ms`` or ``ms:lower`` (lower is better, the default) or
+``ops_per_s:higher`` (higher is better). A row regresses when it moves past
+the threshold in the bad direction on any listed metric, e.g. for
+BENCH_serve.json:
+
+    bench_diff.py base.json BENCH_serve.json --key=scenario \\
+        --metric=ops_per_s:higher,p99_us:lower
+
+Rows missing a metric (older manifests, or a scenario that records no
+latency) and non-numeric cells are skipped for that metric rather than
+failing the diff — the bench grid may grow fields between revisions. Exit
+status: 0 clean (including a missing baseline file, which is normal on a
+fresh branch), 1 regressions found, 2 usage/parse error.
 
 Timings from the one-core CI runner are noisy; the default 10% threshold is
 meant to catch step-function regressions (an accidental O(log V) hot path,
@@ -24,15 +33,35 @@ import os
 import sys
 
 
+def parse_metrics(spec):
+    metrics = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, direction = part.split(":", 1)
+            if direction not in ("lower", "higher"):
+                raise SystemExit(
+                    f"bad metric direction in {part!r} "
+                    "(expected NAME, NAME:lower, or NAME:higher)")
+        else:
+            name, direction = part, "lower"
+        metrics.append((name, direction))
+    if not metrics:
+        raise SystemExit("--metric= needs at least one metric name")
+    return metrics
+
+
 def parse_args(argv):
-    opts = {"threshold": 0.10, "metric": "ms",
+    opts = {"threshold": 0.10, "metrics": [("ms", "lower")],
             "key": ["benchmark", "config", "threads"]}
     files = []
     for arg in argv:
         if arg.startswith("--threshold="):
             opts["threshold"] = float(arg.split("=", 1)[1])
         elif arg.startswith("--metric="):
-            opts["metric"] = arg.split("=", 1)[1]
+            opts["metrics"] = parse_metrics(arg.split("=", 1)[1])
         elif arg.startswith("--key="):
             opts["key"] = [c for c in arg.split("=", 1)[1].split(",") if c]
         elif arg.startswith("--"):
@@ -44,7 +73,9 @@ def parse_args(argv):
     return files[0], files[1], opts
 
 
-def load_rows(path, key_cols, metric):
+def load_rows(path, key_cols):
+    """Maps key tuple -> full row dict; metric extraction happens later so
+    a row missing one metric still participates in the others."""
     try:
         with open(path) as f:
             manifest = json.load(f)
@@ -53,11 +84,22 @@ def load_rows(path, key_cols, metric):
         sys.exit(2)
     rows = {}
     for row in manifest.get("rows", []):
-        if metric not in row:
+        if not isinstance(row, dict):
             continue
         key = tuple(str(row.get(c, "")) for c in key_cols)
-        rows[key] = float(row[metric])
+        rows[key] = row
     return rows
+
+
+def metric_value(row, metric):
+    """Float value of `metric` in `row`, or None when absent/malformed."""
+    v = row.get(metric)
+    if v is None or isinstance(v, bool):
+        return None
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return None
 
 
 def main(argv):
@@ -69,27 +111,38 @@ def main(argv):
         print(f"bench_diff: no baseline at {baseline_path}; "
               "nothing to compare (treating as success)")
         return 0
-    base = load_rows(baseline_path, opts["key"], opts["metric"])
-    cand = load_rows(candidate_path, opts["key"], opts["metric"])
+    base = load_rows(baseline_path, opts["key"])
+    cand = load_rows(candidate_path, opts["key"])
 
     regressions = []
     improvements = []
+    matched = 0
     for key in sorted(base.keys() & cand.keys()):
-        b, c = base[key], cand[key]
-        if b <= 0:
-            continue
-        delta = c / b - 1.0
-        label = "/".join(key)
-        if delta > opts["threshold"]:
-            regressions.append((label, b, c, delta))
-        elif delta < -opts["threshold"]:
-            improvements.append((label, b, c, delta))
+        matched += 1
+        for metric, direction in opts["metrics"]:
+            b = metric_value(base[key], metric)
+            c = metric_value(cand[key], metric)
+            if b is None or c is None or b <= 0:
+                continue
+            # delta > 0 means the candidate is larger; whether that is a
+            # regression depends on the metric's direction.
+            delta = c / b - 1.0
+            bad = delta > opts["threshold"] if direction == "lower" \
+                else delta < -opts["threshold"]
+            good = delta < -opts["threshold"] if direction == "lower" \
+                else delta > opts["threshold"]
+            label = "/".join(key) + f" [{metric}]"
+            if bad:
+                regressions.append((label, b, c, delta))
+            elif good:
+                improvements.append((label, b, c, delta))
 
     only_base = sorted(base.keys() - cand.keys())
     only_cand = sorted(cand.keys() - base.keys())
 
-    print(f"bench_diff: {len(base.keys() & cand.keys())} matched rows, "
-          f"metric={opts['metric']}, threshold={opts['threshold']:.0%}")
+    names = ",".join(f"{m}:{d}" for m, d in opts["metrics"])
+    print(f"bench_diff: {matched} matched rows, "
+          f"metrics={names}, threshold={opts['threshold']:.0%}")
     for label, b, c, delta in improvements:
         print(f"  improved   {label}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
     for key in only_base:

@@ -97,8 +97,11 @@ grep -q '"converged":false' "$OUT" && fail "an epoch failed to converge"
 grep -q '"ok":false' "$OUT" && fail "a command errored"
 
 # --- unix-socket transport (when a python3 client is available) ------------
-# `quit` over a socket is scoped to the issuing connection; the server only
-# stops with it when started with --allow-shutdown (as here).
+# Two clients share one server: A stays on newline JSON while B upgrades to
+# the bin1 framing ({"op":"hello","proto":"bin1"}, docs/DYNAMIC.md). Both
+# feed the same mutation log and read the same epoch, proving the protocols
+# interoperate. `quit` over a socket is scoped to the issuing connection; the
+# server only stops with it when started with --allow-shutdown (as here).
 if command -v python3 > /dev/null 2>&1; then
     SOCK="$WORK/serve.sock"
     "$SERVE" --algo=wcc --kind=chain --vertices=64 --gate=theorem2 \
@@ -112,26 +115,82 @@ if command -v python3 > /dev/null 2>&1; then
     [ -S "$SOCK" ] || { kill "$SERVER_PID" 2>/dev/null; fail "socket never appeared"; }
 
     python3 - "$SOCK" > "$OUT" <<'PYEOF'
-import socket, sys
-s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-s.connect(sys.argv[1])
-s.sendall(b'{"op":"mutate","kind":"insert","src":0,"dst":63,"weight":1}\n'
+import socket, struct, sys
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s, [b""]
+
+def read_line(s, buf):
+    while b"\n" not in buf[0]:
+        chunk = s.recv(4096)
+        if not chunk:
+            raise SystemExit("connection closed early")
+        buf[0] += chunk
+    line, buf[0] = buf[0].split(b"\n", 1)
+    return line.decode()
+
+def frame(ty, payload=b""):
+    return struct.pack("<IB", len(payload), ty) + payload
+
+def read_frame(s, buf):
+    while len(buf[0]) < 5:
+        buf[0] += s.recv(4096)
+    n, ty = struct.unpack("<IB", buf[0][:5])
+    while len(buf[0]) < 5 + n:
+        buf[0] += s.recv(4096)
+    payload, buf[0] = buf[0][5:5 + n], buf[0][5 + n:]
+    return ty, payload
+
+a, abuf = connect(sys.argv[1])
+b, bbuf = connect(sys.argv[1])
+print(read_line(a, abuf))  # greeting A
+print(read_line(b, bbuf))  # greeting B
+
+# B upgrades to bin1, pipelining its first frame behind the hello line:
+# kMutate (0x02) insert 0 -> 62.
+mut = struct.pack("<BIIf", 0, 0, 62, 1.0)
+b.sendall(b'{"op":"hello","proto":"bin1"}\n' + frame(0x02, mut))
+print(read_line(b, bbuf))  # hello reply: {"ok":true,"proto":"bin1"}
+ty, p = read_frame(b, bbuf)
+assert ty == 0x03, ty  # kMutateAck
+print('bin_mutate_ack pending=%d' % struct.unpack("<Q", p)[0])
+
+# A (JSON) appends to the same log: its ack counts B's mutation too.
+a.sendall(b'{"op":"mutate","kind":"insert","src":0,"dst":63,"weight":1}\n'
           b'{"op":"recompute"}\n'
-          b'{"op":"query","vertex":63}\n'
-          b'{"op":"quit"}\n')
-buf = b""
-while True:
-    chunk = s.recv(4096)
-    if not chunk:
-        break
-    buf += chunk
-sys.stdout.write(buf.decode())
+          b'{"op":"query","vertex":63}\n')
+print(read_line(a, abuf))  # pending:2
+print(read_line(a, abuf))  # recompute epoch 1 (applied:2)
+print(read_line(a, abuf))  # query 63
+
+# B reads the epoch A's recompute built, over frames: kQuery (0x06).
+b.sendall(frame(0x06, struct.pack("<Q", 62)))
+ty, p = read_frame(b, bbuf)
+assert ty == 0x07, ty  # kQueryReply
+flags, vertex, value, epoch = struct.unpack("<BQdQ", p)
+print('bin_query vertex=%d value=%g epoch=%d' % (vertex, value, epoch))
+
+# A leaves with a plain disconnect; B then stops the whole server with a
+# kQuit (0x0B) frame -> kBye (0x0C), sanctioned by --allow-shutdown.
+a.close()
+b.sendall(frame(0x0B))
+ty, p = read_frame(b, bbuf)
+assert ty == 0x0C, ty
+print('bin_bye')
 PYEOF
+    [ "$?" -eq 0 ] || { kill "$SERVER_PID" 2>/dev/null; fail "socket clients failed"; }
     wait "$SERVER_PID" || fail "socket-mode server exited non-zero"
     check '"ready":true'
+    check '"proto":"bin1"'
+    check 'bin_mutate_ack pending=1'
+    check '"pending":2'
     check '"epoch":1,"warm":true'
+    check '"applied":2'
     check '"vertex":63,"value":0,"epoch":1'
-    check '"bye":true'
+    check 'bin_query vertex=62 value=0 epoch=1'
+    check 'bin_bye'
 
     # --- multi-client live-query session (--live-queries) -------------------
     # Client A pipelines mutations + recompute; the engine-run phase is held

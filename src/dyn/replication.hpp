@@ -126,4 +126,50 @@ bool parse_snapshot_header(const WireMessage& msg, SnapshotHeader& out,
 bool parse_snapshot_edge(const WireMessage& msg, SnapshotEdge& out,
                          std::string* err = nullptr);
 
+// ── Binary replication codec (frames, docs/TIER.md) ─────────────────────────
+//
+// When a replica negotiates bin1 on the replication socket, records and
+// snapshots travel as frames instead of line groups:
+//
+//   kRepRecord  seq u64 | kind u8 | epoch u64 | compact u8 | count u32
+//               | count x (kind u8|src u32|dst u32|id u64|weight f32|old f32)
+//   kSnapshot   seq u64 | epoch u64 | vertices u32 | edges u64
+//   kSnapChunk  count u32 | count x (src u32|dst u32|weight f32)
+//   kAck        replica u64 | seq u64 | epoch u64
+//   kSync       replica u64 | seq u64
+//
+// A whole record is ONE frame — one syscall per epoch shipped instead of
+// 1 + count line writes — and snapshot chunks are raw 12 B/edge images of
+// the coordinator's shared SnapshotData buffer (on little-endian hosts the
+// chunk body is a straight memcpy of the SnapshotEdge array). decode_* apply
+// the same hardening as the JSON parsers: kMaxRecordMuts on the count field
+// and an exact payload-size check, so a lying header is a parse error, not
+// an allocation.
+
+[[nodiscard]] std::string encode_record_bin(const RepRecord& rec);
+bool decode_record_bin(std::string_view p, RepRecord& out,
+                       std::string* err = nullptr);
+
+[[nodiscard]] std::string encode_snapshot_header_bin(const SnapshotHeader& h);
+bool decode_snapshot_header_bin(std::string_view p, SnapshotHeader& out,
+                                std::string* err = nullptr);
+
+/// Builds one kSnapChunk payload from `count` edges starting at `edges`.
+[[nodiscard]] std::string encode_snapshot_chunk(const SnapshotEdge* edges,
+                                                std::size_t count);
+/// Appends the chunk's edges to `out`; returns false on a malformed payload.
+bool decode_snapshot_chunk(std::string_view p, std::vector<SnapshotEdge>& out,
+                           std::string* err = nullptr);
+
+[[nodiscard]] std::string encode_sync_bin(std::uint64_t replica,
+                                          std::uint64_t seq);
+bool decode_sync_bin(std::string_view p, std::uint64_t& replica,
+                     std::uint64_t& seq, std::string* err = nullptr);
+[[nodiscard]] std::string encode_ack_bin(std::uint64_t replica,
+                                         std::uint64_t seq,
+                                         std::uint64_t epoch);
+bool decode_ack_bin(std::string_view p, std::uint64_t& replica,
+                    std::uint64_t& seq, std::uint64_t& epoch,
+                    std::string* err = nullptr);
+
 }  // namespace ndg::dyn

@@ -268,4 +268,206 @@ std::string WireWriter::finish() const {
   return out;
 }
 
+// ── Binary framing ──────────────────────────────────────────────────────────
+
+void append_frame(std::string& out, FrameType type, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  out.append(payload.data(), payload.size());
+}
+
+FrameParse extract_frame(std::string& buf, Frame& out, std::string* err) {
+  if (buf.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  std::size_t off = 0;
+  std::uint32_t len = 0;
+  get_u32(buf, off, len);
+  if (len > kMaxFrameLen) {
+    fail(err, "frame length " + std::to_string(len) + " exceeds bound " +
+                  std::to_string(kMaxFrameLen));
+    return FrameParse::kBad;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return FrameParse::kNeedMore;
+  out.type = static_cast<FrameType>(
+      static_cast<std::uint8_t>(buf[kFrameHeaderBytes - 1]));
+  out.payload.assign(buf, kFrameHeaderBytes, len);
+  buf.erase(0, kFrameHeaderBytes + len);
+  return FrameParse::kOk;
+}
+
+namespace {
+
+constexpr std::size_t kMutateBytes = 13;  // kind u8 | src u32 | dst u32 | f32
+
+void put_mutation(std::string& s, const Mutation& m) {
+  put_u8(s, static_cast<std::uint8_t>(m.kind));
+  put_u32(s, m.src);
+  put_u32(s, m.dst);
+  put_f32(s, m.weight);
+}
+
+bool get_mutation(std::string_view s, std::size_t& off, Mutation& m,
+                  std::string* err) {
+  std::uint8_t kind = 0;
+  if (!get_u8(s, off, kind) || !get_u32(s, off, m.src) ||
+      !get_u32(s, off, m.dst) || !get_f32(s, off, m.weight)) {
+    return fail(err, "mutate: truncated payload");
+  }
+  if (kind > static_cast<std::uint8_t>(MutationKind::kWeightChange)) {
+    return fail(err, "mutate: unknown kind byte");
+  }
+  m.kind = static_cast<MutationKind>(kind);
+  return true;
+}
+
+bool expect_consumed(std::string_view p, std::size_t off, const char* what,
+                     std::string* err) {
+  if (off == p.size()) return true;
+  return fail(err, std::string(what) + ": payload size mismatch");
+}
+
+}  // namespace
+
+std::string encode_mutate(const Mutation& m) {
+  std::string s;
+  s.reserve(kMutateBytes);
+  put_mutation(s, m);
+  return s;
+}
+
+bool decode_mutate(std::string_view p, Mutation& out, std::string* err) {
+  std::size_t off = 0;
+  if (!get_mutation(p, off, out, err)) return false;
+  return expect_consumed(p, off, "mutate", err);
+}
+
+std::string encode_mbatch(const std::vector<Mutation>& ms) {
+  std::string s;
+  s.reserve(4 + ms.size() * kMutateBytes);
+  put_u32(s, static_cast<std::uint32_t>(ms.size()));
+  for (const Mutation& m : ms) put_mutation(s, m);
+  return s;
+}
+
+bool decode_mbatch(std::string_view p, std::vector<Mutation>& out,
+                   std::string* err) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get_u32(p, off, count)) return fail(err, "mbatch: truncated payload");
+  // The exact-size check makes a lying count a parse error; the frame bound
+  // already caps count * kMutateBytes well under any allocation hazard.
+  if (p.size() != 4 + static_cast<std::uint64_t>(count) * kMutateBytes) {
+    return fail(err, "mbatch: count disagrees with payload size");
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Mutation m;
+    if (!get_mutation(p, off, m, err)) return false;
+    out.push_back(m);
+  }
+  return true;
+}
+
+std::string encode_mutate_ack(std::uint64_t pending) {
+  std::string s;
+  put_u64(s, pending);
+  return s;
+}
+
+bool decode_mutate_ack(std::string_view p, std::uint64_t& pending,
+                       std::string* err) {
+  std::size_t off = 0;
+  if (!get_u64(p, off, pending)) return fail(err, "ack: truncated payload");
+  return expect_consumed(p, off, "ack", err);
+}
+
+std::string encode_mbatch_ack(std::uint32_t accepted, std::uint64_t pending) {
+  std::string s;
+  put_u32(s, accepted);
+  put_u64(s, pending);
+  return s;
+}
+
+bool decode_mbatch_ack(std::string_view p, std::uint32_t& accepted,
+                       std::uint64_t& pending, std::string* err) {
+  std::size_t off = 0;
+  if (!get_u32(p, off, accepted) || !get_u64(p, off, pending)) {
+    return fail(err, "mbatch-ack: truncated payload");
+  }
+  return expect_consumed(p, off, "mbatch-ack", err);
+}
+
+std::string encode_query(std::uint64_t vertex) {
+  std::string s;
+  put_u64(s, vertex);
+  return s;
+}
+
+bool decode_query(std::string_view p, std::uint64_t& vertex,
+                  std::string* err) {
+  std::size_t off = 0;
+  if (!get_u64(p, off, vertex)) return fail(err, "query: truncated payload");
+  return expect_consumed(p, off, "query", err);
+}
+
+std::string encode_query_reply(const QueryReplyBin& r) {
+  std::string s;
+  std::uint8_t flags = 0;
+  if (r.has_quiescent) flags |= 1u;
+  if (r.quiescent) flags |= 2u;
+  put_u8(s, flags);
+  put_u64(s, r.vertex);
+  put_f64(s, r.value);
+  put_u64(s, r.epoch);
+  return s;
+}
+
+bool decode_query_reply(std::string_view p, QueryReplyBin& out,
+                        std::string* err) {
+  std::size_t off = 0;
+  std::uint8_t flags = 0;
+  if (!get_u8(p, off, flags) || !get_u64(p, off, out.vertex) ||
+      !get_f64(p, off, out.value) || !get_u64(p, off, out.epoch)) {
+    return fail(err, "query-reply: truncated payload");
+  }
+  out.has_quiescent = (flags & 1u) != 0;
+  out.quiescent = (flags & 2u) != 0;
+  return expect_consumed(p, off, "query-reply", err);
+}
+
+std::string encode_recompute_reply(const RecomputeReplyBin& r) {
+  std::string s;
+  put_u64(s, r.epoch);
+  std::uint8_t flags = 0;
+  if (r.warm) flags |= 1u;
+  if (r.converged) flags |= 2u;
+  if (r.compacted) flags |= 4u;
+  put_u8(s, flags);
+  put_u64(s, r.applied);
+  put_u64(s, r.rejected);
+  put_u64(s, r.seeds);
+  put_u64(s, r.iterations);
+  put_u64(s, r.updates);
+  put_u64(s, r.live_edges);
+  s.append(r.reason);  // trailing text: the rest of the payload
+  return s;
+}
+
+bool decode_recompute_reply(std::string_view p, RecomputeReplyBin& out,
+                            std::string* err) {
+  std::size_t off = 0;
+  std::uint8_t flags = 0;
+  if (!get_u64(p, off, out.epoch) || !get_u8(p, off, flags) ||
+      !get_u64(p, off, out.applied) || !get_u64(p, off, out.rejected) ||
+      !get_u64(p, off, out.seeds) || !get_u64(p, off, out.iterations) ||
+      !get_u64(p, off, out.updates) || !get_u64(p, off, out.live_edges)) {
+    return fail(err, "recompute-reply: truncated payload");
+  }
+  out.warm = (flags & 1u) != 0;
+  out.converged = (flags & 2u) != 0;
+  out.compacted = (flags & 4u) != 0;
+  out.reason.assign(p.substr(off));
+  return true;
+}
+
 }  // namespace ndg::dyn

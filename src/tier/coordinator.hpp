@@ -198,6 +198,11 @@ class Coordinator {
   /// pauses once out_buf reaches this and resumes as POLLOUT drains it.
   static constexpr std::size_t kSnapshotChunkBytes = 256 * 1024;
 
+  /// Edges per kSnapChunk frame on a binary peer (~96 KiB of payload); the
+  /// kSnapshotChunkBytes backlog bound still governs how many frames are
+  /// buffered at once.
+  static constexpr std::size_t kSnapEdgesPerChunk = 8192;
+
   static void add_conn(std::vector<pollfd>& pfds,
                        std::vector<std::uint64_t>& owner,
                        std::vector<bool>& is_peer, std::uint64_t id,
@@ -245,7 +250,14 @@ class Coordinator {
   // --- Client command path (ndg_serve wire shapes + tier extras) ---
 
   void drain_client(LineConn& c) {
-    while (!c.draining && !c.broken && !c.pending.empty()) {
+    if (c.proto == dyn::WireProto::kJson) drain_client_lines(c);
+    if (c.proto == dyn::WireProto::kBin) drain_client_frames(c);
+    c.flush();
+  }
+
+  void drain_client_lines(LineConn& c) {
+    while (!c.draining && !c.broken && !c.pending.empty() &&
+           c.proto == dyn::WireProto::kJson) {
       const std::string line = std::move(c.pending.front());
       c.pending.pop_front();
       if (line.empty() ||
@@ -255,12 +267,31 @@ class Coordinator {
       dyn::WireMessage msg;
       std::string err;
       if (!parse_wire(line, msg, &err)) {
+        ++parse_errors_;
         c.queue_line(tier_error("parse: " + err));
         continue;
       }
       std::string op;
       if (!msg.get_string("op", op)) {
         c.queue_line(tier_error("missing field: op"));
+        continue;
+      }
+      if (op == "hello") {
+        std::string proto;
+        if (!msg.get_string("proto", proto)) {
+          c.queue_line(tier_error("hello: missing field: proto"));
+        } else if (proto != dyn::kBinProtoName) {
+          c.queue_line(tier_error("hello: unknown proto: " + proto));
+        } else {
+          c.queue_line(dyn::WireWriter()
+                           .boolean("ok", true)
+                           .str("proto", dyn::kBinProtoName)
+                           .finish());
+          // Replays any pipelined frame bytes; drain_client falls through
+          // to the frame pump for them.
+          c.upgrade_to_bin();
+          return;
+        }
         continue;
       }
       if (op == "mutate") {
@@ -278,23 +309,114 @@ class Coordinator {
                          .finish());
         c.draining = true;
       } else if (op == "shutdown") {
-        // Tier-wide stop: tell every replica to exit, answer the issuer,
-        // then leave the loop once all out buffers flush.
-        for (auto& [id, p] : peers_) {
-          p.conn.queue_line(
-              dyn::WireWriter().str("op", "shutdown").finish());
-          p.conn.draining = true;
-        }
+        begin_shutdown();
         c.queue_line(dyn::WireWriter()
                          .boolean("ok", true)
                          .boolean("bye", true)
                          .finish());
         c.draining = true;
-        shutdown_ = true;
       } else {
         c.queue_line(tier_error("unknown op: " + op));
       }
     }
+  }
+
+  void frame_error(LineConn& c, std::string_view what) {
+    ++parse_errors_;
+    c.queue_frame(dyn::FrameType::kError, what);
+  }
+
+  /// Frame dispatch mirrors drain_client_lines op for op (recompute is
+  /// inline on the coordinator, so there is no epoch barrier to wait on).
+  /// Replies are queued without flushing; drain_client flushes once.
+  void drain_client_frames(LineConn& c) {
+    while (!c.draining && !c.broken && !c.frames.empty()) {
+      const dyn::Frame f = std::move(c.frames.front());
+      c.frames.pop_front();
+      std::string err;
+      switch (f.type) {
+        case dyn::FrameType::kMutate: {
+          dyn::Mutation m;
+          if (!dyn::decode_mutate(f.payload, m, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          log_.append(m);
+          c.queue_frame(dyn::FrameType::kMutateAck,
+                        dyn::encode_mutate_ack(log_.pending()));
+          break;
+        }
+        case dyn::FrameType::kMBatch: {
+          std::vector<dyn::Mutation> ms;
+          if (!dyn::decode_mbatch(f.payload, ms, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          log_.append(ms);
+          c.queue_frame(
+              dyn::FrameType::kMBatchAck,
+              dyn::encode_mbatch_ack(static_cast<std::uint32_t>(ms.size()),
+                                     log_.pending()));
+          break;
+        }
+        case dyn::FrameType::kQuery: {
+          std::uint64_t v = 0;
+          if (!dyn::decode_query(f.payload, v, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          if (v >= values_.size()) {
+            frame_error(c,
+                        "query: vertex out of range: " + std::to_string(v));
+            break;
+          }
+          dyn::QueryReplyBin qr;
+          qr.vertex = v;
+          qr.value = values_[v];
+          qr.epoch = log_.epoch();
+          c.queue_frame(dyn::FrameType::kQueryReply,
+                        dyn::encode_query_reply(qr));
+          break;
+        }
+        case dyn::FrameType::kRecompute:
+          c.queue_frame(dyn::FrameType::kRecomputeReply,
+                        dyn::encode_recompute_reply(
+                            recompute_bin(do_recompute())));
+          break;
+        case dyn::FrameType::kStats:
+          c.queue_frame(dyn::FrameType::kJson, stats_reply());
+          break;
+        case dyn::FrameType::kQuit:
+          c.queue_frame(dyn::FrameType::kBye, {});
+          c.draining = true;
+          break;
+        case dyn::FrameType::kShutdown:
+          begin_shutdown();
+          c.queue_frame(dyn::FrameType::kBye, {});
+          c.draining = true;
+          break;
+        default:
+          frame_error(c, "unexpected frame type: " +
+                             std::to_string(
+                                 static_cast<unsigned>(f.type)));
+          break;
+      }
+    }
+  }
+
+  /// Tier-wide stop: tell every replica (on whichever protocol it speaks)
+  /// to exit; the loop ends once all out buffers flush.
+  void begin_shutdown() {
+    for (auto& [id, p] : peers_) {
+      if (p.conn.proto == dyn::WireProto::kBin) {
+        p.conn.queue_frame(dyn::FrameType::kShutdown, {});
+        p.conn.flush();
+      } else {
+        p.conn.queue_line(dyn::WireWriter().str("op", "shutdown").finish());
+      }
+      p.conn.draining = true;
+    }
+    shutdown_ = true;
   }
 
   std::string handle_mutate(const dyn::WireMessage& msg) {
@@ -328,7 +450,8 @@ class Coordinator {
         .finish();
   }
 
-  std::string handle_recompute() {
+  /// Seal + apply + ship one epoch; shared by both protocols' recompute.
+  dyn::EpochResult do_recompute() {
     const dyn::MutationBatch batch = log_.seal();
     std::vector<dyn::AppliedMutation> shipped;
     dyn::EpochResult r =
@@ -343,6 +466,11 @@ class Coordinator {
     replog_.append_batch(batch.epoch, std::move(shipped), compacted);
     snap_cache_.reset();  // graph/seq moved on; peers mid-stream keep theirs
     pump_all_peers();
+    return r;
+  }
+
+  std::string handle_recompute() {
+    const dyn::EpochResult r = do_recompute();
     return dyn::WireWriter()
         .boolean("ok", true)
         .u64("epoch", r.epoch)
@@ -359,6 +487,23 @@ class Coordinator {
         .finish();
   }
 
+  [[nodiscard]] dyn::RecomputeReplyBin recompute_bin(
+      const dyn::EpochResult& r) const {
+    dyn::RecomputeReplyBin b;
+    b.epoch = r.epoch;
+    b.warm = r.warm;
+    b.converged = r.engine.converged;
+    b.compacted = r.compacted;
+    b.applied = r.apply_stats.applied;
+    b.rejected = r.apply_stats.rejected;
+    b.seeds = r.seed_count;
+    b.iterations = r.engine.iterations;
+    b.updates = r.engine.updates;
+    b.live_edges = g_.num_live_edges();
+    b.reason = r.gate_reason;
+    return b;
+  }
+
   std::string query_reply(const dyn::WireMessage& msg) {
     std::uint64_t v = 0;
     if (!msg.get_u64("vertex", v)) {
@@ -373,11 +518,31 @@ class Coordinator {
     return w.u64("epoch", log_.epoch()).finish();
   }
 
+  /// Transport counters across clients AND replication peers; closed
+  /// connections' byte totals live on in closed_wire_.
+  [[nodiscard]] dyn::WireCounters wire_totals() const {
+    dyn::WireCounters w = closed_wire_;
+    w.parse_errors = parse_errors_;
+    const auto count = [&w](const LineConn& c) {
+      w.bytes_in += c.bytes_in;
+      w.bytes_out += c.bytes_out;
+      if (c.proto == dyn::WireProto::kBin) {
+        ++w.conns_bin;
+      } else {
+        ++w.conns_json;
+      }
+    };
+    for (const auto& [id, c] : clients_) count(c);
+    for (const auto& [id, p] : peers_) count(p.conn);
+    return w;
+  }
+
   std::string stats_reply() const {
     std::size_t synced = 0;
     for (const auto& [id, p] : peers_) {
       if (p.synced) ++synced;
     }
+    const dyn::WireCounters wire = wire_totals();
     return dyn::WireWriter()
         .boolean("ok", true)
         .str("role", "coordinator")
@@ -396,13 +561,22 @@ class Coordinator {
         .u64("compactions", g_.compactions())
         .u64("warm_runs", inc_.warm_runs())
         .u64("cold_runs", inc_.cold_runs())
+        .u64("bytes_in", wire.bytes_in)
+        .u64("bytes_out", wire.bytes_out)
+        .u64("parse_errors", wire.parse_errors)
+        .u64("conns_json", wire.conns_json)
+        .u64("conns_bin", wire.conns_bin)
         .finish();
   }
 
   // --- Replication peer path ---
 
   void drain_peer(RepPeer& p) {
-    while (!p.conn.broken && !p.conn.pending.empty()) {
+    // A replica opens in newline-JSON; a binary one pipelines
+    // {"op":"hello","proto":"bin1"} + a kSync frame, so the hello upgrade
+    // falls through to the frame pump in the same pass.
+    while (!p.conn.broken && p.conn.proto == dyn::WireProto::kJson &&
+           !p.conn.pending.empty()) {
       const std::string line = std::move(p.conn.pending.front());
       p.conn.pending.pop_front();
       if (line.empty()) continue;
@@ -411,10 +585,23 @@ class Coordinator {
       std::string op;
       if (!parse_wire(line, msg, &err) || !msg.get_string("op", op)) {
         std::cerr << "ndg_tier: bad replication line: " << err << "\n";
+        ++parse_errors_;
         p.conn.broken = true;
         return;
       }
-      if (op == "sync") {
+      if (op == "hello") {
+        std::string proto;
+        if (!msg.get_string("proto", proto) || proto != dyn::kBinProtoName) {
+          std::cerr << "ndg_tier: bad replication hello\n";
+          p.conn.broken = true;
+          return;
+        }
+        p.conn.queue_line(dyn::WireWriter()
+                              .boolean("ok", true)
+                              .str("proto", dyn::kBinProtoName)
+                              .finish());
+        p.conn.upgrade_to_bin();
+      } else if (op == "sync") {
         std::uint64_t seq = 0;
         msg.get_u64("replica", p.replica_id);
         msg.get_u64("seq", seq);
@@ -426,6 +613,37 @@ class Coordinator {
         p.awaiting_ack = false;
       } else {
         std::cerr << "ndg_tier: unexpected replication op: " << op << "\n";
+        p.conn.broken = true;
+        return;
+      }
+    }
+    while (!p.conn.broken && p.conn.proto == dyn::WireProto::kBin &&
+           !p.conn.frames.empty()) {
+      const dyn::Frame f = std::move(p.conn.frames.front());
+      p.conn.frames.pop_front();
+      std::string err;
+      if (f.type == dyn::FrameType::kSync) {
+        std::uint64_t seq = 0;
+        if (!dyn::decode_sync_bin(f.payload, p.replica_id, seq, &err)) {
+          std::cerr << "ndg_tier: bad sync frame: " << err << "\n";
+          ++parse_errors_;
+          p.conn.broken = true;
+          return;
+        }
+        p.synced = true;
+        p.next_seq = seq + 1;
+      } else if (f.type == dyn::FrameType::kAck) {
+        std::uint64_t replica = 0;
+        if (!dyn::decode_ack_bin(f.payload, replica, p.acked_seq,
+                                 p.acked_epoch, &err)) {
+          std::cerr << "ndg_tier: bad ack frame: " << err << "\n";
+          ++parse_errors_;
+          p.conn.broken = true;
+          return;
+        }
+        p.awaiting_ack = false;
+      } else {
+        std::cerr << "ndg_tier: unexpected replication frame\n";
         p.conn.broken = true;
         return;
       }
@@ -453,9 +671,17 @@ class Coordinator {
       return;
     }
     const dyn::RepRecord& rec = replog_.get(p.next_seq);
-    p.conn.queue_line(encode_record_header(rec));
-    for (const dyn::AppliedMutation& m : rec.muts) {
-      p.conn.queue_line(encode_applied(m));
+    if (p.conn.proto == dyn::WireProto::kBin) {
+      // One frame per record: a whole applied epoch ships in one write
+      // instead of 1 + count line round-trips through the buffer.
+      p.conn.queue_frame(dyn::FrameType::kRepRecord,
+                         dyn::encode_record_bin(rec));
+      p.conn.flush();
+    } else {
+      p.conn.queue_line(encode_record_header(rec));
+      for (const dyn::AppliedMutation& m : rec.muts) {
+        p.conn.queue_line(encode_applied(m));
+      }
     }
     p.awaiting_ack = true;
     p.next_seq = rec.seq + 1;
@@ -499,7 +725,12 @@ class Coordinator {
     }
     p.snap = snap_cache_;
     p.snap_pos = 0;
-    p.conn.queue_line(encode_snapshot_header(p.snap->header));
+    if (p.conn.proto == dyn::WireProto::kBin) {
+      p.conn.queue_frame(dyn::FrameType::kSnapshot,
+                         dyn::encode_snapshot_header_bin(p.snap->header));
+    } else {
+      p.conn.queue_line(encode_snapshot_header(p.snap->header));
+    }
     p.awaiting_ack = true;
     p.next_seq = snap_cache_->header.seq + 1;
     ++snapshots_served_;
@@ -522,15 +753,32 @@ class Coordinator {
     }
     while (p.snap_pos < p.snap->edges.size() && !p.conn.broken &&
            p.conn.out_buf.size() < kSnapshotChunkBytes) {
-      p.conn.queue_line(dyn::encode_snapshot_edge(p.snap->edges[p.snap_pos]));
-      ++p.snap_pos;
+      if (p.conn.proto == dyn::WireProto::kBin) {
+        // 12 B/edge raw chunks straight off the shared snapshot buffer.
+        const std::size_t n = std::min(kSnapEdgesPerChunk,
+                                       p.snap->edges.size() - p.snap_pos);
+        p.conn.queue_frame(
+            dyn::FrameType::kSnapChunk,
+            dyn::encode_snapshot_chunk(p.snap->edges.data() + p.snap_pos, n));
+        p.snap_pos += n;
+      } else {
+        p.conn.queue_line(
+            dyn::encode_snapshot_edge(p.snap->edges[p.snap_pos]));
+        ++p.snap_pos;
+      }
     }
+    p.conn.flush();  // queue_frame does not flush; one write per pass
     if (p.snap_pos == p.snap->edges.size()) p.snap.reset();
   }
 
   void reap() {
+    const auto retire = [this](const LineConn& c) {
+      closed_wire_.bytes_in += c.bytes_in;
+      closed_wire_.bytes_out += c.bytes_out;
+    };
     for (auto it = clients_.begin(); it != clients_.end();) {
       if (it->second.finished()) {
+        retire(it->second);
         it->second.close_fd();
         it = clients_.erase(it);
       } else {
@@ -539,6 +787,7 @@ class Coordinator {
     }
     for (auto it = peers_.begin(); it != peers_.end();) {
       if (it->second.conn.finished()) {
+        retire(it->second.conn);
         it->second.conn.close_fd();
         it = peers_.erase(it);
       } else {
@@ -572,6 +821,8 @@ class Coordinator {
   std::map<std::uint64_t, RepPeer> peers_;
   std::uint64_t next_id_ = 0;
   std::uint64_t snapshots_served_ = 0;
+  dyn::WireCounters closed_wire_;   // byte totals of reaped connections
+  std::uint64_t parse_errors_ = 0;  // bad lines + bad frame payloads
   bool shutdown_ = false;
 };
 

@@ -84,12 +84,17 @@ void LineConn::read_input() {
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n > 0) {
       in_buf.append(chunk, static_cast<std::size_t>(n));
+      bytes_in += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     eof = true;
     break;
+  }
+  if (proto == dyn::WireProto::kBin) {
+    parse_frames();
+    return;
   }
   std::size_t nl;
   while ((nl = in_buf.find('\n')) != std::string::npos) {
@@ -104,11 +109,43 @@ void LineConn::read_input() {
   if (in_buf.size() > kMaxLineBytes) broken = true;
 }
 
+void LineConn::parse_frames() {
+  dyn::Frame f;
+  for (;;) {
+    const dyn::FrameParse rc = dyn::extract_frame(in_buf, f);
+    if (rc == dyn::FrameParse::kOk) {
+      frames.push_back(std::move(f));
+      continue;
+    }
+    // kBad is unrecoverable: there is no resync point in a framed stream
+    // after a corrupt length, so the connection is dropped.
+    if (rc == dyn::FrameParse::kBad) broken = true;
+    return;
+  }
+}
+
+void LineConn::upgrade_to_bin() {
+  // Reconstruct the unconsumed byte stream exactly: lines were only ever
+  // split on real newlines, so pending + '\n' + ... + in_buf is the
+  // original image of everything buffered after the hello line.
+  std::string rest;
+  for (const std::string& l : pending) {
+    rest += l;
+    rest += '\n';
+  }
+  rest += in_buf;
+  in_buf = std::move(rest);
+  pending.clear();
+  proto = dyn::WireProto::kBin;
+  parse_frames();
+}
+
 void LineConn::flush() {
   while (!out_buf.empty()) {
     const ssize_t n = ::write(fd, out_buf.data(), out_buf.size());
     if (n > 0) {
       out_buf.erase(0, static_cast<std::size_t>(n));
+      bytes_out += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;

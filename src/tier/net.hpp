@@ -1,11 +1,12 @@
 #pragma once
-// Socket plumbing shared by the replicated serving tier (docs/TIER.md): the
-// coordinator, the replicas, bench_tier and test_tier all speak the same
-// newline-delimited flat-JSON protocol (dyn/wire.hpp) over unix stream
-// sockets, and they all multiplex with the same nonblocking line-buffered
-// connection state. This header is that shared layer — nothing in it knows
-// about graphs or replication, only fds, lines, and the tier's well-known
-// socket names inside a run directory:
+// Socket plumbing shared by the serving stack (docs/TIER.md, docs/DYNAMIC.md):
+// the coordinator, the replicas, ndg_serve's socket transport, bench_tier,
+// bench_serve and test_tier all speak the same wire protocols
+// (dyn/wire.hpp — newline-JSON by default, bin1 frames after a hello
+// upgrade) over unix stream sockets, and they all multiplex with the same
+// nonblocking buffered connection state. This header is that shared layer —
+// nothing in it knows about graphs or replication, only fds, lines, frames,
+// and the tier's well-known socket names inside a run directory:
 //
 //   <dir>/coord.sock      writes + coordinator-local reads (ndg_serve shape)
 //   <dir>/rep.sock        replication stream (replicas only)
@@ -13,6 +14,9 @@
 
 #include <deque>
 #include <string>
+#include <string_view>
+
+#include "dyn/wire.hpp"
 
 namespace ndg::tier {
 
@@ -28,12 +32,18 @@ int listen_unix(const std::string& path, int backlog = 16);
 /// once the deadline passes.
 int connect_unix(const std::string& path, int timeout_ms = 10000);
 
-/// One nonblocking line-buffered peer: bytes in -> complete lines out
-/// (`pending`), replies queued into `out_buf` and flushed as the socket
-/// accepts them. The flag trio mirrors ndg_serve's client lifecycle: eof =
-/// peer closed its write side (an unterminated tail still counts as a final
-/// line), draining = close once out_buf empties, broken = write error, drop
-/// without ceremony.
+/// One nonblocking buffered peer: bytes in -> complete messages out, replies
+/// queued into `out_buf` and flushed as the socket accepts them. The flag
+/// trio mirrors ndg_serve's client lifecycle: eof = peer closed its write
+/// side (an unterminated tail still counts as a final line), draining =
+/// close once out_buf empties, broken = write/protocol error, drop without
+/// ceremony.
+///
+/// A connection starts in newline-JSON (`proto == kJson`, messages land in
+/// `pending`) and may switch to bin1 framing (`upgrade_to_bin()`, messages
+/// land in `frames`) — this is the FrameConn role folded into the same
+/// struct, because negotiation happens mid-stream on a live connection and
+/// the buffered bytes must carry over losslessly.
 struct LineConn {
   /// Input bounds. A connection whose unterminated line exceeds
   /// kMaxLineBytes is marked broken — no forward progress is possible and
@@ -46,16 +56,20 @@ struct LineConn {
   static constexpr std::size_t kMaxReadBytes = std::size_t{4} << 20;
 
   int fd = -1;
+  dyn::WireProto proto = dyn::WireProto::kJson;
   std::string in_buf;
   std::string out_buf;
-  std::deque<std::string> pending;
+  std::deque<std::string> pending;   // complete JSON lines (kJson mode)
+  std::deque<dyn::Frame> frames;     // complete frames (kBin mode)
+  std::uint64_t bytes_in = 0;        // raw bytes read off the socket
+  std::uint64_t bytes_out = 0;       // raw bytes written to the socket
   bool eof = false;
   bool draining = false;
   bool broken = false;
 
   /// Drains the socket (up to kMaxReadBytes per pass) and splits complete
-  /// lines into `pending`; an unterminated line past kMaxLineBytes sets
-  /// `broken`.
+  /// messages into `pending` (lines) or `frames`; an unterminated line past
+  /// kMaxLineBytes or a frame length past kMaxFrameLen sets `broken`.
   void read_input();
 
   /// Writes as much of out_buf as the socket takes; EAGAIN leaves the rest
@@ -69,13 +83,32 @@ struct LineConn {
     flush();
   }
 
+  /// Appends one frame WITHOUT flushing — the writev-style batching path: a
+  /// drain pass queues every frame it produces (a record, a reply burst, a
+  /// run of snapshot chunks) and the caller flushes once, so a multi-message
+  /// exchange costs one write syscall instead of one per message.
+  void queue_frame(dyn::FrameType type, std::string_view payload) {
+    if (broken) return;
+    append_frame(out_buf, type, payload);
+  }
+
+  /// Switches input parsing to bin1 frames. Called while handling the hello
+  /// line, possibly with MORE bytes already buffered behind it (a client may
+  /// pipeline hello + frames in one write): the already-split lines are
+  /// rejoined with their newlines and re-parsed as frame bytes, so the
+  /// upgrade is lossless at any byte boundary.
+  void upgrade_to_bin();
+
   /// True when the connection has nothing left to do and can be closed.
   [[nodiscard]] bool finished() const {
     return broken || (draining && out_buf.empty()) ||
-           (eof && pending.empty() && out_buf.empty());
+           (eof && pending.empty() && frames.empty() && out_buf.empty());
   }
 
   void close_fd();
+
+ private:
+  void parse_frames();
 };
 
 // Well-known socket names inside a tier run directory.

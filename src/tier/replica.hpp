@@ -56,6 +56,9 @@ struct ReplicaOptions {
   std::size_t id = 0;
   std::string dir;
   std::uint32_t chaos_lag_ms = 0;  // sleep before applying each record
+  /// Negotiate bin1 framing on the replication stream: records and
+  /// snapshots arrive as frames, acks leave as frames (docs/TIER.md).
+  bool binary = false;
 };
 
 template <VertexProgram Program>
@@ -80,7 +83,23 @@ class Replica {
     listen_fd_ = listen_unix(replica_sock(opts_.dir, opts_.id));
     rep_.fd = connect_unix(rep_sock(opts_.dir));
     set_nonblocking(rep_.fd);
-    rep_.queue_line(dyn::encode_sync(opts_.id, cursor_));
+    if (opts_.binary) {
+      // Pipeline hello + the sync FRAME in one write: the coordinator
+      // upgrades while handling the hello line and parses the rest of the
+      // bytes as frames. Our own receive side stays line-mode until the
+      // hello-ok line arrives (rep_hello_pending_).
+      rep_hello_pending_ = true;
+      rep_.out_buf += dyn::WireWriter()
+                          .str("op", "hello")
+                          .str("proto", dyn::kBinProtoName)
+                          .finish();
+      rep_.out_buf += '\n';
+      rep_.queue_frame(dyn::FrameType::kSync,
+                       dyn::encode_sync_bin(opts_.id, cursor_));
+      rep_.flush();
+    } else {
+      rep_.queue_line(dyn::encode_sync(opts_.id, cursor_));
+    }
   }
 
   ~Replica() {
@@ -133,7 +152,10 @@ class Replica {
           drain_replication();
           // Coordinator gone: eof after the stream drained, or a failed ack
           // (it can close mid-replay if shutdown races an in-flight record).
-          if (rep_.broken || (rep_.eof && rep_.pending.empty())) stop_ = true;
+          if (rep_.broken ||
+              (rep_.eof && rep_.pending.empty() && rep_.frames.empty())) {
+            stop_ = true;
+          }
         } else if (auto it = clients_.find(owner[i]); it != clients_.end()) {
           LineConn& c = it->second;
           if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) c.read_input();
@@ -156,16 +178,38 @@ class Replica {
   // --- Replication stream ---
 
   void drain_replication() {
+    // Sequential, not either/or: the hello-ok upgrade can switch the proto
+    // mid-pass with frames already buffered behind it.
+    if (rep_.proto == dyn::WireProto::kJson) drain_replication_lines();
+    if (rep_.proto == dyn::WireProto::kBin) drain_replication_frames();
+  }
+
+  void drain_replication_lines() {
     // Keep processing lines already read even if the ack path broke —
     // a trailing shutdown op must still be honoured (acks no-op when
     // broken).
-    while (!stop_ && !rep_.pending.empty()) {
+    while (!stop_ && rep_.proto == dyn::WireProto::kJson &&
+           !rep_.pending.empty()) {
       const std::string line = std::move(rep_.pending.front());
       rep_.pending.pop_front();
       if (line.empty()) continue;
       dyn::WireMessage msg;
       std::string err;
       std::string op;
+      if (rep_hello_pending_) {
+        // The only line a binary replica ever reads: the coordinator's
+        // hello-ok. Anything else means the upgrade was rejected.
+        bool ok = false;
+        std::string proto;
+        if (!parse_wire(line, msg, &err) || !msg.get_bool("ok", ok) || !ok ||
+            !msg.get_string("proto", proto) || proto != dyn::kBinProtoName) {
+          die("replication hello rejected: " + line);
+          return;
+        }
+        rep_hello_pending_ = false;
+        rep_.upgrade_to_bin();
+        return;  // drain_replication falls through to the frame pump
+      }
       if (!parse_wire(line, msg, &err) || !msg.get_string("op", op)) {
         die("bad replication line: " + err);
         return;
@@ -231,6 +275,78 @@ class Replica {
     }
   }
 
+  /// Frame replay: a whole batch record arrives in ONE kRepRecord frame (no
+  /// kRecordMuts state on this path); snapshots keep the header → chunks →
+  /// done shape with `need_` counting down per chunk.
+  void drain_replication_frames() {
+    while (!stop_ && !rep_.frames.empty()) {
+      const dyn::Frame f = std::move(rep_.frames.front());
+      rep_.frames.pop_front();
+      std::string err;
+      if (f.type == dyn::FrameType::kShutdown) {
+        stop_ = true;
+        return;
+      }
+      switch (f.type) {
+        case dyn::FrameType::kRepRecord:
+          if (state_ != StreamState::kIdle) {
+            die("record frame inside a snapshot");
+            return;
+          }
+          if (!dyn::decode_record_bin(f.payload, cur_rec_, &err)) {
+            die(err);
+            return;
+          }
+          complete_record();
+          break;
+        case dyn::FrameType::kSnapshot:
+          if (state_ != StreamState::kIdle) {
+            die("snapshot header inside a snapshot");
+            return;
+          }
+          if (!dyn::decode_snapshot_header_bin(f.payload, snap_header_,
+                                               &err)) {
+            die(err);
+            return;
+          }
+          snap_edges_.clear();
+          snap_weights_.clear();
+          need_ = snap_header_.edges;
+          if (need_ == 0) {
+            install_snapshot();
+          } else {
+            state_ = StreamState::kSnapshotEdges;
+          }
+          break;
+        case dyn::FrameType::kSnapChunk: {
+          if (state_ != StreamState::kSnapshotEdges) {
+            die("unexpected snapshot chunk");
+            return;
+          }
+          std::vector<dyn::SnapshotEdge> chunk;
+          if (!dyn::decode_snapshot_chunk(f.payload, chunk, &err)) {
+            die(err);
+            return;
+          }
+          if (chunk.size() > need_) {
+            die("snapshot chunk overruns header");
+            return;
+          }
+          for (const dyn::SnapshotEdge& e : chunk) {
+            snap_edges_.push_back(Edge{e.src, e.dst});
+            snap_weights_.push_back(e.weight);
+          }
+          need_ -= chunk.size();
+          if (need_ == 0) install_snapshot();
+          break;
+        }
+        default:
+          die("unexpected replication frame");
+          return;
+      }
+    }
+  }
+
   void chaos_hold() {
     if (opts_.chaos_lag_ms > 0) {
       std::this_thread::sleep_for(
@@ -252,7 +368,17 @@ class Replica {
     ++records_replayed_;
     cur_rec_ = dyn::RepRecord{};
     state_ = StreamState::kIdle;
-    rep_.queue_line(dyn::encode_ack(opts_.id, cursor_, epoch_));
+    send_ack();
+  }
+
+  void send_ack() {
+    if (rep_.proto == dyn::WireProto::kBin) {
+      rep_.queue_frame(dyn::FrameType::kAck,
+                       dyn::encode_ack_bin(opts_.id, cursor_, epoch_));
+      rep_.flush();
+    } else {
+      rep_.queue_line(dyn::encode_ack(opts_.id, cursor_, epoch_));
+    }
   }
 
   /// Re-seed from a canonical snapshot: rebuild the base CSR from the
@@ -278,7 +404,7 @@ class Replica {
     epoch_ = snap_header_.epoch;
     ++snapshots_installed_;
     state_ = StreamState::kIdle;
-    rep_.queue_line(dyn::encode_ack(opts_.id, cursor_, epoch_));
+    send_ack();
   }
 
   void die(const std::string& what) {
@@ -310,7 +436,14 @@ class Replica {
   }
 
   void drain_client(LineConn& c) {
-    while (!c.draining && !c.broken && !c.pending.empty()) {
+    if (c.proto == dyn::WireProto::kJson) drain_client_lines(c);
+    if (c.proto == dyn::WireProto::kBin) drain_client_frames(c);
+    c.flush();
+  }
+
+  void drain_client_lines(LineConn& c) {
+    while (!c.draining && !c.broken && !c.pending.empty() &&
+           c.proto == dyn::WireProto::kJson) {
       const std::string line = std::move(c.pending.front());
       c.pending.pop_front();
       if (line.empty() ||
@@ -328,6 +461,19 @@ class Replica {
         c.queue_line(tier_error("missing field: op"));
         continue;
       }
+      if (op == "hello") {
+        std::string proto;
+        if (!msg.get_string("proto", proto) || proto != dyn::kBinProtoName) {
+          c.queue_line(tier_error("hello: unknown proto"));
+          continue;
+        }
+        c.queue_line(dyn::WireWriter()
+                         .boolean("ok", true)
+                         .str("proto", dyn::kBinProtoName)
+                         .finish());
+        c.upgrade_to_bin();  // drain_client falls through to the frame pump
+        return;
+      }
       if (op == "query") {
         std::uint64_t v = 0;
         if (!msg.get_u64("vertex", v)) {
@@ -343,20 +489,7 @@ class Replica {
               w.u64("epoch", epoch_).u64("replica", opts_.id).finish());
         }
       } else if (op == "stats") {
-        c.queue_line(dyn::WireWriter()
-                         .boolean("ok", true)
-                         .str("role", "replica")
-                         .u64("replica", opts_.id)
-                         .str("algo", prog_.name())
-                         .u64("epoch_watermark", epoch_)
-                         .u64("seq", cursor_)
-                         .u64("records_replayed", records_replayed_)
-                         .u64("snapshots_installed", snapshots_installed_)
-                         .u64("vertices", g_.num_vertices())
-                         .u64("live_edges", g_.num_live_edges())
-                         .u64("warm_runs", inc_->warm_runs())
-                         .u64("cold_runs", inc_->cold_runs())
-                         .finish());
+        c.queue_line(stats_line());
       } else if (op == "quit") {
         c.queue_line(dyn::WireWriter()
                          .boolean("ok", true)
@@ -365,6 +498,68 @@ class Replica {
         c.draining = true;
       } else {
         c.queue_line(tier_error("unknown op: " + op));
+      }
+    }
+  }
+
+  [[nodiscard]] std::string stats_line() const {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .str("role", "replica")
+        .u64("replica", opts_.id)
+        .str("algo", prog_.name())
+        .u64("epoch_watermark", epoch_)
+        .u64("seq", cursor_)
+        .u64("records_replayed", records_replayed_)
+        .u64("snapshots_installed", snapshots_installed_)
+        .u64("vertices", g_.num_vertices())
+        .u64("live_edges", g_.num_live_edges())
+        .u64("warm_runs", inc_->warm_runs())
+        .u64("cold_runs", inc_->cold_runs())
+        .finish();
+  }
+
+  /// Binary read serving: query replies carry the replica's epoch WATERMARK
+  /// like the JSON path (the replica id travels only on the JSON shape —
+  /// a binary client knows which socket it dialed).
+  void drain_client_frames(LineConn& c) {
+    while (!c.draining && !c.broken && !c.frames.empty()) {
+      const dyn::Frame f = std::move(c.frames.front());
+      c.frames.pop_front();
+      std::string err;
+      switch (f.type) {
+        case dyn::FrameType::kQuery: {
+          std::uint64_t v = 0;
+          if (!dyn::decode_query(f.payload, v, &err)) {
+            c.queue_frame(dyn::FrameType::kError, err);
+            break;
+          }
+          if (v >= values_.size()) {
+            c.queue_frame(
+                dyn::FrameType::kError,
+                "query: vertex out of range: " + std::to_string(v));
+            break;
+          }
+          dyn::QueryReplyBin qr;
+          qr.vertex = v;
+          qr.value = values_[v];
+          qr.epoch = epoch_;
+          c.queue_frame(dyn::FrameType::kQueryReply,
+                        dyn::encode_query_reply(qr));
+          break;
+        }
+        case dyn::FrameType::kStats:
+          c.queue_frame(dyn::FrameType::kJson, stats_line());
+          break;
+        case dyn::FrameType::kQuit:
+          c.queue_frame(dyn::FrameType::kBye, {});
+          c.draining = true;
+          break;
+        default:
+          c.queue_frame(dyn::FrameType::kError,
+                        "unexpected frame type: " +
+                            std::to_string(static_cast<unsigned>(f.type)));
+          break;
       }
     }
   }
@@ -391,6 +586,7 @@ class Replica {
   std::vector<double> values_;
 
   LineConn rep_;  // replication stream to the coordinator
+  bool rep_hello_pending_ = false;  // bin1 requested, ok line not yet seen
   int listen_fd_ = -1;
   std::map<std::uint64_t, LineConn> clients_;
   std::uint64_t next_client_id_ = 0;

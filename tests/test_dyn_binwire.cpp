@@ -1,0 +1,395 @@
+// bin1 framing and fixed-layout codec tests (dyn/wire.hpp "Binary framing",
+// dyn/replication.hpp "Binary replication codec"): frame extraction under
+// partial reads and hostile lengths, exact round-trips for every payload
+// codec (including NaN/inf floats and randomized property sweeps), and the
+// malformed-payload rejections that keep a lying header from becoming an
+// allocation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dyn/replication.hpp"
+#include "dyn/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ndg::dyn {
+namespace {
+
+Frame extract_one(std::string& buf) {
+  Frame f;
+  std::string err;
+  EXPECT_EQ(extract_frame(buf, f, &err), FrameParse::kOk) << err;
+  return f;
+}
+
+TEST(BinFraming, RoundTripsPayloadsOfEverySize) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{13},
+                              std::size_t{4096}}) {
+    std::string payload(n, '\0');
+    for (std::size_t i = 0; i < n; ++i) {
+      payload[i] = static_cast<char>(i * 31 + 7);
+    }
+    std::string buf;
+    append_frame(buf, FrameType::kJson, payload);
+    EXPECT_EQ(buf.size(), kFrameHeaderBytes + n);
+    const Frame f = extract_one(buf);
+    EXPECT_EQ(f.type, FrameType::kJson);
+    EXPECT_EQ(f.payload, payload);
+    EXPECT_TRUE(buf.empty());  // consumed from the front
+  }
+}
+
+TEST(BinFraming, ExtractsBackToBackFramesAndKeepsTheTail) {
+  std::string buf;
+  append_frame(buf, FrameType::kQuery, encode_query(7));
+  append_frame(buf, FrameType::kQuit, "");
+  buf += "tail";  // start of a third, incomplete frame
+  EXPECT_EQ(extract_one(buf).type, FrameType::kQuery);
+  EXPECT_EQ(extract_one(buf).type, FrameType::kQuit);
+  Frame f;
+  EXPECT_EQ(extract_frame(buf, f), FrameParse::kNeedMore);
+  EXPECT_EQ(buf, "tail");  // partial bytes untouched
+}
+
+TEST(BinFraming, NeedsMoreOnEveryTruncationPoint) {
+  std::string whole;
+  append_frame(whole, FrameType::kMutate, encode_mutate(Mutation{}));
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    std::string buf = whole.substr(0, cut);
+    Frame f;
+    EXPECT_EQ(extract_frame(buf, f), FrameParse::kNeedMore) << "cut=" << cut;
+    EXPECT_EQ(buf.size(), cut);  // nothing consumed while incomplete
+  }
+}
+
+TEST(BinFraming, OversizedLengthBreaksTheConnection) {
+  std::string buf;
+  put_u32(buf, kMaxFrameLen + 1);
+  put_u8(buf, static_cast<std::uint8_t>(FrameType::kJson));
+  Frame f;
+  std::string err;
+  EXPECT_EQ(extract_frame(buf, f, &err), FrameParse::kBad);
+  EXPECT_FALSE(err.empty());
+  // A length of exactly kMaxFrameLen is still legal framing.
+  std::string ok;
+  put_u32(ok, kMaxFrameLen);
+  put_u8(ok, static_cast<std::uint8_t>(FrameType::kJson));
+  EXPECT_EQ(extract_frame(ok, f), FrameParse::kNeedMore);
+}
+
+TEST(BinCodec, MutateRoundTripsEveryKindAndOddFloats) {
+  const float weights[] = {1.0f, -2.5f, 0.0f,
+                           std::numeric_limits<float>::infinity(),
+                           std::numeric_limits<float>::quiet_NaN()};
+  for (const auto kind :
+       {MutationKind::kInsertEdge, MutationKind::kDeleteEdge,
+        MutationKind::kWeightChange}) {
+    for (const float w : weights) {
+      Mutation in;
+      in.kind = kind;
+      in.src = 12345;
+      in.dst = 4294967294u;
+      in.weight = w;
+      Mutation out;
+      std::string err;
+      ASSERT_TRUE(decode_mutate(encode_mutate(in), out, &err)) << err;
+      EXPECT_EQ(out.kind, in.kind);
+      EXPECT_EQ(out.src, in.src);
+      EXPECT_EQ(out.dst, in.dst);
+      if (std::isnan(w)) {
+        EXPECT_TRUE(std::isnan(out.weight));
+      } else {
+        EXPECT_EQ(out.weight, w);
+      }
+    }
+  }
+}
+
+TEST(BinCodec, MutateRejectsBadSizeAndBadKind) {
+  Mutation out;
+  std::string err;
+  EXPECT_FALSE(decode_mutate(encode_mutate(Mutation{}) + "x", out, &err));
+  EXPECT_FALSE(decode_mutate("", out, &err));
+  std::string p = encode_mutate(Mutation{});
+  p[0] = '\x07';  // no such MutationKind
+  EXPECT_FALSE(decode_mutate(p, out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(BinCodec, MBatchRoundTripsRandomBatches) {
+  SplitMix64 rng(2026);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{513}}) {
+    std::vector<Mutation> in(n);
+    for (auto& m : in) {
+      m.kind = static_cast<MutationKind>(rng.next() % 3);
+      m.src = static_cast<VertexId>(rng.next());
+      m.dst = static_cast<VertexId>(rng.next());
+      m.weight = static_cast<float>(rng.next() % 1000) * 0.25f;
+    }
+    std::vector<Mutation> out;
+    std::string err;
+    ASSERT_TRUE(decode_mbatch(encode_mbatch(in), out, &err)) << err;
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].kind, in[i].kind);
+      EXPECT_EQ(out[i].src, in[i].src);
+      EXPECT_EQ(out[i].dst, in[i].dst);
+      EXPECT_EQ(out[i].weight, in[i].weight);
+    }
+  }
+}
+
+TEST(BinCodec, MBatchRejectsCountPayloadDisagreement) {
+  std::vector<Mutation> out;
+  std::string err;
+  // Count says 2, payload carries 1 mutation: a lying header must be a
+  // parse error, never an out-of-bounds read or a giant reserve.
+  std::string p;
+  put_u32(p, 2);
+  p += encode_mutate(Mutation{});
+  EXPECT_FALSE(decode_mbatch(p, out, &err));
+  EXPECT_NE(err.find("count"), std::string::npos) << err;
+  // Count says 4 billion on a 4-byte payload.
+  std::string huge;
+  put_u32(huge, 0xFFFFFFFFu);
+  EXPECT_FALSE(decode_mbatch(huge, out, &err));
+  // Truncated below even the count field.
+  EXPECT_FALSE(decode_mbatch("ab", out, &err));
+}
+
+TEST(BinCodec, AcksRoundTripAndRejectWrongSize) {
+  std::uint64_t pending = 0;
+  std::string err;
+  ASSERT_TRUE(decode_mutate_ack(encode_mutate_ack(987654321012345ull),
+                                pending, &err))
+      << err;
+  EXPECT_EQ(pending, 987654321012345ull);
+  EXPECT_FALSE(decode_mutate_ack("short", pending, &err));
+
+  std::uint32_t accepted = 0;
+  ASSERT_TRUE(decode_mbatch_ack(encode_mbatch_ack(77, 123456), accepted,
+                                pending, &err))
+      << err;
+  EXPECT_EQ(accepted, 77u);
+  EXPECT_EQ(pending, 123456u);
+  EXPECT_FALSE(decode_mbatch_ack("", accepted, pending, &err));
+}
+
+TEST(BinCodec, QueryReplyRoundTripsEveryFlagCombination) {
+  for (const bool has : {false, true}) {
+    for (const bool quiescent : {false, true}) {
+      QueryReplyBin in;
+      in.has_quiescent = has;
+      in.quiescent = has && quiescent;
+      in.vertex = 8589934592ull;  // > 32 bits
+      in.value = -0.12345678901234567;
+      in.epoch = 42;
+      QueryReplyBin out;
+      std::string err;
+      ASSERT_TRUE(decode_query_reply(encode_query_reply(in), out, &err))
+          << err;
+      EXPECT_EQ(out.has_quiescent, in.has_quiescent);
+      EXPECT_EQ(out.quiescent, in.quiescent);
+      EXPECT_EQ(out.vertex, in.vertex);
+      EXPECT_EQ(out.value, in.value);
+      EXPECT_EQ(out.epoch, in.epoch);
+    }
+  }
+  QueryReplyBin in;
+  in.value = std::numeric_limits<double>::infinity();  // SSSP unreached
+  QueryReplyBin out;
+  ASSERT_TRUE(decode_query_reply(encode_query_reply(in), out));
+  EXPECT_TRUE(std::isinf(out.value));
+}
+
+TEST(BinCodec, RecomputeReplyCarriesCountersAndTrailingReason) {
+  RecomputeReplyBin in;
+  in.epoch = 9;
+  in.warm = true;
+  in.converged = true;
+  in.compacted = false;
+  in.applied = 120;
+  in.rejected = 7;
+  in.seeds = 88;
+  in.iterations = 31;
+  in.updates = 100000;
+  in.live_edges = 262144;
+  in.reason = "gate: push-eligible (theorem 1)";
+  RecomputeReplyBin out;
+  std::string err;
+  ASSERT_TRUE(decode_recompute_reply(encode_recompute_reply(in), out, &err))
+      << err;
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.warm, in.warm);
+  EXPECT_EQ(out.converged, in.converged);
+  EXPECT_EQ(out.compacted, in.compacted);
+  EXPECT_EQ(out.applied, in.applied);
+  EXPECT_EQ(out.rejected, in.rejected);
+  EXPECT_EQ(out.seeds, in.seeds);
+  EXPECT_EQ(out.iterations, in.iterations);
+  EXPECT_EQ(out.updates, in.updates);
+  EXPECT_EQ(out.live_edges, in.live_edges);
+  EXPECT_EQ(out.reason, in.reason);
+
+  in.reason.clear();  // empty trailing text is a valid payload
+  ASSERT_TRUE(decode_recompute_reply(encode_recompute_reply(in), out));
+  EXPECT_TRUE(out.reason.empty());
+}
+
+TEST(BinReplication, RecordRoundTripsBatchAndCompact) {
+  SplitMix64 rng(7);
+  RepRecord in;
+  in.seq = 1234;
+  in.kind = RepKind::kBatch;
+  in.epoch = 56;
+  in.compact_after = true;
+  in.muts.resize(19);
+  for (auto& m : in.muts) {
+    m.kind = static_cast<MutationKind>(rng.next() % 3);
+    m.src = static_cast<VertexId>(rng.next());
+    m.dst = static_cast<VertexId>(rng.next());
+    m.id = rng.next();
+    m.weight = static_cast<float>(rng.next() % 97) * 0.5f;
+    m.old_weight = static_cast<float>(rng.next() % 97) * 0.5f;
+  }
+  RepRecord out;
+  std::string err;
+  ASSERT_TRUE(decode_record_bin(encode_record_bin(in), out, &err)) << err;
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.compact_after, in.compact_after);
+  ASSERT_EQ(out.muts.size(), in.muts.size());
+  for (std::size_t i = 0; i < in.muts.size(); ++i) {
+    EXPECT_EQ(out.muts[i].kind, in.muts[i].kind);
+    EXPECT_EQ(out.muts[i].src, in.muts[i].src);
+    EXPECT_EQ(out.muts[i].dst, in.muts[i].dst);
+    EXPECT_EQ(out.muts[i].id, in.muts[i].id);
+    EXPECT_EQ(out.muts[i].weight, in.muts[i].weight);
+    EXPECT_EQ(out.muts[i].old_weight, in.muts[i].old_weight);
+  }
+
+  RepRecord fence;
+  fence.seq = 1235;
+  fence.kind = RepKind::kCompact;
+  fence.epoch = 56;
+  ASSERT_TRUE(decode_record_bin(encode_record_bin(fence), out));
+  EXPECT_EQ(out.kind, RepKind::kCompact);
+  EXPECT_TRUE(out.muts.empty());
+}
+
+TEST(BinReplication, RecordRejectsLyingCounts) {
+  RepRecord rec;
+  rec.seq = 1;
+  rec.muts.resize(2);
+  std::string p = encode_record_bin(rec);
+  RepRecord out;
+  std::string err;
+  EXPECT_FALSE(decode_record_bin(p + "pad", out, &err));
+  EXPECT_NE(err.find("size"), std::string::npos) << err;
+  // Patch the count field (after seq u64 | kind u8 | epoch u64 | compact u8)
+  // to a value past kMaxRecordMuts: rejected on the bound, no allocation.
+  std::string bound = p;
+  const std::size_t count_off = 8 + 1 + 8 + 1;
+  bound[count_off + 0] = '\xFF';
+  bound[count_off + 1] = '\xFF';
+  bound[count_off + 2] = '\xFF';
+  bound[count_off + 3] = '\xFF';
+  EXPECT_FALSE(decode_record_bin(bound, out, &err));
+  EXPECT_NE(err.find("bound"), std::string::npos) << err;
+}
+
+TEST(BinReplication, SnapshotHeaderChunkSyncAckRoundTrip) {
+  SnapshotHeader h;
+  h.seq = 900;
+  h.epoch = 12;
+  h.vertices = 4096;
+  h.edges = 123456789ull;
+  SnapshotHeader hout;
+  std::string err;
+  ASSERT_TRUE(
+      decode_snapshot_header_bin(encode_snapshot_header_bin(h), hout, &err))
+      << err;
+  EXPECT_EQ(hout.seq, h.seq);
+  EXPECT_EQ(hout.epoch, h.epoch);
+  EXPECT_EQ(hout.vertices, h.vertices);
+  EXPECT_EQ(hout.edges, h.edges);
+
+  SplitMix64 rng(99);
+  std::vector<SnapshotEdge> edges(257);
+  for (auto& e : edges) {
+    e.src = static_cast<VertexId>(rng.next());
+    e.dst = static_cast<VertexId>(rng.next());
+    e.weight = static_cast<float>(rng.next() % 1009) * 0.125f;
+  }
+  std::vector<SnapshotEdge> got;
+  ASSERT_TRUE(decode_snapshot_chunk(
+      encode_snapshot_chunk(edges.data(), edges.size()), got, &err))
+      << err;
+  ASSERT_EQ(got.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(got[i].src, edges[i].src);
+    EXPECT_EQ(got[i].dst, edges[i].dst);
+    EXPECT_EQ(got[i].weight, edges[i].weight);
+  }
+  // decode appends: a second chunk lands after the first.
+  ASSERT_TRUE(
+      decode_snapshot_chunk(encode_snapshot_chunk(edges.data(), 3), got));
+  EXPECT_EQ(got.size(), edges.size() + 3);
+
+  std::uint64_t replica = 0, seq = 0, epoch = 0;
+  ASSERT_TRUE(decode_sync_bin(encode_sync_bin(3, 777), replica, seq, &err))
+      << err;
+  EXPECT_EQ(replica, 3u);
+  EXPECT_EQ(seq, 777u);
+  ASSERT_TRUE(
+      decode_ack_bin(encode_ack_bin(2, 41, 40), replica, seq, epoch, &err))
+      << err;
+  EXPECT_EQ(replica, 2u);
+  EXPECT_EQ(seq, 41u);
+  EXPECT_EQ(epoch, 40u);
+  EXPECT_FALSE(decode_sync_bin("short", replica, seq, &err));
+  EXPECT_FALSE(decode_ack_bin("short", replica, seq, epoch, &err));
+}
+
+// Property sweep: random payload bytes never crash a decoder, and the
+// decoders only accept when re-encoding reproduces the input exactly (the
+// codecs are bijections on their valid payload sets).
+TEST(BinCodec, RandomBytesNeverCrashAndAcceptedPayloadsReencodeExactly) {
+  SplitMix64 rng(0xD1CEu);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string p(rng.next() % 64, '\0');
+    for (auto& ch : p) ch = static_cast<char>(rng.next());
+    Mutation m;
+    if (decode_mutate(p, m)) {
+      EXPECT_EQ(encode_mutate(m), p);
+    }
+    std::uint64_t vertex = 0;
+    if (decode_query(p, vertex)) {
+      EXPECT_EQ(encode_query(vertex), p);
+    }
+    QueryReplyBin qr;
+    // Reserved flag bits decode permissively, so the bijection claim only
+    // holds for payloads whose flags byte stays within the defined bits.
+    if (decode_query_reply(p, qr) && (static_cast<unsigned char>(p[0]) & ~0x03u) == 0) {
+      EXPECT_EQ(encode_query_reply(qr), p);
+    }
+    std::uint64_t pending = 0;
+    if (decode_mutate_ack(p, pending)) {
+      EXPECT_EQ(encode_mutate_ack(pending), p);
+    }
+    std::vector<Mutation> ms;
+    if (decode_mbatch(p, ms)) {
+      EXPECT_EQ(encode_mbatch(ms), p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndg::dyn

@@ -1,7 +1,8 @@
 // End-to-end tests for the multiplexed ndg_serve socket server: two
 // concurrent clients interleaving mutate/query/stats with strict per-client
-// reply order, quit scoped to its own connection, and --live-queries
-// answering a mid-recompute query with "quiescent":false.
+// reply order, quit scoped to its own connection, --live-queries answering a
+// mid-recompute query with "quiescent":false, and a bin1-upgraded client
+// sharing one server (and one MutationLog) with a newline-JSON client.
 //
 // The server binary path arrives via the NDG_SERVE_BIN compile definition
 // (tools/CMakeLists.txt); each test forks/execs its own server on a fresh
@@ -25,6 +26,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "dyn/wire.hpp"
 
 namespace {
 
@@ -155,6 +158,49 @@ class Client {
     }
   }
 
+  void send_frame(ndg::dyn::FrameType type, const std::string& payload) {
+    std::string buf;
+    ndg::dyn::append_frame(buf, type, payload);
+    send(buf);
+  }
+
+  /// Next bin1 frame after the connection upgraded; fails on timeout,
+  /// early EOF, or corrupt framing.
+  ndg::dyn::Frame read_frame(int timeout_ms = 15000) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      ndg::dyn::Frame f;
+      std::string err;
+      const auto st = ndg::dyn::extract_frame(buf_, f, &err);
+      if (st == ndg::dyn::FrameParse::kOk) return f;
+      if (st == ndg::dyn::FrameParse::kBad) {
+        ADD_FAILURE() << "corrupt frame from server: " << err;
+        return f;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        ADD_FAILURE() << "timed out waiting for a frame";
+        return f;
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        ADD_FAILURE() << "timed out waiting for a frame";
+        return f;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while awaiting a frame";
+        return f;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
   /// True once the server closes this connection (draining after bye).
   bool wait_eof(int timeout_ms = 5000) {
     const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -259,6 +305,111 @@ TEST(ServeMultiClient, InterleavedClientsKeepPerClientReplyOrder) {
   c.connect(server.socket);
   EXPECT_TRUE(contains(c.read_line(), "\"ready\":true"));
   c.close();
+  server.stop();
+}
+
+// One server, two protocols: client B upgrades to bin1 via the hello
+// handshake (pipelined with binary frames in the same write) while client A
+// stays on newline JSON. Both feed the same MutationLog and read the same
+// epoch; B's malformed frame draws a kError without desyncing the stream,
+// and the stats op reports one connection per protocol.
+TEST(ServeMultiClient, BinaryAndJsonClientsShareOneServer) {
+  namespace dyn = ndg::dyn;
+  Server server;
+  server.start({"--algo=sssp", "--kind=chain", "--vertices=300",
+                "--gate=theorem2", "--engine=ne", "--threads=2"});
+  Client a;
+  Client b;
+  a.connect(server.socket);
+  b.connect(server.socket);
+  EXPECT_TRUE(contains(a.read_line(), "\"ready\":true"));
+  EXPECT_TRUE(contains(b.read_line(), "\"ready\":true"));
+
+  // Hello + the first binary frames in ONE write: the upgrade must split
+  // the line from the frame bytes that follow it in the same segment.
+  std::vector<dyn::Mutation> muts(2);
+  muts[0].kind = dyn::MutationKind::kInsertEdge;
+  muts[0].src = 0;
+  muts[0].dst = 2;
+  muts[0].weight = 3.0f;
+  muts[1].kind = dyn::MutationKind::kInsertEdge;
+  muts[1].src = 0;
+  muts[1].dst = 102;
+  muts[1].weight = 3.0f;
+  std::string blob = "{\"op\":\"hello\",\"proto\":\"bin1\"}\n";
+  dyn::append_frame(blob, dyn::FrameType::kMBatch, dyn::encode_mbatch(muts));
+  dyn::append_frame(blob, dyn::FrameType::kRecompute, "");
+  dyn::append_frame(blob, dyn::FrameType::kQuery, dyn::encode_query(2));
+  b.send(blob);
+  const std::string hello = b.read_line();
+  EXPECT_TRUE(contains(hello, "\"ok\":true")) << hello;
+  EXPECT_TRUE(contains(hello, "\"proto\":\"bin1\"")) << hello;
+
+  const dyn::Frame ack = b.read_frame();
+  ASSERT_EQ(ack.type, dyn::FrameType::kMBatchAck);
+  std::uint32_t accepted = 0;
+  std::uint64_t pending = 0;
+  std::string err;
+  ASSERT_TRUE(dyn::decode_mbatch_ack(ack.payload, accepted, pending, &err))
+      << err;
+  EXPECT_EQ(accepted, 2u);
+  EXPECT_EQ(pending, 2u);
+
+  const dyn::Frame rec = b.read_frame();
+  ASSERT_EQ(rec.type, dyn::FrameType::kRecomputeReply);
+  dyn::RecomputeReplyBin rr;
+  ASSERT_TRUE(dyn::decode_recompute_reply(rec.payload, rr, &err)) << err;
+  EXPECT_EQ(rr.epoch, 1u);
+  EXPECT_EQ(rr.applied, 2u);
+  EXPECT_EQ(rr.rejected, 0u);
+  EXPECT_TRUE(rr.converged);
+
+  // Chain topology pins the shortcut value to the inserted weight-3 edge.
+  const dyn::Frame q = b.read_frame();
+  ASSERT_EQ(q.type, dyn::FrameType::kQueryReply);
+  dyn::QueryReplyBin qr;
+  ASSERT_TRUE(dyn::decode_query_reply(q.payload, qr, &err)) << err;
+  EXPECT_EQ(qr.vertex, 2u);
+  EXPECT_EQ(qr.value, 3.0);
+  EXPECT_EQ(qr.epoch, 1u);
+
+  // The JSON client reads the exact same epoch the binary client built.
+  a.send_line(R"({"op":"query","vertex":102})");
+  EXPECT_TRUE(
+      contains(a.read_line(), "\"vertex\":102,\"value\":3,\"epoch\":1"));
+  a.send_line(R"({"op":"stats"})");
+  const std::string stats = a.read_line();
+  EXPECT_TRUE(contains(stats, "\"conns_json\":1")) << stats;
+  EXPECT_TRUE(contains(stats, "\"conns_bin\":1")) << stats;
+  EXPECT_TRUE(contains(stats, "\"parse_errors\":0")) << stats;
+
+  // A malformed payload (truncated mutate) draws a kError frame and the
+  // connection keeps working — framing never desyncs on payload errors.
+  b.send_frame(dyn::FrameType::kMutate, "abc");
+  const dyn::Frame bad = b.read_frame();
+  EXPECT_EQ(bad.type, dyn::FrameType::kError);
+  EXPECT_FALSE(bad.payload.empty());
+  b.send_frame(dyn::FrameType::kQuery, dyn::encode_query(102));
+  const dyn::Frame q2 = b.read_frame();
+  ASSERT_EQ(q2.type, dyn::FrameType::kQueryReply);
+  ASSERT_TRUE(dyn::decode_query_reply(q2.payload, qr, &err)) << err;
+  EXPECT_EQ(qr.vertex, 102u);
+  EXPECT_EQ(qr.value, 3.0);
+
+  // The binary stats frame rides kJson and now counts B's parse error.
+  b.send_frame(dyn::FrameType::kStats, "");
+  const dyn::Frame st = b.read_frame();
+  ASSERT_EQ(st.type, dyn::FrameType::kJson);
+  EXPECT_TRUE(contains(st.payload, "\"parse_errors\":1")) << st.payload;
+  EXPECT_TRUE(contains(st.payload, "\"total_mutations\":2")) << st.payload;
+
+  // kQuit answers kBye and closes only B's connection.
+  b.send_frame(dyn::FrameType::kQuit, "");
+  EXPECT_EQ(b.read_frame().type, dyn::FrameType::kBye);
+  EXPECT_TRUE(b.wait_eof());
+  EXPECT_TRUE(server.alive());
+  a.send_line(R"({"op":"quit"})");
+  EXPECT_TRUE(contains(a.read_line(), "\"bye\":true"));
   server.stop();
 }
 

@@ -333,6 +333,69 @@ TEST(Tier, LaggedReplicaSnapshotsAndConvergesExactly) {
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
 }
 
+// --proto=mixed: replica 0 negotiates the bin1 replication stream (records
+// and snapshots travel as frames) while replica 1 stays on newline JSON.
+// Both are lagged past the 2-record history so each gets re-seeded through
+// its own snapshot encoding, and both must converge to EXACTLY the
+// coordinator's WCC answers — the two transports are interchangeable down
+// to the last bit.
+TEST(Tier, MixedProtocolReplicasConvergeExactly) {
+  Tier tier;
+  tier.start({"--replicas=2", "--proto=mixed", "--algo=wcc", "--kind=er",
+              "--vertices=300", "--edges=900", "--seed=7",
+              "--gate=theorem2", "--threads=2", "--history=2",
+              "--chaos-lag-ms=300"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 2);
+
+  // One replication peer per protocol, visible in the wire counters.
+  const std::string st0 = coord.rpc(R"({"op":"stats"})");
+  EXPECT_GE(num_field(st0, "conns_bin"), 1) << st0;
+  EXPECT_GE(num_field(st0, "conns_json"), 2) << st0;  // peer + this client
+
+  // Outpace both replicas (300 ms per record, history=2): each falls off
+  // the retained window and is re-seeded via its protocol's snapshot path.
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+                std::to_string(290 + e) + R"(,"dst":)" +
+                std::to_string((e * 37 + i * 11) % 300) + "}");
+    }
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+
+  const std::string st = wait_watermark(coord, 120000);
+  EXPECT_GE(num_field(st, "snapshots_served"), 2) << st;
+
+  Client rep0;
+  Client rep1;
+  rep0.connect(tier.replica_sock(0));
+  rep1.connect(tier.replica_sock(1));
+  EXPECT_TRUE(contains(rep0.read_line(), "\"role\":\"replica\""));
+  EXPECT_TRUE(contains(rep1.read_line(), "\"role\":\"replica\""));
+  const std::string rst0 = rep0.rpc(R"({"op":"stats"})");
+  const std::string rst1 = rep1.rpc(R"({"op":"stats"})");
+  EXPECT_GE(num_field(rst0, "snapshots_installed"), 1) << rst0;
+  EXPECT_GE(num_field(rst1, "snapshots_installed"), 1) << rst1;
+  EXPECT_EQ(field(rst0, "epoch_watermark"), "6") << rst0;
+  EXPECT_EQ(field(rst1, "epoch_watermark"), "6") << rst1;
+
+  for (int v = 0; v < 300; v += 7) {
+    const std::string qc = query(coord, v);
+    const std::string q0 = query(rep0, v);
+    const std::string q1 = query(rep1, v);
+    EXPECT_EQ(field(qc, "value"), field(q0, "value")) << qc << "\n" << q0;
+    EXPECT_EQ(field(qc, "value"), field(q1, "value")) << qc << "\n" << q1;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
 // PageRank is eps-converged, not exact: independent racy runs on identical
 // graphs land within a small neighborhood of the same fixed point, so the
 // replica's answers must agree with the coordinator's within tolerance.

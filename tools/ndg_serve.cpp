@@ -65,6 +65,7 @@
 #include "dyn/mutation_log.hpp"
 #include "dyn/wire.hpp"
 #include "nondetgraph.hpp"
+#include "tier/net.hpp"
 #include "util/cli.hpp"
 
 namespace ndg {
@@ -163,7 +164,8 @@ class Session {
   /// Synchronous dispatch (stdio transport): one parsed command in, one
   /// reply out; sets `quit` on the quit op. Recompute runs inline, so every
   /// query observes a quiescent point — the pre-multiplex behavior.
-  std::string handle(const dyn::WireMessage& msg, bool& quit) {
+  std::string handle(const dyn::WireMessage& msg, bool& quit,
+                     const dyn::WireCounters& wire) {
     std::string op;
     if (!msg.get_string("op", op)) return error_reply("missing field: op");
     if (op == "mutate") return handle_mutate(msg);
@@ -174,7 +176,7 @@ class Session {
       return recompute_reply(r);
     }
     if (op == "query") return query_reply(msg);
-    if (op == "stats") return stats_reply();
+    if (op == "stats") return stats_reply(wire);
     if (op == "quit") {
       quit = true;
       return bye_reply();
@@ -220,6 +222,25 @@ class Session {
         .finish();
   }
 
+  /// Binary intake paths: pre-decoded mutations go straight into the log
+  /// (same mutex-guarded funnel as handle_mutate). The mbatch overload is
+  /// the whole point of the bin1 protocol — one frame, one bulk append.
+  std::uint64_t append_mutation(const dyn::Mutation& m) {
+    log_.append(m);
+    return log_.pending();
+  }
+  std::uint64_t append_mutations(const std::vector<dyn::Mutation>& ms) {
+    log_.append(ms);
+    return log_.pending();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const { return log_.epoch(); }
+  [[nodiscard]] std::size_t num_values() const { return values_.size(); }
+  [[nodiscard]] double quiescent_value(std::uint64_t v) const {
+    return values_[v];
+  }
+  [[nodiscard]] bool live_mode() const { return live_mode_; }
+
   /// Seals the pending tail into the next epoch's batch (event loop).
   [[nodiscard]] dyn::MutationBatch seal_batch() { return log_.seal(); }
 
@@ -232,13 +253,15 @@ class Session {
 
   /// Event loop, after the worker handed the result back (worker idle):
   /// performs the deferred compaction and refreshes the quiescent cache.
-  std::string finish_epoch(dyn::EpochResult r) {
+  /// Returns the completed result; the transport formats it for whichever
+  /// protocol the issuing client speaks (recompute_reply / recompute_bin).
+  dyn::EpochResult finish_epoch(dyn::EpochResult r) {
     if (g_.should_compact()) {
       inc_.compact_now();
       r.compacted = true;
     }
     values_ = prog_.values();
-    return recompute_reply(r);
+    return r;
   }
 
   /// Quiescent-point query from the cached vector. In live mode the reply
@@ -283,7 +306,49 @@ class Session {
         .finish();
   }
 
-  std::string stats_reply() {
+  std::string recompute_reply(const dyn::EpochResult& r) const {
+    return dyn::WireWriter()
+        .boolean("ok", true)
+        .u64("epoch", r.epoch)
+        .boolean("warm", r.warm)
+        .str("reason", r.gate_reason)
+        .u64("applied", r.apply_stats.applied)
+        .u64("rejected", r.apply_stats.rejected)
+        .u64("seeds", r.seed_count)
+        .u64("iterations", r.engine.iterations)
+        .u64("updates", r.engine.updates)
+        .boolean("converged", r.engine.converged)
+        .boolean("compacted", r.compacted)
+        .u64("live_edges", g_.num_live_edges())
+        .finish();
+  }
+
+  /// Same result, bin1 shape (kRecomputeReply payload struct).
+  [[nodiscard]] dyn::RecomputeReplyBin recompute_bin(
+      const dyn::EpochResult& r) const {
+    dyn::RecomputeReplyBin b;
+    b.epoch = r.epoch;
+    b.warm = r.warm;
+    b.converged = r.engine.converged;
+    b.compacted = r.compacted;
+    b.applied = r.apply_stats.applied;
+    b.rejected = r.apply_stats.rejected;
+    b.seeds = r.seed_count;
+    b.iterations = r.engine.iterations;
+    b.updates = r.engine.updates;
+    b.live_edges = g_.num_live_edges();
+    b.reason = r.gate_reason;
+    return b;
+  }
+
+  /// Raw live read for the binary query path; only meaningful when
+  /// live_capable() and engine_running() (same license as live_query_reply).
+  [[nodiscard]] double live_value(VertexId v) {
+    if constexpr (live_capable()) return inc_.live_value(v);
+    return 0.0;
+  }
+
+  std::string stats_reply(const dyn::WireCounters& wire) {
     return dyn::WireWriter()
         .boolean("ok", true)
         .str("algo", prog_.name())
@@ -308,6 +373,13 @@ class Session {
         .num("overflow", g_.overflow_ratio())
         .u64("warm_runs", inc_.warm_runs())
         .u64("cold_runs", inc_.cold_runs())
+        // Transport counters (docs/DYNAMIC.md): appended last so the older
+        // exact-substring smoke greps keep matching unchanged.
+        .u64("bytes_in", wire.bytes_in)
+        .u64("bytes_out", wire.bytes_out)
+        .u64("parse_errors", wire.parse_errors)
+        .u64("conns_json", wire.conns_json)
+        .u64("conns_bin", wire.conns_bin)
         .finish();
   }
 
@@ -325,23 +397,6 @@ class Session {
     return true;
   }
 
-  std::string recompute_reply(const dyn::EpochResult& r) const {
-    return dyn::WireWriter()
-        .boolean("ok", true)
-        .u64("epoch", r.epoch)
-        .boolean("warm", r.warm)
-        .str("reason", r.gate_reason)
-        .u64("applied", r.apply_stats.applied)
-        .u64("rejected", r.apply_stats.rejected)
-        .u64("seeds", r.seed_count)
-        .u64("iterations", r.engine.iterations)
-        .u64("updates", r.engine.updates)
-        .boolean("converged", r.engine.converged)
-        .boolean("compacted", r.compacted)
-        .u64("live_edges", g_.num_live_edges())
-        .finish();
-  }
-
   dyn::DynGraph g_;
   Program prog_;
   dyn::MutationLog log_;
@@ -357,7 +412,10 @@ int serve_stdio(Session<Program>& session) {
   std::cout << session.ready_line() << '\n' << std::flush;
   std::string line;
   bool quit = false;
+  dyn::WireCounters wire;  // stdio is one implicit newline-JSON connection
+  wire.conns_json = 1;
   while (!quit && std::getline(std::cin, line)) {
+    wire.bytes_in += line.size() + 1;
     if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
       continue;
     }
@@ -366,9 +424,11 @@ int serve_stdio(Session<Program>& session) {
     std::string reply;
     if (!parse_wire(line, msg, &err)) {
       reply = error_reply("parse: " + err);
+      ++wire.parse_errors;
     } else {
-      reply = session.handle(msg, quit);
+      reply = session.handle(msg, quit, wire);
     }
+    wire.bytes_out += reply.size() + 1;
     std::cout << reply << '\n' << std::flush;
   }
   return 0;
@@ -376,16 +436,19 @@ int serve_stdio(Session<Program>& session) {
 
 // --- Multiplexed unix-socket server ----------------------------------------
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
+using tier::set_nonblocking;
 
 /// poll()-driven server: N concurrent clients, per-client input buffers and
 /// strictly in-order reply queues, one background worker thread running
 /// apply_epoch. Single-threaded event loop; the worker touches nothing but
 /// the Session's run_epoch_on_worker (handed exactly one sealed batch at a
 /// time) and signals completion through a self-pipe.
+///
+/// Each client is a tier::LineConn: it starts in newline-JSON and may
+/// upgrade to bin1 frames with {"op":"hello","proto":"bin1"}; after the ok
+/// line both directions speak frames (docs/DYNAMIC.md). JSON and binary
+/// clients coexist on the same loop — protocol is per-connection state, and
+/// every command keeps the same epoch-barrier semantics on both transports.
 template <typename Program>
 class SocketServer {
  public:
@@ -428,7 +491,7 @@ class SocketServer {
     }
     cv_.notify_one();
     worker_.join();
-    for (auto& [id, c] : clients_) ::close(c.fd);
+    for (auto& [id, c] : clients_) c.conn.close_fd();
     if (wake_r_ >= 0) ::close(wake_r_);
     if (wake_w_ >= 0) ::close(wake_w_);
     if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -452,10 +515,10 @@ class SocketServer {
       }
       for (auto& [id, c] : clients_) {
         short events = 0;
-        if (!c.eof && !shutdown_) events |= POLLIN;
-        if (!c.out_buf.empty()) events |= POLLOUT;
+        if (!c.conn.eof && !shutdown_) events |= POLLIN;
+        if (!c.conn.out_buf.empty()) events |= POLLOUT;
         if (events == 0) continue;
-        pfds.push_back({c.fd, events, 0});
+        pfds.push_back({c.conn.fd, events, 0});
         pfd_client.push_back(id);
       }
       // Commands blocked on a phase transition inside the in-flight epoch
@@ -479,30 +542,24 @@ class SocketServer {
         } else if (auto it = clients_.find(pfd_client[i]);
                    it != clients_.end()) {
           Client& c = it->second;
-          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) read_input(c);
-          if ((re & POLLOUT) != 0) flush(c);
+          if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) c.conn.read_input();
+          if ((re & POLLOUT) != 0) c.conn.flush();
         }
       }
       pump_all();
       reap_closed();
     }
-    // Shutdown: make a last effort to hand the issuer its bye line.
+    // Shutdown: make a last effort to hand the issuer its bye reply.
     if (auto it = clients_.find(shutdown_client_); it != clients_.end()) {
-      flush(it->second);
+      it->second.conn.flush();
     }
     return 0;
   }
 
  private:
   struct Client {
-    int fd = -1;
-    std::string in_buf;                // bytes read, not yet line-split
-    std::string out_buf;               // replies awaiting the socket
-    std::deque<std::string> pending;   // complete lines, oldest first
+    tier::LineConn conn;
     bool awaiting_epoch = false;  // this client's recompute is in flight
-    bool eof = false;             // peer closed its write side
-    bool draining = false;        // bye queued: close once out_buf flushes
-    bool broken = false;          // write error: drop without ceremony
   };
 
   // --- Worker thread ---
@@ -546,11 +603,19 @@ class SocketServer {
     }
     if (!have_done) return;
     // Worker is idle again: safe to compact and refresh the cache here.
-    const std::string reply = session_.finish_epoch(std::move(r));
+    const dyn::EpochResult res = session_.finish_epoch(std::move(r));
     inflight_ = false;
     if (auto it = clients_.find(inflight_client_); it != clients_.end()) {
-      it->second.awaiting_epoch = false;
-      queue_reply(it->second, reply);
+      Client& c = it->second;
+      c.awaiting_epoch = false;
+      if (c.conn.proto == dyn::WireProto::kBin) {
+        c.conn.queue_frame(
+            dyn::FrameType::kRecomputeReply,
+            dyn::encode_recompute_reply(session_.recompute_bin(res)));
+        c.conn.flush();
+      } else {
+        queue_reply(c, session_.recompute_reply(res));
+      }
     }
     inflight_client_ = 0;
   }
@@ -567,64 +632,46 @@ class SocketServer {
       set_nonblocking(fd);
       const std::uint64_t id = ++next_client_id_;
       Client& c = clients_[id];
-      c.fd = fd;
+      c.conn.fd = fd;
       queue_reply(c, greeting_);
     }
   }
 
-  void read_input(Client& c) {
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
-      if (n > 0) {
-        c.in_buf.append(chunk, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      // Peer hung up (or errored): any unterminated tail still counts as a
-      // final command line, matching the old one-connection transport.
-      c.eof = true;
-      break;
-    }
-    std::size_t nl;
-    while ((nl = c.in_buf.find('\n')) != std::string::npos) {
-      c.pending.push_back(c.in_buf.substr(0, nl));
-      c.in_buf.erase(0, nl + 1);
-    }
-    if (c.eof && !c.in_buf.empty()) {
-      c.pending.push_back(std::exchange(c.in_buf, {}));
-    }
-  }
-
   void queue_reply(Client& c, const std::string& reply) {
-    if (c.broken) return;
-    c.out_buf += reply;
-    c.out_buf += '\n';
-    flush(c);
+    c.conn.queue_line(reply);
   }
 
-  /// Writes as much of the reply queue as the socket takes. Retries EINTR
-  /// and treats a short write as progress (the old transport gave up on any
-  /// n <= 0, silently dropping reply tails); only a real error abandons the
-  /// client.
-  void flush(Client& c) {
-    while (!c.out_buf.empty()) {
-      const ssize_t n = ::write(c.fd, c.out_buf.data(), c.out_buf.size());
-      if (n > 0) {
-        c.out_buf.erase(0, static_cast<std::size_t>(n));
-        continue;
+  /// Binary protocol error reply: framing is intact (the frame was complete,
+  /// its payload just failed to decode), so the connection survives — exactly
+  /// like a JSON parse error on the line transport.
+  void frame_error(Client& c, std::string_view what) {
+    ++parse_errors_;
+    c.conn.queue_frame(dyn::FrameType::kError, what);
+  }
+
+  /// Server-wide transport counters: live connections scanned in place,
+  /// closed ones remembered in closed_wire_ at reap time.
+  [[nodiscard]] dyn::WireCounters wire_totals() const {
+    dyn::WireCounters w = closed_wire_;
+    w.parse_errors = parse_errors_;
+    for (const auto& [id, c] : clients_) {
+      w.bytes_in += c.conn.bytes_in;
+      w.bytes_out += c.conn.bytes_out;
+      if (c.conn.proto == dyn::WireProto::kBin) {
+        ++w.conns_bin;
+      } else {
+        ++w.conns_json;
       }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-      c.broken = true;  // EPIPE etc.: peer is gone
-      return;
     }
+    return w;
   }
 
   [[nodiscard]] bool any_pending() const {
     for (const auto& [id, c] : clients_) {
-      if (!c.pending.empty() && !c.awaiting_epoch && !c.draining) return true;
+      if ((!c.conn.pending.empty() || !c.conn.frames.empty()) &&
+          !c.awaiting_epoch && !c.conn.draining) {
+        return true;
+      }
     }
     return false;
   }
@@ -636,74 +683,96 @@ class SocketServer {
   /// Executes the client's queued commands strictly in order, stopping at
   /// the first one that must wait for the in-flight epoch. Replies are
   /// appended to the client's out queue in execution order, so each client
-  /// sees exactly one reply per command, in the order it sent them.
+  /// sees exactly one reply per command, in the order it sent them. A hello
+  /// upgrade mid-pump switches the same pass from lines to frames; binary
+  /// replies are queued without flushing and drained once at the end
+  /// (writev-style — one syscall per pump pass, not per reply).
   void pump(std::uint64_t id, Client& c) {
-    while (!c.awaiting_epoch && !c.draining && !c.broken &&
-           !c.pending.empty()) {
-      const std::string& line = c.pending.front();
+    if (c.conn.proto == dyn::WireProto::kJson) pump_lines(id, c);
+    if (c.conn.proto == dyn::WireProto::kBin) pump_frames(id, c);
+    c.conn.flush();
+  }
+
+  void pump_lines(std::uint64_t id, Client& c) {
+    while (!c.awaiting_epoch && !c.conn.draining && !c.conn.broken &&
+           !c.conn.pending.empty()) {
+      const std::string& line = c.conn.pending.front();
       if (line.empty() ||
           line.find_first_not_of(" \t\r") == std::string::npos) {
-        c.pending.pop_front();
+        c.conn.pending.pop_front();
         continue;
       }
       dyn::WireMessage msg;
       std::string err;
       if (!parse_wire(line, msg, &err)) {
+        ++parse_errors_;
         queue_reply(c, error_reply("parse: " + err));
-        c.pending.pop_front();
+        c.conn.pending.pop_front();
         continue;
       }
       std::string op;
       if (!msg.get_string("op", op)) {
         queue_reply(c, error_reply("missing field: op"));
-        c.pending.pop_front();
+        c.conn.pending.pop_front();
         continue;
+      }
+      if (op == "hello") {
+        std::string proto;
+        if (!msg.get_string("proto", proto)) {
+          queue_reply(c, error_reply("hello: missing field: proto"));
+          c.conn.pending.pop_front();
+          continue;
+        }
+        if (proto != dyn::kBinProtoName) {
+          queue_reply(c, error_reply("hello: unknown proto: " + proto));
+          c.conn.pending.pop_front();
+          continue;
+        }
+        queue_reply(c, dyn::WireWriter()
+                           .boolean("ok", true)
+                           .str("proto", dyn::kBinProtoName)
+                           .finish());
+        c.conn.pending.pop_front();
+        // Replays any frame bytes the client pipelined behind the hello;
+        // pump() falls through to pump_frames for them.
+        c.conn.upgrade_to_bin();
+        return;
       }
       if (op == "mutate") {
         queue_reply(c, session_.handle_mutate(msg));
-        c.pending.pop_front();
+        c.conn.pending.pop_front();
         continue;
       }
       if (op == "query") {
         if (!inflight_) {
           queue_reply(c, session_.query_reply(msg));
-          c.pending.pop_front();
+          c.conn.pending.pop_front();
           continue;
         }
         if (cfg_.live_queries && Session<Program>::live_capable() &&
             session_.engine_running()) {
           queue_reply(c, session_.live_query_reply(msg, inflight_epoch_));
-          c.pending.pop_front();
+          c.conn.pending.pop_front();
           continue;
         }
         break;  // barrier: answered at the next quiescent point
       }
       if (op == "recompute") {
         if (inflight_) break;  // one epoch at a time; wait our turn
-        dyn::MutationBatch batch = session_.seal_batch();
-        inflight_ = true;
-        inflight_client_ = id;
-        inflight_epoch_ = batch.epoch;
-        c.awaiting_epoch = true;
-        c.pending.pop_front();
-        {
-          std::lock_guard<std::mutex> lk(mu_);
-          job_batch_ = std::move(batch);
-          job_ready_ = true;
-        }
-        cv_.notify_one();
+        c.conn.pending.pop_front();
+        start_epoch(id, c);
         continue;  // loop exits via awaiting_epoch
       }
       if (op == "stats") {
         if (inflight_) break;  // counters quiesce with the epoch
-        queue_reply(c, session_.stats_reply());
-        c.pending.pop_front();
+        queue_reply(c, session_.stats_reply(wire_totals()));
+        c.conn.pending.pop_front();
         continue;
       }
       if (op == "quit") {
         queue_reply(c, Session<Program>::bye_reply());
-        c.pending.pop_front();
-        c.draining = true;  // quit is scoped to THIS connection...
+        c.conn.pending.pop_front();
+        c.conn.draining = true;  // quit is scoped to THIS connection...
         if (cfg_.allow_shutdown) {  // ...unless the operator opted in
           shutdown_ = true;
           shutdown_client_ = id;
@@ -711,18 +780,131 @@ class SocketServer {
         break;
       }
       queue_reply(c, error_reply("unknown op: " + op));
-      c.pending.pop_front();
+      c.conn.pending.pop_front();
     }
+  }
+
+  /// Frame dispatch mirrors pump_lines op for op: same epoch barrier (query/
+  /// recompute/stats wait, mutate/mbatch/quit answer immediately), same
+  /// in-order reply guarantee. Barrier waits `return` WITHOUT popping the
+  /// frame; handled frames fall out of the switch and are popped below.
+  void pump_frames(std::uint64_t id, Client& c) {
+    while (!c.awaiting_epoch && !c.conn.draining && !c.conn.broken &&
+           !c.conn.frames.empty()) {
+      const dyn::Frame& f = c.conn.frames.front();
+      std::string err;
+      switch (f.type) {
+        case dyn::FrameType::kMutate: {
+          dyn::Mutation m;
+          if (!dyn::decode_mutate(f.payload, m, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          c.conn.queue_frame(
+              dyn::FrameType::kMutateAck,
+              dyn::encode_mutate_ack(session_.append_mutation(m)));
+          break;
+        }
+        case dyn::FrameType::kMBatch: {
+          std::vector<dyn::Mutation> ms;
+          if (!dyn::decode_mbatch(f.payload, ms, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          const std::uint64_t pending = session_.append_mutations(ms);
+          c.conn.queue_frame(
+              dyn::FrameType::kMBatchAck,
+              dyn::encode_mbatch_ack(static_cast<std::uint32_t>(ms.size()),
+                                     pending));
+          break;
+        }
+        case dyn::FrameType::kQuery: {
+          std::uint64_t v = 0;
+          if (!dyn::decode_query(f.payload, v, &err)) {
+            frame_error(c, err);
+            break;
+          }
+          if (v >= session_.num_values()) {
+            frame_error(c,
+                        "query: vertex out of range: " + std::to_string(v));
+            break;
+          }
+          dyn::QueryReplyBin qr;
+          qr.vertex = v;
+          if (!inflight_) {
+            qr.has_quiescent = session_.live_mode();
+            qr.quiescent = true;
+            qr.value = session_.quiescent_value(v);
+            qr.epoch = session_.epoch();
+          } else if (cfg_.live_queries && Session<Program>::live_capable() &&
+                     session_.engine_running()) {
+            qr.has_quiescent = true;
+            qr.quiescent = false;
+            qr.value = session_.live_value(static_cast<VertexId>(v));
+            qr.epoch = inflight_epoch_;
+          } else {
+            return;  // barrier: answered at the next quiescent point
+          }
+          c.conn.queue_frame(dyn::FrameType::kQueryReply,
+                             dyn::encode_query_reply(qr));
+          break;
+        }
+        case dyn::FrameType::kRecompute: {
+          if (inflight_) return;  // one epoch at a time; wait our turn
+          start_epoch(id, c);
+          break;  // pop the frame; loop exits via awaiting_epoch
+        }
+        case dyn::FrameType::kStats: {
+          if (inflight_) return;  // counters quiesce with the epoch
+          c.conn.queue_frame(dyn::FrameType::kJson,
+                             session_.stats_reply(wire_totals()));
+          break;
+        }
+        case dyn::FrameType::kQuit: {
+          c.conn.queue_frame(dyn::FrameType::kBye, {});
+          c.conn.draining = true;
+          if (cfg_.allow_shutdown) {
+            shutdown_ = true;
+            shutdown_client_ = id;
+          }
+          break;
+        }
+        default:
+          frame_error(c, "unexpected frame type: " +
+                             std::to_string(static_cast<unsigned>(f.type)));
+          break;
+      }
+      c.conn.frames.pop_front();
+    }
+  }
+
+  /// Seals the pending tail and hands it to the worker on behalf of `c`.
+  void start_epoch(std::uint64_t id, Client& c) {
+    dyn::MutationBatch batch = session_.seal_batch();
+    inflight_ = true;
+    inflight_client_ = id;
+    inflight_epoch_ = batch.epoch;
+    c.awaiting_epoch = true;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_batch_ = std::move(batch);
+      job_ready_ = true;
+    }
+    cv_.notify_one();
   }
 
   void reap_closed() {
     for (auto it = clients_.begin(); it != clients_.end();) {
       Client& c = it->second;
-      const bool drained = c.draining && c.out_buf.empty();
-      const bool finished = c.eof && c.pending.empty() && c.out_buf.empty() &&
-                            !c.awaiting_epoch;
-      if (c.broken || drained || finished) {
-        ::close(c.fd);
+      const bool drained = c.conn.draining && c.conn.out_buf.empty();
+      const bool finished = c.conn.eof && c.conn.pending.empty() &&
+                            c.conn.frames.empty() &&
+                            c.conn.out_buf.empty() && !c.awaiting_epoch;
+      if (c.conn.broken || drained || finished) {
+        // Byte totals outlive the connection (stats stays cumulative).
+        closed_wire_.bytes_in += c.conn.bytes_in;
+        closed_wire_.bytes_out += c.conn.bytes_out;
+        c.conn.close_fd();
         it = clients_.erase(it);
       } else {
         ++it;
@@ -735,7 +917,7 @@ class SocketServer {
   [[nodiscard]] bool exit_ready() const {
     if (!shutdown_ || inflight_) return false;
     const auto it = clients_.find(shutdown_client_);
-    return it == clients_.end() || it->second.out_buf.empty();
+    return it == clients_.end() || it->second.conn.out_buf.empty();
   }
 
   Session<Program>& session_;
@@ -747,6 +929,8 @@ class SocketServer {
   int wake_w_ = -1;
   std::map<std::uint64_t, Client> clients_;
   std::uint64_t next_client_id_ = 0;
+  dyn::WireCounters closed_wire_;   // byte totals of reaped connections
+  std::uint64_t parse_errors_ = 0;  // JSON lines + frame payloads that failed
 
   // In-flight epoch bookkeeping (event-loop thread only).
   bool inflight_ = false;

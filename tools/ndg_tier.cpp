@@ -50,7 +50,18 @@ struct TierConfig {
   std::size_t replicas = 2;
   std::size_t history = 64;
   std::uint32_t chaos_lag_ms = 0;
+  /// Replication transport per replica: "json" (default), "bin" (every
+  /// replica negotiates bin1), or "mixed" (even ids binary, odd ids JSON —
+  /// the interop configuration the tier tests converge exactly under).
+  std::string proto = "json";
 };
+
+/// Whether replica `id` should speak bin1 under --proto.
+bool replica_is_binary(const TierConfig& cfg, std::size_t id) {
+  if (cfg.proto == "bin") return true;
+  if (cfg.proto == "mixed") return id % 2 == 0;
+  return false;
+}
 
 AtomicityMode parse_mode(const std::string& s) {
   if (s == "locked") return AtomicityMode::kLocked;
@@ -144,6 +155,7 @@ int run_replica(Graph base, Program prog, const TierConfig& cfg,
   ropts.id = id;
   ropts.dir = cfg.dir;
   ropts.chaos_lag_ms = cfg.chaos_lag_ms;
+  ropts.binary = replica_is_binary(cfg, id);
   tier::Replica<Program> rep(std::move(g), std::move(prog), std::move(gate),
                              cfg.engine_opts, cfg.engine, std::move(gopts),
                              ropts);
@@ -191,6 +203,10 @@ int tier_main(const CliArgs& args) {
   cfg.history = static_cast<std::size_t>(args.get_int("history", 64));
   cfg.chaos_lag_ms =
       static_cast<std::uint32_t>(args.get_int("chaos-lag-ms", 0));
+  cfg.proto = args.get("proto", "json");
+  if (cfg.proto != "json" && cfg.proto != "bin" && cfg.proto != "mixed") {
+    throw std::runtime_error("unknown --proto (expected json|bin|mixed)");
+  }
   const std::string engine = args.get("engine", "ne");
   if (engine == "async") {
     cfg.engine = dyn::DynEngine::kPureAsync;
