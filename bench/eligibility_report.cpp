@@ -8,7 +8,9 @@
 // were split into edge chunks, and the degree-weighted load imbalance.
 //
 // Flags: --scale=512 (analysis graph size divisor), --source=0, --threads=4,
-//        --hub-threshold=64, --json=PATH (write a machine-readable manifest).
+//        --hub-threshold=64, --json=PATH (write a machine-readable manifest),
+//        --delay=D [--delay-policy=fixed|uniform|per-thread] (run the NE
+//        telemetry pass under bounded staleness d, docs/DELAY.md).
 
 #include <iostream>
 
@@ -32,18 +34,26 @@ int main(int argc, char** argv) {
   ne_opts.scheduler = SchedulerKind::kStealing;  // shared worklist: hub-capable
   ne_opts.hub_threshold =
       static_cast<std::size_t>(args.get_int("hub-threshold", 64));
+  ne_opts.delay.steps = static_cast<std::size_t>(args.get_int("delay", 0));
+  if (args.has("delay-policy") &&
+      !parse_delay_kind(args.get("delay-policy", "fixed"),
+                        ne_opts.delay.kind)) {
+    std::cerr << "unknown --delay-policy (expected fixed|uniform|per-thread)\n";
+    return 1;
+  }
 
   std::cout << "=== Eligibility report: is your graph algorithm eligible for "
                "nondeterministic execution? ===\n"
             << "(analysis graph: " << d.name << ", |V|=" << d.graph.num_vertices()
             << ", |E|=" << d.graph.num_edges() << "; NE telemetry: "
             << threads << " threads, stealing, hub threshold "
-            << ne_opts.hub_threshold << ")\n\n";
+            << ne_opts.hub_threshold << ", delay d=" << ne_opts.delay.steps
+            << ")\n\n";
 
   TextTable table({"algorithm", "BSP conv", "async conv", "RW conflicts",
                    "WW conflicts", "monotonic", "verdict", "static_verdict",
                    "agreement", "frontier_dense", "hub_splits",
-                   "load_imbalance"});
+                   "load_imbalance", "delay_d", "max_staleness"});
   std::vector<std::string> details;
   std::vector<std::string> disagreements;
   for (const auto& entry : algorithm_registry(source, 500000)) {
@@ -61,7 +71,12 @@ int main(int argc, char** argv) {
                               verdict_short(conditioned) +
                               " dynamic=" + verdict_short(r.verdict));
     }
-    const EngineResult ne = entry.run_ne(d.graph, ne_opts);
+    // With --delay>0 the telemetry run goes through the delayed wrapper
+    // (which never splits hubs); at d=0 run_delayed IS run_ne, but calling
+    // run_ne directly keeps the hub-split columns exercised by default.
+    const EngineResult ne = ne_opts.delay.enabled()
+                                ? entry.run_delayed(d.graph, ne_opts)
+                                : entry.run_ne(d.graph, ne_opts);
     std::size_t dense_iters = 0;
     for (const std::uint8_t dense : ne.frontier_dense) dense_iters += dense;
     table.add_row({r.algorithm, r.bsp_converges ? "yes" : "no",
@@ -75,7 +90,9 @@ int main(int argc, char** argv) {
                    std::to_string(dense_iters) + "/" +
                        std::to_string(ne.frontier_dense.size()),
                    std::to_string(ne.hub_splits),
-                   TextTable::num(ne.load_imbalance(), 3)});
+                   TextTable::num(ne.load_imbalance(), 3),
+                   std::to_string(ne_opts.delay.steps),
+                   std::to_string(ne.max_staleness)});
     details.push_back(r.describe());
   }
   table.print(std::cout);
@@ -88,7 +105,9 @@ int main(int argc, char** argv) {
             json_escape(d.name) + "\",\"scale\":" + std::to_string(scale) +
             ",\"threads\":" + std::to_string(threads) +
             ",\"hub_threshold\":" + std::to_string(ne_opts.hub_threshold) +
-            ",\"scheduler\":\"stealing\"}");
+            ",\"scheduler\":\"stealing\",\"delay_d\":" +
+            std::to_string(ne_opts.delay.steps) + ",\"delay_policy\":\"" +
+            json_escape(to_string(ne_opts.delay.kind)) + "\"}");
     std::cout << "\nwrote " << path << "\n";
   }
 

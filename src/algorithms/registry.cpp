@@ -12,7 +12,9 @@
 #include "algorithms/wcc.hpp"
 #include "analysis/static_eligibility.hpp"
 #include "analysis/validate.hpp"
+#include "delay/delayed_engine.hpp"
 #include "engine/nondeterministic.hpp"
+#include "engine/simulator.hpp"
 
 namespace ndg {
 
@@ -38,6 +40,26 @@ AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
     EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
     prog.init(g, edges);
     return run_nondeterministic(g, prog, edges, opts);
+  };
+  entry.run_delayed = [ctor_args...](const Graph& g,
+                                     const EngineOptions& opts) {
+    Program prog(ctor_args...);
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return delay::run_delayed(g, prog, edges, opts);
+  };
+  entry.run_delayed_async = [ctor_args...](const Graph& g,
+                                           const EngineOptions& opts) {
+    Program prog(ctor_args...);
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return delay::run_delayed_async(g, prog, edges, opts);
+  };
+  entry.run_sim = [ctor_args...](const Graph& g, const SimOptions& opts) {
+    Program prog(ctor_args...);
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return run_simulated(g, prog, edges, opts);
   };
   entry.manifest = Program::kManifest;
   entry.static_verdict = StaticEligibility<Program>::kVerdict;

@@ -11,6 +11,7 @@
 #include "analysis/verifying_access.hpp"
 #include "core/eligibility.hpp"
 #include "engine/options.hpp"
+#include "engine/simulator.hpp"
 #include "graph/graph.hpp"
 
 namespace ndg {
@@ -24,6 +25,17 @@ struct AlgorithmEntry {
   /// and load-balance telemetry) — the eligibility report surfaces these
   /// alongside the verdicts.
   std::function<EngineResult(const Graph& g, const EngineOptions& opts)> run_ne;
+  /// One bounded-staleness run (src/delay/, docs/DELAY.md) on a fresh
+  /// program/edge state, honoring opts.delay. With opts.delay.steps == 0
+  /// this IS run_ne modulo hub splitting (the delayed engine never splits).
+  std::function<EngineResult(const Graph& g, const EngineOptions& opts)>
+      run_delayed;
+  /// Same, over the pure-async sweep engine (run_pure_async at d == 0).
+  std::function<EngineResult(const Graph& g, const EngineOptions& opts)>
+      run_delayed_async;
+  /// One logical-simulator run (engine/simulator.hpp) on fresh state — the
+  /// schedule-model twin the delayed engine is cross-validated against.
+  std::function<SimResult(const Graph& g, const SimOptions& opts)> run_sim;
 
   // --- Static-analysis surface (docs/ANALYSIS.md) ---
   /// The program's declared access shape.

@@ -1,0 +1,27 @@
+#include "delay/delay_spec.hpp"
+
+namespace ndg {
+
+const char* to_string(DelayKind k) {
+  switch (k) {
+    case DelayKind::kFixed: return "fixed";
+    case DelayKind::kUniform: return "uniform";
+    case DelayKind::kPerThread: return "per-thread";
+  }
+  return "fixed";
+}
+
+bool parse_delay_kind(const std::string& s, DelayKind& out) {
+  if (s == "fixed") {
+    out = DelayKind::kFixed;
+  } else if (s == "uniform") {
+    out = DelayKind::kUniform;
+  } else if (s == "per-thread" || s == "jitter") {
+    out = DelayKind::kPerThread;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ndg

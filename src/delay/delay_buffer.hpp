@@ -1,0 +1,220 @@
+#pragma once
+// Per-thread delay queues — the mechanism behind the delayed engines
+// (docs/DELAY.md), after Blanco et al.'s delayed asynchronous model
+// (PAPERS.md, arXiv:2110.01409).
+//
+// Every write a delayed engine makes is parked in the WRITING thread's own
+// ThreadDelayQueue for a bounded number of that thread's update steps (the
+// hold drawn per DelaySpec), then committed through the engine's access
+// policy — at which point it becomes visible to every thread and the written
+// edge's other endpoint is (re)scheduled. Three invariants make this a
+// faithful realization of the paper's propagation delay d:
+//
+//   * Read-your-writes: a thread's read of edge e returns its own newest
+//     pending value for e (pending_value), so the WRITER observes program
+//     order while REMOTE visibility is what lags — exactly Definition 1's
+//     asymmetry.
+//   * Per-edge write order: a later write to e never commits before an
+//     earlier one. Holds are clamped so each entry's due step is >= the due
+//     step of every pending entry for the same edge (the bump in push()),
+//     which keeps same-location commit order equal to program order even
+//     under per-write random holds.
+//   * Bounded staleness: every commit happens within DelaySpec::max_steps()
+//     of its push, measured on the owning thread's step clock. Forced
+//     end-of-run flushes (flush_all) can only commit EARLY.
+//
+// The queue is strictly thread-local — no atomics, no sharing; commits go
+// through the engine's access policy, which is where cross-thread visibility
+// (and TSan cleanliness under the atomic policies) comes from.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "delay/delay_spec.hpp"
+#include "engine/options.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ndg::delay {
+
+/// Per-thread commit telemetry, merged into EngineResult after team join.
+struct DelayTelemetry {
+  std::uint64_t delayed_writes = 0;
+  std::uint64_t max_staleness = 0;
+  std::uint64_t staleness_total = 0;
+  /// hist[s] = commits that sat exactly s steps; sized max_steps()+1.
+  std::vector<std::uint64_t> hist;
+};
+
+/// Folds one thread's telemetry into the run result (call after join).
+inline void merge_telemetry(EngineResult& r, const DelayTelemetry& t) {
+  r.delayed_writes += t.delayed_writes;
+  r.staleness_total += t.staleness_total;
+  if (t.max_staleness > r.max_staleness) r.max_staleness = t.max_staleness;
+  if (r.staleness_hist.size() < t.hist.size()) {
+    r.staleness_hist.resize(t.hist.size(), 0);
+  }
+  for (std::size_t s = 0; s < t.hist.size(); ++s) {
+    r.staleness_hist[s] += t.hist[s];
+  }
+}
+
+/// One thread's bounded delay buffer. `Commit` callables receive
+/// (EdgeId edge, std::uint64_t slot_value, VertexId endpoint) — endpoint is
+/// kInvalidVertex for silent writes (no rescheduling on commit).
+class ThreadDelayQueue {
+ public:
+  ThreadDelayQueue(const DelaySpec& spec, std::size_t tid)
+      : spec_(spec),
+        capacity_(spec.max_steps() + 1),
+        buckets_(capacity_),
+        rng_(spec.seed * 0x9E3779B97F4A7C15ULL + tid + 1) {
+    NDG_ASSERT(spec.enabled());
+    if (spec.kind == DelayKind::kPerThread) {
+      const std::size_t lo =
+          spec.steps > spec.jitter ? spec.steps - spec.jitter : 0;
+      const std::size_t hi = spec.steps + spec.jitter;
+      thread_hold_ = lo + rng_.next_below(hi - lo + 1);
+    }
+    telemetry_.hist.assign(capacity_, 0);
+  }
+
+  /// Parks (or, for a zero hold with nothing pending on e, immediately
+  /// commits) one write. Commit may fire inside this call.
+  template <typename Commit>
+  void push(EdgeId e, std::uint64_t slot, VertexId endpoint, Commit&& commit) {
+    std::uint64_t due = step_ + draw_hold();
+    auto [it, fresh] = pending_.try_emplace(e);
+    if (!fresh && it->second.last_due > due) due = it->second.last_due;
+    if (due == step_) {
+      // Zero effective hold and no earlier pending write to order behind:
+      // visible immediately, like an undelayed engine's write.
+      if (fresh) pending_.erase(it);
+      record(0);
+      commit(e, slot, endpoint);
+      return;
+    }
+    it->second.latest_slot = slot;
+    ++it->second.count;
+    it->second.last_due = due;
+    NDG_ASSERT(due - step_ < capacity_);
+    buckets_[due % capacity_].push_back(Entry{e, slot, endpoint, step_});
+    ++size_;
+  }
+
+  /// The calling thread's own newest pending value for e, if any — the
+  /// read-your-writes path.
+  [[nodiscard]] bool pending_value(EdgeId e, std::uint64_t& out) const {
+    const auto it = pending_.find(e);
+    if (it == pending_.end()) return false;
+    out = it->second.latest_slot;
+    return true;
+  }
+
+  /// Advances this thread's step clock by one and commits everything due.
+  template <typename Commit>
+  void advance(Commit&& commit) {
+    ++step_;
+    auto& bucket = buckets_[step_ % capacity_];
+    // Every entry here is due exactly now: holds never exceed capacity_ - 1,
+    // so the ring cannot wrap an entry past its own due step.
+    for (const Entry& entry : bucket) commit_entry(entry, commit);
+    size_ -= bucket.size();
+    bucket.clear();
+  }
+
+  /// Commits every pending entry, oldest due first (used when the engine
+  /// runs out of scheduled work: staleness may come in UNDER the drawn hold,
+  /// never over). The step clock does not move.
+  template <typename Commit>
+  void flush_all(Commit&& commit) {
+    for (std::size_t k = 1; k <= capacity_ && size_ > 0; ++k) {
+      auto& bucket = buckets_[(step_ + k) % capacity_];
+      for (const Entry& entry : bucket) commit_entry(entry, commit);
+      size_ -= bucket.size();
+      bucket.clear();
+    }
+    NDG_ASSERT(size_ == 0);
+  }
+
+  /// Commits every pending entry for ONE edge, in push order — the
+  /// propagation barrier exchange/accumulate need before their atomic RMW
+  /// can observe an up-to-date slot.
+  template <typename Commit>
+  void flush_edge(EdgeId e, Commit&& commit) {
+    if (pending_.find(e) == pending_.end()) return;
+    for (std::size_t k = 1; k <= capacity_ && size_ > 0; ++k) {
+      auto& bucket = buckets_[(step_ + k) % capacity_];
+      std::size_t kept = 0;
+      for (Entry& entry : bucket) {
+        if (entry.edge == e) {
+          commit_entry(entry, commit);
+          --size_;
+        } else {
+          bucket[kept++] = entry;
+        }
+      }
+      bucket.resize(kept);
+      if (pending_.find(e) == pending_.end()) break;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+  [[nodiscard]] const DelayTelemetry& telemetry() const { return telemetry_; }
+
+ private:
+  struct Entry {
+    EdgeId edge;
+    std::uint64_t slot;
+    VertexId endpoint;
+    std::uint64_t push_step;
+  };
+  struct PendingInfo {
+    std::uint64_t latest_slot = 0;  // newest pending value (reads)
+    std::uint64_t last_due = 0;     // order floor for the next push
+    std::uint32_t count = 0;        // pending entries for this edge
+  };
+
+  [[nodiscard]] std::size_t draw_hold() {
+    switch (spec_.kind) {
+      case DelayKind::kFixed: return spec_.steps;
+      case DelayKind::kUniform: return rng_.next_below(spec_.steps + 1);
+      case DelayKind::kPerThread: return thread_hold_;
+    }
+    return spec_.steps;
+  }
+
+  void record(std::uint64_t staleness) {
+    ++telemetry_.delayed_writes;
+    telemetry_.staleness_total += staleness;
+    if (staleness > telemetry_.max_staleness) {
+      telemetry_.max_staleness = staleness;
+    }
+    ++telemetry_.hist[staleness];
+  }
+
+  template <typename Commit>
+  void commit_entry(const Entry& entry, Commit& commit) {
+    record(step_ - entry.push_step);
+    const auto it = pending_.find(entry.edge);
+    NDG_ASSERT(it != pending_.end());
+    if (--it->second.count == 0) pending_.erase(it);
+    commit(entry.edge, entry.slot, entry.endpoint);
+  }
+
+  DelaySpec spec_;
+  std::size_t capacity_;
+  std::vector<std::vector<Entry>> buckets_;  // indexed by due % capacity_
+  std::unordered_map<EdgeId, PendingInfo> pending_;
+  Xoshiro256 rng_;
+  std::size_t thread_hold_ = 0;  // kPerThread's constant draw
+  std::uint64_t step_ = 0;
+  std::size_t size_ = 0;
+  DelayTelemetry telemetry_;
+};
+
+}  // namespace ndg::delay

@@ -1,0 +1,57 @@
+#pragma once
+// DelaySpec — the runtime knob that turns the paper's propagation delay `d`
+// (Section II, Definitions 1-3) into a controlled experimental variable on
+// the hardware engines, after the delayed asynchronous model of Blanco et
+// al. (PAPERS.md, arXiv:2110.01409).
+//
+// This header is a dependency leaf on purpose: engine/options.hpp embeds a
+// DelaySpec in EngineOptions, while the machinery that interprets it (queues,
+// wrapped engines) lives one layer up in src/delay/ (docs/DELAY.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ndg {
+
+/// How each buffered write draws its hold time (in the writing thread's own
+/// update steps — see docs/DELAY.md for the step clock).
+enum class DelayKind : std::uint8_t {
+  /// Every write is held exactly `steps` steps — the simulator's fixed-d
+  /// schedule, realized on hardware.
+  kFixed,
+  /// Each write draws a seeded hold in [0, steps] — per-write noise, the
+  /// hardware twin of SimOptions::delay_jitter.
+  kUniform,
+  /// Each THREAD draws one seeded constant hold in
+  /// [steps - jitter, steps + jitter] (clamped at 0) at team start — models
+  /// heterogeneous cores / a straggler thread.
+  kPerThread,
+};
+
+[[nodiscard]] const char* to_string(DelayKind k);
+/// Parses "fixed" | "uniform" | "per-thread"; returns false on anything else.
+bool parse_delay_kind(const std::string& s, DelayKind& out);
+
+struct DelaySpec {
+  /// The propagation delay d. 0 disables the delay layer entirely: the
+  /// delayed entry points dispatch straight to the undelayed baseline
+  /// engines, so d=0 is exact parity by construction.
+  std::size_t steps = 0;
+  DelayKind kind = DelayKind::kFixed;
+  /// Spread for kPerThread (ignored by the other kinds).
+  std::size_t jitter = 0;
+  /// Seeds the kUniform per-write draws and the kPerThread per-thread draws.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const { return steps > 0; }
+
+  /// Largest hold any write can be assigned under this spec — the capacity
+  /// bound for the per-thread ring buffers and the ceiling every observed
+  /// staleness must respect (asserted by the tests).
+  [[nodiscard]] std::size_t max_steps() const {
+    return kind == DelayKind::kPerThread ? steps + jitter : steps;
+  }
+};
+
+}  // namespace ndg

@@ -1,0 +1,443 @@
+#pragma once
+// DelayedEngine — the NE and pure-async engines wrapped in per-thread delay
+// queues (delay_buffer.hpp), so the paper's propagation delay d is a runtime
+// knob instead of whatever the hardware happens to produce (docs/DELAY.md).
+//
+// Semantics. A write is parked in the WRITING thread's queue and committed
+// through the access policy after a bounded number of that thread's update
+// steps (one step per executed update; an idle thread ticks once per round
+// so its writes cannot linger). The writer reads its own pending values
+// (read-your-writes); everyone else sees the last COMMITTED value — exactly
+// Definition 1's visibility asymmetry, measured in steps like SimOptions::
+// delay. The task-generation rule fires at COMMIT time: an endpoint is
+// (re)scheduled when the write becomes visible, which is what keeps the
+// fixed point exact — no update can terminate the run while a value that
+// would reactivate it is still in flight (the engines track in-flight writes
+// in a shared counter and drain every queue before declaring convergence).
+//
+// Two deliberate simplifications, both documented in docs/DELAY.md:
+//   * exchange/accumulate (push-mode RMW primitives) act as per-edge
+//     propagation barriers: the thread's pending writes to that edge commit
+//     first, then the RMW applies immediately. Delaying an RMW would detach
+//     its read from its write and fabricate lost updates the undelayed
+//     engines cannot exhibit.
+//   * No hub splitting: chunk tokens interleave partial gathers with the
+//     delay clock in ways that have no counterpart in the paper's model.
+//
+// d = 0 dispatches to the undelayed baselines — parity is by construction,
+// and the tests assert it on results as well.
+
+#include <atomic>
+
+#include "atomics/access_policy.hpp"
+#include "delay/delay_buffer.hpp"
+#include "engine/nondeterministic.hpp"
+#include "engine/pure_async.hpp"
+
+namespace ndg::delay {
+
+/// Scheduling view over the barriered frontier (mirrors AsyncSweepView).
+class FrontierSched {
+ public:
+  explicit FrontierSched(Frontier& f) : f_(&f) {}
+  void schedule(VertexId v) { f_->schedule(v); }
+
+ private:
+  Frontier* f_;
+};
+
+/// Update context with the same verb surface as UpdateContext/AsyncContext,
+/// but writes routed through the owning thread's ThreadDelayQueue. The
+/// shared `in_flight` counter is what the engines' termination protocols
+/// read: it counts buffered (not-yet-visible) writes across all threads.
+template <EdgePod ED, typename Policy, typename Sched, typename GraphT = Graph>
+class DelayedContext {
+ public:
+  using EdgeData = ED;
+
+  DelayedContext(const GraphT& g, EdgeDataArray<ED>& edges, Policy policy,
+                 Sched sched, ThreadDelayQueue& queue,
+                 std::atomic<std::uint64_t>& in_flight)
+      : g_(&g), edges_(&edges), policy_(policy), sched_(sched),
+        queue_(&queue), in_flight_(&in_flight) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = static_cast<std::uint32_t>(iteration);
+    if constexpr (requires(Policy& p) { p.begin_update(v); }) {
+      policy_.begin_update(v);
+    }
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const GraphT& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edge_id(v_, k);
+  }
+
+  /// Read-your-writes: the caller's own newest buffered value wins; remote
+  /// writes are visible only once committed.
+  [[nodiscard]] ED read(EdgeId e) {
+    std::uint64_t slot = 0;
+    if (queue_->pending_value(e, slot)) return ndg::detail::from_slot<ED>(slot);
+    return policy_.read(*edges_, e);
+  }
+
+  /// Cache hint for an upcoming read(e). Address-only slot use, no datum
+  /// observed.  ndg-lint: allow(raw-slots)
+  void prefetch(EdgeId e) const { perf::prefetch_read(edges_->slots() + e); }
+
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    in_flight_->fetch_add(1, std::memory_order_acq_rel);
+    queue_->push(e, ndg::detail::to_slot(value), other_endpoint, commit());
+  }
+
+  void write_silent(EdgeId e, ED value) {
+    in_flight_->fetch_add(1, std::memory_order_acq_rel);
+    queue_->push(e, ndg::detail::to_slot(value), kInvalidVertex, commit());
+  }
+
+  /// RMW = per-edge propagation barrier (header comment): own pending writes
+  /// to e commit first, then the exchange applies undelayed.
+  [[nodiscard]] ED exchange(EdgeId e, ED value) {
+    queue_->flush_edge(e, commit());
+    return policy_.exchange(*edges_, e, value);
+  }
+
+  template <typename Fn>
+  void accumulate(EdgeId e, VertexId other_endpoint, Fn fn) {
+    queue_->flush_edge(e, commit());
+    policy_.accumulate(*edges_, e, fn);
+    sched_.schedule(other_endpoint);
+  }
+
+  void schedule(VertexId u) { sched_.schedule(u); }
+
+  /// The commit callable the engine loops hand to queue.advance/flush_all:
+  /// value first (policy write), then the task rule (schedule), then the
+  /// in-flight decrement — so a thread observing in_flight == 0 after seeing
+  /// an idle scheduler cannot have missed a handoff in progress.
+  [[nodiscard]] auto commit() {
+    return [this](EdgeId e, std::uint64_t slot, VertexId endpoint) {
+      policy_.write(*edges_, e, ndg::detail::from_slot<ED>(slot));
+      if (endpoint != kInvalidVertex) sched_.schedule(endpoint);
+      in_flight_->fetch_sub(1, std::memory_order_acq_rel);
+    };
+  }
+
+ private:
+  const GraphT* g_;
+  EdgeDataArray<ED>* edges_;
+  Policy policy_;
+  Sched sched_;
+  ThreadDelayQueue* queue_;
+  std::atomic<std::uint64_t>* in_flight_;
+  VertexId v_ = kInvalidVertex;
+  std::uint32_t iter_ = 0;
+};
+
+/// Barriered (NE-shaped) delayed run: the run_nondet_impl loop with a delay
+/// queue per thread and a termination protocol that also drains in-flight
+/// writes. Rounds where the frontier is empty but writes are still buffered
+/// appear as zero-size iterations in frontier_sizes — they are rounds the
+/// delay genuinely cost.
+template <typename GraphT, VertexProgram Program, typename Policy, Worklist WL>
+EngineResult run_delayed_ne_impl(const GraphT& g, Program& prog,
+                                 EdgeDataArray<typename Program::EdgeData>& edges,
+                                 Policy policy, const EngineOptions& opts,
+                                 std::vector<VertexId> seeds) {
+  Timer timer;
+  Frontier frontier(g.num_vertices(), opts.frontier_policy,
+                    opts.frontier_dense_divisor);
+  frontier.seed(std::move(seeds));
+
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+  SpinBarrier barrier(nt);
+  WL worklist = ndg::detail::make_worklist<WL>(nt, opts);
+  std::vector<std::uint64_t> per_updates(nt, 0);
+  std::vector<std::uint64_t> per_work(nt, 0);
+  std::vector<DelayTelemetry> per_delay(nt);
+  std::atomic<std::uint64_t> in_flight{0};
+  std::size_t iterations = 0;  // written by thread 0 between barriers only
+  bool stop = false;           // likewise
+  std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint8_t> frontier_dense;
+
+  run_team(nt, [&](std::size_t tid) {
+    bool sense = false;
+    ThreadDelayQueue queue(opts.delay, tid);
+    DelayedContext<typename Program::EdgeData, Policy, FrontierSched, GraphT>
+        ctx(g, edges, policy, FrontierSched(frontier), queue, in_flight);
+    const auto commit = ctx.commit();
+    std::uint64_t local_updates = 0;
+    std::uint64_t local_work = 0;
+    for (std::size_t iter = 0;; ++iter) {
+      // All threads observe the same stop/frontier state here: thread 0
+      // mutated it strictly between the two barriers of the previous round.
+      if (stop || iter >= opts.max_iterations) break;
+
+      // Drain-vs-normal is agreed across threads (frontier state is shared
+      // and quiescent here), so the barrier pattern below stays consistent.
+      const bool drain_round = frontier.empty();
+      if (drain_round) {
+        // No scheduled work anywhere, but writes are still in flight: every
+        // thread force-commits its own queue. The commits re-schedule the
+        // written endpoints, so the next round has a frontier again.
+        queue.flush_all(commit);
+      } else {
+        const auto feed = [&](VertexId v) {
+          worklist.push(tid, v, scheduling_priority(prog, v));
+        };
+        if (frontier.dense()) {
+          const auto [wb, we] = static_block(frontier.num_words(), nt, tid);
+          frontier.for_each_in_words(
+              wb, we, [&](std::size_t v) { feed(static_cast<VertexId>(v)); });
+        } else {
+          const auto& cur = frontier.current();
+          const auto [begin, end] = static_block(cur.size(), nt, tid);
+          for (std::size_t i = begin; i < end; ++i) feed(cur[i]);
+        }
+        worklist.publish(tid);
+        if constexpr (WL::kShared) {
+          barrier.arrive_and_wait(sense);
+        }
+
+        VertexId v;
+        bool did_work = false;
+        while (worklist.try_pop(tid, v)) {
+          ctx.begin(v, iter);
+          prog.update(v, ctx);
+          ++local_updates;
+          local_work += g.in_edges(v).size() + g.out_neighbors(v).size();
+          did_work = true;
+          // One step per own update: commits whatever came due.
+          queue.advance(commit);
+        }
+        // A thread with no updates this round still ticks once, so an idle
+        // thread's buffered writes age by rounds instead of lingering.
+        if (!did_work && !queue.empty()) queue.advance(commit);
+      }
+
+      barrier.arrive_and_wait(sense);
+      if (tid == 0) {
+        frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+        frontier_dense.push_back(frontier.dense() ? 1 : 0);
+        frontier.advance();
+        iterations = iter + 1;
+        // Every thread is parked at the barrier pair: no commit is in
+        // flight, so this read of the counter is exact.
+        stop = frontier.empty() &&
+               in_flight.load(std::memory_order_acquire) == 0;
+      }
+      barrier.arrive_and_wait(sense);
+    }
+    per_updates[tid] = local_updates;  // exclusive slot; read after join
+    per_work[tid] = local_work;
+    per_delay[tid] = queue.telemetry();
+  });
+
+  EngineResult result;
+  result.iterations = iterations;
+  for (const std::uint64_t u : per_updates) result.updates += u;
+  result.converged =
+      frontier.empty() && in_flight.load(std::memory_order_acquire) == 0;
+  result.seconds = timer.seconds();
+  result.frontier_sizes = std::move(frontier_sizes);
+  result.frontier_dense = std::move(frontier_dense);
+  result.per_thread_updates = std::move(per_updates);
+  result.per_thread_work = std::move(per_work);
+  for (const DelayTelemetry& t : per_delay) merge_telemetry(result, t);
+  const WorklistStats wl_stats = worklist.stats();
+  result.steals = wl_stats.steals;
+  result.steal_attempts = wl_stats.steal_attempts;
+  return result;
+}
+
+/// Barrier-free (pure-async sweep) delayed run. Quiescence needs BOTH the
+/// active set drained and every delay queue empty; a thread whose sweep
+/// claims nothing force-flushes its own queue, so buffered work always
+/// re-enters the active set in bounded time. The scheduler knob is ignored:
+/// the sweep shape is the one whose step clock maps cleanly onto per-thread
+/// delay queues (docs/DELAY.md).
+template <typename GraphT, VertexProgram Program, typename Policy>
+EngineResult run_delayed_async_impl(
+    const GraphT& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges, Policy policy,
+    const EngineOptions& opts, const std::vector<VertexId>& seeds) {
+  Timer timer;
+  ndg::detail::AsyncActiveSet active(g.num_vertices());
+  for (const VertexId v : seeds) active.schedule(v);
+
+  const std::size_t nt = std::max<std::size_t>(1, opts.num_threads);
+  std::vector<ndg::detail::AsyncWorkerTotals> totals(nt);
+  std::vector<DelayTelemetry> per_delay(nt);
+  std::atomic<std::uint64_t> in_flight{0};
+  const std::uint64_t update_cap =
+      static_cast<std::uint64_t>(opts.max_iterations) *
+      std::max<std::uint64_t>(1, g.num_vertices());
+  std::atomic<std::uint64_t> global_updates{0};
+  std::atomic<bool> capped{false};
+
+  run_team(nt, [&](std::size_t tid) {
+    ThreadDelayQueue queue(opts.delay, tid);
+    DelayedContext<typename Program::EdgeData, Policy,
+                   ndg::detail::AsyncSweepView, GraphT>
+        ctx(g, edges, policy, ndg::detail::AsyncSweepView(active), queue,
+            in_flight);
+    const auto commit = ctx.commit();
+    ndg::detail::AsyncWorkerTotals& t = totals[tid];
+    const VertexId n = g.num_vertices();
+    const VertexId start =
+        static_cast<VertexId>(static_block(n, nt, tid).begin);
+
+    // Exit only at global quiescence of BOTH trackers (read in this order:
+    // the commit callable schedules before decrementing, so a stale pair
+    // cannot hide a handoff — see DelayedContext::commit).
+    while (!(active.quiescent() &&
+             in_flight.load(std::memory_order_acquire) == 0) &&
+           !capped.load(std::memory_order_relaxed)) {
+      bool did_work = false;
+      for (VertexId i = 0; i < n; ++i) {
+        const VertexId v = static_cast<VertexId>((start + i) % n);
+        if (!active.maybe_active(v)) continue;
+        if (!active.claim(v)) continue;
+        if (!active.begin_update(v)) {
+          active.schedule(v);
+          active.finished();
+          continue;
+        }
+        ctx.begin(v, t.sweeps);
+        prog.update(v, ctx);
+        active.end_update(v);
+        active.finished();
+        ++t.updates;
+        t.work += g.in_edges(v).size() + g.out_neighbors(v).size();
+        did_work = true;
+        queue.advance(commit);  // one step per own update
+        if (t.updates % 4096 == 0 &&
+            global_updates.fetch_add(4096, std::memory_order_relaxed) + 4096 >
+                update_cap) {
+          capped.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      if (!did_work) queue.flush_all(commit);
+      ++t.sweeps;
+    }
+    // A capped run must not leak buffered writes into the telemetry's
+    // in-flight count forever; drain so the counter reflects reality.
+    queue.flush_all(commit);
+    per_delay[tid] = queue.telemetry();
+  });
+
+  EngineResult result;
+  result.converged = active.quiescent() && !capped.load() &&
+                     in_flight.load(std::memory_order_acquire) == 0;
+  result.seconds = timer.seconds();
+  std::uint64_t sweeps = 0;
+  for (const ndg::detail::AsyncWorkerTotals& t : totals) {
+    result.per_thread_updates.push_back(t.updates);
+    result.per_thread_work.push_back(t.work);
+    result.updates += t.updates;
+    sweeps += t.sweeps;
+  }
+  result.iterations = sweeps / nt;  // mean sweeps per thread
+  for (const DelayTelemetry& t : per_delay) merge_telemetry(result, t);
+  return result;
+}
+
+template <typename GraphT, VertexProgram Program, typename Policy>
+EngineResult run_delayed_ne_sched(const GraphT& g, Program& prog,
+                                  EdgeDataArray<typename Program::EdgeData>& edges,
+                                  Policy policy, const EngineOptions& opts,
+                                  std::vector<VertexId> seeds) {
+  return ndg::detail::dispatch_scheduler(opts.scheduler, [&](auto wl_tag) {
+    using WL = typename decltype(wl_tag)::type;
+    return run_delayed_ne_impl<GraphT, Program, Policy, WL>(
+        g, prog, edges, policy, opts, std::move(seeds));
+  });
+}
+
+template <bool kAsync, typename GraphT, VertexProgram Program>
+EngineResult run_delayed_mode(const GraphT& g, Program& prog,
+                              EdgeDataArray<typename Program::EdgeData>& edges,
+                              const EngineOptions& opts,
+                              std::vector<VertexId> seeds) {
+  const auto with_policy = [&](auto policy) {
+    if constexpr (kAsync) {
+      return run_delayed_async_impl(g, prog, edges, policy, opts, seeds);
+    } else {
+      return run_delayed_ne_sched(g, prog, edges, policy, opts,
+                                  std::move(seeds));
+    }
+  };
+  switch (opts.mode) {
+    case AtomicityMode::kLocked: {
+      EdgeLockTable locks(edges.size());
+      return with_policy(LockedAccess{&locks});
+    }
+    case AtomicityMode::kAligned: return with_policy(AlignedAccess{});
+    case AtomicityMode::kRelaxed: return with_policy(RelaxedAtomicAccess{});
+    case AtomicityMode::kSeqCst: return with_policy(SeqCstAccess{});
+  }
+  return {};
+}
+
+/// Warm-start delayed NE run (counterpart of run_nondeterministic_from).
+/// d = 0 IS run_nondeterministic_from.
+template <typename GraphT, VertexProgram Program>
+EngineResult run_delayed_from(const GraphT& g, Program& prog,
+                              EdgeDataArray<typename Program::EdgeData>& edges,
+                              std::vector<VertexId> seeds,
+                              const EngineOptions& opts) {
+  if (!opts.delay.enabled()) {
+    return run_nondeterministic_from(g, prog, edges, std::move(seeds), opts);
+  }
+  return run_delayed_mode<false>(g, prog, edges, opts, std::move(seeds));
+}
+
+/// Full delayed NE run from the program's own initial frontier.
+template <VertexProgram Program>
+EngineResult run_delayed(const Graph& g, Program& prog,
+                         EdgeDataArray<typename Program::EdgeData>& edges,
+                         const EngineOptions& opts) {
+  if (!opts.delay.enabled()) {
+    return run_nondeterministic(g, prog, edges, opts);
+  }
+  return run_delayed_mode<false>(g, prog, edges, opts,
+                                 prog.initial_frontier(g));
+}
+
+/// Warm-start delayed pure-async run (counterpart of run_pure_async_from).
+template <typename GraphT, VertexProgram Program>
+EngineResult run_delayed_async_from(
+    const GraphT& g, Program& prog,
+    EdgeDataArray<typename Program::EdgeData>& edges,
+    std::vector<VertexId> seeds, const EngineOptions& opts) {
+  if (!opts.delay.enabled()) {
+    return run_pure_async_from(g, prog, edges, std::move(seeds), opts);
+  }
+  return run_delayed_mode<true>(g, prog, edges, opts, std::move(seeds));
+}
+
+/// Full delayed pure-async run from the program's own initial frontier.
+template <VertexProgram Program>
+EngineResult run_delayed_async(const Graph& g, Program& prog,
+                               EdgeDataArray<typename Program::EdgeData>& edges,
+                               const EngineOptions& opts) {
+  if (!opts.delay.enabled()) {
+    return run_pure_async(g, prog, edges, opts);
+  }
+  return run_delayed_mode<true>(g, prog, edges, opts,
+                                prog.initial_frontier(g));
+}
+
+}  // namespace ndg::delay

@@ -1,0 +1,142 @@
+#pragma once
+// Staleness probing — answers the streaming gate's new question: "how much
+// staleness can this computation absorb before the Theorem 1/2 convergence
+// degrades?" (docs/DELAY.md), plus the simulator cross-check the delayed
+// engines are validated against.
+//
+// The theorems themselves are delay-OBLIVIOUS: they assume only that every
+// update's result becomes visible after some finite number of steps, so a
+// Theorem 1/2 verdict survives ANY bounded d and what degrades with
+// staleness is convergence SPEED (iterations to fixed point), never the
+// fixed point itself. probe_staleness measures that curve empirically and
+// reports the largest sampled d that still reached the d=0 fixed point
+// within tolerance; cross_validate_delay checks that the logical simulator
+// (engine/simulator.hpp) and the hardware delayed engine agree on the
+// eligibility-relevant outcome (convergence) for the same d.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "delay/delayed_engine.hpp"
+#include "engine/simulator.hpp"
+
+namespace ndg::delay {
+
+/// One sampled point of the convergence-vs-d curve.
+struct DelayProbePoint {
+  std::size_t d = 0;
+  bool converged = false;
+  std::size_t iterations = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t max_staleness = 0;
+  /// Largest |value - d=0 value| across vertices (0.0 at d = 0).
+  double max_abs_diff = 0.0;
+};
+
+struct DelayProbeResult {
+  std::vector<DelayProbePoint> points;
+  /// Largest sampled d whose run converged AND landed within tolerance of
+  /// the d=0 fixed point, with every smaller sampled d also passing — the
+  /// empirical staleness budget. 0 when even the baseline failed.
+  std::size_t budget = 0;
+  /// True when EVERY sampled d passed (the budget saturated the sweep —
+  /// the expected outcome for Theorem 1/2 programs).
+  bool saturated = false;
+};
+
+/// Sweeps d over `ds` (each run on a fresh program/engine built by
+/// `make_run`, which returns that run's values()), comparing each delayed
+/// fixed point against the d=0 reference. `make_run` signature:
+///   std::vector<double>(const DelaySpec& spec, EngineResult& out)
+template <typename MakeRun>
+DelayProbeResult probe_staleness(MakeRun&& make_run,
+                                 const std::vector<std::size_t>& ds,
+                                 DelaySpec base_spec = {},
+                                 double tolerance = 1e-6) {
+  DelayProbeResult out;
+  DelaySpec spec0 = base_spec;
+  spec0.steps = 0;
+  EngineResult ref_result;
+  const std::vector<double> reference = make_run(spec0, ref_result);
+
+  bool all_passed = ref_result.converged;
+  for (const std::size_t d : ds) {
+    DelaySpec spec = base_spec;
+    spec.steps = d;
+    DelayProbePoint p;
+    p.d = d;
+    EngineResult r;
+    const std::vector<double> values = d == 0 ? reference : make_run(spec, r);
+    if (d == 0) r = ref_result;
+    p.converged = r.converged;
+    p.iterations = r.iterations;
+    p.updates = r.updates;
+    p.max_staleness = r.max_staleness;
+    for (std::size_t v = 0; v < values.size() && v < reference.size(); ++v) {
+      const double diff = std::abs(values[v] - reference[v]);
+      if (diff > p.max_abs_diff) p.max_abs_diff = diff;
+    }
+    const bool passed = p.converged && p.max_abs_diff <= tolerance;
+    if (passed && all_passed) {
+      out.budget = d;
+    } else {
+      all_passed = false;
+    }
+    out.points.push_back(p);
+  }
+  out.saturated = all_passed && !ds.empty();
+  return out;
+}
+
+/// Verdict-parity record for one (program, d) pair: the simulator's logical
+/// schedule and the hardware delayed engine must agree on whether the
+/// algorithm converges under that staleness level.
+struct DelayCrossCheck {
+  bool sim_converged = false;
+  bool engine_converged = false;
+  std::size_t sim_iterations = 0;
+  std::size_t engine_iterations = 0;
+  [[nodiscard]] bool agree() const {
+    return sim_converged == engine_converged;
+  }
+};
+
+/// Runs the same program under the simulator (P procs, delay d) and under
+/// the delayed NE engine (same thread count, fixed-d policy) on fresh state
+/// each, and reports the convergence verdicts side by side.
+template <VertexProgram Program, typename MakeProg>
+DelayCrossCheck cross_validate_delay(const Graph& g, MakeProg&& make_prog,
+                                     std::size_t d, std::size_t procs,
+                                     const EngineOptions& engine_opts,
+                                     std::uint64_t seed = 1) {
+  DelayCrossCheck out;
+  {
+    Program prog = make_prog();
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    SimOptions sopts;
+    sopts.num_procs = procs;
+    sopts.delay = d;
+    sopts.seed = seed;
+    sopts.max_iterations = engine_opts.max_iterations;
+    const SimResult r = run_simulated(g, prog, edges, sopts);
+    out.sim_converged = r.converged;
+    out.sim_iterations = r.iterations;
+  }
+  {
+    Program prog = make_prog();
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    EngineOptions opts = engine_opts;
+    opts.delay.steps = d;
+    opts.delay.kind = DelayKind::kFixed;
+    opts.delay.seed = seed;
+    const EngineResult r = run_delayed(g, prog, edges, opts);
+    out.engine_converged = r.converged;
+    out.engine_iterations = r.iterations;
+  }
+  return out;
+}
+
+}  // namespace ndg::delay

@@ -119,6 +119,21 @@ class EligibilityGate {
   /// (GateMode::kStatic) rather than a measured or asserted source.
   [[nodiscard]] bool from_static() const { return static_; }
 
+  /// "No finite bound": any bounded propagation delay keeps the verdict.
+  static constexpr std::size_t kUnboundedDelay =
+      static_cast<std::size_t>(-1);
+
+  /// The staleness bound under which a warm start keeps its theorem license
+  /// (docs/DELAY.md). Theorems 1 and 2 are delay-OBLIVIOUS — their premises
+  /// only require every update's result to become visible after some finite
+  /// number of steps — so a Theorem 1/2 verdict survives ANY bounded d
+  /// (kUnboundedDelay); what degrades as d grows is convergence SPEED,
+  /// measured empirically by delay::probe_staleness. kNotProven has no
+  /// license at any staleness, including d = 0.
+  [[nodiscard]] std::size_t max_warm_delay() const {
+    return verdict_ == EligibilityVerdict::kNotProven ? 0 : kUnboundedDelay;
+  }
+
   /// Rules on one applied batch. Pure function of the verdict, the program's
   /// dyn hooks, and the mutations; no engine state involved.
   template <typename Program>

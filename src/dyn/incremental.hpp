@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "delay/delayed_engine.hpp"
 #include "dyn/dyn_graph.hpp"
 #include "dyn/dyn_program.hpp"
 #include "dyn/eligibility_gate.hpp"
@@ -267,6 +268,11 @@ class IncrementalEngine {
   [[nodiscard]] std::uint64_t warm_runs() const { return warm_runs_; }
   [[nodiscard]] std::uint64_t cold_runs() const { return cold_runs_; }
 
+  /// Adjusts the staleness knob between epochs (docs/DELAY.md): both warm
+  /// and cold runs route through the delayed entry points, which are the
+  /// undelayed baselines whenever spec.steps == 0. Requires quiescence.
+  void set_delay(const DelaySpec& spec) { opts_.delay = spec; }
+
  private:
   EngineResult run_engine(std::vector<VertexId> seeds) {
     // Publish kRunning only once all structural surgery (apply/resize/init)
@@ -276,11 +282,16 @@ class IncrementalEngine {
     const EpochPhase prev = phase_.load(std::memory_order_relaxed);
     phase_.store(EpochPhase::kRunning, std::memory_order_release);
     EngineResult r;
+    // The delayed entry points dispatch to the plain engines at d = 0, so
+    // this single call site covers both the baseline and the
+    // bounded-staleness warm path (the "how much staleness can a warm start
+    // absorb" experiments in tests/test_delay_dyn.cpp).
     if (engine_ == DynEngine::kPureAsync) {
-      r = run_pure_async_from(*g_, *prog_, edges_, std::move(seeds), opts_);
+      r = delay::run_delayed_async_from(*g_, *prog_, edges_, std::move(seeds),
+                                        opts_);
     } else {
-      r = run_nondeterministic_from(*g_, *prog_, edges_, std::move(seeds),
-                                    opts_);
+      r = delay::run_delayed_from(*g_, *prog_, edges_, std::move(seeds),
+                                  opts_);
     }
     if (run_hold_ms_ > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(run_hold_ms_));

@@ -5,6 +5,12 @@
 
 namespace ndg {
 
+double EngineResult::mean_staleness() const {
+  if (delayed_writes == 0) return 0.0;
+  return static_cast<double>(staleness_total) /
+         static_cast<double>(delayed_writes);
+}
+
 double EngineResult::load_imbalance() const {
   const std::vector<std::uint64_t>& counts =
       !per_thread_work.empty() ? per_thread_work : per_thread_updates;

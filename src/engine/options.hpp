@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "atomics/access_policy.hpp"
+#include "delay/delay_spec.hpp"
 #include "engine/frontier_policy.hpp"
 #include "mem/mem_policy.hpp"
 #include "sched/scheduler_kind.hpp"
@@ -40,6 +41,12 @@ struct EngineOptions {
   /// Placement for engine-owned scratch (hub-gather partials). Graph and
   /// edge-data placement is requested at build time (GraphBuildOptions).
   MemSpec mem{};
+  /// Bounded-staleness injection (docs/DELAY.md): with delay.steps > 0 the
+  /// delayed entry points (src/delay/delayed_engine.hpp) buffer every write
+  /// in a per-thread queue for a controlled number of update steps before it
+  /// becomes visible — the paper's propagation delay d as a runtime knob.
+  /// Ignored by the undelayed engines; steps == 0 means baseline behaviour.
+  DelaySpec delay{};
 };
 
 /// Potential-conflict counts observed by the ConflictTracer (lower bounds —
@@ -85,6 +92,25 @@ struct EngineResult {
   /// Hub-gather telemetry: hubs split and edge chunks dispatched.
   std::uint64_t hub_splits = 0;
   std::uint64_t hub_chunks = 0;
+
+  // --- Staleness telemetry (docs/DELAY.md; nonzero only for the delayed
+  // engines in src/delay/). Staleness is measured at commit time: how many
+  // of the writing thread's own update steps a write sat buffered before it
+  // became visible. ---
+  /// Writes routed through a delay queue (== total commits).
+  std::uint64_t delayed_writes = 0;
+  /// Largest observed staleness of any committed write, in steps. Bounded by
+  /// DelaySpec::max_steps() (forced end-of-run flushes can only LOWER it).
+  std::uint64_t max_staleness = 0;
+  /// Exact sum of all observed stalenesses (for an unrounded mean).
+  std::uint64_t staleness_total = 0;
+  /// Observed-d histogram: staleness_hist[s] counts commits held exactly s
+  /// steps; the last bucket absorbs everything >= its index. Empty when no
+  /// delay layer ran.
+  std::vector<std::uint64_t> staleness_hist;
+
+  /// Mean observed staleness in steps (0.0 when no writes were delayed).
+  [[nodiscard]] double mean_staleness() const;
 
   /// Load-imbalance summary: max/mean over per_thread_work (falling back to
   /// per_thread_updates when no work counts were recorded). 1.0 = perfectly

@@ -21,10 +21,18 @@
 // replaying the missing records from it converges to the same fixed point a
 // fresh cold run would reach (docs/TIER.md spells out the argument).
 //
-// --chaos-lag-ms is the fault-injection hook: the replica sleeps that long
-// before applying EACH replication record or snapshot, so a test can hold a
-// replica back until its cursor falls past the coordinator's bounded history
-// and the snapshot path is forced.
+// Chaos injection comes in two flavours (--chaos=hold:<ms>|stale:<records>,
+// docs/TIER.md, docs/DELAY.md):
+//   hold:  the replica sleeps that long before applying EACH replication
+//          record or snapshot, so a test can hold a replica back until its
+//          cursor falls past the coordinator's bounded history and the
+//          snapshot path is forced.
+//   stale: the replica applies records at full speed but SERVES reads from a
+//          retained state up to N records old — the serving-tier analogue of
+//          the engines' bounded propagation delay d: every answer is a real
+//          state the replica passed through at most N records ago, stamped
+//          with that state's honest epoch. Theorem 2's stale-read license is
+//          exactly what makes this sound for monotone programs.
 
 #include <poll.h>
 #include <unistd.h>
@@ -32,6 +40,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -55,7 +64,10 @@ namespace ndg::tier {
 struct ReplicaOptions {
   std::size_t id = 0;
   std::string dir;
-  std::uint32_t chaos_lag_ms = 0;  // sleep before applying each record
+  std::uint32_t chaos_lag_ms = 0;  // hold: sleep before applying each record
+  /// stale: serve reads from a retained state up to this many records old
+  /// (0 = serve the latest applied state, no chaos).
+  std::uint32_t chaos_stale_records = 0;
   /// Negotiate bin1 framing on the replication stream: records and
   /// snapshots arrive as frames, acks leave as frames (docs/TIER.md).
   bool binary = false;
@@ -80,6 +92,7 @@ class Replica {
     inc_.emplace(g_, prog_, gate_, eopts_, ekind_);
     inc_->recompute_cold();
     values_ = prog_.values();
+    push_history();
     listen_fd_ = listen_unix(replica_sock(opts_.dir, opts_.id));
     rep_.fd = connect_unix(rep_sock(opts_.dir));
     set_nonblocking(rep_.fd);
@@ -354,6 +367,32 @@ class Replica {
     }
   }
 
+  // --- Stale-serving chaos (bounded per-record staleness) ---
+
+  /// Retains the just-applied state in the serving ring. The ring holds at
+  /// most chaos_stale_records+1 states; reads are answered from its OLDEST
+  /// entry, so the served state is at most chaos_stale_records behind the
+  /// replica's applied watermark — a bounded delay, never an unbounded one.
+  void push_history() {
+    if (opts_.chaos_stale_records == 0) return;
+    history_.push_back(ServedState{values_, epoch_, cursor_});
+    while (history_.size() >
+           static_cast<std::size_t>(opts_.chaos_stale_records) + 1) {
+      history_.pop_front();
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& serve_values() const {
+    return history_.empty() ? values_ : history_.front().values;
+  }
+  [[nodiscard]] std::uint64_t serve_epoch() const {
+    return history_.empty() ? epoch_ : history_.front().epoch;
+  }
+  /// How many applied records behind the watermark reads currently are.
+  [[nodiscard]] std::uint64_t serve_lag() const {
+    return history_.empty() ? 0 : history_.size() - 1;
+  }
+
   void complete_record() {
     chaos_hold();
     if (cur_rec_.kind == dyn::RepKind::kBatch) {
@@ -365,6 +404,7 @@ class Replica {
     cursor_ = cur_rec_.seq;
     epoch_ = cur_rec_.epoch;
     values_ = prog_.values();
+    push_history();
     ++records_replayed_;
     cur_rec_ = dyn::RepRecord{};
     state_ = StreamState::kIdle;
@@ -402,6 +442,10 @@ class Replica {
     values_ = prog_.values();
     cursor_ = snap_header_.seq;
     epoch_ = snap_header_.epoch;
+    // A snapshot starts a fresh lineage: pre-snapshot states belong to a
+    // graph this replica discarded, so stale serving must not hand them out.
+    history_.clear();
+    push_history();
     ++snapshots_installed_;
     state_ = StreamState::kIdle;
     send_ack();
@@ -478,15 +522,15 @@ class Replica {
         std::uint64_t v = 0;
         if (!msg.get_u64("vertex", v)) {
           c.queue_line(tier_error("query: missing field: vertex"));
-        } else if (v >= values_.size()) {
+        } else if (v >= serve_values().size()) {
           c.queue_line(
               tier_error("query: vertex out of range: " + std::to_string(v)));
         } else {
           dyn::WireWriter w;
           w.boolean("ok", true).u64("vertex", v);
-          tier_value_field(w, values_[v]);
+          tier_value_field(w, serve_values()[v]);
           c.queue_line(
-              w.u64("epoch", epoch_).u64("replica", opts_.id).finish());
+              w.u64("epoch", serve_epoch()).u64("replica", opts_.id).finish());
         }
       } else if (op == "stats") {
         c.queue_line(stats_line());
@@ -516,6 +560,9 @@ class Replica {
         .u64("live_edges", g_.num_live_edges())
         .u64("warm_runs", inc_->warm_runs())
         .u64("cold_runs", inc_->cold_runs())
+        .u64("chaos_stale_records", opts_.chaos_stale_records)
+        .u64("serving_epoch", serve_epoch())
+        .u64("serving_lag", serve_lag())
         .finish();
   }
 
@@ -534,7 +581,7 @@ class Replica {
             c.queue_frame(dyn::FrameType::kError, err);
             break;
           }
-          if (v >= values_.size()) {
+          if (v >= serve_values().size()) {
             c.queue_frame(
                 dyn::FrameType::kError,
                 "query: vertex out of range: " + std::to_string(v));
@@ -542,8 +589,8 @@ class Replica {
           }
           dyn::QueryReplyBin qr;
           qr.vertex = v;
-          qr.value = values_[v];
-          qr.epoch = epoch_;
+          qr.value = serve_values()[v];
+          qr.epoch = serve_epoch();
           c.queue_frame(dyn::FrameType::kQueryReply,
                         dyn::encode_query_reply(qr));
           break;
@@ -584,6 +631,14 @@ class Replica {
   ReplicaOptions opts_;
   std::optional<dyn::IncrementalEngine<Program>> inc_;
   std::vector<double> values_;
+
+  /// One retained serving state for the stale chaos mode.
+  struct ServedState {
+    std::vector<double> values;
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+  };
+  std::deque<ServedState> history_;  // oldest first; front is served
 
   LineConn rep_;  // replication stream to the coordinator
   bool rep_hello_pending_ = false;  // bin1 requested, ok line not yet seen

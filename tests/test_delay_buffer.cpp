@@ -1,0 +1,207 @@
+// Unit tests for the delay layer's data structures (docs/DELAY.md):
+// DelaySpec parsing and the ThreadDelayQueue invariants — release timing on
+// the owner's step clock, read-your-writes, per-edge commit order under
+// random holds, forced flushes, and the staleness telemetry.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delay/delay_buffer.hpp"
+#include "delay/delay_spec.hpp"
+#include "util/types.hpp"
+
+namespace ndg::delay {
+namespace {
+
+/// One committed (edge, slot, endpoint) triple, for order assertions.
+struct Committed {
+  EdgeId edge;
+  std::uint64_t slot;
+  VertexId endpoint;
+  bool operator==(const Committed&) const = default;
+};
+
+struct Recorder {
+  std::vector<Committed> out;
+  void operator()(EdgeId e, std::uint64_t slot, VertexId endpoint) {
+    out.push_back(Committed{e, slot, endpoint});
+  }
+};
+
+DelaySpec fixed(std::size_t d) {
+  DelaySpec spec;
+  spec.steps = d;
+  return spec;
+}
+
+TEST(DelaySpec, ParseKind) {
+  DelayKind k = DelayKind::kFixed;
+  EXPECT_TRUE(parse_delay_kind("uniform", k));
+  EXPECT_EQ(k, DelayKind::kUniform);
+  EXPECT_TRUE(parse_delay_kind("per-thread", k));
+  EXPECT_EQ(k, DelayKind::kPerThread);
+  EXPECT_TRUE(parse_delay_kind("fixed", k));
+  EXPECT_EQ(k, DelayKind::kFixed);
+  EXPECT_FALSE(parse_delay_kind("bogus", k));
+  EXPECT_STREQ(to_string(DelayKind::kPerThread), "per-thread");
+}
+
+TEST(DelaySpec, MaxSteps) {
+  DelaySpec spec = fixed(4);
+  EXPECT_EQ(spec.max_steps(), 4u);
+  spec.kind = DelayKind::kUniform;
+  EXPECT_EQ(spec.max_steps(), 4u);
+  spec.kind = DelayKind::kPerThread;
+  spec.jitter = 3;
+  EXPECT_EQ(spec.max_steps(), 7u);
+  EXPECT_FALSE(DelaySpec{}.enabled());
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(ThreadDelayQueue, FixedHoldReleasesExactlyOnTime) {
+  ThreadDelayQueue q(fixed(3), 0);
+  Recorder rec;
+  q.push(7, 42, 1, rec);
+  EXPECT_TRUE(rec.out.empty());
+  EXPECT_EQ(q.size(), 1u);
+  q.advance(rec);  // step 1
+  q.advance(rec);  // step 2
+  EXPECT_TRUE(rec.out.empty());
+  q.advance(rec);  // step 3: due
+  ASSERT_EQ(rec.out.size(), 1u);
+  EXPECT_EQ(rec.out[0], (Committed{7, 42, 1}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ThreadDelayQueue, ReadYourWrites) {
+  ThreadDelayQueue q(fixed(4), 0);
+  Recorder rec;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.pending_value(3, v));
+  q.push(3, 10, kInvalidVertex, rec);
+  q.push(3, 11, kInvalidVertex, rec);
+  ASSERT_TRUE(q.pending_value(3, v));
+  EXPECT_EQ(v, 11u);  // the newest pending value, not the oldest
+  q.advance(rec);
+  ASSERT_TRUE(q.pending_value(3, v));  // still pending: hold is 4
+  q.flush_all(rec);
+  EXPECT_FALSE(q.pending_value(3, v));  // committed, now read through policy
+}
+
+TEST(ThreadDelayQueue, SameEdgeCommitsInPushOrder) {
+  // Uniform holds draw randomly per write; the due-order bump must still
+  // commit same-edge writes in program order, and the LAST committed value
+  // must be the last pushed one.
+  DelaySpec spec = fixed(5);
+  spec.kind = DelayKind::kUniform;
+  spec.seed = 99;
+  ThreadDelayQueue q(spec, 0);
+  Recorder rec;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    q.push(1, i, kInvalidVertex, rec);
+    q.advance(rec);
+  }
+  q.flush_all(rec);
+  ASSERT_EQ(rec.out.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(rec.out[i].slot, i);
+}
+
+TEST(ThreadDelayQueue, ZeroHoldOrdersBehindPendingWrites) {
+  // A zero-hold draw may not leapfrog an earlier still-pending write to the
+  // same edge. With kUniform and steps=1 some draws are 0, some 1.
+  DelaySpec spec = fixed(1);
+  spec.kind = DelayKind::kUniform;
+  spec.seed = 5;
+  ThreadDelayQueue q(spec, 0);
+  Recorder rec;
+  for (std::uint64_t i = 0; i < 200; ++i) q.push(2, i, kInvalidVertex, rec);
+  q.flush_all(rec);
+  ASSERT_EQ(rec.out.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) EXPECT_EQ(rec.out[i].slot, i);
+}
+
+TEST(ThreadDelayQueue, FlushEdgeIsSelective) {
+  ThreadDelayQueue q(fixed(4), 0);
+  Recorder rec;
+  q.push(1, 100, kInvalidVertex, rec);
+  q.push(2, 200, kInvalidVertex, rec);
+  q.push(1, 101, kInvalidVertex, rec);
+  q.flush_edge(1, rec);
+  ASSERT_EQ(rec.out.size(), 2u);
+  EXPECT_EQ(rec.out[0].slot, 100u);
+  EXPECT_EQ(rec.out[1].slot, 101u);
+  EXPECT_EQ(q.size(), 1u);  // edge 2 still parked
+  std::uint64_t v = 0;
+  EXPECT_TRUE(q.pending_value(2, v));
+  EXPECT_FALSE(q.pending_value(1, v));
+  q.flush_all(rec);
+  ASSERT_EQ(rec.out.size(), 3u);
+  EXPECT_EQ(rec.out[2].slot, 200u);
+}
+
+TEST(ThreadDelayQueue, TelemetryCountsAndBounds) {
+  const std::size_t d = 3;
+  ThreadDelayQueue q(fixed(d), 0);
+  Recorder rec;
+  q.push(1, 1, kInvalidVertex, rec);
+  for (int i = 0; i < 3; ++i) q.advance(rec);  // full hold: staleness 3
+  q.push(2, 2, kInvalidVertex, rec);
+  q.advance(rec);
+  q.flush_all(rec);  // early flush: staleness 1
+  const DelayTelemetry& t = q.telemetry();
+  EXPECT_EQ(t.delayed_writes, 2u);
+  EXPECT_EQ(t.max_staleness, 3u);
+  EXPECT_EQ(t.staleness_total, 4u);
+  ASSERT_EQ(t.hist.size(), d + 1);
+  EXPECT_EQ(t.hist[3], 1u);
+  EXPECT_EQ(t.hist[1], 1u);
+  EXPECT_LE(t.max_staleness, fixed(d).max_steps());
+}
+
+TEST(ThreadDelayQueue, PerThreadHoldStaysInJitterBand) {
+  DelaySpec spec = fixed(6);
+  spec.kind = DelayKind::kPerThread;
+  spec.jitter = 2;
+  for (std::size_t tid = 0; tid < 16; ++tid) {
+    ThreadDelayQueue q(spec, tid);
+    Recorder rec;
+    q.push(1, 1, kInvalidVertex, rec);
+    std::size_t hold = 0;
+    while (rec.out.empty()) {
+      q.advance(rec);
+      ++hold;
+      ASSERT_LE(hold, spec.max_steps());
+    }
+    EXPECT_GE(hold, spec.steps - spec.jitter);
+    EXPECT_LE(hold, spec.steps + spec.jitter);
+  }
+}
+
+TEST(ThreadDelayQueue, MergeTelemetryAggregates) {
+  EngineResult r;
+  DelayTelemetry a;
+  a.delayed_writes = 2;
+  a.max_staleness = 3;
+  a.staleness_total = 5;
+  a.hist = {0, 1, 0, 1};
+  DelayTelemetry b;
+  b.delayed_writes = 1;
+  b.max_staleness = 1;
+  b.staleness_total = 1;
+  b.hist = {0, 1};
+  merge_telemetry(r, a);
+  merge_telemetry(r, b);
+  EXPECT_EQ(r.delayed_writes, 3u);
+  EXPECT_EQ(r.max_staleness, 3u);
+  EXPECT_EQ(r.staleness_total, 6u);
+  ASSERT_EQ(r.staleness_hist.size(), 4u);
+  EXPECT_EQ(r.staleness_hist[1], 2u);
+  EXPECT_EQ(r.staleness_hist[3], 1u);
+  EXPECT_DOUBLE_EQ(r.mean_staleness(), 2.0);
+}
+
+}  // namespace
+}  // namespace ndg::delay

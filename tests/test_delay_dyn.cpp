@@ -1,0 +1,193 @@
+// Delay x dynamic-graph tests (docs/DELAY.md, docs/DYNAMIC.md): warm
+// incremental recompute under bounded staleness must land on the same fixed
+// point as the undelayed twin, the staleness probe must report a saturated
+// budget for Theorem 1/2 programs, the gate must expose the delay-oblivious
+// warm-delay bound, and the simulator cross-check must agree with the
+// hardware delayed engine.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "delay/staleness_probe.hpp"
+#include "dyn/dyn_graph.hpp"
+#include "dyn/eligibility_gate.hpp"
+#include "dyn/incremental.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ndg::dyn {
+namespace {
+
+constexpr VertexId kV = 256;
+
+Graph base_graph() { return Graph::build(kV, gen::rmat(kV, 1400, 31)); }
+
+EngineOptions make_opts(std::size_t delay_steps = 0) {
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.delay.steps = delay_steps;
+  return opts;
+}
+
+/// Monotone SSSP batch over the current view (inserts + weight decreases).
+MutationBatch monotone_batch(const DynGraph& dg, std::uint64_t seed,
+                             std::uint64_t epoch) {
+  MutationBatch batch;
+  batch.epoch = epoch;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<VertexId>(rng.next() % kV);
+    const auto v = static_cast<VertexId>(rng.next() % kV);
+    if (u == v) continue;
+    if (!dg.has_edge(u, v)) {
+      batch.mutations.push_back(
+          Mutation{MutationKind::kInsertEdge, u, v,
+                   1.0f + static_cast<float>(rng.next() % 8)});
+    } else {
+      batch.mutations.push_back(
+          Mutation{MutationKind::kWeightChange, u, v, 0.5f});
+    }
+  }
+  return batch;
+}
+
+TEST(DelayDyn, WarmSsspUnderDelayMatchesUndelayedTwinExactly) {
+  // Two identical streams, one engine delayed (d=3), one not: every warm
+  // epoch must land both on the SAME exact fixed point — staleness slows a
+  // Theorem 2 warm start, it cannot bend where it converges to.
+  DynGraphOptions gopts;
+  gopts.base_weight = [](EdgeId e) { return SsspProgram::edge_weight(42, e); };
+  DynGraph dg_plain(base_graph(), gopts);
+  DynGraph dg_delay(base_graph(), gopts);
+  SsspProgram prog_plain(/*source=*/0, /*weight_seed=*/42);
+  SsspProgram prog_delay(/*source=*/0, /*weight_seed=*/42);
+  IncrementalEngine<SsspProgram> plain(
+      dg_plain, prog_plain, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts());
+  IncrementalEngine<SsspProgram> delayed(
+      dg_delay, prog_delay, EligibilityGate(EligibilityVerdict::kTheorem2),
+      make_opts(/*delay_steps=*/3));
+  ASSERT_TRUE(plain.recompute_cold().converged);
+  ASSERT_TRUE(delayed.recompute_cold().converged);
+  EXPECT_EQ(prog_plain.distances(), prog_delay.distances());
+
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    const MutationBatch batch = monotone_batch(dg_plain, 11 * epoch, epoch);
+    const EpochResult rp = plain.apply_epoch(batch);
+    const EpochResult rd = delayed.apply_epoch(batch);
+    ASSERT_TRUE(rp.engine.converged) << "epoch " << epoch;
+    ASSERT_TRUE(rd.engine.converged) << "epoch " << epoch;
+    EXPECT_TRUE(rp.warm) << "epoch " << epoch;
+    EXPECT_TRUE(rd.warm) << "epoch " << epoch;
+    EXPECT_GT(rd.engine.delayed_writes, 0u) << "epoch " << epoch;
+    EXPECT_LE(rd.engine.max_staleness, 3u) << "epoch " << epoch;
+    EXPECT_EQ(prog_plain.distances(), prog_delay.distances())
+        << "epoch " << epoch;
+  }
+  EXPECT_EQ(delayed.warm_runs(), plain.warm_runs());
+}
+
+TEST(DelayDyn, SetDelayTakesEffectBetweenEpochs) {
+  DynGraph dg(base_graph());
+  PageRankProgram prog(/*epsilon=*/1e-4f);
+  IncrementalEngine<PageRankProgram> inc(
+      dg, prog, EligibilityGate(EligibilityVerdict::kTheorem1), make_opts());
+  ASSERT_TRUE(inc.recompute_cold().converged);
+
+  MutationBatch batch;
+  batch.epoch = 1;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<VertexId>(rng.next() % kV);
+    const auto v = static_cast<VertexId>(rng.next() % kV);
+    if (u != v && !dg.has_edge(u, v)) {
+      batch.mutations.push_back(Mutation{MutationKind::kInsertEdge, u, v, 1});
+    }
+  }
+  const EpochResult undelayed = inc.apply_epoch(batch);
+  ASSERT_TRUE(undelayed.engine.converged);
+  EXPECT_EQ(undelayed.engine.delayed_writes, 0u);
+  const std::vector<float> before = prog.ranks();
+
+  DelaySpec spec;
+  spec.steps = 4;
+  inc.set_delay(spec);
+  MutationBatch batch2 = batch;
+  batch2.epoch = 2;
+  batch2.mutations.clear();
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<VertexId>(rng.next() % kV);
+    const auto v = static_cast<VertexId>(rng.next() % kV);
+    if (u != v && !dg.has_edge(u, v)) {
+      batch2.mutations.push_back(Mutation{MutationKind::kInsertEdge, u, v, 1});
+    }
+  }
+  const EpochResult delayed = inc.apply_epoch(batch2);
+  ASSERT_TRUE(delayed.engine.converged);
+  EXPECT_TRUE(delayed.warm);
+  EXPECT_GT(delayed.engine.delayed_writes, 0u);
+  EXPECT_LE(delayed.engine.max_staleness, 4u);
+  // The warm-under-delay fixed point still agrees with a cold run.
+  const std::vector<float> warm = prog.ranks();
+  ASSERT_TRUE(inc.recompute_cold().converged);
+  for (VertexId v = 0; v < kV; ++v) {
+    EXPECT_NEAR(warm[v], prog.ranks()[v], 0.05 * prog.ranks()[v] + 0.01)
+        << "v=" << v;
+  }
+  (void)before;
+}
+
+TEST(DelayDyn, StalenessProbeSaturatesForTheorem2Program) {
+  const Graph g = base_graph();
+  const std::vector<std::size_t> ds = {0, 1, 2, 4, 8};
+  const auto probe = delay::probe_staleness(
+      [&g](const DelaySpec& spec, EngineResult& out) {
+        WccProgram prog;
+        EdgeDataArray<WccProgram::EdgeData> edges(g.num_edges());
+        prog.init(g, edges);
+        EngineOptions opts;
+        opts.num_threads = 4;
+        opts.delay = spec;
+        out = delay::run_delayed(g, prog, edges, opts);
+        return prog.values();
+      },
+      ds);
+  ASSERT_EQ(probe.points.size(), ds.size());
+  EXPECT_TRUE(probe.saturated);
+  EXPECT_EQ(probe.budget, 8u);
+  for (const auto& p : probe.points) {
+    EXPECT_TRUE(p.converged) << "d=" << p.d;
+    EXPECT_LE(p.max_staleness, p.d) << "d=" << p.d;
+    EXPECT_DOUBLE_EQ(p.max_abs_diff, 0.0) << "d=" << p.d;
+  }
+}
+
+TEST(DelayDyn, GateExposesDelayObliviousWarmBound) {
+  EXPECT_EQ(EligibilityGate(EligibilityVerdict::kTheorem1).max_warm_delay(),
+            EligibilityGate::kUnboundedDelay);
+  EXPECT_EQ(EligibilityGate(EligibilityVerdict::kTheorem2).max_warm_delay(),
+            EligibilityGate::kUnboundedDelay);
+  EXPECT_EQ(EligibilityGate(EligibilityVerdict::kNotProven).max_warm_delay(),
+            0u);
+}
+
+TEST(DelayDyn, SimulatorCrossCheckAgrees) {
+  const Graph g = base_graph();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  for (const std::size_t d : {std::size_t{0}, std::size_t{2}, std::size_t{6}}) {
+    const auto check = delay::cross_validate_delay<WccProgram>(
+        g, [] { return WccProgram(); }, d, /*procs=*/4, opts);
+    EXPECT_TRUE(check.agree()) << "d=" << d;
+    EXPECT_TRUE(check.engine_converged) << "d=" << d;
+    EXPECT_TRUE(check.sim_converged) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace ndg::dyn

@@ -333,6 +333,63 @@ TEST(Tier, LaggedReplicaSnapshotsAndConvergesExactly) {
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
 }
 
+// --chaos=stale:2 keeps the replica's replication at full speed (it acks
+// every record promptly, so the coordinator watermark advances) but serves
+// reads from a state two records behind, stamped with that state's honest
+// epoch — the bounded per-record staleness mode of docs/DELAY.md.
+TEST(Tier, StaleChaosServesBoundedLagWithHonestEpoch) {
+  Tier tier;
+  tier.start({"--replicas=1", "--algo=wcc", "--kind=er", "--vertices=300",
+              "--edges=900", "--seed=7", "--gate=theorem2", "--threads=2",
+              "--chaos=stale:2"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 1);
+
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+                std::to_string(290 + e) + R"(,"dst":)" +
+                std::to_string((e * 37 + i * 11) % 300) + "}");
+    }
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+  // Stale serving must not stall replication: the replica still acks
+  // everything, so the coordinator watermark reaches epoch 3.
+  const std::string st = wait_watermark(coord);
+  EXPECT_EQ(field(st, "epoch"), "3");
+
+  Client rep;
+  rep.connect(tier.replica_sock(0));
+  rep.read_line();  // greeting
+  const std::string rst = rep.rpc(R"({"op":"stats"})");
+  EXPECT_EQ(field(rst, "epoch_watermark"), "3") << rst;
+  EXPECT_EQ(field(rst, "chaos_stale_records"), "2") << rst;
+  EXPECT_EQ(field(rst, "serving_lag"), "2") << rst;
+  EXPECT_EQ(field(rst, "serving_epoch"), "1") << rst;
+  // Query replies are stamped with the SERVED state's epoch, not the
+  // applied watermark.
+  EXPECT_EQ(field(query(rep, 0), "epoch"), "1");
+
+  // Two more records slide the ring forward: still lag 2, served epoch 3.
+  for (int e = 3; e < 5; ++e) {
+    coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+              std::to_string(290 + e) + R"(,"dst":5})");
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+  wait_watermark(coord);
+  const std::string rst2 = rep.rpc(R"({"op":"stats"})");
+  EXPECT_EQ(field(rst2, "serving_lag"), "2") << rst2;
+  EXPECT_EQ(field(rst2, "serving_epoch"), "3") << rst2;
+  EXPECT_EQ(field(query(rep, 0), "epoch"), "3");
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
 // --proto=mixed: replica 0 negotiates the bin1 replication stream (records
 // and snapshots travel as frames) while replica 1 stays on newline JSON.
 // Both are lagged past the 2-record history so each gets re-seeded through

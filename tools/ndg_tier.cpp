@@ -16,11 +16,15 @@
 //   ndg_tier --dir=/tmp/tier --replicas=4 --algo=pagerank --vertices=2048
 //   ndg_tier --dir=/tmp/tier --replicas=0 ...   # single-process baseline
 //
-// --chaos-lag-ms=N holds each replica N ms before applying every
+// --chaos=hold:<ms> holds each replica that long before applying every
 // replication record — the fault-injection hook tests use to push a replica
 // past the coordinator's bounded history (--history=M records) and force
-// the snapshot path. --role=replica --id=K is the internal re-entry used by
-// the forked children; it is not meant to be invoked by hand.
+// the snapshot path. --chaos=stale:<records> instead applies records at full
+// speed but serves reads from a state up to that many records old (bounded
+// per-record staleness; docs/DELAY.md). The old --chaos-lag-ms=N flag still
+// works as a deprecated alias for --chaos=hold:N. --role=replica --id=K is
+// the internal re-entry used by the forked children; it is not meant to be
+// invoked by hand.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -50,6 +54,7 @@ struct TierConfig {
   std::size_t replicas = 2;
   std::size_t history = 64;
   std::uint32_t chaos_lag_ms = 0;
+  std::uint32_t chaos_stale_records = 0;
   /// Replication transport per replica: "json" (default), "bin" (every
   /// replica negotiates bin1), or "mixed" (even ids binary, odd ids JSON —
   /// the interop configuration the tier tests converge exactly under).
@@ -155,6 +160,7 @@ int run_replica(Graph base, Program prog, const TierConfig& cfg,
   ropts.id = id;
   ropts.dir = cfg.dir;
   ropts.chaos_lag_ms = cfg.chaos_lag_ms;
+  ropts.chaos_stale_records = cfg.chaos_stale_records;
   ropts.binary = replica_is_binary(cfg, id);
   tier::Replica<Program> rep(std::move(g), std::move(prog), std::move(gate),
                              cfg.engine_opts, cfg.engine, std::move(gopts),
@@ -201,8 +207,28 @@ int tier_main(const CliArgs& args) {
   cfg.dir = args.get("dir", "");
   cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
   cfg.history = static_cast<std::size_t>(args.get_int("history", 64));
-  cfg.chaos_lag_ms =
-      static_cast<std::uint32_t>(args.get_int("chaos-lag-ms", 0));
+  if (args.has("chaos-lag-ms")) {
+    // Deprecated spelling, kept as an alias so existing harnesses survive.
+    std::cerr << "ndg_tier: --chaos-lag-ms is deprecated; use "
+                 "--chaos=hold:<ms>\n";
+    cfg.chaos_lag_ms =
+        static_cast<std::uint32_t>(args.get_int("chaos-lag-ms", 0));
+  }
+  if (args.has("chaos")) {
+    const std::string chaos = args.get("chaos", "");
+    const auto colon = chaos.find(':');
+    const std::string mode = chaos.substr(0, colon);
+    const std::string val =
+        colon == std::string::npos ? "" : chaos.substr(colon + 1);
+    if (mode == "hold" && !val.empty()) {
+      cfg.chaos_lag_ms = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (mode == "stale" && !val.empty()) {
+      cfg.chaos_stale_records = static_cast<std::uint32_t>(std::stoul(val));
+    } else {
+      throw std::runtime_error(
+          "bad --chaos (expected hold:<ms> or stale:<records>)");
+    }
+  }
   cfg.proto = args.get("proto", "json");
   if (cfg.proto != "json" && cfg.proto != "bin" && cfg.proto != "mixed") {
     throw std::runtime_error("unknown --proto (expected json|bin|mixed)");
