@@ -6,6 +6,10 @@
 // the report also surfaces the execution-layer telemetry next to its
 // verdict: how often the hybrid frontier went dense, how many hub gathers
 // were split into edge chunks, and the degree-weighted load imbalance.
+// The dir_pull/dir_push/switchable columns carry the per-direction static
+// verdicts (docs/ANALYSIS.md); push-capable programs additionally get a
+// manifest-enforced deterministic run of update_push, and any access outside
+// the declared push shape fails the report.
 //
 // Flags: --scale=512 (analysis graph size divisor), --source=0, --threads=4,
 //        --hub-threshold=64, --json=PATH (write a machine-readable manifest),
@@ -52,10 +56,13 @@ int main(int argc, char** argv) {
 
   TextTable table({"algorithm", "BSP conv", "async conv", "RW conflicts",
                    "WW conflicts", "monotonic", "verdict", "static_verdict",
-                   "agreement", "frontier_dense", "hub_splits",
-                   "load_imbalance", "delay_d", "max_staleness"});
+                   "agreement", "dir_pull", "dir_push", "switchable",
+                   "frontier_dense", "hub_splits", "load_imbalance", "delay_d",
+                   "max_staleness"});
   std::vector<std::string> details;
   std::vector<std::string> disagreements;
+  std::vector<std::string> direction_violations;
+  std::vector<std::string> direction_reasons;
   for (const auto& entry : algorithm_registry(source, 500000)) {
     const EligibilityReport r = entry.analyze(d.graph);
     // Like-for-like comparison: re-evaluate the manifest under the OBSERVED
@@ -79,6 +86,20 @@ int main(int argc, char** argv) {
                                 : entry.run_ne(d.graph, ne_opts);
     std::size_t dense_iters = 0;
     for (const std::uint8_t dense : ne.frontier_dense) dense_iters += dense;
+    // Directed-run tracer: one manifest-enforced deterministic run of the
+    // push entry point against the push-side manifest. An access outside the
+    // declared direction's shape voids the push/mixed verdicts — reported as
+    // a hard error below, same contract as the agreement check.
+    if (entry.validate_push) {
+      const ManifestCheck push_check = entry.validate_push(d.graph);
+      if (!push_check.ok()) {
+        direction_violations.push_back(r.algorithm + " (push): " +
+                                       push_check.describe());
+      }
+    }
+    if (!entry.dir_switchable) {
+      direction_reasons.push_back(r.algorithm + ": " + entry.dir_reason);
+    }
     table.add_row({r.algorithm, r.bsp_converges ? "yes" : "no",
                    r.async_converges ? "yes" : "no",
                    std::to_string(r.conflicts.read_write),
@@ -87,6 +108,11 @@ int main(int argc, char** argv) {
                    std::string(verdict_short(entry.static_verdict)) +
                        (entry.static_conditional ? " (conditional)" : ""),
                    agree ? "yes" : "DISAGREE",
+                   verdict_short(entry.dir_pull_verdict),
+                   entry.directional.has_push
+                       ? verdict_short(entry.dir_push_verdict)
+                       : "-",
+                   entry.dir_switchable ? "yes" : "no",
                    std::to_string(dense_iters) + "/" +
                        std::to_string(ne.frontier_dense.size()),
                    std::to_string(ne.hub_splits),
@@ -118,6 +144,22 @@ int main(int argc, char** argv) {
                "only); wcc -> Theorem 2 (WW but monotonic);\npagerank-push -> "
                "not proven (the cautionary counterexample: WW and "
                "non-monotonic).\n";
+
+  if (!direction_reasons.empty()) {
+    std::cout << "\n--- not direction-switchable (docs/ANALYSIS.md) ---\n";
+    for (const auto& line : direction_reasons) std::cout << "  " << line << "\n";
+  }
+
+  if (!direction_violations.empty()) {
+    std::cerr << "\nERROR: directed run escaped the declared direction's "
+                 "manifest:\n";
+    for (const auto& line : direction_violations) {
+      std::cerr << "  " << line << "\n";
+    }
+    std::cerr << "The push-side manifest misdeclares what update_push touches "
+                 "(docs/ANALYSIS.md), voiding the push/mixed verdicts.\n";
+    return 1;
+  }
 
   if (!disagreements.empty()) {
     std::cerr << "\nERROR: static (manifest-derived) and dynamic (measured) "

@@ -24,6 +24,19 @@ class BfsProgram {
       .bsp_convergent = true,
       .async_convergent = true,
   };
+  /// Push direction (update_push): same slots — the edge datum is still
+  /// "source's level" in both directions, which is what keeps a MIXED
+  /// pull/push schedule exact — but the publish is an atomic-min accumulate,
+  /// so the shape declares RMW. accumulate() schedules the other endpoint,
+  /// so the task rule holds (unlike push_pagerank's silent drains).
+  static constexpr AccessManifest kPushManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kReadWrite,
+      .rmw = true,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   static constexpr std::uint32_t kUnreached = 0xffffffffu;
 
   explicit BfsProgram(VertexId source) : source_(source) {}
@@ -60,6 +73,33 @@ class BfsProgram {
     for (std::size_t k = 0; k < neighbors.size(); ++k) {
       const EdgeId eid = ctx.out_edge_id(k);
       if (ctx.read(eid) > lvl) ctx.write(eid, neighbors[k], lvl);
+    }
+  }
+
+  /// Push entry point (engine/direction.hpp): absorb in-edge improvements as
+  /// in pull — the edge datum invariant is direction-independent — then
+  /// publish the improved level with an atomic-min fold instead of a plain
+  /// conditional write. The fold commutes with concurrent folds, so the
+  /// publish survives the WW races a mixed schedule can produce; the read
+  /// guard only skips no-improvement publishes (and their redundant
+  /// scheduling) — a stale guard read is benign because the fold is min.
+  template <typename Ctx>
+  void update_push(VertexId v, Ctx& ctx) {
+    std::uint32_t lvl = levels_[v];
+    for (const InEdge& ie : ctx.in_edges()) {
+      const std::uint32_t src_lvl = ctx.read(ie.id);
+      if (src_lvl != kUnreached) lvl = std::min(lvl, src_lvl + 1);
+    }
+    if (lvl >= levels_[v]) return;
+    levels_[v] = lvl;
+
+    const auto neighbors = ctx.out_neighbors();
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      if (ctx.read(eid) > lvl) {
+        ctx.accumulate(eid, neighbors[k],
+                       [lvl](std::uint32_t x) { return std::min(x, lvl); });
+      }
     }
   }
 

@@ -40,6 +40,12 @@ class PushPageRankProgram {
       .bsp_convergent = true,
       .async_convergent = true,
   };
+  /// Direction eligibility: the update IS the push shape already, so the
+  /// push-side declaration is the same manifest — and it fails the theorems
+  /// in push direction for the same reasons (silent drains break the task
+  /// rule; WW with no monotone claim). The direction analysis refuses
+  /// --direction=push (and auto never unpins) with exactly that story.
+  static constexpr AccessManifest kPushManifest = kManifest;
 
   explicit PushPageRankProgram(float epsilon = 1e-4f, float damping = 0.85f)
       : epsilon_(epsilon), damping_(damping) {}
@@ -85,6 +91,14 @@ class PushPageRankProgram {
       const float cur = ctx.read(eid);
       ctx.write(eid, neighbors[k], cur + push);
     }
+  }
+
+  /// Push entry point: the pull entry point is already the push-mode
+  /// algorithm, so both directions run the same body. Declared so the
+  /// direction analysis has a push side to judge (and refuse).
+  template <typename Ctx>
+  void update_push(VertexId v, Ctx& ctx) {
+    update(v, ctx);
   }
 
   static double project(float a) { return a; }

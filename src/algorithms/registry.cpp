@@ -10,9 +10,11 @@
 #include "algorithms/spmv.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/wcc.hpp"
+#include "analysis/direction_eligibility.hpp"
 #include "analysis/static_eligibility.hpp"
 #include "analysis/validate.hpp"
 #include "delay/delayed_engine.hpp"
+#include "engine/direction.hpp"
 #include "engine/nondeterministic.hpp"
 #include "engine/simulator.hpp"
 
@@ -68,6 +70,25 @@ AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
     Program prog(ctor_args...);
     return validate_manifest(g, prog, max_iterations);
   };
+  using DirElig = StaticDirectionEligibility<Program>;
+  entry.directional = DirElig::kManifest;
+  entry.dir_pull_verdict = DirElig::kPullVerdict;
+  entry.dir_push_verdict = DirElig::kPushVerdict;
+  entry.dir_switchable = DirElig::kSwitchable;
+  entry.dir_reason = switchability_refusal_reason(DirElig::kManifest);
+  entry.run_directed = [ctor_args...](const Graph& g,
+                                      const EngineOptions& opts) {
+    Program prog(ctor_args...);
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return run_direction_optimizing(g, prog, edges, opts);
+  };
+  if constexpr (PushCapableProgram<Program>) {
+    entry.validate_push = [max_iterations, ctor_args...](const Graph& g) {
+      Program prog(ctor_args...);
+      return validate_manifest_push(g, prog, max_iterations);
+    };
+  }
   return entry;
 }
 

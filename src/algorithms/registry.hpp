@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/access_manifest.hpp"
+#include "analysis/directional_manifest.hpp"
 #include "analysis/verifying_access.hpp"
 #include "core/eligibility.hpp"
 #include "engine/options.hpp"
@@ -50,6 +51,27 @@ struct AlgorithmEntry {
   /// clean result means every executed access stayed inside the declared
   /// shape, grounding the static verdict for this graph.
   std::function<ManifestCheck(const Graph& g)> validate;
+
+  // --- Direction-eligibility surface (docs/ANALYSIS.md) ---
+  /// Pull + push manifest pair (has_push == false for pull-only programs).
+  DirectionalManifest directional{};
+  /// Independent per-direction Theorem 1/2 verdicts.
+  EligibilityVerdict dir_pull_verdict = EligibilityVerdict::kNotProven;
+  EligibilityVerdict dir_push_verdict = EligibilityVerdict::kNotProven;
+  /// Both directions AND the merged (mixed-schedule) manifest proven.
+  bool dir_switchable = false;
+  /// switchability_refusal_reason() when !dir_switchable; empty otherwise.
+  std::string dir_reason;
+  /// One run of the direction-optimizing engine (engine/direction.hpp),
+  /// honoring opts.direction. Always present; pull-only programs are pinned
+  /// to pull by the engine regardless of the requested mode — gate requests
+  /// through resolve_direction(directional, ...) first.
+  std::function<EngineResult(const Graph& g, const EngineOptions& opts)>
+      run_directed;
+  /// Push-direction twin of validate (validate_manifest_push): a manifest-
+  /// enforced deterministic run of update_push against the push manifest.
+  /// Null for pull-only programs.
+  std::function<ManifestCheck(const Graph& g)> validate_push;
 };
 
 /// All shipped algorithms. `source` seeds SSSP/BFS; `max_iterations` caps the

@@ -49,6 +49,20 @@ class SsspProgram {
       .bsp_convergent = true,
       .async_convergent = true,
   };
+  /// Push direction (update_push): same slots and invariant (the edge datum
+  /// carries the source's candidate distance in both directions), but the
+  /// publish folds the improved distance in with an atomic RMW that
+  /// preserves the co-located weight — robust to the WW races of a mixed
+  /// schedule, hence the .rmw declaration. accumulate() schedules, so the
+  /// task rule holds.
+  static constexpr AccessManifest kPushManifest{
+      .in_edges = SlotAccess::kRead,
+      .out_edges = SlotAccess::kReadWrite,
+      .rmw = true,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   static constexpr float kInf = std::numeric_limits<float>::infinity();
 
   explicit SsspProgram(VertexId source, std::uint64_t weight_seed = 42)
@@ -202,6 +216,41 @@ class SsspProgram {
       best = combine(best, gather_edge(in[i], ctx));
     }
     apply(v, best, ctx);
+  }
+
+  /// Push entry point (engine/direction.hpp): same gather, but the improved
+  /// distance is published with an atomic min-fold that keeps the co-located
+  /// weight — so two racing publishes of the same edge (possible in a mixed
+  /// pull/push schedule) commit the smaller distance instead of tearing. The
+  /// guard read only skips no-improvement publishes; staleness there is
+  /// benign because the fold is min.
+  template <typename Ctx>
+  void update_push(VertexId v, Ctx& ctx) {
+    float best = gather_identity();
+    const auto in = ctx.in_edges();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (i + perf::kGatherPrefetchDistance < in.size()) {
+        prefetch_edge(ctx, in[i + perf::kGatherPrefetchDistance].id);
+      }
+      best = combine(best, gather_edge(in[i], ctx));
+    }
+
+    const float cur_dist =
+        std::atomic_ref<float>(dists_[v]).load(std::memory_order_relaxed);
+    if (best >= cur_dist) return;
+    const float d = best;
+    std::atomic_ref<float>(dists_[v]).store(d, std::memory_order_relaxed);
+
+    const auto neighbors = ctx.out_neighbors();
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      if (ctx.read(eid).dist > d) {
+        ctx.accumulate(eid, neighbors[k], [d](SsspEdge e) {
+          if (e.dist > d) e.dist = d;
+          return e;
+        });
+      }
+    }
   }
 
   /// Scheduling priority for the bucket worklist: delta-stepping with Δ = 2

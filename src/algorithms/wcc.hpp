@@ -36,6 +36,19 @@ class WccProgram {
       .bsp_convergent = true,
       .async_convergent = true,
   };
+  /// Push direction (update_push): the same both-sides RW shape — WCC writes
+  /// every incident edge in either direction — but published via atomic-min
+  /// folds, hence .rmw. Still Theorem 2 (WW possible, labels non-increasing);
+  /// the RMW publish just removes lost-update windows a mixed schedule would
+  /// otherwise have to recover from over extra iterations.
+  static constexpr AccessManifest kPushManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .rmw = true,
+      .monotone = MonotoneClaim::kNonIncreasing,
+      .bsp_convergent = true,
+      .async_convergent = true,
+  };
   /// Fig. 2: "the initial label value of the edge (v->u) is infinite".
   static constexpr std::uint32_t kInfiniteLabel = 0xffffffffu;
 
@@ -120,6 +133,33 @@ class WccProgram {
     for (std::size_t k = 0; k < out.size(); ++k) {
       const EdgeId e = ctx.out_edge_id(k);
       if (ctx.read(e) > m) ctx.write(e, out[k], m);
+    }
+  }
+
+  /// Push entry point (engine/direction.hpp): same gather-min over the
+  /// vertex and incident edge labels, but the scatter folds the minimum in
+  /// with atomic-min accumulates. Both endpoint sides still write (WCC's
+  /// defining WW shape), but racing folds commute, so a mixed pull/push
+  /// schedule loses no label improvements; Theorem 2 covers the rest.
+  template <typename Ctx>
+  void update_push(VertexId v, Ctx& ctx) {
+    std::uint32_t m = labels_[v];
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    for (const InEdge& ie : in) m = std::min(m, ctx.read(ie.id));
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      m = std::min(m, ctx.read(ctx.out_edge_id(k)));
+    }
+
+    labels_[v] = m;
+
+    const auto fold = [m](std::uint32_t x) { return std::min(x, m); };
+    for (const InEdge& ie : in) {
+      if (ctx.read(ie.id) > m) ctx.accumulate(ie.id, ie.src, fold);
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId e = ctx.out_edge_id(k);
+      if (ctx.read(e) > m) ctx.accumulate(e, out[k], fold);
     }
   }
 

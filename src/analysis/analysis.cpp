@@ -1,6 +1,7 @@
 #include <sstream>
 
 #include "analysis/access_manifest.hpp"
+#include "analysis/directional_manifest.hpp"
 #include "analysis/verifying_access.hpp"
 
 namespace ndg {
@@ -49,6 +50,147 @@ std::string ManifestCheck::describe() const {
      << " accesses, " << violations << " violations";
   for (const ManifestViolation& v : samples) os << "\n    " << v.describe();
   return os.str();
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kPull: return "pull";
+    case Direction::kPush: return "push";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Names every failing Theorem 1/2 premise of `m`, joined with "; ". Empty
+/// when the manifest passes a theorem.
+std::string manifest_failure_reasons(const AccessManifest& m) {
+  if (static_verdict_given(m, m.bsp_convergent, m.async_convergent) !=
+      EligibilityVerdict::kNotProven) {
+    return {};
+  }
+  std::ostringstream os;
+  const char* sep = "";
+  if (!m.follows_task_rule) {
+    os << sep
+       << "writes step outside the Section II task-generation rule "
+          "(write_silent/exchange without scheduling the other endpoint)";
+    sep = "; ";
+  }
+  if (ww_possible(m)) {
+    os << sep << "write-write conflicts are possible (both endpoint sides "
+                 "write)";
+    if (m.monotone == MonotoneClaim::kNone) {
+      os << " with no monotone claim to recover through";
+    }
+    sep = "; ";
+  }
+  if (m.monotone == MonotoneClaim::kNone && !ww_possible(m)) {
+    // WW-free but still failing: convergence claims must be missing.
+    if (!m.bsp_convergent) {
+      os << sep << "no BSP convergence claim (Theorem 1 premise)";
+      sep = "; ";
+    }
+  }
+  if (m.monotone != MonotoneClaim::kNone && !m.async_convergent) {
+    os << sep << "no deterministic-async convergence claim (Theorem 2 "
+                 "premise)";
+    sep = "; ";
+  }
+  if (ww_possible(m) && m.monotone != MonotoneClaim::kNone &&
+      m.async_convergent && m.follows_task_rule) {
+    // Defensive: should be unreachable (that is exactly Theorem 2).
+    os << sep << "premises unexpectedly incomplete";
+  }
+  std::string s = os.str();
+  if (s.empty()) s = "theorem premises not satisfied";
+  return s;
+}
+
+}  // namespace
+
+std::string direction_refusal_reason(const DirectionalManifest& dm,
+                                     Direction d) {
+  if (direction_verdict(dm, d) != EligibilityVerdict::kNotProven) return {};
+  if (d == Direction::kPush && !dm.has_push) {
+    return "no push-side manifest declared (pull-only program)";
+  }
+  const AccessManifest& m = (d == Direction::kPush) ? dm.push : dm.pull;
+  std::ostringstream os;
+  os << to_string(d) << " direction not proven: " << manifest_failure_reasons(m);
+  return os.str();
+}
+
+std::string switchability_refusal_reason(const DirectionalManifest& dm) {
+  if (direction_switchable(dm)) return {};
+  // A failing single direction dominates the explanation.
+  for (Direction d : {Direction::kPull, Direction::kPush}) {
+    std::string r = direction_refusal_reason(dm, d);
+    if (!r.empty()) return r;
+  }
+  // Both directions proven in isolation: the merged manifest is what fails —
+  // the cross-direction interference only the mixed-schedule check sees.
+  const AccessManifest m = merged_manifest(dm);
+  std::ostringstream os;
+  os << "mixed pull/push schedule not proven (cross-direction interference): "
+     << manifest_failure_reasons(m);
+  return os.str();
+}
+
+DirectionResolution resolve_direction(const DirectionalManifest& dm,
+                                      DirectionMode requested,
+                                      AtomicityMode atomicity) {
+  DirectionResolution res;
+  const bool pull_ok =
+      direction_verdict(dm, Direction::kPull) != EligibilityVerdict::kNotProven;
+  const bool push_ok =
+      direction_verdict(dm, Direction::kPush) != EligibilityVerdict::kNotProven;
+
+  switch (requested) {
+    case DirectionMode::kPull:
+      if (!pull_ok) {
+        res.reason = direction_refusal_reason(dm, Direction::kPull);
+        return res;
+      }
+      res.ok = true;
+      res.effective = DirectionMode::kPull;
+      break;
+    case DirectionMode::kPush:
+      if (!push_ok) {
+        res.reason = direction_refusal_reason(dm, Direction::kPush);
+        return res;
+      }
+      res.ok = true;
+      res.effective = DirectionMode::kPush;
+      break;
+    case DirectionMode::kAuto:
+      if (direction_switchable(dm)) {
+        res.ok = true;
+        res.effective = DirectionMode::kAuto;
+      } else if (pull_ok || push_ok) {
+        res.ok = true;
+        res.pinned = true;
+        res.effective = pull_ok ? DirectionMode::kPull : DirectionMode::kPush;
+        res.reason = std::string("pinned to ") + to_string(res.effective) +
+                     ": " + switchability_refusal_reason(dm);
+      } else {
+        res.reason = switchability_refusal_reason(dm);
+        return res;
+      }
+      break;
+  }
+
+  // Runtime twin of assert_manifest_policy: an effective mode that can run
+  // push needs a policy with atomic RMW when the push side declares RMW.
+  const bool may_push = res.effective != DirectionMode::kPull;
+  if (may_push && dm.push.rmw && atomicity == AtomicityMode::kAligned) {
+    res.ok = false;
+    res.pinned = false;
+    res.reason =
+        "push manifest declares RMW but AlignedAccess (method 2) has atomic "
+        "loads/stores only — use locked|relaxed|seq_cst";
+  }
+  return res;
 }
 
 }  // namespace ndg

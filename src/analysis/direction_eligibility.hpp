@@ -1,0 +1,112 @@
+#pragma once
+// StaticDirectionEligibility — the compile-time half of the direction
+// question (docs/ANALYSIS.md). Where StaticEligibility<P> answers "may this
+// program run racy at all?", this evaluator answers three per-program
+// questions, every answer a constant expression:
+//
+//   kPullVerdict   — may it run racy in pull mode?
+//   kPushVerdict   — may it run racy in push mode? (kNotProven for
+//                    pull-only programs)
+//   kSwitchable    — may the engine MIX directions in one racy run?
+//
+// kSwitchable is strictly stronger than "both directions proven": it also
+// requires the merged (slot-wise union) manifest to pass a theorem — the
+// cross-direction WW/RW interference check in directional_manifest.hpp.
+// assert_direction / assert_switchable are the static_assert gates the
+// compile-fail tests (tests/compile_fail/direction_*) exercise.
+
+#include <concepts>
+
+#include "analysis/directional_manifest.hpp"
+#include "analysis/static_eligibility.hpp"
+
+namespace ndg {
+
+/// A manifested program that additionally declares a push entry point with
+/// its own access shape: `void update_push(VertexId, Ctx&)` plus a
+/// `kPushManifest` describing what that entry point touches. ndg_lint's
+/// missing-direction-manifest rule enforces that the two always travel
+/// together; the concept only needs the manifest (update_push itself is
+/// checked at engine instantiation, like update()).
+template <typename P>
+concept PushCapableProgram = ManifestedProgram<P> && requires {
+  { P::kPushManifest } -> std::convertible_to<AccessManifest>;
+};
+
+/// The DirectionalManifest of P, assembled from its declarations. Pull-only
+/// programs get has_push = false and a defaulted push side.
+template <ManifestedProgram P>
+[[nodiscard]] constexpr DirectionalManifest directional_manifest_of() {
+  DirectionalManifest dm;
+  dm.pull = P::kManifest;
+  if constexpr (PushCapableProgram<P>) {
+    dm.push = P::kPushManifest;
+    dm.has_push = true;
+  }
+  return dm;
+}
+
+template <ManifestedProgram P>
+struct StaticDirectionEligibility {
+  static constexpr DirectionalManifest kManifest = directional_manifest_of<P>();
+  static constexpr bool kHasPush = kManifest.has_push;
+
+  /// Independent Theorem 1/2 verdicts per direction.
+  static constexpr EligibilityVerdict kPullVerdict =
+      direction_verdict(kManifest, Direction::kPull);
+  static constexpr EligibilityVerdict kPushVerdict =
+      direction_verdict(kManifest, Direction::kPush);
+
+  /// The access shape and verdict of a mixed pull/push schedule.
+  static constexpr AccessManifest kMixedManifest = merged_manifest(kManifest);
+  static constexpr EligibilityVerdict kMixedVerdict = mixed_verdict(kManifest);
+
+  /// All three proven: the engine may switch direction per iteration.
+  static constexpr bool kSwitchable = direction_switchable(kManifest);
+
+  /// Any consulted verdict being input-conditional taints the whole answer.
+  static constexpr bool kConditional =
+      kManifest.pull.input_dependent_convergence ||
+      (kHasPush && kManifest.push.input_dependent_convergence);
+};
+
+/// Compile-time gate at the point where a program meets a requested
+/// direction: selecting an unproven direction fails to compile with the
+/// theorem-premise story. The runtime twin (--direction=...) is
+/// resolve_direction() in directional_manifest.hpp.
+template <ManifestedProgram P, Direction D>
+constexpr void assert_direction() {
+  if constexpr (D == Direction::kPull) {
+    static_assert(
+        StaticDirectionEligibility<P>::kPullVerdict !=
+            EligibilityVerdict::kNotProven,
+        "pull direction is not proven eligible for nondeterministic "
+        "execution: the pull manifest satisfies neither Theorem 1 (no WW + "
+        "BSP convergence + task rule) nor Theorem 2 (monotone + async "
+        "convergence + task rule). See docs/ANALYSIS.md (direction "
+        "eligibility).");
+  } else {
+    static_assert(
+        StaticDirectionEligibility<P>::kPushVerdict !=
+            EligibilityVerdict::kNotProven,
+        "push direction is not proven eligible for nondeterministic "
+        "execution: either the program is pull-only (no kPushManifest / "
+        "update_push declared) or its push manifest satisfies neither "
+        "Theorem 1 nor Theorem 2. See docs/ANALYSIS.md (direction "
+        "eligibility).");
+  }
+}
+
+/// Compile-time gate for per-iteration direction switching (and for any
+/// schedule that mixes directions within an iteration).
+template <ManifestedProgram P>
+constexpr void assert_switchable() {
+  static_assert(
+      StaticDirectionEligibility<P>::kSwitchable,
+      "direction switching is not proven safe: both per-direction verdicts "
+      "AND the merged-manifest verdict (the cross-direction WW/RW "
+      "interference check over a mixed pull/push schedule) must pass a "
+      "theorem. See docs/ANALYSIS.md (direction eligibility).");
+}
+
+}  // namespace ndg

@@ -1,0 +1,149 @@
+#pragma once
+// DirectionalManifest — a program's declared access shape PER DIRECTION, the
+// input to the direction-eligibility question (docs/ANALYSIS.md):
+//
+//   which directions can this algorithm legally run racy in, and may the
+//   engine switch between them mid-run?
+//
+// Every GAS program here has two natural shapes. The pull entry point
+// update(v) gathers over own in-edges and publishes over own out-edges with
+// plain conditional writes; the optional push entry point update_push(v)
+// publishes with atomic-RMW folds (ctx.accumulate — which schedules, so the
+// Section II task rule holds by construction). Each side is an ordinary
+// AccessManifest, so the Theorem 1/2 premises derive per direction exactly
+// as in static_eligibility.hpp.
+//
+// The genuinely new obligation is the MIXED schedule: the direction-
+// optimizing engine (engine/direction.hpp) picks a direction per iteration,
+// and the delayed/async compositions blur iteration boundaries, so the
+// switchable verdict must license a schedule where some updates run pulled
+// and some pushed concurrently. Two isolated verdicts do not give that: an
+// edge (s, t) in a mixed schedule can be written by whichever of f_pull(s) /
+// f_push(s) runs and read or written by whichever of f_pull(t) / f_push(t)
+// runs, so the conflict classes of the mix are those of the slot-wise UNION
+// of the two manifests — which can exhibit write-write conflicts neither
+// direction has alone (pull writing out-edges, push writing in-edges).
+// merged_manifest() builds that union shape; kSwitchable holds only when the
+// merged manifest ALSO passes a theorem, the cross-direction WW/RW
+// interference check the per-direction verdicts cannot perform.
+
+#include <string>
+
+#include "analysis/access_manifest.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "atomics/access_policy.hpp"
+#include "core/eligibility.hpp"
+#include "engine/direction_mode.hpp"
+
+namespace ndg {
+
+/// One executable direction of a program. Distinct from the engine-facing
+/// DirectionMode (engine/direction_mode.hpp), which adds the kAuto request.
+enum class Direction : std::uint8_t { kPull = 0, kPush = 1 };
+
+[[nodiscard]] const char* to_string(Direction d);
+
+/// The pull + push AccessManifest pair. The push side is optional — a
+/// pull-only program simply never declares kPushManifest, and every
+/// push-direction verdict collapses to kNotProven.
+struct DirectionalManifest {
+  AccessManifest pull{};
+  AccessManifest push{};
+  bool has_push = false;
+};
+
+/// Slot-wise union: the access shape a mixed pull/push schedule can exhibit.
+[[nodiscard]] constexpr SlotAccess merge_slots(SlotAccess a, SlotAccess b) {
+  return static_cast<SlotAccess>(static_cast<std::uint8_t>(a) |
+                                 static_cast<std::uint8_t>(b));
+}
+
+/// The manifest of the MIXED schedule (some vertices pulled, some pushed,
+/// concurrently). Slots union (either direction's access can occur on either
+/// endpoint's update); the task rule must hold in BOTH directions (a single
+/// silent write anywhere breaks the scheduling argument for the whole mix);
+/// the monotone claim survives only when both directions agree on it
+/// (Theorem 2's recovery argument needs ONE direction of travel — a
+/// non-increasing pull racing a non-decreasing push has no envelope to
+/// recover through); RMW is possible whenever either side performs one; the
+/// convergence claims are conjunctions because the mix's conflict-free
+/// projections interleave both update bodies, so each body's claim is
+/// needed; input-dependence is inherited from either side.
+[[nodiscard]] constexpr AccessManifest merged_manifest(
+    const DirectionalManifest& dm) {
+  AccessManifest m;
+  m.in_edges = merge_slots(dm.pull.in_edges, dm.push.in_edges);
+  m.out_edges = merge_slots(dm.pull.out_edges, dm.push.out_edges);
+  m.rmw = dm.pull.rmw || dm.push.rmw;
+  m.follows_task_rule = dm.pull.follows_task_rule && dm.push.follows_task_rule;
+  m.monotone = (dm.pull.monotone == dm.push.monotone) ? dm.pull.monotone
+                                                      : MonotoneClaim::kNone;
+  m.bsp_convergent = dm.pull.bsp_convergent && dm.push.bsp_convergent;
+  m.async_convergent = dm.pull.async_convergent && dm.push.async_convergent;
+  m.input_dependent_convergence = dm.pull.input_dependent_convergence ||
+                                  dm.push.input_dependent_convergence;
+  return m;
+}
+
+/// Theorem 1/2 verdict for one direction in isolation (push side of a
+/// pull-only program: kNotProven — there is nothing to prove about).
+[[nodiscard]] constexpr EligibilityVerdict direction_verdict(
+    const DirectionalManifest& dm, Direction d) {
+  if (d == Direction::kPush && !dm.has_push) {
+    return EligibilityVerdict::kNotProven;
+  }
+  const AccessManifest& m = (d == Direction::kPush) ? dm.push : dm.pull;
+  return static_verdict_given(m, m.bsp_convergent, m.async_convergent);
+}
+
+/// Verdict for the mixed schedule: the cross-direction interference check.
+[[nodiscard]] constexpr EligibilityVerdict mixed_verdict(
+    const DirectionalManifest& dm) {
+  if (!dm.has_push) return EligibilityVerdict::kNotProven;
+  const AccessManifest m = merged_manifest(dm);
+  return static_verdict_given(m, m.bsp_convergent, m.async_convergent);
+}
+
+/// kSwitchable: both directions proven AND the mixed schedule proven — the
+/// engine may flip direction per iteration (or per vertex) under NE.
+[[nodiscard]] constexpr bool direction_switchable(
+    const DirectionalManifest& dm) {
+  return direction_verdict(dm, Direction::kPull) !=
+             EligibilityVerdict::kNotProven &&
+         direction_verdict(dm, Direction::kPush) !=
+             EligibilityVerdict::kNotProven &&
+         mixed_verdict(dm) != EligibilityVerdict::kNotProven;
+}
+
+/// Why `d` is not proven for this program ("" when it is proven): names the
+/// failing theorem premises so refusals are actionable. Runtime counterpart
+/// of assert_direction (analysis/direction_eligibility.hpp).
+[[nodiscard]] std::string direction_refusal_reason(const DirectionalManifest& dm,
+                                                   Direction d);
+
+/// Why the program is not kSwitchable ("" when it is): a failing single
+/// direction is reported first; otherwise the cross-direction interference
+/// the merged manifest exhibits (the reason two clean isolated verdicts can
+/// still refuse switching).
+[[nodiscard]] std::string switchability_refusal_reason(
+    const DirectionalManifest& dm);
+
+/// Outcome of gating a requested --direction against the static verdicts and
+/// the atomicity method (push sides declaring RMW need a policy with atomic
+/// RMW — the runtime twin of assert_manifest_policy).
+struct DirectionResolution {
+  bool ok = false;
+  /// The mode the engine should actually run (meaningful when ok).
+  DirectionMode effective = DirectionMode::kPull;
+  /// kAuto was requested but only one direction is proven: the engine runs
+  /// pinned to `effective`, and `reason` carries the pinning note.
+  bool pinned = false;
+  /// Refusal reason (!ok) or pinning note (ok && pinned); empty otherwise.
+  std::string reason;
+};
+
+[[nodiscard]] DirectionResolution resolve_direction(
+    const DirectionalManifest& dm, DirectionMode requested,
+    AtomicityMode atomicity = AtomicityMode::kRelaxed);
+
+}  // namespace ndg

@@ -9,6 +9,7 @@
 // every access the dynamic ConflictTracer could observe is inside the
 // declared shape, so the statically derived conflict classes are sound.
 
+#include "analysis/direction_eligibility.hpp"
 #include "analysis/static_eligibility.hpp"
 #include "analysis/verifying_access.hpp"
 #include "engine/update_context.hpp"
@@ -41,6 +42,39 @@ ManifestCheck validate_manifest(const Graph& g, Program& prog,
     for (const VertexId v : frontier.current()) {
       ctx.begin(v, iterations);
       prog.update(v, ctx);
+    }
+    frontier.advance();
+    ++iterations;
+  }
+  return enforcer.result();
+}
+
+/// The push-direction twin: one deterministic run of update_push under
+/// enforcement of kPushManifest — the dynamic tracer behind the directed-run
+/// check in bench/eligibility_report. A program whose push entry point
+/// touches an edge side its push manifest does not declare fails here, which
+/// voids the push/mixed verdicts derived from that manifest.
+template <VertexProgram Program>
+  requires PushCapableProgram<Program>
+ManifestCheck validate_manifest_push(const Graph& g, Program& prog,
+                                     std::size_t max_iterations = 100000) {
+  using ED = typename Program::EdgeData;
+  EdgeDataArray<ED> edges(g.num_edges());
+  prog.init(g, edges);
+
+  ManifestEnforcer enforcer(g, Program::kPushManifest);
+  VerifyingAccess<RelaxedAtomicAccess> policy{{}, &enforcer};
+
+  Frontier frontier(g.num_vertices());
+  frontier.seed(prog.initial_frontier(g));
+  UpdateContext<ED, VerifyingAccess<RelaxedAtomicAccess>> ctx(
+      g, edges, policy, frontier);
+
+  std::size_t iterations = 0;
+  while (!frontier.empty() && iterations < max_iterations) {
+    for (const VertexId v : frontier.current()) {
+      ctx.begin(v, iterations);
+      prog.update_push(v, ctx);
     }
     frontier.advance();
     ++iterations;

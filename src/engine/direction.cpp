@@ -1,0 +1,24 @@
+#include "engine/direction_mode.hpp"
+
+namespace ndg {
+
+const char* to_string(DirectionMode m) {
+  switch (m) {
+    case DirectionMode::kPull:
+      return "pull";
+    case DirectionMode::kPush:
+      return "push";
+    case DirectionMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::optional<DirectionMode> parse_direction_mode(const std::string& s) {
+  if (s == "pull") return DirectionMode::kPull;
+  if (s == "push") return DirectionMode::kPush;
+  if (s == "auto") return DirectionMode::kAuto;
+  return std::nullopt;
+}
+
+}  // namespace ndg

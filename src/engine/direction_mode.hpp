@@ -1,0 +1,31 @@
+#pragma once
+// DirectionMode — what the caller asks the direction-optimizing engine
+// (engine/direction.hpp) to do. Purely an engine vocabulary type: the
+// analysis layer (analysis/directional_manifest.hpp) gates WHICH modes a
+// program is statically allowed to run; the engine just executes whatever
+// mode it is handed. Kept in its own header so options.hpp can carry the
+// knob without pulling in the engine.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ndg {
+
+enum class DirectionMode : std::uint8_t {
+  /// Every iteration gathers over own in-edges (the classic engines' shape).
+  kPull = 0,
+  /// Every iteration publishes over own out-edges via update_push.
+  kPush = 1,
+  /// Pick per iteration from the hybrid frontier's density signal: dense
+  /// iterations pull, sparse iterations push (docs/PERF.md §5).
+  kAuto = 2,
+};
+
+[[nodiscard]] const char* to_string(DirectionMode m);
+
+/// Parses "pull" / "push" / "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<DirectionMode> parse_direction_mode(
+    const std::string& s);
+
+}  // namespace ndg

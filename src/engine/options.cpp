@@ -11,6 +11,12 @@ double EngineResult::mean_staleness() const {
          static_cast<double>(delayed_writes);
 }
 
+std::uint64_t EngineResult::push_iterations() const {
+  std::uint64_t n = 0;
+  for (const std::uint8_t p : direction_push) n += p;
+  return n;
+}
+
 double EngineResult::load_imbalance() const {
   const std::vector<std::uint64_t>& counts =
       !per_thread_work.empty() ? per_thread_work : per_thread_updates;

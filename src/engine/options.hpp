@@ -7,6 +7,7 @@
 
 #include "atomics/access_policy.hpp"
 #include "delay/delay_spec.hpp"
+#include "engine/direction_mode.hpp"
 #include "engine/frontier_policy.hpp"
 #include "mem/mem_policy.hpp"
 #include "sched/scheduler_kind.hpp"
@@ -41,6 +42,14 @@ struct EngineOptions {
   /// Placement for engine-owned scratch (hub-gather partials). Graph and
   /// edge-data placement is requested at build time (GraphBuildOptions).
   MemSpec mem{};
+  /// Direction request for the direction-optimizing engine
+  /// (engine/direction.hpp): pull every iteration, push every iteration, or
+  /// per-iteration auto from the hybrid frontier's density signal. Callers
+  /// are expected to gate the request through the static direction verdicts
+  /// first (analysis/directional_manifest.hpp resolve_direction); the engine
+  /// itself pins to pull when the program has no push entry point. Ignored
+  /// by every other engine.
+  DirectionMode direction = DirectionMode::kAuto;
   /// Bounded-staleness injection (docs/DELAY.md): with delay.steps > 0 the
   /// delayed entry points (src/delay/delayed_engine.hpp) buffer every write
   /// in a per-thread queue for a controlled number of update steps before it
@@ -93,6 +102,13 @@ struct EngineResult {
   std::uint64_t hub_splits = 0;
   std::uint64_t hub_chunks = 0;
 
+  /// Direction executed each iteration (parallel to frontier_sizes; 1 =
+  /// push). Empty for engines without direction dispatch
+  /// (engine/direction.hpp is the only producer).
+  std::vector<std::uint8_t> direction_push;
+  /// Number of adjacent iteration pairs that flipped direction.
+  std::uint64_t direction_switches = 0;
+
   // --- Staleness telemetry (docs/DELAY.md; nonzero only for the delayed
   // engines in src/delay/). Staleness is measured at commit time: how many
   // of the writing thread's own update steps a write sat buffered before it
@@ -111,6 +127,9 @@ struct EngineResult {
 
   /// Mean observed staleness in steps (0.0 when no writes were delayed).
   [[nodiscard]] double mean_staleness() const;
+
+  /// Iterations that ran in push direction (sum over direction_push).
+  [[nodiscard]] std::uint64_t push_iterations() const;
 
   /// Load-imbalance summary: max/mean over per_thread_work (falling back to
   /// per_thread_updates when no work counts were recorded). 1.0 = perfectly

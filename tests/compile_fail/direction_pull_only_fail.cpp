@@ -1,0 +1,13 @@
+// Compile-FAIL test (ctest WILL_FAIL, built with -fsyntax-only): statically
+// selecting the push direction for a pull-only program — PageRank declares
+// no kPushManifest, so its push verdict is kNotProven — must be rejected at
+// compile time by assert_direction. The positive-control twin
+// (direction_push_ok.cpp) proves the failure comes from the static_assert,
+// not from an unrelated breakage in these headers.
+#include "algorithms/pagerank.hpp"
+#include "analysis/direction_eligibility.hpp"
+
+int main() {
+  ndg::assert_direction<ndg::PageRankProgram, ndg::Direction::kPush>();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Positive control for direction_pull_only_fail.cpp: the SAME assertion
+// compiles fine for programs whose selected direction (or switchability) is
+// statically proven. If this TU ever stops compiling, the WILL_FAIL twin is
+// failing for the wrong reason and proves nothing.
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "analysis/direction_eligibility.hpp"
+
+int main() {
+  ndg::assert_direction<ndg::BfsProgram, ndg::Direction::kPull>();
+  ndg::assert_direction<ndg::BfsProgram, ndg::Direction::kPush>();
+  ndg::assert_direction<ndg::SsspProgram, ndg::Direction::kPush>();
+  // Pull stays provable for pull-only programs; only push is refused.
+  ndg::assert_direction<ndg::PageRankProgram, ndg::Direction::kPull>();
+  // Per-iteration (and intra-iteration) switching: the full three-verdict
+  // gate, including the cross-direction interference check.
+  ndg::assert_switchable<ndg::BfsProgram>();
+  ndg::assert_switchable<ndg::SsspProgram>();
+  ndg::assert_switchable<ndg::WccProgram>();
+  return 0;
+}

@@ -9,6 +9,8 @@
 //   raw-cast          aliases the slot array as float* around the policy
 //   missing-manifest  BypassProgram declares no kManifest
 //   aligned-rmw       ctx.accumulate() with no `.rmw = true` declaration
+//   missing-direction-manifest
+//                     update_push() with no kPushManifest declaration
 
 #include <cstdint>
 
@@ -31,6 +33,13 @@ struct BypassProgram {
   void update(Ctx& ctx, std::uint64_t e, float v) {
     // An RMW this program's (missing) manifest would have to declare.
     ctx.accumulate(e, v, [](float a, float b) { return a + b; });
+  }
+
+  template <typename Ctx>
+  void update_push(Ctx& ctx, std::uint64_t e, float v) {
+    // A push entry point with no kPushManifest: the direction analysis
+    // cannot derive a push-side verdict for this body.
+    ctx.write(e, 0, v);
   }
 };
 

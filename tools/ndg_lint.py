@@ -20,6 +20,14 @@ invalidates both. This linter keeps that contract honest at the source level:
                     an RMW the manifest hides would wrongly pass the
                     AlignedAccess compatibility check (method 2 has atomic
                     loads/stores but NO atomic read-modify-write).
+  missing-direction-manifest
+                    a program file declaring a push entry point
+                    (`void update_push(...)`) without a
+                    `static constexpr AccessManifest kPushManifest` —
+                    a push body with no push-side manifest is invisible to
+                    the per-direction eligibility verdicts, so the
+                    direction-optimizing engine would run an unanalyzed
+                    direction.
 
 Suppressions: a `// ndg-lint: allow(<rule>)` comment on the offending line or
 the line directly above silences that rule for that line. Every allow is
@@ -43,7 +51,13 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("raw-slots", "raw-cast", "missing-manifest", "aligned-rmw")
+RULES = (
+    "raw-slots",
+    "raw-cast",
+    "missing-manifest",
+    "aligned-rmw",
+    "missing-direction-manifest",
+)
 
 # Directory (relative to the scan root) that is allowed to touch raw storage.
 EXEMPT_DIR_PARTS = ("atomics",)
@@ -61,6 +75,10 @@ BYTE_CAST_RE = re.compile(
 PROGRAM_DECL_RE = re.compile(r"\b(?:class|struct)\s+(\w*Program)\b(?!\s*;)")
 MANIFEST_RE = re.compile(r"\bstatic\s+constexpr\s+AccessManifest\s+kManifest\b")
 RMW_DECL_RE = re.compile(r"\.rmw\s*=\s*true")
+UPDATE_PUSH_RE = re.compile(r"\bvoid\s+update_push\s*\(")
+PUSH_MANIFEST_RE = re.compile(
+    r"\bstatic\s+constexpr\s+AccessManifest\s+kPushManifest\b"
+)
 RMW_CALL_RE = re.compile(r"\b(?:ctx|context)\s*\.\s*(accumulate|exchange)\s*\(")
 
 
@@ -121,6 +139,8 @@ def lint_file_pattern(path: Path) -> list[Finding]:
     code_text = "\n".join(strip_line_comment(l) for l in lines)
     has_manifest = MANIFEST_RE.search(code_text) is not None
     declares_rmw = RMW_DECL_RE.search(code_text) is not None
+    has_push_manifest = PUSH_MANIFEST_RE.search(code_text) is not None
+    push_decls: list[int] = []
 
     for i, raw in enumerate(lines):
         code = strip_line_comment(raw)
@@ -154,6 +174,11 @@ def lint_file_pattern(path: Path) -> list[Finding]:
         if m and "missing-manifest" not in allowed:
             program_decls.append((i + 1, m.group(1)))
         if (
+            UPDATE_PUSH_RE.search(code)
+            and "missing-direction-manifest" not in allowed
+        ):
+            push_decls.append(i + 1)
+        if (
             program_decls
             and not declares_rmw
             and "aligned-rmw" not in allowed
@@ -179,6 +204,19 @@ def lint_file_pattern(path: Path) -> list[Finding]:
                     "`static constexpr AccessManifest kManifest`; the static "
                     "eligibility analyzer (docs/ANALYSIS.md) requires one "
                     "per program",
+                )
+            )
+    if not exempt and program_decls and not has_push_manifest:
+        for line_no in push_decls:
+            findings.append(
+                Finding(
+                    path, line_no, "missing-direction-manifest",
+                    "`update_push` declared but the file has no "
+                    "`static constexpr AccessManifest kPushManifest`; a push "
+                    "entry point without a push-side manifest gets no "
+                    "per-direction verdict, so the direction-optimizing "
+                    "engine would run an unanalyzed direction "
+                    "(docs/ANALYSIS.md)",
                 )
             )
     return findings
@@ -238,7 +276,11 @@ def lint_file_clang(path: Path, include_dir: Path) -> list[Finding] | None:
     # Manifest rules stay pattern-based even under clang (they are
     # declaration-presence checks, not expression checks).
     for f in lint_file_pattern(path):
-        if f.rule in ("missing-manifest", "aligned-rmw"):
+        if f.rule in (
+            "missing-manifest",
+            "aligned-rmw",
+            "missing-direction-manifest",
+        ):
             findings.append(f)
     return findings
 
