@@ -25,9 +25,9 @@ namespace ndg {
 namespace {
 
 struct Curves {
-  std::vector<std::uint32_t> bsp;
-  std::vector<std::uint32_t> de;
-  std::vector<std::uint32_t> ne;
+  std::vector<std::uint64_t> bsp;
+  std::vector<std::uint64_t> de;
+  std::vector<std::uint64_t> ne;
 };
 
 template <typename MakeProgram>
@@ -60,7 +60,7 @@ Curves collect(const Graph& g, MakeProgram make_prog, std::size_t procs,
   return c;
 }
 
-std::string cell(const std::vector<std::uint32_t>& v, std::size_t i) {
+std::string cell(const std::vector<std::uint64_t>& v, std::size_t i) {
   return i < v.size() ? std::to_string(v[i]) : "-";
 }
 

@@ -1,0 +1,98 @@
+// Speculative-engine ablation (docs/SPECULATION.md): abort rate and speedup
+// of the rollback engine over the NE-refused family (matching, coloring) plus
+// the MIS bridge case, across thread counts, against the sequential DE-
+// equivalent baseline (the same engine at one thread — sequential by
+// construction and result-identical by the engine's commit-in-id-order rule).
+//
+// Shape targets:
+//   * every cell's result equals the sequential greedy-by-id oracle EXACTLY
+//     (a mismatch exits nonzero — the engine's whole contract);
+//   * rounds / commits / aborts are identical across thread counts — the
+//     commit rule depends only on footprints and id order, never timing.
+//     That makes them deterministic, CI-gateable metrics (unlike ms on a
+//     noisy one-core runner): bench_diff.py gates `rounds` and `aborts`.
+//
+// Flags: --scale=256 --threads=1,2,4,8 --algos=matching,coloring,mis
+//        --max-rounds=500000 --json=PATH (BENCH_speculative.json for CI).
+
+#include <iostream>
+#include <sstream>
+
+#include "algorithms/registry.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ndg;
+  const CliArgs args(argc, argv);
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 256));
+  const auto threads = bench::parse_list(args.get("threads", "1,2,4,8"));
+  const auto algos = split_names(args.get("algos", "matching,coloring,mis"));
+  const auto max_rounds =
+      static_cast<std::size_t>(args.get_int("max-rounds", 500000));
+
+  const Dataset d = make_dataset(DatasetId::kWebGoogle, scale);
+  std::cout << "=== Speculative rollback ablation: " << d.name
+            << " |V|=" << d.graph.num_vertices()
+            << " |E|=" << d.graph.num_edges() << " ===\n\n";
+
+  TextTable table({"algorithm", "threads", "rounds", "commits", "aborts",
+                   "abort_rate", "converged", "oracle", "ms", "speedup"});
+  bool failed = false;
+  for (const auto& entry : speculative_registry()) {
+    bool wanted = false;
+    for (const auto& name : algos) wanted |= name == entry.name;
+    if (!wanted) continue;
+
+    // The sequential baseline: one thread IS the DE schedule (ascending id,
+    // every conflict resolved by order), so its wall time anchors speedup.
+    double base_seconds = 0.0;
+    for (const std::size_t nt : threads) {
+      EngineOptions opts;
+      opts.num_threads = nt;
+      opts.max_iterations = max_rounds;
+      const EngineResult r = entry.run_speculative(d.graph, opts);
+      const bool exact = entry.verify_speculative(d.graph, opts);
+      if (nt == threads.front()) base_seconds = r.seconds;
+      if (!r.converged || !exact) failed = true;
+      table.add_row(
+          {entry.name, std::to_string(nt), std::to_string(r.iterations),
+           std::to_string(r.spec_commits), std::to_string(r.spec_aborts),
+           TextTable::num(r.abort_rate(), 3), r.converged ? "yes" : "NO",
+           exact ? "exact" : "MISMATCH",
+           TextTable::num(r.seconds * 1e3, 2),
+           TextTable::num(r.seconds > 0 ? base_seconds / r.seconds : 0.0, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "BENCH_speculative.json");
+    table.write_json(path,
+                     "{\"bench\":\"ablation_speculative\",\"graph\":\"" +
+                         json_escape(d.name) +
+                         "\",\"scale\":" + std::to_string(scale) + "}");
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+  if (failed) {
+    std::cerr << "\nERROR: a speculative run missed the sequential oracle or "
+                 "the round cap — the rollback guarantee is broken.\n";
+    return 1;
+  }
+  return 0;
+}

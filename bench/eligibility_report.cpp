@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   TextTable table({"algorithm", "BSP conv", "async conv", "RW conflicts",
                    "WW conflicts", "monotonic", "verdict", "static_verdict",
                    "agreement", "dir_pull", "dir_push", "switchable",
-                   "frontier_dense", "hub_splits", "load_imbalance", "delay_d",
-                   "max_staleness"});
+                   "speculative", "frontier_dense", "hub_splits",
+                   "load_imbalance", "delay_d", "max_staleness"});
   std::vector<std::string> details;
   std::vector<std::string> disagreements;
   std::vector<std::string> direction_violations;
@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
                        ? verdict_short(entry.dir_push_verdict)
                        : "-",
                    entry.dir_switchable ? "yes" : "no",
+                   entry.run_speculative ? "served" : "-",
                    std::to_string(dense_iters) + "/" +
                        std::to_string(ne.frontier_dense.size()),
                    std::to_string(ne.hub_splits),
@@ -122,6 +123,45 @@ int main(int argc, char** argv) {
     details.push_back(r.describe());
   }
   table.print(std::cout);
+
+  // The negative space of the theorems, served anyway: algorithms the static
+  // layer REFUSES for NE/async run under the rollback engine
+  // (docs/SPECULATION.md), whose result must equal the sequential
+  // greedy-by-id oracle exactly. A mismatch, a capped run, or a run with
+  // zero commits is a hard error, same contract as the agreement check.
+  std::cout << "\n--- refused for NE, served speculatively "
+               "(docs/SPECULATION.md) ---\n";
+  TextTable spec_table({"algorithm", "static_verdict", "WW possible",
+                        "monotone claim", "rounds", "commits", "aborts",
+                        "abort_rate", "oracle"});
+  std::vector<std::string> spec_errors;
+  EngineOptions spec_opts;
+  spec_opts.num_threads = threads;
+  spec_opts.max_iterations = 500000;
+  for (const auto& entry : speculative_registry()) {
+    const EngineResult sr = entry.run_speculative(d.graph, spec_opts);
+    const bool exact = entry.verify_speculative(d.graph, spec_opts);
+    if (!sr.converged) {
+      spec_errors.push_back(entry.name + ": speculative run hit the iteration cap");
+    }
+    if (sr.spec_commits == 0) {
+      spec_errors.push_back(entry.name + ": speculative run committed nothing");
+    }
+    if (!exact) {
+      spec_errors.push_back(entry.name +
+                            ": result differs from the sequential oracle");
+    }
+    spec_table.add_row(
+        {entry.name,
+         std::string(verdict_short(entry.static_verdict)) +
+             (entry.speculative_only ? " (refused)" : ""),
+         ww_possible(entry.manifest) ? "yes" : "no",
+         entry.manifest.monotone == MonotoneClaim::kNone ? "none" : "declared",
+         std::to_string(sr.iterations), std::to_string(sr.spec_commits),
+         std::to_string(sr.spec_aborts), TextTable::num(sr.abort_rate(), 3),
+         exact ? "exact" : "MISMATCH"});
+  }
+  spec_table.print(std::cout);
 
   if (args.has("json")) {
     const std::string path = args.get("json", "eligibility_report.json");
@@ -167,6 +207,15 @@ int main(int argc, char** argv) {
     for (const auto& line : disagreements) std::cerr << "  " << line << "\n";
     std::cerr << "Either a manifest misdeclares the program's access shape "
                  "(docs/ANALYSIS.md) or the measured analysis regressed.\n";
+    return 1;
+  }
+
+  if (!spec_errors.empty()) {
+    std::cerr << "\nERROR: speculative engine broke its rollback guarantee "
+                 "(docs/SPECULATION.md):\n";
+    for (const auto& line : spec_errors) std::cerr << "  " << line << "\n";
+    std::cerr << "The parallel speculative result must equal the sequential "
+                 "greedy-by-id oracle exactly at any thread count.\n";
     return 1;
   }
   return 0;

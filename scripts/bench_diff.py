@@ -104,6 +104,16 @@ def metric_value(row, metric):
 
 def main(argv):
     baseline_path, candidate_path, opts = parse_args(argv)
+    # The CANDIDATE manifest is this build's own output: if it is missing or
+    # unparseable the bench build/run itself is broken, and the gate must
+    # fail loudly (exit 2) rather than pass because the baseline also
+    # happened to be absent. Validate it before the missing-baseline check.
+    if not os.path.exists(candidate_path):
+        print(f"bench_diff: candidate manifest missing: {candidate_path} "
+              "(the bench did not produce its JSON — broken build/run?)",
+              file=sys.stderr)
+        sys.exit(2)
+    cand = load_rows(candidate_path, opts["key"])
     if not os.path.exists(baseline_path):
         # First run on a fresh branch/runner: there is nothing to diff
         # against, which is expected, not an error — CI promotes the
@@ -112,7 +122,6 @@ def main(argv):
               "nothing to compare (treating as success)")
         return 0
     base = load_rows(baseline_path, opts["key"])
-    cand = load_rows(candidate_path, opts["key"])
 
     regressions = []
     improvements = []

@@ -1,0 +1,156 @@
+#pragma once
+// Greedy vertex coloring by ascending id — the second member of the
+// mutual-exclusion family excluded by the paper's theorems. A vertex takes
+// the smallest color absent among its already-colored smaller-id neighbours
+// (the "mex"); under nondeterministic execution two adjacent vertices can
+// decide concurrently from stale published colors and pick the same one, and
+// nothing in the per-edge dynamics repairs that — the conflict is on the
+// *joint* choice, not a monotone scalar. The manifest declares dual-slot
+// read-write edges (WW possible), no monotone claim and no convergence
+// claims, so StaticEligibility refuses it for both NE and async
+// (static_assert below; tests/compile_fail pins the refusal).
+//
+// Like MatchingProgram it ships without update(): only the speculative
+// engine's commit-in-id-order rule may run it, and the parallel result then
+// equals ref::greedy_coloring — color[v] = mex{color[u] : u ∈ N(v), u < v} —
+// exactly, at any thread count.
+//
+// Colors travel in dual-slot edges (own half = own color) and every commit
+// write follows the Section II task rule, so a waiting vertex (some smaller
+// neighbour still uncolored) is woken by exactly that neighbour's deciding
+// write.
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/dual_edge.hpp"
+#include "analysis/access_manifest.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class GreedyColoringProgram {
+ public:
+  using EdgeData = DualEdge;
+  static constexpr bool kMonotonic = false;
+  static constexpr bool kCautious = true;
+  static constexpr std::uint32_t kUncolored = 0xffffffffu;
+
+  /// Dual-slot RW edges => WW possible; the joint color choice has no
+  /// monotone projection and no NE/async convergence claim, so both
+  /// theorems' premises fail: kNotProven, by design.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+  };
+
+  struct LocalState {
+    std::uint32_t color;  // kUncolored = no decision this round
+  };
+
+  [[nodiscard]] const char* name() const { return "coloring"; }
+
+  void init(const Graph& g, EdgeDataArray<DualEdge>& edges) {
+    color_.assign(g.num_vertices(), kUncolored);
+    edges.fill(DualEdge{kUncolored, kUncolored});
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename PlanCtx>
+  void plan(VertexId v, PlanCtx& ctx, LocalState& ls) {
+    ls.color = kUncolored;
+    if (color_[v] != kUncolored) return;  // decided earlier: final, no-op
+
+    // Gather the published colors of smaller-id neighbours from the edge
+    // halves. Any still-uncolored smaller neighbour means we cannot decide
+    // yet — its deciding write will wake us (task rule) or abort us (same
+    // round), so committing a no-op now is safe.
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    thread_local std::vector<std::uint32_t> taken;
+    taken.clear();
+    bool blocked = false;
+    auto consider = [&](VertexId u, std::uint32_t peer_color) {
+      if (u >= v) return;
+      if (peer_color == kUncolored) {
+        blocked = true;
+      } else {
+        taken.push_back(peer_color);
+      }
+    };
+    for (const InEdge& ie : in) {
+      consider(ie.src, peer_half(ctx.read(ie.id, ie.src), false));
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      consider(out[k],
+               peer_half(ctx.read(ctx.out_edge_id(k), out[k]), true));
+    }
+    if (blocked) return;
+
+    // mex of the taken set.
+    std::sort(taken.begin(), taken.end());
+    std::uint32_t mex = 0;
+    for (const std::uint32_t c : taken) {
+      if (c == mex) {
+        ++mex;
+      } else if (c > mex) {
+        break;
+      }
+    }
+    ls.color = mex;
+
+    // Commit writes our state and our half of every incident edge.
+    ctx.will_write_vertex(v);
+    for (const InEdge& ie : in) ctx.will_write(ie.id, ie.src);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      ctx.will_write(ctx.out_edge_id(k), out[k]);
+    }
+  }
+
+  template <typename CommitCtx>
+  void commit(VertexId v, CommitCtx& ctx, const LocalState& ls) {
+    if (ls.color == kUncolored) return;
+    color_[v] = ls.color;
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    for (const InEdge& ie : in) {
+      const DualEdge cur = ctx.read(ie.id);
+      ctx.write(ie.id, ie.src, with_own_half(cur, false, ls.color));
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const DualEdge cur = ctx.read(eid);
+      ctx.write(eid, out[k], with_own_half(cur, true, ls.color));
+    }
+  }
+
+  static double project(DualEdge e) {
+    return static_cast<double>(e.src_half) + static_cast<double>(e.dst_half);
+  }
+
+  /// colors()[v] is v's color (kUncolored only if the run was capped).
+  [[nodiscard]] const std::vector<std::uint32_t>& colors() const {
+    return color_;
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {color_.begin(), color_.end()};
+  }
+
+ private:
+  std::vector<std::uint32_t> color_;
+};
+
+static_assert(StaticEligibility<GreedyColoringProgram>::kVerdict ==
+                  EligibilityVerdict::kNotProven,
+              "greedy coloring must be refused for NE/async execution");
+static_assert(StaticEligibility<GreedyColoringProgram>::kWwPossible,
+              "dual-slot color edges imply possible WW conflicts");
+
+}  // namespace ndg

@@ -1,0 +1,206 @@
+#pragma once
+// Maximal matching — greedy by ascending id, the canonical member of the
+// mutual-exclusion family the paper's theorems deliberately exclude from
+// nondeterministic execution. A free vertex matches its smallest free
+// neighbour; both endpoints flip from free to matched *together*, an atomic
+// pairwise decision with no monotone per-edge recovery story: a lost race
+// doesn't self-heal the way WCC's Fig. 2 dynamics do, it produces a vertex
+// matched to a partner that believes otherwise. The manifest below says so —
+// dual-slot read-write edges (WW possible), no monotone claim, no convergence
+// claims — and StaticEligibility provably refuses it for both NE and async
+// (static_assert at the bottom; tests/compile_fail pins the refusal).
+//
+// The program therefore ships *without* an update() entry point: it can only
+// run under the speculative engine (engine/speculative.hpp), whose
+// commit-in-id-order rule makes the parallel result exactly equal to
+// ref::greedy_matching, the sequential greedy-by-id oracle.
+//
+// Matched partners are also published into the dual-slot edges (own half =
+// partner id) so the decision is visible to edge-level tooling; the matched
+// edge is written with the task-generation rule (waking the partner to
+// republish its own edges), the remaining publications are silent — nobody's
+// decision depends on them, and the manifest's follows_task_rule = false
+// records that honestly.
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/dual_edge.hpp"
+#include "analysis/access_manifest.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace ndg {
+
+class MatchingProgram {
+ public:
+  using EdgeData = DualEdge;
+  static constexpr bool kMonotonic = false;
+  static constexpr bool kCautious = true;
+  /// A free half publishes kFreeHalf; a matched half the partner's id.
+  static constexpr std::uint32_t kFreeHalf = 0xffffffffu;
+
+  /// Dual-slot RW edges => WW possible; pairwise matching has no monotone
+  /// projection and no NE/async convergence claim, and the silent
+  /// publications step outside the Section II task rule: every premise of
+  /// both theorems fails, so the static verdict is kNotProven — by design.
+  static constexpr AccessManifest kManifest{
+      .in_edges = SlotAccess::kReadWrite,
+      .out_edges = SlotAccess::kReadWrite,
+      .follows_task_rule = false,
+  };
+
+  struct LocalState {
+    VertexId partner;   // kInvalidVertex = no action this round
+    std::uint8_t mode;  // kNone / kMatch / kRepublish
+  };
+  enum : std::uint8_t { kNone = 0, kMatch = 1, kRepublish = 2 };
+
+  [[nodiscard]] const char* name() const { return "matching"; }
+
+  void init(const Graph& g, EdgeDataArray<DualEdge>& edges) {
+    match_.assign(g.num_vertices(), kInvalidVertex);
+    edges.fill(DualEdge{kFreeHalf, kFreeHalf});
+  }
+
+  [[nodiscard]] std::vector<VertexId> initial_frontier(const Graph& g) const {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    return all;
+  }
+
+  template <typename PlanCtx>
+  void plan(VertexId v, PlanCtx& ctx, LocalState& ls) {
+    ls.partner = kInvalidVertex;
+    ls.mode = kNone;
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+
+    if (match_[v] != kInvalidVertex) {
+      // Already matched (our partner's commit set match_[v] and scheduled
+      // us): republish our half on any edge that still reads free/stale.
+      ctx.read_vertex(v);
+      bool stale = false;
+      for (const InEdge& ie : in) {
+        if (own_half(ctx.read(ie.id, ie.src), false) != match_[v]) {
+          stale = true;
+          ctx.will_write(ie.id, ie.src);
+        }
+      }
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        if (own_half(ctx.read(ctx.out_edge_id(k), out[k]), true) !=
+            match_[v]) {
+          stale = true;
+          ctx.will_write(ctx.out_edge_id(k), out[k]);
+        }
+      }
+      if (stale) ls.mode = kRepublish;
+      return;
+    }
+
+    // Free: the greedy rule — match the smallest free neighbour. The merged
+    // ascending scan (mirrored exactly by ref::greedy_matching) makes the
+    // choice well-defined even if the adjacency arrays were unsorted.
+    thread_local std::vector<VertexId> nbrs;
+    nbrs.clear();
+    for (const InEdge& ie : in) nbrs.push_back(ie.src);
+    for (const VertexId u : out) nbrs.push_back(u);
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (const VertexId u : nbrs) {
+      if (u == v) continue;  // self-loops never match
+      ctx.read_vertex(u);
+      if (match_[u] == kInvalidVertex) {
+        ls.partner = u;
+        ls.mode = kMatch;
+        break;
+      }
+    }
+    if (ls.mode != kMatch) return;  // no free neighbour: stay free, final
+
+    // Commit will write both vertices' match state, our half on every
+    // incident edge, and both halves of the matched edge.
+    ctx.will_write_vertex(v);
+    ctx.will_write_vertex(ls.partner);
+    for (const InEdge& ie : in) ctx.will_write(ie.id, ie.src);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      ctx.will_write(ctx.out_edge_id(k), out[k]);
+    }
+  }
+
+  template <typename CommitCtx>
+  void commit(VertexId v, CommitCtx& ctx, const LocalState& ls) {
+    if (ls.mode == kNone) return;
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    if (ls.mode == kMatch) {
+      const VertexId u = ls.partner;
+      match_[v] = u;
+      match_[u] = v;
+      // Publish "taken by u" on all our edges. The matched edge itself uses
+      // the scheduling write so u wakes up and republishes its own edges;
+      // the rest are silent (no neighbour's decision reads them — free
+      // vertices consult match_ directly, which is current at commit time).
+      for (const InEdge& ie : in) {
+        const DualEdge cur = ctx.read(ie.id);
+        const DualEdge val = with_own_half(cur, false, u);
+        if (ie.src == u) {
+          ctx.write(ie.id, ie.src, val);
+        } else {
+          ctx.write_silent(ie.id, val);
+        }
+      }
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        const EdgeId eid = ctx.out_edge_id(k);
+        const DualEdge cur = ctx.read(eid);
+        const DualEdge val = with_own_half(cur, true, u);
+        if (out[k] == u) {
+          ctx.write(eid, out[k], val);
+        } else {
+          ctx.write_silent(eid, val);
+        }
+      }
+      return;
+    }
+    // kRepublish: repair our half wherever it disagrees (recomputed from the
+    // same edge values plan saw — the engine guarantees them unchanged).
+    const std::uint32_t mine = match_[v];
+    for (const InEdge& ie : in) {
+      const DualEdge cur = ctx.read(ie.id);
+      if (own_half(cur, false) != mine) {
+        ctx.write_silent(ie.id, with_own_half(cur, false, mine));
+      }
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const DualEdge cur = ctx.read(eid);
+      if (own_half(cur, true) != mine) {
+        ctx.write_silent(eid, with_own_half(cur, true, mine));
+      }
+    }
+  }
+
+  static double project(DualEdge e) {
+    return static_cast<double>(e.src_half) + static_cast<double>(e.dst_half);
+  }
+
+  /// match()[v] is the partner id, or kInvalidVertex when v is unmatched.
+  [[nodiscard]] const std::vector<VertexId>& match() const { return match_; }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {match_.begin(), match_.end()};
+  }
+
+ private:
+  std::vector<VertexId> match_;
+};
+
+// The point of this program: the static layer must *refuse* it. A parallel
+// run is only legal under the speculative engine's rollback guarantee.
+static_assert(StaticEligibility<MatchingProgram>::kVerdict ==
+                  EligibilityVerdict::kNotProven,
+              "matching must be refused for NE/async execution");
+static_assert(StaticEligibility<MatchingProgram>::kWwPossible,
+              "dual-slot matching edges imply possible WW conflicts");
+
+}  // namespace ndg

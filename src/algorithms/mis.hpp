@@ -25,6 +25,12 @@ class MisProgram {
  public:
   using EdgeData = DualEdge;
   static constexpr bool kMonotonic = true;
+  /// Also a cautious operator (engine/speculative.hpp): the decision logic
+  /// reads every smaller neighbour before any publication write, so it splits
+  /// cleanly into plan (decide) / commit (publish). MIS is the family's
+  /// bridge case — eligible for async execution by Theorem 2 AND servable by
+  /// the rollback engine, where its result is the same greedy-by-id set.
+  static constexpr bool kCautious = true;
   /// Dual-slot edges as in k-core (WW possible); states only move
   /// kUnknown -> {kIn, kOut}, so the projected sum is non-decreasing —
   /// Theorem 2.
@@ -95,6 +101,86 @@ class MisProgram {
       const DualEdge cur = ctx.read(eid);
       if (own_half(cur, true) != s) {
         ctx.write(eid, out[k], with_own_half(cur, true, s));
+      }
+    }
+  }
+
+  struct LocalState {
+    std::uint32_t next;  // kUnknown = no decision (and nothing to publish)
+  };
+
+  /// Cautious twin of update(): the same smaller-neighbour decision, reads
+  /// only, with every publication declared as a write intent.
+  template <typename PlanCtx>
+  void plan(VertexId v, PlanCtx& ctx, LocalState& ls) {
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+
+    ls.next = state_[v];
+    if (ls.next == kUnknown) {
+      bool all_smaller_out = true;
+      bool some_smaller_in = false;
+      auto consider = [&](VertexId u, std::uint32_t peer_state) {
+        if (u >= v) return;
+        if (peer_state == kIn) some_smaller_in = true;
+        if (peer_state != kOut) all_smaller_out = false;
+      };
+      for (const InEdge& ie : in) {
+        consider(ie.src, peer_half(ctx.read(ie.id, ie.src), false));
+      }
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        consider(out[k], peer_half(ctx.read(ctx.out_edge_id(k), out[k]),
+                                   /*is_source=*/true));
+      }
+      if (some_smaller_in) {
+        ls.next = kOut;
+      } else if (all_smaller_out) {
+        ls.next = kIn;
+      }
+      // else: stay kUnknown; a deciding neighbour's commit write wakes us.
+    }
+    if (ls.next == kUnknown) return;
+
+    bool stale = false;
+    for (const InEdge& ie : in) {
+      if (own_half(ctx.read(ie.id, ie.src), false) != ls.next) {
+        stale = true;
+        ctx.will_write(ie.id, ie.src);
+      }
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (own_half(ctx.read(ctx.out_edge_id(k), out[k]), true) != ls.next) {
+        stale = true;
+        ctx.will_write(ctx.out_edge_id(k), out[k]);
+      }
+    }
+    // A re-woken, already-published vertex is a true no-op: declaring no
+    // writes lets it commit without dirtying anyone (a spurious self-write
+    // here cascades aborts through every neighbour that read us).
+    if (ls.next == state_[v] && !stale) {
+      ls.next = kUnknown;
+      return;
+    }
+    ctx.will_write_vertex(v);
+  }
+
+  template <typename CommitCtx>
+  void commit(VertexId v, CommitCtx& ctx, const LocalState& ls) {
+    if (ls.next == kUnknown) return;
+    state_[v] = ls.next;
+    const auto in = ctx.in_edges();
+    const auto out = ctx.out_neighbors();
+    for (const InEdge& ie : in) {
+      const DualEdge cur = ctx.read(ie.id);
+      if (own_half(cur, false) != ls.next) {
+        ctx.write(ie.id, ie.src, with_own_half(cur, false, ls.next));
+      }
+    }
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const EdgeId eid = ctx.out_edge_id(k);
+      const DualEdge cur = ctx.read(eid);
+      if (own_half(cur, true) != ls.next) {
+        ctx.write(eid, out[k], with_own_half(cur, true, ls.next));
       }
     }
   }

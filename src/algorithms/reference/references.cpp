@@ -200,4 +200,56 @@ std::vector<bool> greedy_mis(const Graph& g) {
   return in_set;
 }
 
+std::vector<VertexId> greedy_matching(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(n, kInvalidVertex);
+  std::vector<VertexId> nbrs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (match[v] != kInvalidVertex) continue;
+    // Sorted-deduped undirected neighbourhood, so "smallest free neighbour"
+    // is well-defined regardless of adjacency-array order (MatchingProgram
+    // scans the same way).
+    nbrs.clear();
+    for (const VertexId u : g.out_neighbors(v)) nbrs.push_back(u);
+    for (const InEdge& ie : g.in_edges(v)) nbrs.push_back(ie.src);
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (const VertexId u : nbrs) {
+      if (u == v) continue;
+      if (match[u] == kInvalidVertex) {
+        match[v] = u;
+        match[u] = v;
+        break;
+      }
+    }
+  }
+  return match;
+}
+
+std::vector<std::uint32_t> greedy_coloring(const Graph& g) {
+  constexpr std::uint32_t kUncolored = 0xffffffffu;
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> color(n, kUncolored);
+  std::vector<std::uint32_t> taken;
+  for (VertexId v = 0; v < n; ++v) {
+    taken.clear();
+    auto consider = [&](VertexId u) {
+      if (u < v) taken.push_back(color[u]);
+    };
+    for (const VertexId u : g.out_neighbors(v)) consider(u);
+    for (const InEdge& ie : g.in_edges(v)) consider(ie.src);
+    std::sort(taken.begin(), taken.end());
+    std::uint32_t mex = 0;
+    for (const std::uint32_t c : taken) {
+      if (c == mex) {
+        ++mex;
+      } else if (c > mex) {
+        break;
+      }
+    }
+    color[v] = mex;
+  }
+  return color;
+}
+
 }  // namespace ndg::ref

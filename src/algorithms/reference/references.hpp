@@ -36,6 +36,17 @@ std::vector<std::uint32_t> kcore(const Graph& g);
 /// over the undirected view); result[v] is true iff v is in the set.
 std::vector<bool> greedy_mis(const Graph& g);
 
+/// Greedy maximal matching by ascending id: each free vertex matches its
+/// smallest free neighbour (undirected view, self-loops skipped). result[v]
+/// is the partner id or kInvalidVertex — the oracle MatchingProgram must
+/// reproduce under the speculative engine.
+std::vector<VertexId> greedy_matching(const Graph& g);
+
+/// Greedy coloring by ascending id: color[v] = mex{color[u] : u ∈ N(v),
+/// u < v} — the oracle GreedyColoringProgram must reproduce under the
+/// speculative engine.
+std::vector<std::uint32_t> greedy_coloring(const Graph& g);
+
 /// Dense Richardson iteration x' = (1-omega) + omega·(Aᵀ_row-norm · x) from
 /// x = 1 — the unique fixed point SpmvProgram approximates (contraction for
 /// omega < 1).

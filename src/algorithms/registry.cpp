@@ -1,12 +1,15 @@
 #include "algorithms/registry.hpp"
 
 #include "algorithms/bfs.hpp"
+#include "algorithms/greedy_coloring.hpp"
 #include "algorithms/kcore.hpp"
 #include "algorithms/label_propagation.hpp"
+#include "algorithms/matching.hpp"
 #include "algorithms/mis.hpp"
 #include "algorithms/pagerank.hpp"
 #include "algorithms/push_pagerank.hpp"
 #include "algorithms/push_pagerank_atomic.hpp"
+#include "algorithms/reference/references.hpp"
 #include "algorithms/spmv.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/wcc.hpp"
@@ -17,6 +20,7 @@
 #include "engine/direction.hpp"
 #include "engine/nondeterministic.hpp"
 #include "engine/simulator.hpp"
+#include "engine/speculative.hpp"
 
 namespace ndg {
 
@@ -89,6 +93,45 @@ AlgorithmEntry make_entry(std::string name, std::size_t max_iterations,
       return validate_manifest_push(g, prog, max_iterations);
     };
   }
+  if constexpr (CautiousProgram<Program>) {
+    entry.run_speculative = [ctor_args...](const Graph& g,
+                                           const EngineOptions& opts) {
+      Program prog(ctor_args...);
+      EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+      prog.init(g, edges);
+      return run_speculative(g, prog, edges, opts);
+    };
+  }
+  return entry;
+}
+
+/// Entry for the speculative-only family: the static-analysis surface plus
+/// the speculative closures, everything else null (the program has no
+/// update(), so the NE-era closures cannot even instantiate). `verify`
+/// compares the finished program against its sequential oracle.
+template <typename Program, typename Verify>
+  requires CautiousProgram<Program>
+AlgorithmEntry make_speculative_entry(std::string name, Verify verify) {
+  AlgorithmEntry entry;
+  entry.name = std::move(name);
+  entry.manifest = Program::kManifest;
+  entry.static_verdict = StaticEligibility<Program>::kVerdict;
+  entry.static_conditional = StaticEligibility<Program>::kConditional;
+  entry.speculative_only = true;
+  entry.run_speculative = [](const Graph& g, const EngineOptions& opts) {
+    Program prog;
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    return run_speculative(g, prog, edges, opts);
+  };
+  entry.verify_speculative = [verify](const Graph& g,
+                                      const EngineOptions& opts) {
+    Program prog;
+    EdgeDataArray<typename Program::EdgeData> edges(g.num_edges());
+    prog.init(g, edges);
+    const EngineResult r = run_speculative(g, prog, edges, opts);
+    return r.converged && verify(g, prog);
+  };
   return entry;
 }
 
@@ -110,6 +153,32 @@ std::vector<AlgorithmEntry> algorithm_registry(VertexId source,
                                                         max_iterations));
   entries.push_back(make_entry<KCoreProgram>("kcore", max_iterations));
   entries.push_back(make_entry<MisProgram>("mis", max_iterations));
+  return entries;
+}
+
+std::vector<AlgorithmEntry> speculative_registry() {
+  std::vector<AlgorithmEntry> entries;
+  entries.push_back(make_speculative_entry<MatchingProgram>(
+      "matching", [](const Graph& g, const MatchingProgram& p) {
+        return p.match() == ref::greedy_matching(g);
+      }));
+  entries.push_back(make_speculative_entry<GreedyColoringProgram>(
+      "coloring", [](const Graph& g, const GreedyColoringProgram& p) {
+        return p.colors() == ref::greedy_coloring(g);
+      }));
+  // MIS is not speculative_only — it also lives in algorithm_registry() with
+  // the full NE surface (Theorem 2). Here it is the control row: eligible
+  // AND servable, same greedy-by-id result either way.
+  AlgorithmEntry mis = make_speculative_entry<MisProgram>(
+      "mis", [](const Graph& g, const MisProgram& p) {
+        const std::vector<bool> oracle = ref::greedy_mis(g);
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          if ((p.states()[v] == MisProgram::kIn) != oracle[v]) return false;
+        }
+        return true;
+      });
+  mis.speculative_only = false;
+  entries.push_back(std::move(mis));
   return entries;
 }
 

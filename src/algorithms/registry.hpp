@@ -72,11 +72,38 @@ struct AlgorithmEntry {
   /// enforced deterministic run of update_push against the push manifest.
   /// Null for pull-only programs.
   std::function<ManifestCheck(const Graph& g)> validate_push;
+
+  // --- Speculative surface (docs/SPECULATION.md) ---
+  /// One run under the rollback engine (engine/speculative.hpp) on fresh
+  /// state; commit/abort telemetry lands in EngineResult::spec_commits /
+  /// spec_aborts. Null for programs without the CautiousProgram plan/commit
+  /// split.
+  std::function<EngineResult(const Graph& g, const EngineOptions& opts)>
+      run_speculative;
+  /// True for the NE-refused mutual-exclusion family (matching, coloring):
+  /// the program has no update() entry point, so every non-speculative
+  /// closure above is null — the speculative engine is its only legal
+  /// executor.
+  bool speculative_only = false;
+  /// Self-contained exactness check: one speculative run compared against
+  /// the sequential greedy-by-id oracle (algorithms/reference). Null when no
+  /// oracle applies.
+  std::function<bool(const Graph& g, const EngineOptions& opts)>
+      verify_speculative;
 };
 
 /// All shipped algorithms. `source` seeds SSSP/BFS; `max_iterations` caps the
 /// analysis runs.
 std::vector<AlgorithmEntry> algorithm_registry(VertexId source = 0,
                                                std::size_t max_iterations = 5000);
+
+/// The speculative family: programs served by the rollback engine, with
+/// oracle checks. matching and coloring are speculative_only (refused for
+/// NE/async by StaticEligibility — the refusal the engine exists to answer);
+/// mis rides along as the bridge case that is BOTH Theorem-2 eligible and
+/// cautious. Entries carry the static-analysis surface plus run_speculative /
+/// verify_speculative; the NE-era closures are null for speculative_only
+/// entries.
+std::vector<AlgorithmEntry> speculative_registry();
 
 }  // namespace ndg

@@ -168,7 +168,7 @@ EngineResult run_delayed_ne_impl(const GraphT& g, Program& prog,
   std::atomic<std::uint64_t> in_flight{0};
   std::size_t iterations = 0;  // written by thread 0 between barriers only
   bool stop = false;           // likewise
-  std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint64_t> frontier_sizes;
   std::vector<std::uint8_t> frontier_dense;
 
   run_team(nt, [&](std::size_t tid) {
@@ -228,7 +228,7 @@ EngineResult run_delayed_ne_impl(const GraphT& g, Program& prog,
 
       barrier.arrive_and_wait(sense);
       if (tid == 0) {
-        frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+        frontier_sizes.push_back(frontier.size());
         frontier_dense.push_back(frontier.dense() ? 1 : 0);
         frontier.advance();
         iterations = iter + 1;

@@ -120,8 +120,7 @@ EngineResult run_bsp(const Graph& g, Program& prog,
 
   EngineResult result;
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
-    result.frontier_sizes.push_back(
-        static_cast<std::uint32_t>(frontier.size()));
+    result.frontier_sizes.push_back(frontier.size());
     result.frontier_dense.push_back(frontier.dense() ? 1 : 0);
     // for_each visits S_n ascending in either representation, so the update
     // order — and therefore the bit-exact result — is representation-blind.

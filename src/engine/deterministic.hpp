@@ -16,10 +16,15 @@
 
 namespace ndg {
 
+/// Canonical entry point: honors EngineOptions::max_iterations like the other
+/// engines (num_threads is ignored — DE is sequential by definition) and
+/// reports honest single-thread telemetry: per_thread_updates/per_thread_work
+/// are one-element vectors, so DE rows in eligibility_report read as a
+/// measured single-thread run instead of silently showing zeros.
 template <VertexProgram Program>
 EngineResult run_deterministic(const Graph& g, Program& prog,
                                EdgeDataArray<typename Program::EdgeData>& edges,
-                               std::size_t max_iterations = 100000,
+                               const EngineOptions& opts,
                                AccessObserver* observer = nullptr) {
   Timer timer;
   Frontier frontier(g.num_vertices());
@@ -30,20 +35,36 @@ EngineResult run_deterministic(const Graph& g, Program& prog,
       g, edges, AlignedAccess{}, frontier, observer);
 
   EngineResult result;
-  while (!frontier.empty() && result.iterations < max_iterations) {
-    result.frontier_sizes.push_back(
-        static_cast<std::uint32_t>(frontier.current().size()));
+  std::uint64_t work = 0;
+  while (!frontier.empty() && result.iterations < opts.max_iterations) {
+    result.frontier_sizes.push_back(frontier.current().size());
     for (const VertexId v : frontier.current()) {
       ctx.begin(v, result.iterations);
       prog.update(v, ctx);
       ++result.updates;
+      work += g.in_degree(v) + g.out_degree(v);
     }
     frontier.advance();
     ++result.iterations;
   }
   result.converged = frontier.empty();
+  // The whole run is one thread: telemetry is that thread's totals (the
+  // degree-weighted work counter matches the nondeterministic engines').
+  result.per_thread_updates = {result.updates};
+  result.per_thread_work = {work};
   result.seconds = timer.seconds();
   return result;
+}
+
+/// Positional-cap compatibility overload (the pre-EngineOptions signature).
+template <VertexProgram Program>
+EngineResult run_deterministic(const Graph& g, Program& prog,
+                               EdgeDataArray<typename Program::EdgeData>& edges,
+                               std::size_t max_iterations = 100000,
+                               AccessObserver* observer = nullptr) {
+  EngineOptions opts;
+  opts.max_iterations = max_iterations;
+  return run_deterministic(g, prog, edges, opts, observer);
 }
 
 }  // namespace ndg

@@ -82,7 +82,7 @@ EngineResult run_direction_impl(
   std::vector<std::uint64_t> per_updates(nt, 0);
   std::vector<std::uint64_t> per_work(nt, 0);
   std::size_t iterations = 0;  // written by thread 0 between barriers only
-  std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint64_t> frontier_sizes;
   std::vector<std::uint8_t> frontier_dense;
   std::vector<std::uint8_t> direction_push;
 
@@ -137,7 +137,7 @@ EngineResult run_direction_impl(
 
       barrier.arrive_and_wait(sense);
       if (tid == 0) {
-        frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+        frontier_sizes.push_back(frontier.size());
         frontier_dense.push_back(frontier.dense() ? 1 : 0);
         direction_push.push_back(use_push ? 1 : 0);
         frontier.advance();

@@ -60,7 +60,7 @@ struct DistResult {
   std::uint64_t replica_divergences = 0;
   bool converged = false;
   double seconds = 0.0;
-  std::vector<std::uint32_t> frontier_sizes;  // active vertices per round
+  std::vector<std::uint64_t> frontier_sizes;  // active vertices per round
 };
 
 namespace detail {
@@ -285,7 +285,7 @@ DistResult run_distributed(const Graph& g, Program& prog,
       result.converged = active == 0 && !in_flight;
       break;
     }
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(active));
+    result.frontier_sizes.push_back(active);
     machine.begin_round(static_cast<std::uint32_t>(result.rounds));
 
     // 1. Network: deliver messages due this round (scheduling into `next`).

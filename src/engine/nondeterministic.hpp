@@ -56,7 +56,7 @@ EngineResult run_nondet_impl(const GraphT& g, Program& prog,
   std::vector<std::uint64_t> per_splits(nt, 0);
   std::vector<std::uint64_t> per_chunks(nt, 0);
   std::size_t iterations = 0;  // written by thread 0 between barriers only
-  std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint64_t> frontier_sizes;
   std::vector<std::uint8_t> frontier_dense;
 
   // Hub splitting needs a shared worklist — chunk tokens must be poppable by
@@ -179,7 +179,7 @@ EngineResult run_nondet_impl(const GraphT& g, Program& prog,
 
       barrier.arrive_and_wait(sense);
       if (tid == 0) {
-        frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+        frontier_sizes.push_back(frontier.size());
         frontier_dense.push_back(frontier.dense() ? 1 : 0);
         frontier.advance();
         iterations = iter + 1;

@@ -5,6 +5,12 @@
 
 namespace ndg {
 
+double EngineResult::abort_rate() const {
+  const std::uint64_t total = spec_commits + spec_aborts;
+  if (total == 0) return 0.0;
+  return static_cast<double>(spec_aborts) / static_cast<double>(total);
+}
+
 double EngineResult::mean_staleness() const {
   if (delayed_writes == 0) return 0.0;
   return static_cast<double>(staleness_total) /

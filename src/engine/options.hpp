@@ -81,8 +81,10 @@ struct EngineResult {
   /// Filled only when a tracer was attached.
   ConflictReport conflicts;
   /// |S_n| for every executed iteration — the convergence curve. One entry
-  /// per iteration; cheap enough to record unconditionally.
-  std::vector<std::uint32_t> frontier_sizes;
+  /// per iteration; cheap enough to record unconditionally. 64-bit: at
+  /// Graph500 scale-27+ a dense frontier's size does not fit 32 bits once
+  /// hub splitting multiplies entries, and a silent wrap corrupts the curve.
+  std::vector<std::uint64_t> frontier_sizes;
   /// Update invocations per thread (empty for sequential engines). Sums to
   /// `updates` for engines that run the whole algorithm on one team.
   std::vector<std::uint64_t> per_thread_updates;
@@ -124,6 +126,18 @@ struct EngineResult {
   /// steps; the last bucket absorbs everything >= its index. Empty when no
   /// delay layer ran.
   std::vector<std::uint64_t> staleness_hist;
+
+  // --- Speculation telemetry (docs/SPECULATION.md; nonzero only for the
+  // speculative engine in engine/speculative.hpp). Every planned update is
+  // either committed or aborted, so spec_commits + spec_aborts == updates
+  // for that engine. ---
+  /// Speculative updates whose footprints survived conflict resolution.
+  std::uint64_t spec_commits = 0;
+  /// Speculative updates rolled back and re-executed in a later round.
+  std::uint64_t spec_aborts = 0;
+
+  /// Fraction of speculative updates aborted (0.0 when none ran).
+  [[nodiscard]] double abort_rate() const;
 
   /// Mean observed staleness in steps (0.0 when no writes were delayed).
   [[nodiscard]] double mean_staleness() const;

@@ -81,7 +81,7 @@ PswResult run_psw_deterministic(const Graph& g, Program& prog,
 
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
     const auto& cur = frontier.current();
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+    result.frontier_sizes.push_back(cur.size());
 
     std::size_t pos = 0;
     for (std::size_t interval = 0; interval < plan.num_intervals(); ++interval) {

@@ -73,7 +73,7 @@ struct SimResult {
   /// parallelism).
   std::uint64_t wave_slots = 0;
   /// |S_n| per executed iteration — the convergence curve.
-  std::vector<std::uint32_t> frontier_sizes;
+  std::vector<std::uint64_t> frontier_sizes;
 };
 
 namespace detail {
@@ -222,7 +222,7 @@ SimResult run_simulated(const Graph& g, Program& prog,
 
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
     const auto& cur = frontier.current();
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+    result.frontier_sizes.push_back(cur.size());
     machine.begin_iteration(static_cast<std::uint32_t>(result.iterations));
 
     // Fig. 1 dispatch: proc p owns the contiguous block of the ascending

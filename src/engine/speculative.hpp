@@ -1,0 +1,333 @@
+#pragma once
+// Speculative execution with conflict detection and rollback — the engine for
+// algorithms the paper's eligibility theorems deliberately exclude (maximal
+// matching, greedy MIS, greedy coloring: docs/SPECULATION.md). Where every
+// other engine's correctness story is "eligibility" (the algorithm tolerates
+// nondeterminism), this engine's story is "rollback": it runs *ineligible*
+// algorithms in parallel and guarantees the result equals the sequential
+// greedy-by-id execution at any thread count.
+//
+// Each round:
+//   1. plan   — threads optimistically execute the current worklist prefix in
+//               deterministic id order (static contiguous blocks over the
+//               sparse frontier's ascending list), recording each update's
+//               read/write *neighborhood footprint* (the vertices whose state
+//               or incident edges it touched) and its decision into
+//               arena-backed LocalState. No shared state is written.
+//   2. resolve — a sequential ascending sweep over the planned items with a
+//               per-vertex dirty stamp: an item aborts iff any footprint
+//               vertex was dirtied by a smaller item this round; a committed
+//               writer dirties its declared write vertices; an *aborted* item
+//               dirties its full static neighborhood, because its re-execution
+//               may write anywhere in it. Lowest id always wins.
+//   3. commit — committed items apply their writes in parallel (their write
+//               neighborhoods are pairwise disjoint by construction, so plain
+//               aligned access is race-free); aborted items are rescheduled
+//               and re-execute from scratch next round.
+//
+// Operators declare a *cautious point* — all reads happen in plan(), all
+// writes in commit() — via the CautiousProgram concept, so rollback is simply
+// "don't run commit()": no undo logs (Galois's cautious-operator discipline,
+// SNIPPETS.md §1–2). Per-round operator-local state lives in a per-thread
+// mem::IterArena and is recycled wholesale each round.
+//
+// Why the result equals sequential greedy-by-id execution, independent of
+// thread count: the commit/abort decision depends only on footprints and id
+// order, never on timing. Within a round, a committed item saw no writes from
+// smaller items (else it would have aborted), and no larger item that
+// conflicts with an aborted item can commit (the abort poisoned its whole
+// potential write region). Conflicting updates therefore always apply in
+// ascending id order, which is exactly the DE schedule.
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "analysis/access_manifest.hpp"
+#include "atomics/access_policy.hpp"
+#include "atomics/edge_data.hpp"
+#include "engine/frontier.hpp"
+#include "engine/options.hpp"
+#include "engine/vertex_program.hpp"
+#include "graph/graph.hpp"
+#include "mem/iter_arena.hpp"
+#include "util/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace ndg {
+
+/// A cautious operator: the whole read set is visited before the first write
+/// (plan), and writes are replayable from the recorded decision (commit).
+/// Structural requirements checked here; the plan/commit member templates are
+/// checked at instantiation, like VertexProgram's update(). Contract beyond
+/// the syntax:
+///
+///   * plan(v, PlanContext&, LocalState&) performs every read through the
+///     context (so it lands in the footprint), writes NOTHING shared, and
+///     declares every vertex the commit will affect via will_write /
+///     will_write_vertex.
+///   * commit(v, CommitContext&, const LocalState&) applies exactly the
+///     declared writes. It may re-read v's own incident edges (the engine
+///     guarantees they are unchanged since plan), but must not read anything
+///     else.
+///   * All reads AND writes stay inside v's static neighborhood ({v} ∪ N(v),
+///     vertex state or incident edges) — the abort rule poisons exactly that
+///     region, and the serialization argument needs a retry's reads to be
+///     unreachable by any larger item that committed past the abort.
+/// (The manifest requirement is spelled inline rather than via
+/// analysis/static_eligibility.hpp's ManifestedProgram: the engine layer does
+/// not depend on the analysis layer.)
+template <typename P>
+concept CautiousProgram =
+    VertexProgram<P> && requires {
+      { P::kManifest } -> std::convertible_to<AccessManifest>;
+      typename P::LocalState;
+      requires std::is_trivially_copyable_v<typename P::LocalState>;
+      { P::kCautious } -> std::convertible_to<bool>;
+    } && P::kCautious;
+
+/// One recorded footprint access: the *vertex* a speculative read or write
+/// intent maps onto (edge accesses map to the other endpoint; the planning
+/// vertex itself is tracked implicitly by the resolver).
+struct SpecFootprint {
+  VertexId vtx;
+  std::uint8_t write;  // 0 = read, 1 = declared write intent
+};
+
+/// One planned update, pointing into its thread's footprint log. `committed`
+/// is filled by the resolution sweep.
+struct SpecItem {
+  VertexId v;
+  std::uint32_t foot_begin;
+  std::uint32_t foot_end;
+  void* local;  // LocalState, allocated from the thread's IterArena
+  bool committed;
+};
+
+struct SpecResolution {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+/// The sequential conflict-resolution sweep (phase 2). `items[t]` holds
+/// thread t's planned updates in ascending id order, and the thread blocks
+/// are contiguous ascending, so iterating t = 0..T-1 visits every item in
+/// global id order. `dirty` is a per-vertex round stamp (never cleared; a
+/// vertex is dirty iff dirty[v] == round, so `round` must start at 1).
+SpecResolution resolve_speculative_round(
+    const Graph& g, std::span<const std::vector<SpecFootprint>> footprints,
+    std::span<std::vector<SpecItem>> items, std::vector<std::uint32_t>& dirty,
+    std::uint32_t round);
+
+/// The plan phase's window onto the system: reads route through an access
+/// policy AND land in the footprint log; writes are *declarations only*.
+template <EdgePod ED, typename GraphT = Graph>
+class PlanContext {
+ public:
+  using EdgeData = ED;
+
+  PlanContext(const GraphT& g, EdgeDataArray<ED>& edges,
+              std::vector<SpecFootprint>& footprints)
+      : g_(&g), edges_(&edges), foot_(&footprints) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = static_cast<std::uint32_t>(iteration);
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const GraphT& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edge_id(v_, k);
+  }
+
+  /// Reads edge e, recording the read against its other endpoint (the edge is
+  /// shared with exactly that vertex's updates). Plain aligned access is safe:
+  /// nothing writes during the plan phase.
+  [[nodiscard]] ED read(EdgeId e, VertexId other_endpoint) {
+    foot_->push_back(SpecFootprint{other_endpoint, 0});
+    return policy_.read(*edges_, e);
+  }
+
+  /// Records a read of u's *program state* (arrays owned by the program,
+  /// invisible to the edge-data layer). The caller does the actual read.
+  void read_vertex(VertexId u) { foot_->push_back(SpecFootprint{u, 0}); }
+
+  /// Declares that commit will write edge e (shared with other_endpoint).
+  void will_write(EdgeId e, VertexId other_endpoint) {
+    (void)e;  // the footprint is vertex-granular
+    foot_->push_back(SpecFootprint{other_endpoint, 1});
+  }
+
+  /// Declares that commit will write u's program state.
+  void will_write_vertex(VertexId u) { foot_->push_back(SpecFootprint{u, 1}); }
+
+ private:
+  const GraphT* g_;
+  EdgeDataArray<ED>* edges_;
+  std::vector<SpecFootprint>* foot_;
+  AlignedAccess policy_{};
+  VertexId v_ = kInvalidVertex;
+  std::uint32_t iter_ = 0;
+};
+
+/// The commit phase's window: applies writes with the Section II
+/// task-generation rule available (write schedules the other endpoint;
+/// write_silent does not). Committed items' write neighborhoods are pairwise
+/// disjoint, so plain aligned access is race-free; the frontier bitset is
+/// atomic. read(e) is restricted to v's own incident edges — unchanged since
+/// plan for a committed item (see the header comment's serialization
+/// argument).
+template <EdgePod ED, typename GraphT = Graph>
+class CommitContext {
+ public:
+  using EdgeData = ED;
+
+  CommitContext(const GraphT& g, EdgeDataArray<ED>& edges, Frontier& frontier)
+      : g_(&g), edges_(&edges), frontier_(&frontier) {}
+
+  void begin(VertexId v, std::size_t iteration) {
+    v_ = v;
+    iter_ = static_cast<std::uint32_t>(iteration);
+  }
+
+  [[nodiscard]] VertexId vertex() const { return v_; }
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  [[nodiscard]] const GraphT& graph() const { return *g_; }
+
+  [[nodiscard]] std::span<const InEdge> in_edges() const {
+    return g_->in_edges(v_);
+  }
+  [[nodiscard]] std::span<const VertexId> out_neighbors() const {
+    return g_->out_neighbors(v_);
+  }
+  [[nodiscard]] EdgeId out_edge_id(std::size_t k) const {
+    return g_->out_edge_id(v_, k);
+  }
+
+  [[nodiscard]] ED read(EdgeId e) { return policy_.read(*edges_, e); }
+
+  void write(EdgeId e, VertexId other_endpoint, ED value) {
+    policy_.write(*edges_, e, value);
+    frontier_->schedule(other_endpoint);
+  }
+
+  void write_silent(EdgeId e, ED value) { policy_.write(*edges_, e, value); }
+
+  void schedule(VertexId u) { frontier_->schedule(u); }
+
+ private:
+  const GraphT* g_;
+  EdgeDataArray<ED>* edges_;
+  Frontier* frontier_;
+  AlignedAccess policy_{};
+  VertexId v_ = kInvalidVertex;
+  std::uint32_t iter_ = 0;
+};
+
+template <CautiousProgram Program>
+EngineResult run_speculative(const Graph& g, Program& prog,
+                             EdgeDataArray<typename Program::EdgeData>& edges,
+                             const EngineOptions& opts) {
+  using ED = typename Program::EdgeData;
+  using LocalState = typename Program::LocalState;
+
+  Timer timer;
+  const std::size_t nt = opts.num_threads > 0 ? opts.num_threads : 1;
+
+  // The worklist must be the ascending sparse list: the plan phase's static
+  // contiguous blocks over it are what make concatenated per-thread item logs
+  // globally id-ordered (the resolver depends on that).
+  Frontier frontier(g.num_vertices(), FrontierPolicy::kSparse);
+  frontier.seed(prog.initial_frontier(g));
+
+  std::vector<std::vector<SpecFootprint>> footprints(nt);
+  std::vector<std::vector<SpecItem>> items(nt);
+  std::vector<mem::IterArena> arenas;
+  arenas.reserve(nt);
+  for (std::size_t t = 0; t < nt; ++t) arenas.emplace_back();
+  // Round stamps start at 1: a zero-filled array means "never dirtied".
+  std::vector<std::uint32_t> dirty(g.num_vertices(), 0);
+
+  std::vector<std::uint64_t> thread_updates(nt, 0);
+  std::vector<std::uint64_t> thread_work(nt, 0);
+
+  ThreadTeam team(nt);
+  EngineResult result;
+  std::uint32_t round = 0;
+  while (!frontier.empty() && result.iterations < opts.max_iterations) {
+    ++round;
+    const std::vector<VertexId>& cur = frontier.current();
+    result.frontier_sizes.push_back(cur.size());
+
+    // Phase 1: speculative plan. Thread t owns one contiguous ascending block
+    // of the worklist; nothing shared is written.
+    parallel_for_blocks(cur.size(), team,
+                        [&](std::size_t begin, std::size_t end,
+                            std::size_t tid) {
+      arenas[tid].reset();
+      footprints[tid].clear();
+      items[tid].clear();
+      PlanContext<ED> ctx(g, edges, footprints[tid]);
+      for (std::size_t i = begin; i < end; ++i) {
+        const VertexId v = cur[i];
+        LocalState* local = arenas[tid].alloc<LocalState>();
+        *local = LocalState{};
+        ctx.begin(v, result.iterations);
+        const auto foot_begin =
+            static_cast<std::uint32_t>(footprints[tid].size());
+        prog.plan(v, ctx, *local);
+        items[tid].push_back(
+            SpecItem{v, foot_begin,
+                     static_cast<std::uint32_t>(footprints[tid].size()), local,
+                     false});
+        ++thread_updates[tid];
+        thread_work[tid] += g.in_degree(v) + g.out_degree(v);
+      }
+    });
+
+    // Phase 2: sequential conflict resolution in global id order.
+    const SpecResolution res = resolve_speculative_round(
+        g, std::span<const std::vector<SpecFootprint>>(footprints),
+        std::span<std::vector<SpecItem>>(items), dirty, round);
+    result.spec_commits += res.commits;
+    result.spec_aborts += res.aborts;
+
+    // Phase 3: parallel commit of winners; losers re-enter the worklist and
+    // re-plan from scratch next round (cautious operators need no undo).
+    parallel_for_blocks(cur.size(), team,
+                        [&](std::size_t /*begin*/, std::size_t /*end*/,
+                            std::size_t tid) {
+      CommitContext<ED> ctx(g, edges, frontier);
+      for (SpecItem& item : items[tid]) {
+        if (item.committed) {
+          ctx.begin(item.v, result.iterations);
+          prog.commit(item.v, ctx, *static_cast<const LocalState*>(item.local));
+        } else {
+          frontier.schedule(item.v);
+        }
+      }
+    });
+
+    frontier.advance();
+    ++result.iterations;
+  }
+
+  result.converged = frontier.empty();
+  result.updates = result.spec_commits + result.spec_aborts;
+  result.per_thread_updates = thread_updates;
+  result.per_thread_work = thread_work;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ndg

@@ -1,0 +1,120 @@
+#pragma once
+// IterArena — a per-thread bump allocator for operator-local state that lives
+// exactly one engine round. The speculative engine (engine/speculative.hpp)
+// allocates one CautiousProgram::LocalState per planned vertex out of its
+// thread's arena during the plan phase, reads it back during commit, and then
+// reset()s the whole arena at the next round's start: no per-object frees, no
+// destructor walks (allocation is restricted to trivially-destructible types),
+// and the chunk list is retained across rounds so steady-state rounds allocate
+// nothing from the OS.
+//
+// Chunks come from mem::NumaArena so arena-backed state gets the same
+// placement controls (hugepages / NUMA interleave) as the big flat arrays.
+// Not thread-safe by design: one IterArena per worker thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "mem/mem_policy.hpp"
+#include "mem/numa_arena.hpp"
+#include "util/assert.hpp"
+
+namespace ndg::mem {
+
+class IterArena {
+ public:
+  explicit IterArena(std::size_t chunk_bytes = kDefaultChunkBytes,
+                     const MemSpec& spec = {})
+      : chunk_bytes_(chunk_bytes), spec_(spec) {
+    NDG_ASSERT(chunk_bytes_ > 0);
+  }
+
+  IterArena(const IterArena&) = delete;
+  IterArena& operator=(const IterArena&) = delete;
+
+  IterArena(IterArena&& other) noexcept { swap(other); }
+  IterArena& operator=(IterArena&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~IterArena() {
+    for (const Chunk& c : chunks_) NumaArena::free(c.block);
+  }
+
+  /// Drops every allocation but keeps the chunks mapped — call at the start
+  /// of each round. O(#chunks), no OS traffic.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+    in_use_ = 0;
+  }
+
+  /// Uninitialized storage for one T. T must be trivially destructible:
+  /// reset() never runs destructors.
+  template <typename T>
+  [[nodiscard]] T* alloc() {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "IterArena::reset() does not run destructors");
+    return static_cast<T*>(alloc_bytes(sizeof(T), alignof(T)));
+  }
+
+  /// Raw aligned bump allocation. Requests larger than the chunk size get a
+  /// dedicated chunk of exactly the rounded request.
+  [[nodiscard]] void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    NDG_ASSERT(align > 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      const std::size_t base =
+          (c.used + align - 1) & ~(align - std::size_t{1});
+      if (base + bytes <= c.block.bytes) {
+        c.used = base + bytes;
+        in_use_ += bytes;
+        return static_cast<std::byte*>(c.block.ptr) + base;
+      }
+      ++active_;
+    }
+    // NumaArena blocks are 64-byte aligned, covering any pod alignment.
+    const std::size_t want = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    chunks_.push_back(Chunk{NumaArena::alloc(want, spec_), bytes});
+    active_ = chunks_.size() - 1;
+    in_use_ += bytes;
+    return chunks_.back().block.ptr;
+  }
+
+  /// Live bytes since the last reset() (telemetry only).
+  [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+  /// Bytes mapped across all chunks (retained across resets).
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.block.bytes;
+    return total;
+  }
+
+  void swap(IterArena& other) noexcept {
+    std::swap(chunk_bytes_, other.chunk_bytes_);
+    std::swap(spec_, other.spec_);
+    chunks_.swap(other.chunks_);
+    std::swap(active_, other.active_);
+    std::swap(in_use_, other.in_use_);
+  }
+
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+
+ private:
+  struct Chunk {
+    NumaArena::Block block;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_ = kDefaultChunkBytes;
+  MemSpec spec_{};
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // first chunk worth trying for the next alloc
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace ndg::mem

@@ -154,7 +154,7 @@ OocResult run_ooc_deterministic(const Graph& g, Program& prog,
 
   while (!frontier.empty() && result.iterations < max_iterations) {
     const auto& cur = frontier.current();
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(cur.size()));
+    result.frontier_sizes.push_back(cur.size());
 
     std::size_t pos = 0;
     for (std::size_t i = 0; i < shards; ++i) {

@@ -172,7 +172,7 @@ OocResult run_ooc_nondet_impl(const Graph& g, Program& prog,
 
   std::vector<VertexId> interval_vertices;  // reused per interval
   while (!frontier.empty() && result.iterations < opts.max_iterations) {
-    result.frontier_sizes.push_back(static_cast<std::uint32_t>(frontier.size()));
+    result.frontier_sizes.push_back(frontier.size());
     result.frontier_dense.push_back(frontier.dense() ? 1 : 0);
 
     for (std::size_t i = 0; i < shards; ++i) {

@@ -34,6 +34,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -59,6 +60,12 @@ namespace ndg::tier {
 struct CoordinatorOptions {
   std::string dir;            // run directory holding the tier's sockets
   std::size_t history = 64;   // ReplicationLog bound (records retained)
+  /// When the coordinator's process owns the replica children (the ndg_tier
+  /// launcher layout), reap() also collects exited children with
+  /// waitpid(WNOHANG) so a crashed replica becomes a zombie-free, observable
+  /// event (stats: children_reaped, exit code: run() returns 1 on a crash)
+  /// instead of an undead fd the loop keeps pumping.
+  bool reap_children = false;
 };
 
 inline std::string tier_error(const std::string& what) {
@@ -158,7 +165,7 @@ class Coordinator {
       }
       reap();
     }
-    return 0;
+    return children_crashed_ > 0 ? 1 : 0;
   }
 
   /// Lowest epoch every connected, synced replica has acked — the tier's
@@ -555,6 +562,8 @@ class Coordinator {
         .u64("rep_oldest_seq", replog_.oldest_seq())
         .u64("rep_history", replog_.size())
         .u64("replicas", synced)
+        .u64("replicas_broken", replicas_broken_)
+        .u64("children_reaped", children_reaped_)
         .u64("snapshots_served", snapshots_served_)
         .u64("vertices", g_.num_vertices())
         .u64("live_edges", g_.num_live_edges())
@@ -661,8 +670,11 @@ class Coordinator {
   /// behind the bounded history instead of buffering unboundedly in its
   /// socket.
   void pump_peer(RepPeer& p) {
-    if (!p.synced || p.awaiting_ack || p.conn.broken || p.conn.draining ||
-        shutdown_) {
+    // eof counts as dead: a SIGKILLed replica surfaces as POLLHUP/read()==0
+    // (and EPIPE on the next write); pumping — or worse, materializing an
+    // O(E) snapshot — for it is pure waste. reap() retires it this pass.
+    if (!p.synced || p.awaiting_ack || p.conn.broken || p.conn.eof ||
+        p.conn.draining || shutdown_) {
       return;
     }
     if (p.next_seq >= replog_.next_seq()) return;  // caught up
@@ -747,8 +759,8 @@ class Coordinator {
   /// coordinator memory.
   void stream_snapshot(RepPeer& p) {
     if (p.snap == nullptr) return;
-    if (p.conn.broken || p.conn.draining) {
-      p.snap.reset();
+    if (p.conn.broken || p.conn.eof || p.conn.draining) {
+      p.snap.reset();  // peer died mid-stream; stop encoding at a dead fd
       return;
     }
     while (p.snap_pos < p.snap->edges.size() && !p.conn.broken &&
@@ -787,11 +799,42 @@ class Coordinator {
     }
     for (auto it = peers_.begin(); it != peers_.end();) {
       if (it->second.conn.finished()) {
+        // A synced replica only leaves cleanly during tier shutdown; losing
+        // one any other way (EPIPE -> broken, SIGKILL -> POLLHUP/eof) is a
+        // crash, surfaced in stats as replicas_broken.
+        if (it->second.synced && (it->second.conn.broken || !shutdown_)) {
+          ++replicas_broken_;
+          std::cerr << "ndg_tier: replication peer for replica "
+                    << it->second.replica_id << " died (last acked seq "
+                    << it->second.acked_seq << ")\n";
+        }
         retire(it->second.conn);
         it->second.conn.close_fd();
         it = peers_.erase(it);
       } else {
         ++it;
+      }
+    }
+    // Collect exited replica children (launcher layout only) so a crashed
+    // replica is reaped promptly instead of lingering as a zombie until the
+    // coordinator itself exits. Clean exits (tier shutdown) count only as
+    // reaped; anything else marks the tier failed.
+    if (opts_.reap_children) {
+      for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0) break;
+        ++children_reaped_;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          ++children_crashed_;
+          std::cerr << "ndg_tier: replica child " << pid << " "
+                    << (WIFSIGNALED(status)
+                            ? "killed by signal " +
+                                  std::to_string(WTERMSIG(status))
+                            : "exited with status " +
+                                  std::to_string(WEXITSTATUS(status)))
+                    << "\n";
+        }
       }
     }
   }
@@ -821,6 +864,9 @@ class Coordinator {
   std::map<std::uint64_t, RepPeer> peers_;
   std::uint64_t next_id_ = 0;
   std::uint64_t snapshots_served_ = 0;
+  std::uint64_t replicas_broken_ = 0;   // synced peers lost outside shutdown
+  std::uint64_t children_reaped_ = 0;   // waitpid'd replica children
+  std::uint64_t children_crashed_ = 0;  // ...of those, abnormal exits
   dyn::WireCounters closed_wire_;   // byte totals of reaped connections
   std::uint64_t parse_errors_ = 0;  // bad lines + bad frame payloads
   bool shutdown_ = false;

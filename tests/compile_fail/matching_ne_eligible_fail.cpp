@@ -1,0 +1,16 @@
+// Compile-FAIL test (ctest WILL_FAIL, built with -fsyntax-only): asserting
+// that matching IS provably eligible for nondeterministic execution must
+// fail — its manifest admits write-write conflicts with no monotone claim,
+// so StaticEligibility refuses it (kNotProven). This pins the refusal at
+// compile time: if someone "fixes" the verdict without fixing the algorithm,
+// this test starts passing-to-compile and ctest flags it. The twin
+// (matching_ne_refused_ok.cpp) asserts the refusal itself compiles.
+#include "algorithms/matching.hpp"
+#include "analysis/static_eligibility.hpp"
+
+static_assert(
+    ndg::StaticEligibility<ndg::MatchingProgram>::kVerdict !=
+        ndg::EligibilityVerdict::kNotProven,
+    "matching must NOT be provably eligible - this assert is meant to fire");
+
+int main() { return 0; }

@@ -1,0 +1,20 @@
+// Positive control for matching_ne_eligible_fail.cpp: the refusal verdicts
+// themselves are stable compile-time facts — matching and greedy coloring
+// are kNotProven (WW possible, no monotone claim), while MIS (same dual-slot
+// edges, but monotone) earns Theorem 2. If this TU ever stops compiling, the
+// WILL_FAIL twin is failing for the wrong reason and proves nothing.
+#include "algorithms/greedy_coloring.hpp"
+#include "algorithms/matching.hpp"
+#include "algorithms/mis.hpp"
+#include "analysis/static_eligibility.hpp"
+
+static_assert(ndg::StaticEligibility<ndg::MatchingProgram>::kVerdict ==
+              ndg::EligibilityVerdict::kNotProven);
+static_assert(ndg::StaticEligibility<ndg::MatchingProgram>::kWwPossible);
+static_assert(ndg::StaticEligibility<ndg::GreedyColoringProgram>::kVerdict ==
+              ndg::EligibilityVerdict::kNotProven);
+static_assert(ndg::StaticEligibility<ndg::GreedyColoringProgram>::kWwPossible);
+static_assert(ndg::StaticEligibility<ndg::MisProgram>::kVerdict ==
+              ndg::EligibilityVerdict::kTheorem2);
+
+int main() { return 0; }

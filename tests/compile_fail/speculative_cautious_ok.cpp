@@ -1,0 +1,18 @@
+// Positive control for speculative_noncautious_fail.cpp: run_speculative
+// instantiates fine for a CautiousProgram (MIS — the bridge case that is
+// both Theorem-2 eligible and cautious). If this TU ever stops compiling,
+// the WILL_FAIL twin is failing for the wrong reason and proves nothing.
+#include "algorithms/mis.hpp"
+#include "engine/speculative.hpp"
+
+static_assert(ndg::CautiousProgram<ndg::MisProgram>);
+
+int main() {
+  ndg::Graph g = ndg::Graph::build(2, {{0, 1}});
+  ndg::MisProgram prog;
+  ndg::EdgeDataArray<ndg::MisProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  ndg::EngineOptions opts;
+  (void)ndg::run_speculative(g, prog, edges, opts);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Compile-FAIL test (ctest WILL_FAIL, built with -fsyntax-only): the
+// rollback engine is constrained to CautiousProgram — PageRank has no
+// plan/commit split, no LocalState, no kCautious, so instantiating
+// run_speculative for it must be rejected by the concept. The positive
+// control twin (speculative_cautious_ok.cpp) proves the failure comes from
+// the constraint, not from an unrelated breakage in these headers.
+#include "algorithms/pagerank.hpp"
+#include "engine/speculative.hpp"
+
+int main() {
+  ndg::Graph g = ndg::Graph::build(2, {{0, 1}});
+  ndg::PageRankProgram prog;
+  ndg::EdgeDataArray<ndg::PageRankProgram::EdgeData> edges(g.num_edges());
+  prog.init(g, edges);
+  ndg::EngineOptions opts;
+  (void)ndg::run_speculative(g, prog, edges, opts);  // constraint violation
+  return 0;
+}

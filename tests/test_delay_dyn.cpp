@@ -10,9 +10,12 @@
 #include <cstddef>
 #include <vector>
 
+#include "algorithms/mis.hpp"
 #include "algorithms/pagerank.hpp"
+#include "algorithms/reference/references.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/wcc.hpp"
+#include "delay/delayed_engine.hpp"
 #include "delay/staleness_probe.hpp"
 #include "dyn/dyn_graph.hpp"
 #include "dyn/eligibility_gate.hpp"
@@ -174,6 +177,38 @@ TEST(DelayDyn, GateExposesDelayObliviousWarmBound) {
             EligibilityGate::kUnboundedDelay);
   EXPECT_EQ(EligibilityGate(EligibilityVerdict::kNotProven).max_warm_delay(),
             0u);
+}
+
+TEST(DelayDyn, MisExactUnderEveryDelayPolicyAndThreadCount) {
+  // MIS's fixed point is the lexicographically-first (greedy-by-id) set — a
+  // single exact answer, not an epsilon ball. Bounded staleness may reorder
+  // and delay half-publications arbitrarily within d, but a Theorem 2
+  // program's fixed point is schedule-oblivious: every (d, policy, threads)
+  // cell must reproduce the sequential oracle bit-for-bit.
+  const Graph g = base_graph();
+  const auto ref_in = ref::greedy_mis(g);
+  for (const std::size_t d : {std::size_t{1}, std::size_t{4}}) {
+    for (const DelayKind kind :
+         {DelayKind::kFixed, DelayKind::kUniform, DelayKind::kPerThread}) {
+      for (const std::size_t nt : {std::size_t{1}, std::size_t{4}}) {
+        MisProgram prog;
+        EdgeDataArray<MisProgram::EdgeData> edges(g.num_edges());
+        prog.init(g, edges);
+        EngineOptions opts = make_opts(d);
+        opts.num_threads = nt;
+        opts.delay.kind = kind;
+        const EngineResult r = delay::run_delayed(g, prog, edges, opts);
+        ASSERT_TRUE(r.converged)
+            << "d=" << d << " kind=" << static_cast<int>(kind) << " nt=" << nt;
+        EXPECT_LE(r.max_staleness, d);
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_EQ(prog.states()[v] == MisProgram::kIn, ref_in[v] != 0)
+              << "v=" << v << " d=" << d << " kind=" << static_cast<int>(kind)
+              << " nt=" << nt;
+        }
+      }
+    }
+  }
 }
 
 TEST(DelayDyn, SimulatorCrossCheckAgrees) {

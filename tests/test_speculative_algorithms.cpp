@@ -1,0 +1,209 @@
+// Tests for the NE-refused algorithm family (matching, greedy coloring):
+// structural validity of their outputs, the refusal verdicts the static
+// layer hands them, their registry surface, and the post-run edge state
+// (every published half must agree with the owner's final decision —
+// docs/SPECULATION.md's "commit republishes" rule).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/greedy_coloring.hpp"
+#include "algorithms/matching.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/reference/references.hpp"
+#include "algorithms/registry.hpp"
+#include "analysis/static_eligibility.hpp"
+#include "engine/speculative.hpp"
+#include "graph/generators.hpp"
+
+namespace ndg {
+namespace {
+
+Graph test_graph() { return Graph::build(128, gen::rmat(128, 900, 21)); }
+
+std::vector<VertexId> undirected_neighbors(const Graph& g, VertexId v) {
+  std::vector<VertexId> nbrs;
+  for (const VertexId u : g.out_neighbors(v)) nbrs.push_back(u);
+  for (const InEdge& ie : g.in_edges(v)) nbrs.push_back(ie.src);
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  return nbrs;
+}
+
+template <typename Program>
+EngineResult run_spec(const Graph& g, Program& prog,
+                      EdgeDataArray<typename Program::EdgeData>& edges,
+                      std::size_t threads) {
+  prog.init(g, edges);
+  EngineOptions opts;
+  opts.num_threads = threads;
+  opts.max_iterations = 500000;
+  return run_speculative(g, prog, edges, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Matching: symmetry, no self-matches, edges exist, and maximality (no edge
+// between two free vertices may remain).
+
+TEST(MatchingAlgorithm, ValidMaximalMatching) {
+  const Graph g = test_graph();
+  MatchingProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  const EngineResult r = run_spec(g, prog, edges, 4);
+  EXPECT_TRUE(r.converged);
+  const auto& match = prog.match();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (match[v] == kInvalidVertex) continue;
+    const VertexId u = match[v];
+    EXPECT_NE(u, v) << "self-match at " << v;
+    EXPECT_EQ(match[u], v) << "asymmetric match " << v << "<->" << u;
+    const auto nbrs = undirected_neighbors(g, v);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), u))
+        << "matched pair " << v << "," << u << " is not an edge";
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (match[v] != kInvalidVertex) continue;
+    for (const VertexId u : undirected_neighbors(g, v)) {
+      if (u == v) continue;
+      EXPECT_NE(match[u], kInvalidVertex)
+          << "free-free edge " << v << "," << u << ": matching not maximal";
+    }
+  }
+}
+
+// Every edge half ends up publishing its owner's final state — the commit
+// phase's republish obligation. A stale half would mean a lost write.
+TEST(MatchingAlgorithm, EdgeHalvesPublishFinalState) {
+  const Graph g = test_graph();
+  MatchingProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  run_spec(g, prog, edges, 4);
+  const auto& match = prog.match();
+  const AlignedAccess policy;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto out = g.out_neighbors(v);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const DualEdge e = policy.read(edges, g.out_edge_id(v, k));
+      const std::uint32_t want =
+          match[v] == kInvalidVertex ? MatchingProgram::kFreeHalf : match[v];
+      EXPECT_EQ(own_half(e, /*is_source=*/true), want) << "src half of " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coloring: proper (no edge endpoints share a color), every vertex colored,
+// and exactly the sequential mex oracle.
+
+TEST(ColoringAlgorithm, ProperAndOracleExact) {
+  const Graph g = test_graph();
+  GreedyColoringProgram prog;
+  EdgeDataArray<DualEdge> edges(g.num_edges());
+  const EngineResult r = run_spec(g, prog, edges, 4);
+  EXPECT_TRUE(r.converged);
+  const auto& colors = prog.colors();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NE(colors[v], GreedyColoringProgram::kUncolored) << "v=" << v;
+    for (const VertexId u : undirected_neighbors(g, v)) {
+      if (u == v) continue;
+      EXPECT_NE(colors[v], colors[u]) << "edge " << v << "," << u;
+    }
+  }
+  EXPECT_EQ(colors, ref::greedy_coloring(g));
+}
+
+// Greedy-by-id coloring of a complete graph needs exactly n colors, and of a
+// star (center 0) exactly 2.
+TEST(ColoringAlgorithm, KnownChromaticShapes) {
+  {
+    const Graph g = Graph::build(6, gen::complete(6));
+    GreedyColoringProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    run_spec(g, prog, edges, 4);
+    std::vector<std::uint32_t> sorted = prog.colors();
+    std::sort(sorted.begin(), sorted.end());
+    const std::vector<std::uint32_t> want{0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(sorted, want);
+  }
+  {
+    const Graph g = Graph::build(16, gen::star(16));
+    GreedyColoringProgram prog;
+    EdgeDataArray<DualEdge> edges(g.num_edges());
+    run_spec(g, prog, edges, 4);
+    EXPECT_EQ(prog.colors()[0], 0u);
+    for (VertexId v = 1; v < 16; ++v) EXPECT_EQ(prog.colors()[v], 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Static refusal: the whole reason these programs live behind the rollback
+// engine. (The same facts are static_assert-ed in the headers and in the
+// compile-fail pair; asserting them here keeps the verdicts visible in test
+// output.)
+
+TEST(SpeculativeEligibility, MatchingAndColoringRefusedMisEligible) {
+  EXPECT_EQ(StaticEligibility<MatchingProgram>::kVerdict,
+            EligibilityVerdict::kNotProven);
+  EXPECT_TRUE(StaticEligibility<MatchingProgram>::kWwPossible);
+  EXPECT_EQ(StaticEligibility<GreedyColoringProgram>::kVerdict,
+            EligibilityVerdict::kNotProven);
+  EXPECT_TRUE(StaticEligibility<GreedyColoringProgram>::kWwPossible);
+  // The bridge case: MIS is Theorem-2 eligible AND cautious.
+  EXPECT_EQ(StaticEligibility<MisProgram>::kVerdict,
+            EligibilityVerdict::kTheorem2);
+}
+
+// ---------------------------------------------------------------------------
+// Registry surface.
+
+TEST(SpeculativeRegistry, ServesRefusedFamilyPlusBridgeCase) {
+  const auto entries = speculative_registry();
+  ASSERT_EQ(entries.size(), 3u);
+  for (const auto& e : entries) {
+    ASSERT_TRUE(e.run_speculative != nullptr) << e.name;
+    ASSERT_TRUE(e.verify_speculative != nullptr) << e.name;
+  }
+  EXPECT_EQ(entries[0].name, "matching");
+  EXPECT_TRUE(entries[0].speculative_only);
+  EXPECT_EQ(entries[1].name, "coloring");
+  EXPECT_TRUE(entries[1].speculative_only);
+  EXPECT_EQ(entries[2].name, "mis");
+  EXPECT_FALSE(entries[2].speculative_only);  // also NE-eligible (Theorem 2)
+
+  const Graph g = test_graph();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.max_iterations = 500000;
+  for (const auto& e : entries) {
+    const EngineResult r = e.run_speculative(g, opts);
+    EXPECT_TRUE(r.converged) << e.name;
+    EXPECT_GT(r.spec_commits, 0u) << e.name;
+    EXPECT_TRUE(e.verify_speculative(g, opts)) << e.name;
+  }
+}
+
+TEST(SpeculativeRegistry, MainRegistryExposesCautiousEntriesOnly) {
+  bool saw_mis = false;
+  bool saw_pagerank = false;
+  for (const auto& e : algorithm_registry(0, 1000)) {
+    if (e.name == "mis") {
+      saw_mis = true;
+      // MIS satisfies CautiousProgram, so its main-registry entry also
+      // carries the speculative closure...
+      EXPECT_TRUE(e.run_speculative != nullptr);
+    }
+    if (e.name == "pagerank") {
+      saw_pagerank = true;
+      // ...while a non-cautious program gets none.
+      EXPECT_TRUE(e.run_speculative == nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_mis);
+  EXPECT_TRUE(saw_pagerank);
+}
+
+}  // namespace
+}  // namespace ndg

@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -560,6 +561,113 @@ TEST(Tier, SnapshotAfterIdReuseStaysCanonical) {
   const int status = tier.join();
   ASSERT_NE(status, -1) << "tier did not exit after shutdown";
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+/// Child pids of `parent` (the launcher's children ARE the replicas) via
+/// /proc — a reaped child disappears from this list, a zombie does not.
+std::vector<pid_t> child_pids(pid_t parent) {
+  std::ifstream f("/proc/" + std::to_string(parent) + "/task/" +
+                  std::to_string(parent) + "/children");
+  std::vector<pid_t> out;
+  long long p = 0;
+  while (f >> p) out.push_back(static_cast<pid_t>(p));
+  return out;
+}
+
+/// One non-retrying connect attempt; -1 if nothing is listening.
+int try_connect_once(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    return fd;
+  }
+  ::close(fd);
+  return -1;
+}
+
+// Replica-crash regression: SIGKILL one replica while the coordinator is
+// actively streaming to it (hold-chaos + a 2-record history keep the
+// record/snapshot pump busy, so the death lands mid-chunk). The coordinator
+// must notice the dead peer (POLLHUP/EPIPE), retire it, waitpid the child
+// (no zombie), count both in stats, and keep serving the tier through the
+// surviving replica — then report the crash in the launcher's exit status.
+TEST(Tier, ReplicaCrashMidStreamIsReapedAndSurvived) {
+  Tier tier;
+  tier.start({"--replicas=2", "--algo=wcc", "--kind=er", "--vertices=300",
+              "--edges=900", "--seed=7", "--gate=theorem2", "--threads=2",
+              "--history=2", "--chaos=hold:200"});
+  Client coord;
+  coord.connect(tier.coord_sock());
+  EXPECT_TRUE(contains(coord.read_line(), "\"ready\":true"));
+  wait_for_replicas(coord, 2);
+  const std::vector<pid_t> replicas = child_pids(tier.pid);
+  ASSERT_EQ(replicas.size(), 2u);
+
+  // Outpace the bounded history (200 ms hold per record, history=2) so the
+  // victim is behind — records and/or snapshot chunks in flight — when shot.
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < 4; ++i) {
+      coord.rpc(R"({"op":"mutate","kind":"insert","src":)" +
+                std::to_string(290 + e) + R"(,"dst":)" +
+                std::to_string((e * 31 + i * 13) % 300) + "}");
+    }
+    EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  }
+  ASSERT_EQ(::kill(replicas[0], SIGKILL), 0);
+
+  // The crash surfaces in stats: peer retired as broken, child reaped.
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  std::string st;
+  for (;;) {
+    st = coord.rpc(R"({"op":"stats"})");
+    if (num_field(st, "replicas_broken") >= 1 &&
+        num_field(st, "children_reaped") >= 1) {
+      break;
+    }
+    ASSERT_LT(Clock::now(), deadline) << "crash never surfaced: " << st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(field(st, "replicas"), "1") << st;
+  // Reaped means gone from the launcher's child list (a zombie would stay).
+  for (const pid_t pid : child_pids(tier.pid)) EXPECT_NE(pid, replicas[0]);
+
+  // The tier keeps working: more epochs land, the watermark (which only
+  // counts live synced peers) still reaches the coordinator epoch, and the
+  // survivor answers queries with the coordinator's exact WCC values.
+  for (int i = 0; i < 4; ++i) {
+    coord.rpc(R"({"op":"mutate","kind":"insert","src":5,"dst":)" +
+              std::to_string(100 + 40 * i) + "}");
+  }
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"recompute"})"), "\"ok\":true"));
+  wait_watermark(coord, 120000);
+
+  int survivor_fd = -1;
+  std::size_t survivor = 0;
+  for (std::size_t k = 0; k < 2 && survivor_fd < 0; ++k) {
+    survivor_fd = try_connect_once(tier.replica_sock(static_cast<int>(k)));
+    if (survivor_fd >= 0) survivor = k;
+  }
+  ASSERT_GE(survivor_fd, 0) << "no replica left listening";
+  ::close(survivor_fd);  // Client does its own connect
+  Client rep;
+  rep.connect(tier.replica_sock(static_cast<int>(survivor)));
+  EXPECT_TRUE(contains(rep.read_line(), "\"role\":\"replica\""));
+  for (int v = 0; v < 300; v += 17) {
+    const std::string qc = query(coord, v);
+    const std::string qr = query(rep, v);
+    EXPECT_EQ(field(qc, "value"), field(qr, "value")) << qc << "\n" << qr;
+  }
+
+  EXPECT_TRUE(contains(coord.rpc(R"({"op":"shutdown"})"), "\"bye\":true"));
+  const int status = tier.join();
+  ASSERT_NE(status, -1) << "tier did not exit after shutdown";
+  // A crashed replica fails the run: the launcher must exit 1, not 0.
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 1)
+      << "status=" << status;
 }
 
 // --- Unit tests for the hardened wire/socket layers ---

@@ -143,6 +143,11 @@ int run_coordinator(Graph base, Program prog, const TierConfig& cfg) {
   tier::CoordinatorOptions copts;
   copts.dir = cfg.dir;
   copts.history = cfg.history;
+  // The launcher forks the replicas into this same process's child set, so
+  // the coordinator loop is the right place to reap them: a replica that
+  // dies mid-stream is collected promptly (and fails the run) instead of
+  // sitting as a zombie behind a dead socket until shutdown.
+  copts.reap_children = true;
   tier::Coordinator<Program> coord(std::move(g), std::move(prog),
                                    std::move(gate), cfg.engine_opts,
                                    cfg.engine, copts);
@@ -295,8 +300,12 @@ int tier_main(const CliArgs& args) {
   }
   for (const pid_t pid : children) {
     int status = 0;
-    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    pid_t r;
+    while ((r = ::waitpid(pid, &status, 0)) < 0 && errno == EINTR) {
     }
+    // ECHILD: the coordinator's reap loop already collected this child (and
+    // folded any crash into its own return code above).
+    if (r < 0) continue;
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) rc = 1;
   }
   return rc;
